@@ -1,0 +1,104 @@
+//! Microbenchmarks of the dense kernels the fronts are built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parfact_dense::{blas, chol, DMat};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn det_rng(seed: u64) -> impl FnMut() -> f64 {
+    let mut s = seed.max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % 2000) as f64 / 1000.0 - 1.0
+    }
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_nt");
+    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    for &n in &[64usize, 128, 256] {
+        let mut r = det_rng(n as u64);
+        let a = DMat::from_fn(n, n, |_, _| r());
+        let b = DMat::from_fn(n, n, |_, _| r());
+        let mut cmat = DMat::zeros(n, n);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                blas::gemm_nt(
+                    n, n, n, 1.0,
+                    a.as_slice(), n,
+                    b.as_slice(), n,
+                    0.0,
+                    cmat.as_mut_slice(), n,
+                );
+                black_box(cmat.as_slice()[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_syrk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("syrk_ln");
+    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    for &n in &[128usize, 256] {
+        let k = 48; // panel width used by the factorization
+        let mut r = det_rng(n as u64);
+        let a = DMat::from_fn(n, k, |_, _| r());
+        let mut cmat = DMat::zeros(n, n);
+        g.throughput(Throughput::Elements((n * n * k) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                blas::syrk_ln(n, k, -1.0, a.as_slice(), n, 1.0, cmat.as_mut_slice(), n);
+                black_box(cmat.as_slice()[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_potrf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("potrf");
+    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    for &n in &[64usize, 192, 384] {
+        let mut r = det_rng(n as u64);
+        let a = DMat::random_spd(n, &mut r);
+        g.throughput(Throughput::Elements((n * n * n / 3) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter_batched(
+                || a.clone(),
+                |mut m| {
+                    chol::potrf(n, m.as_mut_slice(), n).unwrap();
+                    black_box(m.as_slice()[0])
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_partial_potrf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partial_potrf_front");
+    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    // A representative front: order 320, eliminate 128 pivots.
+    let (f, w) = (320usize, 128usize);
+    let mut r = det_rng(7);
+    let a = DMat::random_spd(f, &mut r);
+    g.bench_function("f320_w128", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut m| {
+                chol::partial_potrf(f, w, m.as_mut_slice(), f).unwrap();
+                black_box(m.as_slice()[0])
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_syrk, bench_potrf, bench_partial_potrf);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benchmarks of the numeric factorization engines (wall clock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfact_core::smp::SmpOpts;
+use parfact_core::solver::{Engine, FactorOpts, SparseCholesky};
+use parfact_sparse::csc::CscMatrix;
+use parfact_sparse::gen;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn problems() -> Vec<(&'static str, CscMatrix)> {
+    vec![
+        ("lap2d-80", gen::laplace2d(80, 80, gen::Stencil2d::FivePoint)),
+        (
+            "lap3d-14",
+            gen::laplace3d(14, 14, 14, gen::Stencil3d::SevenPoint),
+        ),
+        ("elas-8", gen::elasticity3d(8, 8, 8)),
+    ]
+}
+
+fn bench_seq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factorize_seq");
+    g.measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(10);
+    for (name, a) in problems() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &a, |b, a| {
+            b.iter(|| {
+                let chol = SparseCholesky::factorize(a, &FactorOpts::default()).unwrap();
+                black_box(chol.factor_nnz())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_smp(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let mut g = c.benchmark_group(format!("factorize_smp_{threads}t"));
+    g.measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(10);
+    let opts = FactorOpts {
+        engine: Engine::Smp(SmpOpts {
+            threads,
+            ..SmpOpts::default()
+        }),
+        ..FactorOpts::default()
+    };
+    for (name, a) in problems() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &a, |b, a| {
+            b.iter(|| {
+                let chol = SparseCholesky::factorize(a, &opts).unwrap();
+                black_box(chol.factor_nnz())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_seq, bench_smp);
+criterion_main!(benches);

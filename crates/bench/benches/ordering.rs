@@ -1,0 +1,41 @@
+//! Benchmarks of the fill-reducing orderings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfact_order::{order_graph, Method};
+use parfact_sparse::gen;
+use parfact_sparse::graph::AdjGraph;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_orderings(c: &mut Criterion) {
+    let problems = vec![
+        (
+            "lap2d-64",
+            AdjGraph::from_sym_lower(&gen::laplace2d(64, 64, gen::Stencil2d::FivePoint)),
+        ),
+        (
+            "lap3d-12",
+            AdjGraph::from_sym_lower(&gen::laplace3d(12, 12, 12, gen::Stencil3d::SevenPoint)),
+        ),
+        ("rmat-10", gen::rmat_graph(10, 8, 42)),
+    ];
+    for (mname, method) in [
+        ("rcm", Method::Rcm),
+        ("mindeg", Method::MinDegree),
+        ("nd", Method::default()),
+    ] {
+        let mut g = c.benchmark_group(format!("order_{mname}"));
+        g.measurement_time(Duration::from_secs(3))
+            .warm_up_time(Duration::from_secs(1))
+            .sample_size(10);
+        for (pname, graph) in &problems {
+            g.bench_with_input(BenchmarkId::from_parameter(pname), graph, |bench, gr| {
+                bench.iter(|| black_box(order_graph(gr, method).len()))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmarks of SpMV and the triangular-solve phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfact_core::solver::{FactorOpts, SparseCholesky};
+use parfact_sparse::gen;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sym_spmv");
+    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    for &dim in &[64usize, 160] {
+        let a = gen::laplace2d(dim, dim, gen::Stencil2d::FivePoint);
+        let x = vec![1.0; a.nrows()];
+        let mut y = vec![0.0; a.nrows()];
+        g.bench_with_input(BenchmarkId::from_parameter(dim * dim), &a, |b, a| {
+            b.iter(|| {
+                a.sym_spmv(&x, &mut y);
+                black_box(y[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("triangular_solve");
+    g.measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(20);
+    for (name, a) in [
+        ("lap2d-80", gen::laplace2d(80, 80, gen::Stencil2d::FivePoint)),
+        (
+            "lap3d-12",
+            gen::laplace3d(12, 12, 12, gen::Stencil3d::SevenPoint),
+        ),
+    ] {
+        let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let b = vec![1.0; a.nrows()];
+        g.bench_with_input(BenchmarkId::from_parameter(name), &chol, |bench, chol| {
+            bench.iter(|| black_box(chol.solve(&b)[0]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_solve);
+criterion_main!(benches);

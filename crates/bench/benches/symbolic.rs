@@ -1,0 +1,40 @@
+//! Benchmarks of the symbolic-analysis pipeline and its pieces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parfact_order::{order_matrix, Method};
+use parfact_symbolic::{analyze, colcount, etree, AmalgOpts};
+use parfact_sparse::gen;
+use parfact_sparse::perm::Perm;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_symbolic(c: &mut Criterion) {
+    let a0 = gen::laplace3d(16, 16, 16, gen::Stencil3d::SevenPoint);
+    let fill = order_matrix(&a0, Method::default());
+    let a = fill.apply_sym_lower(&a0);
+
+    let mut g = c.benchmark_group("symbolic");
+    g.measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(20);
+
+    g.bench_function("etree_lap3d16", |b| {
+        b.iter(|| black_box(etree::etree(&a).len()))
+    });
+
+    let parent0 = etree::etree(&a);
+    let post = Perm::from_vec(etree::postorder(&parent0));
+    let ap = post.apply_sym_lower(&a);
+    let parent = etree::relabel(&parent0, &post);
+    g.bench_function("colcounts_lap3d16", |b| {
+        b.iter(|| black_box(colcount::col_counts(&ap, &parent)[0]))
+    });
+
+    g.bench_function("analyze_full_lap3d16", |b| {
+        b.iter(|| black_box(analyze(&a, &AmalgOpts::default()).0.nsuper()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_symbolic);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Shared infrastructure for the experiment harness: the test-matrix
+//! suite, table rendering, and CSV output under `results/`.
+
+use parfact_sparse::csc::CscMatrix;
+use parfact_sparse::gen;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A named test problem.
+pub struct Problem {
+    pub name: &'static str,
+    pub a: CscMatrix,
+    /// One-line provenance note for the tables.
+    pub desc: &'static str,
+}
+
+/// The standard suite (EXP-T1): model PDE problems plus the synthetic
+/// structural-mechanics stand-ins (see DESIGN.md "Substitutions").
+pub fn suite() -> Vec<Problem> {
+    vec![
+        Problem {
+            name: "lap2d-200",
+            a: gen::laplace2d(200, 200, gen::Stencil2d::FivePoint),
+            desc: "2-D Poisson 200x200, 5-point",
+        },
+        Problem {
+            name: "lap3d-24",
+            a: gen::laplace3d(24, 24, 24, gen::Stencil3d::SevenPoint),
+            desc: "3-D Poisson 24^3, 7-point",
+        },
+        Problem {
+            name: "lap3d-32",
+            a: gen::laplace3d(32, 32, 32, gen::Stencil3d::SevenPoint),
+            desc: "3-D Poisson 32^3, 7-point",
+        },
+        Problem {
+            name: "elas-12",
+            a: gen::elasticity3d(12, 12, 12),
+            desc: "3-D elasticity-style 12^3, 3 dof/node",
+        },
+        Problem {
+            name: "lap3d27-20",
+            a: gen::laplace3d(20, 20, 20, gen::Stencil3d::TwentySevenPoint),
+            desc: "3-D Poisson 20^3, 27-point (denser stencil)",
+        },
+    ]
+}
+
+/// A smaller suite for the heavier per-matrix sweeps.
+pub fn scaling_matrices() -> Vec<Problem> {
+    vec![
+        Problem {
+            name: "lap3d-32",
+            a: gen::laplace3d(32, 32, 32, gen::Stencil3d::SevenPoint),
+            desc: "3-D Poisson 32^3",
+        },
+        Problem {
+            name: "elas-14",
+            a: gen::elasticity3d(14, 14, 14),
+            desc: "3-D elasticity 14^3 (3 dof/node)",
+        },
+    ]
+}
+
+/// Simple fixed-width table printer that doubles as a CSV writer.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        for (c, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", h, w = widths[c]);
+        }
+        out.push('\n');
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * ncol));
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", cell, w = widths[c]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write `results/<id>.csv`.
+    pub fn save_csv(&self, id: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{id}.csv"));
+        let mut text = self.headers.join(",");
+        text.push('\n');
+        for row in &self.rows {
+            text.push_str(&row.join(","));
+            text.push('\n');
+        }
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+
+    /// Print the table and save the CSV.
+    pub fn emit(&self, id: &str) {
+        println!("{}", self.render());
+        match self.save_csv(id) {
+            Ok(p) => println!("  [csv -> {}]\n", p.display()),
+            Err(e) => println!("  [csv write failed: {e}]\n"),
+        }
+    }
+}
+
+/// Format seconds with a sensible unit.
+pub fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Format a byte count.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("bb"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_time(2.5), "2.50s");
+        assert_eq!(fmt_time(0.0025), "2.50ms");
+        assert_eq!(fmt_time(2.5e-5), "25.0us");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert!(fmt_bytes(3 << 20).contains("MiB"));
+    }
+}

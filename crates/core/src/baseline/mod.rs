@@ -1,0 +1,12 @@
+//! Baseline algorithms the multifrontal method is measured against.
+//!
+//! - [`leftlook`] — sequential left-looking simplicial Cholesky: the
+//!   textbook column algorithm, used as an independent correctness oracle
+//!   and as the sequential baseline in the phase-breakdown tables;
+//! - [`fanout`] — the classic distributed **fan-out** column Cholesky:
+//!   fine-grained column messages, the algorithm generation the paper's
+//!   multifrontal approach displaced. Its per-column messaging drowns in
+//!   latency as ranks grow — exactly the scaling contrast EXP-F1 shows.
+
+pub mod fanout;
+pub mod leftlook;

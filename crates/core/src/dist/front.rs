@@ -1,0 +1,346 @@
+//! Block-cyclic distributed frontal matrices and their partial Cholesky.
+//!
+//! A distributed front of order `f` is cut into `nb x nb` blocks; block
+//! `(bi, bj)` (lower triangle only) lives on grid position
+//! `(bi mod pr, bj mod pc)` of the supernode's `pr x pc` process grid. The
+//! partial factorization is the classic right-looking panel algorithm with
+//! two broadcast phases per panel (row-wise panel broadcast, column-wise
+//! broadcast of the transposed operand) — the ScaLAPACK `pdpotrf` pattern,
+//! with `pr == 1` degenerating to the 1-D column layout the paper's method
+//! outgrew.
+//!
+//! Panel boundaries equal the sequential kernel's (`nb == chol::NB` by
+//! default) and per-entry accumulation order is preserved, so a distributed
+//! factor matches the sequential factor **bitwise**.
+
+use parfact_dense::blas::trsm_right_lt;
+use parfact_dense::chol;
+use parfact_mpsim::collective::{bcast, Group};
+use parfact_mpsim::Rank;
+use std::collections::BTreeMap;
+
+use crate::error::FactorError;
+
+/// Message-tag phases, combined with the supernode id by [`tag`].
+pub const PHASE_L11: u64 = 1;
+pub const PHASE_ROWCAST: u64 = 2;
+pub const PHASE_COLCAST: u64 = 3;
+
+/// A front distributed block-cyclically over a process grid.
+pub struct DistFront {
+    /// Supernode id (tag namespace).
+    pub s: usize,
+    /// Front order and pivot count.
+    pub f: usize,
+    pub w: usize,
+    /// Grid shape, block size, first rank of the group.
+    pub pr: usize,
+    pub pc: usize,
+    pub nb: usize,
+    pub lo: usize,
+    /// This rank's grid position.
+    pub my: (usize, usize),
+    /// Owned lower blocks, keyed `(bi, bj)`, column-major `m_bi x n_bj`.
+    pub blocks: BTreeMap<(usize, usize), Vec<f64>>,
+}
+
+impl DistFront {
+    /// Create the (zeroed) owned blocks of this rank, reporting the
+    /// allocation to the cost model.
+    pub fn new(
+        s: usize,
+        f: usize,
+        w: usize,
+        pr: usize,
+        pc: usize,
+        nb: usize,
+        lo: usize,
+        rank: &mut Rank,
+    ) -> Self {
+        let me = rank.rank();
+        debug_assert!(me >= lo && me < lo + pr * pc);
+        let rel = me - lo;
+        let my = (rel / pc, rel % pc);
+        let nblk = f.div_ceil(nb);
+        let mut blocks = BTreeMap::new();
+        let mut bytes = 0usize;
+        for bi in 0..nblk {
+            for bj in 0..=bi {
+                if (bi % pr, bj % pc) == my {
+                    let m = nb.min(f - bi * nb);
+                    let n = nb.min(f - bj * nb);
+                    blocks.insert((bi, bj), vec![0.0f64; m * n]);
+                    bytes += m * n * 8;
+                }
+            }
+        }
+        rank.alloc(bytes);
+        DistFront {
+            s,
+            f,
+            w,
+            pr,
+            pc,
+            nb,
+            lo,
+            my,
+            blocks,
+        }
+    }
+
+    /// Number of block rows/cols.
+    pub fn nblk(&self) -> usize {
+        self.f.div_ceil(self.nb)
+    }
+
+    /// Rows in block-row `bi`.
+    pub fn mrows(&self, bi: usize) -> usize {
+        self.nb.min(self.f - bi * self.nb)
+    }
+
+    /// Machine rank at grid position `(gr, gc)`.
+    pub fn rank_at(&self, gr: usize, gc: usize) -> usize {
+        self.lo + gr * self.pc + gc
+    }
+
+    /// Machine rank owning block `(bi, bj)`.
+    pub fn owner(&self, bi: usize, bj: usize) -> usize {
+        self.rank_at(bi % self.pr, bj % self.pc)
+    }
+
+    /// Total bytes currently held in owned blocks.
+    pub fn bytes(&self) -> usize {
+        self.blocks.values().map(|b| b.len() * 8).sum()
+    }
+
+    /// Add `v` into front-local entry `(li, lj)` (must be owned and lower).
+    #[inline]
+    pub fn add(&mut self, li: usize, lj: usize, v: f64) {
+        debug_assert!(li >= lj && li < self.f);
+        let (bi, bj) = (li / self.nb, lj / self.nb);
+        let m = self.mrows(bi);
+        let blk = self
+            .blocks
+            .get_mut(&(bi, bj))
+            .expect("add() to unowned block");
+        blk[(lj - bj * self.nb) * m + (li - bi * self.nb)] += v;
+    }
+
+    /// True when this rank owns the block containing `(li, lj)`.
+    #[inline]
+    pub fn owns_entry(&self, li: usize, lj: usize) -> bool {
+        let (bi, bj) = (li / self.nb, lj / self.nb);
+        (bi % self.pr, bj % self.pc) == self.my
+    }
+
+    /// Distributed right-looking partial Cholesky of the leading `w`
+    /// columns: per panel, factor the diagonal block, scale the panel,
+    /// broadcast the pieces row-wise and the transposed operands
+    /// column-wise (binomial trees), then apply the trailing update. The
+    /// structure supports deferring the drain across panels (lookahead) via
+    /// `pending`, but eager draining measured faster on the α-β model and
+    /// is the default — see DESIGN.md "Implementation findings".
+    /// Per-entry accumulation order matches the sequential kernel exactly
+    /// (ascending panels), so results are bitwise identical to it.
+    ///
+    /// `col_base` converts pivot indices into matrix columns for error
+    /// reporting. Every rank of the grid must call this.
+    pub fn factorize(&mut self, rank: &mut Rank, col_base: usize) -> Result<(), FactorError> {
+        let (nb, pr, pc, w) = (self.nb, self.pr, self.pc, self.w);
+        let nblk = self.nblk();
+        let npanels = w.div_ceil(nb);
+        let t_l11 = tag(self.s, PHASE_L11);
+        let t_row = tag(self.s, PHASE_ROWCAST);
+        let t_col = tag(self.s, PHASE_COLCAST);
+        // Binomial-tree communicators along my grid row and column.
+        let my_row_group = Group::new((0..pc).map(|gc| self.rank_at(self.my.0, gc)).collect());
+        let my_col_group = Group::new((0..pr).map(|gr| self.rank_at(gr, self.my.1)).collect());
+        // The not-yet-drained previous panel (lookahead window of 1).
+        let mut pending: Option<PanelPieces> = None;
+        for bk in 0..npanels {
+            let k0 = bk * nb;
+            let jb = nb.min(w - k0);
+            let (br, bc) = (bk % pr, bk % pc);
+            let m_bk = self.mrows(bk);
+
+            // --- A. Bring this panel's block column current. (With eager
+            // draining `pending` is always empty here; the hook remains for
+            // experimenting with lookahead depths.) ---
+            if let Some(p) = &pending {
+                self.apply_panel(p, rank, |bj| bj == bk);
+            }
+
+            // --- B1. Diagonal block: factor its leading jb columns, then
+            // broadcast L11 down the panel's grid column. ---
+            let mut l11: Vec<f64> = Vec::new();
+            if self.my == (br, bc) {
+                let blk = self.blocks.get_mut(&(bk, bk)).expect("diag block");
+                chol::partial_potrf(m_bk, jb, blk, m_bk)
+                    .map_err(|e| FactorError::from_dense(e, col_base + k0))?;
+                rank.compute(flops_partial(m_bk, jb));
+                // Compact copy of the jb x jb lower L11.
+                l11 = vec![0.0; jb * jb];
+                for t in 0..jb {
+                    for i in t..jb {
+                        l11[t * jb + i] = blk[t * m_bk + i];
+                    }
+                }
+            }
+            if self.my.1 == bc && pr > 1 {
+                let root = if self.my == (br, bc) { Some(l11) } else { None };
+                l11 = bcast(rank, &my_col_group, br, root, t_l11);
+            }
+
+            // --- B2. Panel scaling: L21 = A21 L11^{-T} on grid column bc. ---
+            if self.my.1 == bc {
+                for bi in bk + 1..nblk {
+                    if bi % pr != self.my.0 {
+                        continue;
+                    }
+                    let m = self.mrows(bi);
+                    let blk = self.blocks.get_mut(&(bi, bk)).expect("panel block");
+                    trsm_right_lt(m, jb, &l11, jb, blk, m);
+                    rank.compute((m * jb * jb) as f64);
+                }
+            }
+
+            // --- B3. Row-wise broadcast of panel pieces (binomial within
+            // each grid row): arows[bi - bk] = first jb columns of block
+            // (bi, bk), for every block row bi congruent to my grid row. ---
+            let mut arows: Vec<Option<Vec<f64>>> = vec![None; nblk - bk];
+            for bi in bk..nblk {
+                if bi % pr != self.my.0 {
+                    continue;
+                }
+                let piece = if pc == 1 {
+                    let m = self.mrows(bi);
+                    let blk = self.blocks.get(&(bi, bk)).expect("panel block");
+                    blk[..jb * m].to_vec()
+                } else {
+                    let root = if self.my.1 == bc {
+                        let m = self.mrows(bi);
+                        let blk = self.blocks.get(&(bi, bk)).expect("panel block");
+                        Some(blk[..jb * m].to_vec())
+                    } else {
+                        None
+                    };
+                    bcast(rank, &my_row_group, bc, root, t_row)
+                };
+                arows[bi - bk] = Some(piece);
+            }
+
+            // --- B4. Column-wise broadcast of transposed operands (binomial
+            // within each grid column): bops[bj - bk] = panel piece of block
+            // row bj, for grid column bj % pc. ---
+            let mut bops: Vec<Option<Vec<f64>>> = vec![None; nblk - bk];
+            for bj in bk..nblk {
+                let (sr, sc) = (bj % pr, bj % pc);
+                if self.my.1 != sc {
+                    continue;
+                }
+                let piece = if pr == 1 {
+                    arows[bj - bk].clone().expect("source lacks panel piece")
+                } else {
+                    let root = if self.my.0 == sr {
+                        Some(arows[bj - bk].clone().expect("source lacks panel piece"))
+                    } else {
+                        None
+                    };
+                    bcast(rank, &my_col_group, sr, root, t_col)
+                };
+                bops[bj - bk] = Some(piece);
+            }
+
+            // --- C. Drain this panel eagerly. Lookahead variants (keeping
+            // the drain pending across iterations) measured *slower* on the
+            // simulated machine: the binomial forwarding ranks end up on the
+            // critical path either way, and deferred drains lengthen it.
+            let current = PanelPieces {
+                bk,
+                jb,
+                arows,
+                bops,
+            };
+            self.apply_panel(&current, rank, |_| true);
+            pending = None;
+        }
+        if let Some(p) = pending.take() {
+            self.apply_panel(&p, rank, |_| true);
+        }
+        Ok(())
+    }
+
+    /// Apply one panel's trailing update to every owned block whose block
+    /// column satisfies `keep` (and is at or right of the panel). The panel
+    /// block-column only updates its columns beyond the pivot part; the
+    /// diagonal block of the panel was already updated inside its
+    /// `partial_potrf`.
+    fn apply_panel(&mut self, p: &PanelPieces, rank: &mut Rank, keep: impl Fn(usize) -> bool) {
+        let (nb, f) = (self.nb, self.f);
+        let bk = p.bk;
+        let jb = p.jb;
+        let mut flops = 0usize;
+        for (&(bi, bj), blk) in self.blocks.iter_mut() {
+            if bj < bk || !keep(bj) {
+                continue;
+            }
+            if bi == bk && bj == bk {
+                continue; // handled inside the diagonal partial_potrf
+            }
+            let m_bi = nb.min(f - bi * nb);
+            let n_bj = nb.min(f - bj * nb);
+            let m_bj = n_bj;
+            let jc0 = if bj == bk { jb } else { 0 };
+            if jc0 >= n_bj {
+                continue;
+            }
+            let a = p.arows[bi - bk].as_deref().expect("missing A operand");
+            let b = p.bops[bj - bk].as_deref().expect("missing B operand");
+            for jc in jc0..n_bj {
+                // Row start: lower triangle within diagonal blocks.
+                let i0 = if bi == bj { jc } else { 0 };
+                let col = &mut blk[jc * m_bi..(jc + 1) * m_bi];
+                for t in 0..jb {
+                    let w_t = b[t * m_bj + jc];
+                    if w_t == 0.0 {
+                        continue;
+                    }
+                    let asrc = &a[t * m_bi..(t + 1) * m_bi];
+                    for i in i0..m_bi {
+                        col[i] -= asrc[i] * w_t;
+                    }
+                }
+                // Charge per column so diagonal blocks (which only compute
+                // their lower triangle) are not overcounted.
+                flops += 2 * (m_bi - i0) * jb;
+            }
+        }
+        rank.compute(flops as f64);
+    }
+}
+
+/// One panel's broadcast pieces, kept alive by the lookahead window.
+struct PanelPieces {
+    bk: usize,
+    jb: usize,
+    arows: Vec<Option<Vec<f64>>>,
+    bops: Vec<Option<Vec<f64>>>,
+}
+
+/// Tag for `(supernode, phase)` — phases within a supernode are disjoint,
+/// and supernode ids never repeat across the run.
+pub fn tag(s: usize, phase: u64) -> u64 {
+    (s as u64) * 16 + phase
+}
+
+/// Flop count of a partial factorization of `npiv` columns in an
+/// `m`-order block: `Σ_k (m-k)²`, the classic LAPACK convention that counts
+/// multiplies and adds separately (`n³/3` for full dense Cholesky).
+pub fn flops_partial(m: usize, npiv: usize) -> f64 {
+    let mut fl = 0.0;
+    for k in 0..npiv {
+        let len = m - k;
+        fl += (len * len) as f64;
+    }
+    fl
+}

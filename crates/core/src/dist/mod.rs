@@ -1,0 +1,869 @@
+//! Distributed-memory multifrontal factorization on the machine simulator.
+//!
+//! Every rank runs [`factorize_rank`] (SPMD). Supernodes mapped to a single
+//! rank (the local subtrees produced by subtree-to-subcube mapping) are
+//! factored with the sequential kernel; supernodes mapped to a rank group
+//! are factored as block-cyclic [`front::DistFront`]s. Between fronts, the
+//! **parallel extend-add** routes every Schur-complement entry from the
+//! ranks that computed it to the ranks that own its position in the parent
+//! front, as point-to-point messages.
+//!
+//! The input matrix and the symbolic analysis are replicated (read-only)
+//! across ranks — in a production code `A` would be distributed, but that
+//! affects none of the algorithms under study; fronts and factor blocks,
+//! which dominate memory, are fully distributed and tracked per rank.
+
+pub mod front;
+pub mod solve;
+
+use crate::error::FactorError;
+use crate::factor::{Factor, FactorKind};
+use crate::frontal::{
+    assemble_front, extract_panel, extract_update, FrontScatter, UpdateMatrix,
+};
+use crate::mapping::{Layout, Mapping};
+use front::DistFront;
+use parfact_dense::chol;
+use parfact_mpsim::Rank;
+use parfact_sparse::csc::CscMatrix;
+use parfact_sparse::perm::Perm;
+use parfact_symbolic::{Symbolic, NONE};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Extend-add message tag: the namespace is per *child* (sender side), so
+/// concurrent children of one parent cannot collide.
+fn ext_tag(child: usize) -> u64 {
+    (child as u64) * 16 + 7
+}
+
+/// Per-rank factor state after a distributed factorization.
+pub struct RankFactor {
+    /// Panels of locally-factored supernodes (`f x w`, same layout as
+    /// [`Factor::blocks`]).
+    pub local_panels: HashMap<usize, Vec<f64>>,
+    /// Owned blocks of distributed supernodes (pivot columns retained).
+    pub dist_blocks: HashMap<usize, DistFront>,
+}
+
+impl RankFactor {
+    /// Bytes of factor data held by this rank (pivot columns only for
+    /// distributed supernodes).
+    pub fn factor_bytes(&self, sym: &Symbolic) -> usize {
+        let mut b = 0usize;
+        for (s, p) in &self.local_panels {
+            let _ = s;
+            b += p.len() * 8;
+        }
+        for (s, df) in &self.dist_blocks {
+            let w = sym.sn_width(*s);
+            for (&(bi, bj), blk) in &df.blocks {
+                let _ = bi;
+                if bj * df.nb < w {
+                    b += blk.len() * 8;
+                }
+            }
+        }
+        b
+    }
+}
+
+/// One extend-add contribution list headed to a single rank: **values
+/// only**, in the canonical enumeration order both sides can regenerate.
+type ExtBuf = Vec<f64>;
+
+/// The SPMD factorization program. All ranks call this with identical
+/// (replicated) `ap`, `sym`, `map`. Only `FactorKind::Llt` is supported
+/// distributed (the paper's SPD scaling study); use the SMP/seq engines for
+/// LDLᵀ.
+pub fn factorize_rank(
+    rank: &mut Rank,
+    ap: &CscMatrix,
+    sym: &Symbolic,
+    map: &Mapping,
+) -> Result<RankFactor, FactorError> {
+    let me = rank.rank();
+    let nsuper = sym.nsuper();
+    let mut out = RankFactor {
+        local_panels: HashMap::new(),
+        dist_blocks: HashMap::new(),
+    };
+    // Updates of locally-factored supernodes awaiting a local parent.
+    let mut local_updates: HashMap<usize, UpdateMatrix> = HashMap::new();
+    // Extend-add contributions this rank stashed for itself (dest == self).
+    let mut self_stash: HashMap<u64, ExtBuf> = HashMap::new();
+    let mut scatter = FrontScatter::new(sym.n);
+    let mut front_buf: Vec<f64> = Vec::new();
+
+    for s in 0..nsuper {
+        if !map.participates(s, me) {
+            continue;
+        }
+        let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+        let w = c1 - c0;
+        let f = sym.front_order(s);
+        let parent = sym.tree.parent[s];
+        match map.layout[s] {
+            Layout::Local => {
+                // Children of a local supernode are local on this rank.
+                let child_updates: Vec<UpdateMatrix> = sym.tree.children[s]
+                    .iter()
+                    .map(|&c| local_updates.remove(&c).expect("local child update"))
+                    .collect();
+                let refs: Vec<&UpdateMatrix> = child_updates.iter().collect();
+                rank.alloc(f * f * 8);
+                assemble_front(ap, sym, s, &mut scatter, &refs, &mut front_buf);
+                rank.compute(assembly_flops(&child_updates));
+                chol::partial_potrf(f, w, &mut front_buf, f)
+                    .map_err(|e| FactorError::from_dense(e, c0))?;
+                rank.compute(front::flops_partial(f, w));
+                let panel = extract_panel(&front_buf, f, w);
+                rank.alloc(panel.len() * 8);
+                out.local_panels.insert(s, panel);
+                if f > w {
+                    let upd = extract_update(sym, s, &front_buf, f);
+                    route_update(rank, sym, map, s, parent, upd, &mut local_updates, &mut self_stash);
+                }
+                rank.free(f * f * 8);
+            }
+            Layout::Grid { pr, pc, nb } => {
+                let lo = map.group[s].0;
+                let mut df = DistFront::new(s, f, w, pr, pc, nb, lo, rank);
+                // Assemble my share of the original-matrix entries.
+                scatter.set(sym, s);
+                let mut nassemble = 0usize;
+                for c in c0..c1 {
+                    let (rows, vals) = ap.col(c);
+                    let lj = c - c0;
+                    for (&r, &v) in rows.iter().zip(vals) {
+                        let li = scatter.local(r);
+                        if df.owns_entry(li, lj) {
+                            df.add(li, lj, v);
+                            nassemble += 1;
+                        }
+                    }
+                }
+                rank.compute(nassemble as f64);
+                // Receive extend-add contributions: one message from every
+                // rank of every child's group (children in ascending order,
+                // sources in group order — deterministic accumulation).
+                for &c in &sym.tree.children[s] {
+                    let (clo, chi) = map.group[c];
+                    let plocal =
+                        parent_local_map(sym, s, &sym.sn_rows[c], w, c0);
+                    for q in clo..chi {
+                        let vals = if q == me {
+                            self_stash.remove(&ext_tag(c)).unwrap_or_default()
+                        } else {
+                            rank.recv::<ExtBuf>(q, ext_tag(c))
+                        };
+                        // Walk q's canonical coordinate stream; my share of
+                        // the values arrives in exactly that order.
+                        let mut next = 0usize;
+                        enumerate_child_schur_coords(sym, map, c, q, |i_idx, j_idx| {
+                            // plocal is monotone, so i_idx >= j_idx keeps
+                            // (gi, gj) in the lower triangle.
+                            let (gi, gj) = (plocal[i_idx], plocal[j_idx]);
+                            if df.owns_entry(gi, gj) {
+                                df.add(gi, gj, vals[next]);
+                                next += 1;
+                            }
+                        });
+                        debug_assert_eq!(next, vals.len(), "extend-add stream mismatch");
+                        rank.compute(vals.len() as f64);
+                    }
+                }
+                // Distributed partial factorization.
+                df.factorize(rank, c0)?;
+                // Ship the Schur complement to the parent.
+                if f > w && parent != NONE {
+                    send_dist_update(rank, sym, map, s, parent, &df, &mut self_stash);
+                }
+                // Retain pivot blocks; release pure-Schur blocks.
+                let released = release_schur_blocks(&mut df);
+                rank.free(released);
+                out.dist_blocks.insert(s, df);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Approximate assembly cost: one add per update entry.
+fn assembly_flops(updates: &[UpdateMatrix]) -> f64 {
+    updates
+        .iter()
+        .map(|u| (u.order() * (u.order() + 1) / 2) as f64)
+        .sum()
+}
+
+/// Route a locally-computed update matrix toward the parent supernode.
+///
+/// Extend-add messages carry **values only**: the coordinate stream is
+/// deterministic (canonical enumeration order shared by sender and
+/// receiver), so indices never go on the wire.
+#[allow(clippy::too_many_arguments)]
+fn route_update(
+    rank: &mut Rank,
+    sym: &Symbolic,
+    map: &Mapping,
+    s: usize,
+    parent: usize,
+    upd: UpdateMatrix,
+    local_updates: &mut HashMap<usize, UpdateMatrix>,
+    self_stash: &mut HashMap<u64, ExtBuf>,
+) {
+    debug_assert_ne!(parent, NONE);
+    match map.layout[parent] {
+        Layout::Local => {
+            // Parent runs on this same rank (nested ranges).
+            local_updates.insert(s, upd);
+        }
+        Layout::Grid { pr, pc, nb } => {
+            let (plo, _) = map.group[parent];
+            let plocal = parent_local_map(sym, parent, &upd.rows, sym.sn_width(parent), sym.sn_ptr[parent]);
+            let np = pr * pc;
+            let mut bufs: Vec<ExtBuf> = vec![Default::default(); np];
+            let r = upd.order();
+            // Canonical order for a local child: column-major lower.
+            for j in 0..r {
+                let lj = plocal[j];
+                for i in j..r {
+                    let li = plocal[i];
+                    let (bi, bj) = (li / nb, lj / nb);
+                    let rel = (bi % pr) * pc + (bj % pc);
+                    bufs[rel].push(upd.data[j * r + i]);
+                }
+            }
+            for (rel, buf) in bufs.into_iter().enumerate() {
+                let dst = plo + rel;
+                if dst == rank.rank() {
+                    self_stash.insert(ext_tag(s), buf);
+                } else {
+                    rank.send(dst, ext_tag(s), buf);
+                }
+            }
+        }
+    }
+}
+
+/// Send a distributed front's Schur entries to the parent's owners
+/// (values only; coordinates are regenerated by the receiver).
+fn send_dist_update(
+    rank: &mut Rank,
+    sym: &Symbolic,
+    map: &Mapping,
+    s: usize,
+    parent: usize,
+    df: &DistFront,
+    self_stash: &mut HashMap<u64, ExtBuf>,
+) {
+    let w = df.w;
+    let rows = &sym.sn_rows[s];
+    let plocal = parent_local_map(sym, parent, rows, sym.sn_width(parent), sym.sn_ptr[parent]);
+    match map.layout[parent] {
+        Layout::Local => {
+            // Nested rank groups make this impossible: a parent's group
+            // contains the child's, so it cannot be smaller.
+            unreachable!("a distributed front cannot have a single-rank parent");
+        }
+        Layout::Grid { pr, pc, nb } => {
+            let (plo, _) = map.group[parent];
+            let np = pr * pc;
+            let mut bufs: Vec<ExtBuf> = vec![Default::default(); np];
+            for_each_schur_entry(df, w, |li, lj, v| {
+                let (gi, gj) = (plocal[li - w], plocal[lj - w]);
+                let (bi, bj) = (gi / nb, gj / nb);
+                let rel = (bi % pr) * pc + (bj % pc);
+                bufs[rel].push(v);
+            });
+            for (rel, buf) in bufs.into_iter().enumerate() {
+                let dst = plo + rel;
+                if dst == rank.rank() {
+                    self_stash.insert(ext_tag(s), buf);
+                } else {
+                    rank.send(dst, ext_tag(s), buf);
+                }
+            }
+        }
+    }
+}
+
+/// Enumerate the canonical Schur coordinate stream of a *child* as held by
+/// machine rank `q` — the receiver-side mirror of the senders above. Emits
+/// indices into the child's `sn_rows` (so `(i_idx, j_idx)` with
+/// `i_idx >= j_idx`).
+fn enumerate_child_schur_coords(
+    sym: &Symbolic,
+    map: &Mapping,
+    child: usize,
+    q: usize,
+    mut cb: impl FnMut(usize, usize),
+) {
+    let w = sym.sn_width(child);
+    let f = sym.front_order(child);
+    match map.layout[child] {
+        Layout::Local => {
+            let r = f - w;
+            for j in 0..r {
+                for i in j..r {
+                    cb(i, j);
+                }
+            }
+        }
+        Layout::Grid { pr, pc, nb } => {
+            let lo = map.group[child].0;
+            let rel = q - lo;
+            let my = (rel / pc, rel % pc);
+            let nblk = f.div_ceil(nb);
+            for bi in 0..nblk {
+                for bj in 0..=bi {
+                    if (bi % pr, bj % pc) != my {
+                        continue;
+                    }
+                    let m_bi = nb.min(f - bi * nb);
+                    let n_bj = nb.min(f - bj * nb);
+                    let (r0, c0) = (bi * nb, bj * nb);
+                    if r0 + m_bi <= w {
+                        continue;
+                    }
+                    for jc in 0..n_bj {
+                        let lj = c0 + jc;
+                        if lj < w {
+                            continue;
+                        }
+                        let i0 = if bi == bj { jc } else { 0 };
+                        for i in i0..m_bi {
+                            let li = r0 + i;
+                            if li < w {
+                                continue;
+                            }
+                            cb(li - w, lj - w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Enumerate a distributed front's Schur entries (`li, lj >= w`) in
+/// deterministic (block-sorted, column-major) order. Extend-add receivers
+/// expect exactly one message per child rank, so senders always emit a
+/// buffer for every destination — empty if this rank computed nothing.
+fn for_each_schur_entry(df: &DistFront, w: usize, mut f: impl FnMut(usize, usize, f64)) {
+    let nb = df.nb;
+    for (&(bi, bj), blk) in &df.blocks {
+        let m_bi = df.mrows(bi);
+        let n_bj = df.mrows(bj);
+        let (r0, c0) = (bi * nb, bj * nb);
+        if r0 + m_bi <= w {
+            continue; // entirely in the pivot region (li < w)
+        }
+        for jc in 0..n_bj {
+            let lj = c0 + jc;
+            if lj < w {
+                continue;
+            }
+            let i0 = if bi == bj { jc } else { 0 };
+            for i in i0..m_bi {
+                let li = r0 + i;
+                if li < w {
+                    continue;
+                }
+                f(li, lj, blk[jc * m_bi + i]);
+            }
+        }
+    }
+}
+
+/// Map child rows to parent-front-local indices.
+fn parent_local_map(
+    sym: &Symbolic,
+    parent: usize,
+    rows: &[usize],
+    pw: usize,
+    pc0: usize,
+) -> Vec<usize> {
+    rows.iter()
+        .map(|&r| {
+            if r < pc0 + pw {
+                debug_assert!(r >= pc0);
+                r - pc0
+            } else {
+                pw + sym.sn_rows[parent]
+                    .binary_search(&r)
+                    .expect("child row missing from parent structure")
+            }
+        })
+        .collect()
+}
+
+/// Drop blocks that contain no pivot column (pure Schur blocks) after the
+/// update has been shipped; returns released bytes.
+fn release_schur_blocks(df: &mut DistFront) -> usize {
+    let w = df.w;
+    let nb = df.nb;
+    let mut released = 0usize;
+    df.blocks.retain(|&(_bi, bj), blk| {
+        if bj * nb >= w {
+            released += blk.len() * 8;
+            false
+        } else {
+            true
+        }
+    });
+    released
+}
+
+/// Indexed triplet buffer used only by the verification gather.
+type GatherBuf = (Vec<u32>, Vec<f64>);
+
+/// Gather a distributed factor onto machine rank 0 as an ordinary
+/// [`Factor`] (verification and solve-on-root). Returns `Some` on rank 0.
+pub fn gather_factor(
+    rank: &mut Rank,
+    sym: &Arc<Symbolic>,
+    map: &Mapping,
+    rf: &RankFactor,
+    perm: Perm,
+) -> Option<Factor> {
+    const TAG_GATHER: u64 = 6;
+    let me = rank.rank();
+    let nsuper = sym.nsuper();
+    if me != 0 {
+        for s in 0..nsuper {
+            if !map.participates(s, me) {
+                continue;
+            }
+            match map.layout[s] {
+                Layout::Local => {
+                    let panel = &rf.local_panels[&s];
+                    rank.send(0, front::tag(s, TAG_GATHER), panel.clone());
+                }
+                Layout::Grid { nb, .. } => {
+                    let df = &rf.dist_blocks[&s];
+                    let w = sym.sn_width(s);
+                    let mut buf: GatherBuf = Default::default();
+                    for (&(bi, bj), blk) in &df.blocks {
+                        if bj * nb >= w {
+                            continue;
+                        }
+                        let m_bi = df.mrows(bi);
+                        let n_bj = df.mrows(bj);
+                        for jc in 0..n_bj.min(w - bj * nb) {
+                            let lj = bj * nb + jc;
+                            let i0 = if bi == bj { jc } else { 0 };
+                            for i in i0..m_bi {
+                                let li = bi * nb + i;
+                                if li < lj {
+                                    continue;
+                                }
+                                buf.0.push(li as u32);
+                                buf.0.push(lj as u32);
+                                buf.1.push(blk[jc * m_bi + i]);
+                            }
+                        }
+                    }
+                    rank.send(0, front::tag(s, TAG_GATHER), buf);
+                }
+            }
+        }
+        return None;
+    }
+    // Rank 0: assemble every panel.
+    let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); nsuper];
+    for s in 0..nsuper {
+        let f = sym.front_order(s);
+        let w = sym.sn_width(s);
+        match map.layout[s] {
+            Layout::Local => {
+                let owner = map.group[s].0;
+                blocks[s] = if owner == 0 {
+                    rf.local_panels[&s].clone()
+                } else {
+                    rank.recv::<Vec<f64>>(owner, front::tag(s, TAG_GATHER))
+                };
+            }
+            Layout::Grid { .. } => {
+                let (lo, hi) = map.group[s];
+                let mut panel = vec![0.0f64; f * w];
+                for q in lo..hi {
+                    let (idx, vals) = if q == 0 {
+                        let df = &rf.dist_blocks[&s];
+                        let mut buf: GatherBuf = Default::default();
+                        let nb = df.nb;
+                        for (&(bi, bj), blk) in &df.blocks {
+                            if bj * nb >= w {
+                                continue;
+                            }
+                            let m_bi = df.mrows(bi);
+                            let n_bj = df.mrows(bj);
+                            for jc in 0..n_bj.min(w - bj * nb) {
+                                let lj = bj * nb + jc;
+                                let i0 = if bi == bj { jc } else { 0 };
+                                for i in i0..m_bi {
+                                    let li = bi * nb + i;
+                                    if li < lj {
+                                        continue;
+                                    }
+                                    buf.0.push(li as u32);
+                                    buf.0.push(lj as u32);
+                                    buf.1.push(blk[jc * m_bi + i]);
+                                }
+                            }
+                        }
+                        buf
+                    } else {
+                        rank.recv::<GatherBuf>(q, front::tag(s, TAG_GATHER))
+                    };
+                    for (k, &v) in vals.iter().enumerate() {
+                        panel[idx[2 * k + 1] as usize * f + idx[2 * k] as usize] = v;
+                    }
+                }
+                blocks[s] = panel;
+            }
+        }
+    }
+    Some(Factor {
+        sym: Arc::clone(sym),
+        kind: FactorKind::Llt,
+        blocks,
+        d: Vec::new(),
+        perm,
+    })
+}
+
+/// Everything a distributed run produces, with per-phase *simulated* times.
+pub struct DistOutcome {
+    /// The factor gathered to rank 0 (verification / host-side solve).
+    pub factor: Factor,
+    /// Solution of `A x = b` in the original index space (when `b` given).
+    pub x: Option<Vec<f64>>,
+    /// Simulated numeric-factorization makespan (seconds).
+    pub factor_time_s: f64,
+    /// Simulated triangular-solve makespan (seconds).
+    pub solve_time_s: f64,
+    /// Per-rank statistics snapshotted after the solve (gather traffic for
+    /// verification is excluded).
+    pub stats: Vec<parfact_mpsim::RankStats>,
+    /// Max per-rank factor bytes held at the end.
+    pub max_factor_bytes: usize,
+    /// Total flops across ranks during factorization.
+    pub total_flops: f64,
+}
+
+impl DistOutcome {
+    /// Modelled factorization Gflop/s over the makespan.
+    pub fn factor_gflops(&self) -> f64 {
+        if self.factor_time_s > 0.0 {
+            self.total_flops / self.factor_time_s / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Max per-rank peak tracked memory (fronts + factor), bytes.
+    pub fn max_mem_peak(&self) -> u64 {
+        self.stats.iter().map(|s| s.mem_peak).max().unwrap_or(0)
+    }
+}
+
+/// Run ordering + analysis on the host, then factor (and optionally solve)
+/// on a simulated `p`-rank machine. Panics if the matrix is not SPD — the
+/// distributed engine is `LLᵀ` only, mirroring the paper's SPD scaling
+/// study.
+pub fn run_distributed(
+    p: usize,
+    model: parfact_mpsim::model::CostModel,
+    a: &CscMatrix,
+    ordering: parfact_order::Method,
+    amalg: &parfact_symbolic::AmalgOpts,
+    strategy: crate::mapping::MapStrategy,
+    b: Option<&[f64]>,
+) -> DistOutcome {
+    let (sym, ap, total_perm) = prepare(a, ordering, amalg);
+    run_distributed_prepared(p, model, &ap, &sym, &total_perm, strategy, b)
+}
+
+/// Host-side ordering + symbolic analysis, reusable across rank counts.
+pub fn prepare(
+    a: &CscMatrix,
+    ordering: parfact_order::Method,
+    amalg: &parfact_symbolic::AmalgOpts,
+) -> (Arc<Symbolic>, CscMatrix, Perm) {
+    let fill = parfact_order::order_matrix(a, ordering);
+    let af = fill.apply_sym_lower(a);
+    let (sym, ap) = parfact_symbolic::analyze(&af, amalg);
+    let total_perm = sym.post.compose(&fill);
+    (Arc::new(sym), ap, total_perm)
+}
+
+/// Factor (and optionally solve) a prepared problem on a simulated
+/// `p`-rank machine. See [`run_distributed`].
+pub fn run_distributed_prepared(
+    p: usize,
+    model: parfact_mpsim::model::CostModel,
+    ap: &CscMatrix,
+    sym: &Arc<Symbolic>,
+    total_perm: &Perm,
+    strategy: crate::mapping::MapStrategy,
+    b: Option<&[f64]>,
+) -> DistOutcome {
+    use parfact_mpsim::Machine;
+    let map = crate::mapping::map_tree(sym, p, strategy);
+    assert!(map.validate(sym), "invalid mapping");
+    let bp = b.map(|b| total_perm.apply_vec(b));
+
+    type RankOut = (
+        f64,
+        f64,
+        parfact_mpsim::RankStats,
+        usize,
+        Option<Factor>,
+        Option<Vec<f64>>,
+    );
+    let report = Machine::new(p, model).run(|rank| -> RankOut {
+        let rf = factorize_rank(rank, ap, sym, &map)
+            .unwrap_or_else(|e| panic!("distributed factorization failed: {e}"));
+        let t_factor = rank.clock();
+        let xp = bp
+            .as_ref()
+            .and_then(|bp| solve::solve_rank(rank, sym, &map, &rf, bp));
+        let t_solve = rank.clock() - t_factor;
+        let stats = rank.stats();
+        let fbytes = rf.factor_bytes(sym);
+        // Verification gather happens after the timestamps above.
+        let factor = gather_factor(rank, sym, &map, &rf, total_perm.clone());
+        let x = xp.map(|xp| total_perm.apply_inv_vec(&xp));
+        (t_factor, t_solve, stats, fbytes, factor, x)
+    });
+    let factor_time_s = report
+        .results
+        .iter()
+        .fold(0.0f64, |m, r| m.max(r.0));
+    let solve_time_s = report.results.iter().fold(0.0f64, |m, r| m.max(r.1));
+    let stats: Vec<parfact_mpsim::RankStats> = report.results.iter().map(|r| r.2).collect();
+    let max_factor_bytes = report.results.iter().map(|r| r.3).max().unwrap_or(0);
+    let total_flops = stats.iter().map(|s| s.flops).sum();
+    let mut factor = None;
+    let mut x = None;
+    for r in report.results {
+        if r.4.is_some() {
+            factor = r.4;
+        }
+        if r.5.is_some() {
+            x = r.5;
+        }
+    }
+    DistOutcome {
+        factor: factor.expect("rank 0 must gather the factor"),
+        x,
+        factor_time_s,
+        solve_time_s,
+        stats,
+        max_factor_bytes,
+        total_flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::reconstruction_error;
+    use crate::mapping::MapStrategy;
+    use parfact_mpsim::model::CostModel;
+    use parfact_order::Method;
+    use parfact_sparse::{gen, ops};
+    use parfact_symbolic::AmalgOpts;
+
+    fn seq_reference(a: &CscMatrix, ordering: Method) -> (Factor, CscMatrix) {
+        let fill = parfact_order::order_matrix(a, ordering);
+        let af = fill.apply_sym_lower(a);
+        let (sym, ap) = parfact_symbolic::analyze(&af, &AmalgOpts::default());
+        let perm = sym.post.compose(&fill);
+        let sym = Arc::new(sym);
+        let f = crate::seq::factorize_seq(&ap, &sym, FactorKind::Llt, perm).unwrap();
+        (f, ap)
+    }
+
+    #[test]
+    fn dist_matches_seq_bitwise_across_rank_counts() {
+        let a = gen::laplace2d(14, 12, gen::Stencil2d::FivePoint);
+        let (fseq, ap) = seq_reference(&a, Method::default());
+        for p in [1usize, 2, 3, 4, 6, 8] {
+            let out = run_distributed(
+                p,
+                CostModel::bluegene_p(),
+                &a,
+                Method::default(),
+                &AmalgOpts::default(),
+                MapStrategy::default(),
+                None,
+            );
+            assert_eq!(
+                out.factor.max_abs_diff(&fseq),
+                0.0,
+                "p={p}: distributed factor must equal sequential bitwise"
+            );
+            assert!(reconstruction_error(&out.factor, &ap) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dist_1d_layout_matches_too() {
+        let a = gen::laplace3d(4, 4, 4, gen::Stencil3d::SevenPoint);
+        let (fseq, _) = seq_reference(&a, Method::default());
+        let out = run_distributed(
+            4,
+            CostModel::bluegene_p(),
+            &a,
+            Method::default(),
+            &AmalgOpts::default(),
+            MapStrategy::Proportional {
+                use_2d: false,
+                nb: parfact_dense::chol::NB,
+            },
+            None,
+        );
+        assert_eq!(out.factor.max_abs_diff(&fseq), 0.0);
+    }
+
+    #[test]
+    fn dist_flat_mapping_matches() {
+        let a = gen::laplace2d(10, 10, gen::Stencil2d::FivePoint);
+        let (fseq, _) = seq_reference(&a, Method::default());
+        let out = run_distributed(
+            4,
+            CostModel::bluegene_p(),
+            &a,
+            Method::default(),
+            &AmalgOpts::default(),
+            MapStrategy::Flat {
+                use_2d: true,
+                nb: parfact_dense::chol::NB,
+            },
+            None,
+        );
+        assert_eq!(out.factor.max_abs_diff(&fseq), 0.0);
+    }
+
+    #[test]
+    fn nonstandard_block_sizes_stay_correct() {
+        // Only nb == chol::NB matches the sequential factor bitwise; other
+        // block sizes reorder panel arithmetic but must still reconstruct.
+        let a = gen::laplace2d(12, 11, gen::Stencil2d::FivePoint);
+        let (_, ap) = parfact_symbolic::analyze(
+            &parfact_order::order_matrix(&a, Method::default()).apply_sym_lower(&a),
+            &AmalgOpts::default(),
+        );
+        for nb in [8usize, 23, 64] {
+            let out = run_distributed(
+                5,
+                CostModel::zero_cost(),
+                &a,
+                Method::default(),
+                &AmalgOpts::default(),
+                MapStrategy::Proportional { use_2d: true, nb },
+                None,
+            );
+            let err = reconstruction_error(&out.factor, &ap);
+            assert!(err < 1e-10, "nb={nb}: reconstruction error {err}");
+        }
+    }
+
+    #[test]
+    fn dist_solve_end_to_end() {
+        let a = gen::elasticity3d(3, 3, 2);
+        let n = a.nrows();
+        let xstar: Vec<f64> = (0..n).map(|i| ((i * 3) % 11) as f64 * 0.25 - 1.0).collect();
+        let mut b = vec![0.0; n];
+        a.sym_spmv(&xstar, &mut b);
+        for p in [1usize, 3, 4] {
+            let out = run_distributed(
+                p,
+                CostModel::bluegene_p(),
+                &a,
+                Method::default(),
+                &AmalgOpts::default(),
+                MapStrategy::default(),
+                Some(&b),
+            );
+            let x = out.x.expect("solution requested");
+            assert!(
+                ops::sym_residual_inf(&a, &x, &b) < 1e-12,
+                "p={p} residual too large"
+            );
+            assert!(out.solve_time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn dist_scaling_improves_makespan() {
+        // Strong scaling on the model machine: more ranks, less time.
+        // (Needs a problem big enough that flops dominate latency; the
+        // simulated times are build-profile independent.)
+        let a = gen::laplace3d(16, 16, 16, gen::Stencil3d::SevenPoint);
+        let t1 = run_distributed(
+            1,
+            CostModel::bluegene_p(),
+            &a,
+            Method::default(),
+            &AmalgOpts::default(),
+            MapStrategy::default(),
+            None,
+        )
+        .factor_time_s;
+        let t8 = run_distributed(
+            8,
+            CostModel::bluegene_p(),
+            &a,
+            Method::default(),
+            &AmalgOpts::default(),
+            MapStrategy::default(),
+            None,
+        )
+        .factor_time_s;
+        assert!(
+            t8 < t1 / 1.8,
+            "8 ranks must beat 1 rank by ~2x: t1={t1:.6} t8={t8:.6}"
+        );
+    }
+
+    #[test]
+    fn dist_memory_per_rank_shrinks() {
+        let a = gen::laplace3d(6, 6, 6, gen::Stencil3d::SevenPoint);
+        let run = |p| {
+            run_distributed(
+                p,
+                CostModel::bluegene_p(),
+                &a,
+                Method::default(),
+                &AmalgOpts::default(),
+                MapStrategy::default(),
+                None,
+            )
+        };
+        let m1 = run(1).max_factor_bytes;
+        let m8 = run(8).max_factor_bytes;
+        assert!(
+            m8 < m1,
+            "per-rank factor memory must shrink: {m1} -> {m8}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distributed factorization failed")]
+    fn dist_panics_on_indefinite() {
+        let a = gen::indefinite(40, 2);
+        run_distributed(
+            4,
+            CostModel::zero_cost(),
+            &a,
+            Method::Natural,
+            &AmalgOpts::default(),
+            MapStrategy::default(),
+            None,
+        );
+    }
+}

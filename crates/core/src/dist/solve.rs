@@ -1,0 +1,268 @@
+//! Distributed triangular solves.
+//!
+//! The solve follows the assembly tree like the factorization, but the
+//! per-front work is tiny (O(front²) flops against O(front³) for the
+//! factorization), so the panel of each distributed supernode is gathered
+//! to the supernode's **group leader**, which performs the front's solve
+//! steps and exchanges right-hand-side segments with its parent's and
+//! children's leaders. This gather-per-front pattern is exactly why solve
+//! scales worse than factorization — a shape the experiments reproduce
+//! (EXP-F4).
+
+use crate::dist::{front, RankFactor};
+use crate::mapping::{Layout, Mapping};
+use parfact_dense::trsv;
+use parfact_mpsim::Rank;
+use parfact_symbolic::{Symbolic, NONE};
+use std::collections::HashMap;
+
+/// Tag phases (disjoint from factorization phases in the same namespace).
+const PH_FWD_PANEL: u64 = 9;
+const PH_FWD_CONTRIB: u64 = 10;
+const PH_BWD_PANEL: u64 = 11;
+const PH_BWD_XROWS: u64 = 12;
+const PH_GATHER_X: u64 = 13;
+
+/// Pivot-column entries of this rank's blocks of supernode `s`, as a
+/// triplet buffer in front-local coordinates.
+fn pivot_pieces(sym: &Symbolic, rf: &RankFactor, s: usize) -> (Vec<u32>, Vec<f64>) {
+    let df = &rf.dist_blocks[&s];
+    let w = sym.sn_width(s);
+    let nb = df.nb;
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    for (&(bi, bj), blk) in &df.blocks {
+        if bj * nb >= w {
+            continue;
+        }
+        let m_bi = df.mrows(bi);
+        let n_bj = df.mrows(bj);
+        for jc in 0..n_bj.min(w - bj * nb) {
+            let lj = bj * nb + jc;
+            let i0 = if bi == bj { jc } else { 0 };
+            for i in i0..m_bi {
+                let li = bi * nb + i;
+                if li < lj {
+                    continue;
+                }
+                idx.push(li as u32);
+                idx.push(lj as u32);
+                vals.push(blk[jc * m_bi + i]);
+            }
+        }
+    }
+    (idx, vals)
+}
+
+/// Assemble the full `f x w` panel of supernode `s` on the leader,
+/// receiving pieces from every other group member (they must be executing
+/// [`send_panel_pieces`] for the same `s` and `phase`).
+fn gather_panel(
+    rank: &mut Rank,
+    sym: &Symbolic,
+    map: &Mapping,
+    rf: &RankFactor,
+    s: usize,
+    phase: u64,
+) -> Vec<f64> {
+    let f = sym.front_order(s);
+    let w = sym.sn_width(s);
+    let (lo, hi) = map.group[s];
+    let mut panel = vec![0.0f64; f * w];
+    rank.alloc(panel.len() * 8);
+    for q in lo..hi {
+        let (idx, vals) = if q == rank.rank() {
+            pivot_pieces(sym, rf, s)
+        } else {
+            rank.recv::<(Vec<u32>, Vec<f64>)>(q, front::tag(s, phase))
+        };
+        for (k, &v) in vals.iter().enumerate() {
+            panel[idx[2 * k + 1] as usize * f + idx[2 * k] as usize] = v;
+        }
+    }
+    panel
+}
+
+/// Non-leader group members: ship pivot pieces to the leader.
+fn send_panel_pieces(
+    rank: &mut Rank,
+    sym: &Symbolic,
+    map: &Mapping,
+    rf: &RankFactor,
+    s: usize,
+    phase: u64,
+) {
+    let lead = map.leader(s);
+    let buf = pivot_pieces(sym, rf, s);
+    rank.send(lead, front::tag(s, phase), buf);
+}
+
+/// SPMD distributed solve (`L Lᵀ x = b`, permuted space). Every rank calls
+/// this with the (replicated) permuted right-hand side; rank 0 returns the
+/// full solution.
+pub fn solve_rank(
+    rank: &mut Rank,
+    sym: &Symbolic,
+    map: &Mapping,
+    rf: &RankFactor,
+    bp: &[f64],
+) -> Option<Vec<f64>> {
+    let me = rank.rank();
+    let nsuper = sym.nsuper();
+    let mut x = bp.to_vec();
+    // Leader-to-leader stashes for same-rank transfers.
+    let mut fwd_stash: HashMap<u64, Vec<f64>> = HashMap::new();
+    let mut bwd_stash: HashMap<u64, Vec<f64>> = HashMap::new();
+
+    // ---- Forward sweep. ----
+    for s in 0..nsuper {
+        if !map.participates(s, me) {
+            continue;
+        }
+        let lead = map.leader(s);
+        let is_dist = matches!(map.layout[s], Layout::Grid { .. });
+        if me != lead {
+            if is_dist {
+                send_panel_pieces(rank, sym, map, rf, s, PH_FWD_PANEL);
+            }
+            continue;
+        }
+        let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+        let w = c1 - c0;
+        let f = sym.front_order(s);
+        let panel: std::borrow::Cow<'_, [f64]> = if is_dist {
+            std::borrow::Cow::Owned(gather_panel(rank, sym, map, rf, s, PH_FWD_PANEL))
+        } else {
+            std::borrow::Cow::Borrowed(&rf.local_panels[&s])
+        };
+        // RHS front: pivot segment then below rows.
+        let mut y = vec![0.0f64; f];
+        y[..w].copy_from_slice(&x[c0..c1]);
+        // Children contributions.
+        for &c in &sym.tree.children[s] {
+            let clead = map.leader(c);
+            let contrib = if clead == me {
+                fwd_stash
+                    .remove(&front::tag(c, PH_FWD_CONTRIB))
+                    .expect("missing stashed forward contribution")
+            } else {
+                rank.recv::<Vec<f64>>(clead, front::tag(c, PH_FWD_CONTRIB))
+            };
+            for (k, &r) in sym.sn_rows[c].iter().enumerate() {
+                let pos = if r < c1 {
+                    r - c0
+                } else {
+                    w + sym.sn_rows[s].binary_search(&r).expect("containment")
+                };
+                y[pos] += contrib[k];
+            }
+        }
+        trsv::trsv_ln(w, &panel, f, &mut y[..w], false);
+        rank.compute((w * w) as f64);
+        if f > w {
+            let (y1, y2) = y.split_at_mut(w);
+            trsv::gemv_sub(f - w, w, &panel[w..], f, y1, y2);
+            rank.compute((2 * (f - w) * w) as f64);
+        }
+        x[c0..c1].copy_from_slice(&y[..w]);
+        let parent = sym.tree.parent[s];
+        if parent != NONE {
+            let contrib = y[w..].to_vec();
+            let plead = map.leader(parent);
+            if plead == me {
+                fwd_stash.insert(front::tag(s, PH_FWD_CONTRIB), contrib);
+            } else {
+                rank.send(plead, front::tag(s, PH_FWD_CONTRIB), contrib);
+            }
+        }
+        if is_dist {
+            rank.free(f * w * 8);
+        }
+    }
+
+    // ---- Backward sweep. ----
+    for s in (0..nsuper).rev() {
+        if !map.participates(s, me) {
+            continue;
+        }
+        let lead = map.leader(s);
+        let is_dist = matches!(map.layout[s], Layout::Grid { .. });
+        if me != lead {
+            if is_dist {
+                send_panel_pieces(rank, sym, map, rf, s, PH_BWD_PANEL);
+            }
+            continue;
+        }
+        let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+        let w = c1 - c0;
+        let f = sym.front_order(s);
+        let panel: std::borrow::Cow<'_, [f64]> = if is_dist {
+            std::borrow::Cow::Owned(gather_panel(rank, sym, map, rf, s, PH_BWD_PANEL))
+        } else {
+            std::borrow::Cow::Borrowed(&rf.local_panels[&s])
+        };
+        // x at this supernode's below rows, provided by the parent's leader.
+        let parent = sym.tree.parent[s];
+        let xrows: Vec<f64> = if parent == NONE {
+            Vec::new()
+        } else {
+            let plead = map.leader(parent);
+            if plead == me {
+                bwd_stash
+                    .remove(&front::tag(s, PH_BWD_XROWS))
+                    .expect("missing stashed backward x-rows")
+            } else {
+                rank.recv::<Vec<f64>>(plead, front::tag(s, PH_BWD_XROWS))
+            }
+        };
+        if f > w {
+            trsv::gemv_t_sub(f - w, w, &panel[w..], f, &xrows, &mut x[c0..c1]);
+            rank.compute((2 * (f - w) * w) as f64);
+        }
+        trsv::trsv_lt(w, &panel, f, &mut x[c0..c1], false);
+        rank.compute((w * w) as f64);
+        // Provide x-rows to every child's leader. A child's rows live in my
+        // columns or in my own x-rows (containment invariant).
+        for &c in &sym.tree.children[s] {
+            let vals: Vec<f64> = sym.sn_rows[c]
+                .iter()
+                .map(|&r| {
+                    if r < c1 {
+                        x[r]
+                    } else {
+                        let k = sym.sn_rows[s].binary_search(&r).expect("containment");
+                        xrows[k]
+                    }
+                })
+                .collect();
+            let clead = map.leader(c);
+            if clead == me {
+                bwd_stash.insert(front::tag(c, PH_BWD_XROWS), vals);
+            } else {
+                rank.send(clead, front::tag(c, PH_BWD_XROWS), vals);
+            }
+        }
+        if is_dist {
+            rank.free(f * w * 8);
+        }
+    }
+
+    // ---- Gather solution segments to rank 0. ----
+    if me == 0 {
+        for s in 0..nsuper {
+            let lead = map.leader(s);
+            if lead != 0 {
+                let seg = rank.recv::<Vec<f64>>(lead, front::tag(s, PH_GATHER_X));
+                x[sym.sn_ptr[s]..sym.sn_ptr[s + 1]].copy_from_slice(&seg);
+            }
+        }
+        Some(x)
+    } else {
+        for s in 0..nsuper {
+            if map.leader(s) == me {
+                rank.send(0, front::tag(s, PH_GATHER_X), x[sym.sn_ptr[s]..sym.sn_ptr[s + 1]].to_vec());
+            }
+        }
+        None
+    }
+}

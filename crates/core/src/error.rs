@@ -1,0 +1,54 @@
+//! Error taxonomy of the numeric factorization.
+
+use parfact_dense::DenseError;
+use parfact_sparse::SparseError;
+use std::fmt;
+
+/// Failure modes of `factorize`/`solve`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorError {
+    /// A Cholesky pivot was non-positive: the matrix is not positive
+    /// definite. `col` is the column in the *permuted* ordering; use LDLᵀ
+    /// for symmetric indefinite systems.
+    NotPositiveDefinite { col: usize, value: f64 },
+    /// An LDLᵀ pivot vanished (matrix numerically singular on its diagonal).
+    ZeroPivot { col: usize },
+    /// The input matrix violates the symmetric-lower storage convention.
+    BadStructure(SparseError),
+}
+
+impl FactorError {
+    /// Lift a dense-kernel error of a front into matrix coordinates.
+    pub fn from_dense(e: DenseError, col_base: usize) -> Self {
+        match e {
+            DenseError::NotPositiveDefinite { index, value } => FactorError::NotPositiveDefinite {
+                col: col_base + index,
+                value,
+            },
+            DenseError::ZeroPivot { index } => FactorError::ZeroPivot {
+                col: col_base + index,
+            },
+        }
+    }
+}
+
+impl fmt::Display for FactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorError::NotPositiveDefinite { col, value } => write!(
+                f,
+                "matrix is not positive definite (pivot {col} = {value:e}); try LDLt"
+            ),
+            FactorError::ZeroPivot { col } => write!(f, "zero pivot at column {col}"),
+            FactorError::BadStructure(e) => write!(f, "bad matrix structure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+impl From<SparseError> for FactorError {
+    fn from(e: SparseError) -> Self {
+        FactorError::BadStructure(e)
+    }
+}

@@ -1,0 +1,342 @@
+//! The assembled factor and its triangular solves.
+
+use parfact_dense::trsv;
+use parfact_sparse::csc::CscMatrix;
+use parfact_sparse::perm::Perm;
+use parfact_symbolic::Symbolic;
+use std::sync::Arc;
+
+/// Which factorization the blocks hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorKind {
+    /// `P A Pᵀ = L Lᵀ` (SPD only).
+    Llt,
+    /// `P A Pᵀ = L D Lᵀ` with unit-lower `L` (symmetric quasi-definite /
+    /// diagonally dominant indefinite; no pivoting).
+    Ldlt,
+}
+
+/// A computed supernodal factor.
+///
+/// Per supernode `s`, `blocks[s]` is the column-major `f x w` panel
+/// (`f = front order`, `w = width`): the first `w` rows are the (lower)
+/// pivot block, the remaining rows follow `sym.sn_rows[s]`.
+#[derive(Debug, Clone)]
+pub struct Factor {
+    /// Symbolic analysis this factor was computed under (shared: the SMP
+    /// engine and repeated numeric refactorizations reuse it).
+    pub sym: Arc<Symbolic>,
+    /// LLᵀ or LDLᵀ.
+    pub kind: FactorKind,
+    /// Per-supernode factor panels.
+    pub blocks: Vec<Vec<f64>>,
+    /// LDLᵀ pivots (length n; unused for LLᵀ).
+    pub d: Vec<f64>,
+    /// Total permutation (fill-reducing ∘ postorder), `new → old`.
+    pub perm: Perm,
+}
+
+impl Factor {
+    /// Nonzeros stored in the factor (padding included).
+    pub fn nnz(&self) -> usize {
+        self.sym.factor_nnz()
+    }
+
+    /// Solve `A x = b` using the factor (applies the permutation, runs the
+    /// forward/backward supernodal sweeps, un-permutes).
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.sym.n);
+        let mut x = self.perm.apply_vec(b);
+        self.solve_permuted_in_place(&mut x);
+        self.perm.apply_inv_vec(&x)
+    }
+
+    /// Solve in the permuted index space (both sweeps), in place.
+    pub fn solve_permuted_in_place(&self, x: &mut [f64]) {
+        let sym = &self.sym;
+        let unit = self.kind == FactorKind::Ldlt;
+        // Forward: L y = b.
+        for s in 0..sym.nsuper() {
+            let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+            let w = c1 - c0;
+            let f = sym.front_order(s);
+            let blk = &self.blocks[s];
+            trsv::trsv_ln(w, blk, f, &mut x[c0..c1], unit);
+            if f > w {
+                // Gather-subtract into the ancestor rows.
+                let (piv, rest) = x.split_at_mut(c1);
+                let xs = &piv[c0..c1];
+                let rows = &sym.sn_rows[s];
+                // y[rows] -= L21 * xs
+                for (j, &xj) in xs.iter().enumerate() {
+                    if xj == 0.0 {
+                        continue;
+                    }
+                    let col = &blk[j * f + w..(j + 1) * f];
+                    for (k, &r) in rows.iter().enumerate() {
+                        rest[r - c1] -= col[k] * xj;
+                    }
+                }
+            }
+        }
+        // Diagonal scaling for LDLt.
+        if unit {
+            for (xi, &di) in x.iter_mut().zip(&self.d) {
+                *xi /= di;
+            }
+        }
+        // Backward: Lᵀ z = y.
+        for s in (0..sym.nsuper()).rev() {
+            let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+            let w = c1 - c0;
+            let f = sym.front_order(s);
+            let blk = &self.blocks[s];
+            if f > w {
+                let rows = &sym.sn_rows[s];
+                let (piv, rest) = x.split_at_mut(c1);
+                let xs = &mut piv[c0..c1];
+                // xs -= L21ᵀ * x[rows]
+                for (j, xj) in xs.iter_mut().enumerate() {
+                    let col = &blk[j * f + w..(j + 1) * f];
+                    let mut acc = 0.0;
+                    for (k, &r) in rows.iter().enumerate() {
+                        acc += col[k] * rest[r - c1];
+                    }
+                    *xj -= acc;
+                }
+            }
+            trsv::trsv_lt(w, blk, f, &mut x[c0..c1], unit);
+        }
+    }
+
+    /// Solve `A X = B` for multiple right-hand sides stored column-major in
+    /// `b` (`n x nrhs`). Sweeps run per supernode across all columns, so the
+    /// factor panels are traversed once regardless of `nrhs`.
+    pub fn solve_many(&self, b: &[f64], nrhs: usize) -> Vec<f64> {
+        let n = self.sym.n;
+        assert_eq!(b.len(), n * nrhs);
+        let mut x = vec![0.0; n * nrhs];
+        for r in 0..nrhs {
+            x[r * n..(r + 1) * n].copy_from_slice(&self.perm.apply_vec(&b[r * n..(r + 1) * n]));
+        }
+        self.solve_many_permuted_in_place(&mut x, nrhs);
+        let mut out = vec![0.0; n * nrhs];
+        for r in 0..nrhs {
+            out[r * n..(r + 1) * n]
+                .copy_from_slice(&self.perm.apply_inv_vec(&x[r * n..(r + 1) * n]));
+        }
+        out
+    }
+
+    /// Multi-RHS sweeps in the permuted space. Each supernode's panel is
+    /// loaded once and applied to every column (the BLAS-3 shape of the
+    /// solve phase).
+    pub fn solve_many_permuted_in_place(&self, x: &mut [f64], nrhs: usize) {
+        let sym = &self.sym;
+        let n = sym.n;
+        let unit = self.kind == FactorKind::Ldlt;
+        // Forward.
+        for s in 0..sym.nsuper() {
+            let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+            let w = c1 - c0;
+            let f = sym.front_order(s);
+            let blk = &self.blocks[s];
+            let rows = &sym.sn_rows[s];
+            for r in 0..nrhs {
+                let xr = &mut x[r * n..(r + 1) * n];
+                trsv::trsv_ln(w, blk, f, &mut xr[c0..c1], unit);
+                if f > w {
+                    let (piv, rest) = xr.split_at_mut(c1);
+                    let xs = &piv[c0..c1];
+                    for (j, &xj) in xs.iter().enumerate() {
+                        if xj == 0.0 {
+                            continue;
+                        }
+                        let col = &blk[j * f + w..(j + 1) * f];
+                        for (k, &row) in rows.iter().enumerate() {
+                            rest[row - c1] -= col[k] * xj;
+                        }
+                    }
+                }
+            }
+        }
+        if unit {
+            for r in 0..nrhs {
+                let xr = &mut x[r * n..(r + 1) * n];
+                for (xi, &di) in xr.iter_mut().zip(&self.d) {
+                    *xi /= di;
+                }
+            }
+        }
+        // Backward.
+        for s in (0..sym.nsuper()).rev() {
+            let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+            let w = c1 - c0;
+            let f = sym.front_order(s);
+            let blk = &self.blocks[s];
+            let rows = &sym.sn_rows[s];
+            for r in 0..nrhs {
+                let xr = &mut x[r * n..(r + 1) * n];
+                if f > w {
+                    let (piv, rest) = xr.split_at_mut(c1);
+                    let xs = &mut piv[c0..c1];
+                    for (j, xj) in xs.iter_mut().enumerate() {
+                        let col = &blk[j * f + w..(j + 1) * f];
+                        let mut acc = 0.0;
+                        for (k, &row) in rows.iter().enumerate() {
+                            acc += col[k] * rest[row - c1];
+                        }
+                        *xj -= acc;
+                    }
+                }
+                trsv::trsv_lt(w, blk, f, &mut xr[c0..c1], unit);
+            }
+        }
+    }
+
+    /// Log-determinant of `A` (`2 Σ log L(j,j)` for LLᵀ, `Σ log |d_j|`
+    /// plus the sign for LDLᵀ). Returns `(log |det A|, sign)`.
+    pub fn log_det(&self) -> (f64, f64) {
+        match self.kind {
+            FactorKind::Llt => {
+                let mut acc = 0.0;
+                for s in 0..self.sym.nsuper() {
+                    let (c0, c1) = (self.sym.sn_ptr[s], self.sym.sn_ptr[s + 1]);
+                    let f = self.sym.front_order(s);
+                    for j in 0..c1 - c0 {
+                        acc += self.blocks[s][j * f + j].ln();
+                    }
+                }
+                (2.0 * acc, 1.0)
+            }
+            FactorKind::Ldlt => {
+                let mut acc = 0.0;
+                let mut sign = 1.0;
+                for &dj in &self.d {
+                    acc += dj.abs().ln();
+                    if dj < 0.0 {
+                        sign = -sign;
+                    }
+                }
+                (acc, sign)
+            }
+        }
+    }
+
+    /// Iterative refinement: solve, then apply `iters` correction steps
+    /// `x += A⁻¹ (b − A x)`. Returns `(x, final residual ∞-norm)`.
+    pub fn solve_refined(&self, a: &CscMatrix, b: &[f64], iters: usize) -> (Vec<f64>, f64) {
+        let mut x = self.solve(b);
+        for _ in 0..iters {
+            let r = parfact_sparse::ops::sym_residual(a, &x, b);
+            if parfact_sparse::ops::norm_inf(&r) == 0.0 {
+                break;
+            }
+            let dx = self.solve(&r);
+            for (xi, di) in x.iter_mut().zip(&dx) {
+                *xi += di;
+            }
+        }
+        let r = parfact_sparse::ops::sym_residual(a, &x, b);
+        (x, parfact_sparse::ops::norm_inf(&r))
+    }
+
+    /// Reconstruct the factor as an explicit sparse lower-triangular matrix
+    /// in the permuted index space (validation/debug; includes padding
+    /// zeros as explicit entries).
+    pub fn to_sparse_l(&self) -> CscMatrix {
+        let sym = &self.sym;
+        let n = sym.n;
+        let mut colptr = vec![0usize; n + 1];
+        let mut rowind = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for s in 0..sym.nsuper() {
+            let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+            let w = c1 - c0;
+            let f = sym.front_order(s);
+            let blk = &self.blocks[s];
+            for j in 0..w {
+                let c = c0 + j;
+                // Pivot-block part (rows j..w map to c0+j..c1).
+                for i in j..w {
+                    rowind.push(c0 + i);
+                    vals.push(blk[j * f + i]);
+                }
+                for (k, &r) in sym.sn_rows[s].iter().enumerate() {
+                    rowind.push(r);
+                    vals.push(blk[j * f + w + k]);
+                }
+                colptr[c + 1] = rowind.len();
+            }
+        }
+        CscMatrix::from_parts(n, n, colptr, rowind, vals)
+    }
+
+    /// Max `|L(i,j)|` difference against another factor with the identical
+    /// symbolic structure (cross-engine equivalence checks).
+    pub fn max_abs_diff(&self, other: &Factor) -> f64 {
+        assert_eq!(self.sym.sn_ptr, other.sym.sn_ptr);
+        let mut m: f64 = 0.0;
+        for (a, b) in self.blocks.iter().zip(&other.blocks) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                m = m.max((x - y).abs());
+            }
+        }
+        for (x, y) in self.d.iter().zip(&other.d) {
+            m = m.max((x - y).abs());
+        }
+        m
+    }
+}
+
+/// Validate that a factor reproduces `P A Pᵀ` (test helper used across the
+/// workspace): returns the max abs entry of `L Lᵀ − P A Pᵀ` (or the LDLᵀ
+/// equivalent) over the lower triangle.
+pub fn reconstruction_error(factor: &Factor, ap: &CscMatrix) -> f64 {
+    let n = factor.sym.n;
+    let l = factor.to_sparse_l();
+    // Dense reconstruction — test sizes only.
+    assert!(n <= 3000, "reconstruction_error is a small-matrix test helper");
+    let ld = l.to_dense_colmajor();
+    let mut rec = vec![0.0; n * n];
+    match factor.kind {
+        FactorKind::Llt => {
+            for j in 0..n {
+                for k in 0..=j {
+                    let ljk = ld[k * n + j];
+                    if ljk == 0.0 {
+                        continue;
+                    }
+                    for i in j..n {
+                        rec[j * n + i] += ld[k * n + i] * ljk;
+                    }
+                }
+            }
+        }
+        FactorKind::Ldlt => {
+            for j in 0..n {
+                for k in 0..=j {
+                    let lik_base = k * n;
+                    let ljk = if j == k { 1.0 } else { ld[lik_base + j] };
+                    let w = ljk * factor.d[k];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    for i in j..n {
+                        let lik = if i == k { 1.0 } else { ld[lik_base + i] };
+                        rec[j * n + i] += lik * w;
+                    }
+                }
+            }
+        }
+    }
+    let ad = ap.to_dense_colmajor();
+    let mut err: f64 = 0.0;
+    for j in 0..n {
+        for i in j..n {
+            err = err.max((rec[j * n + i] - ad[j * n + i]).abs());
+        }
+    }
+    err
+}

@@ -1,0 +1,52 @@
+//! `parfact-core`: supernodal multifrontal sparse symmetric factorization —
+//! the system of *"Sparse matrix factorization on massively parallel
+//! computers"* (SC 2009), rebuilt in Rust.
+//!
+//! Three engines factor the same symbolic problem:
+//!
+//! - [`seq`] — the sequential supernodal multifrontal kernel (also the
+//!   per-rank engine of the distributed code, and the correctness oracle);
+//! - [`smp`] — shared-memory parallel: work-stealing over the assembly
+//!   tree with real threads (real wall-clock speedups on this machine),
+//!   with the matching tree-parallel solve in [`smp_solve`];
+//! - [`dist`] — distributed-memory: subtree-to-subcube (proportional)
+//!   mapping of the assembly tree onto ranks of a
+//!   [`parfact_mpsim::Machine`], block-cyclic 1-D/2-D distributed fronts
+//!   with pipelined panel broadcasts, and parallel extend-add. This is the
+//!   paper's contribution.
+//!
+//! Baselines the paper's method is measured against live in [`baseline`]:
+//! the classic *fan-out* distributed column-Cholesky and a left-looking
+//! simplicial sequential code.
+//!
+//! Most users want the [`solver::SparseCholesky`] façade:
+//!
+//! ```
+//! use parfact_core::solver::{FactorOpts, SparseCholesky};
+//! use parfact_sparse::gen;
+//!
+//! let a = gen::laplace2d(20, 20, gen::Stencil2d::FivePoint);
+//! let b = vec![1.0; a.nrows()];
+//! let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+//! let x = chol.solve(&b);
+//! assert!(parfact_sparse::ops::sym_residual_inf(&a, &x, &b) < 1e-10);
+//! ```
+
+pub mod analysis;
+pub mod baseline;
+pub mod dist;
+pub mod error;
+pub mod factor;
+pub mod frontal;
+pub mod mapping;
+pub mod schur;
+pub mod seq;
+pub mod smp;
+pub mod smp_solve;
+pub mod solver;
+
+pub use error::FactorError;
+pub use factor::{Factor, FactorKind};
+
+/// Re-export of the ordering selector for convenience.
+pub type OrderingChoice = parfact_order::Method;

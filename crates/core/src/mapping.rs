@@ -1,0 +1,313 @@
+//! Mapping the assembly tree onto ranks: **subtree-to-subcube**
+//! (proportional) mapping, plus the flat baseline it is measured against.
+//!
+//! Proportional mapping assigns the root front the whole machine and splits
+//! each node's rank range among its children in proportion to subtree work.
+//! Once a range narrows to one rank, the entire subtree below runs locally
+//! on that rank with zero communication — the property that makes the
+//! multifrontal method scale: communication only happens in the thin top of
+//! the tree, over geometrically shrinking rank groups.
+
+use parfact_symbolic::{Symbolic, NONE};
+
+/// How a supernode's front is laid out over its rank range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Single rank: plain sequential front.
+    Local,
+    /// Block-cyclic over a `pr x pc` process grid with square blocks of
+    /// `nb` rows/columns. `pr == 1` gives the 1-D column layout, `pc == 1`
+    /// the 1-D row layout.
+    Grid { pr: usize, pc: usize, nb: usize },
+}
+
+impl Layout {
+    /// Ranks used by this layout.
+    pub fn nranks(&self) -> usize {
+        match self {
+            Layout::Local => 1,
+            Layout::Grid { pr, pc, .. } => pr * pc,
+        }
+    }
+}
+
+/// A complete mapping of the assembly tree.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// Rank range `[lo, hi)` per supernode.
+    pub group: Vec<(usize, usize)>,
+    /// Front layout per supernode.
+    pub layout: Vec<Layout>,
+    /// Total ranks.
+    pub nranks: usize,
+}
+
+/// Mapping strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MapStrategy {
+    /// Subtree-to-subcube proportional mapping. `use_2d` picks 2-D grids
+    /// for distributed fronts (the paper's scalable choice); otherwise 1-D
+    /// column layouts are used everywhere.
+    Proportional { use_2d: bool, nb: usize },
+    /// Flat mapping: every supernode is distributed over all ranks (no
+    /// subtree locality) — the classic baseline that drowns in latency.
+    Flat { use_2d: bool, nb: usize },
+}
+
+impl Default for MapStrategy {
+    fn default() -> Self {
+        MapStrategy::Proportional {
+            use_2d: true,
+            nb: parfact_dense::chol::NB,
+        }
+    }
+}
+
+/// Pick the most square factor pair `(pr, pc)` with `pr * pc == np` and
+/// `pr <= pc`.
+pub fn grid_shape(np: usize) -> (usize, usize) {
+    let mut best = (1, np);
+    let mut d = 1;
+    while d * d <= np {
+        if np % d == 0 {
+            best = (d, np / d);
+        }
+        d += 1;
+    }
+    best
+}
+
+fn layout_for(np: usize, use_2d: bool, nb: usize) -> Layout {
+    if np == 1 {
+        Layout::Local
+    } else if use_2d {
+        let (pr, pc) = grid_shape(np);
+        Layout::Grid { pr, pc, nb }
+    } else {
+        Layout::Grid { pr: 1, pc: np, nb }
+    }
+}
+
+/// Split rank range `[lo, hi)` among `nodes` proportionally to their
+/// subtree weights. Nodes are laid out in **descending weight** order with
+/// rounded (not floored) boundaries, so near-equal heavy children land on
+/// disjoint near-equal ranges and featherweight children share the tail
+/// rank instead of stealing a boundary.
+fn split_range(
+    lo: usize,
+    hi: usize,
+    nodes: &[usize],
+    weights: &[f64],
+    group: &mut [(usize, usize)],
+) {
+    let np = hi - lo;
+    let total: f64 = nodes.iter().map(|&c| weights[c]).sum();
+    let mut order: Vec<usize> = nodes.to_vec();
+    order.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut pos = 0.0f64;
+    for &c in &order {
+        let share = weights[c] / total * np as f64;
+        let start = (pos.round() as usize).min(np - 1);
+        let end = ((pos + share).round() as usize).clamp(start + 1, np);
+        group[c] = (lo + start, lo + end);
+        pos += share;
+    }
+}
+
+/// Build a mapping for `p` ranks.
+pub fn map_tree(sym: &Symbolic, p: usize, strategy: MapStrategy) -> Mapping {
+    assert!(p >= 1);
+    let nsuper = sym.nsuper();
+    match strategy {
+        MapStrategy::Flat { use_2d, nb } => Mapping {
+            group: vec![(0, p); nsuper],
+            layout: vec![layout_for(p, use_2d, nb); nsuper],
+            nranks: p,
+        },
+        MapStrategy::Proportional { use_2d, nb } => {
+            let weights = sym.tree.subtree_sum(|s| {
+                // Subtree flop weight: the same per-front estimate the
+                // symbolic phase reports.
+                let w = sym.sn_width(s);
+                let r = sym.sn_rows[s].len();
+                let mut fl = 0.0;
+                for k in 0..w {
+                    let len = (w - k) + r;
+                    fl += (len * len) as f64;
+                }
+                fl + 1.0 // keep zero-work supernodes mappable
+            });
+            let mut group = vec![(0usize, 0usize); nsuper];
+            let mut layout = vec![Layout::Local; nsuper];
+            // Roots share [0, p), then ranges split recursively (reverse
+            // postorder: parents are assigned before children).
+            split_range(0, p, &sym.tree.roots, &weights, &mut group);
+            for s in (0..nsuper).rev() {
+                let (lo, hi) = group[s];
+                let np = hi - lo;
+                layout[s] = layout_for(np, use_2d, nb);
+                let kids = &sym.tree.children[s];
+                if kids.is_empty() {
+                    continue;
+                }
+                if np == 1 {
+                    for &c in kids {
+                        group[c] = (lo, hi);
+                    }
+                    continue;
+                }
+                split_range(lo, hi, kids, &weights, &mut group);
+            }
+            Mapping {
+                group,
+                layout,
+                nranks: p,
+            }
+        }
+    }
+}
+
+impl Mapping {
+    /// Leader (first rank) of supernode `s`'s group.
+    pub fn leader(&self, s: usize) -> usize {
+        self.group[s].0
+    }
+
+    /// True when `rank` participates in supernode `s`.
+    pub fn participates(&self, s: usize, rank: usize) -> bool {
+        let (lo, hi) = self.group[s];
+        rank >= lo && rank < hi
+    }
+
+    /// Group size of supernode `s`.
+    pub fn group_size(&self, s: usize) -> usize {
+        self.group[s].1 - self.group[s].0
+    }
+
+    /// Validate nesting (`group(child) ⊆ group(parent)`) and layout/rank
+    /// agreement.
+    pub fn validate(&self, sym: &Symbolic) -> bool {
+        for s in 0..sym.nsuper() {
+            let (lo, hi) = self.group[s];
+            if lo >= hi || hi > self.nranks {
+                return false;
+            }
+            if self.layout[s].nranks() != hi - lo {
+                return false;
+            }
+            let p = sym.tree.parent[s];
+            if p != NONE {
+                let (plo, phi) = self.group[p];
+                if lo < plo || hi > phi {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfact_sparse::gen;
+    use parfact_symbolic::{analyze, AmalgOpts};
+
+    fn sym_for_grid() -> Symbolic {
+        let a = gen::laplace2d(16, 16, gen::Stencil2d::FivePoint);
+        let fill = parfact_order::order_matrix(&a, parfact_order::Method::default());
+        let af = fill.apply_sym_lower(&a);
+        analyze(&af, &AmalgOpts::default()).0
+    }
+
+    #[test]
+    fn grid_shapes() {
+        assert_eq!(grid_shape(1), (1, 1));
+        assert_eq!(grid_shape(4), (2, 2));
+        assert_eq!(grid_shape(6), (2, 3));
+        assert_eq!(grid_shape(7), (1, 7));
+        assert_eq!(grid_shape(16), (4, 4));
+        assert_eq!(grid_shape(12), (3, 4));
+    }
+
+    #[test]
+    fn proportional_mapping_is_nested_and_valid() {
+        let sym = sym_for_grid();
+        for p in [1, 2, 3, 4, 8, 16, 17] {
+            let m = map_tree(&sym, p, MapStrategy::default());
+            assert!(m.validate(&sym), "p={p}");
+            // Roots own the whole machine.
+            for &r in &sym.tree.roots {
+                assert_eq!(m.group[r], (0, p));
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_mapping_uses_all_ranks_at_leaves() {
+        let sym = sym_for_grid();
+        let p = 8;
+        let m = map_tree(&sym, p, MapStrategy::default());
+        // Every rank must participate in at least one supernode.
+        let mut used = vec![false; p];
+        for s in 0..sym.nsuper() {
+            let (lo, hi) = m.group[s];
+            for r in lo..hi {
+                used[r] = true;
+            }
+        }
+        assert!(used.iter().all(|&u| u), "idle ranks: {used:?}");
+    }
+
+    #[test]
+    fn flat_mapping_distributes_everything() {
+        let sym = sym_for_grid();
+        let m = map_tree(
+            &sym,
+            4,
+            MapStrategy::Flat {
+                use_2d: false,
+                nb: 48,
+            },
+        );
+        assert!(m.validate(&sym));
+        assert!(m.group.iter().all(|&g| g == (0, 4)));
+        assert!(m
+            .layout
+            .iter()
+            .all(|&l| l == Layout::Grid { pr: 1, pc: 4, nb: 48 }));
+    }
+
+    #[test]
+    fn one_rank_is_all_local() {
+        let sym = sym_for_grid();
+        let m = map_tree(&sym, 1, MapStrategy::default());
+        assert!(m.layout.iter().all(|&l| l == Layout::Local));
+    }
+
+    #[test]
+    fn deep_subtrees_localize() {
+        let sym = sym_for_grid();
+        let m = map_tree(&sym, 16, MapStrategy::default());
+        // Leaves overwhelmingly map to single ranks under proportional
+        // mapping (that is the point of subtree-to-subcube).
+        let leaf_local = (0..sym.nsuper())
+            .filter(|&s| sym.tree.children[s].is_empty())
+            .filter(|&s| m.group_size(s) == 1)
+            .count();
+        let leaves = (0..sym.nsuper())
+            .filter(|&s| sym.tree.children[s].is_empty())
+            .count();
+        // The tree is shallow after amalgamation, so demand a majority
+        // rather than near-totality.
+        assert!(
+            2 * leaf_local >= leaves,
+            "{leaf_local}/{leaves} leaves local"
+        );
+    }
+}

@@ -1,0 +1,474 @@
+//! Shared-memory parallel multifrontal factorization.
+//!
+//! The parallelization mirrors the paper's two regimes:
+//!
+//! 1. **Tree parallelism** at the bottom: disjoint subtrees are independent,
+//!    so small fronts are processed by a work-stealing pool over the
+//!    assembly tree (one task per supernode, released when its children
+//!    finish).
+//! 2. **Kernel parallelism** at the top: near the root the tree is too
+//!    narrow to feed the cores, but the fronts are large — those are
+//!    processed in postorder with the trailing (Schur) update of each panel
+//!    split across all threads.
+//!
+//! The boundary between regimes is the `big_front` threshold, closed upward
+//! (a parent of a big front is big) so phase 2 never waits on phase 1.
+
+use crate::error::FactorError;
+use crate::factor::{Factor, FactorKind};
+use crate::frontal::{assemble_front, extract_panel, extract_update, FrontScatter, UpdateMatrix};
+use crossbeam_deque::{Injector, Steal};
+use parfact_dense::blas::trsm_right_lt;
+use parfact_dense::chol;
+use parfact_sparse::csc::CscMatrix;
+use parfact_sparse::perm::Perm;
+use parfact_symbolic::{Symbolic, NONE};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Options for the SMP engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmpOpts {
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Fronts at least this large switch to kernel parallelism.
+    pub big_front: usize,
+}
+
+impl Default for SmpOpts {
+    fn default() -> Self {
+        SmpOpts {
+            threads: 0,
+            big_front: 384,
+        }
+    }
+}
+
+/// Resolve `threads = 0` to the machine's available parallelism.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|x| x.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Shared-memory parallel factorization of an already-permuted matrix.
+pub fn factorize_smp(
+    ap: &CscMatrix,
+    sym: &Arc<Symbolic>,
+    kind: FactorKind,
+    perm: Perm,
+    opts: &SmpOpts,
+) -> Result<Factor, FactorError> {
+    let nthreads = resolve_threads(opts.threads);
+    let nsuper = sym.nsuper();
+    if nthreads <= 1 || nsuper <= 1 {
+        return crate::seq::factorize_seq(ap, sym, kind, perm);
+    }
+
+    // Upward-closed "big" set.
+    let mut big = vec![false; nsuper];
+    for s in 0..nsuper {
+        if sym.front_order(s) >= opts.big_front || sym.tree.children[s].iter().any(|&c| big[c]) {
+            big[s] = true;
+        }
+    }
+
+    let blocks: Vec<Mutex<Vec<f64>>> = (0..nsuper).map(|_| Mutex::new(Vec::new())).collect();
+    let dsegs: Vec<Mutex<Vec<f64>>> = (0..nsuper).map(|_| Mutex::new(Vec::new())).collect();
+    let updates: Vec<Mutex<Option<UpdateMatrix>>> = (0..nsuper).map(|_| Mutex::new(None)).collect();
+    let pending: Vec<AtomicUsize> = (0..nsuper)
+        .map(|s| AtomicUsize::new(sym.tree.children[s].len()))
+        .collect();
+    let small_total = big.iter().filter(|&&b| !b).count();
+    let completed = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let error: Mutex<Option<FactorError>> = Mutex::new(None);
+
+    // ---- Phase 1: tree-parallel over small supernodes. ----
+    let injector = Injector::new();
+    for s in 0..nsuper {
+        if !big[s] && sym.tree.children[s].is_empty() {
+            injector.push(s);
+        }
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..nthreads {
+            scope.spawn(|| {
+                let mut scatter = FrontScatter::new(sym.n);
+                let mut front: Vec<f64> = Vec::new();
+                loop {
+                    if failed.load(Ordering::Relaxed)
+                        || completed.load(Ordering::Relaxed) >= small_total
+                    {
+                        break;
+                    }
+                    let s = match injector.steal() {
+                        Steal::Success(s) => s,
+                        Steal::Retry => continue,
+                        Steal::Empty => {
+                            std::thread::yield_now();
+                            continue;
+                        }
+                    };
+                    let result = process_supernode(
+                        ap, sym, kind, s, &mut scatter, &mut front, &blocks, &dsegs, &updates,
+                    );
+                    if let Err(e) = result {
+                        *error.lock() = Some(e);
+                        failed.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                    let p = sym.tree.parent[s];
+                    if p != NONE && !big[p] && pending[p].fetch_sub(1, Ordering::SeqCst) == 1 {
+                        injector.push(p);
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+
+    // ---- Phase 2: kernel-parallel over big supernodes, in postorder. ----
+    let mut scatter = FrontScatter::new(sym.n);
+    let mut front: Vec<f64> = Vec::new();
+    for s in 0..nsuper {
+        if !big[s] {
+            continue;
+        }
+        let child_updates: Vec<UpdateMatrix> = sym.tree.children[s]
+            .iter()
+            .map(|&c| updates[c].lock().take().expect("child update missing"))
+            .collect();
+        let refs: Vec<&UpdateMatrix> = child_updates.iter().collect();
+        let f = assemble_front(ap, sym, s, &mut scatter, &refs, &mut front);
+        let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+        let w = c1 - c0;
+        match kind {
+            FactorKind::Llt => parallel_partial_potrf(f, w, &mut front, nthreads)
+                .map_err(|e| FactorError::from_dense(e, c0))?,
+            FactorKind::Ldlt => {
+                // LDLt fronts keep the sequential kernel (they only arise in
+                // quasi-definite runs where the SPD fast path is off anyway).
+                let mut dseg = vec![0.0; w];
+                chol::partial_ldlt(f, w, &mut front, f, &mut dseg)
+                    .map_err(|e| FactorError::from_dense(e, c0))?;
+                *dsegs[s].lock() = dseg;
+            }
+        }
+        *blocks[s].lock() = extract_panel(&front, f, w);
+        if f > w {
+            *updates[s].lock() = Some(extract_update(sym, s, &front, f));
+        }
+    }
+
+    // Collect.
+    let mut out_blocks = Vec::with_capacity(nsuper);
+    for b in blocks {
+        out_blocks.push(b.into_inner());
+    }
+    let mut d = vec![0.0f64; if kind == FactorKind::Ldlt { sym.n } else { 0 }];
+    if kind == FactorKind::Ldlt {
+        for s in 0..nsuper {
+            let seg = dsegs[s].lock();
+            d[sym.sn_ptr[s]..sym.sn_ptr[s + 1]].copy_from_slice(&seg);
+        }
+    }
+    Ok(Factor {
+        sym: Arc::clone(sym),
+        kind,
+        blocks: out_blocks,
+        d,
+        perm,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_supernode(
+    ap: &CscMatrix,
+    sym: &Symbolic,
+    kind: FactorKind,
+    s: usize,
+    scatter: &mut FrontScatter,
+    front: &mut Vec<f64>,
+    blocks: &[Mutex<Vec<f64>>],
+    dsegs: &[Mutex<Vec<f64>>],
+    updates: &[Mutex<Option<UpdateMatrix>>],
+) -> Result<(), FactorError> {
+    let child_updates: Vec<UpdateMatrix> = sym.tree.children[s]
+        .iter()
+        .map(|&c| updates[c].lock().take().expect("child update missing"))
+        .collect();
+    let refs: Vec<&UpdateMatrix> = child_updates.iter().collect();
+    let f = assemble_front(ap, sym, s, scatter, &refs, front);
+    let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+    let w = c1 - c0;
+    match kind {
+        FactorKind::Llt => {
+            chol::partial_potrf(f, w, front, f).map_err(|e| FactorError::from_dense(e, c0))?
+        }
+        FactorKind::Ldlt => {
+            let mut dseg = vec![0.0; w];
+            chol::partial_ldlt(f, w, front, f, &mut dseg)
+                .map_err(|e| FactorError::from_dense(e, c0))?;
+            *dsegs[s].lock() = dseg;
+        }
+    }
+    *blocks[s].lock() = extract_panel(front, f, w);
+    if f > w {
+        *updates[s].lock() = Some(extract_update(sym, s, front, f));
+    }
+    Ok(())
+}
+
+/// Partial blocked Cholesky with the trailing update of each panel split
+/// across `nthreads` threads. Arithmetic is identical to the sequential
+/// kernel (same panels, same per-entry accumulation order), so results
+/// match [`chol::partial_potrf`] bitwise.
+pub fn parallel_partial_potrf(
+    nf: usize,
+    npiv: usize,
+    f: &mut [f64],
+    nthreads: usize,
+) -> Result<(), parfact_dense::DenseError> {
+    let nb = chol::NB;
+    let ldf = nf;
+    let mut j = 0usize;
+    while j < npiv {
+        let jb = nb.min(npiv - j);
+        let rest = nf - j - jb;
+        // Panel: factor diagonal block + scale the rows below it.
+        {
+            let djj = j * ldf + j;
+            let (_, tail) = f.split_at_mut(djj);
+            // Unblocked factor of the jb x jb diagonal block.
+            chol::partial_potrf(jb, jb, &mut tail[..(jb - 1) * ldf + jb], ldf).map_err(
+                |e| match e {
+                    parfact_dense::DenseError::NotPositiveDefinite { index, value } => {
+                        parfact_dense::DenseError::NotPositiveDefinite {
+                            index: index + j,
+                            value,
+                        }
+                    }
+                    other => other,
+                },
+            )?;
+        }
+        if rest > 0 {
+            let mut l11 = vec![0.0f64; jb * jb];
+            for t in 0..jb {
+                for i in t..jb {
+                    l11[t * jb + i] = f[(j + t) * ldf + j + i];
+                }
+            }
+            {
+                let a21 = j * ldf + j + jb;
+                let (_, tail) = f.split_at_mut(a21);
+                trsm_right_lt(rest, jb, &l11, jb, tail, ldf);
+            }
+            // Trailing update split by column chunks; entries accumulate in
+            // the same l-order as the sequential syrk.
+            let panel_start = j * ldf + j + jb;
+            let trail_col0 = j + jb;
+            // Copy the panel so worker threads can read it while the
+            // trailing area is mutated (disjoint, but Rust wants proof).
+            let panel: Vec<f64> = {
+                let mut p = vec![0.0f64; jb * rest];
+                for t in 0..jb {
+                    p[t * rest..(t + 1) * rest]
+                        .copy_from_slice(&f[panel_start + t * ldf..panel_start + t * ldf + rest]);
+                }
+                p
+            };
+            // Partition trailing columns into chunks of decreasing width so
+            // the triangular work is balanced.
+            let nchunks = (nthreads * 4).min(rest.max(1));
+            let counter = AtomicUsize::new(0);
+            let fptr = SendPtr(f.as_mut_ptr());
+            std::thread::scope(|scope| {
+                for _ in 0..nthreads.min(nchunks) {
+                    scope.spawn(|| {
+                        let fptr = &fptr;
+                        loop {
+                            let c = counter.fetch_add(1, Ordering::Relaxed);
+                            if c >= nchunks {
+                                break;
+                            }
+                            // Chunk c covers trailing columns [a, b).
+                            let a = c * rest / nchunks;
+                            let b = (c + 1) * rest / nchunks;
+                            for jc in a..b {
+                                let col = trail_col0 + jc;
+                                let m = rest - jc; // rows jc..rest (lower part)
+                                // SAFETY: each trailing column is written by
+                                // exactly one chunk; the panel is a private
+                                // copy. Column `col` occupies
+                                // f[col*ldf + col .. col*ldf + col + m].
+                                let cdst: &mut [f64] = unsafe {
+                                    std::slice::from_raw_parts_mut(
+                                        fptr.0.add(col * ldf + col),
+                                        m,
+                                    )
+                                };
+                                for t in 0..jb {
+                                    let w = panel[t * rest + jc];
+                                    if w == 0.0 {
+                                        continue;
+                                    }
+                                    let src = &panel[t * rest + jc..t * rest + rest];
+                                    for (dv, &sv) in cdst.iter_mut().zip(src) {
+                                        *dv -= sv * w;
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        j += jb;
+    }
+    Ok(())
+}
+
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::reconstruction_error;
+    use crate::seq::factorize_seq;
+    use parfact_sparse::gen;
+    use parfact_symbolic::{analyze, AmalgOpts};
+
+    fn both_engines(a: &CscMatrix, kind: FactorKind, opts: &SmpOpts) -> (Factor, Factor, CscMatrix) {
+        let (sym, ap) = analyze(a, &AmalgOpts::default());
+        let perm = sym.post.clone();
+        let sym = Arc::new(sym);
+        let fs = factorize_seq(&ap, &sym, kind, perm.clone()).unwrap();
+        let fp = factorize_smp(&ap, &sym, kind, perm, opts).unwrap();
+        (fs, fp, ap)
+    }
+
+    #[test]
+    fn parallel_partial_potrf_matches_sequential_kernel() {
+        use parfact_dense::DMat;
+        for (n, npiv) in [(60usize, 25usize), (130, 130), (97, 40)] {
+            let mut state = n as u64 * 31 + 7;
+            let a = DMat::random_spd(n, move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 2000) as f64 / 1000.0 - 1.0
+            });
+            let mut f1 = a.clone();
+            chol::partial_potrf(n, npiv, f1.as_mut_slice(), n).unwrap();
+            let mut f2 = a.clone();
+            parallel_partial_potrf(n, npiv, f2.as_mut_slice(), 4).unwrap();
+            // Same panel boundaries and accumulation order: bitwise equal
+            // on the lower triangle.
+            for j in 0..n {
+                for i in j..n {
+                    assert_eq!(
+                        f1[(i, j)].to_bits(),
+                        f2[(i, j)].to_bits(),
+                        "mismatch at ({i},{j}) n={n} npiv={npiv}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smp_matches_seq_on_2d_grid() {
+        let a = gen::laplace2d(20, 20, gen::Stencil2d::FivePoint);
+        let opts = SmpOpts {
+            threads: 4,
+            big_front: 64,
+        };
+        let (fs, fp, ap) = both_engines(&a, FactorKind::Llt, &opts);
+        assert_eq!(fp.max_abs_diff(&fs), 0.0, "engines must agree bitwise");
+        assert!(reconstruction_error(&fp, &ap) < 1e-10);
+    }
+
+    #[test]
+    fn smp_matches_seq_on_3d_grid() {
+        let a = gen::laplace3d(6, 6, 6, gen::Stencil3d::SevenPoint);
+        let opts = SmpOpts {
+            threads: 3,
+            big_front: 128,
+        };
+        let (fs, fp, _) = both_engines(&a, FactorKind::Llt, &opts);
+        assert_eq!(fp.max_abs_diff(&fs), 0.0);
+    }
+
+    #[test]
+    fn smp_ldlt_matches_seq() {
+        let a = gen::indefinite(60, 4);
+        let opts = SmpOpts {
+            threads: 3,
+            big_front: 24,
+        };
+        let (fs, fp, ap) = both_engines(&a, FactorKind::Ldlt, &opts);
+        assert_eq!(fp.max_abs_diff(&fs), 0.0);
+        assert!(reconstruction_error(&fp, &ap) < 1e-9);
+        assert!(fp.d.iter().any(|&x| x < 0.0));
+    }
+
+    #[test]
+    fn smp_error_propagates() {
+        let a = gen::indefinite(50, 6);
+        let (sym, ap) = analyze(&a, &AmalgOpts::default());
+        let perm = sym.post.clone();
+        let sym = Arc::new(sym);
+        let r = factorize_smp(
+            &ap,
+            &sym,
+            FactorKind::Llt,
+            perm,
+            &SmpOpts {
+                threads: 4,
+                big_front: 32,
+            },
+        );
+        assert!(matches!(r, Err(FactorError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn smp_solve_end_to_end() {
+        let a = gen::elasticity3d(4, 4, 3);
+        let n = a.nrows();
+        let xstar: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut b = vec![0.0; n];
+        a.sym_spmv(&xstar, &mut b);
+        let opts = SmpOpts {
+            threads: 4,
+            big_front: 96,
+        };
+        let (_, fp, _) = both_engines(&a, FactorKind::Llt, &opts);
+        let x = fp.solve(&b);
+        for (xi, xs) in x.iter().zip(&xstar) {
+            assert!((xi - xs).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_seq() {
+        let a = gen::laplace2d(6, 6, gen::Stencil2d::FivePoint);
+        let opts = SmpOpts {
+            threads: 1,
+            big_front: 64,
+        };
+        let (fs, fp, _) = both_engines(&a, FactorKind::Llt, &opts);
+        assert_eq!(fp.max_abs_diff(&fs), 0.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Shared-memory parallel triangular solves: the solve phase parallelized
+//! over the assembly tree with real threads, mirroring the factorization's
+//! tree parallelism.
+//!
+//! The forward sweep runs leaves-to-roots (a supernode is ready when its
+//! children finished; its contribution vector travels to the parent like a
+//! one-column update matrix), the backward sweep roots-to-leaves (a
+//! supernode is ready when its parent finished and has published the x
+//! values at the child's below-pivot rows). Both sweeps therefore expose
+//! exactly the tree parallelism of the factorization — and inherit its
+//! limitation, the serial top of the tree, which is why parallel solves
+//! gain less than factorizations (cf. EXP-F4 on the distributed engine).
+
+use crate::factor::{Factor, FactorKind};
+use crate::smp::resolve_threads;
+use crossbeam_deque::{Injector, Steal};
+use parfact_dense::trsv;
+use parfact_symbolic::NONE;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Solve `A x = b` with tree-parallel sweeps on `threads` OS threads
+/// (0 = available parallelism). Results match [`Factor::solve`] to
+/// floating-point roundoff (the parent-side accumulation order of child
+/// contributions differs from the sequential sweep's global-vector order).
+pub fn solve_smp(factor: &Factor, b: &[f64], threads: usize) -> Vec<f64> {
+    let sym = &factor.sym;
+    let n = sym.n;
+    assert_eq!(b.len(), n);
+    let nthreads = resolve_threads(threads);
+    if nthreads <= 1 || sym.nsuper() <= 1 {
+        return factor.solve(b);
+    }
+    let unit = factor.kind == FactorKind::Ldlt;
+    let bp = factor.perm.apply_vec(b);
+    let nsuper = sym.nsuper();
+
+    // ---- Forward sweep (leaves to roots). ----
+    // Per-supernode pivot solution segment and upward contribution.
+    let xseg: Vec<Mutex<Vec<f64>>> = (0..nsuper).map(|_| Mutex::new(Vec::new())).collect();
+    let contrib: Vec<Mutex<Vec<f64>>> = (0..nsuper).map(|_| Mutex::new(Vec::new())).collect();
+    {
+        let pending: Vec<AtomicUsize> = (0..nsuper)
+            .map(|s| AtomicUsize::new(sym.tree.children[s].len()))
+            .collect();
+        let done = AtomicUsize::new(0);
+        let injector = Injector::new();
+        for s in 0..nsuper {
+            if sym.tree.children[s].is_empty() {
+                injector.push(s);
+            }
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..nthreads {
+                scope.spawn(|| loop {
+                    if done.load(Ordering::Relaxed) >= nsuper {
+                        break;
+                    }
+                    let s = match injector.steal() {
+                        Steal::Success(s) => s,
+                        Steal::Retry => continue,
+                        Steal::Empty => {
+                            std::thread::yield_now();
+                            continue;
+                        }
+                    };
+                    let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+                    let w = c1 - c0;
+                    let f = sym.front_order(s);
+                    let blk = &factor.blocks[s];
+                    // RHS front: pivot segment + below rows.
+                    let mut y = vec![0.0f64; f];
+                    y[..w].copy_from_slice(&bp[c0..c1]);
+                    for &c in &sym.tree.children[s] {
+                        let cv = contrib[c].lock();
+                        for (k, &r) in sym.sn_rows[c].iter().enumerate() {
+                            let pos = if r < c1 {
+                                r - c0
+                            } else {
+                                w + sym.sn_rows[s].binary_search(&r).expect("containment")
+                            };
+                            y[pos] += cv[k];
+                        }
+                    }
+                    trsv::trsv_ln(w, blk, f, &mut y[..w], unit);
+                    if f > w {
+                        let (y1, y2) = y.split_at_mut(w);
+                        trsv::gemv_sub(f - w, w, &blk[w..], f, y1, y2);
+                    }
+                    *contrib[s].lock() = y[w..].to_vec();
+                    y.truncate(w);
+                    *xseg[s].lock() = y;
+                    done.fetch_add(1, Ordering::SeqCst);
+                    let p = sym.tree.parent[s];
+                    if p != NONE && pending[p].fetch_sub(1, Ordering::SeqCst) == 1 {
+                        injector.push(p);
+                    }
+                });
+            }
+        });
+    }
+    let mut x = vec![0.0f64; n];
+    for s in 0..nsuper {
+        x[sym.sn_ptr[s]..sym.sn_ptr[s + 1]].copy_from_slice(&xseg[s].lock());
+    }
+    if unit {
+        for (xi, &di) in x.iter_mut().zip(&factor.d) {
+            *xi /= di;
+        }
+    }
+
+    // ---- Backward sweep (roots to leaves). ----
+    // Each finished supernode publishes its final x segment; a child reads
+    // the x values at its own below rows from ancestors' published
+    // segments. Publish order guarantees parents complete first.
+    {
+        let xcell: Vec<Mutex<Vec<f64>>> = (0..nsuper).map(|_| Mutex::new(Vec::new())).collect();
+        let xrows_of: Vec<Mutex<Vec<f64>>> = (0..nsuper).map(|_| Mutex::new(Vec::new())).collect();
+        let done = AtomicUsize::new(0);
+        let injector = Injector::new();
+        for &r in &sym.tree.roots {
+            injector.push(r);
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..nthreads {
+                scope.spawn(|| loop {
+                    if done.load(Ordering::Relaxed) >= nsuper {
+                        break;
+                    }
+                    let s = match injector.steal() {
+                        Steal::Success(s) => s,
+                        Steal::Retry => continue,
+                        Steal::Empty => {
+                            std::thread::yield_now();
+                            continue;
+                        }
+                    };
+                    let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+                    let w = c1 - c0;
+                    let f = sym.front_order(s);
+                    let blk = &factor.blocks[s];
+                    let xrows = xrows_of[s].lock().clone();
+                    let mut xs = x[c0..c1].to_vec();
+                    if f > w {
+                        trsv::gemv_t_sub(f - w, w, &blk[w..], f, &xrows, &mut xs);
+                    }
+                    trsv::trsv_lt(w, blk, f, &mut xs, unit);
+                    // Publish, then release children: each child's xrows are
+                    // a subset of (my cols ∪ my xrows).
+                    for &c in &sym.tree.children[s] {
+                        let vals: Vec<f64> = sym.sn_rows[c]
+                            .iter()
+                            .map(|&r| {
+                                if r < c1 {
+                                    xs[r - c0]
+                                } else {
+                                    let k = sym.sn_rows[s]
+                                        .binary_search(&r)
+                                        .expect("containment");
+                                    xrows[k]
+                                }
+                            })
+                            .collect();
+                        *xrows_of[c].lock() = vals;
+                        injector.push(c);
+                    }
+                    *xcell[s].lock() = xs;
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        for s in 0..nsuper {
+            x[sym.sn_ptr[s]..sym.sn_ptr[s + 1]].copy_from_slice(&xcell[s].lock());
+        }
+    }
+    factor.perm.apply_inv_vec(&x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{FactorOpts, SparseCholesky};
+    use parfact_sparse::{gen, ops};
+
+    fn max_rel_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .fold(0.0f64, |m, (x, y)| m.max((x - y).abs() / y.abs().max(1.0)))
+    }
+
+    #[test]
+    fn smp_solve_matches_sequential_solve() {
+        for a in [
+            gen::laplace2d(17, 15, gen::Stencil2d::FivePoint),
+            gen::laplace3d(6, 6, 6, gen::Stencil3d::SevenPoint),
+            gen::elasticity3d(4, 3, 3),
+        ] {
+            let n = a.nrows();
+            let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 29) as f64 - 14.0).collect();
+            let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+            let x_seq = chol.solve(&b);
+            let x_par = solve_smp(chol.factor(), &b, 4);
+            assert!(
+                max_rel_diff(&x_par, &x_seq) < 1e-12,
+                "parallel solve diverged"
+            );
+            assert!(ops::sym_residual_inf(&a, &x_par, &b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn smp_solve_ldlt() {
+        use crate::factor::FactorKind;
+        let a = gen::indefinite(80, 9);
+        let b: Vec<f64> = (0..80).map(|i| (i % 7) as f64 - 3.0).collect();
+        let chol = SparseCholesky::factorize(
+            &a,
+            &FactorOpts {
+                kind: FactorKind::Ldlt,
+                ..FactorOpts::default()
+            },
+        )
+        .unwrap();
+        let x_par = solve_smp(chol.factor(), &b, 3);
+        assert!(ops::sym_residual_inf(&a, &x_par, &b) < 1e-10);
+    }
+
+    #[test]
+    fn single_thread_falls_back() {
+        let a = gen::tridiagonal(30);
+        let b = vec![1.0; 30];
+        let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let x1 = solve_smp(chol.factor(), &b, 1);
+        let x2 = chol.solve(&b);
+        assert_eq!(x1, x2); // fallback is literally the sequential path
+    }
+
+    #[test]
+    fn forest_handled() {
+        // Disconnected blocks: multiple roots in both sweeps.
+        let mut coo = parfact_sparse::coo::CooMatrix::new(20, 20);
+        for b in 0..2 {
+            let base = b * 10;
+            for i in 0..10 {
+                coo.push(base + i, base + i, 3.0);
+                if i + 1 < 10 {
+                    coo.push(base + i + 1, base + i, -1.0);
+                }
+            }
+        }
+        let a = coo.to_csc();
+        let b = vec![2.0; 20];
+        let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let x = solve_smp(chol.factor(), &b, 4);
+        assert!(ops::sym_residual_inf(&a, &x, &b) < 1e-13);
+    }
+}

@@ -1,0 +1,290 @@
+//! High-level solver façade: ordering → symbolic analysis → numeric
+//! factorization → solve, with engine and ordering selection.
+
+use crate::error::FactorError;
+use crate::factor::{Factor, FactorKind};
+use crate::smp::SmpOpts;
+use parfact_order::Method;
+use parfact_sparse::csc::CscMatrix;
+use parfact_symbolic::{analyze, AmalgOpts, Symbolic};
+use std::sync::Arc;
+
+/// Engine selection for the in-process factorization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Engine {
+    /// Single-threaded multifrontal.
+    Sequential,
+    /// Shared-memory parallel multifrontal.
+    Smp(SmpOpts),
+}
+
+/// Options for [`SparseCholesky::factorize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorOpts {
+    /// Fill-reducing ordering.
+    pub ordering: Method,
+    /// Supernode amalgamation.
+    pub amalg: AmalgOpts,
+    /// `LLᵀ` or `LDLᵀ`.
+    pub kind: FactorKind,
+    /// Execution engine.
+    pub engine: Engine,
+}
+
+impl Default for FactorOpts {
+    fn default() -> Self {
+        FactorOpts {
+            ordering: Method::default(),
+            amalg: AmalgOpts::default(),
+            kind: FactorKind::Llt,
+            engine: Engine::Sequential,
+        }
+    }
+}
+
+/// Phase timings of a factorization (wall clock, seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    pub ordering_s: f64,
+    pub symbolic_s: f64,
+    pub numeric_s: f64,
+}
+
+/// A factorized sparse symmetric system.
+pub struct SparseCholesky {
+    factor: Factor,
+    times: PhaseTimes,
+    /// The permuted matrix actually factored (kept for refinement).
+    ap: CscMatrix,
+}
+
+impl SparseCholesky {
+    /// Order, analyze and factor `a` (symmetric-lower CSC).
+    pub fn factorize(a: &CscMatrix, opts: &FactorOpts) -> Result<Self, FactorError> {
+        a.check_sym_lower()?;
+        let t0 = std::time::Instant::now();
+        let fill = parfact_order::order_matrix(a, opts.ordering);
+        let t1 = std::time::Instant::now();
+        let af = fill.apply_sym_lower(a);
+        let (sym, ap) = analyze(&af, &opts.amalg);
+        let total_perm = sym.post.compose(&fill);
+        let sym = Arc::new(sym);
+        let t2 = std::time::Instant::now();
+        let factor = match opts.engine {
+            Engine::Sequential => crate::seq::factorize_seq(&ap, &sym, opts.kind, total_perm)?,
+            Engine::Smp(smp) => crate::smp::factorize_smp(&ap, &sym, opts.kind, total_perm, &smp)?,
+        };
+        let t3 = std::time::Instant::now();
+        Ok(SparseCholesky {
+            factor,
+            times: PhaseTimes {
+                ordering_s: (t1 - t0).as_secs_f64(),
+                symbolic_s: (t2 - t1).as_secs_f64(),
+                numeric_s: (t3 - t2).as_secs_f64(),
+            },
+            ap,
+        })
+    }
+
+    /// Refactorize with the same symbolic analysis (new values, same
+    /// pattern) — the production pattern for time-stepping simulations.
+    pub fn refactorize(&mut self, a: &CscMatrix, engine: Engine) -> Result<(), FactorError> {
+        let ap_new = self.factor.perm.apply_sym_lower(a);
+        let t0 = std::time::Instant::now();
+        let kind = self.factor.kind;
+        let perm = self.factor.perm.clone();
+        let sym = Arc::clone(&self.factor.sym);
+        self.factor = match engine {
+            Engine::Sequential => crate::seq::factorize_seq(&ap_new, &sym, kind, perm)?,
+            Engine::Smp(smp) => crate::smp::factorize_smp(&ap_new, &sym, kind, perm, &smp)?,
+        };
+        self.ap = ap_new;
+        self.times.numeric_s = t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.factor.solve(b)
+    }
+
+    /// Solve with iterative refinement; returns `(x, final residual ∞-norm)`.
+    /// Needs the original matrix to compute residuals — pass the same `a`
+    /// given to `factorize`.
+    pub fn solve_refined(&self, a: &CscMatrix, b: &[f64], iters: usize) -> (Vec<f64>, f64) {
+        self.factor.solve_refined(a, b, iters)
+    }
+
+    /// The underlying factor.
+    pub fn factor(&self) -> &Factor {
+        &self.factor
+    }
+
+    /// The symbolic analysis.
+    pub fn symbolic(&self) -> &Symbolic {
+        &self.factor.sym
+    }
+
+    /// Phase wall-clock timings.
+    pub fn times(&self) -> PhaseTimes {
+        self.times
+    }
+
+    /// Factor nonzeros (padding included).
+    pub fn factor_nnz(&self) -> usize {
+        self.factor.nnz()
+    }
+
+    /// Predicted factorization flops.
+    pub fn factor_flops(&self) -> f64 {
+        self.factor.sym.factor_flops()
+    }
+
+    /// The permuted matrix the factor refers to (testing/diagnostics).
+    pub fn permuted_matrix(&self) -> &CscMatrix {
+        &self.ap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfact_sparse::{gen, ops};
+
+    #[test]
+    fn default_pipeline_solves_laplace() {
+        let a = gen::laplace2d(15, 13, gen::Stencil2d::FivePoint);
+        let b = vec![1.0; a.nrows()];
+        let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let x = chol.solve(&b);
+        assert!(ops::sym_residual_inf(&a, &x, &b) < 1e-12);
+        assert!(chol.factor_nnz() >= a.nnz());
+        assert!(chol.factor_flops() > 0.0);
+    }
+
+    #[test]
+    fn all_orderings_solve_correctly() {
+        let a = gen::laplace3d(4, 5, 4, gen::Stencil3d::SevenPoint);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| (i % 7) as f64 - 3.0).collect();
+        for ordering in [
+            Method::Natural,
+            Method::Rcm,
+            Method::MinDegree,
+            Method::default(),
+        ] {
+            let chol = SparseCholesky::factorize(
+                &a,
+                &FactorOpts {
+                    ordering,
+                    ..FactorOpts::default()
+                },
+            )
+            .unwrap();
+            let x = chol.solve(&b);
+            assert!(
+                ops::sym_residual_inf(&a, &x, &b) < 1e-12,
+                "ordering {ordering:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn smp_engine_through_facade() {
+        let a = gen::elasticity3d(4, 3, 3);
+        let b = vec![0.5; a.nrows()];
+        let chol = SparseCholesky::factorize(
+            &a,
+            &FactorOpts {
+                engine: Engine::Smp(SmpOpts {
+                    threads: 4,
+                    big_front: 128,
+                }),
+                ..FactorOpts::default()
+            },
+        )
+        .unwrap();
+        let x = chol.solve(&b);
+        assert!(ops::sym_residual_inf(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn nd_beats_natural_on_grid_fill() {
+        let a = gen::laplace2d(24, 24, gen::Stencil2d::FivePoint);
+        let nat = SparseCholesky::factorize(
+            &a,
+            &FactorOpts {
+                ordering: Method::Natural,
+                ..FactorOpts::default()
+            },
+        )
+        .unwrap();
+        let nd = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        assert!(
+            nd.factor_nnz() < nat.factor_nnz(),
+            "nd {} vs natural {}",
+            nd.factor_nnz(),
+            nat.factor_nnz()
+        );
+    }
+
+    #[test]
+    fn ldlt_handles_indefinite() {
+        let a = gen::indefinite(60, 3);
+        let b = vec![1.0; 60];
+        let spd_attempt = SparseCholesky::factorize(&a, &FactorOpts::default());
+        assert!(matches!(
+            spd_attempt,
+            Err(FactorError::NotPositiveDefinite { .. })
+        ));
+        let chol = SparseCholesky::factorize(
+            &a,
+            &FactorOpts {
+                kind: FactorKind::Ldlt,
+                ..FactorOpts::default()
+            },
+        )
+        .unwrap();
+        let x = chol.solve(&b);
+        assert!(ops::sym_residual_inf(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn refactorize_reuses_symbolic() {
+        let a = gen::random_spd(60, 4, 1);
+        let mut chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let nnz_before = chol.factor_nnz();
+        // Same pattern, scaled values.
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= 2.0;
+        }
+        chol.refactorize(&a2, Engine::Sequential).unwrap();
+        assert_eq!(chol.factor_nnz(), nnz_before);
+        let b = vec![3.0; 60];
+        let x = chol.solve(&b);
+        assert!(ops::sym_residual_inf(&a2, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_lower_input() {
+        let mut coo = parfact_sparse::coo::CooMatrix::new(2, 2);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 1, 1.0); // upper entry
+        coo.push(1, 1, 2.0);
+        let bad = coo.to_csc();
+        assert!(matches!(
+            SparseCholesky::factorize(&bad, &FactorOpts::default()),
+            Err(FactorError::BadStructure(_))
+        ));
+    }
+
+    #[test]
+    fn refined_solve_reports_residual() {
+        let a = gen::laplace2d(10, 10, gen::Stencil2d::FivePoint);
+        let b = vec![2.0; 100];
+        let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let (x, r) = chol.solve_refined(&a, &b, 2);
+        assert!(r < 1e-12);
+        assert!(ops::sym_residual_inf(&a, &x, &b) < 1e-13);
+    }
+}

@@ -1,0 +1,397 @@
+//! BLAS-3 style kernels on column-major buffers with explicit leading
+//! dimensions.
+//!
+//! Only the operations the multifrontal factorization needs are provided,
+//! in the exact variants it needs them:
+//!
+//! - [`gemm_nt`] — `C ← α A Bᵀ + β C` (the outer-product update shape);
+//! - [`syrk_ln`] — lower-triangle `C ← α A Aᵀ + β C` (Schur complements);
+//! - [`trsm_right_lt`] — `X Lᵀ = B` (panel scaling below a factored block);
+//! - [`trsm_left_ln`] / [`trsm_left_lt`] — forward/backward block solves.
+//!
+//! Loops are arranged so the innermost dimension is the contiguous
+//! (column) direction; the `k`/`j` dimensions are tiled so panel columns
+//! are reused while they are hot. The compiler auto-vectorizes the unit
+//! stride inner loops.
+
+/// Tile size along the shared (`k`) dimension.
+const KC: usize = 64;
+/// Tile size along the output-column (`n`) dimension.
+const NC: usize = 128;
+
+#[inline]
+fn at(ld: usize, i: usize, j: usize) -> usize {
+    j * ld + i
+}
+
+/// `C ← α A Bᵀ + β C` where `A` is `m x k`, `B` is `n x k`, `C` is `m x n`,
+/// all column-major with leading dimensions `lda`, `ldb`, `ldc`.
+pub fn gemm_nt(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    debug_assert!(lda >= m.max(1) && ldb >= n.max(1) && ldc >= m.max(1));
+    if beta != 1.0 {
+        for j in 0..n {
+            let cj = &mut c[at(ldc, 0, j)..at(ldc, m, j)];
+            if beta == 0.0 {
+                cj.fill(0.0);
+            } else {
+                for v in cj {
+                    *v *= beta;
+                }
+            }
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for l0 in (0..k).step_by(KC) {
+        let l1 = (l0 + KC).min(k);
+        for j0 in (0..n).step_by(NC) {
+            let j1 = (j0 + NC).min(n);
+            for j in j0..j1 {
+                let cj = j * ldc;
+                for l in l0..l1 {
+                    let blj = alpha * b[at(ldb, j, l)];
+                    if blj == 0.0 {
+                        continue;
+                    }
+                    let al = l * lda;
+                    let (acol, ccol) = (&a[al..al + m], &mut c[cj..cj + m]);
+                    for (cv, &av) in ccol.iter_mut().zip(acol) {
+                        *cv += av * blj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lower-triangle symmetric rank-k update: `C ← α A Aᵀ + β C`, touching only
+/// `C[i][j]` with `i >= j`. `A` is `n x k`, `C` is `n x n`.
+pub fn syrk_ln(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    debug_assert!(lda >= n.max(1) && ldc >= n.max(1));
+    if beta != 1.0 {
+        for j in 0..n {
+            let cj = &mut c[at(ldc, j, j)..at(ldc, n, j)];
+            if beta == 0.0 {
+                cj.fill(0.0);
+            } else {
+                for v in cj {
+                    *v *= beta;
+                }
+            }
+        }
+    }
+    if alpha == 0.0 || n == 0 || k == 0 {
+        return;
+    }
+    for l0 in (0..k).step_by(KC) {
+        let l1 = (l0 + KC).min(k);
+        for j in 0..n {
+            let cj = j * ldc;
+            for l in l0..l1 {
+                let alj = alpha * a[at(lda, j, l)];
+                if alj == 0.0 {
+                    continue;
+                }
+                let al = l * lda;
+                let (acol, ccol) = (&a[al + j..al + n], &mut c[cj + j..cj + n]);
+                for (cv, &av) in ccol.iter_mut().zip(acol) {
+                    *cv += av * alj;
+                }
+            }
+        }
+    }
+}
+
+/// Solve `X Lᵀ = B` in place (`B ← B L⁻ᵀ`), where `L` is `n x n` lower
+/// triangular (not unit) and `B` is `m x n`.
+///
+/// This is the panel operation of Cholesky: given the factored diagonal
+/// block `L11`, the subdiagonal panel becomes `L21 = A21 L11⁻ᵀ`.
+pub fn trsm_right_lt(
+    m: usize,
+    n: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    debug_assert!(ldl >= n.max(1) && ldb >= m.max(1));
+    // Column j of X depends on columns < j: B[:,j] = Σ_{t<=j} X[:,t] L[j,t].
+    for j in 0..n {
+        // Subtract contributions of already-solved columns.
+        for t in 0..j {
+            let ljt = l[at(ldl, j, t)];
+            if ljt == 0.0 {
+                continue;
+            }
+            let (tcol, jcol) = (t * ldb, j * ldb);
+            // Split to satisfy the borrow checker: t < j always.
+            let (lo, hi) = b.split_at_mut(jcol);
+            let xt = &lo[tcol..tcol + m];
+            let bj = &mut hi[..m];
+            for (bv, &xv) in bj.iter_mut().zip(xt) {
+                *bv -= xv * ljt;
+            }
+        }
+        let inv = 1.0 / l[at(ldl, j, j)];
+        for v in &mut b[at(ldb, 0, j)..at(ldb, m, j)] {
+            *v *= inv;
+        }
+    }
+}
+
+/// Solve `L X = B` in place (`B ← L⁻¹ B`), `L` lower `n x n`, `B` `n x nrhs`.
+/// If `unit` is true the diagonal of `L` is taken as 1 (LDLᵀ convention).
+pub fn trsm_left_ln(
+    n: usize,
+    nrhs: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+    unit: bool,
+) {
+    debug_assert!(ldl >= n.max(1) && ldb >= n.max(1));
+    for r in 0..nrhs {
+        let bc = r * ldb;
+        for j in 0..n {
+            let mut xj = b[bc + j];
+            if !unit {
+                xj /= l[at(ldl, j, j)];
+            }
+            b[bc + j] = xj;
+            if xj != 0.0 {
+                let lc = j * ldl;
+                for i in j + 1..n {
+                    b[bc + i] -= l[lc + i] * xj;
+                }
+            }
+        }
+    }
+}
+
+/// Solve `Lᵀ X = B` in place (`B ← L⁻ᵀ B`), `L` lower `n x n`, `B` `n x nrhs`.
+pub fn trsm_left_lt(
+    n: usize,
+    nrhs: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+    unit: bool,
+) {
+    debug_assert!(ldl >= n.max(1) && ldb >= n.max(1));
+    for r in 0..nrhs {
+        let bc = r * ldb;
+        for j in (0..n).rev() {
+            let lc = j * ldl;
+            let mut acc = b[bc + j];
+            for i in j + 1..n {
+                acc -= l[lc + i] * b[bc + i];
+            }
+            b[bc + j] = if unit { acc } else { acc / l[lc + j] };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DMat;
+
+    fn det_rng(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed.max(1);
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 2000) as f64 / 1000.0 - 1.0
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive() {
+        let mut r = det_rng(1);
+        let (m, n, k) = (7, 5, 9);
+        let a = DMat::from_fn(m, k, |_, _| r());
+        let b = DMat::from_fn(n, k, |_, _| r());
+        let c0 = DMat::from_fn(m, n, |_, _| r());
+
+        let mut c = c0.clone();
+        gemm_nt(
+            m, n, k, 2.0,
+            a.as_slice(), m,
+            b.as_slice(), n,
+            0.5,
+            c.as_mut_slice(), m,
+        );
+        // Reference: 2 * A * B^T + 0.5 * C0.
+        let mut reference = a.matmul(&b.transpose());
+        for j in 0..n {
+            for i in 0..m {
+                reference[(i, j)] = 2.0 * reference[(i, j)] + 0.5 * c0[(i, j)];
+            }
+        }
+        assert!(c.max_abs_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_nt_respects_leading_dimension() {
+        // Embed a 2x2 product inside larger buffers.
+        let (lda, ldb, ldc) = (4, 3, 5);
+        let mut a = vec![0.0; lda * 2];
+        let mut b = vec![0.0; ldb * 2];
+        let mut c = vec![9.0; ldc * 2];
+        // A = [1 2; 3 4] (col-major within ld), B = I.
+        a[0] = 1.0;
+        a[1] = 3.0;
+        a[lda] = 2.0;
+        a[lda + 1] = 4.0;
+        b[0] = 1.0;
+        b[ldb + 1] = 1.0;
+        gemm_nt(2, 2, 2, 1.0, &a, lda, &b, ldb, 0.0, &mut c, ldc);
+        assert_eq!(&c[0..2], &[1.0, 3.0]);
+        assert_eq!(&c[ldc..ldc + 2], &[2.0, 4.0]);
+        // Padding untouched beyond the written rows.
+        assert_eq!(c[2], 9.0);
+    }
+
+    #[test]
+    fn gemm_handles_large_blocked_path() {
+        // Exercise the KC/NC tiling with dims beyond one tile.
+        let mut r = det_rng(2);
+        let (m, n, k) = (30, 150, 80);
+        let a = DMat::from_fn(m, k, |_, _| r());
+        let b = DMat::from_fn(n, k, |_, _| r());
+        let mut c = DMat::zeros(m, n);
+        gemm_nt(
+            m, n, k, 1.0,
+            a.as_slice(), m,
+            b.as_slice(), n,
+            0.0,
+            c.as_mut_slice(), m,
+        );
+        let reference = a.matmul(&b.transpose());
+        assert!(c.max_abs_diff(&reference) < 1e-11);
+    }
+
+    #[test]
+    fn syrk_ln_matches_gemm_on_lower() {
+        let mut r = det_rng(3);
+        let (n, k) = (9, 6);
+        let a = DMat::from_fn(n, k, |_, _| r());
+        let mut c = DMat::zeros(n, n);
+        syrk_ln(n, k, -1.0, a.as_slice(), n, 1.0, c.as_mut_slice(), n);
+        let full = a.matmul(&a.transpose());
+        for j in 0..n {
+            for i in 0..n {
+                if i >= j {
+                    assert!((c[(i, j)] + full[(i, j)]).abs() < 1e-12);
+                } else {
+                    assert_eq!(c[(i, j)], 0.0, "upper triangle must stay untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_right_lt_inverts_multiplication() {
+        let mut r = det_rng(4);
+        let (m, n) = (6, 4);
+        // Well-conditioned lower L: random strictly lower + dominant diagonal.
+        let l = DMat::from_fn(n, n, |i, j| {
+            if i > j {
+                r() * 0.3
+            } else if i == j {
+                2.0 + r().abs()
+            } else {
+                0.0
+            }
+        });
+        let x = DMat::from_fn(m, n, |_, _| r());
+        // B = X * L^T, then solve back.
+        let mut b = x.matmul(&l.transpose());
+        trsm_right_lt(m, n, l.as_slice(), n, b.as_mut_slice(), m);
+        assert!(b.max_abs_diff(&x) < 1e-12);
+    }
+
+    #[test]
+    fn trsm_left_ln_and_lt_roundtrip() {
+        let mut r = det_rng(5);
+        let n = 7;
+        let nrhs = 3;
+        let l = DMat::from_fn(n, n, |i, j| {
+            if i > j {
+                r() * 0.4
+            } else if i == j {
+                1.5 + r().abs()
+            } else {
+                0.0
+            }
+        });
+        let x = DMat::from_fn(n, nrhs, |_, _| r());
+        let mut b = l.matmul(&x);
+        trsm_left_ln(n, nrhs, l.as_slice(), n, b.as_mut_slice(), n, false);
+        assert!(b.max_abs_diff(&x) < 1e-12);
+
+        let mut b2 = l.transpose().matmul(&x);
+        trsm_left_lt(n, nrhs, l.as_slice(), n, b2.as_mut_slice(), n, false);
+        assert!(b2.max_abs_diff(&x) < 1e-12);
+    }
+
+    #[test]
+    fn trsm_unit_diagonal_variants() {
+        let mut r = det_rng(6);
+        let n = 5;
+        // Unit lower triangular.
+        let l = DMat::from_fn(n, n, |i, j| {
+            if i > j {
+                r() * 0.5
+            } else if i == j {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let x = DMat::from_fn(n, 2, |_, _| r());
+        let mut b = l.matmul(&x);
+        // Pass garbage on the diagonal to prove `unit = true` ignores it.
+        let mut lg = l.clone();
+        for i in 0..n {
+            lg[(i, i)] = 123.0;
+        }
+        trsm_left_ln(n, 2, lg.as_slice(), n, b.as_mut_slice(), n, true);
+        assert!(b.max_abs_diff(&x) < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sizes_are_noops() {
+        let mut c = [1.0; 1];
+        gemm_nt(0, 0, 0, 1.0, &[], 1, &[], 1, 1.0, &mut c, 1);
+        syrk_ln(0, 0, 1.0, &[], 1, 1.0, &mut c, 1);
+        trsm_right_lt(0, 0, &[], 1, &mut c, 1);
+        assert_eq!(c[0], 1.0);
+    }
+}

@@ -1,0 +1,378 @@
+//! Blocked dense Cholesky and LDLᵀ, full and **partial**.
+//!
+//! The partial variants are the heart of the multifrontal method: a frontal
+//! matrix of order `nf` has its first `npiv` variables eliminated, leaving
+//! the Schur complement of the remaining `nf - npiv` in the trailing block.
+//! Storage is column-major lower triangle; the strict upper triangle is
+//! never read or written.
+
+use crate::blas::{syrk_ln, trsm_right_lt};
+use crate::error::DenseError;
+
+/// Panel width for the blocked algorithms.
+pub const NB: usize = 48;
+
+#[inline]
+fn at(ld: usize, i: usize, j: usize) -> usize {
+    j * ld + i
+}
+
+/// Unblocked right-looking Cholesky of the leading `n x n` lower block.
+/// `base` is added to pivot indices in errors (so blocked callers report
+/// global positions).
+fn potf2(n: usize, a: &mut [f64], lda: usize, base: usize) -> Result<(), DenseError> {
+    for j in 0..n {
+        let ajj = a[at(lda, j, j)];
+        if ajj <= 0.0 || !ajj.is_finite() {
+            return Err(DenseError::NotPositiveDefinite {
+                index: base + j,
+                value: ajj,
+            });
+        }
+        let root = ajj.sqrt();
+        a[at(lda, j, j)] = root;
+        let inv = 1.0 / root;
+        for i in j + 1..n {
+            a[at(lda, i, j)] *= inv;
+        }
+        // Rank-1 update of the trailing lower triangle.
+        for l in j + 1..n {
+            let alj = a[at(lda, l, j)];
+            if alj == 0.0 {
+                continue;
+            }
+            let (cstart, jstart) = (l * lda, j * lda);
+            for i in l..n {
+                a[cstart + i] -= a[jstart + i] * alj;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Partial blocked Cholesky: factor the first `npiv` columns of the `nf x nf`
+/// lower-stored front `f` (leading dimension `ldf`), producing
+///
+/// - `L11` (lower, `npiv x npiv`) in the leading block,
+/// - `L21` (`(nf-npiv) x npiv`) below it,
+/// - the **Schur complement** `A22 - L21 L21ᵀ` in the trailing lower block.
+///
+/// With `npiv == nf` this is an ordinary blocked `LLᵀ` factorization.
+pub fn partial_potrf(
+    nf: usize,
+    npiv: usize,
+    f: &mut [f64],
+    ldf: usize,
+) -> Result<(), DenseError> {
+    assert!(npiv <= nf);
+    assert!(ldf >= nf.max(1));
+    let mut j = 0;
+    while j < npiv {
+        let jb = NB.min(npiv - j);
+        let rest = nf - j - jb;
+        // Split so the three regions can be borrowed disjointly: everything
+        // is addressed inside `f` with offsets, single mutable borrow.
+        // 1. Factor the diagonal block.
+        {
+            let djj = at(ldf, j, j);
+            let (_, tail) = f.split_at_mut(djj);
+            potf2(jb, tail, ldf, j)?;
+        }
+        if rest > 0 {
+            // 2. Panel: L21 = A21 L11^{-T}. L11 and A21 interleave within the
+            // same columns, so copy the (small) factored diagonal block into a
+            // compact buffer instead of reaching for unsafe aliasing.
+            let mut l11 = vec![0.0f64; jb * jb];
+            for t in 0..jb {
+                for i in t..jb {
+                    l11[t * jb + i] = f[at(ldf, j + i, j + t)];
+                }
+            }
+            let a21 = at(ldf, j + jb, j);
+            let (_, tail) = f.split_at_mut(a21);
+            trsm_right_lt(rest, jb, &l11, jb, tail, ldf);
+            // 3. Trailing update: A22 -= L21 L21^T (lower).
+            let (panel, trailing) = f.split_at_mut(at(ldf, j + jb, j + jb));
+            syrk_ln(
+                rest,
+                jb,
+                -1.0,
+                &panel[at(ldf, j + jb, j)..],
+                ldf,
+                1.0,
+                trailing,
+                ldf,
+            );
+        }
+        j += jb;
+    }
+    Ok(())
+}
+
+/// Full blocked Cholesky (`LLᵀ`) of an `n x n` lower-stored matrix.
+pub fn potrf(n: usize, a: &mut [f64], lda: usize) -> Result<(), DenseError> {
+    partial_potrf(n, n, a, lda)
+}
+
+/// Relative threshold under which an LDLᵀ pivot counts as zero.
+pub const LDLT_PIVOT_TOL: f64 = 1e-300;
+
+/// Partial `LDLᵀ` factorization (no pivoting): factor the first `npiv`
+/// columns of the `nf x nf` lower-stored front. On return the unit-lower
+/// `L` occupies the strictly-lower part of the leading `npiv` columns,
+/// `d[0..npiv]` holds the (possibly negative) pivots, and the trailing
+/// block holds the Schur complement.
+///
+/// Without pivoting this is only numerically safe for quasi-definite or
+/// diagonally dominant symmetric matrices; a vanishing pivot is reported
+/// as [`DenseError::ZeroPivot`] rather than silently producing infinities.
+pub fn partial_ldlt(
+    nf: usize,
+    npiv: usize,
+    f: &mut [f64],
+    ldf: usize,
+    d: &mut [f64],
+) -> Result<(), DenseError> {
+    assert!(npiv <= nf);
+    assert!(ldf >= nf.max(1));
+    assert!(d.len() >= npiv);
+    for j in 0..npiv {
+        let dj = f[at(ldf, j, j)];
+        if dj.abs() <= LDLT_PIVOT_TOL || !dj.is_finite() {
+            return Err(DenseError::ZeroPivot { index: j });
+        }
+        d[j] = dj;
+        let inv = 1.0 / dj;
+        // Scale column j to unit-lower L.
+        for i in j + 1..nf {
+            f[at(ldf, i, j)] *= inv;
+        }
+        // Trailing update: A[i, l] -= L[i, j] * d_j * L[l, j]  (i >= l > j).
+        for l in j + 1..nf {
+            let w = f[at(ldf, l, j)] * dj;
+            if w == 0.0 {
+                continue;
+            }
+            let (lcol, jcol) = (l * ldf, j * ldf);
+            for i in l..nf {
+                f[lcol + i] -= f[jcol + i] * w;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Full `LDLᵀ` of an `n x n` lower-stored matrix.
+pub fn ldlt(n: usize, a: &mut [f64], lda: usize, d: &mut [f64]) -> Result<(), DenseError> {
+    partial_ldlt(n, n, a, lda, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DMat;
+
+    fn det_rng(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed.max(1);
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 2000) as f64 / 1000.0 - 1.0
+        }
+    }
+
+    fn reconstruct_lower(l: &DMat) -> DMat {
+        let mut ll = l.clone();
+        ll.zero_upper();
+        ll.matmul(&ll.transpose())
+    }
+
+    #[test]
+    fn potrf_small_known() {
+        // A = [[4, 2], [2, 5]] -> L = [[2, 0], [1, 2]].
+        let mut a = DMat::zeros(2, 2);
+        a[(0, 0)] = 4.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 5.0;
+        potrf(2, a.as_mut_slice(), 2).unwrap();
+        assert!((a[(0, 0)] - 2.0).abs() < 1e-15);
+        assert!((a[(1, 0)] - 1.0).abs() < 1e-15);
+        assert!((a[(1, 1)] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn potrf_reconstructs_random_spd() {
+        for n in [1usize, 3, 17, 48, 49, 97, 130] {
+            let mut r = det_rng(n as u64);
+            let a = DMat::random_spd(n, &mut r);
+            let mut l = a.clone();
+            potrf(n, l.as_mut_slice(), n).unwrap();
+            let back = reconstruct_lower(&l);
+            // Compare lower triangles.
+            let mut err: f64 = 0.0;
+            for j in 0..n {
+                for i in j..n {
+                    err = err.max((back[(i, j)] - a[(i, j)]).abs());
+                }
+            }
+            assert!(err < 1e-9 * n as f64, "n={n}, err={err}");
+        }
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let mut a = DMat::identity(3);
+        a[(1, 1)] = -1.0;
+        let e = potrf(3, a.as_mut_slice(), 3).unwrap_err();
+        assert_eq!(
+            e,
+            DenseError::NotPositiveDefinite {
+                index: 1,
+                value: -1.0
+            }
+        );
+    }
+
+    #[test]
+    fn potrf_reports_global_pivot_index_in_blocked_path() {
+        // Make a big SPD matrix, then poison a diagonal entry beyond the
+        // first panel so the failure happens inside a later block.
+        let n = NB + 10;
+        let mut r = det_rng(9);
+        let mut a = DMat::random_spd(n, &mut r);
+        let bad = NB + 5;
+        a[(bad, bad)] = -1e6;
+        let e = potrf(n, a.as_mut_slice(), n).unwrap_err();
+        match e {
+            DenseError::NotPositiveDefinite { index, .. } => assert_eq!(index, bad),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_potrf_produces_schur_complement() {
+        let n = 20;
+        let npiv = 7;
+        let mut r = det_rng(77);
+        let a = DMat::random_spd(n, &mut r);
+        let mut f = a.clone();
+        partial_potrf(n, npiv, f.as_mut_slice(), n).unwrap();
+
+        // Reference: full factor, then reconstruct what the Schur complement
+        // must be: S = A22 - A21 A11^{-1} A12.
+        // Compute via the factored pieces: S = A22 - L21 L21^T where the
+        // L-pieces come from a *full* factorization truncated at npiv.
+        let mut lfull = a.clone();
+        potrf(n, lfull.as_mut_slice(), n).unwrap();
+        // L11/L21 of the full factor equal those of the partial factor.
+        for j in 0..npiv {
+            for i in j..n {
+                assert!(
+                    (f[(i, j)] - lfull[(i, j)]).abs() < 1e-10,
+                    "factored panel mismatch at ({i},{j})"
+                );
+            }
+        }
+        // Schur complement check: finishing the factorization of the trailing
+        // block of `f` must reproduce the trailing block of the full factor.
+        let rest = n - npiv;
+        let mut s = DMat::zeros(rest, rest);
+        for j in 0..rest {
+            for i in j..rest {
+                s[(i, j)] = f[(npiv + i, npiv + j)];
+            }
+        }
+        potrf(rest, s.as_mut_slice(), rest).unwrap();
+        for j in 0..rest {
+            for i in j..rest {
+                assert!((s[(i, j)] - lfull[(npiv + i, npiv + j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_potrf_with_zero_pivots_is_noop() {
+        let mut r = det_rng(5);
+        let a = DMat::random_spd(6, &mut r);
+        let mut f = a.clone();
+        partial_potrf(6, 0, f.as_mut_slice(), 6).unwrap();
+        assert_eq!(f, a);
+    }
+
+    #[test]
+    fn ldlt_reconstructs_spd_and_matches_cholesky() {
+        let n = 25;
+        let mut r = det_rng(13);
+        let a = DMat::random_spd(n, &mut r);
+        let mut l = a.clone();
+        let mut d = vec![0.0; n];
+        ldlt(n, l.as_mut_slice(), n, &mut d).unwrap();
+        // Reconstruct L D L^T over the lower triangle.
+        for j in 0..n {
+            for i in j..n {
+                let mut acc = 0.0;
+                for k in 0..=j {
+                    let lik = if i == k { 1.0 } else { l[(i, k)] };
+                    let ljk = if j == k { 1.0 } else { l[(j, k)] };
+                    acc += lik * d[k] * ljk;
+                }
+                assert!((acc - a[(i, j)]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+        // All pivots positive for an SPD matrix.
+        assert!(d.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn ldlt_handles_negative_pivots() {
+        // Indefinite but strongly diagonally dominant per sign: A = diag(2, -3)
+        // plus small coupling.
+        let mut a = DMat::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(1, 0)] = 0.5;
+        a[(1, 1)] = -3.0;
+        let mut d = vec![0.0; 2];
+        ldlt(2, a.as_mut_slice(), 2, &mut d).unwrap();
+        assert!(d[0] > 0.0 && d[1] < 0.0);
+        // Reconstruct entry (1,1): d0*l10^2 + d1 = -3.
+        let l10 = a[(1, 0)];
+        assert!((d[0] * l10 * l10 + d[1] + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ldlt_rejects_zero_pivot() {
+        let mut a = DMat::zeros(2, 2);
+        a[(1, 0)] = 1.0; // zero diagonal
+        let mut d = vec![0.0; 2];
+        assert_eq!(
+            ldlt(2, a.as_mut_slice(), 2, &mut d),
+            Err(DenseError::ZeroPivot { index: 0 })
+        );
+    }
+
+    #[test]
+    fn partial_ldlt_schur_matches_partial_potrf() {
+        // On an SPD matrix, the LDLt Schur complement equals the LLt one.
+        let n = 15;
+        let npiv = 6;
+        let mut r = det_rng(21);
+        let a = DMat::random_spd(n, &mut r);
+        let mut f1 = a.clone();
+        partial_potrf(n, npiv, f1.as_mut_slice(), n).unwrap();
+        let mut f2 = a.clone();
+        let mut d = vec![0.0; npiv];
+        partial_ldlt(n, npiv, f2.as_mut_slice(), n, &mut d).unwrap();
+        for j in npiv..n {
+            for i in j..n {
+                assert!((f1[(i, j)] - f2[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        potrf(0, &mut [], 1).unwrap();
+        partial_potrf(0, 0, &mut [], 1).unwrap();
+    }
+}

@@ -1,0 +1,28 @@
+//! Errors surfaced by the dense factorization kernels.
+
+use std::fmt;
+
+/// Failure modes of dense (partial) factorizations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DenseError {
+    /// Cholesky hit a non-positive pivot: the matrix is not positive
+    /// definite. `index` is the global pivot index within the block being
+    /// factored, `value` the offending diagonal entry.
+    NotPositiveDefinite { index: usize, value: f64 },
+    /// LDLᵀ hit an exactly-zero pivot (structurally singular block).
+    ZeroPivot { index: usize },
+}
+
+impl fmt::Display for DenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DenseError::NotPositiveDefinite { index, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {index} has value {value:e}"
+            ),
+            DenseError::ZeroPivot { index } => write!(f, "zero pivot at index {index}"),
+        }
+    }
+}
+
+impl std::error::Error for DenseError {}

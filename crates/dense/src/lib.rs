@@ -1,0 +1,29 @@
+//! Dense kernels for `parfact` frontal matrices.
+//!
+//! The multifrontal method turns a sparse factorization into a tree of
+//! *dense* partial factorizations. This crate supplies those kernels in
+//! pure Rust, mirroring the BLAS-3/LAPACK operations a production solver
+//! would get from a vendor library:
+//!
+//! - [`blas`] — `gemm` (`C += A Bᵀ`), `syrk` (lower `C += A Aᵀ`), and the
+//!   `trsm` variants the factorization needs, cache-blocked;
+//! - [`chol`] — blocked full and **partial** Cholesky (`LLᵀ`) and `LDLᵀ`
+//!   factorizations of a front: factor the first `npiv` columns, form the
+//!   Schur complement of the rest;
+//! - [`bunch_kaufman`] — fully pivoted dense `LDLᵀ` (1×1/2×2 blocks) for
+//!   general symmetric indefinite systems, with inertia computation;
+//! - [`trsv`] — dense triangular solves used by the sparse solve phase;
+//! - [`matrix`] — a small column-major matrix type for assembling fronts.
+//!
+//! All kernels work on **column-major** storage with an explicit leading
+//! dimension, so they apply directly to sub-blocks of larger fronts.
+
+pub mod blas;
+pub mod bunch_kaufman;
+pub mod chol;
+pub mod error;
+pub mod matrix;
+pub mod trsv;
+
+pub use error::DenseError;
+pub use matrix::DMat;

@@ -1,0 +1,162 @@
+//! Dense triangular solves on vectors — the kernels behind the sparse
+//! solve phase, operating on per-supernode blocks of the factor.
+
+#[inline]
+fn at(ld: usize, i: usize, j: usize) -> usize {
+    j * ld + i
+}
+
+/// Forward solve `L x = b` in place, `L` lower `n x n` with leading
+/// dimension `ldl`. With `unit`, the diagonal is implicitly 1.
+pub fn trsv_ln(n: usize, l: &[f64], ldl: usize, x: &mut [f64], unit: bool) {
+    debug_assert!(x.len() >= n);
+    for j in 0..n {
+        let mut xj = x[j];
+        if !unit {
+            xj /= l[at(ldl, j, j)];
+        }
+        x[j] = xj;
+        if xj != 0.0 {
+            let lc = j * ldl;
+            for i in j + 1..n {
+                x[i] -= l[lc + i] * xj;
+            }
+        }
+    }
+}
+
+/// Backward solve `Lᵀ x = b` in place.
+pub fn trsv_lt(n: usize, l: &[f64], ldl: usize, x: &mut [f64], unit: bool) {
+    debug_assert!(x.len() >= n);
+    for j in (0..n).rev() {
+        let lc = j * ldl;
+        let mut acc = x[j];
+        for i in j + 1..n {
+            acc -= l[lc + i] * x[i];
+        }
+        x[j] = if unit { acc } else { acc / l[lc + j] };
+    }
+}
+
+/// `y -= L21 * x` where `L21` is `m x n` (the subdiagonal panel of a
+/// supernode), `x` has length `n`, `y` length `m`. Used during the forward
+/// sweep to push a supernode's contribution into its ancestors.
+pub fn gemv_sub(m: usize, n: usize, l21: &[f64], ld: usize, x: &[f64], y: &mut [f64]) {
+    debug_assert!(x.len() >= n && y.len() >= m);
+    for j in 0..n {
+        let xj = x[j];
+        if xj == 0.0 {
+            continue;
+        }
+        let lc = j * ld;
+        for i in 0..m {
+            y[i] -= l21[lc + i] * xj;
+        }
+    }
+}
+
+/// `x -= L21ᵀ * y` with the same shapes as [`gemv_sub`]. Used during the
+/// backward sweep to pull ancestor values back into a supernode.
+pub fn gemv_t_sub(m: usize, n: usize, l21: &[f64], ld: usize, y: &[f64], x: &mut [f64]) {
+    debug_assert!(y.len() >= m && x.len() >= n);
+    for j in 0..n {
+        let lc = j * ld;
+        let mut acc = 0.0;
+        for i in 0..m {
+            acc += l21[lc + i] * y[i];
+        }
+        x[j] -= acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DMat;
+
+    fn lower(n: usize, seed: u64) -> DMat {
+        let mut s = seed.max(1);
+        let mut r = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 2000) as f64 / 1000.0 - 1.0
+        };
+        DMat::from_fn(n, n, |i, j| {
+            if i > j {
+                r() * 0.4
+            } else if i == j {
+                1.5 + r().abs()
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn trsv_roundtrip() {
+        let n = 9;
+        let l = lower(n, 3);
+        let x0: Vec<f64> = (0..n).map(|i| (i as f64) - 4.0).collect();
+        // b = L x0.
+        let xm = DMat::from_colmajor(n, 1, x0.clone());
+        let mut b: Vec<f64> = l.matmul(&xm).as_slice().to_vec();
+        trsv_ln(n, l.as_slice(), n, &mut b, false);
+        for (a, e) in b.iter().zip(&x0) {
+            assert!((a - e).abs() < 1e-12);
+        }
+        // bt = L^T x0.
+        let mut bt: Vec<f64> = l.transpose().matmul(&xm).as_slice().to_vec();
+        trsv_lt(n, l.as_slice(), n, &mut bt, false);
+        for (a, e) in bt.iter().zip(&x0) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trsv_unit_ignores_diagonal() {
+        let n = 5;
+        let mut l = lower(n, 4);
+        let x0 = vec![1.0; n];
+        // b = Lunit x0 where Lunit has 1s on the diagonal.
+        let mut lu = l.clone();
+        for i in 0..n {
+            lu[(i, i)] = 1.0;
+        }
+        let mut b: Vec<f64> =
+            lu.matmul(&DMat::from_colmajor(n, 1, x0.clone())).as_slice().to_vec();
+        for i in 0..n {
+            l[(i, i)] = f64::NAN; // must never be read
+        }
+        trsv_ln(n, l.as_slice(), n, &mut b, true);
+        for (a, e) in b.iter().zip(&x0) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemv_sub_matches_matvec() {
+        let (m, n) = (6, 4);
+        let l21 = DMat::from_fn(m, n, |i, j| (i + j) as f64);
+        let x: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let mut y = vec![100.0; m];
+        gemv_sub(m, n, l21.as_slice(), m, &x, &mut y);
+        let expect = l21.matmul(&DMat::from_colmajor(n, 1, x.clone()));
+        for i in 0..m {
+            assert!((y[i] - (100.0 - expect[(i, 0)])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemv_t_sub_matches_transposed_matvec() {
+        let (m, n) = (5, 3);
+        let l21 = DMat::from_fn(m, n, |i, j| (2 * i + 3 * j) as f64);
+        let y: Vec<f64> = (0..m).map(|i| i as f64 - 2.0).collect();
+        let mut x = vec![7.0; n];
+        gemv_t_sub(m, n, l21.as_slice(), m, &y, &mut x);
+        let expect = l21.transpose().matmul(&DMat::from_colmajor(m, 1, y.clone()));
+        for j in 0..n {
+            assert!((x[j] - (7.0 - expect[(j, 0)])).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the dense kernels: agreement with naive
+//! reference implementations on random shapes and values.
+
+use parfact_dense::{blas, chol, trsv, DMat};
+use proptest::prelude::*;
+
+/// Deterministic value stream from a seed (keeps shrinking meaningful).
+fn fill(seed: u64) -> impl FnMut() -> f64 {
+    let mut s = seed | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % 4000) as f64 / 1000.0 - 2.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gemm_matches_naive(m in 1usize..24, n in 1usize..24, k in 0usize..24,
+                          alpha in -2.0f64..2.0, beta in -2.0f64..2.0, seed in any::<u64>()) {
+        let mut r = fill(seed);
+        let a = DMat::from_fn(m, k, |_, _| r());
+        let b = DMat::from_fn(n, k, |_, _| r());
+        let c0 = DMat::from_fn(m, n, |_, _| r());
+        let mut c = c0.clone();
+        blas::gemm_nt(m, n, k, alpha, a.as_slice(), m, b.as_slice(), n, beta, c.as_mut_slice(), m);
+        let mut want = a.matmul(&b.transpose());
+        for j in 0..n {
+            for i in 0..m {
+                want[(i, j)] = alpha * want[(i, j)] + beta * c0[(i, j)];
+            }
+        }
+        prop_assert!(c.max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn syrk_matches_gemm_lower(n in 1usize..24, k in 0usize..24, seed in any::<u64>()) {
+        let mut r = fill(seed);
+        let a = DMat::from_fn(n, k, |_, _| r());
+        let mut c = DMat::zeros(n, n);
+        blas::syrk_ln(n, k, 1.0, a.as_slice(), n, 0.0, c.as_mut_slice(), n);
+        let full = a.matmul(&a.transpose());
+        for j in 0..n {
+            for i in j..n {
+                prop_assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-10);
+            }
+            for i in 0..j {
+                prop_assert_eq!(c[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_roundtrip(n in 1usize..40, seed in any::<u64>()) {
+        let mut r = fill(seed);
+        let a = DMat::random_spd(n, &mut r);
+        let mut l = a.clone();
+        chol::potrf(n, l.as_mut_slice(), n).unwrap();
+        l.zero_upper();
+        let back = l.matmul(&l.transpose());
+        for j in 0..n {
+            for i in j..n {
+                prop_assert!((back[(i, j)] - a[(i, j)]).abs() < 1e-8 * (n as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_then_full_equals_full(n in 2usize..40, split_frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let npiv = ((n as f64) * split_frac) as usize;
+        let mut r = fill(seed);
+        let a = DMat::random_spd(n, &mut r);
+        // Reference full factor.
+        let mut lfull = a.clone();
+        chol::potrf(n, lfull.as_mut_slice(), n).unwrap();
+        // Partial, then factor the Schur complement with fresh panel
+        // boundaries; the *panel columns* must agree exactly.
+        let mut f = a.clone();
+        chol::partial_potrf(n, npiv, f.as_mut_slice(), n).unwrap();
+        for j in 0..npiv {
+            for i in j..n {
+                prop_assert!((f[(i, j)] - lfull[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ldlt_reconstructs(n in 1usize..30, seed in any::<u64>()) {
+        let mut r = fill(seed);
+        let a = DMat::random_spd(n, &mut r);
+        let mut l = a.clone();
+        let mut d = vec![0.0; n];
+        chol::ldlt(n, l.as_mut_slice(), n, &mut d).unwrap();
+        for j in 0..n {
+            for i in j..n {
+                let mut acc = 0.0;
+                for k in 0..=j {
+                    let lik = if i == k { 1.0 } else { l[(i, k)] };
+                    let ljk = if j == k { 1.0 } else { l[(j, k)] };
+                    acc += lik * d[k] * ljk;
+                }
+                prop_assert!((acc - a[(i, j)]).abs() < 1e-8 * (n as f64 + 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_variants_invert(m in 1usize..16, n in 1usize..16, seed in any::<u64>()) {
+        let mut r = fill(seed);
+        let l = DMat::from_fn(n, n, |i, j| {
+            if i > j { r() * 0.3 } else if i == j { 1.5 + r().abs() } else { 0.0 }
+        });
+        let x = DMat::from_fn(m, n, |_, _| r());
+        let mut b = x.matmul(&l.transpose());
+        blas::trsm_right_lt(m, n, l.as_slice(), n, b.as_mut_slice(), m);
+        prop_assert!(b.max_abs_diff(&x) < 1e-9);
+    }
+
+    #[test]
+    fn trsv_pair_roundtrips(n in 1usize..32, seed in any::<u64>()) {
+        let mut r = fill(seed);
+        let l = DMat::from_fn(n, n, |i, j| {
+            if i > j { r() * 0.4 } else if i == j { 1.0 + r().abs() } else { 0.0 }
+        });
+        let x0: Vec<f64> = (0..n).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        // Forward then "undo" by multiplying back.
+        let mut y = x0.clone();
+        trsv::trsv_ln(n, l.as_slice(), n, &mut y, false);
+        // L y must equal x0.
+        let mut back = vec![0.0; n];
+        for j in 0..n {
+            for i in j..n {
+                back[i] += l[(i, j)] * y[j];
+            }
+        }
+        for (a, b) in back.iter().zip(&x0) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

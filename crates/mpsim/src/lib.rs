@@ -1,0 +1,552 @@
+//! A deterministic message-passing machine simulator.
+//!
+//! This crate stands in for MPI on a massively parallel machine (the SC'09
+//! testbed was a Blue Gene/P-class system): each *rank* runs as a real OS
+//! thread executing the real distributed algorithm and exchanging real
+//! data, while a per-rank **virtual clock** advances according to an α–β
+//! communication model and a per-flop compute rate ([`model::CostModel`]).
+//!
+//! What is real: every byte of payload, the algorithm's control flow, its
+//! message pattern, and all numeric results (bit-for-bit deterministic —
+//! receives are matched by `(source, tag)`, never by arrival order).
+//! What is modelled: *time*. The simulated makespan is derived from the
+//! same flop/byte/message counts that determine wall-clock time on real
+//! hardware, which is what the scaling experiments measure.
+//!
+//! ```
+//! use parfact_mpsim::{Machine, model::CostModel};
+//!
+//! let report = Machine::new(4, CostModel::bluegene_p()).run(|rank| {
+//!     // SPMD program: ring-pass a token.
+//!     let p = rank.nranks();
+//!     let next = (rank.rank() + 1) % p;
+//!     let prev = (rank.rank() + p - 1) % p;
+//!     rank.send(next, 7, rank.rank() as u64);
+//!     let token: u64 = rank.recv(prev, 7);
+//!     token
+//! });
+//! assert_eq!(report.results, vec![3, 0, 1, 2]);
+//! assert!(report.makespan_s > 0.0);
+//! ```
+
+pub mod collective;
+pub mod model;
+pub mod payload;
+
+use model::CostModel;
+use parking_lot::{Condvar, Mutex};
+use payload::Payload;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A message in flight.
+struct Msg {
+    data: Box<dyn Any + Send>,
+    /// Virtual time at which the message is fully available at the receiver.
+    arrival: f64,
+    #[allow(dead_code)]
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    queues: Mutex<HashMap<(usize, u64), std::collections::VecDeque<Msg>>>,
+    signal: Condvar,
+}
+
+struct Shared {
+    boxes: Vec<Mailbox>,
+    failed: AtomicBool,
+    model: CostModel,
+}
+
+/// Per-rank execution statistics (virtual time and counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankStats {
+    /// Final virtual clock (seconds).
+    pub clock_s: f64,
+    /// Virtual seconds spent computing.
+    pub compute_s: f64,
+    /// Virtual seconds spent in communication (send occupancy + recv waits).
+    pub comm_s: f64,
+    /// Floating-point operations executed (as reported via `compute`).
+    pub flops: f64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Peak tracked memory (bytes) — fronts/factors report via `alloc`/`free`.
+    pub mem_peak: u64,
+}
+
+/// Handle a rank's program uses to talk to the machine.
+pub struct Rank {
+    rank: usize,
+    nranks: usize,
+    shared: Arc<Shared>,
+    clock: f64,
+    compute_s: f64,
+    comm_s: f64,
+    flops: f64,
+    bytes_sent: u64,
+    msgs_sent: u64,
+    mem_cur: u64,
+    mem_peak: u64,
+}
+
+impl Rank {
+    /// This rank's id in `0..nranks`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the machine.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Current virtual time in seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The machine's cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.shared.model
+    }
+
+    /// Advance the virtual clock by the cost of `flops` floating-point
+    /// operations. Call this next to the real computation it accounts for.
+    pub fn compute(&mut self, flops: f64) {
+        let dt = flops * self.shared.model.flop_time_s;
+        self.clock += dt;
+        self.compute_s += dt;
+        self.flops += flops;
+    }
+
+    /// Advance the virtual clock by an explicit amount of seconds (e.g.
+    /// memory-bound phases accounted by bytes / bandwidth).
+    pub fn advance(&mut self, seconds: f64) {
+        self.clock += seconds;
+        self.compute_s += seconds;
+    }
+
+    /// Report a tracked allocation (fronts, factor blocks).
+    pub fn alloc(&mut self, bytes: usize) {
+        self.mem_cur += bytes as u64;
+        self.mem_peak = self.mem_peak.max(self.mem_cur);
+    }
+
+    /// Report a tracked deallocation.
+    pub fn free(&mut self, bytes: usize) {
+        self.mem_cur = self.mem_cur.saturating_sub(bytes as u64);
+    }
+
+    /// Send `payload` to rank `dst` with `tag`. The sender is occupied for
+    /// `α + bytes·β` virtual seconds (store-and-forward injection); the
+    /// message becomes available to the receiver at the sender's clock after
+    /// injection.
+    pub fn send<T: Payload>(&mut self, dst: usize, tag: u64, payload: T) {
+        assert!(dst < self.nranks, "send to rank {dst} of {}", self.nranks);
+        assert_ne!(dst, self.rank, "self-sends are not modelled; restructure");
+        let bytes = payload.nbytes();
+        let m = &self.shared.model;
+        let dt = m.alpha_s + bytes as f64 * m.beta_s_per_byte;
+        self.clock += dt;
+        self.comm_s += dt;
+        self.bytes_sent += bytes as u64;
+        self.msgs_sent += 1;
+        let msg = Msg {
+            data: Box::new(payload),
+            arrival: self.clock,
+            bytes,
+        };
+        let mbox = &self.shared.boxes[dst];
+        mbox.queues
+            .lock()
+            .entry((self.rank, tag))
+            .or_default()
+            .push_back(msg);
+        mbox.signal.notify_all();
+    }
+
+    /// Receive the next message from `src` with `tag`, blocking until it is
+    /// available. The receiver's clock advances to at least the message's
+    /// arrival time. Matching is strictly by `(src, tag)` — there is no
+    /// wildcard receive, which keeps execution and floating point
+    /// deterministic.
+    pub fn recv<T: Payload>(&mut self, src: usize, tag: u64) -> T {
+        let (data, arrival) = self.recv_raw(src, tag);
+        if arrival > self.clock {
+            self.comm_s += arrival - self.clock;
+            self.clock = arrival;
+        }
+        match data.downcast::<T>() {
+            Ok(b) => *b,
+            Err(_) => panic!(
+                "rank {}: type mismatch receiving (src={src}, tag={tag}): expected {}",
+                self.rank,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    fn recv_raw(&mut self, src: usize, tag: u64) -> (Box<dyn Any + Send>, f64) {
+        assert!(src < self.nranks, "recv from rank {src} of {}", self.nranks);
+        let mbox = &self.shared.boxes[self.rank];
+        let mut queues = mbox.queues.lock();
+        loop {
+            if let Some(q) = queues.get_mut(&(src, tag)) {
+                if let Some(msg) = q.pop_front() {
+                    return (msg.data, msg.arrival);
+                }
+            }
+            if self.shared.failed.load(Ordering::SeqCst) {
+                panic!(
+                    "rank {} aborting recv(src={src}, tag={tag}): a peer rank panicked",
+                    self.rank
+                );
+            }
+            mbox.signal
+                .wait_for(&mut queues, Duration::from_millis(50));
+        }
+    }
+
+    /// Snapshot of this rank's statistics.
+    pub fn stats(&self) -> RankStats {
+        RankStats {
+            clock_s: self.clock,
+            compute_s: self.compute_s,
+            comm_s: self.comm_s,
+            flops: self.flops,
+            bytes_sent: self.bytes_sent,
+            msgs_sent: self.msgs_sent,
+            mem_peak: self.mem_peak,
+        }
+    }
+}
+
+/// Report of a completed SPMD run.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank statistics.
+    pub stats: Vec<RankStats>,
+    /// Simulated makespan: the maximum final virtual clock (seconds).
+    pub makespan_s: f64,
+}
+
+impl<R> RunReport<R> {
+    /// Total flops across ranks.
+    pub fn total_flops(&self) -> f64 {
+        self.stats.iter().map(|s| s.flops).sum()
+    }
+
+    /// Total payload bytes sent across ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.iter().map(|s| s.bytes_sent).sum()
+    }
+
+    /// Total messages sent across ranks.
+    pub fn total_msgs(&self) -> u64 {
+        self.stats.iter().map(|s| s.msgs_sent).sum()
+    }
+
+    /// Modelled aggregate Gflop/s achieved over the makespan.
+    pub fn gflops(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.total_flops() / self.makespan_s / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Maximum per-rank peak tracked memory (bytes).
+    pub fn max_mem_peak(&self) -> u64 {
+        self.stats.iter().map(|s| s.mem_peak).max().unwrap_or(0)
+    }
+}
+
+/// A simulated message-passing machine with a fixed rank count and cost
+/// model.
+pub struct Machine {
+    nranks: usize,
+    model: CostModel,
+}
+
+impl Machine {
+    /// Create a machine with `nranks` ranks.
+    pub fn new(nranks: usize, model: CostModel) -> Self {
+        assert!(nranks > 0);
+        Machine { nranks, model }
+    }
+
+    /// Run an SPMD program: `f` is executed once per rank, each on its own
+    /// OS thread. Panics in any rank abort the whole run (peers unblock and
+    /// re-panic) and the panic is propagated to the caller.
+    pub fn run<R, F>(&self, f: F) -> RunReport<R>
+    where
+        R: Send,
+        F: Fn(&mut Rank) -> R + Send + Sync,
+    {
+        let shared = Arc::new(Shared {
+            boxes: (0..self.nranks).map(|_| Mailbox::default()).collect(),
+            failed: AtomicBool::new(false),
+            model: self.model,
+        });
+        let mut results: Vec<Option<(R, RankStats)>> = (0..self.nranks).map(|_| None).collect();
+        let fref = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = results
+                .iter_mut()
+                .enumerate()
+                .map(|(r, slot)| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("mpsim-rank-{r}"))
+                        .stack_size(4 << 20)
+                        .spawn_scoped(scope, move || {
+                            let mut rank = Rank {
+                                rank: r,
+                                nranks: shared.boxes.len(),
+                                shared: Arc::clone(&shared),
+                                clock: 0.0,
+                                compute_s: 0.0,
+                                comm_s: 0.0,
+                                flops: 0.0,
+                                bytes_sent: 0,
+                                msgs_sent: 0,
+                                mem_cur: 0,
+                                mem_peak: 0,
+                            };
+                            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || fref(&mut rank),
+                            ));
+                            match out {
+                                Ok(v) => {
+                                    *slot = Some((v, rank.stats()));
+                                    Ok(())
+                                }
+                                Err(e) => {
+                                    shared.failed.store(true, Ordering::SeqCst);
+                                    for b in &shared.boxes {
+                                        b.signal.notify_all();
+                                    }
+                                    Err(e)
+                                }
+                            }
+                        })
+                        .expect("failed to spawn rank thread")
+                })
+                .collect();
+            let mut first_panic = None;
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(payload)) => {
+                        first_panic.get_or_insert(payload);
+                    }
+                    Err(payload) => {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+            }
+            if let Some(p) = first_panic {
+                std::panic::resume_unwind(p);
+            }
+        });
+        let mut out = Vec::with_capacity(self.nranks);
+        let mut stats = Vec::with_capacity(self.nranks);
+        for slot in results {
+            let (v, s) = slot.expect("rank finished without result despite no panic");
+            out.push(v);
+            stats.push(s);
+        }
+        let makespan = stats.iter().fold(0.0f64, |m, s| m.max(s.clock_s));
+        RunReport {
+            results: out,
+            stats,
+            makespan_s: makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use model::CostModel;
+
+    #[test]
+    fn single_rank_runs() {
+        let r = Machine::new(1, CostModel::zero_cost()).run(|rank| {
+            rank.compute(1000.0);
+            rank.rank() * 10
+        });
+        assert_eq!(r.results, vec![0]);
+        assert_eq!(r.stats[0].flops, 1000.0);
+    }
+
+    #[test]
+    fn ping_pong_values_and_clock() {
+        let m = CostModel {
+            alpha_s: 1.0,
+            beta_s_per_byte: 0.5,
+            flop_time_s: 0.0,
+        };
+        let r = Machine::new(2, m).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 1, 42u64); // 8 bytes: occupancy 1 + 4 = 5
+                let x: u64 = rank.recv(1, 2);
+                x
+            } else {
+                let x: u64 = rank.recv(0, 1); // arrival at 5 -> clock 5
+                rank.send(0, 2, x + 1); // clock 10
+                x + 1
+            }
+        });
+        assert_eq!(r.results, vec![43, 43]);
+        // Rank 1 finishes at 10; rank 0 waits for arrival at 10.
+        assert_eq!(r.stats[1].clock_s, 10.0);
+        assert_eq!(r.stats[0].clock_s, 10.0);
+        assert_eq!(r.makespan_s, 10.0);
+    }
+
+    #[test]
+    fn fifo_per_source_and_tag() {
+        let r = Machine::new(2, CostModel::zero_cost()).run(|rank| {
+            if rank.rank() == 0 {
+                for i in 0..10u64 {
+                    rank.send(1, 3, i);
+                }
+                0
+            } else {
+                let mut got = Vec::new();
+                for _ in 0..10 {
+                    got.push(rank.recv::<u64>(0, 3));
+                }
+                assert_eq!(got, (0..10).collect::<Vec<_>>());
+                1
+            }
+        });
+        assert_eq!(r.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn tags_demultiplex() {
+        let r = Machine::new(2, CostModel::zero_cost()).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 7, 70u64);
+                rank.send(1, 8, 80u64);
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b: u64 = rank.recv(0, 8);
+                let a: u64 = rank.recv(0, 7);
+                assert_eq!((a, b), (70, 80));
+                1
+            }
+        });
+        assert_eq!(r.results.len(), 2);
+    }
+
+    #[test]
+    fn vectors_round_trip() {
+        let r = Machine::new(2, CostModel::bluegene_p()).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 0, vec![1.0f64, 2.0, 3.0]);
+                0.0
+            } else {
+                let v: Vec<f64> = rank.recv(0, 0);
+                v.iter().sum::<f64>()
+            }
+        });
+        assert_eq!(r.results[1], 6.0);
+        // 24 payload bytes tracked.
+        assert_eq!(r.total_bytes(), 24);
+        assert_eq!(r.total_msgs(), 1);
+    }
+
+    #[test]
+    fn deterministic_timing_across_runs() {
+        let run = || {
+            Machine::new(4, CostModel::bluegene_p()).run(|rank| {
+                let p = rank.nranks();
+                // All-to-all ping with compute in between.
+                for d in 0..p {
+                    if d != rank.rank() {
+                        rank.send(d, 5, vec![rank.rank() as f64; 100]);
+                    }
+                }
+                rank.compute(1e6);
+                let mut acc = 0.0;
+                for s in 0..p {
+                    if s != rank.rank() {
+                        let v: Vec<f64> = rank.recv(s, 5);
+                        acc += v[0];
+                    }
+                }
+                acc
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.results, b.results);
+        for (x, y) in a.stats.iter().zip(&b.stats) {
+            assert_eq!(x.clock_s, y.clock_s);
+        }
+    }
+
+    #[test]
+    fn compute_and_memory_tracking() {
+        let r = Machine::new(1, CostModel::bluegene_p()).run(|rank| {
+            rank.alloc(1000);
+            rank.alloc(500);
+            rank.free(1000);
+            rank.alloc(200);
+            rank.compute(3.4e9); // 1 second at 3.4 Gflop/s
+            rank.stats().mem_peak
+        });
+        assert_eq!(r.results[0], 1500);
+        assert!((r.stats[0].clock_s - 1.0).abs() < 1e-9);
+        assert!((r.stats[0].compute_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate_and_unblock_peers() {
+        Machine::new(3, CostModel::zero_cost()).run(|rank| {
+            if rank.rank() == 0 {
+                panic!("boom");
+            }
+            // Peers block on a message that will never come; the failure
+            // flag must wake and abort them rather than hang the test.
+            let _: u64 = rank.recv(0, 9);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_is_diagnosed() {
+        Machine::new(2, CostModel::zero_cost()).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 0, 1u64);
+            } else {
+                let _: Vec<f64> = rank.recv(0, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn gflops_reporting() {
+        let r = Machine::new(2, CostModel::bluegene_p()).run(|rank| {
+            rank.compute(3.4e9);
+            rank.rank()
+        });
+        // 2 ranks x 3.4 Gflop in 1 simulated second = 6.8 Gflop/s.
+        assert!((r.gflops() - 6.8).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,225 @@
+//! Multilevel nested dissection.
+//!
+//! Recursively bisect the graph, carve a vertex separator out of the edge
+//! cut, order the two halves first and the separator **last**, and switch
+//! to minimum degree below a size cutoff. The separator hierarchy is what
+//! gives the assembly tree its balanced binary shape — the property the
+//! subtree-to-subcube mapping in `parfact-core` exploits.
+
+use crate::mindeg::min_degree;
+use crate::partition::{bisect, PartOpts, WGraph};
+use parfact_sparse::graph::AdjGraph;
+use parfact_sparse::perm::Perm;
+
+/// Nested-dissection options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NdOpts {
+    /// Subgraphs at most this large are ordered with minimum degree.
+    pub cutoff: usize,
+    /// Bisection parameters.
+    pub part: PartOpts,
+}
+
+impl Default for NdOpts {
+    fn default() -> Self {
+        NdOpts {
+            cutoff: 96,
+            part: PartOpts::default(),
+        }
+    }
+}
+
+/// Extract a vertex separator from an edge-cut bipartition: take the
+/// boundary of whichever side has the smaller boundary. Removing it leaves
+/// no edge between the remaining parts of side 0 and side 1.
+pub fn vertex_separator(g: &AdjGraph, side: &[u8]) -> Vec<bool> {
+    let n = g.nvert();
+    let mut b: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+    for v in 0..n {
+        if g.neighbors(v).iter().any(|&u| side[u] != side[v]) {
+            b[side[v] as usize].push(v);
+        }
+    }
+    let pick = if b[0].len() <= b[1].len() { 0 } else { 1 };
+    let mut in_sep = vec![false; n];
+    for &v in &b[pick] {
+        in_sep[v] = true;
+    }
+    in_sep
+}
+
+/// Nested-dissection ordering of a graph.
+pub fn nested_dissection(g: &AdjGraph, opts: &NdOpts) -> Perm {
+    let n = g.nvert();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    // Explicit work stack of (subgraph, global ids). Children are ordered
+    // before their separator, so process: push separator-emission marker
+    // after recursing — easiest with an enum.
+    enum Work {
+        Graph(AdjGraph, Vec<usize>, usize),
+        Emit(Vec<usize>),
+    }
+    let globals: Vec<usize> = (0..n).collect();
+    let mut stack = vec![Work::Graph(g.clone(), globals, 0)];
+    while let Some(w) = stack.pop() {
+        match w {
+            Work::Emit(sep) => order.extend(sep),
+            Work::Graph(sub, ids, depth) => {
+                let sn = sub.nvert();
+                if sn <= opts.cutoff || depth > 64 {
+                    let p = min_degree(&sub);
+                    order.extend(p.perm().iter().map(|&l| ids[l]));
+                    continue;
+                }
+                // Derive a per-level seed so sibling subproblems decorrelate
+                // while the whole ordering stays deterministic.
+                let mut popts = opts.part;
+                popts.seed = popts
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(depth as u64 + sn as u64);
+                let b = bisect(&WGraph::from_adj(&sub), &popts);
+                let in_sep = vertex_separator(&sub, &b.side);
+                let mut part: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+                let mut sep_globals = Vec::new();
+                for v in 0..sn {
+                    if in_sep[v] {
+                        sep_globals.push(ids[v]);
+                    } else {
+                        part[b.side[v] as usize].push(v);
+                    }
+                }
+                // Degenerate split (e.g. a clique): separator swallowed a
+                // side. Fall back to minimum degree to guarantee progress.
+                if part[0].is_empty() || part[1].is_empty() {
+                    let p = min_degree(&sub);
+                    order.extend(p.perm().iter().map(|&l| ids[l]));
+                    continue;
+                }
+                // LIFO: push Emit first so it lands after both halves.
+                stack.push(Work::Emit(sep_globals));
+                for half in [1usize, 0] {
+                    let (sg, _) = sub.subgraph(&part[half]);
+                    let ids_h: Vec<usize> = part[half].iter().map(|&l| ids[l]).collect();
+                    stack.push(Work::Graph(sg, ids_h, depth + 1));
+                }
+            }
+        }
+    }
+    Perm::from_vec(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fill_in;
+    use parfact_sparse::gen;
+    use parfact_sparse::perm::Perm;
+
+    #[test]
+    fn separator_separates() {
+        let a = gen::laplace2d(8, 8, gen::Stencil2d::FivePoint);
+        let g = AdjGraph::from_sym_lower(&a);
+        let b = bisect(&WGraph::from_adj(&g), &PartOpts::default());
+        let in_sep = vertex_separator(&g, &b.side);
+        // No edge may connect side-0 and side-1 vertices that are both
+        // outside the separator.
+        for v in 0..g.nvert() {
+            if in_sep[v] {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if !in_sep[u] {
+                    assert_eq!(b.side[u], b.side[v], "uncovered cut edge {u}-{v}");
+                }
+            }
+        }
+        // Separator of an 8x8 grid should be around one grid line.
+        let sep_size = in_sep.iter().filter(|&&x| x).count();
+        assert!(sep_size <= 16, "separator too big: {sep_size}");
+        assert!(sep_size >= 4);
+    }
+
+    #[test]
+    fn nd_orders_grid_with_low_fill() {
+        let a = gen::laplace2d(12, 12, gen::Stencil2d::FivePoint);
+        let g = AdjGraph::from_sym_lower(&a);
+        let opts = NdOpts {
+            cutoff: 16,
+            ..NdOpts::default()
+        };
+        let p = nested_dissection(&g, &opts);
+        assert_eq!(p.len(), 144);
+        let f_nd = fill_in(&g, &p);
+        let f_nat = fill_in(&g, &Perm::identity(144));
+        assert!(
+            f_nd < f_nat,
+            "nested dissection fill {f_nd} must beat natural {f_nat}"
+        );
+    }
+
+    #[test]
+    fn nd_handles_small_graph_via_cutoff() {
+        let a = gen::tridiagonal(10);
+        let g = AdjGraph::from_sym_lower(&a);
+        let p = nested_dissection(&g, &NdOpts::default());
+        assert_eq!(p.len(), 10);
+        assert_eq!(fill_in(&g, &p), 0);
+    }
+
+    #[test]
+    fn nd_handles_clique() {
+        // Complete graph: bisection is degenerate; ND must still terminate.
+        let n = 20;
+        let mut coo = parfact_sparse::coo::CooMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                coo.push(i, j, if i == j { 30.0 } else { -1.0 });
+            }
+        }
+        let g = AdjGraph::from_sym_lower(&coo.to_csc());
+        let p = nested_dissection(
+            &g,
+            &NdOpts {
+                cutoff: 4,
+                ..NdOpts::default()
+            },
+        );
+        assert_eq!(p.len(), n);
+        assert_eq!(fill_in(&g, &p), 0); // clique: no fill under any order
+    }
+
+    #[test]
+    fn nd_deterministic() {
+        let a = gen::laplace2d(10, 9, gen::Stencil2d::FivePoint);
+        let g = AdjGraph::from_sym_lower(&a);
+        let p1 = nested_dissection(&g, &NdOpts::default());
+        let p2 = nested_dissection(&g, &NdOpts::default());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn nd_on_disconnected_graph() {
+        let mut coo = parfact_sparse::coo::CooMatrix::new(8, 8);
+        for i in 0..8 {
+            coo.push(i, i, 2.0);
+        }
+        for i in 0..3 {
+            coo.push(i + 1, i, -1.0); // path 0-1-2-3
+        }
+        for i in 4..7 {
+            coo.push(i + 1, i, -1.0); // path 4-5-6-7
+        }
+        let g = AdjGraph::from_sym_lower(&coo.to_csc());
+        let p = nested_dissection(
+            &g,
+            &NdOpts {
+                cutoff: 2,
+                ..NdOpts::default()
+            },
+        );
+        assert_eq!(p.len(), 8);
+    }
+
+    use crate::partition::{bisect, PartOpts, WGraph};
+}

@@ -1,0 +1,61 @@
+//! Error taxonomy for the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced while building, converting or reading sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column index lies outside the declared shape.
+    IndexOutOfBounds {
+        row: usize,
+        col: usize,
+        nrows: usize,
+        ncols: usize,
+    },
+    /// Operation requires a square matrix.
+    NotSquare { nrows: usize, ncols: usize },
+    /// Operation requires a symmetric-lower matrix but an upper entry was found.
+    NotLower { row: usize, col: usize },
+    /// Dimension mismatch between operands.
+    DimMismatch { expected: usize, got: usize },
+    /// Malformed Matrix Market input.
+    BadMatrixMarket(String),
+    /// Underlying I/O failure (message only, to keep the error `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "matrix must be square, got {nrows}x{ncols}")
+            }
+            SparseError::NotLower { row, col } => write!(
+                f,
+                "symmetric-lower storage violated by upper-triangle entry ({row}, {col})"
+            ),
+            SparseError::DimMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            SparseError::BadMatrixMarket(msg) => write!(f, "bad Matrix Market data: {msg}"),
+            SparseError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,34 @@
+//! Sparse-matrix substrate for `parfact`.
+//!
+//! This crate provides the data structures every other layer of the solver
+//! stack is built on:
+//!
+//! - [`coo::CooMatrix`] — triplet form, the assembly/ingest format;
+//! - [`csr::CsrMatrix`] / [`csc::CscMatrix`] — compressed row/column forms;
+//! - [`perm::Perm`] — permutations and symmetric application `P A Pᵀ`;
+//! - [`graph::AdjGraph`] — the adjacency-graph view consumed by orderings;
+//! - [`gen`] — reproducible problem generators (grid Laplacians, a 3-D
+//!   elasticity-style mesh generator, random SPD matrices, R-MAT graphs);
+//! - [`io`] — Matrix Market reading/writing;
+//! - [`ops`] — SpMV, residuals and norms.
+//!
+//! Symmetric matrices are stored as their **lower triangle** (diagonal
+//! included) in CSC form throughout the solver stack, mirroring the
+//! convention of classic sparse Cholesky codes.
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod error;
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod ops;
+pub mod perm;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use graph::AdjGraph;
+pub use perm::Perm;

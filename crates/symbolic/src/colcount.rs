@@ -1,0 +1,210 @@
+//! Column counts of the Cholesky factor via the Gilbert–Ng–Peyton
+//! skeleton-matrix algorithm — `nnz(L[:, j])` for every column in
+//! near-linear `O(nnz(A) α(n))` time, *without* forming the structure of
+//! `L`.
+//!
+//! This is the algorithm of Gilbert, Ng & Peyton (1994) as organized in
+//! Davis' `cs_counts`: walk the skeleton entries of each row subtree,
+//! crediting each new leaf and debiting the least common ancestor of
+//! consecutive leaves so every path is counted exactly once.
+
+use crate::NONE;
+use parfact_sparse::csc::CscMatrix;
+
+/// Internal: classify `(i, j)` as a row-subtree leaf and return the LCA of
+/// `j` and the previous leaf of row `i` when it is a "subsequent" leaf.
+/// `jleaf`: 0 = not a leaf, 1 = first leaf of row `i`, 2 = subsequent leaf.
+#[allow(clippy::too_many_arguments)]
+fn leaf(
+    i: usize,
+    j: usize,
+    first: &[usize],
+    maxfirst: &mut [usize],
+    prevleaf: &mut [usize],
+    ancestor: &mut [usize],
+    jleaf: &mut u8,
+) -> usize {
+    *jleaf = 0;
+    if i <= j || (maxfirst[i] != NONE && first[j] <= maxfirst[i]) {
+        return NONE;
+    }
+    maxfirst[i] = first[j];
+    let jprev = prevleaf[i];
+    prevleaf[i] = j;
+    if jprev == NONE {
+        *jleaf = 1;
+        return i;
+    }
+    *jleaf = 2;
+    // LCA of jprev and j: root of jprev in the partially-built ancestor
+    // forest, with path compression.
+    let mut q = jprev;
+    while q != ancestor[q] {
+        q = ancestor[q];
+    }
+    let mut s = jprev;
+    while s != q {
+        let sp = ancestor[s];
+        ancestor[s] = q;
+        s = sp;
+    }
+    q
+}
+
+/// Column counts (`nnz(L[:, j])`, diagonal included) of the Cholesky factor
+/// of a **postordered** symmetric-lower matrix with the given (postordered)
+/// elimination tree.
+pub fn col_counts(a: &CscMatrix, parent: &[usize]) -> Vec<usize> {
+    let n = a.ncols();
+    assert_eq!(parent.len(), n);
+    debug_assert!(crate::etree::is_postordered(parent));
+
+    // The matrix is postordered, so post[k] = k and `first[j]` is the first
+    // postorder index in j's subtree = j - subtree_size(j) + 1; computed by
+    // the standard sweep.
+    let mut first = vec![NONE; n];
+    let mut delta = vec![0isize; n];
+    for k in 0..n {
+        let mut j = k;
+        delta[k] = if first[k] == NONE { 1 } else { 0 };
+        while j != NONE && first[j] == NONE {
+            first[j] = k;
+            j = parent[j];
+        }
+    }
+
+    let mut maxfirst = vec![NONE; n];
+    let mut prevleaf = vec![NONE; n];
+    let mut ancestor: Vec<usize> = (0..n).collect();
+
+    for j in 0..n {
+        if parent[j] != NONE {
+            delta[parent[j]] -= 1;
+        }
+        // The sweep needs, for node j, the rows i > j with A[i][j] != 0 —
+        // exactly column j of the lower-CSC storage.
+        let (rows, _) = a.col(j);
+        let mut jleaf = 0u8;
+        for &i in rows {
+            if i <= j {
+                continue;
+            }
+            let q = leaf(i, j, &first, &mut maxfirst, &mut prevleaf, &mut ancestor, &mut jleaf);
+            if jleaf >= 1 {
+                delta[j] += 1;
+            }
+            if jleaf == 2 {
+                delta[q] -= 1;
+            }
+        }
+        if parent[j] != NONE {
+            ancestor[j] = parent[j];
+        }
+    }
+    // Accumulate deltas up the tree.
+    let mut colcount = delta;
+    for j in 0..n {
+        if parent[j] != NONE {
+            let c = colcount[j];
+            colcount[parent[j]] += c;
+        }
+    }
+    colcount.into_iter().map(|c| c as usize).collect()
+}
+
+/// Reference column counts via explicit symbolic factorization — `O(|L|)`,
+/// used to validate [`col_counts`] in tests and small runs.
+pub fn col_counts_naive(a: &CscMatrix, parent: &[usize]) -> Vec<usize> {
+    let n = a.ncols();
+    // Structure of L row by row: row i of L = path union in etree from each
+    // A-row entry up toward i (the row-subtree characterization).
+    let mut count = vec![1usize; n]; // diagonal
+    let at = a.to_csr();
+    let mut mark = vec![NONE; n];
+    for i in 0..n {
+        mark[i] = i;
+        let (cols, _) = at.row(i);
+        for &j in cols {
+            if j >= i {
+                continue;
+            }
+            // Walk from j to the marked region, counting L[i][x] per node x.
+            let mut x = j;
+            while mark[x] != i {
+                mark[x] = i;
+                count[x] += 1; // L[i][x] is a nonzero below x's diagonal
+                x = parent[x];
+                debug_assert_ne!(x, NONE, "walk escaped the tree");
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etree::{etree, postorder, relabel};
+    use parfact_sparse::gen;
+    use parfact_sparse::perm::Perm;
+
+    fn counts_both_ways(a: &CscMatrix) -> (Vec<usize>, Vec<usize>) {
+        let parent0 = etree(a);
+        let post = Perm::from_vec(postorder(&parent0));
+        let ap = post.apply_sym_lower(a);
+        let parent = relabel(&parent0, &post);
+        (col_counts(&ap, &parent), col_counts_naive(&ap, &parent))
+    }
+
+    #[test]
+    fn tridiagonal_counts() {
+        let a = gen::tridiagonal(7);
+        let (fast, slow) = counts_both_ways(&a);
+        assert_eq!(fast, slow);
+        assert_eq!(fast, vec![2, 2, 2, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn grid_counts_match_naive() {
+        let a = gen::laplace2d(7, 6, gen::Stencil2d::FivePoint);
+        let (fast, slow) = counts_both_ways(&a);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn grid3d_counts_match_naive() {
+        let a = gen::laplace3d(4, 4, 4, gen::Stencil3d::SevenPoint);
+        let (fast, slow) = counts_both_ways(&a);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn random_counts_match_naive() {
+        for seed in 0..5 {
+            let a = gen::random_spd(60, 4, seed);
+            let (fast, slow) = counts_both_ways(&a);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn arrowhead_reversed_fills_completely() {
+        // Hub first: L is completely dense below the diagonal.
+        let a = gen::arrowhead(6);
+        let (fast, slow) = counts_both_ways(&a);
+        assert_eq!(fast, slow);
+        assert_eq!(fast, vec![6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn dense_counts() {
+        let mut coo = parfact_sparse::coo::CooMatrix::new(4, 4);
+        for i in 0..4 {
+            for j in 0..=i {
+                coo.push(i, j, 1.0 + (i == j) as u8 as f64 * 6.0);
+            }
+        }
+        let (fast, _) = counts_both_ways(&coo.to_csc());
+        assert_eq!(fast, vec![4, 3, 2, 1]);
+    }
+}

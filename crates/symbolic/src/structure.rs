@@ -1,0 +1,224 @@
+//! Per-supernode row structure of the factor.
+//!
+//! For each supernode `s` with columns `c0..c1`, the below-pivot rows are
+//!
+//! ```text
+//! rows(s) = ( ⋃_{c in c0..c1} pattern(A[:, c]) ∪ ⋃_{child t} rows(t) ) \ {0..c1}
+//! ```
+//!
+//! computed in one bottom-up pass (children precede parents because the
+//! partition is over a postordered matrix). This is the structure the
+//! numeric phase allocates fronts from, and its sizes drive the flop and
+//! memory predictions used by proportional mapping.
+
+use crate::NONE;
+use parfact_sparse::csc::CscMatrix;
+
+/// Compute the below-pivot row structure of every supernode (sorted,
+/// global row indices).
+pub fn supernode_rows(
+    a: &CscMatrix,
+    sn_ptr: &[usize],
+    sn_of: &[usize],
+) -> Vec<Vec<usize>> {
+    let n = a.ncols();
+    let nsuper = sn_ptr.len() - 1;
+    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); nsuper];
+    // children[t] accumulated lazily: we only need each child's rows when
+    // its parent is processed, and children always precede parents.
+    let mut mark = vec![NONE; n];
+    for s in 0..nsuper {
+        let (c0, c1) = (sn_ptr[s], sn_ptr[s + 1]);
+        let mut out: Vec<usize> = Vec::new();
+        // Own matrix columns.
+        for c in c0..c1 {
+            let (rws, _) = a.col(c);
+            for &r in rws {
+                if r >= c1 && mark[r] != s {
+                    mark[r] = s;
+                    out.push(r);
+                }
+            }
+        }
+        rows[s] = out;
+    }
+    // Merge children rows bottom-up. Because supernodes are postordered, a
+    // single ascending sweep suffices: by the time s is visited, every child
+    // has already pushed its rows into s, so s can be finalized and its own
+    // rows pushed to its parent.
+    let mut mark2 = vec![NONE; n];
+    for s in 0..nsuper {
+        // Finalize: sort own set (may contain child rows merged earlier).
+        rows[s].sort_unstable();
+        rows[s].dedup();
+        if rows[s].is_empty() {
+            continue;
+        }
+        let parent = sn_of[rows[s][0]];
+        debug_assert!(parent > s, "postorder violated: parent {parent} <= {s}");
+        let pend = sn_ptr[parent + 1];
+        // Mark what the parent already has to avoid quadratic duplication.
+        for &r in &rows[parent] {
+            mark2[r] = s * nsuper + parent; // unique stamp per (s, parent) merge
+        }
+        let stamp = s * nsuper + parent;
+        let mut extra: Vec<usize> = Vec::new();
+        for k in 0..rows[s].len() {
+            let r = rows[s][k];
+            if r >= pend && mark2[r] != stamp {
+                mark2[r] = stamp;
+                extra.push(r);
+            }
+        }
+        rows[parent].extend_from_slice(&extra);
+    }
+    // The sweep already sorted each supernode when it was visited; the rows
+    // merged *into* a parent after its own visit would be unsorted — but
+    // parents are always visited after all their children, so every merge
+    // happens before the parent's own finalize step. Assert in debug builds.
+    debug_assert!(rows.iter().all(|r| r.windows(2).all(|w| w[0] < w[1])));
+    rows
+}
+
+/// Factor statistics derived from a supernode partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorStats {
+    /// Nonzeros of `L` (diagonal included, amalgamation padding included).
+    pub nnz: usize,
+    /// Factorization flops (multiply-adds counted once each).
+    pub flops: f64,
+    /// Largest frontal-matrix order.
+    pub max_front: usize,
+    /// Total frontal-matrix workspace if fronts were all live at once.
+    pub total_front_elems: usize,
+}
+
+/// Compute [`FactorStats`] for a partition.
+pub fn factor_stats(sn_ptr: &[usize], sn_rows: &[Vec<usize>]) -> FactorStats {
+    let nsuper = sn_ptr.len() - 1;
+    let mut nnz = 0usize;
+    let mut flops = 0.0f64;
+    let mut max_front = 0usize;
+    let mut total = 0usize;
+    for s in 0..nsuper {
+        let w = sn_ptr[s + 1] - sn_ptr[s];
+        let r = sn_rows[s].len();
+        nnz += w * (w + 1) / 2 + w * r;
+        for k in 0..w {
+            let len = (w - k) + r;
+            flops += (len * len) as f64;
+        }
+        let f = w + r;
+        max_front = max_front.max(f);
+        total += f * f;
+    }
+    FactorStats {
+        nnz,
+        flops,
+        max_front,
+        total_front_elems: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etree::{etree, postorder, relabel};
+    use crate::{colcount, supernode, AmalgOpts};
+    use parfact_sparse::gen;
+    use parfact_sparse::perm::Perm;
+
+    fn full_pipeline(a: &CscMatrix) -> (Vec<usize>, Vec<usize>, Vec<Vec<usize>>, CscMatrix) {
+        let parent0 = etree(a);
+        let post = Perm::from_vec(postorder(&parent0));
+        let ap = post.apply_sym_lower(a);
+        let parent = relabel(&parent0, &post);
+        let cc = colcount::col_counts(&ap, &parent);
+        let fund = supernode::fundamental_supernodes(&parent, &cc);
+        let ptr = supernode::amalgamate(
+            &fund,
+            &parent,
+            &cc,
+            &AmalgOpts {
+                min_width: 0,
+                relax_frac: 0.0,
+            },
+        );
+        let mut sn_of = vec![0usize; ap.ncols()];
+        for s in 0..ptr.len() - 1 {
+            for c in ptr[s]..ptr[s + 1] {
+                sn_of[c] = s;
+            }
+        }
+        let rows = supernode_rows(&ap, &ptr, &sn_of);
+        (ptr, sn_of, rows, ap)
+    }
+
+    /// Reference: structure of L column-by-column via the etree reach.
+    fn naive_l_pattern(ap: &CscMatrix, parent: &[usize]) -> Vec<Vec<usize>> {
+        let n = ap.ncols();
+        let mut cols: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let at = ap.to_csr();
+        let mut mark = vec![usize::MAX; n];
+        for i in 0..n {
+            mark[i] = i;
+            let (cs, _) = at.row(i);
+            for &j in cs {
+                if j >= i {
+                    continue;
+                }
+                let mut x = j;
+                while mark[x] != i {
+                    mark[x] = i;
+                    cols[x].push(i);
+                    x = parent[x];
+                }
+            }
+        }
+        for c in cols.iter_mut() {
+            c.sort_unstable();
+        }
+        cols
+    }
+
+    #[test]
+    fn supernode_rows_match_naive_l_pattern_strict() {
+        // With strict supernodes (no amalgamation padding across distinct
+        // structures), the first column of each supernode has exactly the
+        // supernode's rows beyond the pivot block.
+        for a in [
+            gen::laplace2d(6, 6, gen::Stencil2d::FivePoint),
+            gen::random_spd(40, 3, 11),
+            gen::laplace3d(3, 3, 4, gen::Stencil3d::SevenPoint),
+        ] {
+            let (ptr, _sn_of, rows, ap) = full_pipeline(&a);
+            let parent0 = etree(&ap);
+            let lpat = naive_l_pattern(&ap, &parent0);
+            for s in 0..ptr.len() - 1 {
+                let (c0, c1) = (ptr[s], ptr[s + 1]);
+                let expect: Vec<usize> =
+                    lpat[c0].iter().copied().filter(|&r| r >= c1).collect();
+                assert_eq!(rows[s], expect, "supernode {s} cols {c0}..{c1}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_stats_consistency() {
+        let a = gen::laplace2d(10, 10, gen::Stencil2d::FivePoint);
+        let (ptr, _, rows, _) = full_pipeline(&a);
+        let st = factor_stats(&ptr, &rows);
+        assert!(st.nnz >= a.nnz());
+        assert!(st.flops > 0.0);
+        assert!(st.max_front >= 1);
+        assert!(st.total_front_elems >= st.max_front * st.max_front);
+    }
+
+    #[test]
+    fn roots_have_no_rows() {
+        let a = gen::laplace2d(8, 5, gen::Stencil2d::FivePoint);
+        let (ptr, _, rows, _) = full_pipeline(&a);
+        // The last supernode is a root of the assembly tree: nothing below.
+        assert!(rows[ptr.len() - 2].is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Supernode detection and relaxed amalgamation.
+//!
+//! A *fundamental supernode* is a maximal run of consecutive columns with
+//! identical below-diagonal structure forming a chain in the elimination
+//! tree — the unit of dense-kernel work. *Relaxed amalgamation* then merges
+//! small supernodes into their parents, trading a bounded number of
+//! explicitly-stored zeros for larger fronts (better BLAS-3 shape and fewer
+//! assembly steps), exactly the trade production multifrontal codes make.
+
+use crate::{AmalgOpts, NONE};
+
+/// Partition the (postordered) columns into fundamental supernodes.
+///
+/// Columns `j-1` and `j` share a supernode iff `parent[j-1] == j`,
+/// `colcount[j-1] == colcount[j] + 1`, and `j-1` is the only child of `j`.
+/// Returns the partition as a pointer array: supernode `s` spans columns
+/// `ptr[s]..ptr[s+1]`.
+pub fn fundamental_supernodes(parent: &[usize], colcount: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    assert_eq!(colcount.len(), n);
+    let mut nchild = vec![0usize; n];
+    for j in 0..n {
+        if parent[j] != NONE {
+            nchild[parent[j]] += 1;
+        }
+    }
+    let mut ptr = vec![0usize];
+    for j in 1..n {
+        let fused = parent[j - 1] == j && colcount[j - 1] == colcount[j] + 1 && nchild[j] == 1;
+        if !fused {
+            ptr.push(j);
+        }
+    }
+    if n > 0 {
+        ptr.push(n);
+    }
+    ptr
+}
+
+/// Trapezoid size of a supernode: dense lower triangle of the pivot block
+/// plus the rectangular below-pivot panel.
+fn trapezoid(width: usize, below: usize) -> usize {
+    width * (width + 1) / 2 + width * below
+}
+
+/// Relaxed amalgamation over a fundamental partition.
+///
+/// Scans supernodes in column order, greedily merging a supernode into its
+/// column-adjacent supernodal parent while the merged size stays within a
+/// padding budget **relative to the accumulated strict (fundamental)
+/// size** — `25%` for merges involving a supernode at most
+/// `opts.min_width` wide, `opts.relax_frac` otherwise. The merge is only
+/// legal when the child's first below-pivot row (its elimination-tree
+/// parent) lands inside the candidate's columns; that guarantees the
+/// merged supernode's below-pivot rows are exactly the parent's, so no
+/// structure recomputation is needed here.
+pub fn amalgamate(
+    fund_ptr: &[usize],
+    parent: &[usize],
+    colcount: &[usize],
+    opts: &AmalgOpts,
+) -> Vec<usize> {
+    let nsuper = fund_ptr.len().saturating_sub(1);
+    // (start_col, end_col, below_rows, strict_nnz) per finalized-so-far
+    // block, where strict_nnz is the summed trapezoid size of the
+    // *fundamental* supernodes inside — padding is always budgeted against
+    // it, never against the (inflatable) merged size. Budgeting against the
+    // merged size is a trap: on band matrices it lets width-1 chains merge
+    // without bound, quadratically inflating one front until memory dies.
+    let mut blocks: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(nsuper);
+    for s in 0..nsuper {
+        let (f, e) = (fund_ptr[s], fund_ptr[s + 1]);
+        let w0 = e - f;
+        let r0 = colcount[f] - w0;
+        let mut cur = (f, e, r0, trapezoid(w0, r0));
+        loop {
+            let Some(&(pf, pe, _pr, ps)) = blocks.last() else { break };
+            let (cf, ce, cr, cs) = cur;
+            // `prev` (pf..pe) is the candidate child, `cur` its parent.
+            if pe != cf {
+                break;
+            }
+            let link = parent[pe - 1];
+            if link == NONE || link >= ce {
+                break; // child's parent column is beyond this supernode
+            }
+            let (wp, wc) = (pe - pf, ce - cf);
+            let strict = ps + cs;
+            let merged = trapezoid(wp + wc, cr);
+            let tiny = wp <= opts.min_width || wc <= opts.min_width;
+            let budget = if tiny {
+                // Tiny supernodes merge eagerly, but still capped: at most
+                // 25% padding over the strict size (plus a small absolute
+                // slack so degenerate 1-2 column cases can fuse).
+                strict + strict / 4 + 64
+            } else {
+                strict + (opts.relax_frac * strict as f64) as usize
+            };
+            if merged > budget {
+                break;
+            }
+            blocks.pop();
+            cur = (pf, ce, cr, strict);
+        }
+        blocks.push(cur);
+    }
+    let mut ptr = Vec::with_capacity(blocks.len() + 1);
+    ptr.push(0);
+    for &(_, e, _, _) in &blocks {
+        ptr.push(e);
+    }
+    ptr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fundamental_on_path() {
+        // Tridiagonal path: interior columns have different structures
+        // (colcount[j-1] = 2 != colcount[j] + 1 = 3), but the final pair
+        // (2, 3) fuses: colcount[2] = 2 == colcount[3] + 1.
+        let parent = vec![1, 2, 3, NONE];
+        let colcount = vec![2, 2, 2, 1];
+        let ptr = fundamental_supernodes(&parent, &colcount);
+        assert_eq!(ptr, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn fundamental_on_dense() {
+        // Dense 4x4: parent path, colcounts 4,3,2,1 — all fuse.
+        let parent = vec![1, 2, 3, NONE];
+        let colcount = vec![4, 3, 2, 1];
+        let ptr = fundamental_supernodes(&parent, &colcount);
+        assert_eq!(ptr, vec![0, 4]);
+    }
+
+    #[test]
+    fn fundamental_blocks_at_multi_child_nodes() {
+        // Node 2 has two children (0, 1): even with matching counts, column
+        // 2 starts a new supernode.
+        let parent = vec![2, 2, 3, NONE];
+        let colcount = vec![3, 3, 2, 1];
+        let ptr = fundamental_supernodes(&parent, &colcount);
+        assert_eq!(ptr, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn amalgamate_merges_singleton_chain() {
+        // Tridiagonal: four singleton supernodes in a chain. With a generous
+        // min_width everything merges into one (padding is moderate).
+        let parent = vec![1, 2, 3, NONE];
+        let colcount = vec![2, 2, 2, 1];
+        let fund = fundamental_supernodes(&parent, &colcount);
+        let ptr = amalgamate(
+            &fund,
+            &parent,
+            &colcount,
+            &AmalgOpts {
+                min_width: 8,
+                relax_frac: 0.0,
+            },
+        );
+        assert_eq!(*ptr.last().unwrap(), 4);
+        assert!(ptr.len() - 1 < 4, "some merging must happen, got {ptr:?}");
+    }
+
+    #[test]
+    fn amalgamate_zero_relax_keeps_exact_supernodes_with_minwidth_zero() {
+        let parent = vec![1, 2, 3, NONE];
+        let colcount = vec![2, 2, 2, 1];
+        let fund = fundamental_supernodes(&parent, &colcount);
+        let ptr = amalgamate(
+            &fund,
+            &parent,
+            &colcount,
+            &AmalgOpts {
+                min_width: 0,
+                relax_frac: 0.0,
+            },
+        );
+        // Tridiagonal merge of two singletons: old = 2+2, merged = 3+1*1=4?
+        // trapezoid(1,1)+trapezoid(1,1) = 2+2 = 4; merged trapezoid(2,1) = 5.
+        // extra = 1 > 0 -> no merge with relax 0 and min_width 0.
+        assert_eq!(ptr, fund);
+    }
+
+    #[test]
+    fn amalgamate_respects_tree_links() {
+        // Two disjoint chains: {0} -> {1}, {2} -> {3}, where supernode of 1
+        // is NOT adjacent-parent of 2 (parent[1] = NONE breaks the link).
+        let parent = vec![1, NONE, 3, NONE];
+        let colcount = vec![2, 1, 2, 1];
+        let fund = fundamental_supernodes(&parent, &colcount);
+        let ptr = amalgamate(
+            &fund,
+            &parent,
+            &colcount,
+            &AmalgOpts {
+                min_width: 8,
+                relax_frac: 1.0,
+            },
+        );
+        // Columns 1 and 2 must stay in different supernodes.
+        assert!(ptr.contains(&2), "partition {ptr:?} must split at column 2");
+    }
+
+    #[test]
+    fn trapezoid_formula() {
+        assert_eq!(trapezoid(3, 0), 6);
+        assert_eq!(trapezoid(2, 5), 13);
+        assert_eq!(trapezoid(1, 1), 2);
+    }
+}

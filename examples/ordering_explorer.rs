@@ -1,0 +1,53 @@
+//! Compare fill-reducing orderings on a family of matrices: fill, predicted
+//! factor flops, and supernode structure — a miniature of EXP-A4.
+//!
+//! ```text
+//! cargo run --release --example ordering_explorer
+//! ```
+
+use parfact::order::{nd::NdOpts, Method};
+use parfact::sparse::csc::CscMatrix;
+use parfact::sparse::gen;
+use parfact::symbolic::{analyze, AmalgOpts};
+
+fn report(name: &str, a: &CscMatrix) {
+    println!("--- {name}: n = {}, nnz(lower) = {} ---", a.nrows(), a.nnz());
+    println!(
+        "{:>18} {:>12} {:>10} {:>12} {:>9}",
+        "ordering", "nnz(L)", "fill", "Mflop", "supernodes"
+    );
+    for (label, method) in [
+        ("natural", Method::Natural),
+        ("RCM", Method::Rcm),
+        ("min degree", Method::MinDegree),
+        ("nested dissection", Method::NestedDissection(NdOpts::default())),
+    ] {
+        let perm = parfact::order::order_matrix(a, method);
+        let ap = perm.apply_sym_lower(a);
+        let (sym, _) = analyze(&ap, &AmalgOpts::default());
+        println!(
+            "{:>18} {:>12} {:>9.2}x {:>12.1} {:>10}",
+            label,
+            sym.factor_nnz(),
+            sym.factor_nnz() as f64 / a.nnz() as f64,
+            sym.factor_flops() / 1e6,
+            sym.nsuper()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    report(
+        "2-D Laplacian 60x60",
+        &gen::laplace2d(60, 60, gen::Stencil2d::FivePoint),
+    );
+    report(
+        "3-D Laplacian 14^3",
+        &gen::laplace3d(14, 14, 14, gen::Stencil3d::SevenPoint),
+    );
+    report("3-D elasticity 8^3 (3 dof/node)", &gen::elasticity3d(8, 8, 8));
+    report("random SPD n=3000, ~8/row", &gen::random_spd(3000, 8, 42));
+    println!("(expected shape: ND wins on 2-D/3-D meshes, minimum degree is competitive");
+    println!(" on small/irregular problems, RCM and natural trail far behind)");
+}

@@ -1,0 +1,100 @@
+//! End-to-end tests on symmetric **indefinite** systems: the Helmholtz
+//! model problem through the sparse no-pivot LDLᵀ (with equilibration) and
+//! the dense Bunch–Kaufman kernel as the robust reference.
+
+use parfact::core::solver::{FactorOpts, SparseCholesky};
+use parfact::core::{FactorError, FactorKind};
+use parfact::dense::bunch_kaufman::factorize_bk;
+use parfact::sparse::{gen, ops};
+
+#[test]
+fn helmholtz_rejected_by_cholesky_solved_by_bk() {
+    // Interior shift: indefinite. The grid is chosen so the shift is far
+    // from any eigenvalue (no near-singularity).
+    let a = gen::helmholtz2d(9, 9, 1.7);
+    assert!(matches!(
+        SparseCholesky::factorize(&a, &FactorOpts::default()),
+        Err(FactorError::NotPositiveDefinite { .. })
+    ));
+    // Dense Bunch-Kaufman handles it regardless of pivot order.
+    let n = a.nrows();
+    let mut dense = parfact::dense::DMat::zeros(n, n);
+    let full = a.sym_to_full();
+    for c in 0..n {
+        let (rows, vals) = full.col(c);
+        for (&r, &v) in rows.iter().zip(vals) {
+            dense[(r, c)] = v;
+        }
+    }
+    let mut w = dense.clone();
+    let f = factorize_bk(n, w.as_mut_slice(), n).unwrap();
+    let (pos, neg, zero) = f.inertia();
+    assert_eq!(zero, 0);
+    assert!(neg > 0, "interior shift must produce negative eigenvalues");
+    assert!(pos > neg, "most of the spectrum stays positive");
+
+    let xstar: Vec<f64> = (0..n).map(|i| ((i * 5) % 13) as f64 / 4.0 - 1.0).collect();
+    let mut b = vec![0.0; n];
+    a.sym_spmv(&xstar, &mut b);
+    let x = f.solve(&b);
+    for (xi, xs) in x.iter().zip(&xstar) {
+        assert!((xi - xs).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn sparse_ldlt_on_mildly_indefinite_helmholtz() {
+    // Small shift on a modest grid: indefinite but no pivot happens to
+    // vanish under the ND ordering — the regime the no-pivot sparse LDLᵀ
+    // targets. Iterative refinement mops up pivoting-free growth.
+    let a = gen::helmholtz2d(12, 12, 0.5);
+    let n = a.nrows();
+    let chol = SparseCholesky::factorize(
+        &a,
+        &FactorOpts {
+            kind: FactorKind::Ldlt,
+            ..FactorOpts::default()
+        },
+    )
+    .expect("no-pivot LDLt on mildly indefinite system");
+    let xstar: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
+    let mut b = vec![0.0; n];
+    a.sym_spmv(&xstar, &mut b);
+    let (x, resid) = chol.solve_refined(&a, &b, 2);
+    assert!(resid < 1e-8, "residual {resid}");
+    let maxerr = x
+        .iter()
+        .zip(&xstar)
+        .fold(0.0f64, |m, (u, v)| m.max((u - v).abs()));
+    assert!(maxerr < 1e-6, "error {maxerr}");
+    // Sylvester: number of negative pivots = number of eigenvalues below
+    // the shift; must be positive and small.
+    let nneg = chol.factor().d.iter().filter(|&&d| d < 0.0).count();
+    assert!(nneg >= 1 && nneg < 20, "nneg = {nneg}");
+}
+
+#[test]
+fn anisotropic_problem_end_to_end() {
+    let a = gen::laplace2d_aniso(40, 40, 1e-3);
+    let n = a.nrows();
+    let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+    let b = vec![1.0; n];
+    let x = chol.solve(&b);
+    assert!(ops::sym_residual_inf(&a, &x, &b) < 1e-12);
+    // Orderings must remain valid despite extreme weights.
+    for m in [
+        parfact::order::Method::MinDegree,
+        parfact::order::Method::default(),
+    ] {
+        let chol2 = SparseCholesky::factorize(
+            &a,
+            &FactorOpts {
+                ordering: m,
+                ..FactorOpts::default()
+            },
+        )
+        .unwrap();
+        let x2 = chol2.solve(&b);
+        assert!(ops::sym_residual_inf(&a, &x2, &b) < 1e-12);
+    }
+}
