@@ -17,7 +17,8 @@ fn det_rng(seed: u64) -> impl FnMut() -> f64 {
 
 fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm_nt");
-    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     for &n in &[64usize, 128, 256] {
         let mut r = det_rng(n as u64);
         let a = DMat::from_fn(n, n, |_, _| r());
@@ -27,11 +28,17 @@ fn bench_gemm(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| {
                 blas::gemm_nt(
-                    n, n, n, 1.0,
-                    a.as_slice(), n,
-                    b.as_slice(), n,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    a.as_slice(),
+                    n,
+                    b.as_slice(),
+                    n,
                     0.0,
-                    cmat.as_mut_slice(), n,
+                    cmat.as_mut_slice(),
+                    n,
                 );
                 black_box(cmat.as_slice()[0])
             })
@@ -42,7 +49,8 @@ fn bench_gemm(c: &mut Criterion) {
 
 fn bench_syrk(c: &mut Criterion) {
     let mut g = c.benchmark_group("syrk_ln");
-    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     for &n in &[128usize, 256] {
         let k = 48; // panel width used by the factorization
         let mut r = det_rng(n as u64);
@@ -61,7 +69,8 @@ fn bench_syrk(c: &mut Criterion) {
 
 fn bench_potrf(c: &mut Criterion) {
     let mut g = c.benchmark_group("potrf");
-    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     for &n in &[64usize, 192, 384] {
         let mut r = det_rng(n as u64);
         let a = DMat::random_spd(n, &mut r);
@@ -82,7 +91,8 @@ fn bench_potrf(c: &mut Criterion) {
 
 fn bench_partial_potrf(c: &mut Criterion) {
     let mut g = c.benchmark_group("partial_potrf_front");
-    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     // A representative front: order 320, eliminate 128 pivots.
     let (f, w) = (320usize, 128usize);
     let mut r = det_rng(7);
@@ -100,5 +110,11 @@ fn bench_partial_potrf(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_syrk, bench_potrf, bench_partial_potrf);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_syrk,
+    bench_potrf,
+    bench_partial_potrf
+);
 criterion_main!(benches);

@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn problems() -> Vec<(&'static str, CscMatrix)> {
     vec![
-        ("lap2d-80", gen::laplace2d(80, 80, gen::Stencil2d::FivePoint)),
+        (
+            "lap2d-80",
+            gen::laplace2d(80, 80, gen::Stencil2d::FivePoint),
+        ),
         (
             "lap3d-14",
             gen::laplace3d(14, 14, 14, gen::Stencil3d::SevenPoint),
@@ -36,18 +39,17 @@ fn bench_seq(c: &mut Criterion) {
 }
 
 fn bench_smp(c: &mut Criterion) {
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
     let mut g = c.benchmark_group(format!("factorize_smp_{threads}t"));
     g.measurement_time(Duration::from_secs(4))
         .warm_up_time(Duration::from_secs(1))
         .sample_size(10);
-    let opts = FactorOpts {
-        engine: Engine::Smp(SmpOpts {
-            threads,
-            ..SmpOpts::default()
-        }),
-        ..FactorOpts::default()
-    };
+    let opts = FactorOpts::new().engine(Engine::Smp(SmpOpts {
+        threads,
+        ..SmpOpts::default()
+    }));
     for (name, a) in problems() {
         g.bench_with_input(BenchmarkId::from_parameter(name), &a, |b, a| {
             b.iter(|| {

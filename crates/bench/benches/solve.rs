@@ -8,7 +8,8 @@ use std::time::Duration;
 
 fn bench_spmv(c: &mut Criterion) {
     let mut g = c.benchmark_group("sym_spmv");
-    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     for &dim in &[64usize, 160] {
         let a = gen::laplace2d(dim, dim, gen::Stencil2d::FivePoint);
         let x = vec![1.0; a.nrows()];
@@ -29,7 +30,10 @@ fn bench_solve(c: &mut Criterion) {
         .warm_up_time(Duration::from_secs(1))
         .sample_size(20);
     for (name, a) in [
-        ("lap2d-80", gen::laplace2d(80, 80, gen::Stencil2d::FivePoint)),
+        (
+            "lap2d-80",
+            gen::laplace2d(80, 80, gen::Stencil2d::FivePoint),
+        ),
         (
             "lap3d-12",
             gen::laplace3d(12, 12, 12, gen::Stencil3d::SevenPoint),

@@ -2,9 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use parfact_order::{order_matrix, Method};
-use parfact_symbolic::{analyze, colcount, etree, AmalgOpts};
 use parfact_sparse::gen;
 use parfact_sparse::perm::Perm;
+use parfact_symbolic::{analyze, colcount, etree, AmalgOpts};
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -100,13 +100,11 @@ impl Ctx {
 
     fn scaling_problems(&self) -> Vec<Problem> {
         if self.quick {
-            vec![
-                Problem {
-                    name: "lap3d-16",
-                    a: gen::laplace3d(16, 16, 16, gen::Stencil3d::SevenPoint),
-                    desc: "3-D Poisson 16^3 (quick)",
-                },
-            ]
+            vec![Problem {
+                name: "lap3d-16",
+                a: gen::laplace3d(16, 16, 16, gen::Stencil3d::SevenPoint),
+                desc: "3-D Poisson 16^3 (quick)",
+            }]
         } else {
             scaling_matrices()
         }
@@ -140,11 +138,17 @@ impl Ctx {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
-    let ctx = Ctx { quick, sweep: std::cell::RefCell::new(None) };
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let ctx = Ctx {
+        quick,
+        sweep: std::cell::RefCell::new(None),
+    };
     let all = [
-        "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "a1", "a2", "a3", "a4", "a5",
-        "a6",
+        "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "a1", "a2", "a3", "a4", "a5", "a6", "r1",
     ];
     let run: Vec<&str> = match ids.as_slice() {
         [] | ["all"] => all.to_vec(),
@@ -167,12 +171,16 @@ fn main() {
             "a4" => exp_a4(&ctx),
             "a5" => exp_a5(&ctx),
             "a6" => exp_a6(&ctx),
+            "r1" => exp_r1(&ctx),
             other => {
-                eprintln!("unknown experiment id '{other}' (use t1,t2,f1..f6,a1..a6,all)");
+                eprintln!("unknown experiment id '{other}' (use t1,t2,f1..f6,a1..a6,r1,all)");
                 std::process::exit(2);
             }
         }
-        println!("  [{id} finished in {}]\n", fmt_time(t.elapsed().as_secs_f64()));
+        println!(
+            "  [{id} finished in {}]\n",
+            fmt_time(t.elapsed().as_secs_f64())
+        );
     }
 }
 
@@ -180,7 +188,16 @@ fn main() {
 fn exp_t1(ctx: &Ctx) {
     let mut t = Table::new(
         "EXP-T1: test-matrix suite (nested dissection ordering)",
-        &["matrix", "n", "nnz(A)", "nnz(L)", "fill", "Gflop", "supernodes", "description"],
+        &[
+            "matrix",
+            "n",
+            "nnz(A)",
+            "nnz(L)",
+            "fill",
+            "Gflop",
+            "supernodes",
+            "description",
+        ],
     );
     for p in ctx.suite() {
         let (sym, _, _) = prepare(&p.a, Method::default(), &AmalgOpts::default());
@@ -205,7 +222,11 @@ fn exp_t2(ctx: &Ctx) {
         "EXP-T2: phase breakdown (ordering/symbolic on host; factor/solve simulated, BG/P model)",
         &["matrix", "ranks", "ordering", "symbolic", "factor", "solve"],
     );
-    let ranks = if ctx.quick { vec![1, 4] } else { vec![1, 16, 64] };
+    let ranks = if ctx.quick {
+        vec![1, 4]
+    } else {
+        vec![1, 16, 64]
+    };
     for p in ctx.suite() {
         let t0 = Instant::now();
         let fill = parfact_order::order_matrix(&p.a, Method::default());
@@ -245,9 +266,20 @@ fn exp_t2(ctx: &Ctx) {
 fn exp_f1(ctx: &Ctx) {
     let mut t = Table::new(
         "EXP-F1: strong scaling of factorization time (simulated, BG/P model)",
-        &["matrix", "ranks", "multifrontal", "MF speedup", "fan-out", "FO speedup"],
+        &[
+            "matrix",
+            "ranks",
+            "multifrontal",
+            "MF speedup",
+            "fan-out",
+            "FO speedup",
+        ],
     );
-    let fo_ranks: Vec<usize> = if ctx.quick { vec![1, 4, 16] } else { vec![1, 4, 16, 64] };
+    let fo_ranks: Vec<usize> = if ctx.quick {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 4, 16, 64]
+    };
     // Fan-out baseline matrix: the simplicial kernel is slow in real time,
     // so run it on the 24^3 problem (same family) at a few rank counts.
     let fo_matrix: CscMatrix = {
@@ -315,7 +347,13 @@ fn exp_f2(ctx: &Ctx) {
 fn exp_f3(ctx: &Ctx) {
     let mut t = Table::new(
         "EXP-F3: max per-rank memory vs ranks (factor bytes at end; peak = fronts + factor)",
-        &["matrix", "ranks", "factor/rank", "peak/rank", "factor total"],
+        &[
+            "matrix",
+            "ranks",
+            "factor/rank",
+            "peak/rank",
+            "factor total",
+        ],
     );
     for pt in ctx.sweep().iter() {
         t.row(vec![
@@ -333,7 +371,14 @@ fn exp_f3(ctx: &Ctx) {
 fn exp_f4(ctx: &Ctx) {
     let mut t = Table::new(
         "EXP-F4: solve scaling (simulated) - solve scales worse than factorization",
-        &["matrix", "ranks", "factor", "solve", "factor speedup", "solve speedup"],
+        &[
+            "matrix",
+            "ranks",
+            "factor",
+            "solve",
+            "factor speedup",
+            "solve speedup",
+        ],
     );
     let sweep = ctx.sweep();
     let mut t1: std::collections::HashMap<&str, (f64, f64)> = std::collections::HashMap::new();
@@ -375,19 +420,17 @@ fn exp_f5(ctx: &Ctx) {
     for p in ctx.scaling_problems() {
         let mut t1 = 0.0;
         for &th in &threads {
-            let opts = FactorOpts {
-                engine: if th == 1 {
-                    Engine::Sequential
-                } else {
-                    Engine::Smp(SmpOpts {
-                        threads: th,
-                        ..SmpOpts::default()
-                    })
-                },
-                ..FactorOpts::default()
+            let engine = if th == 1 {
+                Engine::Sequential
+            } else {
+                Engine::Smp(SmpOpts {
+                    threads: th,
+                    ..SmpOpts::default()
+                })
             };
+            let opts = FactorOpts::new().engine(engine);
             let chol = SparseCholesky::factorize(&p.a, &opts).expect("SPD");
-            let tn = chol.times().numeric_s;
+            let tn = chol.report().numeric_s;
             if th == 1 {
                 t1 = tn;
             }
@@ -450,7 +493,15 @@ fn exp_f6(ctx: &Ctx) {
 fn exp_a1(ctx: &Ctx) {
     let mut t = Table::new(
         "EXP-A1: mapping ablation — proportional (subtree-to-subcube) vs flat",
-        &["matrix", "ranks", "proportional", "flat", "flat/prop", "prop msgs", "flat msgs"],
+        &[
+            "matrix",
+            "ranks",
+            "proportional",
+            "flat",
+            "flat/prop",
+            "prop msgs",
+            "flat msgs",
+        ],
     );
     let ranks = if ctx.quick { vec![4, 16] } else { vec![16, 64] };
     for p in ctx.scaling_problems() {
@@ -483,8 +534,16 @@ fn exp_a1(ctx: &Ctx) {
                 fmt_time(prop.factor_time_s),
                 fmt_time(flat.factor_time_s),
                 format!("{:.2}x", flat.factor_time_s / prop.factor_time_s),
-                prop.stats.iter().map(|s| s.msgs_sent).sum::<u64>().to_string(),
-                flat.stats.iter().map(|s| s.msgs_sent).sum::<u64>().to_string(),
+                prop.stats
+                    .iter()
+                    .map(|s| s.msgs_sent)
+                    .sum::<u64>()
+                    .to_string(),
+                flat.stats
+                    .iter()
+                    .map(|s| s.msgs_sent)
+                    .sum::<u64>()
+                    .to_string(),
             ]);
         }
     }
@@ -497,7 +556,11 @@ fn exp_a2(ctx: &Ctx) {
         "EXP-A2: front layout ablation — 2-D grids vs 1-D column layout",
         &["matrix", "ranks", "2-D", "1-D", "1D/2D"],
     );
-    let ranks = if ctx.quick { vec![4, 16] } else { vec![16, 64, 128] };
+    let ranks = if ctx.quick {
+        vec![4, 16]
+    } else {
+        vec![16, 64, 128]
+    };
     for p in ctx.scaling_problems() {
         let (sym, ap, perm) = prepare(&p.a, Method::default(), &AmalgOpts::default());
         for &r in &ranks {
@@ -580,15 +643,8 @@ fn exp_a3(ctx: &Ctx) {
     for p in ctx.scaling_problems() {
         let (sym, ap, perm) = prepare(&p.a, Method::default(), &AmalgOpts::default());
         for (name, m) in &machines {
-            let out = run_distributed_prepared(
-                r,
-                *m,
-                &ap,
-                &sym,
-                &perm,
-                MapStrategy::default(),
-                None,
-            );
+            let out =
+                run_distributed_prepared(r, *m, &ap, &sym, &perm, MapStrategy::default(), None);
             let gf = out.factor_gflops();
             let peak = r as f64 / m.flop_time_s / 1e9;
             t.row(vec![
@@ -622,7 +678,14 @@ fn exp_a4(ctx: &Ctx) {
     }
     let mut t = Table::new(
         "EXP-A4: ordering quality - fill, flops, and sequential factor wall time",
-        &["matrix", "ordering", "nnz(L)", "fill", "Gflop", "numeric wall"],
+        &[
+            "matrix",
+            "ordering",
+            "nnz(L)",
+            "fill",
+            "Gflop",
+            "numeric wall",
+        ],
     );
     for p in ctx.suite() {
         for (label, method) in [
@@ -633,15 +696,9 @@ fn exp_a4(ctx: &Ctx) {
         ] {
             let (nnz_l, flops) = counts_only(&p.a, method);
             let wall = if flops < 20e9 {
-                let chol = SparseCholesky::factorize(
-                    &p.a,
-                    &FactorOpts {
-                        ordering: method,
-                        ..FactorOpts::default()
-                    },
-                )
-                .expect("SPD");
-                fmt_time(chol.times().numeric_s)
+                let chol = SparseCholesky::factorize(&p.a, &FactorOpts::new().ordering(method))
+                    .expect("SPD");
+                fmt_time(chol.report().numeric_s)
             } else {
                 "(skipped: too much fill)".into()
             };
@@ -662,7 +719,15 @@ fn exp_a4(ctx: &Ctx) {
 fn exp_a5(ctx: &Ctx) {
     let mut t = Table::new(
         "EXP-A5: relaxed-supernode amalgamation sweep (sequential numeric wall time)",
-        &["matrix", "min_width", "relax", "supernodes", "nnz(L)", "Gflop", "numeric wall"],
+        &[
+            "matrix",
+            "min_width",
+            "relax",
+            "supernodes",
+            "nnz(L)",
+            "Gflop",
+            "numeric wall",
+        ],
     );
     let probs = ctx.scaling_problems();
     let p = &probs[0];
@@ -677,14 +742,7 @@ fn exp_a5(ctx: &Ctx) {
             min_width: mw,
             relax_frac: relax,
         };
-        let chol = SparseCholesky::factorize(
-            &p.a,
-            &FactorOpts {
-                amalg,
-                ..FactorOpts::default()
-            },
-        )
-        .expect("SPD");
+        let chol = SparseCholesky::factorize(&p.a, &FactorOpts::new().amalg(amalg)).expect("SPD");
         let sym = chol.symbolic();
         t.row(vec![
             p.name.into(),
@@ -693,10 +751,47 @@ fn exp_a5(ctx: &Ctx) {
             sym.nsuper().to_string(),
             sym.factor_nnz().to_string(),
             format!("{:.3}", sym.factor_flops() / 1e9),
-            fmt_time(chol.times().numeric_s),
+            fmt_time(chol.report().numeric_s),
         ]);
     }
     t.emit("a5_amalgamation");
+}
+
+/// EXP-R1: machine-readable factorization reports — one JSON document per
+/// engine, emitted to stdout (and `target/experiments/` alongside the
+/// tables) for downstream tooling.
+fn exp_r1(ctx: &Ctx) {
+    use parfact_core::solver::DistOpts;
+    use parfact_trace::TraceLevel;
+    println!("EXP-R1: factorization reports (JSON, counters traced)");
+    let p = &ctx.suite()[0];
+    let engines = [
+        Engine::Sequential,
+        Engine::Smp(SmpOpts::default()),
+        Engine::Dist(DistOpts {
+            ranks: if ctx.quick { 4 } else { 16 },
+            ..DistOpts::default()
+        }),
+    ];
+    let mut docs = Vec::new();
+    for engine in engines {
+        let chol = SparseCholesky::factorize(
+            &p.a,
+            &FactorOpts::new().engine(engine).trace(TraceLevel::Counters),
+        )
+        .expect("SPD");
+        let r = chol.report();
+        println!("{}", r.to_json_string());
+        docs.push(r.to_json_pretty());
+    }
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("r1_reports.json");
+        let body = format!("[\n{}\n]\n", docs.join(",\n"));
+        if std::fs::write(&path, body).is_ok() {
+            println!("  [reports written to {}]", path.display());
+        }
+    }
 }
 
 /// EXP-A6: distributed-front block size (panel width) sweep.
@@ -723,7 +818,11 @@ fn exp_a6(ctx: &Ctx) {
                 r.to_string(),
                 nb.to_string(),
                 fmt_time(out.factor_time_s),
-                out.stats.iter().map(|s| s.msgs_sent).sum::<u64>().to_string(),
+                out.stats
+                    .iter()
+                    .map(|s| s.msgs_sent)
+                    .sum::<u64>()
+                    .to_string(),
                 fmt_bytes(out.stats.iter().map(|s| s.bytes_sent).sum::<u64>()),
             ]);
         }

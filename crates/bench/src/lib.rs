@@ -98,7 +98,11 @@ impl Table {
             let _ = write!(out, "{:>w$}  ", h, w = widths[c]);
         }
         out.push('\n');
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * ncol));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * ncol)
+        );
         for row in &self.rows {
             for (c, cell) in row.iter().enumerate() {
                 let _ = write!(out, "{:>w$}  ", cell, w = widths[c]);

@@ -24,7 +24,10 @@ pub fn inv_norm1_estimate(factor: &Factor, max_iter: usize) -> f64 {
         let y = factor.solve(&x);
         let norm = y.iter().map(|v| v.abs()).sum::<f64>();
         best = best.max(norm);
-        let sign: Vec<f64> = y.iter().map(|&v| if v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let sign: Vec<f64> = y
+            .iter()
+            .map(|&v| if v >= 0.0 { 1.0 } else { -1.0 })
+            .collect();
         if sign == last_sign {
             break;
         }
@@ -163,7 +166,10 @@ mod tests {
             let f = SparseCholesky::factorize(&a_big, &FactorOpts::default()).unwrap();
             cond1_estimate(&a_big, f.factor(), 5)
         };
-        assert!(cb > 20.0 * cs, "conditioning must grow with n: {cs} vs {cb}");
+        assert!(
+            cb > 20.0 * cs,
+            "conditioning must grow with n: {cs} vs {cb}"
+        );
     }
 
     #[test]
@@ -199,14 +205,8 @@ mod tests {
     fn log_det_ldlt_signs() {
         use crate::factor::FactorKind;
         let a = gen::indefinite(30, 3);
-        let chol = SparseCholesky::factorize(
-            &a,
-            &FactorOpts {
-                kind: FactorKind::Ldlt,
-                ..FactorOpts::default()
-            },
-        )
-        .unwrap();
+        let chol =
+            SparseCholesky::factorize(&a, &FactorOpts::new().kind(FactorKind::Ldlt)).unwrap();
         let (_, sign) = chol.factor().log_det();
         assert_eq!(sign, -1.0, "one negative pivot flips the determinant sign");
     }

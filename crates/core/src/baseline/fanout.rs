@@ -78,10 +78,9 @@ pub fn factorize_rank(rank: &mut Rank, a: &CscMatrix) -> Result<FanoutColumns, F
                     .expect("own column not yet computed");
                 (r, v)
             } else {
-                let entry = cache.entry(k).or_insert_with(|| {
-                    let msg = rank.recv::<(Vec<usize>, Vec<f64>)>(owner(k, p), k as u64);
-                    msg
-                });
+                let entry = cache
+                    .entry(k)
+                    .or_insert_with(|| rank.recv::<(Vec<usize>, Vec<f64>)>(owner(k, p), k as u64));
                 (&entry.0, &entry.1)
             };
             let pos = krows.binary_search(&j).expect("structure mismatch");

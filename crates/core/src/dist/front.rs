@@ -47,6 +47,7 @@ pub struct DistFront {
 impl DistFront {
     /// Create the (zeroed) owned blocks of this rank, reporting the
     /// allocation to the cost model.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         s: usize,
         f: usize,

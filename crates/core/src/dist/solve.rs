@@ -260,7 +260,11 @@ pub fn solve_rank(
     } else {
         for s in 0..nsuper {
             if map.leader(s) == me {
-                rank.send(0, front::tag(s, PH_GATHER_X), x[sym.sn_ptr[s]..sym.sn_ptr[s + 1]].to_vec());
+                rank.send(
+                    0,
+                    front::tag(s, PH_GATHER_X),
+                    x[sym.sn_ptr[s]..sym.sn_ptr[s + 1]].to_vec(),
+                );
             }
         }
         None

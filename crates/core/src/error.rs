@@ -15,6 +15,9 @@ pub enum FactorError {
     ZeroPivot { col: usize },
     /// The input matrix violates the symmetric-lower storage convention.
     BadStructure(SparseError),
+    /// The requested engine/option combination is not implemented (e.g.
+    /// LDLᵀ on the distributed engine).
+    Unsupported(String),
 }
 
 impl FactorError {
@@ -41,6 +44,7 @@ impl fmt::Display for FactorError {
             ),
             FactorError::ZeroPivot { col } => write!(f, "zero pivot at column {col}"),
             FactorError::BadStructure(e) => write!(f, "bad matrix structure: {e}"),
+            FactorError::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }
 }

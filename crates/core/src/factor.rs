@@ -297,7 +297,10 @@ pub fn reconstruction_error(factor: &Factor, ap: &CscMatrix) -> f64 {
     let n = factor.sym.n;
     let l = factor.to_sparse_l();
     // Dense reconstruction — test sizes only.
-    assert!(n <= 3000, "reconstruction_error is a small-matrix test helper");
+    assert!(
+        n <= 3000,
+        "reconstruction_error is a small-matrix test helper"
+    );
     let ld = l.to_dense_colmajor();
     let mut rec = vec![0.0; n * n];
     match factor.kind {

@@ -9,8 +9,8 @@
 //! the leading `width` columns become factor panel `s`, the trailing block
 //! becomes this front's own update matrix.
 
-use parfact_symbolic::Symbolic;
 use parfact_sparse::csc::CscMatrix;
+use parfact_symbolic::Symbolic;
 
 /// A child's contribution to its parent: the Schur complement over the
 /// child's below-pivot rows (dense lower storage, order = `rows.len()`).
@@ -80,6 +80,11 @@ impl FrontScatter {
 /// Assemble the front of supernode `s`: zero the buffer, scatter the pivot
 /// columns of `ap`, then extend-add every child update. `front` must have
 /// room for `f*f` entries and is fully overwritten.
+///
+/// Returns `(f, entries)` — the front order and the number of entries
+/// scattered or added into the front (original-matrix entries plus applied
+/// extend-add contributions), which instrumentation converts to assembly
+/// byte counts.
 pub fn assemble_front(
     ap: &CscMatrix,
     sym: &Symbolic,
@@ -87,17 +92,19 @@ pub fn assemble_front(
     scatter: &mut FrontScatter,
     children_updates: &[&UpdateMatrix],
     front: &mut Vec<f64>,
-) -> usize {
+) -> (usize, u64) {
     let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
     let w = c1 - c0;
     let f = w + sym.sn_rows[s].len();
     front.clear();
     front.resize(f * f, 0.0);
     scatter.set(sym, s);
+    let mut entries = 0u64;
     // Original matrix entries of the pivot columns (lower part only).
     for c in c0..c1 {
         let (rows, vals) = ap.col(c);
         let lc = c - c0;
+        entries += rows.len() as u64;
         for (&r, &v) in rows.iter().zip(vals) {
             debug_assert!(r >= c);
             let lr = scatter.local(r);
@@ -106,16 +113,18 @@ pub fn assemble_front(
     }
     // Extend-add children updates.
     for upd in children_updates {
-        extend_add(upd, scatter, front, f);
+        entries += extend_add(upd, scatter, front, f);
     }
-    f
+    (f, entries)
 }
 
 /// Scatter-add one update matrix into a front through the scatter map.
 /// The map is monotone (both index lists are sorted), so the child's lower
-/// triangle lands in the parent's lower triangle.
-pub fn extend_add(upd: &UpdateMatrix, scatter: &FrontScatter, front: &mut [f64], f: usize) {
+/// triangle lands in the parent's lower triangle. Returns the number of
+/// (nonzero) entries added.
+pub fn extend_add(upd: &UpdateMatrix, scatter: &FrontScatter, front: &mut [f64], f: usize) -> u64 {
     let r = upd.order();
+    let mut added = 0u64;
     for j in 0..r {
         let lj = scatter.local(upd.rows[j]);
         let src = &upd.data[j * r..j * r + r];
@@ -123,9 +132,11 @@ pub fn extend_add(upd: &UpdateMatrix, scatter: &FrontScatter, front: &mut [f64],
             if v != 0.0 {
                 let li = scatter.local(upd.rows[i]);
                 front[lj * f + li] += v;
+                added += 1;
             }
         }
     }
+    added
 }
 
 /// Extract the trailing `r x r` lower block of a partially-factored front
@@ -156,8 +167,8 @@ pub fn extract_panel(front: &[f64], f: usize, w: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parfact_symbolic::{analyze, AmalgOpts};
     use parfact_sparse::gen;
+    use parfact_symbolic::{analyze, AmalgOpts};
 
     fn small_problem() -> (Symbolic, CscMatrix) {
         let a = gen::laplace2d(4, 4, gen::Stencil2d::FivePoint);
@@ -203,10 +214,13 @@ mod tests {
         let mut sc = FrontScatter::new(sym.n);
         let mut front = Vec::new();
         let s = 0;
-        let f = assemble_front(&ap, &sym, s, &mut sc, &[], &mut front);
+        let (f, entries) = assemble_front(&ap, &sym, s, &mut sc, &[], &mut front);
         assert_eq!(f, sym.front_order(s));
+        // No children: the entry count is exactly the pivot columns' nnz.
+        let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+        let nnz: usize = (c0..c1).map(|c| ap.col(c).0.len()).sum();
+        assert_eq!(entries, nnz as u64);
         // Diagonal of the first pivot column must be the matrix diagonal.
-        let c0 = sym.sn_ptr[s];
         assert_eq!(front[0], ap.get(c0, c0).unwrap());
     }
 
@@ -218,7 +232,7 @@ mod tests {
         let s = sym.nsuper() - 1;
         let mut sc = FrontScatter::new(sym.n);
         let mut front = Vec::new();
-        let f = assemble_front(&ap, &sym, s, &mut sc, &[], &mut front);
+        let (f, _) = assemble_front(&ap, &sym, s, &mut sc, &[], &mut front);
         let before = front.clone();
         let cols: Vec<usize> = sym.sn_cols(s).collect();
         assert!(cols.len() >= 2, "root supernode too small for this test");
@@ -227,7 +241,8 @@ mod tests {
             rows: rows.clone(),
             data: vec![10.0, 20.0, 0.0, 30.0], // lower 2x2
         };
-        extend_add(&upd, &sc, &mut front, f);
+        let added = extend_add(&upd, &sc, &mut front, f);
+        assert_eq!(added, 3, "three nonzero lower entries");
         let (l0, l1) = (sc.local(rows[0]), sc.local(rows[1]));
         assert_eq!(front[l0 * f + l0], before[l0 * f + l0] + 10.0);
         assert_eq!(front[l0 * f + l1], before[l0 * f + l1] + 20.0);
@@ -250,7 +265,7 @@ mod tests {
             .unwrap();
         let mut sc = FrontScatter::new(sym.n);
         let mut front = Vec::new();
-        let fo = assemble_front(&ap, &sym, s, &mut sc, &[], &mut front);
+        let (fo, _) = assemble_front(&ap, &sym, s, &mut sc, &[], &mut front);
         // Stamp recognizable values in the trailing block.
         let wo = sym.sn_width(s);
         for j in wo..fo {

@@ -31,6 +31,10 @@
 //! let x = chol.solve(&b);
 //! assert!(parfact_sparse::ops::sym_residual_inf(&a, &x, &b) < 1e-10);
 //! ```
+// Index loops over parallel arrays (`for j in 0..n` touching several
+// slices) are the deliberate idiom of this numerical code; clippy's
+// iterator rewrites obscure the subscript math.
+#![allow(clippy::needless_range_loop)]
 
 pub mod analysis;
 pub mod baseline;

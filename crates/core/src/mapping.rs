@@ -69,7 +69,7 @@ pub fn grid_shape(np: usize) -> (usize, usize) {
     let mut best = (1, np);
     let mut d = 1;
     while d * d <= np {
-        if np % d == 0 {
+        if np.is_multiple_of(d) {
             best = (d, np / d);
         }
         d += 1;
@@ -103,12 +103,7 @@ fn split_range(
     let np = hi - lo;
     let total: f64 = nodes.iter().map(|&c| weights[c]).sum();
     let mut order: Vec<usize> = nodes.to_vec();
-    order.sort_by(|&a, &b| {
-        weights[b]
-            .partial_cmp(&weights[a])
-            .unwrap()
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap().then(a.cmp(&b)));
     let mut pos = 0.0f64;
     for &c in &order {
         let share = weights[c] / total * np as f64;
@@ -277,10 +272,12 @@ mod tests {
         );
         assert!(m.validate(&sym));
         assert!(m.group.iter().all(|&g| g == (0, 4)));
-        assert!(m
-            .layout
-            .iter()
-            .all(|&l| l == Layout::Grid { pr: 1, pc: 4, nb: 48 }));
+        assert!(m.layout.iter().all(|&l| l
+            == Layout::Grid {
+                pr: 1,
+                pc: 4,
+                nb: 48
+            }));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use parfact_dense::chol;
 use parfact_sparse::csc::CscMatrix;
 use parfact_sparse::perm::Perm;
 use parfact_symbolic::Symbolic;
+use parfact_trace::{Collector, Phase};
 use std::sync::Arc;
 
 /// Factor an already-permuted matrix (the output of
@@ -21,12 +22,26 @@ pub fn factorize_seq(
     kind: FactorKind,
     perm: Perm,
 ) -> Result<Factor, FactorError> {
+    factorize_seq_traced(ap, sym, kind, perm, &Collector::disabled())
+}
+
+/// [`factorize_seq`] with instrumentation recorded into `tr`. With a
+/// disabled collector every hook is a single branch, so this *is* the
+/// uninstrumented engine.
+pub fn factorize_seq_traced(
+    ap: &CscMatrix,
+    sym: &Arc<Symbolic>,
+    kind: FactorKind,
+    perm: Perm,
+    tr: &Collector,
+) -> Result<Factor, FactorError> {
     let nsuper = sym.nsuper();
     let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); nsuper];
     let mut d = vec![0.0f64; if kind == FactorKind::Ldlt { sym.n } else { 0 }];
     let mut updates: Vec<Option<UpdateMatrix>> = (0..nsuper).map(|_| None).collect();
     let mut scatter = FrontScatter::new(sym.n);
     let mut front: Vec<f64> = Vec::new();
+    let mut rec = tr.local(0);
 
     for s in 0..nsuper {
         // Children precede parents (postorder), so their updates are ready.
@@ -35,19 +50,34 @@ pub fn factorize_seq(
             .map(|&c| updates[c].take().expect("child update missing"))
             .collect();
         let refs: Vec<&UpdateMatrix> = child_updates.iter().collect();
-        let f = assemble_front(ap, sym, s, &mut scatter, &refs, &mut front);
+        let tick = rec.start();
+        let (f, entries) = assemble_front(ap, sym, s, &mut scatter, &refs, &mut front);
+        rec.stop(tick, Phase::ExtendAdd, Some(s));
+        rec.add_assembled_entries(entries);
+        rec.mem_alloc(f * f * 8);
+        for u in &child_updates {
+            rec.mem_free(u.data.len() * 8);
+        }
         let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
         let w = c1 - c0;
+        let tick = rec.start();
         match kind {
             FactorKind::Llt => chol::partial_potrf(f, w, &mut front, f)
                 .map_err(|e| FactorError::from_dense(e, c0))?,
             FactorKind::Ldlt => chol::partial_ldlt(f, w, &mut front, f, &mut d[c0..c1])
                 .map_err(|e| FactorError::from_dense(e, c0))?,
         }
+        rec.stop(tick, Phase::Panel, Some(s));
+        rec.add_flops(crate::dist::front::flops_partial(f, w));
+        rec.front_done();
         blocks[s] = extract_panel(&front, f, w);
+        rec.mem_alloc(blocks[s].len() * 8);
         if f > w {
-            updates[s] = Some(extract_update(sym, s, &front, f));
+            let upd = extract_update(sym, s, &front, f);
+            rec.mem_alloc(upd.data.len() * 8);
+            updates[s] = Some(upd);
         }
+        rec.mem_free(f * f * 8);
     }
     Ok(Factor {
         sym: Arc::clone(sym),

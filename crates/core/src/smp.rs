@@ -23,6 +23,7 @@ use parfact_dense::chol;
 use parfact_sparse::csc::CscMatrix;
 use parfact_sparse::perm::Perm;
 use parfact_symbolic::{Symbolic, NONE};
+use parfact_trace::{Collector, LocalRecorder, Phase};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -64,10 +65,25 @@ pub fn factorize_smp(
     perm: Perm,
     opts: &SmpOpts,
 ) -> Result<Factor, FactorError> {
+    factorize_smp_traced(ap, sym, kind, perm, opts, &Collector::disabled())
+}
+
+/// [`factorize_smp`] with instrumentation recorded into `tr`. Each phase-1
+/// worker accumulates into a private recorder (keyed by worker id) that
+/// merges into the collector when the worker exits; phase 2 records as
+/// worker 0.
+pub fn factorize_smp_traced(
+    ap: &CscMatrix,
+    sym: &Arc<Symbolic>,
+    kind: FactorKind,
+    perm: Perm,
+    opts: &SmpOpts,
+    tr: &Collector,
+) -> Result<Factor, FactorError> {
     let nthreads = resolve_threads(opts.threads);
     let nsuper = sym.nsuper();
     if nthreads <= 1 || nsuper <= 1 {
-        return crate::seq::factorize_seq(ap, sym, kind, perm);
+        return crate::seq::factorize_seq_traced(ap, sym, kind, perm, tr);
     }
 
     // Upward-closed "big" set.
@@ -97,10 +113,14 @@ pub fn factorize_smp(
         }
     }
     std::thread::scope(|scope| {
-        for _ in 0..nthreads {
-            scope.spawn(|| {
+        for wid in 0..nthreads {
+            let (blocks, dsegs, updates, pending, big) =
+                (&blocks, &dsegs, &updates, &pending, &big);
+            let (injector, completed, failed, error) = (&injector, &completed, &failed, &error);
+            scope.spawn(move || {
                 let mut scatter = FrontScatter::new(sym.n);
                 let mut front: Vec<f64> = Vec::new();
+                let mut rec = tr.local(wid);
                 loop {
                     if failed.load(Ordering::Relaxed)
                         || completed.load(Ordering::Relaxed) >= small_total
@@ -116,7 +136,16 @@ pub fn factorize_smp(
                         }
                     };
                     let result = process_supernode(
-                        ap, sym, kind, s, &mut scatter, &mut front, &blocks, &dsegs, &updates,
+                        ap,
+                        sym,
+                        kind,
+                        s,
+                        &mut scatter,
+                        &mut front,
+                        blocks,
+                        dsegs,
+                        updates,
+                        &mut rec,
                     );
                     if let Err(e) = result {
                         *error.lock() = Some(e);
@@ -139,6 +168,7 @@ pub fn factorize_smp(
     // ---- Phase 2: kernel-parallel over big supernodes, in postorder. ----
     let mut scatter = FrontScatter::new(sym.n);
     let mut front: Vec<f64> = Vec::new();
+    let mut rec = tr.local(0);
     for s in 0..nsuper {
         if !big[s] {
             continue;
@@ -148,26 +178,45 @@ pub fn factorize_smp(
             .map(|&c| updates[c].lock().take().expect("child update missing"))
             .collect();
         let refs: Vec<&UpdateMatrix> = child_updates.iter().collect();
-        let f = assemble_front(ap, sym, s, &mut scatter, &refs, &mut front);
+        let tick = rec.start();
+        let (f, entries) = assemble_front(ap, sym, s, &mut scatter, &refs, &mut front);
+        rec.stop(tick, Phase::ExtendAdd, Some(s));
+        rec.add_assembled_entries(entries);
+        rec.mem_alloc(f * f * 8);
+        for u in &child_updates {
+            rec.mem_free(u.data.len() * 8);
+        }
         let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
         let w = c1 - c0;
         match kind {
-            FactorKind::Llt => parallel_partial_potrf(f, w, &mut front, nthreads)
-                .map_err(|e| FactorError::from_dense(e, c0))?,
+            FactorKind::Llt => {
+                parallel_partial_potrf_traced(f, w, &mut front, nthreads, &mut rec, Some(s))
+                    .map_err(|e| FactorError::from_dense(e, c0))?
+            }
             FactorKind::Ldlt => {
                 // LDLt fronts keep the sequential kernel (they only arise in
                 // quasi-definite runs where the SPD fast path is off anyway).
                 let mut dseg = vec![0.0; w];
+                let tick = rec.start();
                 chol::partial_ldlt(f, w, &mut front, f, &mut dseg)
                     .map_err(|e| FactorError::from_dense(e, c0))?;
+                rec.stop(tick, Phase::Panel, Some(s));
                 *dsegs[s].lock() = dseg;
             }
         }
-        *blocks[s].lock() = extract_panel(&front, f, w);
+        rec.add_flops(crate::dist::front::flops_partial(f, w));
+        rec.front_done();
+        let panel = extract_panel(&front, f, w);
+        rec.mem_alloc(panel.len() * 8);
+        *blocks[s].lock() = panel;
         if f > w {
-            *updates[s].lock() = Some(extract_update(sym, s, &front, f));
+            let upd = extract_update(sym, s, &front, f);
+            rec.mem_alloc(upd.data.len() * 8);
+            *updates[s].lock() = Some(upd);
         }
+        rec.mem_free(f * f * 8);
     }
+    drop(rec);
 
     // Collect.
     let mut out_blocks = Vec::with_capacity(nsuper);
@@ -201,15 +250,24 @@ fn process_supernode(
     blocks: &[Mutex<Vec<f64>>],
     dsegs: &[Mutex<Vec<f64>>],
     updates: &[Mutex<Option<UpdateMatrix>>],
+    rec: &mut LocalRecorder<'_>,
 ) -> Result<(), FactorError> {
     let child_updates: Vec<UpdateMatrix> = sym.tree.children[s]
         .iter()
         .map(|&c| updates[c].lock().take().expect("child update missing"))
         .collect();
     let refs: Vec<&UpdateMatrix> = child_updates.iter().collect();
-    let f = assemble_front(ap, sym, s, scatter, &refs, front);
+    let tick = rec.start();
+    let (f, entries) = assemble_front(ap, sym, s, scatter, &refs, front);
+    rec.stop(tick, Phase::ExtendAdd, Some(s));
+    rec.add_assembled_entries(entries);
+    rec.mem_alloc(f * f * 8);
+    for u in &child_updates {
+        rec.mem_free(u.data.len() * 8);
+    }
     let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
     let w = c1 - c0;
+    let tick = rec.start();
     match kind {
         FactorKind::Llt => {
             chol::partial_potrf(f, w, front, f).map_err(|e| FactorError::from_dense(e, c0))?
@@ -221,10 +279,18 @@ fn process_supernode(
             *dsegs[s].lock() = dseg;
         }
     }
-    *blocks[s].lock() = extract_panel(front, f, w);
+    rec.stop(tick, Phase::Panel, Some(s));
+    rec.add_flops(crate::dist::front::flops_partial(f, w));
+    rec.front_done();
+    let panel = extract_panel(front, f, w);
+    rec.mem_alloc(panel.len() * 8);
+    *blocks[s].lock() = panel;
     if f > w {
-        *updates[s].lock() = Some(extract_update(sym, s, front, f));
+        let upd = extract_update(sym, s, front, f);
+        rec.mem_alloc(upd.data.len() * 8);
+        *updates[s].lock() = Some(upd);
     }
+    rec.mem_free(f * f * 8);
     Ok(())
 }
 
@@ -238,12 +304,29 @@ pub fn parallel_partial_potrf(
     f: &mut [f64],
     nthreads: usize,
 ) -> Result<(), parfact_dense::DenseError> {
+    let tr = Collector::disabled();
+    let mut rec = tr.local(0);
+    parallel_partial_potrf_traced(nf, npiv, f, nthreads, &mut rec, None)
+}
+
+/// [`parallel_partial_potrf`] with phase timing: the panel section
+/// (diagonal factor + TRSM) accumulates as [`Phase::Panel`], the threaded
+/// trailing update as [`Phase::Gemm`].
+pub fn parallel_partial_potrf_traced(
+    nf: usize,
+    npiv: usize,
+    f: &mut [f64],
+    nthreads: usize,
+    rec: &mut LocalRecorder<'_>,
+    supernode: Option<usize>,
+) -> Result<(), parfact_dense::DenseError> {
     let nb = chol::NB;
     let ldf = nf;
     let mut j = 0usize;
     while j < npiv {
         let jb = nb.min(npiv - j);
         let rest = nf - j - jb;
+        let tick = rec.start();
         // Panel: factor diagonal block + scale the rows below it.
         {
             let djj = j * ldf + j;
@@ -273,6 +356,8 @@ pub fn parallel_partial_potrf(
                 let (_, tail) = f.split_at_mut(a21);
                 trsm_right_lt(rest, jb, &l11, jb, tail, ldf);
             }
+            rec.stop(tick, Phase::Panel, supernode);
+            let tick = rec.start();
             // Trailing update split by column chunks; entries accumulate in
             // the same l-order as the sequential syrk.
             let panel_start = j * ldf + j + jb;
@@ -307,15 +392,12 @@ pub fn parallel_partial_potrf(
                             for jc in a..b {
                                 let col = trail_col0 + jc;
                                 let m = rest - jc; // rows jc..rest (lower part)
-                                // SAFETY: each trailing column is written by
-                                // exactly one chunk; the panel is a private
-                                // copy. Column `col` occupies
-                                // f[col*ldf + col .. col*ldf + col + m].
+                                                   // SAFETY: each trailing column is written by
+                                                   // exactly one chunk; the panel is a private
+                                                   // copy. Column `col` occupies
+                                                   // f[col*ldf + col .. col*ldf + col + m].
                                 let cdst: &mut [f64] = unsafe {
-                                    std::slice::from_raw_parts_mut(
-                                        fptr.0.add(col * ldf + col),
-                                        m,
-                                    )
+                                    std::slice::from_raw_parts_mut(fptr.0.add(col * ldf + col), m)
                                 };
                                 for t in 0..jb {
                                     let w = panel[t * rest + jc];
@@ -332,6 +414,9 @@ pub fn parallel_partial_potrf(
                     });
                 }
             });
+            rec.stop(tick, Phase::Gemm, supernode);
+        } else {
+            rec.stop(tick, Phase::Panel, supernode);
         }
         j += jb;
     }
@@ -350,7 +435,11 @@ mod tests {
     use parfact_sparse::gen;
     use parfact_symbolic::{analyze, AmalgOpts};
 
-    fn both_engines(a: &CscMatrix, kind: FactorKind, opts: &SmpOpts) -> (Factor, Factor, CscMatrix) {
+    fn both_engines(
+        a: &CscMatrix,
+        kind: FactorKind,
+        opts: &SmpOpts,
+    ) -> (Factor, Factor, CscMatrix) {
         let (sym, ap) = analyze(a, &AmalgOpts::default());
         let perm = sym.post.clone();
         let sym = Arc::new(sym);

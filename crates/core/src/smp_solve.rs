@@ -154,9 +154,7 @@ pub fn solve_smp(factor: &Factor, b: &[f64], threads: usize) -> Vec<f64> {
                                 if r < c1 {
                                     xs[r - c0]
                                 } else {
-                                    let k = sym.sn_rows[s]
-                                        .binary_search(&r)
-                                        .expect("containment");
+                                    let k = sym.sn_rows[s].binary_search(&r).expect("containment");
                                     xrows[k]
                                 }
                             })
@@ -213,14 +211,8 @@ mod tests {
         use crate::factor::FactorKind;
         let a = gen::indefinite(80, 9);
         let b: Vec<f64> = (0..80).map(|i| (i % 7) as f64 - 3.0).collect();
-        let chol = SparseCholesky::factorize(
-            &a,
-            &FactorOpts {
-                kind: FactorKind::Ldlt,
-                ..FactorOpts::default()
-            },
-        )
-        .unwrap();
+        let chol =
+            SparseCholesky::factorize(&a, &FactorOpts::new().kind(FactorKind::Ldlt)).unwrap();
         let x_par = solve_smp(chol.factor(), &b, 3);
         assert!(ops::sym_residual_inf(&a, &x_par, &b) < 1e-10);
     }

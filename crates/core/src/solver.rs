@@ -1,24 +1,82 @@
 //! High-level solver façade: ordering → symbolic analysis → numeric
-//! factorization → solve, with engine and ordering selection.
+//! factorization → solve, with engine and ordering selection and a
+//! uniform observability surface ([`FactorReport`]) across all three
+//! engines.
 
+use crate::dist;
 use crate::error::FactorError;
 use crate::factor::{Factor, FactorKind};
+use crate::mapping::MapStrategy;
 use crate::smp::SmpOpts;
+use parfact_mpsim::model::CostModel;
 use parfact_order::Method;
 use parfact_sparse::csc::CscMatrix;
 use parfact_symbolic::{analyze, AmalgOpts, Symbolic};
+use parfact_trace::{Collector, Counters, FactorReport, TraceLevel};
 use std::sync::Arc;
+use std::time::Instant;
 
-/// Engine selection for the in-process factorization.
+/// Options for the simulator-backed distributed engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistOpts {
+    /// Number of simulated ranks.
+    pub ranks: usize,
+    /// Machine cost model for the simulated clocks.
+    pub model: CostModel,
+    /// Assembly-tree-to-rank mapping strategy.
+    pub strategy: MapStrategy,
+}
+
+impl Default for DistOpts {
+    fn default() -> Self {
+        DistOpts {
+            ranks: 4,
+            model: CostModel::bluegene_p(),
+            strategy: MapStrategy::default(),
+        }
+    }
+}
+
+/// Engine selection for the factorization.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Engine {
     /// Single-threaded multifrontal.
     Sequential,
     /// Shared-memory parallel multifrontal.
     Smp(SmpOpts),
+    /// Distributed multifrontal on the simulated message-passing machine.
+    /// `LLᵀ` only; the factor is gathered to the host, so `solve` works
+    /// like the other engines. Reports carry per-rank statistics.
+    Dist(DistOpts),
+}
+
+impl Engine {
+    /// Stable engine name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Sequential => "sequential",
+            Engine::Smp(_) => "smp",
+            Engine::Dist(_) => "dist",
+        }
+    }
 }
 
 /// Options for [`SparseCholesky::factorize`].
+///
+/// Construct with the builder and override what you need:
+///
+/// ```
+/// use parfact_core::solver::{Engine, FactorOpts};
+/// use parfact_core::smp::SmpOpts;
+///
+/// let opts = FactorOpts::new()
+///     .ordering(parfact_order::Method::default())
+///     .engine(Engine::Smp(SmpOpts::default()));
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: fields stay readable, but new options
+/// (like `trace`) can be added without breaking downstream code.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FactorOpts {
     /// Fill-reducing ordering.
@@ -29,6 +87,9 @@ pub struct FactorOpts {
     pub kind: FactorKind,
     /// Execution engine.
     pub engine: Engine,
+    /// Instrumentation level ([`TraceLevel::Off`] by default: every hook in
+    /// the engines reduces to a single branch).
+    pub trace: TraceLevel,
 }
 
 impl Default for FactorOpts {
@@ -38,68 +99,135 @@ impl Default for FactorOpts {
             amalg: AmalgOpts::default(),
             kind: FactorKind::Llt,
             engine: Engine::Sequential,
+            trace: TraceLevel::Off,
         }
     }
 }
 
-/// Phase timings of a factorization (wall clock, seconds).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct PhaseTimes {
-    pub ordering_s: f64,
-    pub symbolic_s: f64,
-    pub numeric_s: f64,
+impl FactorOpts {
+    /// Default options (alias of `Default`, reads better in builder chains).
+    pub fn new() -> Self {
+        FactorOpts::default()
+    }
+
+    /// Set the fill-reducing ordering.
+    pub fn ordering(mut self, ordering: Method) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Set the supernode amalgamation options.
+    pub fn amalg(mut self, amalg: AmalgOpts) -> Self {
+        self.amalg = amalg;
+        self
+    }
+
+    /// Choose `LLᵀ` or `LDLᵀ`.
+    pub fn kind(mut self, kind: FactorKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Choose the execution engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Set the instrumentation level.
+    pub fn trace(mut self, trace: TraceLevel) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// A factorized sparse symmetric system.
 pub struct SparseCholesky {
     factor: Factor,
-    times: PhaseTimes,
+    report: FactorReport,
+    trace: TraceLevel,
     /// The permuted matrix actually factored (kept for refinement).
     ap: CscMatrix,
 }
 
 impl SparseCholesky {
     /// Order, analyze and factor `a` (symmetric-lower CSC).
+    ///
+    /// With [`Engine::Dist`], a matrix that is not positive definite
+    /// **panics** instead of returning an error: simulated ranks cannot
+    /// unwind individually without deadlocking their peers, so the whole
+    /// machine aborts. Probe with a host engine first when the matrix is
+    /// suspect. `Dist` + [`FactorKind::Ldlt`] returns
+    /// [`FactorError::Unsupported`].
     pub fn factorize(a: &CscMatrix, opts: &FactorOpts) -> Result<Self, FactorError> {
         a.check_sym_lower()?;
-        let t0 = std::time::Instant::now();
+        let t0 = Instant::now();
         let fill = parfact_order::order_matrix(a, opts.ordering);
-        let t1 = std::time::Instant::now();
+        let t1 = Instant::now();
         let af = fill.apply_sym_lower(a);
         let (sym, ap) = analyze(&af, &opts.amalg);
         let total_perm = sym.post.compose(&fill);
         let sym = Arc::new(sym);
-        let t2 = std::time::Instant::now();
-        let factor = match opts.engine {
-            Engine::Sequential => crate::seq::factorize_seq(&ap, &sym, opts.kind, total_perm)?,
-            Engine::Smp(smp) => crate::smp::factorize_smp(&ap, &sym, opts.kind, total_perm, &smp)?,
+        let t2 = Instant::now();
+        let (factor, counters, ranks, spans) =
+            run_engine(&ap, &sym, opts.kind, total_perm, opts.engine, opts.trace)?;
+        let numeric_s = t2.elapsed().as_secs_f64();
+        let mut report = FactorReport {
+            engine: opts.engine.name().to_string(),
+            n: sym.n,
+            nnz_a: ap.nnz(),
+            factor_nnz: factor.nnz(),
+            nsuper: sym.nsuper(),
+            predicted_flops: sym.factor_flops(),
+            refactorizations: 0,
+            ordering_s: (t1 - t0).as_secs_f64(),
+            symbolic_s: (t2 - t1).as_secs_f64(),
+            numeric_s,
+            counters,
+            ranks,
+            spans,
         };
-        let t3 = std::time::Instant::now();
+        report.counters.fronts_factored = match opts.engine {
+            // The simulator counts traffic per rank, not fronts; every
+            // supernode is factored exactly once across the machine.
+            Engine::Dist(_) => sym.nsuper() as u64,
+            _ => report.counters.fronts_factored,
+        };
         Ok(SparseCholesky {
             factor,
-            times: PhaseTimes {
-                ordering_s: (t1 - t0).as_secs_f64(),
-                symbolic_s: (t2 - t1).as_secs_f64(),
-                numeric_s: (t3 - t2).as_secs_f64(),
-            },
+            report,
+            trace: opts.trace,
             ap,
         })
     }
 
     /// Refactorize with the same symbolic analysis (new values, same
     /// pattern) — the production pattern for time-stepping simulations.
+    ///
+    /// Report semantics: `ordering_s` and `symbolic_s` keep the one-time
+    /// analysis cost (it was genuinely reused, not re-paid), while
+    /// `numeric_s`, `counters`, `ranks`, and `spans` describe the **latest**
+    /// numeric factorization; `refactorizations` counts how many times the
+    /// numeric phase has been redone.
     pub fn refactorize(&mut self, a: &CscMatrix, engine: Engine) -> Result<(), FactorError> {
         let ap_new = self.factor.perm.apply_sym_lower(a);
-        let t0 = std::time::Instant::now();
         let kind = self.factor.kind;
         let perm = self.factor.perm.clone();
         let sym = Arc::clone(&self.factor.sym);
-        self.factor = match engine {
-            Engine::Sequential => crate::seq::factorize_seq(&ap_new, &sym, kind, perm)?,
-            Engine::Smp(smp) => crate::smp::factorize_smp(&ap_new, &sym, kind, perm, &smp)?,
-        };
+        let t0 = Instant::now();
+        let (factor, counters, ranks, spans) =
+            run_engine(&ap_new, &sym, kind, perm, engine, self.trace)?;
+        self.factor = factor;
         self.ap = ap_new;
-        self.times.numeric_s = t0.elapsed().as_secs_f64();
+        self.report.engine = engine.name().to_string();
+        self.report.numeric_s = t0.elapsed().as_secs_f64();
+        self.report.counters = counters;
+        if matches!(engine, Engine::Dist(_)) {
+            self.report.counters.fronts_factored = sym.nsuper() as u64;
+        }
+        self.report.ranks = ranks;
+        self.report.spans = spans;
+        self.report.refactorizations += 1;
         Ok(())
     }
 
@@ -125,9 +253,12 @@ impl SparseCholesky {
         &self.factor.sym
     }
 
-    /// Phase wall-clock timings.
-    pub fn times(&self) -> PhaseTimes {
-        self.times
+    /// The full factorization record: phase times, counters, per-rank
+    /// statistics (distributed engine), span events (at
+    /// [`TraceLevel::Full`]). Serializable via
+    /// [`FactorReport::to_json_string`].
+    pub fn report(&self) -> &FactorReport {
+        &self.report
     }
 
     /// Factor nonzeros (padding included).
@@ -146,6 +277,53 @@ impl SparseCholesky {
     }
 }
 
+/// Dispatch one numeric factorization and return the factor plus the
+/// instrumentation it produced.
+fn run_engine(
+    ap: &CscMatrix,
+    sym: &Arc<Symbolic>,
+    kind: FactorKind,
+    perm: parfact_sparse::perm::Perm,
+    engine: Engine,
+    trace: TraceLevel,
+) -> Result<
+    (
+        Factor,
+        Counters,
+        Vec<parfact_trace::RankReport>,
+        Vec<parfact_trace::SpanEvent>,
+    ),
+    FactorError,
+> {
+    match engine {
+        Engine::Sequential => {
+            let tr = Collector::new(trace);
+            let factor = crate::seq::factorize_seq_traced(ap, sym, kind, perm, &tr)?;
+            Ok((factor, tr.snapshot(), Vec::new(), tr.take_spans()))
+        }
+        Engine::Smp(smp) => {
+            let tr = Collector::new(trace);
+            let factor = crate::smp::factorize_smp_traced(ap, sym, kind, perm, &smp, &tr)?;
+            Ok((factor, tr.snapshot(), Vec::new(), tr.take_spans()))
+        }
+        Engine::Dist(d) => {
+            if kind != FactorKind::Llt {
+                return Err(FactorError::Unsupported(
+                    "the distributed engine factors LLt only; use Sequential or Smp for LDLt"
+                        .to_string(),
+                ));
+            }
+            // Rank statistics come from the simulator and are always
+            // collected — the trace level only governs host-side hooks.
+            let out =
+                dist::run_distributed_prepared(d.ranks, d.model, ap, sym, &perm, d.strategy, None);
+            let counters = out.fold_counters();
+            let ranks = out.rank_reports();
+            Ok((out.factor, counters, ranks, Vec::new()))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +338,12 @@ mod tests {
         assert!(ops::sym_residual_inf(&a, &x, &b) < 1e-12);
         assert!(chol.factor_nnz() >= a.nnz());
         assert!(chol.factor_flops() > 0.0);
+        // Untraced run: report carries shape and times, counters stay zero.
+        let r = chol.report();
+        assert_eq!(r.engine, "sequential");
+        assert_eq!(r.n, a.nrows());
+        assert!(r.numeric_s > 0.0);
+        assert_eq!(r.counters.fronts_factored, 0);
     }
 
     #[test]
@@ -172,14 +356,8 @@ mod tests {
             Method::MinDegree,
             Method::default(),
         ] {
-            let chol = SparseCholesky::factorize(
-                &a,
-                &FactorOpts {
-                    ordering,
-                    ..FactorOpts::default()
-                },
-            )
-            .unwrap();
+            let chol =
+                SparseCholesky::factorize(&a, &FactorOpts::new().ordering(ordering)).unwrap();
             let x = chol.solve(&b);
             assert!(
                 ops::sym_residual_inf(&a, &x, &b) < 1e-12,
@@ -194,13 +372,10 @@ mod tests {
         let b = vec![0.5; a.nrows()];
         let chol = SparseCholesky::factorize(
             &a,
-            &FactorOpts {
-                engine: Engine::Smp(SmpOpts {
-                    threads: 4,
-                    big_front: 128,
-                }),
-                ..FactorOpts::default()
-            },
+            &FactorOpts::new().engine(Engine::Smp(SmpOpts {
+                threads: 4,
+                big_front: 128,
+            })),
         )
         .unwrap();
         let x = chol.solve(&b);
@@ -208,16 +383,121 @@ mod tests {
     }
 
     #[test]
+    fn dist_engine_matches_sequential_through_facade() {
+        let a = gen::laplace2d(14, 12, gen::Stencil2d::FivePoint);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let seq = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let xs = seq.solve(&b);
+        for ranks in [1usize, 4, 6] {
+            let dist = SparseCholesky::factorize(
+                &a,
+                &FactorOpts::new().engine(Engine::Dist(DistOpts {
+                    ranks,
+                    ..DistOpts::default()
+                })),
+            )
+            .unwrap();
+            // Identical ordering + deterministic simulator: bitwise parity.
+            assert_eq!(
+                dist.factor().max_abs_diff(seq.factor()),
+                0.0,
+                "ranks={ranks}"
+            );
+            let xd = dist.solve(&b);
+            assert!(ops::sym_residual_inf(&a, &xd, &b) < 1e-12, "ranks={ranks}");
+            for (d, s) in xd.iter().zip(&xs) {
+                assert_eq!(d.to_bits(), s.to_bits(), "ranks={ranks}");
+            }
+            // The report folds simulator rank statistics.
+            let r = dist.report();
+            assert_eq!(r.engine, "dist");
+            assert_eq!(r.ranks.len(), ranks);
+            assert_eq!(r.counters.fronts_factored, r.nsuper as u64);
+            if ranks > 1 {
+                assert!(r.counters.msgs_sent > 0);
+                assert!(r.counters.bytes_sent > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_reports_are_self_consistent_across_engines() {
+        let a = gen::laplace2d(30, 30, gen::Stencil2d::FivePoint);
+        let engines = [
+            Engine::Sequential,
+            Engine::Smp(SmpOpts {
+                threads: 3,
+                big_front: 96,
+            }),
+            Engine::Dist(DistOpts::default()),
+        ];
+        for engine in engines {
+            let chol = SparseCholesky::factorize(
+                &a,
+                &FactorOpts::new().engine(engine).trace(TraceLevel::Counters),
+            )
+            .unwrap();
+            let r = chol.report();
+            let predicted = chol.factor_flops();
+            assert_eq!(r.predicted_flops, predicted);
+            let rel = (r.counters.flops - predicted).abs() / predicted;
+            assert!(
+                rel < 0.05,
+                "{}: counted {:.3e} vs predicted {:.3e} ({:.1}% off)",
+                r.engine,
+                r.counters.flops,
+                predicted,
+                rel * 100.0
+            );
+            assert_eq!(r.counters.fronts_factored, r.nsuper as u64);
+            match engine {
+                Engine::Dist(d) => {
+                    // Per-rank entries mirror the simulator statistics and
+                    // sum to the folded counters.
+                    assert_eq!(r.ranks.len(), d.ranks);
+                    let bytes: u64 = r.ranks.iter().map(|x| x.bytes_sent).sum();
+                    let msgs: u64 = r.ranks.iter().map(|x| x.msgs_sent).sum();
+                    let flops: f64 = r.ranks.iter().map(|x| x.flops).sum();
+                    assert_eq!(bytes, r.counters.bytes_sent);
+                    assert_eq!(msgs, r.counters.msgs_sent);
+                    assert!((flops - r.counters.flops).abs() < 1e-6);
+                }
+                _ => {
+                    // Host engines count exactly the predicted flops and
+                    // track assembly and memory.
+                    assert_eq!(r.counters.flops, predicted, "{}", r.engine);
+                    assert!(r.counters.bytes_assembled > 0);
+                    assert!(r.counters.mem_peak_bytes > 0);
+                    assert!(r.ranks.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_trace_produces_spans_and_json_round_trips() {
+        let a = gen::laplace2d(12, 12, gen::Stencil2d::FivePoint);
+        let chol =
+            SparseCholesky::factorize(&a, &FactorOpts::new().trace(TraceLevel::Full)).unwrap();
+        let r = chol.report();
+        assert!(!r.spans.is_empty());
+        // Every factored front produced a panel span.
+        let panels = r
+            .spans
+            .iter()
+            .filter(|s| s.phase == parfact_trace::Phase::Panel)
+            .count();
+        assert_eq!(panels, r.nsuper);
+        let text = r.to_json_string();
+        let back = FactorReport::from_json_str(&text).unwrap();
+        assert_eq!(&back, r);
+    }
+
+    #[test]
     fn nd_beats_natural_on_grid_fill() {
         let a = gen::laplace2d(24, 24, gen::Stencil2d::FivePoint);
-        let nat = SparseCholesky::factorize(
-            &a,
-            &FactorOpts {
-                ordering: Method::Natural,
-                ..FactorOpts::default()
-            },
-        )
-        .unwrap();
+        let nat =
+            SparseCholesky::factorize(&a, &FactorOpts::new().ordering(Method::Natural)).unwrap();
         let nd = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
         assert!(
             nd.factor_nnz() < nat.factor_nnz(),
@@ -236,16 +516,22 @@ mod tests {
             spd_attempt,
             Err(FactorError::NotPositiveDefinite { .. })
         ));
-        let chol = SparseCholesky::factorize(
-            &a,
-            &FactorOpts {
-                kind: FactorKind::Ldlt,
-                ..FactorOpts::default()
-            },
-        )
-        .unwrap();
+        let chol =
+            SparseCholesky::factorize(&a, &FactorOpts::new().kind(FactorKind::Ldlt)).unwrap();
         let x = chol.solve(&b);
         assert!(ops::sym_residual_inf(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn dist_rejects_ldlt() {
+        let a = gen::laplace2d(8, 8, gen::Stencil2d::FivePoint);
+        let r = SparseCholesky::factorize(
+            &a,
+            &FactorOpts::new()
+                .kind(FactorKind::Ldlt)
+                .engine(Engine::Dist(DistOpts::default())),
+        );
+        assert!(matches!(r, Err(FactorError::Unsupported(_))));
     }
 
     #[test]
@@ -263,6 +549,41 @@ mod tests {
         let b = vec![3.0; 60];
         let x = chol.solve(&b);
         assert!(ops::sym_residual_inf(&a2, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn refactorize_keeps_report_consistent() {
+        let a = gen::laplace2d(16, 16, gen::Stencil2d::FivePoint);
+        let mut chol =
+            SparseCholesky::factorize(&a, &FactorOpts::new().trace(TraceLevel::Counters)).unwrap();
+        let first = chol.report().clone();
+        assert_eq!(first.refactorizations, 0);
+        assert_eq!(first.counters.fronts_factored, first.nsuper as u64);
+
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= 3.0;
+        }
+        chol.refactorize(&a2, Engine::Sequential).unwrap();
+        let second = chol.report();
+        // Analysis was reused: its recorded cost must not change.
+        assert_eq!(second.ordering_s, first.ordering_s);
+        assert_eq!(second.symbolic_s, first.symbolic_s);
+        // The numeric side was redone and re-counted, not accumulated.
+        assert_eq!(second.refactorizations, 1);
+        assert_eq!(second.counters.fronts_factored, second.nsuper as u64);
+        assert_eq!(second.counters.flops, first.counters.flops);
+
+        // Refactorize may switch engines; the report must follow.
+        chol.refactorize(&a, Engine::Dist(DistOpts::default()))
+            .unwrap();
+        let third = chol.report();
+        assert_eq!(third.engine, "dist");
+        assert_eq!(third.refactorizations, 2);
+        assert_eq!(third.ranks.len(), DistOpts::default().ranks);
+        let b = vec![1.0; a.nrows()];
+        let x = chol.solve(&b);
+        assert!(ops::sym_residual_inf(&a, &x, &b) < 1e-12);
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn at(ld: usize, i: usize, j: usize) -> usize {
 
 /// `C ← α A Bᵀ + β C` where `A` is `m x k`, `B` is `n x k`, `C` is `m x n`,
 /// all column-major with leading dimensions `lda`, `ldb`, `ldc`.
+#[allow(clippy::too_many_arguments)] // BLAS calling convention
 pub fn gemm_nt(
     m: usize,
     n: usize,
@@ -79,6 +80,7 @@ pub fn gemm_nt(
 
 /// Lower-triangle symmetric rank-k update: `C ← α A Aᵀ + β C`, touching only
 /// `C[i][j]` with `i >= j`. `A` is `n x k`, `C` is `n x n`.
+#[allow(clippy::too_many_arguments)] // BLAS calling convention
 pub fn syrk_ln(
     n: usize,
     k: usize,
@@ -129,14 +131,7 @@ pub fn syrk_ln(
 ///
 /// This is the panel operation of Cholesky: given the factored diagonal
 /// block `L11`, the subdiagonal panel becomes `L21 = A21 L11⁻ᵀ`.
-pub fn trsm_right_lt(
-    m: usize,
-    n: usize,
-    l: &[f64],
-    ldl: usize,
-    b: &mut [f64],
-    ldb: usize,
-) {
+pub fn trsm_right_lt(m: usize, n: usize, l: &[f64], ldl: usize, b: &mut [f64], ldb: usize) {
     debug_assert!(ldl >= n.max(1) && ldb >= m.max(1));
     // Column j of X depends on columns < j: B[:,j] = Σ_{t<=j} X[:,t] L[j,t].
     for j in 0..n {
@@ -241,11 +236,17 @@ mod tests {
 
         let mut c = c0.clone();
         gemm_nt(
-            m, n, k, 2.0,
-            a.as_slice(), m,
-            b.as_slice(), n,
+            m,
+            n,
+            k,
+            2.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            n,
             0.5,
-            c.as_mut_slice(), m,
+            c.as_mut_slice(),
+            m,
         );
         // Reference: 2 * A * B^T + 0.5 * C0.
         let mut reference = a.matmul(&b.transpose());
@@ -287,11 +288,17 @@ mod tests {
         let b = DMat::from_fn(n, k, |_, _| r());
         let mut c = DMat::zeros(m, n);
         gemm_nt(
-            m, n, k, 1.0,
-            a.as_slice(), m,
-            b.as_slice(), n,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            n,
             0.0,
-            c.as_mut_slice(), m,
+            c.as_mut_slice(),
+            m,
         );
         let reference = a.matmul(&b.transpose());
         assert!(c.max_abs_diff(&reference) < 1e-11);

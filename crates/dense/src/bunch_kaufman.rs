@@ -173,12 +173,7 @@ pub fn factorize_bk(n: usize, a: &mut [f64], lda: usize) -> Result<BkFactor, Den
             l[at(n, i, j)] = a[at(lda, i, j)];
         }
     }
-    Ok(BkFactor {
-        n,
-        l,
-        pivots,
-        perm,
-    })
+    Ok(BkFactor { n, l, pivots, perm })
 }
 
 impl BkFactor {

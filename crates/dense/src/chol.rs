@@ -58,12 +58,7 @@ fn potf2(n: usize, a: &mut [f64], lda: usize, base: usize) -> Result<(), DenseEr
 /// - the **Schur complement** `A22 - L21 L21ᵀ` in the trailing lower block.
 ///
 /// With `npiv == nf` this is an ordinary blocked `LLᵀ` factorization.
-pub fn partial_potrf(
-    nf: usize,
-    npiv: usize,
-    f: &mut [f64],
-    ldf: usize,
-) -> Result<(), DenseError> {
+pub fn partial_potrf(nf: usize, npiv: usize, f: &mut [f64], ldf: usize) -> Result<(), DenseError> {
     assert!(npiv <= nf);
     assert!(ldf >= nf.max(1));
     let mut j = 0;

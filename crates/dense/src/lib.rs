@@ -17,6 +17,10 @@
 //!
 //! All kernels work on **column-major** storage with an explicit leading
 //! dimension, so they apply directly to sub-blocks of larger fronts.
+// Index loops over parallel arrays (`for j in 0..n` touching several
+// slices) are the deliberate idiom of this numerical code; clippy's
+// iterator rewrites obscure the subscript math.
+#![allow(clippy::needless_range_loop)]
 
 pub mod blas;
 pub mod bunch_kaufman;

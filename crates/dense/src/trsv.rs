@@ -123,8 +123,10 @@ mod tests {
         for i in 0..n {
             lu[(i, i)] = 1.0;
         }
-        let mut b: Vec<f64> =
-            lu.matmul(&DMat::from_colmajor(n, 1, x0.clone())).as_slice().to_vec();
+        let mut b: Vec<f64> = lu
+            .matmul(&DMat::from_colmajor(n, 1, x0.clone()))
+            .as_slice()
+            .to_vec();
         for i in 0..n {
             l[(i, i)] = f64::NAN; // must never be read
         }
@@ -154,7 +156,9 @@ mod tests {
         let y: Vec<f64> = (0..m).map(|i| i as f64 - 2.0).collect();
         let mut x = vec![7.0; n];
         gemv_t_sub(m, n, l21.as_slice(), m, &y, &mut x);
-        let expect = l21.transpose().matmul(&DMat::from_colmajor(m, 1, y.clone()));
+        let expect = l21
+            .transpose()
+            .matmul(&DMat::from_colmajor(m, 1, y.clone()));
         for j in 0..n {
             assert!((x[j] - (7.0 - expect[(j, 0)])).abs() < 1e-12);
         }

@@ -458,7 +458,8 @@ mod tests {
         let r = m.run(|rank| {
             let g = Group::new(vec![1, 3, 4]);
             if let Some(me) = g.index_of(rank.rank()) {
-                let sends: Vec<Vec<u64>> = (0..3).map(|peer| vec![(me * 10 + peer) as u64]).collect();
+                let sends: Vec<Vec<u64>> =
+                    (0..3).map(|peer| vec![(me * 10 + peer) as u64]).collect();
                 let got = alltoallv(rank, &g, sends, 9);
                 got.iter().map(|v| v[0]).collect::<Vec<_>>()
             } else {

@@ -82,6 +82,24 @@ pub struct RankStats {
     pub mem_peak: u64,
 }
 
+impl RankStats {
+    /// Fold this rank's statistics into the shared report schema
+    /// ([`parfact_trace::RankReport`]) used by every engine's
+    /// `FactorReport`.
+    pub fn to_report(&self, rank: usize) -> parfact_trace::RankReport {
+        parfact_trace::RankReport {
+            rank,
+            clock_s: self.clock_s,
+            compute_s: self.compute_s,
+            comm_s: self.comm_s,
+            flops: self.flops,
+            bytes_sent: self.bytes_sent,
+            msgs_sent: self.msgs_sent,
+            mem_peak_bytes: self.mem_peak,
+        }
+    }
+}
+
 /// Handle a rank's program uses to talk to the machine.
 pub struct Rank {
     rank: usize,
@@ -210,8 +228,7 @@ impl Rank {
                     self.rank
                 );
             }
-            mbox.signal
-                .wait_for(&mut queues, Duration::from_millis(50));
+            mbox.signal.wait_for(&mut queues, Duration::from_millis(50));
         }
     }
 
@@ -323,9 +340,10 @@ impl Machine {
                                 mem_cur: 0,
                                 mem_peak: 0,
                             };
-                            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                || fref(&mut rank),
-                            ));
+                            let out =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    fref(&mut rank)
+                                }));
                             match out {
                                 Ok(v) => {
                                     *slot = Some((v, rank.stats()));

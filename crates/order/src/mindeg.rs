@@ -210,6 +210,4 @@ mod tests {
         let g = AdjGraph::from_sym_lower(&a);
         assert_eq!(min_degree(&g), min_degree(&g));
     }
-
 }
-

@@ -145,7 +145,12 @@ impl CooMatrix {
         for r in 0..self.nrows {
             let (lo, hi) = (indptr[r], indptr[r + 1]);
             scratch.clear();
-            scratch.extend(indices[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()));
+            scratch.extend(
+                indices[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(vals[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < scratch.len() {

@@ -509,8 +509,8 @@ mod tests {
         assert!((a.get(0, 0).unwrap() - 2.02).abs() < 1e-15);
         assert_eq!(a.get(1, 0), Some(-1.0)); // x coupling
         assert_eq!(a.get(4, 0), Some(-0.01)); // y coupling
-        // Still SPD (diagonally dominant up to boundary).
-        assert!(ops::cg(&a, &vec![1.0; 12], 1e-10, 500).is_some());
+                                              // Still SPD (diagonally dominant up to boundary).
+        assert!(ops::cg(&a, &[1.0; 12], 1e-10, 500).is_some());
     }
 
     #[test]
@@ -518,9 +518,9 @@ mod tests {
         let a = helmholtz2d(10, 10, 4.0);
         a.check_sym_lower().unwrap();
         assert_eq!(a.get(0, 0), Some(0.0)); // 4 - 4
-        // The smallest 2-D Laplacian eigenvalue on a 10x10 grid is about
-        // 2 (2 - 2 cos(pi/11)) ≈ 0.16 << 4, so A - 4I has negative
-        // eigenvalues: x^T A x < 0 for the lowest mode.
+                                            // The smallest 2-D Laplacian eigenvalue on a 10x10 grid is about
+                                            // 2 (2 - 2 cos(pi/11)) ≈ 0.16 << 4, so A - 4I has negative
+                                            // eigenvalues: x^T A x < 0 for the lowest mode.
         let n = a.nrows();
         let mode: Vec<f64> = (0..n)
             .map(|v| {

@@ -37,7 +37,10 @@ pub fn parse_matrix_market(text: &str) -> Result<(CooMatrix, MmSymmetry), Sparse
     let header = lines
         .next()
         .ok_or_else(|| SparseError::BadMatrixMarket("empty input".into()))?;
-    let htoks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let htoks: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if htoks.len() < 5 || htoks[0] != "%%matrixmarket" || htoks[1] != "matrix" {
         return Err(SparseError::BadMatrixMarket(format!(
             "bad header line: {header}"

@@ -15,6 +15,10 @@
 //! Symmetric matrices are stored as their **lower triangle** (diagonal
 //! included) in CSC form throughout the solver stack, mirroring the
 //! convention of classic sparse Cholesky codes.
+// Index loops over parallel arrays (`for j in 0..n` touching several
+// slices) are the deliberate idiom of this numerical code; clippy's
+// iterator rewrites obscure the subscript math.
+#![allow(clippy::needless_range_loop)]
 
 pub mod coo;
 pub mod csc;

@@ -245,7 +245,7 @@ mod tests {
         let p1 = Perm::random(100, &mut r1);
         let p2 = Perm::random(100, &mut r2);
         assert_eq!(p1, p2);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in p1.perm() {
             assert!(!seen[i]);
             seen[i] = true;

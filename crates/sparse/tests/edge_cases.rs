@@ -94,7 +94,7 @@ fn generators_minimum_sizes() {
     let e = gen::elasticity3d(1, 1, 2);
     e.check_sym_lower().unwrap();
     assert_eq!(e.nrows(), 6);
-    assert!(ops::cg(&e, &vec![1.0; 6], 1e-10, 200).is_some());
+    assert!(ops::cg(&e, &[1.0; 6], 1e-10, 200).is_some());
 }
 
 #[test]

@@ -89,7 +89,15 @@ pub fn col_counts(a: &CscMatrix, parent: &[usize]) -> Vec<usize> {
             if i <= j {
                 continue;
             }
-            let q = leaf(i, j, &first, &mut maxfirst, &mut prevleaf, &mut ancestor, &mut jleaf);
+            let q = leaf(
+                i,
+                j,
+                &first,
+                &mut maxfirst,
+                &mut prevleaf,
+                &mut ancestor,
+                &mut jleaf,
+            );
             if jleaf >= 1 {
                 delta[j] += 1;
             }

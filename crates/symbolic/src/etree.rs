@@ -96,10 +96,7 @@ pub fn relabel(parent: &[usize], perm: &Perm) -> Vec<usize> {
 /// True iff every parent index exceeds its child (the defining property of
 /// a postordered elimination tree with consecutive subtrees).
 pub fn is_postordered(parent: &[usize]) -> bool {
-    parent
-        .iter()
-        .enumerate()
-        .all(|(j, &p)| p == NONE || p > j)
+    parent.iter().enumerate().all(|(j, &p)| p == NONE || p > j)
 }
 
 /// Number of nodes in each subtree (requires a postordered parent array).

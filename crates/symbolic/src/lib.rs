@@ -18,6 +18,10 @@
 //! fill-reducing permutation; `analyze` additionally postorders the
 //! elimination tree and reports the extra permutation it applied (the
 //! caller composes it with the fill-reducing one).
+// Index loops over parallel arrays (`for j in 0..n` touching several
+// slices) are the deliberate idiom of this numerical code; clippy's
+// iterator rewrites obscure the subscript math.
+#![allow(clippy::needless_range_loop)]
 
 pub mod atree;
 pub mod colcount;

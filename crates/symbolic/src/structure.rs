@@ -16,11 +16,7 @@ use parfact_sparse::csc::CscMatrix;
 
 /// Compute the below-pivot row structure of every supernode (sorted,
 /// global row indices).
-pub fn supernode_rows(
-    a: &CscMatrix,
-    sn_ptr: &[usize],
-    sn_of: &[usize],
-) -> Vec<Vec<usize>> {
+pub fn supernode_rows(a: &CscMatrix, sn_ptr: &[usize], sn_of: &[usize]) -> Vec<Vec<usize>> {
     let n = a.ncols();
     let nsuper = sn_ptr.len() - 1;
     let mut rows: Vec<Vec<usize>> = vec![Vec::new(); nsuper];
@@ -196,8 +192,7 @@ mod tests {
             let lpat = naive_l_pattern(&ap, &parent0);
             for s in 0..ptr.len() - 1 {
                 let (c0, c1) = (ptr[s], ptr[s + 1]);
-                let expect: Vec<usize> =
-                    lpat[c0].iter().copied().filter(|&r| r >= c1).collect();
+                let expect: Vec<usize> = lpat[c0].iter().copied().filter(|&r| r >= c1).collect();
                 assert_eq!(rows[s], expect, "supernode {s} cols {c0}..{c1}");
             }
         }

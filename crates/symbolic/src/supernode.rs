@@ -73,8 +73,7 @@ pub fn amalgamate(
         let w0 = e - f;
         let r0 = colcount[f] - w0;
         let mut cur = (f, e, r0, trapezoid(w0, r0));
-        loop {
-            let Some(&(pf, pe, _pr, ps)) = blocks.last() else { break };
+        while let Some(&(pf, pe, _pr, ps)) = blocks.last() {
             let (cf, ce, cr, cs) = cur;
             // `prev` (pf..pe) is the candidate child, `cur` its parent.
             if pe != cf {

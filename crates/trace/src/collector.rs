@@ -1,0 +1,642 @@
+//! The metrics engine: a shared [`Collector`] holding atomic counters and
+//! span events, fed by per-thread / per-rank [`LocalRecorder`]s.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** Every hook on the hot path is a single
+//!    predictable branch on a plain `bool`; no `Instant::now()`, no atomic
+//!    traffic, no allocation. The default [`TraceLevel::Off`] makes the
+//!    instrumented engines bench identically to the uninstrumented seed.
+//! 2. **No cross-thread contention while recording.** Worker threads
+//!    accumulate into a private [`LocalRecorder`] (plain fields) and merge
+//!    into the collector's atomics once, when the recorder drops. The only
+//!    shared-at-record-time state is the memory high-water mark, which must
+//!    be global to mean anything under concurrency — and is touched per
+//!    front, not per entry.
+//! 3. **Engine-agnostic.** The same counter set describes the sequential,
+//!    SMP, and distributed engines; distributed runs additionally fold the
+//!    simulator's per-rank statistics into the report (see
+//!    [`crate::report`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How much instrumentation to collect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// No recording. Every hook reduces to one branch.
+    #[default]
+    Off,
+    /// Aggregate counters and per-phase times.
+    Counters,
+    /// Counters plus one [`SpanEvent`] per (front, phase) — the raw
+    /// material for timelines and per-supernode attribution.
+    Full,
+}
+
+impl TraceLevel {
+    /// Is anything recorded at all?
+    pub fn enabled(self) -> bool {
+        self != TraceLevel::Off
+    }
+
+    /// Are individual span events recorded?
+    pub fn spans(self) -> bool {
+        self == TraceLevel::Full
+    }
+}
+
+/// Instrumented phases of the numeric factorization.
+///
+/// `Panel` covers the partial dense factorization of a front; for engines
+/// whose kernel fuses the trailing update into the panel loop (the
+/// sequential path) it includes that update, while the SMP big-front path
+/// reports the threaded trailing update separately as `Gemm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Front assembly: scatter of original-matrix entries plus extend-add
+    /// of children update matrices.
+    ExtendAdd,
+    /// Partial dense factorization of the pivot block (POTRF/LDLᵀ + TRSM).
+    Panel,
+    /// Trailing (Schur) update, where it runs as a distinct stage.
+    Gemm,
+    /// Triangular solves.
+    Solve,
+}
+
+impl Phase {
+    /// Stable wire name (used in JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::ExtendAdd => "extend_add",
+            Phase::Panel => "panel",
+            Phase::Gemm => "gemm",
+            Phase::Solve => "solve",
+        }
+    }
+
+    /// Inverse of [`Phase::name`].
+    pub fn from_name(name: &str) -> Option<Phase> {
+        match name {
+            "extend_add" => Some(Phase::ExtendAdd),
+            "panel" => Some(Phase::Panel),
+            "gemm" => Some(Phase::Gemm),
+            "solve" => Some(Phase::Solve),
+            _ => None,
+        }
+    }
+}
+
+/// One timed event: `who` (thread or rank) spent `dur_s` in `phase`,
+/// optionally attributed to a supernode, starting `start_s` seconds after
+/// the collector was created.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    pub phase: Phase,
+    /// Supernode the work belonged to, if attributable.
+    pub supernode: Option<usize>,
+    /// Recording thread (SMP) or rank (distributed).
+    pub who: usize,
+    pub start_s: f64,
+    pub dur_s: f64,
+}
+
+/// A plain snapshot of every counter. This is both the merge unit (what a
+/// [`LocalRecorder`] accumulates) and the report payload.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Counters {
+    /// Frontal matrices factored.
+    pub fronts_factored: u64,
+    /// Floating-point operations of the partial factorizations (the LAPACK
+    /// multiply-and-add-counted-separately convention; `n³/3` dense).
+    pub flops: f64,
+    /// Bytes scattered into fronts during assembly (original entries +
+    /// extend-add contributions actually applied).
+    pub bytes_assembled: u64,
+    /// Payload bytes sent between ranks (distributed engine only).
+    pub bytes_sent: u64,
+    /// Messages sent between ranks (distributed engine only).
+    pub msgs_sent: u64,
+    /// Seconds spent assembling fronts (scatter + extend-add).
+    pub extend_add_s: f64,
+    /// Seconds spent in partial dense factorization kernels.
+    pub panel_s: f64,
+    /// Seconds spent in distinct trailing-update (GEMM-like) stages.
+    pub gemm_s: f64,
+    /// Seconds spent in triangular solves.
+    pub solve_s: f64,
+    /// High-water mark of tracked working memory (fronts, panels, update
+    /// matrices), bytes.
+    pub mem_peak_bytes: u64,
+}
+
+impl Counters {
+    fn add_phase(&mut self, phase: Phase, dur_s: f64) {
+        match phase {
+            Phase::ExtendAdd => self.extend_add_s += dur_s,
+            Phase::Panel => self.panel_s += dur_s,
+            Phase::Gemm => self.gemm_s += dur_s,
+            Phase::Solve => self.solve_s += dur_s,
+        }
+    }
+
+    /// Element-wise accumulate (memory peak takes the max).
+    pub fn merge(&mut self, other: &Counters) {
+        self.fronts_factored += other.fronts_factored;
+        self.flops += other.flops;
+        self.bytes_assembled += other.bytes_assembled;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_sent += other.msgs_sent;
+        self.extend_add_s += other.extend_add_s;
+        self.panel_s += other.panel_s;
+        self.gemm_s += other.gemm_s;
+        self.solve_s += other.solve_s;
+        self.mem_peak_bytes = self.mem_peak_bytes.max(other.mem_peak_bytes);
+    }
+}
+
+/// Atomic f64 accumulator (bit-cast CAS loop; contention is one merge per
+/// thread per factorization, so the loop never spins in practice).
+#[derive(Default)]
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn add(&self, v: f64) {
+        if v == 0.0 {
+            return;
+        }
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = f64::from_bits(cur) + v;
+            match self.0.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The shared sink every engine records into.
+///
+/// Construct one per factorization with [`Collector::new`], hand it to an
+/// engine (`factorize_seq_traced` & co.), then [`Collector::snapshot`] /
+/// [`Collector::take_spans`] feed the report. A `Collector::disabled()`
+/// collector is free to pass around: every hook is one branch.
+pub struct Collector {
+    level: TraceLevel,
+    epoch: Instant,
+    fronts: AtomicU64,
+    flops: AtomicF64,
+    bytes_assembled: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_sent: AtomicU64,
+    extend_add_s: AtomicF64,
+    panel_s: AtomicF64,
+    gemm_s: AtomicF64,
+    solve_s: AtomicF64,
+    mem_cur: AtomicU64,
+    mem_peak: AtomicU64,
+    spans: Mutex<Vec<SpanEvent>>,
+}
+
+impl Collector {
+    /// A collector recording at `level`.
+    pub fn new(level: TraceLevel) -> Self {
+        Collector {
+            level,
+            epoch: Instant::now(),
+            fronts: AtomicU64::new(0),
+            flops: AtomicF64::default(),
+            bytes_assembled: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            msgs_sent: AtomicU64::new(0),
+            extend_add_s: AtomicF64::default(),
+            panel_s: AtomicF64::default(),
+            gemm_s: AtomicF64::default(),
+            solve_s: AtomicF64::default(),
+            mem_cur: AtomicU64::new(0),
+            mem_peak: AtomicU64::new(0),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The no-op collector engines use when the caller asked for nothing.
+    pub fn disabled() -> Self {
+        Collector::new(TraceLevel::Off)
+    }
+
+    /// Recording level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Is anything recorded at all?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.level.enabled()
+    }
+
+    /// Open a private recorder for thread / rank `who`. Its contents merge
+    /// into this collector when it drops (or on [`LocalRecorder::flush`]).
+    pub fn local(&self, who: usize) -> LocalRecorder<'_> {
+        LocalRecorder {
+            tr: self,
+            who,
+            c: Counters::default(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Report a tracked working-memory allocation. Global (atomic) so the
+    /// high-water mark is meaningful when several threads hold fronts
+    /// concurrently.
+    #[inline]
+    pub fn mem_alloc(&self, bytes: usize) {
+        if !self.enabled() {
+            return;
+        }
+        let cur = self.mem_cur.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+        self.mem_peak.fetch_max(cur, Ordering::Relaxed);
+    }
+
+    /// Report a tracked working-memory release.
+    #[inline]
+    pub fn mem_free(&self, bytes: usize) {
+        if !self.enabled() {
+            return;
+        }
+        // Saturating: merges of untracked frees must not wrap.
+        let mut cur = self.mem_cur.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes as u64);
+            match self.mem_cur.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Fold a finished recorder's counters in (called from `Drop`).
+    fn absorb(&self, c: &Counters, spans: &mut Vec<SpanEvent>) {
+        self.fronts.fetch_add(c.fronts_factored, Ordering::Relaxed);
+        self.flops.add(c.flops);
+        self.bytes_assembled
+            .fetch_add(c.bytes_assembled, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(c.bytes_sent, Ordering::Relaxed);
+        self.msgs_sent.fetch_add(c.msgs_sent, Ordering::Relaxed);
+        self.extend_add_s.add(c.extend_add_s);
+        self.panel_s.add(c.panel_s);
+        self.gemm_s.add(c.gemm_s);
+        self.solve_s.add(c.solve_s);
+        if !spans.is_empty() {
+            self.spans.lock().unwrap().append(spans);
+        }
+    }
+
+    /// Merge an externally-built counter set (e.g. folded from simulator
+    /// rank statistics).
+    pub fn merge_counters(&self, c: &Counters) {
+        self.absorb(c, &mut Vec::new());
+        self.mem_peak.fetch_max(c.mem_peak_bytes, Ordering::Relaxed);
+    }
+
+    /// Snapshot every counter.
+    pub fn snapshot(&self) -> Counters {
+        Counters {
+            fronts_factored: self.fronts.load(Ordering::Relaxed),
+            flops: self.flops.get(),
+            bytes_assembled: self.bytes_assembled.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            extend_add_s: self.extend_add_s.get(),
+            panel_s: self.panel_s.get(),
+            gemm_s: self.gemm_s.get(),
+            solve_s: self.solve_s.get(),
+            mem_peak_bytes: self.mem_peak.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Remove and return the recorded span events.
+    pub fn take_spans(&self) -> Vec<SpanEvent> {
+        std::mem::take(&mut *self.spans.lock().unwrap())
+    }
+
+    /// Zero every counter and drop recorded spans (refactorize reuses the
+    /// collector; the new numeric run starts from a clean slate).
+    pub fn reset(&self) {
+        self.fronts.store(0, Ordering::Relaxed);
+        self.flops.reset();
+        self.bytes_assembled.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.msgs_sent.store(0, Ordering::Relaxed);
+        self.extend_add_s.reset();
+        self.panel_s.reset();
+        self.gemm_s.reset();
+        self.solve_s.reset();
+        self.mem_cur.store(0, Ordering::Relaxed);
+        self.mem_peak.store(0, Ordering::Relaxed);
+        self.spans.lock().unwrap().clear();
+    }
+
+    /// Seconds since the collector was created (span timestamps base).
+    fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// An in-flight timing started by [`LocalRecorder::start`]. `None` inside
+/// means tracing is off and no clock was read.
+#[must_use]
+pub struct Tick(Option<Instant>);
+
+/// A thread's (or rank's) private accumulation buffer. All fields are plain
+/// — recording is branch + add. Contents merge into the parent collector on
+/// drop.
+pub struct LocalRecorder<'a> {
+    tr: &'a Collector,
+    who: usize,
+    c: Counters,
+    spans: Vec<SpanEvent>,
+}
+
+impl LocalRecorder<'_> {
+    /// Is anything recorded at all?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.tr.enabled()
+    }
+
+    /// Begin timing a phase. Free when tracing is off.
+    #[inline]
+    pub fn start(&self) -> Tick {
+        if self.enabled() {
+            Tick(Some(Instant::now()))
+        } else {
+            Tick(None)
+        }
+    }
+
+    /// Finish a timing: accumulate into the phase counter and, at
+    /// [`TraceLevel::Full`], record a span event.
+    #[inline]
+    pub fn stop(&mut self, tick: Tick, phase: Phase, supernode: Option<usize>) {
+        let Some(t0) = tick.0 else { return };
+        let dur_s = t0.elapsed().as_secs_f64();
+        self.c.add_phase(phase, dur_s);
+        if self.tr.level.spans() {
+            let end_s = self.tr.now_s();
+            self.spans.push(SpanEvent {
+                phase,
+                supernode,
+                who: self.who,
+                start_s: end_s - dur_s,
+                dur_s,
+            });
+        }
+    }
+
+    /// Count one factored front.
+    #[inline]
+    pub fn front_done(&mut self) {
+        if self.enabled() {
+            self.c.fronts_factored += 1;
+        }
+    }
+
+    /// Count factorization flops.
+    #[inline]
+    pub fn add_flops(&mut self, flops: f64) {
+        if self.enabled() {
+            self.c.flops += flops;
+        }
+    }
+
+    /// Count entries scattered into a front during assembly.
+    #[inline]
+    pub fn add_assembled_entries(&mut self, entries: u64) {
+        if self.enabled() {
+            self.c.bytes_assembled += entries * 8;
+        }
+    }
+
+    /// Count rank-to-rank traffic (distributed engine).
+    #[inline]
+    pub fn add_sent(&mut self, bytes: u64, msgs: u64) {
+        if self.enabled() {
+            self.c.bytes_sent += bytes;
+            self.c.msgs_sent += msgs;
+        }
+    }
+
+    /// Tracked allocation — delegates to the (global) high-water mark.
+    #[inline]
+    pub fn mem_alloc(&self, bytes: usize) {
+        self.tr.mem_alloc(bytes);
+    }
+
+    /// Tracked release.
+    #[inline]
+    pub fn mem_free(&self, bytes: usize) {
+        self.tr.mem_free(bytes);
+    }
+
+    /// Merge into the parent collector now (drop does this implicitly).
+    pub fn flush(&mut self) {
+        self.tr.absorb(&self.c, &mut self.spans);
+        self.c = Counters::default();
+    }
+}
+
+impl Drop for LocalRecorder<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let tr = Collector::disabled();
+        {
+            let mut rec = tr.local(0);
+            let t = rec.start();
+            rec.stop(t, Phase::Panel, Some(3));
+            rec.add_flops(1e9);
+            rec.front_done();
+            rec.add_assembled_entries(10);
+            rec.mem_alloc(1 << 20);
+        }
+        tr.mem_alloc(123);
+        assert_eq!(tr.snapshot(), Counters::default());
+        assert!(tr.take_spans().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_merges_exactly() {
+        let tr = Collector::new(TraceLevel::Counters);
+        let nthreads = 8usize;
+        let per_thread = 1000u64;
+        std::thread::scope(|scope| {
+            for w in 0..nthreads {
+                let tr = &tr;
+                scope.spawn(move || {
+                    let mut rec = tr.local(w);
+                    for _ in 0..per_thread {
+                        rec.front_done();
+                        rec.add_flops(2.0);
+                        rec.add_assembled_entries(3);
+                        rec.add_sent(16, 1);
+                    }
+                });
+            }
+        });
+        let c = tr.snapshot();
+        let total = nthreads as u64 * per_thread;
+        assert_eq!(c.fronts_factored, total);
+        assert_eq!(c.flops, 2.0 * total as f64);
+        assert_eq!(c.bytes_assembled, 3 * 8 * total);
+        assert_eq!(c.bytes_sent, 16 * total);
+        assert_eq!(c.msgs_sent, total);
+    }
+
+    #[test]
+    fn concurrent_memory_high_water_is_global() {
+        let tr = Collector::new(TraceLevel::Counters);
+        let nthreads = 4usize;
+        let barrier = std::sync::Barrier::new(nthreads);
+        std::thread::scope(|scope| {
+            for _ in 0..nthreads {
+                let (tr, barrier) = (&tr, &barrier);
+                scope.spawn(move || {
+                    tr.mem_alloc(100);
+                    // All threads hold 100 bytes simultaneously.
+                    barrier.wait();
+                    barrier.wait();
+                    tr.mem_free(100);
+                });
+            }
+        });
+        assert_eq!(tr.snapshot().mem_peak_bytes, 100 * nthreads as u64);
+        // Frees below zero saturate rather than wrap.
+        tr.mem_free(1 << 40);
+        tr.mem_alloc(1);
+        assert_eq!(tr.snapshot().mem_peak_bytes, 100 * nthreads as u64);
+    }
+
+    #[test]
+    fn spans_recorded_only_at_full_level() {
+        for (level, expect) in [(TraceLevel::Counters, 0usize), (TraceLevel::Full, 2)] {
+            let tr = Collector::new(level);
+            {
+                let mut rec = tr.local(7);
+                let t = rec.start();
+                rec.stop(t, Phase::ExtendAdd, Some(0));
+                let t = rec.start();
+                rec.stop(t, Phase::Panel, None);
+            }
+            let spans = tr.take_spans();
+            assert_eq!(spans.len(), expect, "level {level:?}");
+            if expect > 0 {
+                assert_eq!(spans[0].phase, Phase::ExtendAdd);
+                assert_eq!(spans[0].supernode, Some(0));
+                assert_eq!(spans[1].supernode, None);
+                assert_eq!(spans[0].who, 7);
+                assert!(spans[0].dur_s >= 0.0 && spans[0].start_s >= 0.0);
+            }
+            let c = tr.snapshot();
+            assert!(c.extend_add_s >= 0.0 && c.panel_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let tr = Collector::new(TraceLevel::Full);
+        {
+            let mut rec = tr.local(0);
+            rec.add_flops(5.0);
+            rec.front_done();
+            let t = rec.start();
+            rec.stop(t, Phase::Gemm, Some(1));
+        }
+        tr.mem_alloc(64);
+        assert_ne!(tr.snapshot(), Counters::default());
+        tr.reset();
+        assert_eq!(tr.snapshot(), Counters::default());
+        assert!(tr.take_spans().is_empty());
+    }
+
+    #[test]
+    fn flush_is_idempotent_with_drop() {
+        let tr = Collector::new(TraceLevel::Counters);
+        {
+            let mut rec = tr.local(0);
+            rec.add_flops(1.0);
+            rec.flush();
+            rec.add_flops(2.0);
+            // Drop flushes the remainder.
+        }
+        assert_eq!(tr.snapshot().flops, 3.0);
+    }
+
+    #[test]
+    fn counters_merge_and_phase_routing() {
+        let mut a = Counters {
+            flops: 1.0,
+            mem_peak_bytes: 10,
+            ..Counters::default()
+        };
+        let b = Counters {
+            flops: 2.0,
+            mem_peak_bytes: 7,
+            msgs_sent: 4,
+            ..Counters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.flops, 3.0);
+        assert_eq!(a.mem_peak_bytes, 10);
+        assert_eq!(a.msgs_sent, 4);
+
+        let mut c = Counters::default();
+        for (phase, field) in [
+            (Phase::ExtendAdd, 0),
+            (Phase::Panel, 1),
+            (Phase::Gemm, 2),
+            (Phase::Solve, 3),
+        ] {
+            c.add_phase(phase, 1.0);
+            let vals = [c.extend_add_s, c.panel_s, c.gemm_s, c.solve_s];
+            assert_eq!(vals[field], 1.0);
+        }
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for p in [Phase::ExtendAdd, Phase::Panel, Phase::Gemm, Phase::Solve] {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Phase::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,30 @@
+//! # parfact-trace
+//!
+//! Zero-cost-when-disabled instrumentation for the parfact solver stack.
+//!
+//! The SC'09 paper this project reproduces argues from *where time goes*:
+//! per-phase breakdowns, per-supernode work, communication volume, and load
+//! imbalance across processors. This crate provides the measurement layer
+//! those claims need, shared by all three engines (sequential, SMP,
+//! simulated-distributed):
+//!
+//! - [`Collector`] — the shared sink: atomic counters (flops, bytes
+//!   assembled/sent, messages, fronts factored, per-phase time), memory
+//!   high-water tracking, and span events.
+//! - [`LocalRecorder`] — a per-thread / per-rank buffer that records with
+//!   plain field updates and merges into the collector once, on drop.
+//! - [`TraceLevel`] — `Off` (default; every hook is a single branch),
+//!   `Counters`, or `Full` (counters + [`SpanEvent`]s).
+//! - [`FactorReport`] / [`RankReport`] — the serializable run record,
+//!   with JSON round-tripping via the dependency-free [`json`] module.
+//!
+//! The crate has no dependencies and knows nothing about matrices; engines
+//! decide what to count, this crate makes counting cheap and reporting
+//! uniform.
+
+pub mod collector;
+pub mod json;
+pub mod report;
+
+pub use collector::{Collector, Counters, LocalRecorder, Phase, SpanEvent, Tick, TraceLevel};
+pub use report::{FactorReport, RankReport};

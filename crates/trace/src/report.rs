@@ -1,0 +1,420 @@
+//! Factorization reports: the serializable record a solver run produces.
+//!
+//! A [`FactorReport`] combines problem shape (n, nnz, supernode count),
+//! phase wall-clock times, the counter snapshot from the [`crate::Collector`],
+//! per-rank statistics for distributed runs, and (at
+//! [`crate::TraceLevel::Full`]) the recorded span events. It converts to and
+//! from the JSON tree in [`crate::json`], so reports can be written to disk
+//! by experiment harnesses and read back by analysis tooling.
+
+use crate::collector::{Counters, Phase, SpanEvent};
+use crate::json::{Json, JsonError};
+
+/// Per-rank statistics for a distributed (simulated-MPI) run. Mirrors the
+/// simulator's `RankStats` so those fold into the report without loss.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankReport {
+    pub rank: usize,
+    /// Simulated virtual clock at completion (seconds).
+    pub clock_s: f64,
+    /// Simulated compute time (seconds).
+    pub compute_s: f64,
+    /// Simulated communication time (seconds).
+    pub comm_s: f64,
+    /// Modelled floating-point operations executed by this rank.
+    pub flops: f64,
+    /// Payload bytes this rank sent.
+    pub bytes_sent: u64,
+    /// Messages this rank sent.
+    pub msgs_sent: u64,
+    /// Peak tracked memory on this rank, bytes.
+    pub mem_peak_bytes: u64,
+}
+
+/// The full record of one factorization.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FactorReport {
+    /// Engine that produced the factor: `"sequential"`, `"smp"`, `"dist"`.
+    pub engine: String,
+    /// Matrix order.
+    pub n: usize,
+    /// Structural nonzeros in the lower triangle of A (as analyzed).
+    pub nnz_a: usize,
+    /// Nonzeros in the computed factor L.
+    pub factor_nnz: usize,
+    /// Supernodes in the assembly tree.
+    pub nsuper: usize,
+    /// Flops predicted by symbolic analysis (`factor_flops()`).
+    pub predicted_flops: f64,
+    /// Number of `refactorize` calls performed on this factor object.
+    pub refactorizations: u64,
+    /// Wall-clock seconds spent ordering.
+    pub ordering_s: f64,
+    /// Wall-clock seconds spent in symbolic analysis.
+    pub symbolic_s: f64,
+    /// Wall-clock seconds of the most recent numeric factorization.
+    pub numeric_s: f64,
+    /// Aggregated counters from the collector (summed across threads or
+    /// folded from ranks).
+    pub counters: Counters,
+    /// Per-rank breakdown (distributed engine only; empty otherwise).
+    pub ranks: Vec<RankReport>,
+    /// Span events (only at `TraceLevel::Full`; empty otherwise).
+    pub spans: Vec<SpanEvent>,
+}
+
+impl FactorReport {
+    /// Simulated makespan of a distributed run: the slowest rank's virtual
+    /// clock. `None` for shared-memory engines.
+    pub fn sim_makespan_s(&self) -> Option<f64> {
+        self.ranks
+            .iter()
+            .map(|r| r.clock_s)
+            .fold(None, |acc, c| Some(acc.map_or(c, |a: f64| a.max(c))))
+    }
+
+    /// Load imbalance of a distributed run: max/mean of per-rank compute
+    /// time (1.0 = perfectly balanced). `None` for shared-memory engines.
+    pub fn load_imbalance(&self) -> Option<f64> {
+        if self.ranks.is_empty() {
+            return None;
+        }
+        let max = self
+            .ranks
+            .iter()
+            .map(|r| r.compute_s)
+            .fold(0.0f64, f64::max);
+        let mean: f64 =
+            self.ranks.iter().map(|r| r.compute_s).sum::<f64>() / self.ranks.len() as f64;
+        if mean > 0.0 {
+            Some(max / mean)
+        } else {
+            None
+        }
+    }
+
+    /// Serialize to a JSON tree.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("engine".to_string(), Json::str(&self.engine)),
+            ("n".to_string(), Json::num_usize(self.n)),
+            ("nnz_a".to_string(), Json::num_usize(self.nnz_a)),
+            ("factor_nnz".to_string(), Json::num_usize(self.factor_nnz)),
+            ("nsuper".to_string(), Json::num_usize(self.nsuper)),
+            (
+                "predicted_flops".to_string(),
+                Json::num_f64(self.predicted_flops),
+            ),
+            (
+                "refactorizations".to_string(),
+                Json::num_u64(self.refactorizations),
+            ),
+            ("ordering_s".to_string(), Json::num_f64(self.ordering_s)),
+            ("symbolic_s".to_string(), Json::num_f64(self.symbolic_s)),
+            ("numeric_s".to_string(), Json::num_f64(self.numeric_s)),
+            ("counters".to_string(), counters_to_json(&self.counters)),
+        ];
+        if !self.ranks.is_empty() {
+            fields.push((
+                "ranks".to_string(),
+                Json::Arr(self.ranks.iter().map(rank_to_json).collect()),
+            ));
+        }
+        if !self.spans.is_empty() {
+            fields.push((
+                "spans".to_string(),
+                Json::Arr(self.spans.iter().map(span_to_json).collect()),
+            ));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Serialize to a compact JSON string (one line).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Serialize to indented JSON.
+    pub fn to_json_pretty(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Deserialize from a JSON tree. Unknown fields are ignored; missing
+    /// fields default (so reports stay readable across schema growth).
+    pub fn from_json(j: &Json) -> Result<FactorReport, JsonError> {
+        let mut r = FactorReport::default();
+        let field_err = |name: &str| JsonError {
+            pos: 0,
+            msg: format!("bad or missing report field '{name}'"),
+        };
+        r.engine = j
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or_else(|| field_err("engine"))?
+            .to_string();
+        r.n = j
+            .get("n")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| field_err("n"))?;
+        r.nnz_a = j.get("nnz_a").and_then(Json::as_usize).unwrap_or(0);
+        r.factor_nnz = j.get("factor_nnz").and_then(Json::as_usize).unwrap_or(0);
+        r.nsuper = j.get("nsuper").and_then(Json::as_usize).unwrap_or(0);
+        r.predicted_flops = j
+            .get("predicted_flops")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        r.refactorizations = j
+            .get("refactorizations")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        r.ordering_s = j.get("ordering_s").and_then(Json::as_f64).unwrap_or(0.0);
+        r.symbolic_s = j.get("symbolic_s").and_then(Json::as_f64).unwrap_or(0.0);
+        r.numeric_s = j.get("numeric_s").and_then(Json::as_f64).unwrap_or(0.0);
+        if let Some(c) = j.get("counters") {
+            r.counters = counters_from_json(c).ok_or_else(|| field_err("counters"))?;
+        }
+        if let Some(ranks) = j.get("ranks").and_then(Json::as_arr) {
+            r.ranks = ranks
+                .iter()
+                .map(rank_from_json)
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| field_err("ranks"))?;
+        }
+        if let Some(spans) = j.get("spans").and_then(Json::as_arr) {
+            r.spans = spans
+                .iter()
+                .map(span_from_json)
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| field_err("spans"))?;
+        }
+        Ok(r)
+    }
+
+    /// Deserialize from JSON text.
+    pub fn from_json_str(text: &str) -> Result<FactorReport, JsonError> {
+        FactorReport::from_json(&crate::json::parse(text)?)
+    }
+}
+
+fn counters_to_json(c: &Counters) -> Json {
+    Json::Obj(vec![
+        (
+            "fronts_factored".to_string(),
+            Json::num_u64(c.fronts_factored),
+        ),
+        ("flops".to_string(), Json::num_f64(c.flops)),
+        (
+            "bytes_assembled".to_string(),
+            Json::num_u64(c.bytes_assembled),
+        ),
+        ("bytes_sent".to_string(), Json::num_u64(c.bytes_sent)),
+        ("msgs_sent".to_string(), Json::num_u64(c.msgs_sent)),
+        ("extend_add_s".to_string(), Json::num_f64(c.extend_add_s)),
+        ("panel_s".to_string(), Json::num_f64(c.panel_s)),
+        ("gemm_s".to_string(), Json::num_f64(c.gemm_s)),
+        ("solve_s".to_string(), Json::num_f64(c.solve_s)),
+        (
+            "mem_peak_bytes".to_string(),
+            Json::num_u64(c.mem_peak_bytes),
+        ),
+    ])
+}
+
+fn counters_from_json(j: &Json) -> Option<Counters> {
+    Some(Counters {
+        fronts_factored: j.get("fronts_factored")?.as_u64()?,
+        flops: j.get("flops")?.as_f64()?,
+        bytes_assembled: j.get("bytes_assembled")?.as_u64()?,
+        bytes_sent: j.get("bytes_sent")?.as_u64()?,
+        msgs_sent: j.get("msgs_sent")?.as_u64()?,
+        extend_add_s: j.get("extend_add_s")?.as_f64()?,
+        panel_s: j.get("panel_s")?.as_f64()?,
+        gemm_s: j.get("gemm_s")?.as_f64()?,
+        solve_s: j.get("solve_s").and_then(Json::as_f64).unwrap_or(0.0),
+        mem_peak_bytes: j.get("mem_peak_bytes")?.as_u64()?,
+    })
+}
+
+fn rank_to_json(r: &RankReport) -> Json {
+    Json::Obj(vec![
+        ("rank".to_string(), Json::num_usize(r.rank)),
+        ("clock_s".to_string(), Json::num_f64(r.clock_s)),
+        ("compute_s".to_string(), Json::num_f64(r.compute_s)),
+        ("comm_s".to_string(), Json::num_f64(r.comm_s)),
+        ("flops".to_string(), Json::num_f64(r.flops)),
+        ("bytes_sent".to_string(), Json::num_u64(r.bytes_sent)),
+        ("msgs_sent".to_string(), Json::num_u64(r.msgs_sent)),
+        (
+            "mem_peak_bytes".to_string(),
+            Json::num_u64(r.mem_peak_bytes),
+        ),
+    ])
+}
+
+fn rank_from_json(j: &Json) -> Option<RankReport> {
+    Some(RankReport {
+        rank: j.get("rank")?.as_usize()?,
+        clock_s: j.get("clock_s")?.as_f64()?,
+        compute_s: j.get("compute_s")?.as_f64()?,
+        comm_s: j.get("comm_s")?.as_f64()?,
+        flops: j.get("flops")?.as_f64()?,
+        bytes_sent: j.get("bytes_sent")?.as_u64()?,
+        msgs_sent: j.get("msgs_sent")?.as_u64()?,
+        mem_peak_bytes: j.get("mem_peak_bytes")?.as_u64()?,
+    })
+}
+
+fn span_to_json(s: &SpanEvent) -> Json {
+    Json::Obj(vec![
+        ("phase".to_string(), Json::str(s.phase.name())),
+        (
+            "supernode".to_string(),
+            match s.supernode {
+                Some(sn) => Json::num_usize(sn),
+                None => Json::Null,
+            },
+        ),
+        ("who".to_string(), Json::num_usize(s.who)),
+        ("start_s".to_string(), Json::num_f64(s.start_s)),
+        ("dur_s".to_string(), Json::num_f64(s.dur_s)),
+    ])
+}
+
+fn span_from_json(j: &Json) -> Option<SpanEvent> {
+    Some(SpanEvent {
+        phase: Phase::from_name(j.get("phase")?.as_str()?)?,
+        supernode: match j.get("supernode")? {
+            Json::Null => None,
+            other => Some(other.as_usize()?),
+        },
+        who: j.get("who")?.as_usize()?,
+        start_s: j.get("start_s")?.as_f64()?,
+        dur_s: j.get("dur_s")?.as_f64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> FactorReport {
+        FactorReport {
+            engine: "dist".to_string(),
+            n: 10_000,
+            nnz_a: 49_600,
+            factor_nnz: 312_345,
+            nsuper: 1_234,
+            predicted_flops: 3.21e8,
+            refactorizations: 2,
+            ordering_s: 0.012,
+            symbolic_s: 0.003,
+            numeric_s: 0.207,
+            counters: Counters {
+                fronts_factored: 1_234,
+                flops: 3.3e8,
+                bytes_assembled: 9_876_543,
+                bytes_sent: 1 << 54, // beyond 2^53: exercises exact u64 text
+                msgs_sent: 4_321,
+                extend_add_s: 0.04,
+                panel_s: 0.15,
+                gemm_s: 0.01,
+                solve_s: 0.002,
+                mem_peak_bytes: 12_582_912,
+            },
+            ranks: vec![
+                RankReport {
+                    rank: 0,
+                    clock_s: 1.5,
+                    compute_s: 1.2,
+                    comm_s: 0.3,
+                    flops: 1.6e8,
+                    bytes_sent: 500,
+                    msgs_sent: 10,
+                    mem_peak_bytes: 6_000_000,
+                },
+                RankReport {
+                    rank: 1,
+                    clock_s: 1.4,
+                    compute_s: 0.8,
+                    comm_s: 0.6,
+                    flops: 1.7e8,
+                    bytes_sent: 700,
+                    msgs_sent: 12,
+                    mem_peak_bytes: 6_582_912,
+                },
+            ],
+            spans: vec![
+                SpanEvent {
+                    phase: Phase::ExtendAdd,
+                    supernode: Some(7),
+                    who: 1,
+                    start_s: 0.001,
+                    dur_s: 0.0005,
+                },
+                SpanEvent {
+                    phase: Phase::Panel,
+                    supernode: None,
+                    who: 0,
+                    start_s: 0.002,
+                    dur_s: 0.01,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample_report();
+        for text in [r.to_json_string(), r.to_json_pretty()] {
+            let back = FactorReport::from_json_str(&text).unwrap();
+            assert_eq!(back, r);
+        }
+        // The >2^53 counter survived exactly.
+        let back = FactorReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back.counters.bytes_sent, 1 << 54);
+    }
+
+    #[test]
+    fn shared_memory_report_omits_rank_and_span_sections() {
+        let r = FactorReport {
+            engine: "sequential".to_string(),
+            n: 100,
+            ..FactorReport::default()
+        };
+        let text = r.to_json_string();
+        assert!(!text.contains("\"ranks\""));
+        assert!(!text.contains("\"spans\""));
+        let back = FactorReport::from_json_str(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.sim_makespan_s(), None);
+        assert_eq!(back.load_imbalance(), None);
+    }
+
+    #[test]
+    fn dist_summaries() {
+        let r = sample_report();
+        assert_eq!(r.sim_makespan_s(), Some(1.5));
+        let imb = r.load_imbalance().unwrap();
+        assert!((imb - 1.2 / 1.0).abs() < 1e-12, "imb={imb}");
+    }
+
+    #[test]
+    fn missing_required_fields_error() {
+        assert!(FactorReport::from_json_str("{}").is_err());
+        assert!(FactorReport::from_json_str("{\"engine\":\"smp\"}").is_err());
+        // Minimal valid document.
+        let r = FactorReport::from_json_str("{\"engine\":\"smp\",\"n\":5}").unwrap();
+        assert_eq!(r.engine, "smp");
+        assert_eq!(r.n, 5);
+        assert_eq!(r.counters, Counters::default());
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let r = FactorReport::from_json_str(
+            "{\"engine\":\"sequential\",\"n\":3,\"future_field\":[1,2,3]}",
+        )
+        .unwrap();
+        assert_eq!(r.n, 3);
+    }
+}

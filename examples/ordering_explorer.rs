@@ -11,7 +11,11 @@ use parfact::sparse::gen;
 use parfact::symbolic::{analyze, AmalgOpts};
 
 fn report(name: &str, a: &CscMatrix) {
-    println!("--- {name}: n = {}, nnz(lower) = {} ---", a.nrows(), a.nnz());
+    println!(
+        "--- {name}: n = {}, nnz(lower) = {} ---",
+        a.nrows(),
+        a.nnz()
+    );
     println!(
         "{:>18} {:>12} {:>10} {:>12} {:>9}",
         "ordering", "nnz(L)", "fill", "Mflop", "supernodes"
@@ -20,7 +24,10 @@ fn report(name: &str, a: &CscMatrix) {
         ("natural", Method::Natural),
         ("RCM", Method::Rcm),
         ("min degree", Method::MinDegree),
-        ("nested dissection", Method::NestedDissection(NdOpts::default())),
+        (
+            "nested dissection",
+            Method::NestedDissection(NdOpts::default()),
+        ),
     ] {
         let perm = parfact::order::order_matrix(a, method);
         let ap = perm.apply_sym_lower(a);
@@ -46,7 +53,10 @@ fn main() {
         "3-D Laplacian 14^3",
         &gen::laplace3d(14, 14, 14, gen::Stencil3d::SevenPoint),
     );
-    report("3-D elasticity 8^3 (3 dof/node)", &gen::elasticity3d(8, 8, 8));
+    report(
+        "3-D elasticity 8^3 (3 dof/node)",
+        &gen::elasticity3d(8, 8, 8),
+    );
     report("random SPD n=3000, ~8/row", &gen::random_spd(3000, 8, 42));
     println!("(expected shape: ND wins on 2-D/3-D meshes, minimum degree is competitive");
     println!(" on small/irregular problems, RCM and natural trail far behind)");

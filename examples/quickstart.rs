@@ -21,7 +21,7 @@ fn main() {
     // Analyze + factor with the defaults: nested-dissection ordering,
     // relaxed supernodes, sequential multifrontal LLᵀ.
     let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).expect("SPD factorization");
-    let t = chol.times();
+    let r = chol.report();
     println!(
         "analysis: nnz(L) = {} ({:.2}x fill), {:.1} Mflop predicted",
         chol.factor_nnz(),
@@ -30,9 +30,9 @@ fn main() {
     );
     println!(
         "times: ordering {:.1} ms, symbolic {:.1} ms, numeric {:.1} ms",
-        t.ordering_s * 1e3,
-        t.symbolic_s * 1e3,
-        t.numeric_s * 1e3
+        r.ordering_s * 1e3,
+        r.symbolic_s * 1e3,
+        r.numeric_s * 1e3
     );
 
     // Solve and verify.

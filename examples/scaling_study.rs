@@ -29,7 +29,10 @@ fn main() {
         a.nnz()
     );
     println!();
-    println!("{:>6} {:>14} {:>10} {:>14} {:>10} {:>9}", "ranks", "multifrontal", "Gflop/s", "fan-out", "Gflop/s", "MF speedup");
+    println!(
+        "{:>6} {:>14} {:>10} {:>14} {:>10} {:>9}",
+        "ranks", "multifrontal", "Gflop/s", "fan-out", "Gflop/s", "MF speedup"
+    );
 
     let model = CostModel::bluegene_p();
     let mut t1_mf = 0.0f64;

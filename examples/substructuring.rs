@@ -32,7 +32,10 @@ fn main() {
     // half, so the interior factorization is two independent subdomains.
     let mid = nx / 2;
     let interface: Vec<usize> = (0..ny).map(|y| mid + nx * y).collect();
-    println!("interface: {} vertices (grid column x = {mid})", interface.len());
+    println!(
+        "interface: {} vertices (grid column x = {mid})",
+        interface.len()
+    );
 
     // A manufactured problem with a known solution.
     let xstar: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) / 5.0 - 1.5).collect();
@@ -40,8 +43,7 @@ fn main() {
     a.sym_spmv(&xstar, &mut b);
 
     let t0 = Instant::now();
-    let sc = schur_complement(&a, &interface, &FactorOpts::default())
-        .expect("SPD subdomains");
+    let sc = schur_complement(&a, &interface, &FactorOpts::default()).expect("SPD subdomains");
     println!(
         "schur: dense {0}x{0} interface operator formed in {1:.0} ms",
         sc.ninterface(),

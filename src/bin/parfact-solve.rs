@@ -11,6 +11,8 @@
 //!   --threads <t>       SMP engine with t threads (default: sequential)
 //!   --refine <k>        iterative-refinement steps     (default 1)
 //!   --stats             print condition estimate and log-determinant
+//!   --report <file>     write the factorization report (counters traced)
+//!                       as JSON
 //! ```
 //!
 //! The matrix must be square and symmetric (Matrix Market `symmetric`, or
@@ -34,6 +36,7 @@ struct Args {
     threads: usize,
     refine: usize,
     stats: bool,
+    report: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 0,
         refine: 1,
         stats: false,
+        report: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -77,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--refine needs an integer")?
             }
             "--stats" => args.stats = true,
+            "--report" => args.report = Some(it.next().ok_or("--report needs a file")?),
             "--help" | "-h" => return Err("usage".into()),
             other if args.matrix.is_empty() && !other.starts_with('-') => {
                 args.matrix = other.to_string()
@@ -107,7 +112,7 @@ fn main() -> ExitCode {
             if msg != "usage" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: parfact-solve <matrix.mtx> [--rhs f] [--out f] [--ordering nd|amd|rcm|natural] [--ldlt] [--threads t] [--refine k] [--stats]");
+            eprintln!("usage: parfact-solve <matrix.mtx> [--rhs f] [--out f] [--ordering nd|amd|rcm|natural] [--ldlt] [--threads t] [--refine k] [--stats] [--report f]");
             return ExitCode::from(2);
         }
     };
@@ -138,23 +143,26 @@ fn main() -> ExitCode {
         }
     };
 
-    let opts = FactorOpts {
-        ordering: args.ordering,
-        kind: if args.ldlt {
+    let opts = FactorOpts::new()
+        .ordering(args.ordering)
+        .kind(if args.ldlt {
             FactorKind::Ldlt
         } else {
             FactorKind::Llt
-        },
-        engine: if args.threads > 1 {
+        })
+        .engine(if args.threads > 1 {
             Engine::Smp(SmpOpts {
                 threads: args.threads,
                 ..SmpOpts::default()
             })
         } else {
             Engine::Sequential
-        },
-        ..FactorOpts::default()
-    };
+        })
+        .trace(if args.report.is_some() {
+            parfact::TraceLevel::Counters
+        } else {
+            parfact::TraceLevel::Off
+        });
     let chol = match SparseCholesky::factorize(&a, &opts) {
         Ok(c) => c,
         Err(e) => {
@@ -162,15 +170,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let t = chol.times();
+    let r = chol.report();
     println!(
         "factor: nnz(L) = {} ({:.2}x), {:.3} Gflop | ordering {:.0} ms, symbolic {:.0} ms, numeric {:.0} ms",
         chol.factor_nnz(),
         chol.factor_nnz() as f64 / a.nnz() as f64,
         chol.factor_flops() / 1e9,
-        t.ordering_s * 1e3,
-        t.symbolic_s * 1e3,
-        t.numeric_s * 1e3
+        r.ordering_s * 1e3,
+        r.symbolic_s * 1e3,
+        r.numeric_s * 1e3
     );
 
     let (x, resid) = chol.solve_refined(&a, &b, args.refine);
@@ -183,6 +191,14 @@ fn main() -> ExitCode {
         let cond = analysis::cond1_estimate(&a, chol.factor(), 5);
         let (logdet, sign) = chol.factor().log_det();
         println!("stats: cond1 estimate = {cond:.3e}, log|det A| = {logdet:.6} (sign {sign:+.0})");
+    }
+
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, chol.report().to_json_pretty() + "\n") {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {path}");
     }
 
     if let Some(out) = &args.out {

@@ -40,11 +40,22 @@ pub use parfact_mpsim as mpsim;
 pub use parfact_order as order;
 pub use parfact_sparse as sparse;
 pub use parfact_symbolic as symbolic;
+pub use parfact_trace as trace;
+
+// The façade types, at the crate root: factorize with
+// `parfact::SparseCholesky` and inspect the run via `parfact::FactorReport`
+// without spelling out the workspace layout.
+pub use parfact_core::solver::{DistOpts, Engine, FactorOpts, SparseCholesky};
+pub use parfact_core::FactorKind;
+pub use parfact_order::Method;
+pub use parfact_trace::{FactorReport, TraceLevel};
 
 /// Convenience re-exports for the common workflow.
 pub mod prelude {
-    pub use parfact_core::solver::{FactorOpts, SparseCholesky};
-    pub use parfact_core::OrderingChoice;
+    pub use parfact_core::solver::{DistOpts, Engine, FactorOpts, SparseCholesky};
+    pub use parfact_core::{FactorKind, OrderingChoice};
+    pub use parfact_order::Method;
     pub use parfact_sparse::csc::CscMatrix;
     pub use parfact_sparse::gen::{Stencil2d, Stencil3d};
+    pub use parfact_trace::{FactorReport, TraceLevel};
 }

@@ -22,13 +22,7 @@ fn indefinite_rejected_by_every_llt_engine() {
             big_front: 32,
         }),
     ] {
-        let r = SparseCholesky::factorize(
-            &a,
-            &FactorOpts {
-                engine,
-                ..FactorOpts::default()
-            },
-        );
+        let r = SparseCholesky::factorize(&a, &FactorOpts::new().engine(engine));
         match r {
             Err(FactorError::NotPositiveDefinite { value, .. }) => assert!(value <= 0.0),
             other => panic!("expected NotPositiveDefinite, got {:?}", other.is_ok()),
@@ -47,13 +41,7 @@ fn zero_matrix_is_rejected_not_nan() {
     let r = SparseCholesky::factorize(&a, &FactorOpts::default());
     assert!(matches!(r, Err(FactorError::NotPositiveDefinite { col: _, value }) if value == 0.0));
     // LDLt also refuses (exactly-zero pivot).
-    let r2 = SparseCholesky::factorize(
-        &a,
-        &FactorOpts {
-            kind: FactorKind::Ldlt,
-            ..FactorOpts::default()
-        },
-    );
+    let r2 = SparseCholesky::factorize(&a, &FactorOpts::new().kind(FactorKind::Ldlt));
     assert!(matches!(r2, Err(FactorError::ZeroPivot { .. })));
 }
 
@@ -129,14 +117,7 @@ fn forest_matrix_disconnected_components() {
             big_front: 8,
         }),
     ] {
-        let chol = SparseCholesky::factorize(
-            &a,
-            &FactorOpts {
-                engine,
-                ..FactorOpts::default()
-            },
-        )
-        .unwrap();
+        let chol = SparseCholesky::factorize(&a, &FactorOpts::new().engine(engine)).unwrap();
         let x = chol.solve(&b);
         for (xi, xs) in x.iter().zip(&xstar) {
             assert!((xi - xs).abs() < 1e-10);
@@ -161,10 +142,10 @@ fn forest_matrix_disconnected_components() {
 #[test]
 fn malformed_matrix_market_inputs() {
     for bad in [
-        "",                                                 // empty
-        "%%MatrixMarket matrix coordinate real symmetric",  // no size line
-        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n0 1 1.0\n", // 0-based index
-        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 1 abc\n", // bad value
+        "",                                                                   // empty
+        "%%MatrixMarket matrix coordinate real symmetric",                    // no size line
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n0 1 1.0\n",  // 0-based index
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 1 abc\n",  // bad value
         "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n", // complex
     ] {
         assert!(io::parse_sym_lower(bad).is_err(), "accepted: {bad:?}");

@@ -49,14 +49,8 @@ fn sparse_ldlt_on_mildly_indefinite_helmholtz() {
     // targets. Iterative refinement mops up pivoting-free growth.
     let a = gen::helmholtz2d(12, 12, 0.5);
     let n = a.nrows();
-    let chol = SparseCholesky::factorize(
-        &a,
-        &FactorOpts {
-            kind: FactorKind::Ldlt,
-            ..FactorOpts::default()
-        },
-    )
-    .expect("no-pivot LDLt on mildly indefinite system");
+    let chol = SparseCholesky::factorize(&a, &FactorOpts::new().kind(FactorKind::Ldlt))
+        .expect("no-pivot LDLt on mildly indefinite system");
     let xstar: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
     let mut b = vec![0.0; n];
     a.sym_spmv(&xstar, &mut b);
@@ -70,7 +64,7 @@ fn sparse_ldlt_on_mildly_indefinite_helmholtz() {
     // Sylvester: number of negative pivots = number of eigenvalues below
     // the shift; must be positive and small.
     let nneg = chol.factor().d.iter().filter(|&&d| d < 0.0).count();
-    assert!(nneg >= 1 && nneg < 20, "nneg = {nneg}");
+    assert!((1..20).contains(&nneg), "nneg = {nneg}");
 }
 
 #[test]
@@ -86,14 +80,7 @@ fn anisotropic_problem_end_to_end() {
         parfact::order::Method::MinDegree,
         parfact::order::Method::default(),
     ] {
-        let chol2 = SparseCholesky::factorize(
-            &a,
-            &FactorOpts {
-                ordering: m,
-                ..FactorOpts::default()
-            },
-        )
-        .unwrap();
+        let chol2 = SparseCholesky::factorize(&a, &FactorOpts::new().ordering(m)).unwrap();
         let x2 = chol2.solve(&b);
         assert!(ops::sym_residual_inf(&a, &x2, &b) < 1e-12);
     }

@@ -28,8 +28,14 @@ fn rhs_for(a: &CscMatrix, seed: usize) -> (Vec<f64>, Vec<f64>) {
 #[test]
 fn end_to_end_all_engines_agree_on_solution() {
     let matrices: Vec<(&str, CscMatrix)> = vec![
-        ("laplace2d", gen::laplace2d(20, 17, gen::Stencil2d::FivePoint)),
-        ("laplace3d", gen::laplace3d(7, 6, 7, gen::Stencil3d::SevenPoint)),
+        (
+            "laplace2d",
+            gen::laplace2d(20, 17, gen::Stencil2d::FivePoint),
+        ),
+        (
+            "laplace3d",
+            gen::laplace3d(7, 6, 7, gen::Stencil3d::SevenPoint),
+        ),
         ("elasticity", gen::elasticity3d(4, 4, 3)),
         ("random", gen::random_spd(400, 6, 7)),
     ];
@@ -38,13 +44,10 @@ fn end_to_end_all_engines_agree_on_solution() {
         let seq = SparseCholesky::factorize(a, &FactorOpts::default()).unwrap();
         let smp = SparseCholesky::factorize(
             a,
-            &FactorOpts {
-                engine: Engine::Smp(SmpOpts {
-                    threads: 4,
-                    big_front: 96,
-                }),
-                ..FactorOpts::default()
-            },
+            &FactorOpts::new().engine(Engine::Smp(SmpOpts {
+                threads: 4,
+                big_front: 96,
+            })),
         )
         .unwrap();
         let xs = seq.solve(&b);
@@ -66,14 +69,12 @@ fn multifrontal_matches_leftlooking_oracle() {
 
     let chol = SparseCholesky::factorize(
         &a,
-        &FactorOpts {
-            ordering: Method::Natural,
-            amalg: AmalgOpts {
+        &FactorOpts::new()
+            .ordering(Method::Natural)
+            .amalg(AmalgOpts {
                 min_width: 0,
                 relax_frac: 0.0,
-            },
-            ..FactorOpts::default()
-        },
+            }),
     )
     .unwrap();
     // Compare column by column in the permuted space of the solver.
@@ -178,14 +179,7 @@ fn matrix_market_roundtrip_through_solver() {
 fn ldlt_pipeline_on_indefinite_system() {
     let a = gen::indefinite(150, 11);
     let (xstar, b) = rhs_for(&a, 9);
-    let chol = SparseCholesky::factorize(
-        &a,
-        &FactorOpts {
-            kind: FactorKind::Ldlt,
-            ..FactorOpts::default()
-        },
-    )
-    .unwrap();
+    let chol = SparseCholesky::factorize(&a, &FactorOpts::new().kind(FactorKind::Ldlt)).unwrap();
     let x = chol.solve(&b);
     for (xi, xs) in x.iter().zip(&xstar) {
         assert!((xi - xs).abs() < 1e-6);

@@ -18,15 +18,13 @@ use proptest::prelude::*;
 /// Strategy: a random symmetric-lower SPD matrix (diagonally dominant) of
 /// order 5..=60 with random sparsity.
 fn spd_matrix() -> impl Strategy<Value = CscMatrix> {
-    (5usize..=60, 1usize..=6, any::<u64>())
-        .prop_map(|(n, k, seed)| gen::random_spd(n, k, seed))
+    (5usize..=60, 1usize..=6, any::<u64>()).prop_map(|(n, k, seed)| gen::random_spd(n, k, seed))
 }
 
 /// Strategy: a random symmetric *pattern* matrix (values irrelevant) used
 /// for symbolic-analysis invariants.
 fn sym_pattern() -> impl Strategy<Value = CscMatrix> {
-    (4usize..=50, 0usize..=5, any::<u64>())
-        .prop_map(|(n, k, seed)| gen::random_spd(n, k, seed))
+    (4usize..=50, 0usize..=5, any::<u64>()).prop_map(|(n, k, seed)| gen::random_spd(n, k, seed))
 }
 
 proptest! {
@@ -37,7 +35,7 @@ proptest! {
         let n = a.nrows();
         let b: Vec<f64> = (0..n).map(|i| (((i * 31 + seed) % 89) as f64) / 11.0 - 4.0).collect();
         for ordering in [Method::Natural, Method::Rcm, Method::MinDegree, Method::default()] {
-            let chol = SparseCholesky::factorize(&a, &FactorOpts { ordering, ..FactorOpts::default() }).unwrap();
+            let chol = SparseCholesky::factorize(&a, &FactorOpts::new().ordering(ordering)).unwrap();
             let x = chol.solve(&b);
             prop_assert!(ops::sym_residual_inf(&a, &x, &b) < 1e-10, "ordering {:?}", ordering);
         }
@@ -46,10 +44,10 @@ proptest! {
     #[test]
     fn smp_factor_is_bitwise_sequential(a in spd_matrix()) {
         let seq = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
-        let smp = SparseCholesky::factorize(&a, &FactorOpts {
-            engine: Engine::Smp(SmpOpts { threads: 3, big_front: 16 }),
-            ..FactorOpts::default()
-        }).unwrap();
+        let smp = SparseCholesky::factorize(
+            &a,
+            &FactorOpts::new().engine(Engine::Smp(SmpOpts { threads: 3, big_front: 16 })),
+        ).unwrap();
         prop_assert_eq!(seq.factor().max_abs_diff(smp.factor()), 0.0);
     }
 
@@ -169,7 +167,7 @@ proptest! {
             AmalgOpts { min_width: 4, relax_frac: 0.1 },
             AmalgOpts { min_width: 16, relax_frac: 0.5 },
         ] {
-            let chol = SparseCholesky::factorize(&a, &FactorOpts { amalg, ..FactorOpts::default() }).unwrap();
+            let chol = SparseCholesky::factorize(&a, &FactorOpts::new().amalg(amalg)).unwrap();
             let err = parfact::core::factor::reconstruction_error(
                 chol.factor(), chol.permuted_matrix());
             prop_assert!(err < 1e-9, "amalg {:?}: err {err}", amalg);

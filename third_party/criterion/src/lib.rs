@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset parfact's benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, throughput annotation, and the `criterion_group!` /
+//! `criterion_main!` macros — on a simple wall-clock harness: per sample
+//! it times a batch of iterations and reports the fastest sample (a
+//! robust point estimate under scheduler noise). No plots, no baselines;
+//! results print as one line per benchmark.
+
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing state for one benchmark. The user closure calls `iter*` once;
+/// the harness inside records warm-up plus samples.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    best: Option<Duration>,
+    mean: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    fn run_samples(&mut self, mut one_iter: impl FnMut() -> Duration) {
+        // Warm up until the budget is spent (at least one iteration).
+        let warm_start = Instant::now();
+        loop {
+            one_iter();
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measure: fixed sample count, but stop early when the
+        // measurement-time budget runs out.
+        let meas_start = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut best: Option<Duration> = None;
+        let mut samples = 0usize;
+        while samples < self.sample_size {
+            let dt = one_iter();
+            total += dt;
+            best = Some(best.map_or(dt, |b| b.min(dt)));
+            samples += 1;
+            if samples >= 3 && meas_start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.best = best;
+        self.mean = total / samples.max(1) as u32;
+        self.samples = samples;
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run_samples(|| {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            t.elapsed()
+        });
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.run_samples(|| {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            t.elapsed()
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up = t;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement = t;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run(id.into(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            best: None,
+            mean: Duration::ZERO,
+            samples: 0,
+        };
+        f(&mut bencher);
+        let best = bencher.best.unwrap_or(Duration::ZERO);
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(
+                    "  {:.3} Melem/s",
+                    n as f64 / best.as_secs_f64().max(1e-12) / 1e6
+                )
+            }
+            Throughput::Bytes(n) => {
+                format!(
+                    "  {:.3} MiB/s",
+                    n as f64 / best.as_secs_f64().max(1e-12) / (1 << 20) as f64
+                )
+            }
+        });
+        println!(
+            "{}/{}: best {}  mean {}  ({} samples){}",
+            self.name,
+            id.0,
+            fmt_duration(best),
+            fmt_duration(bencher.mean),
+            bencher.samples,
+            rate.unwrap_or_default(),
+        );
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(5);
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..1000).sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter_batched(
+                || vec![n; 100],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            );
+        });
+        g.finish();
+    }
+}

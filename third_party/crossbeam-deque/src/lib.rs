@@ -1,0 +1,111 @@
+//! Offline stand-in for the `crossbeam-deque` crate.
+//!
+//! Provides the `Injector`/`Steal` subset the SMP engine uses. The real
+//! crate is a lock-free FIFO; this one is a mutexed `VecDeque`, which is
+//! semantically identical (FIFO, linearizable steals) and fast enough for
+//! the work granularity parfact schedules (whole supernodes).
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+pub enum Steal<T> {
+    Empty,
+    Success(T),
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(task);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+        {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert!(matches!(inj.steal(), Steal::Success(1)));
+        assert!(matches!(inj.steal(), Steal::Success(2)));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_cover_all_items() {
+        let inj = Injector::new();
+        for i in 0..1000 {
+            inj.push(i);
+        }
+        let sum = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| loop {
+                    match inj.steal() {
+                        Steal::Success(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                });
+            }
+        });
+        assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+    }
+}
