@@ -1,9 +1,33 @@
 //! Microbenchmarks of the dense kernels the fronts are built on.
+//!
+//! Every group sets `Throughput::Elements` to the flop count of one call,
+//! so the reported `Melem/s` reads directly as Mflop/s (divide by 1000 for
+//! GF/s). The `*_naive` groups run the reference kernels from
+//! [`parfact_dense::naive`] at the largest sizes as a packed-vs-naive
+//! speedup baseline.
+//!
+//! Set `BENCH_QUICK=1` to run a fast smoke subset (used by CI to make sure
+//! the benches still execute, not to measure).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use parfact_dense::{blas, chol, DMat};
+use parfact_dense::{blas, chol, naive, DMat};
 use std::hint::black_box;
 use std::time::Duration;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn times(g: &mut criterion::BenchmarkGroup<'_>) {
+    if quick() {
+        g.measurement_time(Duration::from_millis(200))
+            .warm_up_time(Duration::from_millis(50))
+            .sample_size(3);
+    } else {
+        g.measurement_time(Duration::from_secs(3))
+            .warm_up_time(Duration::from_secs(1));
+    }
+}
 
 fn det_rng(seed: u64) -> impl FnMut() -> f64 {
     let mut s = seed.max(1);
@@ -17,9 +41,13 @@ fn det_rng(seed: u64) -> impl FnMut() -> f64 {
 
 fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm_nt");
-    g.measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_secs(1));
-    for &n in &[64usize, 128, 256] {
+    times(&mut g);
+    let sizes: &[usize] = if quick() {
+        &[64, 256]
+    } else {
+        &[64, 128, 256, 512, 768]
+    };
+    for &n in sizes {
         let mut r = det_rng(n as u64);
         let a = DMat::from_fn(n, n, |_, _| r());
         let b = DMat::from_fn(n, n, |_, _| r());
@@ -47,11 +75,47 @@ fn bench_gemm(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_gemm_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_nt_naive");
+    times(&mut g);
+    let sizes: &[usize] = if quick() { &[256] } else { &[256, 512] };
+    for &n in sizes {
+        let mut r = det_rng(n as u64);
+        let a = DMat::from_fn(n, n, |_, _| r());
+        let b = DMat::from_fn(n, n, |_, _| r());
+        let mut cmat = DMat::zeros(n, n);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                naive::gemm_nt(
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    a.as_slice(),
+                    n,
+                    b.as_slice(),
+                    n,
+                    0.0,
+                    cmat.as_mut_slice(),
+                    n,
+                );
+                black_box(cmat.as_slice()[0])
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_syrk(c: &mut Criterion) {
     let mut g = c.benchmark_group("syrk_ln");
-    g.measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_secs(1));
-    for &n in &[128usize, 256] {
+    times(&mut g);
+    let sizes: &[usize] = if quick() {
+        &[256]
+    } else {
+        &[128, 256, 512, 768]
+    };
+    for &n in sizes {
         let k = 48; // panel width used by the factorization
         let mut r = det_rng(n as u64);
         let a = DMat::from_fn(n, k, |_, _| r());
@@ -67,11 +131,35 @@ fn bench_syrk(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_syrk_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("syrk_ln_naive");
+    times(&mut g);
+    let sizes: &[usize] = if quick() { &[256] } else { &[256, 512] };
+    for &n in sizes {
+        let k = 48;
+        let mut r = det_rng(n as u64);
+        let a = DMat::from_fn(n, k, |_, _| r());
+        let mut cmat = DMat::zeros(n, n);
+        g.throughput(Throughput::Elements((n * n * k) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                naive::syrk_ln(n, k, -1.0, a.as_slice(), n, 1.0, cmat.as_mut_slice(), n);
+                black_box(cmat.as_slice()[0])
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_potrf(c: &mut Criterion) {
     let mut g = c.benchmark_group("potrf");
-    g.measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_secs(1));
-    for &n in &[64usize, 192, 384] {
+    times(&mut g);
+    let sizes: &[usize] = if quick() {
+        &[192]
+    } else {
+        &[64, 192, 384, 512]
+    };
+    for &n in sizes {
         let mut r = det_rng(n as u64);
         let a = DMat::random_spd(n, &mut r);
         g.throughput(Throughput::Elements((n * n * n / 3) as u64));
@@ -91,12 +179,15 @@ fn bench_potrf(c: &mut Criterion) {
 
 fn bench_partial_potrf(c: &mut Criterion) {
     let mut g = c.benchmark_group("partial_potrf_front");
-    g.measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_secs(1));
+    times(&mut g);
     // A representative front: order 320, eliminate 128 pivots.
     let (f, w) = (320usize, 128usize);
     let mut r = det_rng(7);
     let a = DMat::random_spd(f, &mut r);
+    // Pivot block n²w/3-ish plus trailing update: count the exact partial
+    // factorization flops so the rate is comparable to the other groups.
+    let flops = (w * w * w) / 3 + w * w * (f - w) + w * (f - w) * (f - w);
+    g.throughput(Throughput::Elements(flops as u64));
     g.bench_function("f320_w128", |bench| {
         bench.iter_batched(
             || a.clone(),
@@ -113,7 +204,9 @@ fn bench_partial_potrf(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gemm,
+    bench_gemm_naive,
     bench_syrk,
+    bench_syrk_naive,
     bench_potrf,
     bench_partial_potrf
 );

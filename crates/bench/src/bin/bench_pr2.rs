@@ -1,0 +1,235 @@
+//! `bench_pr2` — evidence artifact for the packed-kernel / workspace-arena
+//! PR: measures the packed register-blocked dense kernels against the
+//! naive baselines they replaced, plus end-to-end factorization on the
+//! EXP-R1 suite matrices, and writes the results to `BENCH_pr2.json`.
+//!
+//! ```text
+//! bench_pr2 [out.json]       (default output: BENCH_pr2.json)
+//! ```
+//!
+//! Set `BENCH_QUICK=1` for a fast smoke run (small sizes, one matrix) —
+//! used by CI to keep the binary working, not to produce the artifact.
+
+use parfact_bench::{suite, Problem};
+use parfact_core::smp::SmpOpts;
+use parfact_core::solver::{Engine, FactorOpts, SparseCholesky};
+use parfact_dense::{blas, chol, naive, DMat};
+use parfact_sparse::gen;
+use parfact_trace::json::Json;
+use parfact_trace::TraceLevel;
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Best-of-N wall time of `f`, in seconds: keeps iterating until the total
+/// measured time passes a floor so short kernels get enough samples.
+fn best_secs(mut f: impl FnMut()) -> f64 {
+    let floor = if quick() { 0.05 } else { 0.5 };
+    f(); // warm-up (first touch, pack-buffer growth)
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    let mut iters = 0u32;
+    while total < floor || iters < 3 {
+        let t = Instant::now();
+        f();
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
+        iters += 1;
+        if iters >= 10_000 {
+            break;
+        }
+    }
+    best
+}
+
+fn det_rng(seed: u64) -> impl FnMut() -> f64 {
+    let mut s = seed.max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % 2000) as f64 / 1000.0 - 1.0
+    }
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// One packed-vs-naive kernel comparison row.
+fn kernel_row(kernel: &str, n: usize, k: usize, flops: f64, packed_s: f64, naive_s: f64) -> Json {
+    let (pg, ng) = (flops / packed_s / 1e9, flops / naive_s / 1e9);
+    println!(
+        "  {kernel:<10} n={n:<4} k={k:<4}  packed {pg:6.2} GF/s   naive {ng:6.2} GF/s   speedup {:.2}x",
+        pg / ng
+    );
+    obj(vec![
+        ("kernel", Json::str(kernel)),
+        ("n", Json::num_usize(n)),
+        ("k", Json::num_usize(k)),
+        ("packed_gflops", Json::num_f64(pg)),
+        ("naive_gflops", Json::num_f64(ng)),
+        ("speedup", Json::num_f64(pg / ng)),
+    ])
+}
+
+fn bench_kernels() -> Vec<Json> {
+    let sizes: &[usize] = if quick() { &[128] } else { &[256, 512, 768] };
+    let mut rows = Vec::new();
+
+    for &n in sizes {
+        // gemm_nt, square: C ← C − A Bᵀ with m = n = k.
+        let mut r = det_rng(n as u64);
+        let a = DMat::from_fn(n, n, |_, _| r());
+        let b = DMat::from_fn(n, n, |_, _| r());
+        let mut c = DMat::zeros(n, n);
+        let flops = 2.0 * (n * n * n) as f64;
+        let tp = best_secs(|| {
+            blas::gemm_nt(
+                n,
+                n,
+                n,
+                -1.0,
+                a.as_slice(),
+                n,
+                b.as_slice(),
+                n,
+                1.0,
+                c.as_mut_slice(),
+                n,
+            )
+        });
+        let tn = best_secs(|| {
+            naive::gemm_nt(
+                n,
+                n,
+                n,
+                -1.0,
+                a.as_slice(),
+                n,
+                b.as_slice(),
+                n,
+                1.0,
+                c.as_mut_slice(),
+                n,
+            )
+        });
+        rows.push(kernel_row("gemm_nt", n, n, flops, tp, tn));
+
+        // syrk_ln at the factorization's panel width and at k = n.
+        for k in [chol::NB, n] {
+            let a = DMat::from_fn(n, k, |_, _| r());
+            let mut c = DMat::zeros(n, n);
+            let flops = (n * n * k) as f64;
+            let tp =
+                best_secs(|| blas::syrk_ln(n, k, -1.0, a.as_slice(), n, 1.0, c.as_mut_slice(), n));
+            let tn =
+                best_secs(|| naive::syrk_ln(n, k, -1.0, a.as_slice(), n, 1.0, c.as_mut_slice(), n));
+            rows.push(kernel_row("syrk_ln", n, k, flops, tp, tn));
+        }
+
+        // Blocked Cholesky (packed kernels only — there is no naive potrf).
+        let spd = DMat::random_spd(n, &mut r);
+        let flops = (n * n * n) as f64 / 3.0;
+        let mut m = spd.clone();
+        let tc = best_secs(|| {
+            m.as_mut_slice().copy_from_slice(spd.as_slice());
+            chol::potrf(n, m.as_mut_slice(), n).unwrap();
+        });
+        let g = flops / tc / 1e9;
+        println!("  {:<10} n={n:<4} k={n:<4}  packed {g:6.2} GF/s", "chol");
+        rows.push(obj(vec![
+            ("kernel", Json::str("chol")),
+            ("n", Json::num_usize(n)),
+            ("packed_gflops", Json::num_f64(g)),
+        ]));
+    }
+    rows
+}
+
+fn bench_factorization() -> Vec<Json> {
+    let problems: Vec<Problem> = if quick() {
+        vec![Problem {
+            name: "lap2d-60",
+            a: gen::laplace2d(60, 60, gen::Stencil2d::FivePoint),
+            desc: "2-D Poisson 60x60 (quick)",
+        }]
+    } else {
+        suite()
+    };
+    let engines: &[(&str, Engine)] = &[
+        ("seq", Engine::Sequential),
+        (
+            "smp4",
+            Engine::Smp(SmpOpts {
+                threads: 4,
+                ..SmpOpts::default()
+            }),
+        ),
+    ];
+    let reps = if quick() { 1 } else { 3 };
+    let mut rows = Vec::new();
+    for p in &problems {
+        for (tag, engine) in engines {
+            let opts = FactorOpts::new()
+                .engine(*engine)
+                .trace(TraceLevel::Counters);
+            let mut best: Option<parfact_trace::FactorReport> = None;
+            for _ in 0..reps {
+                let chol = SparseCholesky::factorize(&p.a, &opts).expect("suite matrices are SPD");
+                let r = chol.report().clone();
+                if best.as_ref().is_none_or(|b| r.numeric_s < b.numeric_s) {
+                    best = Some(r);
+                }
+            }
+            let r = best.unwrap();
+            let kernel = r
+                .kernel_gflops()
+                .map_or("     -".to_string(), |kg| format!("{kg:6.2}"));
+            println!(
+                "  {:<10} {tag:<5}  factor {:8.1} ms   {:6.2} GF/s end-to-end   {kernel} GF/s in kernels",
+                p.name,
+                r.numeric_s * 1e3,
+                r.factor_gflops()
+            );
+            let mut fields = vec![
+                ("matrix", Json::str(p.name)),
+                ("engine", Json::str(tag)),
+                ("n", Json::num_usize(p.a.nrows())),
+                ("factor_s", Json::num_f64(r.numeric_s)),
+                ("gflops", Json::num_f64(r.factor_gflops())),
+            ];
+            if let Some(kg) = r.kernel_gflops() {
+                fields.push(("kernel_gflops", Json::num_f64(kg)));
+            }
+            rows.push(obj(fields));
+        }
+    }
+    rows
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+    println!("bench_pr2: packed vs naive dense kernels");
+    let kernels = bench_kernels();
+    println!("bench_pr2: end-to-end factorization (best of runs)");
+    let factorization = bench_factorization();
+    let doc = obj(vec![
+        ("bench", Json::str("pr2_packed_kernels")),
+        ("quick", Json::Bool(quick())),
+        ("kernels", Json::Arr(kernels)),
+        ("factorization", Json::Arr(factorization)),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write results");
+    println!("bench_pr2: results written to {out}");
+}

@@ -781,6 +781,16 @@ fn exp_r1(ctx: &Ctx) {
         )
         .expect("SPD");
         let r = chol.report();
+        let kernel = match r.kernel_gflops() {
+            Some(kg) => format!("{kg:.2}"),
+            None => "-".to_string(),
+        };
+        println!(
+            "  [{}: {:.2} GF/s end-to-end, {} GF/s in dense kernels]",
+            r.engine,
+            r.factor_gflops(),
+            kernel
+        );
         println!("{}", r.to_json_string());
         docs.push(r.to_json_pretty());
     }

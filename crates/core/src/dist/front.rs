@@ -301,15 +301,16 @@ impl DistFront {
                 // Row start: lower triangle within diagonal blocks.
                 let i0 = if bi == bj { jc } else { 0 };
                 let col = &mut blk[jc * m_bi..(jc + 1) * m_bi];
-                for t in 0..jb {
-                    let w_t = b[t * m_bj + jc];
-                    if w_t == 0.0 {
-                        continue;
+                // Per-entry dot over the panel's jb pivots in ascending
+                // order, subtracted once — the packed microkernel's
+                // accumulation contract (see `parfact_dense::pack`), which
+                // keeps distributed results bitwise equal to sequential.
+                for i in i0..m_bi {
+                    let mut acc = 0.0f64;
+                    for t in 0..jb {
+                        acc += a[t * m_bi + i] * b[t * m_bj + jc];
                     }
-                    let asrc = &a[t * m_bi..(t + 1) * m_bi];
-                    for i in i0..m_bi {
-                        col[i] -= asrc[i] * w_t;
-                    }
+                    col[i] -= acc;
                 }
                 // Charge per column so diagonal blocks (which only compute
                 // their lower triangle) are not overcounted.

@@ -37,8 +37,8 @@ fn ext_tag(child: usize) -> u64 {
 
 /// Per-rank factor state after a distributed factorization.
 pub struct RankFactor {
-    /// Panels of locally-factored supernodes (`f x w`, same layout as
-    /// [`Factor::blocks`]).
+    /// Panels of locally-factored supernodes (`f x w`, same layout as a
+    /// [`Factor`] slab panel).
     pub local_panels: HashMap<usize, Vec<f64>>,
     /// Owned blocks of distributed supernodes (pivot columns retained).
     pub dist_blocks: HashMap<usize, DistFront>,
@@ -108,10 +108,9 @@ pub fn factorize_rank(
                     .iter()
                     .map(|&c| local_updates.remove(&c).expect("local child update"))
                     .collect();
-                let refs: Vec<&UpdateMatrix> = child_updates.iter().collect();
                 rank.alloc(f * f * 8);
-                assemble_front(ap, sym, s, &mut scatter, &refs, &mut front_buf);
-                rank.compute(assembly_flops(&child_updates));
+                assemble_front(ap, sym, s, &mut scatter, &child_updates, &mut front_buf);
+                rank.compute(assembly_flops(sym, &child_updates));
                 chol::partial_potrf(f, w, &mut front_buf, f)
                     .map_err(|e| FactorError::from_dense(e, c0))?;
                 rank.compute(front::flops_partial(f, w));
@@ -196,10 +195,13 @@ pub fn factorize_rank(
 }
 
 /// Approximate assembly cost: one add per update entry.
-fn assembly_flops(updates: &[UpdateMatrix]) -> f64 {
+fn assembly_flops(sym: &Symbolic, updates: &[UpdateMatrix]) -> f64 {
     updates
         .iter()
-        .map(|u| (u.order() * (u.order() + 1) / 2) as f64)
+        .map(|u| {
+            let r = u.order(sym);
+            (r * (r + 1) / 2) as f64
+        })
         .sum()
 }
 
@@ -230,13 +232,13 @@ fn route_update(
             let plocal = parent_local_map(
                 sym,
                 parent,
-                &upd.rows,
+                upd.rows(sym),
                 sym.sn_width(parent),
                 sym.sn_ptr[parent],
             );
             let np = pr * pc;
             let mut bufs: Vec<ExtBuf> = vec![Default::default(); np];
-            let r = upd.order();
+            let r = upd.order(sym);
             // Canonical order for a local child: column-major lower.
             for j in 0..r {
                 let lj = plocal[j];
@@ -483,23 +485,24 @@ pub fn gather_factor(
         }
         return None;
     }
-    // Rank 0: assemble every panel.
-    let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); nsuper];
+    // Rank 0: assemble every panel straight into the factor slab.
+    let mut factor = Factor::allocate(sym, FactorKind::Llt, perm);
     for s in 0..nsuper {
         let f = sym.front_order(s);
         let w = sym.sn_width(s);
         match map.layout[s] {
             Layout::Local => {
                 let owner = map.group[s].0;
-                blocks[s] = if owner == 0 {
-                    rf.local_panels[&s].clone()
+                if owner == 0 {
+                    factor.panel_mut(s).copy_from_slice(&rf.local_panels[&s]);
                 } else {
-                    rank.recv::<Vec<f64>>(owner, front::tag(s, TAG_GATHER))
-                };
+                    let p = rank.recv::<Vec<f64>>(owner, front::tag(s, TAG_GATHER));
+                    factor.panel_mut(s).copy_from_slice(&p);
+                }
             }
             Layout::Grid { .. } => {
                 let (lo, hi) = map.group[s];
-                let mut panel = vec![0.0f64; f * w];
+                let panel = factor.panel_mut(s);
                 for q in lo..hi {
                     let (idx, vals) = if q == 0 {
                         let df = &rf.dist_blocks[&s];
@@ -533,17 +536,10 @@ pub fn gather_factor(
                         panel[idx[2 * k + 1] as usize * f + idx[2 * k] as usize] = v;
                     }
                 }
-                blocks[s] = panel;
             }
         }
     }
-    Some(Factor {
-        sym: Arc::clone(sym),
-        kind: FactorKind::Llt,
-        blocks,
-        d: Vec::new(),
-        perm,
-    })
+    Some(factor)
 }
 
 /// Everything a distributed run produces, with per-phase *simulated* times.

@@ -18,9 +18,12 @@ pub enum FactorKind {
 
 /// A computed supernodal factor.
 ///
-/// Per supernode `s`, `blocks[s]` is the column-major `f x w` panel
+/// Per supernode `s`, [`Factor::panel`] is the column-major `f x w` panel
 /// (`f = front order`, `w = width`): the first `w` rows are the (lower)
-/// pivot block, the remaining rows follow `sym.sn_rows[s]`.
+/// pivot block, the remaining rows follow `sym.sn_rows[s]`. All panels live
+/// in a single contiguous slab (`panels` indexed through `panel_ptr`), so a
+/// factorization performs one allocation instead of one per supernode and
+/// `refactorize` can overwrite the slab in place.
 #[derive(Debug, Clone)]
 pub struct Factor {
     /// Symbolic analysis this factor was computed under (shared: the SMP
@@ -28,15 +31,54 @@ pub struct Factor {
     pub sym: Arc<Symbolic>,
     /// LLᵀ or LDLᵀ.
     pub kind: FactorKind,
-    /// Per-supernode factor panels.
-    pub blocks: Vec<Vec<f64>>,
-    /// LDLᵀ pivots (length n; unused for LLᵀ).
+    /// Slab of all factor panels, concatenated in supernode order.
+    pub panels: Vec<f64>,
+    /// Panel `s` occupies `panels[panel_ptr[s]..panel_ptr[s + 1]]`.
+    pub panel_ptr: Vec<usize>,
+    /// LDLᵀ pivots (length n; empty for LLᵀ).
     pub d: Vec<f64>,
     /// Total permutation (fill-reducing ∘ postorder), `new → old`.
     pub perm: Perm,
 }
 
 impl Factor {
+    /// Allocate a zeroed factor with the slab layout implied by `sym`.
+    /// Engines fill it in via [`Factor::panel_mut`] (and `d` for LDLᵀ).
+    pub fn allocate(sym: &Arc<Symbolic>, kind: FactorKind, perm: Perm) -> Factor {
+        let nsuper = sym.nsuper();
+        let mut panel_ptr = Vec::with_capacity(nsuper + 1);
+        panel_ptr.push(0usize);
+        let mut total = 0usize;
+        for s in 0..nsuper {
+            total += sym.front_order(s) * sym.sn_width(s);
+            panel_ptr.push(total);
+        }
+        let d = match kind {
+            FactorKind::Llt => Vec::new(),
+            FactorKind::Ldlt => vec![0.0; sym.n],
+        };
+        Factor {
+            sym: Arc::clone(sym),
+            kind,
+            panels: vec![0.0; total],
+            panel_ptr,
+            d,
+            perm,
+        }
+    }
+
+    /// The `f x w` column-major factor panel of supernode `s`.
+    #[inline]
+    pub fn panel(&self, s: usize) -> &[f64] {
+        &self.panels[self.panel_ptr[s]..self.panel_ptr[s + 1]]
+    }
+
+    /// Mutable view of supernode `s`'s panel.
+    #[inline]
+    pub fn panel_mut(&mut self, s: usize) -> &mut [f64] {
+        &mut self.panels[self.panel_ptr[s]..self.panel_ptr[s + 1]]
+    }
+
     /// Nonzeros stored in the factor (padding included).
     pub fn nnz(&self) -> usize {
         self.sym.factor_nnz()
@@ -60,7 +102,7 @@ impl Factor {
             let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
             let w = c1 - c0;
             let f = sym.front_order(s);
-            let blk = &self.blocks[s];
+            let blk = self.panel(s);
             trsv::trsv_ln(w, blk, f, &mut x[c0..c1], unit);
             if f > w {
                 // Gather-subtract into the ancestor rows.
@@ -90,7 +132,7 @@ impl Factor {
             let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
             let w = c1 - c0;
             let f = sym.front_order(s);
-            let blk = &self.blocks[s];
+            let blk = self.panel(s);
             if f > w {
                 let rows = &sym.sn_rows[s];
                 let (piv, rest) = x.split_at_mut(c1);
@@ -140,7 +182,7 @@ impl Factor {
             let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
             let w = c1 - c0;
             let f = sym.front_order(s);
-            let blk = &self.blocks[s];
+            let blk = self.panel(s);
             let rows = &sym.sn_rows[s];
             for r in 0..nrhs {
                 let xr = &mut x[r * n..(r + 1) * n];
@@ -173,7 +215,7 @@ impl Factor {
             let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
             let w = c1 - c0;
             let f = sym.front_order(s);
-            let blk = &self.blocks[s];
+            let blk = self.panel(s);
             let rows = &sym.sn_rows[s];
             for r in 0..nrhs {
                 let xr = &mut x[r * n..(r + 1) * n];
@@ -204,7 +246,7 @@ impl Factor {
                     let (c0, c1) = (self.sym.sn_ptr[s], self.sym.sn_ptr[s + 1]);
                     let f = self.sym.front_order(s);
                     for j in 0..c1 - c0 {
-                        acc += self.blocks[s][j * f + j].ln();
+                        acc += self.panel(s)[j * f + j].ln();
                     }
                 }
                 (2.0 * acc, 1.0)
@@ -254,7 +296,7 @@ impl Factor {
             let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
             let w = c1 - c0;
             let f = sym.front_order(s);
-            let blk = &self.blocks[s];
+            let blk = self.panel(s);
             for j in 0..w {
                 let c = c0 + j;
                 // Pivot-block part (rows j..w map to c0+j..c1).
@@ -276,12 +318,10 @@ impl Factor {
     /// symbolic structure (cross-engine equivalence checks).
     pub fn max_abs_diff(&self, other: &Factor) -> f64 {
         assert_eq!(self.sym.sn_ptr, other.sym.sn_ptr);
+        assert_eq!(self.panels.len(), other.panels.len());
         let mut m: f64 = 0.0;
-        for (a, b) in self.blocks.iter().zip(&other.blocks) {
-            assert_eq!(a.len(), b.len());
-            for (x, y) in a.iter().zip(b) {
-                m = m.max((x - y).abs());
-            }
+        for (x, y) in self.panels.iter().zip(&other.panels) {
+            m = m.max((x - y).abs());
         }
         for (x, y) in self.d.iter().zip(&other.d) {
             m = m.max((x - y).abs());

@@ -13,24 +13,38 @@ use parfact_sparse::csc::CscMatrix;
 use parfact_symbolic::Symbolic;
 
 /// A child's contribution to its parent: the Schur complement over the
-/// child's below-pivot rows (dense lower storage, order = `rows.len()`).
+/// child's below-pivot rows (dense lower storage).
+///
+/// The global row indices it spans are not stored — they are exactly
+/// `sym.sn_rows[src]`, resolved through [`UpdateMatrix::rows`]. Dropping
+/// the owned index vector lets the workspace arenas recycle update
+/// buffers without cloning row lists per supernode.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UpdateMatrix {
-    /// Global row indices this update spans (the child's `sn_rows`).
-    pub rows: Vec<usize>,
-    /// Column-major `rows.len() x rows.len()` buffer; lower triangle valid.
+    /// Supernode whose elimination produced this update.
+    pub src: usize,
+    /// Column-major `r x r` buffer (`r = sym.sn_rows[src].len()`); lower
+    /// triangle valid.
     pub data: Vec<f64>,
 }
 
 impl UpdateMatrix {
+    /// Global row indices this update spans (the source's `sn_rows`).
+    #[inline]
+    pub fn rows<'a>(&self, sym: &'a Symbolic) -> &'a [usize] {
+        &sym.sn_rows[self.src]
+    }
+
     /// Order of the update matrix.
-    pub fn order(&self) -> usize {
-        self.rows.len()
+    #[inline]
+    pub fn order(&self, sym: &Symbolic) -> usize {
+        self.rows(sym).len()
     }
 }
 
 /// Scatter map from global indices into a front's local index space.
 /// Reused across fronts to avoid repeated allocation.
+#[derive(Default)]
 pub struct FrontScatter {
     loc: Vec<usize>,
     touched: Vec<usize>,
@@ -42,6 +56,14 @@ impl FrontScatter {
         FrontScatter {
             loc: vec![usize::MAX; n],
             touched: Vec::new(),
+        }
+    }
+
+    /// Grow the map to cover matrices of order `n` (no-op when already
+    /// large enough; lets a default-constructed map be sized lazily).
+    pub fn ensure(&mut self, n: usize) {
+        if self.loc.len() < n {
+            self.loc.resize(n, usize::MAX);
         }
     }
 
@@ -90,7 +112,7 @@ pub fn assemble_front(
     sym: &Symbolic,
     s: usize,
     scatter: &mut FrontScatter,
-    children_updates: &[&UpdateMatrix],
+    children_updates: &[UpdateMatrix],
     front: &mut Vec<f64>,
 ) -> (usize, u64) {
     let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
@@ -113,24 +135,31 @@ pub fn assemble_front(
     }
     // Extend-add children updates.
     for upd in children_updates {
-        entries += extend_add(upd, scatter, front, f);
+        entries += extend_add(upd.rows(sym), &upd.data, scatter, front, f);
     }
     (f, entries)
 }
 
-/// Scatter-add one update matrix into a front through the scatter map.
+/// Scatter-add one update matrix (`rows.len() x rows.len()` column-major
+/// `data`, lower triangle valid) into a front through the scatter map.
 /// The map is monotone (both index lists are sorted), so the child's lower
 /// triangle lands in the parent's lower triangle. Returns the number of
 /// (nonzero) entries added.
-pub fn extend_add(upd: &UpdateMatrix, scatter: &FrontScatter, front: &mut [f64], f: usize) -> u64 {
-    let r = upd.order();
+pub fn extend_add(
+    rows: &[usize],
+    data: &[f64],
+    scatter: &FrontScatter,
+    front: &mut [f64],
+    f: usize,
+) -> u64 {
+    let r = rows.len();
     let mut added = 0u64;
     for j in 0..r {
-        let lj = scatter.local(upd.rows[j]);
-        let src = &upd.data[j * r..j * r + r];
+        let lj = scatter.local(rows[j]);
+        let src = &data[j * r..j * r + r];
         for (i, &v) in src.iter().enumerate().skip(j) {
             if v != 0.0 {
-                let li = scatter.local(upd.rows[i]);
+                let li = scatter.local(rows[i]);
                 front[lj * f + li] += v;
                 added += 1;
             }
@@ -140,21 +169,29 @@ pub fn extend_add(upd: &UpdateMatrix, scatter: &FrontScatter, front: &mut [f64],
 }
 
 /// Extract the trailing `r x r` lower block of a partially-factored front
-/// as the update matrix for the parent.
-pub fn extract_update(sym: &Symbolic, s: usize, front: &[f64], f: usize) -> UpdateMatrix {
+/// into `data` (resized to fit, upper triangle zeroed) as the update
+/// matrix for the parent. The buffer typically comes from a
+/// [`crate::workspace::FrontWorkspace`] pool.
+pub fn extract_update_into(sym: &Symbolic, s: usize, front: &[f64], f: usize, data: &mut Vec<f64>) {
     let w = sym.sn_width(s);
     let r = f - w;
-    let mut data = vec![0.0; r * r];
+    // clear + resize zeroes the whole buffer (even a recycled one) while
+    // keeping its capacity.
+    data.clear();
+    data.resize(r * r, 0.0);
     for j in 0..r {
         let src = &front[(w + j) * f + w..(w + j) * f + f];
         let dst = &mut data[j * r..(j + 1) * r];
         // Lower triangle only.
         dst[j..].copy_from_slice(&src[j..]);
     }
-    UpdateMatrix {
-        rows: sym.sn_rows[s].clone(),
-        data,
-    }
+}
+
+/// Allocating convenience wrapper around [`extract_update_into`].
+pub fn extract_update(sym: &Symbolic, s: usize, front: &[f64], f: usize) -> UpdateMatrix {
+    let mut data = Vec::new();
+    extract_update_into(sym, s, front, f, &mut data);
+    UpdateMatrix { src: s, data }
 }
 
 /// Extract the factor panel (leading `w` columns, all `f` rows) of a
@@ -237,11 +274,8 @@ mod tests {
         let cols: Vec<usize> = sym.sn_cols(s).collect();
         assert!(cols.len() >= 2, "root supernode too small for this test");
         let rows = vec![cols[0], cols[1]];
-        let upd = UpdateMatrix {
-            rows: rows.clone(),
-            data: vec![10.0, 20.0, 0.0, 30.0], // lower 2x2
-        };
-        let added = extend_add(&upd, &sc, &mut front, f);
+        let data = vec![10.0, 20.0, 0.0, 30.0]; // lower 2x2
+        let added = extend_add(&rows, &data, &sc, &mut front, f);
         assert_eq!(added, 3, "three nonzero lower entries");
         let (l0, l1) = (sc.local(rows[0]), sc.local(rows[1]));
         assert_eq!(front[l0 * f + l0], before[l0 * f + l0] + 10.0);

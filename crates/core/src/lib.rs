@@ -37,6 +37,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod analysis;
+pub mod backoff;
 pub mod baseline;
 pub mod dist;
 pub mod error;
@@ -48,9 +49,11 @@ pub mod seq;
 pub mod smp;
 pub mod smp_solve;
 pub mod solver;
+pub mod workspace;
 
 pub use error::FactorError;
 pub use factor::{Factor, FactorKind};
+pub use workspace::Workspace;
 
 /// Re-export of the ordering selector for convenience.
 pub type OrderingChoice = parfact_order::Method;

@@ -3,7 +3,8 @@
 
 use crate::error::FactorError;
 use crate::factor::{Factor, FactorKind};
-use crate::frontal::{assemble_front, extract_panel, extract_update, FrontScatter, UpdateMatrix};
+use crate::frontal::{assemble_front, extract_update_into, UpdateMatrix};
+use crate::workspace::Workspace;
 use parfact_dense::chol;
 use parfact_sparse::csc::CscMatrix;
 use parfact_sparse::perm::Perm;
@@ -35,57 +36,84 @@ pub fn factorize_seq_traced(
     perm: Perm,
     tr: &Collector,
 ) -> Result<Factor, FactorError> {
+    let mut factor = Factor::allocate(sym, kind, perm);
+    let mut ws = Workspace::new();
+    factorize_seq_into(ap, sym, tr, &mut ws, &mut factor)?;
+    Ok(factor)
+}
+
+/// The in-place sequential engine: overwrite `factor`'s slab (allocated
+/// with the same `sym`) using the arenas in `ws`. With a warm workspace
+/// the steady state performs **no per-supernode heap allocation** — fronts,
+/// scatter maps and update matrices all come from reused buffers.
+///
+/// On error the panels written so far are left behind; callers that reuse
+/// factors across calls (refactorize) must treat a failed factor as
+/// invalid.
+pub(crate) fn factorize_seq_into(
+    ap: &CscMatrix,
+    sym: &Arc<Symbolic>,
+    tr: &Collector,
+    ws: &mut Workspace,
+    factor: &mut Factor,
+) -> Result<(), FactorError> {
+    debug_assert_eq!(factor.sym.sn_ptr, sym.sn_ptr, "factor/symbolic mismatch");
+    let kind = factor.kind;
     let nsuper = sym.nsuper();
-    let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); nsuper];
-    let mut d = vec![0.0f64; if kind == FactorKind::Ldlt { sym.n } else { 0 }];
-    let mut updates: Vec<Option<UpdateMatrix>> = (0..nsuper).map(|_| None).collect();
-    let mut scatter = FrontScatter::new(sym.n);
-    let mut front: Vec<f64> = Vec::new();
+    ws.ensure_threads(1);
+    ws.slots.clear();
+    ws.slots.resize_with(nsuper, || None);
+    let Workspace { threads, slots } = ws;
+    let wst = &mut threads[0];
+    wst.scatter.ensure(sym.n);
     let mut rec = tr.local(0);
 
     for s in 0..nsuper {
         // Children precede parents (postorder), so their updates are ready.
-        let child_updates: Vec<UpdateMatrix> = sym.tree.children[s]
-            .iter()
-            .map(|&c| updates[c].take().expect("child update missing"))
-            .collect();
-        let refs: Vec<&UpdateMatrix> = child_updates.iter().collect();
+        wst.children.clear();
+        for &c in &sym.tree.children[s] {
+            wst.children
+                .push(slots[c].take().expect("child update missing"));
+        }
         let tick = rec.start();
-        let (f, entries) = assemble_front(ap, sym, s, &mut scatter, &refs, &mut front);
+        let fo = sym.front_order(s);
+        wst.note_front(fo * fo);
+        let (f, entries) =
+            assemble_front(ap, sym, s, &mut wst.scatter, &wst.children, &mut wst.front);
         rec.stop(tick, Phase::ExtendAdd, Some(s));
         rec.add_assembled_entries(entries);
         rec.mem_alloc(f * f * 8);
-        for u in &child_updates {
+        for u in &wst.children {
             rec.mem_free(u.data.len() * 8);
         }
         let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
         let w = c1 - c0;
         let tick = rec.start();
         match kind {
-            FactorKind::Llt => chol::partial_potrf(f, w, &mut front, f)
+            FactorKind::Llt => chol::partial_potrf(f, w, &mut wst.front, f)
                 .map_err(|e| FactorError::from_dense(e, c0))?,
-            FactorKind::Ldlt => chol::partial_ldlt(f, w, &mut front, f, &mut d[c0..c1])
+            FactorKind::Ldlt => chol::partial_ldlt(f, w, &mut wst.front, f, &mut factor.d[c0..c1])
                 .map_err(|e| FactorError::from_dense(e, c0))?,
         }
         rec.stop(tick, Phase::Panel, Some(s));
         rec.add_flops(crate::dist::front::flops_partial(f, w));
         rec.front_done();
-        blocks[s] = extract_panel(&front, f, w);
-        rec.mem_alloc(blocks[s].len() * 8);
+        factor.panel_mut(s).copy_from_slice(&wst.front[..f * w]);
+        rec.mem_alloc(f * w * 8);
         if f > w {
-            let upd = extract_update(sym, s, &front, f);
-            rec.mem_alloc(upd.data.len() * 8);
-            updates[s] = Some(upd);
+            let r = f - w;
+            let mut data = wst.take_buf(r * r);
+            extract_update_into(sym, s, &wst.front, f, &mut data);
+            rec.mem_alloc(data.len() * 8);
+            slots[s] = Some(UpdateMatrix { src: s, data });
         }
         rec.mem_free(f * f * 8);
+        // Children are assembled; recycle their buffers for later fronts.
+        while let Some(u) = wst.children.pop() {
+            wst.recycle(u.data);
+        }
     }
-    Ok(Factor {
-        sym: Arc::clone(sym),
-        kind,
-        blocks,
-        d,
-        perm,
-    })
+    Ok(())
 }
 
 #[cfg(test)]

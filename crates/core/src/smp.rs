@@ -13,12 +13,20 @@
 //!
 //! The boundary between regimes is the `big_front` threshold, closed upward
 //! (a parent of a big front is big) so phase 2 never waits on phase 1.
+//!
+//! Workers write factor panels straight into the [`Factor`] slab (disjoint
+//! per supernode) and draw fronts/update buffers from their
+//! [`FrontWorkspace`] arenas, so the steady state allocates nothing per
+//! supernode; idle workers wait with a spin-then-park [`Backoff`] instead
+//! of burning a core on `yield_now`.
 
+use crate::backoff::Backoff;
 use crate::error::FactorError;
 use crate::factor::{Factor, FactorKind};
-use crate::frontal::{assemble_front, extract_panel, extract_update, FrontScatter, UpdateMatrix};
+use crate::frontal::{assemble_front, extract_update_into, UpdateMatrix};
+use crate::workspace::{FrontWorkspace, Workspace};
 use crossbeam_deque::{Injector, Steal};
-use parfact_dense::blas::trsm_right_lt;
+use parfact_dense::blas::{gemm_nt, syrk_ln, trsm_right_lt};
 use parfact_dense::chol;
 use parfact_sparse::csc::CscMatrix;
 use parfact_sparse::perm::Perm;
@@ -80,11 +88,29 @@ pub fn factorize_smp_traced(
     opts: &SmpOpts,
     tr: &Collector,
 ) -> Result<Factor, FactorError> {
+    let mut factor = Factor::allocate(sym, kind, perm);
+    let mut ws = Workspace::new();
+    factorize_smp_into(ap, sym, opts, tr, &mut ws, &mut factor)?;
+    Ok(factor)
+}
+
+/// The in-place SMP engine: overwrite `factor`'s slab (allocated with the
+/// same `sym`) using the per-worker arenas in `ws`. See
+/// [`crate::seq::factorize_seq_into`] for the error-state contract.
+pub(crate) fn factorize_smp_into(
+    ap: &CscMatrix,
+    sym: &Arc<Symbolic>,
+    opts: &SmpOpts,
+    tr: &Collector,
+    ws: &mut Workspace,
+    factor: &mut Factor,
+) -> Result<(), FactorError> {
     let nthreads = resolve_threads(opts.threads);
     let nsuper = sym.nsuper();
     if nthreads <= 1 || nsuper <= 1 {
-        return crate::seq::factorize_seq_traced(ap, sym, kind, perm, tr);
+        return crate::seq::factorize_seq_into(ap, sym, tr, ws, factor);
     }
+    let kind = factor.kind;
 
     // Upward-closed "big" set.
     let mut big = vec![false; nsuper];
@@ -94,8 +120,6 @@ pub fn factorize_smp_traced(
         }
     }
 
-    let blocks: Vec<Mutex<Vec<f64>>> = (0..nsuper).map(|_| Mutex::new(Vec::new())).collect();
-    let dsegs: Vec<Mutex<Vec<f64>>> = (0..nsuper).map(|_| Mutex::new(Vec::new())).collect();
     let updates: Vec<Mutex<Option<UpdateMatrix>>> = (0..nsuper).map(|_| Mutex::new(None)).collect();
     let pending: Vec<AtomicUsize> = (0..nsuper)
         .map(|s| AtomicUsize::new(sym.tree.children[s].len()))
@@ -104,6 +128,7 @@ pub fn factorize_smp_traced(
     let completed = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let error: Mutex<Option<FactorError>> = Mutex::new(None);
+    let writer = FactorWriter::new(factor);
 
     // ---- Phase 1: tree-parallel over small supernodes. ----
     let injector = Injector::new();
@@ -112,131 +137,161 @@ pub fn factorize_smp_traced(
             injector.push(s);
         }
     }
-    std::thread::scope(|scope| {
-        for wid in 0..nthreads {
-            let (blocks, dsegs, updates, pending, big) =
-                (&blocks, &dsegs, &updates, &pending, &big);
-            let (injector, completed, failed, error) = (&injector, &completed, &failed, &error);
-            scope.spawn(move || {
-                let mut scatter = FrontScatter::new(sym.n);
-                let mut front: Vec<f64> = Vec::new();
-                let mut rec = tr.local(wid);
-                loop {
-                    if failed.load(Ordering::Relaxed)
-                        || completed.load(Ordering::Relaxed) >= small_total
-                    {
-                        break;
-                    }
-                    let s = match injector.steal() {
-                        Steal::Success(s) => s,
-                        Steal::Retry => continue,
-                        Steal::Empty => {
-                            std::thread::yield_now();
-                            continue;
+    ws.ensure_threads(nthreads);
+    {
+        let arenas = &mut ws.threads[..nthreads];
+        std::thread::scope(|scope| {
+            for (wid, wst) in arenas.iter_mut().enumerate() {
+                let (updates, pending, big, writer) = (&updates, &pending, &big, &writer);
+                let (injector, completed, failed, error) = (&injector, &completed, &failed, &error);
+                scope.spawn(move || {
+                    wst.scatter.ensure(sym.n);
+                    let mut rec = tr.local(wid);
+                    let mut backoff = Backoff::new();
+                    loop {
+                        if failed.load(Ordering::Relaxed)
+                            || completed.load(Ordering::Relaxed) >= small_total
+                        {
+                            break;
                         }
-                    };
-                    let result = process_supernode(
-                        ap,
-                        sym,
-                        kind,
-                        s,
-                        &mut scatter,
-                        &mut front,
-                        blocks,
-                        dsegs,
-                        updates,
-                        &mut rec,
-                    );
-                    if let Err(e) = result {
-                        *error.lock() = Some(e);
-                        failed.store(true, Ordering::SeqCst);
-                        break;
+                        let s = match injector.steal() {
+                            Steal::Success(s) => s,
+                            Steal::Retry => continue,
+                            Steal::Empty => {
+                                backoff.snooze();
+                                continue;
+                            }
+                        };
+                        backoff.reset();
+                        let result =
+                            process_supernode(ap, sym, kind, s, wst, writer, updates, &mut rec);
+                        if let Err(e) = result {
+                            *error.lock() = Some(e);
+                            failed.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                        completed.fetch_add(1, Ordering::SeqCst);
+                        let p = sym.tree.parent[s];
+                        if p != NONE && !big[p] && pending[p].fetch_sub(1, Ordering::SeqCst) == 1 {
+                            injector.push(p);
+                        }
                     }
-                    completed.fetch_add(1, Ordering::SeqCst);
-                    let p = sym.tree.parent[s];
-                    if p != NONE && !big[p] && pending[p].fetch_sub(1, Ordering::SeqCst) == 1 {
-                        injector.push(p);
-                    }
-                }
-            });
-        }
-    });
+                });
+            }
+        });
+    }
     if let Some(e) = error.into_inner() {
         return Err(e);
     }
 
     // ---- Phase 2: kernel-parallel over big supernodes, in postorder. ----
-    let mut scatter = FrontScatter::new(sym.n);
-    let mut front: Vec<f64> = Vec::new();
+    let wst = &mut ws.threads[0];
+    wst.scatter.ensure(sym.n);
     let mut rec = tr.local(0);
     for s in 0..nsuper {
         if !big[s] {
             continue;
         }
-        let child_updates: Vec<UpdateMatrix> = sym.tree.children[s]
-            .iter()
-            .map(|&c| updates[c].lock().take().expect("child update missing"))
-            .collect();
-        let refs: Vec<&UpdateMatrix> = child_updates.iter().collect();
+        wst.children.clear();
+        for &c in &sym.tree.children[s] {
+            wst.children
+                .push(updates[c].lock().take().expect("child update missing"));
+        }
         let tick = rec.start();
-        let (f, entries) = assemble_front(ap, sym, s, &mut scatter, &refs, &mut front);
+        let fo = sym.front_order(s);
+        wst.note_front(fo * fo);
+        let (f, entries) =
+            assemble_front(ap, sym, s, &mut wst.scatter, &wst.children, &mut wst.front);
         rec.stop(tick, Phase::ExtendAdd, Some(s));
         rec.add_assembled_entries(entries);
         rec.mem_alloc(f * f * 8);
-        for u in &child_updates {
+        for u in &wst.children {
             rec.mem_free(u.data.len() * 8);
         }
         let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
         let w = c1 - c0;
         match kind {
-            FactorKind::Llt => {
-                parallel_partial_potrf_traced(f, w, &mut front, nthreads, &mut rec, Some(s))
-                    .map_err(|e| FactorError::from_dense(e, c0))?
-            }
+            FactorKind::Llt => parallel_partial_potrf_traced(
+                f,
+                w,
+                &mut wst.front,
+                nthreads,
+                &mut wst.scratch,
+                &mut rec,
+                Some(s),
+            )
+            .map_err(|e| FactorError::from_dense(e, c0))?,
             FactorKind::Ldlt => {
                 // LDLt fronts keep the sequential kernel (they only arise in
                 // quasi-definite runs where the SPD fast path is off anyway).
-                let mut dseg = vec![0.0; w];
                 let tick = rec.start();
-                chol::partial_ldlt(f, w, &mut front, f, &mut dseg)
+                // SAFETY: phase 2 is single-threaded; segment owned by `s`.
+                let dseg = unsafe { writer.d_mut(c0, w) };
+                chol::partial_ldlt(f, w, &mut wst.front, f, dseg)
                     .map_err(|e| FactorError::from_dense(e, c0))?;
                 rec.stop(tick, Phase::Panel, Some(s));
-                *dsegs[s].lock() = dseg;
             }
         }
         rec.add_flops(crate::dist::front::flops_partial(f, w));
         rec.front_done();
-        let panel = extract_panel(&front, f, w);
-        rec.mem_alloc(panel.len() * 8);
-        *blocks[s].lock() = panel;
+        // SAFETY: phase 2 is single-threaded and each panel written once.
+        unsafe { writer.panel_mut(s) }.copy_from_slice(&wst.front[..f * w]);
+        rec.mem_alloc(f * w * 8);
         if f > w {
-            let upd = extract_update(sym, s, &front, f);
-            rec.mem_alloc(upd.data.len() * 8);
-            *updates[s].lock() = Some(upd);
+            let r = f - w;
+            let mut data = wst.take_buf(r * r);
+            extract_update_into(sym, s, &wst.front, f, &mut data);
+            rec.mem_alloc(data.len() * 8);
+            *updates[s].lock() = Some(UpdateMatrix { src: s, data });
         }
         rec.mem_free(f * f * 8);
-    }
-    drop(rec);
-
-    // Collect.
-    let mut out_blocks = Vec::with_capacity(nsuper);
-    for b in blocks {
-        out_blocks.push(b.into_inner());
-    }
-    let mut d = vec![0.0f64; if kind == FactorKind::Ldlt { sym.n } else { 0 }];
-    if kind == FactorKind::Ldlt {
-        for s in 0..nsuper {
-            let seg = dsegs[s].lock();
-            d[sym.sn_ptr[s]..sym.sn_ptr[s + 1]].copy_from_slice(&seg);
+        while let Some(u) = wst.children.pop() {
+            wst.recycle(u.data);
         }
     }
-    Ok(Factor {
-        sym: Arc::clone(sym),
-        kind,
-        blocks: out_blocks,
-        d,
-        perm,
-    })
+    Ok(())
+}
+
+/// Raw-pointer view of a [`Factor`]'s output arrays for disjoint
+/// cross-thread writes. Each supernode's panel (and `d` segment) is written
+/// by exactly one worker; the thread-scope join publishes the writes.
+struct FactorWriter<'a> {
+    panels: *mut f64,
+    panel_ptr: &'a [usize],
+    d: *mut f64,
+    d_len: usize,
+}
+
+unsafe impl Send for FactorWriter<'_> {}
+unsafe impl Sync for FactorWriter<'_> {}
+
+impl<'a> FactorWriter<'a> {
+    fn new(factor: &'a mut Factor) -> Self {
+        FactorWriter {
+            panels: factor.panels.as_mut_ptr(),
+            panel_ptr: &factor.panel_ptr,
+            d: factor.d.as_mut_ptr(),
+            d_len: factor.d.len(),
+        }
+    }
+
+    /// # Safety
+    /// The caller must be the unique writer of panel `s` while the
+    /// returned slice lives.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn panel_mut(&self, s: usize) -> &mut [f64] {
+        let (p0, p1) = (self.panel_ptr[s], self.panel_ptr[s + 1]);
+        unsafe { std::slice::from_raw_parts_mut(self.panels.add(p0), p1 - p0) }
+    }
+
+    /// # Safety
+    /// The caller must be the unique writer of `d[c0..c0+w]` while the
+    /// returned slice lives.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn d_mut(&self, c0: usize, w: usize) -> &mut [f64] {
+        debug_assert!(c0 + w <= self.d_len);
+        unsafe { std::slice::from_raw_parts_mut(self.d.add(c0), w) }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -245,59 +300,65 @@ fn process_supernode(
     sym: &Symbolic,
     kind: FactorKind,
     s: usize,
-    scatter: &mut FrontScatter,
-    front: &mut Vec<f64>,
-    blocks: &[Mutex<Vec<f64>>],
-    dsegs: &[Mutex<Vec<f64>>],
+    wst: &mut FrontWorkspace,
+    writer: &FactorWriter<'_>,
     updates: &[Mutex<Option<UpdateMatrix>>],
     rec: &mut LocalRecorder<'_>,
 ) -> Result<(), FactorError> {
-    let child_updates: Vec<UpdateMatrix> = sym.tree.children[s]
-        .iter()
-        .map(|&c| updates[c].lock().take().expect("child update missing"))
-        .collect();
-    let refs: Vec<&UpdateMatrix> = child_updates.iter().collect();
+    wst.children.clear();
+    for &c in &sym.tree.children[s] {
+        wst.children
+            .push(updates[c].lock().take().expect("child update missing"));
+    }
     let tick = rec.start();
-    let (f, entries) = assemble_front(ap, sym, s, scatter, &refs, front);
+    let fo = sym.front_order(s);
+    wst.note_front(fo * fo);
+    let (f, entries) = assemble_front(ap, sym, s, &mut wst.scatter, &wst.children, &mut wst.front);
     rec.stop(tick, Phase::ExtendAdd, Some(s));
     rec.add_assembled_entries(entries);
     rec.mem_alloc(f * f * 8);
-    for u in &child_updates {
+    for u in &wst.children {
         rec.mem_free(u.data.len() * 8);
     }
     let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
     let w = c1 - c0;
     let tick = rec.start();
     match kind {
-        FactorKind::Llt => {
-            chol::partial_potrf(f, w, front, f).map_err(|e| FactorError::from_dense(e, c0))?
-        }
+        FactorKind::Llt => chol::partial_potrf(f, w, &mut wst.front, f)
+            .map_err(|e| FactorError::from_dense(e, c0))?,
         FactorKind::Ldlt => {
-            let mut dseg = vec![0.0; w];
-            chol::partial_ldlt(f, w, front, f, &mut dseg)
+            // SAFETY: supernode `s` is processed by exactly one worker.
+            let dseg = unsafe { writer.d_mut(c0, w) };
+            chol::partial_ldlt(f, w, &mut wst.front, f, dseg)
                 .map_err(|e| FactorError::from_dense(e, c0))?;
-            *dsegs[s].lock() = dseg;
         }
     }
     rec.stop(tick, Phase::Panel, Some(s));
     rec.add_flops(crate::dist::front::flops_partial(f, w));
     rec.front_done();
-    let panel = extract_panel(front, f, w);
-    rec.mem_alloc(panel.len() * 8);
-    *blocks[s].lock() = panel;
+    // SAFETY: supernode `s` is processed by exactly one worker; panels are
+    // disjoint slab ranges.
+    unsafe { writer.panel_mut(s) }.copy_from_slice(&wst.front[..f * w]);
+    rec.mem_alloc(f * w * 8);
     if f > w {
-        let upd = extract_update(sym, s, front, f);
-        rec.mem_alloc(upd.data.len() * 8);
-        *updates[s].lock() = Some(upd);
+        let r = f - w;
+        let mut data = wst.take_buf(r * r);
+        extract_update_into(sym, s, &wst.front, f, &mut data);
+        rec.mem_alloc(data.len() * 8);
+        *updates[s].lock() = Some(UpdateMatrix { src: s, data });
     }
     rec.mem_free(f * f * 8);
+    while let Some(u) = wst.children.pop() {
+        wst.recycle(u.data);
+    }
     Ok(())
 }
 
 /// Partial blocked Cholesky with the trailing update of each panel split
 /// across `nthreads` threads. Arithmetic is identical to the sequential
-/// kernel (same panels, same per-entry accumulation order), so results
-/// match [`chol::partial_potrf`] bitwise.
+/// kernel (same panels, same per-entry accumulation order — see the
+/// determinism contract in `parfact_dense::pack`), so results match
+/// [`chol::partial_potrf`] bitwise.
 pub fn parallel_partial_potrf(
     nf: usize,
     npiv: usize,
@@ -306,17 +367,21 @@ pub fn parallel_partial_potrf(
 ) -> Result<(), parfact_dense::DenseError> {
     let tr = Collector::disabled();
     let mut rec = tr.local(0);
-    parallel_partial_potrf_traced(nf, npiv, f, nthreads, &mut rec, None)
+    let mut scratch = Vec::new();
+    parallel_partial_potrf_traced(nf, npiv, f, nthreads, &mut scratch, &mut rec, None)
 }
 
 /// [`parallel_partial_potrf`] with phase timing: the panel section
 /// (diagonal factor + TRSM) accumulates as [`Phase::Panel`], the threaded
-/// trailing update as [`Phase::Gemm`].
+/// trailing update as [`Phase::Gemm`]. `scratch` stages the panel copy the
+/// workers read (reused across panels and fronts by the caller's arena).
+#[allow(clippy::too_many_arguments)]
 pub fn parallel_partial_potrf_traced(
     nf: usize,
     npiv: usize,
     f: &mut [f64],
     nthreads: usize,
+    scratch: &mut Vec<f64>,
     rec: &mut LocalRecorder<'_>,
     supernode: Option<usize>,
 ) -> Result<(), parfact_dense::DenseError> {
@@ -345,7 +410,8 @@ pub fn parallel_partial_potrf_traced(
             )?;
         }
         if rest > 0 {
-            let mut l11 = vec![0.0f64; jb * jb];
+            let mut l11_buf = [0.0f64; chol::NB * chol::NB];
+            let l11 = &mut l11_buf[..jb * jb];
             for t in 0..jb {
                 for i in t..jb {
                     l11[t * jb + i] = f[(j + t) * ldf + j + i];
@@ -354,24 +420,25 @@ pub fn parallel_partial_potrf_traced(
             {
                 let a21 = j * ldf + j + jb;
                 let (_, tail) = f.split_at_mut(a21);
-                trsm_right_lt(rest, jb, &l11, jb, tail, ldf);
+                trsm_right_lt(rest, jb, l11, jb, tail, ldf);
             }
             rec.stop(tick, Phase::Panel, supernode);
             let tick = rec.start();
-            // Trailing update split by column chunks; entries accumulate in
-            // the same l-order as the sequential syrk.
+            // Trailing update split by column chunks, each processed with
+            // the packed kernels. Per the determinism contract every entry
+            // accumulates as one ascending-k chain regardless of chunking,
+            // so this matches the sequential whole-trailing syrk bitwise.
             let panel_start = j * ldf + j + jb;
             let trail_col0 = j + jb;
-            // Copy the panel so worker threads can read it while the
-            // trailing area is mutated (disjoint, but Rust wants proof).
-            let panel: Vec<f64> = {
-                let mut p = vec![0.0f64; jb * rest];
-                for t in 0..jb {
-                    p[t * rest..(t + 1) * rest]
-                        .copy_from_slice(&f[panel_start + t * ldf..panel_start + t * ldf + rest]);
-                }
-                p
-            };
+            // Copy the panel (L21, rest x jb, ld = rest) so worker threads
+            // can read it while the trailing area is mutated.
+            scratch.clear();
+            scratch.resize(jb * rest, 0.0);
+            for t in 0..jb {
+                scratch[t * rest..(t + 1) * rest]
+                    .copy_from_slice(&f[panel_start + t * ldf..panel_start + t * ldf + rest]);
+            }
+            let panel: &[f64] = scratch;
             // Partition trailing columns into chunks of decreasing width so
             // the triangular work is balanced.
             let nchunks = (nthreads * 4).min(rest.max(1));
@@ -386,29 +453,48 @@ pub fn parallel_partial_potrf_traced(
                             if c >= nchunks {
                                 break;
                             }
-                            // Chunk c covers trailing columns [a, b).
+                            // Chunk c owns trailing columns [a, b).
                             let a = c * rest / nchunks;
                             let b = (c + 1) * rest / nchunks;
-                            for jc in a..b {
-                                let col = trail_col0 + jc;
-                                let m = rest - jc; // rows jc..rest (lower part)
-                                                   // SAFETY: each trailing column is written by
-                                                   // exactly one chunk; the panel is a private
-                                                   // copy. Column `col` occupies
-                                                   // f[col*ldf + col .. col*ldf + col + m].
-                                let cdst: &mut [f64] = unsafe {
-                                    std::slice::from_raw_parts_mut(fptr.0.add(col * ldf + col), m)
+                            if b <= a {
+                                continue;
+                            }
+                            let cw = b - a;
+                            // Diagonal part: rows [a, b) of the chunk's
+                            // columns — a cw x cw syrk on the lower triangle.
+                            // SAFETY: each trailing column is written by
+                            // exactly one chunk, and the two views below are
+                            // used strictly one after the other.
+                            let tri_base = (trail_col0 + a) * ldf + trail_col0 + a;
+                            let tri: &mut [f64] = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    fptr.0.add(tri_base),
+                                    (cw - 1) * ldf + cw,
+                                )
+                            };
+                            syrk_ln(cw, jb, -1.0, &panel[a..], rest, 1.0, tri, ldf);
+                            // Below-diagonal part: rows [b, rest) — a gemm.
+                            if b < rest {
+                                let rect_base = (trail_col0 + a) * ldf + trail_col0 + b;
+                                let rect: &mut [f64] = unsafe {
+                                    std::slice::from_raw_parts_mut(
+                                        fptr.0.add(rect_base),
+                                        (cw - 1) * ldf + (rest - b),
+                                    )
                                 };
-                                for t in 0..jb {
-                                    let w = panel[t * rest + jc];
-                                    if w == 0.0 {
-                                        continue;
-                                    }
-                                    let src = &panel[t * rest + jc..t * rest + rest];
-                                    for (dv, &sv) in cdst.iter_mut().zip(src) {
-                                        *dv -= sv * w;
-                                    }
-                                }
+                                gemm_nt(
+                                    rest - b,
+                                    cw,
+                                    jb,
+                                    -1.0,
+                                    &panel[b..],
+                                    rest,
+                                    &panel[a..],
+                                    rest,
+                                    1.0,
+                                    rect,
+                                    ldf,
+                                );
                             }
                         }
                     });
@@ -559,5 +645,34 @@ mod tests {
         };
         let (fs, fp, _) = both_engines(&a, FactorKind::Llt, &opts);
         assert_eq!(fp.max_abs_diff(&fs), 0.0);
+    }
+
+    #[test]
+    fn smp_reuses_workspace_across_refactorizations() {
+        // Second run through the same workspace must stay in warm buffers.
+        let a = gen::laplace2d(15, 15, gen::Stencil2d::FivePoint);
+        let (sym, ap) = analyze(&a, &AmalgOpts::default());
+        let perm = sym.post.clone();
+        let sym = Arc::new(sym);
+        let mut factor = Factor::allocate(&sym, FactorKind::Llt, perm);
+        let mut ws = Workspace::new();
+        let opts = SmpOpts {
+            threads: 2,
+            big_front: 64,
+        };
+        let tr = Collector::disabled();
+        factorize_smp_into(&ap, &sym, &opts, &tr, &mut ws, &mut factor).unwrap();
+        let first = ws.growth_events();
+        assert!(first > 0, "cold start must grow buffers");
+        factorize_smp_into(&ap, &sym, &opts, &tr, &mut ws, &mut factor).unwrap();
+        // Work stealing makes the supernode-to-worker assignment
+        // nondeterministic, so a warm run may still grow a pool buffer —
+        // but the front/scatter arenas are stable, so growth must at least
+        // taper off rather than repeat per supernode.
+        let second = ws.growth_events() - first;
+        assert!(
+            second <= first,
+            "warm run grew more than cold ({second} > {first})"
+        );
     }
 }

@@ -11,6 +11,7 @@
 //! limitation, the serial top of the tree, which is why parallel solves
 //! gain less than factorizations (cf. EXP-F4 on the distributed engine).
 
+use crate::backoff::Backoff;
 use crate::factor::{Factor, FactorKind};
 use crate::smp::resolve_threads;
 use crossbeam_deque::{Injector, Steal};
@@ -52,48 +53,52 @@ pub fn solve_smp(factor: &Factor, b: &[f64], threads: usize) -> Vec<f64> {
         }
         std::thread::scope(|scope| {
             for _ in 0..nthreads {
-                scope.spawn(|| loop {
-                    if done.load(Ordering::Relaxed) >= nsuper {
-                        break;
-                    }
-                    let s = match injector.steal() {
-                        Steal::Success(s) => s,
-                        Steal::Retry => continue,
-                        Steal::Empty => {
-                            std::thread::yield_now();
-                            continue;
+                scope.spawn(|| {
+                    let mut backoff = Backoff::new();
+                    loop {
+                        if done.load(Ordering::Relaxed) >= nsuper {
+                            break;
                         }
-                    };
-                    let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
-                    let w = c1 - c0;
-                    let f = sym.front_order(s);
-                    let blk = &factor.blocks[s];
-                    // RHS front: pivot segment + below rows.
-                    let mut y = vec![0.0f64; f];
-                    y[..w].copy_from_slice(&bp[c0..c1]);
-                    for &c in &sym.tree.children[s] {
-                        let cv = contrib[c].lock();
-                        for (k, &r) in sym.sn_rows[c].iter().enumerate() {
-                            let pos = if r < c1 {
-                                r - c0
-                            } else {
-                                w + sym.sn_rows[s].binary_search(&r).expect("containment")
-                            };
-                            y[pos] += cv[k];
+                        let s = match injector.steal() {
+                            Steal::Success(s) => s,
+                            Steal::Retry => continue,
+                            Steal::Empty => {
+                                backoff.snooze();
+                                continue;
+                            }
+                        };
+                        backoff.reset();
+                        let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+                        let w = c1 - c0;
+                        let f = sym.front_order(s);
+                        let blk = factor.panel(s);
+                        // RHS front: pivot segment + below rows.
+                        let mut y = vec![0.0f64; f];
+                        y[..w].copy_from_slice(&bp[c0..c1]);
+                        for &c in &sym.tree.children[s] {
+                            let cv = contrib[c].lock();
+                            for (k, &r) in sym.sn_rows[c].iter().enumerate() {
+                                let pos = if r < c1 {
+                                    r - c0
+                                } else {
+                                    w + sym.sn_rows[s].binary_search(&r).expect("containment")
+                                };
+                                y[pos] += cv[k];
+                            }
                         }
-                    }
-                    trsv::trsv_ln(w, blk, f, &mut y[..w], unit);
-                    if f > w {
-                        let (y1, y2) = y.split_at_mut(w);
-                        trsv::gemv_sub(f - w, w, &blk[w..], f, y1, y2);
-                    }
-                    *contrib[s].lock() = y[w..].to_vec();
-                    y.truncate(w);
-                    *xseg[s].lock() = y;
-                    done.fetch_add(1, Ordering::SeqCst);
-                    let p = sym.tree.parent[s];
-                    if p != NONE && pending[p].fetch_sub(1, Ordering::SeqCst) == 1 {
-                        injector.push(p);
+                        trsv::trsv_ln(w, blk, f, &mut y[..w], unit);
+                        if f > w {
+                            let (y1, y2) = y.split_at_mut(w);
+                            trsv::gemv_sub(f - w, w, &blk[w..], f, y1, y2);
+                        }
+                        *contrib[s].lock() = y[w..].to_vec();
+                        y.truncate(w);
+                        *xseg[s].lock() = y;
+                        done.fetch_add(1, Ordering::SeqCst);
+                        let p = sym.tree.parent[s];
+                        if p != NONE && pending[p].fetch_sub(1, Ordering::SeqCst) == 1 {
+                            injector.push(p);
+                        }
                     }
                 });
             }
@@ -123,47 +128,52 @@ pub fn solve_smp(factor: &Factor, b: &[f64], threads: usize) -> Vec<f64> {
         }
         std::thread::scope(|scope| {
             for _ in 0..nthreads {
-                scope.spawn(|| loop {
-                    if done.load(Ordering::Relaxed) >= nsuper {
-                        break;
-                    }
-                    let s = match injector.steal() {
-                        Steal::Success(s) => s,
-                        Steal::Retry => continue,
-                        Steal::Empty => {
-                            std::thread::yield_now();
-                            continue;
+                scope.spawn(|| {
+                    let mut backoff = Backoff::new();
+                    loop {
+                        if done.load(Ordering::Relaxed) >= nsuper {
+                            break;
                         }
-                    };
-                    let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
-                    let w = c1 - c0;
-                    let f = sym.front_order(s);
-                    let blk = &factor.blocks[s];
-                    let xrows = xrows_of[s].lock().clone();
-                    let mut xs = x[c0..c1].to_vec();
-                    if f > w {
-                        trsv::gemv_t_sub(f - w, w, &blk[w..], f, &xrows, &mut xs);
+                        let s = match injector.steal() {
+                            Steal::Success(s) => s,
+                            Steal::Retry => continue,
+                            Steal::Empty => {
+                                backoff.snooze();
+                                continue;
+                            }
+                        };
+                        backoff.reset();
+                        let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+                        let w = c1 - c0;
+                        let f = sym.front_order(s);
+                        let blk = factor.panel(s);
+                        let xrows = xrows_of[s].lock().clone();
+                        let mut xs = x[c0..c1].to_vec();
+                        if f > w {
+                            trsv::gemv_t_sub(f - w, w, &blk[w..], f, &xrows, &mut xs);
+                        }
+                        trsv::trsv_lt(w, blk, f, &mut xs, unit);
+                        // Publish, then release children: each child's xrows are
+                        // a subset of (my cols ∪ my xrows).
+                        for &c in &sym.tree.children[s] {
+                            let vals: Vec<f64> = sym.sn_rows[c]
+                                .iter()
+                                .map(|&r| {
+                                    if r < c1 {
+                                        xs[r - c0]
+                                    } else {
+                                        let k =
+                                            sym.sn_rows[s].binary_search(&r).expect("containment");
+                                        xrows[k]
+                                    }
+                                })
+                                .collect();
+                            *xrows_of[c].lock() = vals;
+                            injector.push(c);
+                        }
+                        *xcell[s].lock() = xs;
+                        done.fetch_add(1, Ordering::SeqCst);
                     }
-                    trsv::trsv_lt(w, blk, f, &mut xs, unit);
-                    // Publish, then release children: each child's xrows are
-                    // a subset of (my cols ∪ my xrows).
-                    for &c in &sym.tree.children[s] {
-                        let vals: Vec<f64> = sym.sn_rows[c]
-                            .iter()
-                            .map(|&r| {
-                                if r < c1 {
-                                    xs[r - c0]
-                                } else {
-                                    let k = sym.sn_rows[s].binary_search(&r).expect("containment");
-                                    xrows[k]
-                                }
-                            })
-                            .collect();
-                        *xrows_of[c].lock() = vals;
-                        injector.push(c);
-                    }
-                    *xcell[s].lock() = xs;
-                    done.fetch_add(1, Ordering::SeqCst);
                 });
             }
         });

@@ -8,6 +8,7 @@ use crate::error::FactorError;
 use crate::factor::{Factor, FactorKind};
 use crate::mapping::MapStrategy;
 use crate::smp::SmpOpts;
+use crate::workspace::Workspace;
 use parfact_mpsim::model::CostModel;
 use parfact_order::Method;
 use parfact_sparse::csc::CscMatrix;
@@ -148,6 +149,9 @@ pub struct SparseCholesky {
     trace: TraceLevel,
     /// The permuted matrix actually factored (kept for refinement).
     ap: CscMatrix,
+    /// Numeric-factorization arenas, reused across `refactorize` calls so
+    /// the steady state allocates nothing per supernode.
+    ws: Workspace,
 }
 
 impl SparseCholesky {
@@ -169,8 +173,16 @@ impl SparseCholesky {
         let total_perm = sym.post.compose(&fill);
         let sym = Arc::new(sym);
         let t2 = Instant::now();
-        let (factor, counters, ranks, spans) =
-            run_engine(&ap, &sym, opts.kind, total_perm, opts.engine, opts.trace)?;
+        let mut ws = Workspace::new();
+        let (factor, counters, ranks, spans) = run_engine(
+            &ap,
+            &sym,
+            opts.kind,
+            total_perm,
+            opts.engine,
+            opts.trace,
+            &mut ws,
+        )?;
         let numeric_s = t2.elapsed().as_secs_f64();
         let mut report = FactorReport {
             engine: opts.engine.name().to_string(),
@@ -198,11 +210,21 @@ impl SparseCholesky {
             report,
             trace: opts.trace,
             ap,
+            ws,
         })
     }
 
     /// Refactorize with the same symbolic analysis (new values, same
     /// pattern) — the production pattern for time-stepping simulations.
+    ///
+    /// Host engines (`Sequential`, `Smp`) overwrite the stored factor **in
+    /// place** through the solver's retained [`Workspace`] arenas, so a
+    /// steady-state refactorization performs no per-supernode heap
+    /// allocation. Consequence of in-place operation: if this returns
+    /// `Err` (e.g. the new values are not positive definite), the stored
+    /// factor is partially overwritten and numerically invalid — call
+    /// `refactorize` again with good values (or rebuild with
+    /// [`SparseCholesky::factorize`]) before trusting `solve`.
     ///
     /// Report semantics: `ordering_s` and `symbolic_s` keep the one-time
     /// analysis cost (it was genuinely reused, not re-paid), while
@@ -211,13 +233,37 @@ impl SparseCholesky {
     /// numeric phase has been redone.
     pub fn refactorize(&mut self, a: &CscMatrix, engine: Engine) -> Result<(), FactorError> {
         let ap_new = self.factor.perm.apply_sym_lower(a);
-        let kind = self.factor.kind;
-        let perm = self.factor.perm.clone();
         let sym = Arc::clone(&self.factor.sym);
         let t0 = Instant::now();
-        let (factor, counters, ranks, spans) =
-            run_engine(&ap_new, &sym, kind, perm, engine, self.trace)?;
-        self.factor = factor;
+        let (counters, ranks, spans) = match engine {
+            Engine::Sequential => {
+                let tr = Collector::new(self.trace);
+                crate::seq::factorize_seq_into(&ap_new, &sym, &tr, &mut self.ws, &mut self.factor)?;
+                (tr.snapshot(), Vec::new(), tr.take_spans())
+            }
+            Engine::Smp(smp) => {
+                let tr = Collector::new(self.trace);
+                crate::smp::factorize_smp_into(
+                    &ap_new,
+                    &sym,
+                    &smp,
+                    &tr,
+                    &mut self.ws,
+                    &mut self.factor,
+                )?;
+                (tr.snapshot(), Vec::new(), tr.take_spans())
+            }
+            Engine::Dist(_) => {
+                // The distributed engine gathers a fresh factor from the
+                // simulated machine; it replaces the stored one wholesale.
+                let kind = self.factor.kind;
+                let perm = self.factor.perm.clone();
+                let (factor, counters, ranks, spans) =
+                    run_engine(&ap_new, &sym, kind, perm, engine, self.trace, &mut self.ws)?;
+                self.factor = factor;
+                (counters, ranks, spans)
+            }
+        };
         self.ap = ap_new;
         self.report.engine = engine.name().to_string();
         self.report.numeric_s = t0.elapsed().as_secs_f64();
@@ -275,6 +321,13 @@ impl SparseCholesky {
     pub fn permuted_matrix(&self) -> &CscMatrix {
         &self.ap
     }
+
+    /// How many times the retained numeric workspace had to grow a buffer
+    /// (see [`Workspace::growth_events`]). Stays flat across steady-state
+    /// host-engine refactorizations — the arena-reuse guarantee.
+    pub fn workspace_growth_events(&self) -> u64 {
+        self.ws.growth_events()
+    }
 }
 
 /// Dispatch one numeric factorization and return the factor plus the
@@ -286,6 +339,7 @@ fn run_engine(
     perm: parfact_sparse::perm::Perm,
     engine: Engine,
     trace: TraceLevel,
+    ws: &mut Workspace,
 ) -> Result<
     (
         Factor,
@@ -298,12 +352,14 @@ fn run_engine(
     match engine {
         Engine::Sequential => {
             let tr = Collector::new(trace);
-            let factor = crate::seq::factorize_seq_traced(ap, sym, kind, perm, &tr)?;
+            let mut factor = Factor::allocate(sym, kind, perm);
+            crate::seq::factorize_seq_into(ap, sym, &tr, ws, &mut factor)?;
             Ok((factor, tr.snapshot(), Vec::new(), tr.take_spans()))
         }
         Engine::Smp(smp) => {
             let tr = Collector::new(trace);
-            let factor = crate::smp::factorize_smp_traced(ap, sym, kind, perm, &smp, &tr)?;
+            let mut factor = Factor::allocate(sym, kind, perm);
+            crate::smp::factorize_smp_into(ap, sym, &smp, &tr, ws, &mut factor)?;
             Ok((factor, tr.snapshot(), Vec::new(), tr.take_spans()))
         }
         Engine::Dist(d) => {
@@ -584,6 +640,32 @@ mod tests {
         let b = vec![1.0; a.nrows()];
         let x = chol.solve(&b);
         assert!(ops::sym_residual_inf(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn refactorize_runs_in_warm_arenas() {
+        // The arena-reuse assertion of the acceptance criteria: after the
+        // first sequential refactorize has warmed the workspace, further
+        // steady-state refactorizations must not grow a single buffer.
+        let a = gen::laplace2d(20, 20, gen::Stencil2d::FivePoint);
+        let mut chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= 1.5;
+        }
+        chol.refactorize(&a2, Engine::Sequential).unwrap();
+        let warm = chol.workspace_growth_events();
+        for _ in 0..3 {
+            chol.refactorize(&a2, Engine::Sequential).unwrap();
+            assert_eq!(
+                chol.workspace_growth_events(),
+                warm,
+                "steady-state refactorize grew a workspace buffer"
+            );
+        }
+        let b = vec![1.0; a.nrows()];
+        let x = chol.solve(&b);
+        assert!(ops::sym_residual_inf(&a2, &x, &b) < 1e-12);
     }
 
     #[test]

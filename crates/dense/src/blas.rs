@@ -6,22 +6,46 @@
 //!
 //! - [`gemm_nt`] — `C ← α A Bᵀ + β C` (the outer-product update shape);
 //! - [`syrk_ln`] — lower-triangle `C ← α A Aᵀ + β C` (Schur complements);
+//! - [`gemm_nt_ln`] — lower-triangle `C ← C + α A Bᵀ` (LDLᵀ trailing
+//!   updates, where the two operands differ by the `D` scaling);
 //! - [`trsm_right_lt`] — `X Lᵀ = B` (panel scaling below a factored block);
 //! - [`trsm_left_ln`] / [`trsm_left_lt`] — forward/backward block solves.
 //!
-//! Loops are arranged so the innermost dimension is the contiguous
-//! (column) direction; the `k`/`j` dimensions are tiled so panel columns
-//! are reused while they are hot. The compiler auto-vectorizes the unit
-//! stride inner loops.
+//! The rank-k updates are backed by the packed register-blocked core in
+//! [`crate::pack`]; see that module for the blocking scheme and the
+//! per-entry determinism contract the engines rely on. The triangular
+//! solves stay unpacked (their `n` is a panel width, at most
+//! [`crate::chol::NB`], in the factorization) but the right-solve blocks
+//! its column sweep through [`gemm_nt`] when callers hand it a wide
+//! triangle.
 
-/// Tile size along the shared (`k`) dimension.
-const KC: usize = 64;
-/// Tile size along the output-column (`n`) dimension.
-const NC: usize = 128;
+use crate::pack;
+
+/// Column block size for the blocked [`trsm_right_lt`] sweep. Matches the
+/// factorization panel width (`chol::NB`) so factorization-path calls take
+/// the single-block unblocked path.
+const TRSM_NB: usize = 48;
 
 #[inline]
 fn at(ld: usize, i: usize, j: usize) -> usize {
     j * ld + i
+}
+
+/// Scale `C ← β C` over full `m`-row columns (the `gemm` pre-pass).
+fn scale_full(m: usize, n: usize, beta: f64, c: &mut [f64], ldc: usize) {
+    if beta == 1.0 {
+        return;
+    }
+    for j in 0..n {
+        let cj = &mut c[at(ldc, 0, j)..at(ldc, m, j)];
+        if beta == 0.0 {
+            cj.fill(0.0);
+        } else {
+            for v in cj {
+                *v *= beta;
+            }
+        }
+    }
 }
 
 /// `C ← α A Bᵀ + β C` where `A` is `m x k`, `B` is `n x k`, `C` is `m x n`,
@@ -41,41 +65,8 @@ pub fn gemm_nt(
     ldc: usize,
 ) {
     debug_assert!(lda >= m.max(1) && ldb >= n.max(1) && ldc >= m.max(1));
-    if beta != 1.0 {
-        for j in 0..n {
-            let cj = &mut c[at(ldc, 0, j)..at(ldc, m, j)];
-            if beta == 0.0 {
-                cj.fill(0.0);
-            } else {
-                for v in cj {
-                    *v *= beta;
-                }
-            }
-        }
-    }
-    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    for l0 in (0..k).step_by(KC) {
-        let l1 = (l0 + KC).min(k);
-        for j0 in (0..n).step_by(NC) {
-            let j1 = (j0 + NC).min(n);
-            for j in j0..j1 {
-                let cj = j * ldc;
-                for l in l0..l1 {
-                    let blj = alpha * b[at(ldb, j, l)];
-                    if blj == 0.0 {
-                        continue;
-                    }
-                    let al = l * lda;
-                    let (acol, ccol) = (&a[al..al + m], &mut c[cj..cj + m]);
-                    for (cv, &av) in ccol.iter_mut().zip(acol) {
-                        *cv += av * blj;
-                    }
-                }
-            }
-        }
-    }
+    scale_full(m, n, beta, c, ldc);
+    pack::gemm_packed(m, n, k, alpha, a, lda, b, ldb, c, ldc, false);
 }
 
 /// Lower-triangle symmetric rank-k update: `C ← α A Aᵀ + β C`, touching only
@@ -104,26 +95,28 @@ pub fn syrk_ln(
             }
         }
     }
-    if alpha == 0.0 || n == 0 || k == 0 {
-        return;
-    }
-    for l0 in (0..k).step_by(KC) {
-        let l1 = (l0 + KC).min(k);
-        for j in 0..n {
-            let cj = j * ldc;
-            for l in l0..l1 {
-                let alj = alpha * a[at(lda, j, l)];
-                if alj == 0.0 {
-                    continue;
-                }
-                let al = l * lda;
-                let (acol, ccol) = (&a[al + j..al + n], &mut c[cj + j..cj + n]);
-                for (cv, &av) in ccol.iter_mut().zip(acol) {
-                    *cv += av * alj;
-                }
-            }
-        }
-    }
+    pack::gemm_packed(n, n, k, alpha, a, lda, a, lda, c, ldc, true);
+}
+
+/// Lower-triangle general rank-k update: `C ← C + α A Bᵀ`, touching only
+/// `C[i][j]` with `i >= j`. `A` and `B` are `n x k`, `C` is `n x n`.
+///
+/// This is the LDLᵀ trailing-update shape (`C ← C − L₂₁ (L₂₁ D)ᵀ`), where
+/// the operands differ by a diagonal scaling so `syrk_ln` does not apply.
+#[allow(clippy::too_many_arguments)] // BLAS calling convention
+pub fn gemm_nt_ln(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    debug_assert!(lda >= n.max(1) && ldb >= n.max(1) && ldc >= n.max(1));
+    pack::gemm_packed(n, n, k, alpha, a, lda, b, ldb, c, ldc, true);
 }
 
 /// Solve `X Lᵀ = B` in place (`B ← B L⁻ᵀ`), where `L` is `n x n` lower
@@ -131,29 +124,61 @@ pub fn syrk_ln(
 ///
 /// This is the panel operation of Cholesky: given the factored diagonal
 /// block `L11`, the subdiagonal panel becomes `L21 = A21 L11⁻ᵀ`.
+///
+/// Columns are swept in [`TRSM_NB`] blocks: contributions of previously
+/// solved column blocks are folded in with one [`gemm_nt`] per block, then
+/// the block itself is solved unblocked against its diagonal triangle. For
+/// `n <= TRSM_NB` (every factorization-path call) this degenerates to the
+/// pure unblocked sweep.
 pub fn trsm_right_lt(m: usize, n: usize, l: &[f64], ldl: usize, b: &mut [f64], ldb: usize) {
     debug_assert!(ldl >= n.max(1) && ldb >= m.max(1));
-    // Column j of X depends on columns < j: B[:,j] = Σ_{t<=j} X[:,t] L[j,t].
-    for j in 0..n {
-        // Subtract contributions of already-solved columns.
-        for t in 0..j {
-            let ljt = l[at(ldl, j, t)];
-            if ljt == 0.0 {
-                continue;
+    if m == 0 {
+        return;
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = TRSM_NB.min(n - j0);
+        if j0 > 0 {
+            // B[:, j0..j0+jb] -= B[:, 0..j0] * L[j0..j0+jb, 0..j0]ᵀ.
+            let (solved, rest) = b.split_at_mut(j0 * ldb);
+            gemm_nt(
+                m,
+                jb,
+                j0,
+                -1.0,
+                solved,
+                ldb,
+                &l[j0..],
+                ldl,
+                1.0,
+                &mut rest[..(jb - 1) * ldb + m],
+                ldb,
+            );
+        }
+        // Unblocked solve of the block against its diagonal triangle.
+        // Column j of X depends on columns j0..j of the same block:
+        // B[:,j] = Σ_{t<=j} X[:,t] L[j,t].
+        for j in j0..j0 + jb {
+            for t in j0..j {
+                let ljt = l[at(ldl, j, t)];
+                if ljt == 0.0 {
+                    continue;
+                }
+                let (tcol, jcol) = (t * ldb, j * ldb);
+                // Split to satisfy the borrow checker: t < j always.
+                let (lo, hi) = b.split_at_mut(jcol);
+                let xt = &lo[tcol..tcol + m];
+                let bj = &mut hi[..m];
+                for (bv, &xv) in bj.iter_mut().zip(xt) {
+                    *bv -= xv * ljt;
+                }
             }
-            let (tcol, jcol) = (t * ldb, j * ldb);
-            // Split to satisfy the borrow checker: t < j always.
-            let (lo, hi) = b.split_at_mut(jcol);
-            let xt = &lo[tcol..tcol + m];
-            let bj = &mut hi[..m];
-            for (bv, &xv) in bj.iter_mut().zip(xt) {
-                *bv -= xv * ljt;
+            let inv = 1.0 / l[at(ldl, j, j)];
+            for v in &mut b[at(ldb, 0, j)..at(ldb, m, j)] {
+                *v *= inv;
             }
         }
-        let inv = 1.0 / l[at(ldl, j, j)];
-        for v in &mut b[at(ldb, 0, j)..at(ldb, m, j)] {
-            *v *= inv;
-        }
+        j0 += jb;
     }
 }
 
@@ -170,17 +195,18 @@ pub fn trsm_left_ln(
 ) {
     debug_assert!(ldl >= n.max(1) && ldb >= n.max(1));
     for r in 0..nrhs {
-        let bc = r * ldb;
+        let col = &mut b[r * ldb..r * ldb + n];
         for j in 0..n {
-            let mut xj = b[bc + j];
+            let mut xj = col[j];
             if !unit {
                 xj /= l[at(ldl, j, j)];
             }
-            b[bc + j] = xj;
+            col[j] = xj;
             if xj != 0.0 {
-                let lc = j * ldl;
-                for i in j + 1..n {
-                    b[bc + i] -= l[lc + i] * xj;
+                let lc = &l[at(ldl, j + 1, j)..at(ldl, n, j)];
+                let (_, below) = col.split_at_mut(j + 1);
+                for (bv, &lv) in below.iter_mut().zip(lc) {
+                    *bv -= lv * xj;
                 }
             }
         }
@@ -199,14 +225,14 @@ pub fn trsm_left_lt(
 ) {
     debug_assert!(ldl >= n.max(1) && ldb >= n.max(1));
     for r in 0..nrhs {
-        let bc = r * ldb;
+        let col = &mut b[r * ldb..r * ldb + n];
         for j in (0..n).rev() {
-            let lc = j * ldl;
-            let mut acc = b[bc + j];
-            for i in j + 1..n {
-                acc -= l[lc + i] * b[bc + i];
+            let lc = &l[at(ldl, j + 1, j)..at(ldl, n, j)];
+            let mut acc = col[j];
+            for (&lv, &xv) in lc.iter().zip(&col[j + 1..n]) {
+                acc -= lv * xv;
             }
-            b[bc + j] = if unit { acc } else { acc / l[lc + j] };
+            col[j] = if unit { acc } else { acc / l[at(ldl, j, j)] };
         }
     }
 }
@@ -305,6 +331,48 @@ mod tests {
     }
 
     #[test]
+    fn gemm_crosses_every_cache_block_boundary() {
+        // Dimensions straddling MC/NC/KC with ragged remainders.
+        let mut r = det_rng(7);
+        let (m, n, k) = (
+            crate::pack::MC + 3,
+            crate::pack::NC + 5,
+            crate::pack::KC + 2,
+        );
+        let a = DMat::from_fn(m, k, |_, _| r());
+        let b = DMat::from_fn(n, k, |_, _| r());
+        let mut c = DMat::zeros(m, n);
+        gemm_nt(
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            n,
+            0.0,
+            c.as_mut_slice(),
+            m,
+        );
+        let mut reference = DMat::zeros(m, n);
+        crate::naive::gemm_nt(
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            n,
+            0.0,
+            reference.as_mut_slice(),
+            m,
+        );
+        assert!(c.max_abs_diff(&reference) < 1e-10);
+    }
+
+    #[test]
     fn syrk_ln_matches_gemm_on_lower() {
         let mut r = det_rng(3);
         let (n, k) = (9, 6);
@@ -316,6 +384,36 @@ mod tests {
             for i in 0..n {
                 if i >= j {
                     assert!((c[(i, j)] + full[(i, j)]).abs() < 1e-12);
+                } else {
+                    assert_eq!(c[(i, j)], 0.0, "upper triangle must stay untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_ln_matches_masked_gemm() {
+        let mut r = det_rng(8);
+        let (n, k) = (37, 17);
+        let a = DMat::from_fn(n, k, |_, _| r());
+        let b = DMat::from_fn(n, k, |_, _| r());
+        let mut c = DMat::zeros(n, n);
+        gemm_nt_ln(
+            n,
+            k,
+            -1.0,
+            a.as_slice(),
+            n,
+            b.as_slice(),
+            n,
+            c.as_mut_slice(),
+            n,
+        );
+        let full = a.matmul(&b.transpose());
+        for j in 0..n {
+            for i in 0..n {
+                if i >= j {
+                    assert!((c[(i, j)] + full[(i, j)]).abs() < 1e-11);
                 } else {
                     assert_eq!(c[(i, j)], 0.0, "upper triangle must stay untouched");
                 }
@@ -342,6 +440,26 @@ mod tests {
         let mut b = x.matmul(&l.transpose());
         trsm_right_lt(m, n, l.as_slice(), n, b.as_mut_slice(), m);
         assert!(b.max_abs_diff(&x) < 1e-12);
+    }
+
+    #[test]
+    fn trsm_right_lt_blocked_path_inverts_multiplication() {
+        // n > TRSM_NB forces the gemm-backed column-block sweep.
+        let mut r = det_rng(9);
+        let (m, n) = (11, TRSM_NB + 13);
+        let l = DMat::from_fn(n, n, |i, j| {
+            if i > j {
+                r() * 0.1
+            } else if i == j {
+                2.0 + r().abs()
+            } else {
+                0.0
+            }
+        });
+        let x = DMat::from_fn(m, n, |_, _| r());
+        let mut b = x.matmul(&l.transpose());
+        trsm_right_lt(m, n, l.as_slice(), n, b.as_mut_slice(), m);
+        assert!(b.max_abs_diff(&x) < 1e-9);
     }
 
     #[test]
@@ -398,6 +516,7 @@ mod tests {
         let mut c = [1.0; 1];
         gemm_nt(0, 0, 0, 1.0, &[], 1, &[], 1, 1.0, &mut c, 1);
         syrk_ln(0, 0, 1.0, &[], 1, 1.0, &mut c, 1);
+        gemm_nt_ln(0, 0, 1.0, &[], 1, &[], 1, &mut c, 1);
         trsm_right_lt(0, 0, &[], 1, &mut c, 1);
         assert_eq!(c[0], 1.0);
     }

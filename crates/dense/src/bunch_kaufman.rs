@@ -116,14 +116,19 @@ pub fn factorize_bk(n: usize, a: &mut [f64], lda: usize) -> Result<BkFactor, Den
             for i in k + 1..n {
                 a[at(lda, i, k)] *= inv;
             }
-            // Trailing update: A -= l d l^T (lower).
+            // Trailing update: A -= l d l^T (lower), one contiguous column
+            // slice at a time (k < j keeps source and target disjoint).
             for j in k + 1..n {
                 let w = a[at(lda, j, k)] * d;
-                if w != 0.0 {
-                    for i in j..n {
-                        let v = a[at(lda, i, k)];
-                        a[at(lda, i, j)] -= v * w;
-                    }
+                if w == 0.0 {
+                    continue;
+                }
+                let (kcol, jcol) = (k * lda, j * lda);
+                let (lo, hi) = a.split_at_mut(jcol);
+                let lk = &lo[kcol + j..kcol + n];
+                let cj = &mut hi[j..n];
+                for (cv, &lv) in cj.iter_mut().zip(lk) {
+                    *cv -= lv * w;
                 }
             }
         } else {
@@ -144,7 +149,8 @@ pub fn factorize_bk(n: usize, a: &mut [f64], lda: usize) -> Result<BkFactor, Den
                 a[at(lda, i, k + 1)] = w1 * i21 + w2 * i22;
             }
             // Trailing update: A -= L D L^T = L W^T where W = original cols.
-            // Reconstruct W from L and D: w = l * D.
+            // Reconstruct W from L and D (w = l * D) and stream both source
+            // columns as slices (k + 1 < j keeps them disjoint from target).
             for j in k + 2..n {
                 let lj1 = a[at(lda, j, k)];
                 let lj2 = a[at(lda, j, k + 1)];
@@ -153,10 +159,13 @@ pub fn factorize_bk(n: usize, a: &mut [f64], lda: usize) -> Result<BkFactor, Den
                 if wj1 == 0.0 && wj2 == 0.0 {
                     continue;
                 }
-                for i in j..n {
-                    let li1 = a[at(lda, i, k)];
-                    let li2 = a[at(lda, i, k + 1)];
-                    a[at(lda, i, j)] -= li1 * wj1 + li2 * wj2;
+                let jcol = j * lda;
+                let (lo, hi) = a.split_at_mut(jcol);
+                let l1 = &lo[k * lda + j..k * lda + n];
+                let l2 = &lo[(k + 1) * lda + j..(k + 1) * lda + n];
+                let cj = &mut hi[j..n];
+                for ((cv, &v1), &v2) in cj.iter_mut().zip(l1).zip(l2) {
+                    *cv -= v1 * wj1 + v2 * wj2;
                 }
             }
             // The entry below the pivot's first column inside the block is

@@ -6,7 +6,7 @@
 //! Storage is column-major lower triangle; the strict upper triangle is
 //! never read or written.
 
-use crate::blas::{syrk_ln, trsm_right_lt};
+use crate::blas::{gemm_nt_ln, syrk_ln, trsm_right_lt};
 use crate::error::DenseError;
 
 /// Panel width for the blocked algorithms.
@@ -76,8 +76,9 @@ pub fn partial_potrf(nf: usize, npiv: usize, f: &mut [f64], ldf: usize) -> Resul
         if rest > 0 {
             // 2. Panel: L21 = A21 L11^{-T}. L11 and A21 interleave within the
             // same columns, so copy the (small) factored diagonal block into a
-            // compact buffer instead of reaching for unsafe aliasing.
-            let mut l11 = vec![0.0f64; jb * jb];
+            // compact stack buffer instead of reaching for unsafe aliasing.
+            let mut l11_buf = [0.0f64; NB * NB];
+            let l11 = &mut l11_buf[..jb * jb];
             for t in 0..jb {
                 for i in t..jb {
                     l11[t * jb + i] = f[at(ldf, j + i, j + t)];
@@ -85,7 +86,7 @@ pub fn partial_potrf(nf: usize, npiv: usize, f: &mut [f64], ldf: usize) -> Resul
             }
             let a21 = at(ldf, j + jb, j);
             let (_, tail) = f.split_at_mut(a21);
-            trsm_right_lt(rest, jb, &l11, jb, tail, ldf);
+            trsm_right_lt(rest, jb, l11, jb, tail, ldf);
             // 3. Trailing update: A22 -= L21 L21^T (lower).
             let (panel, trailing) = f.split_at_mut(at(ldf, j + jb, j + jb));
             syrk_ln(
@@ -118,6 +119,12 @@ pub const LDLT_PIVOT_TOL: f64 = 1e-300;
 /// `d[0..npiv]` holds the (possibly negative) pivots, and the trailing
 /// block holds the Schur complement.
 ///
+/// Blocked right-looking: each [`NB`]-wide panel is factored with an
+/// unblocked sweep whose rank-1 updates stay inside the panel, then the
+/// trailing lower triangle absorbs the whole panel at once as
+/// `C ← C − L₂₁ (L₂₁ D)ᵀ` through the packed [`gemm_nt_ln`] kernel (with
+/// `W = L₂₁ D` staged in thread-local scratch).
+///
 /// Without pivoting this is only numerically safe for quasi-definite or
 /// diagonally dominant symmetric matrices; a vanishing pivot is reported
 /// as [`DenseError::ZeroPivot`] rather than silently producing infinities.
@@ -131,28 +138,62 @@ pub fn partial_ldlt(
     assert!(npiv <= nf);
     assert!(ldf >= nf.max(1));
     assert!(d.len() >= npiv);
-    for j in 0..npiv {
-        let dj = f[at(ldf, j, j)];
-        if dj.abs() <= LDLT_PIVOT_TOL || !dj.is_finite() {
-            return Err(DenseError::ZeroPivot { index: j });
-        }
-        d[j] = dj;
-        let inv = 1.0 / dj;
-        // Scale column j to unit-lower L.
-        for i in j + 1..nf {
-            f[at(ldf, i, j)] *= inv;
-        }
-        // Trailing update: A[i, l] -= L[i, j] * d_j * L[l, j]  (i >= l > j).
-        for l in j + 1..nf {
-            let w = f[at(ldf, l, j)] * dj;
-            if w == 0.0 {
-                continue;
+    let mut j0 = 0;
+    while j0 < npiv {
+        let jb = NB.min(npiv - j0);
+        let j1 = j0 + jb;
+        // Unblocked factorization of the panel; rank-1 updates are applied
+        // only to columns inside the panel, the rest waits for the blocked
+        // trailing update below.
+        for j in j0..j1 {
+            let dj = f[at(ldf, j, j)];
+            if dj.abs() <= LDLT_PIVOT_TOL || !dj.is_finite() {
+                return Err(DenseError::ZeroPivot { index: j });
             }
-            let (lcol, jcol) = (l * ldf, j * ldf);
-            for i in l..nf {
-                f[lcol + i] -= f[jcol + i] * w;
+            d[j] = dj;
+            let inv = 1.0 / dj;
+            // Scale column j to unit-lower L.
+            for i in j + 1..nf {
+                f[at(ldf, i, j)] *= inv;
+            }
+            // A[i, l] -= L[i, j] * d_j * L[l, j]  (i >= l, j < l < j1).
+            for l in j + 1..j1 {
+                let w = f[at(ldf, l, j)] * dj;
+                if w == 0.0 {
+                    continue;
+                }
+                let (lcol, jcol) = (l * ldf, j * ldf);
+                for i in l..nf {
+                    f[lcol + i] -= f[jcol + i] * w;
+                }
             }
         }
+        // Blocked trailing update over columns j1..nf.
+        let rest = nf - j1;
+        if rest > 0 {
+            crate::pack::with_scratch(rest * jb, |w| {
+                for (t, wcol) in w.chunks_exact_mut(rest).enumerate() {
+                    let dj = d[j0 + t];
+                    let src = at(ldf, j1, j0 + t);
+                    for (wv, &lv) in wcol.iter_mut().zip(&f[src..src + rest]) {
+                        *wv = lv * dj;
+                    }
+                }
+                let (panel, trailing) = f.split_at_mut(at(ldf, j1, j1));
+                gemm_nt_ln(
+                    rest,
+                    jb,
+                    -1.0,
+                    &panel[at(ldf, j1, j0)..],
+                    ldf,
+                    w,
+                    rest,
+                    trailing,
+                    ldf,
+                );
+            });
+        }
+        j0 = j1;
     }
     Ok(())
 }
@@ -344,6 +385,28 @@ mod tests {
             ldlt(2, a.as_mut_slice(), 2, &mut d),
             Err(DenseError::ZeroPivot { index: 0 })
         );
+    }
+
+    #[test]
+    fn ldlt_blocked_path_reconstructs() {
+        // n > NB so the panel/trailing-update split is exercised.
+        let n = NB + 23;
+        let mut r = det_rng(31);
+        let a = DMat::random_spd(n, &mut r);
+        let mut l = a.clone();
+        let mut d = vec![0.0; n];
+        ldlt(n, l.as_mut_slice(), n, &mut d).unwrap();
+        for j in 0..n {
+            for i in j..n {
+                let mut acc = 0.0;
+                for k in 0..=j {
+                    let lik = if i == k { 1.0 } else { l[(i, k)] };
+                    let ljk = if j == k { 1.0 } else { l[(j, k)] };
+                    acc += lik * d[k] * ljk;
+                }
+                assert!((acc - a[(i, j)]).abs() < 1e-8, "({i},{j})");
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! would get from a vendor library:
 //!
 //! - [`blas`] — `gemm` (`C += A Bᵀ`), `syrk` (lower `C += A Aᵀ`), and the
-//!   `trsm` variants the factorization needs, cache-blocked;
+//!   `trsm` variants the factorization needs, built on the packed
+//!   register-blocked core in [`pack`];
+//! - [`pack`] — BLIS-style packing + microkernel layer (MC/KC/NC cache
+//!   blocks, `MR x NR` register tiles, thread-local packing arenas);
+//! - [`naive`] — the pre-packing reference kernels, kept as correctness
+//!   oracle and performance baseline;
 //! - [`chol`] — blocked full and **partial** Cholesky (`LLᵀ`) and `LDLᵀ`
 //!   factorizations of a front: factor the first `npiv` columns, form the
 //!   Schur complement of the rest;
@@ -27,6 +32,8 @@ pub mod bunch_kaufman;
 pub mod chol;
 pub mod error;
 pub mod matrix;
+pub mod naive;
+pub mod pack;
 pub mod trsv;
 
 pub use error::DenseError;

@@ -1,0 +1,392 @@
+//! BLIS-style packed, register-blocked matrix-multiply core.
+//!
+//! Layering (innermost first):
+//!
+//! - **microkernel** — an `MR x NR` register tile accumulated over a packed
+//!   `k`-slice. The accumulator lives entirely in registers / stack; the
+//!   inner loop is a rank-1 broadcast update with unit-stride loads from
+//!   both packed panels. On x86-64 a runtime-dispatched AVX variant runs
+//!   the same chains at double vector width (separate mul/add, no FMA —
+//!   see the determinism contract); elsewhere LLVM auto-vectorizes the
+//!   portable loop.
+//! - **packing** — `A` is repacked into `MR`-row panels (`pack_a`), the
+//!   `B` operand of `C ← A Bᵀ` into `NR`-row panels (`pack_b`). Panels are
+//!   zero-padded in the `m`/`n` direction only, never in `k`, so padded
+//!   lanes contribute exact zeros and edge tiles run the same microkernel
+//!   as full tiles.
+//! - **cache blocking** — `KC x NC` blocks of packed `B` and `MC x KC`
+//!   blocks of packed `A` keep the working set resident while the macro
+//!   loops sweep the `C` tile grid.
+//!
+//! Packing buffers live in a thread-local arena (`PACK_BUFS`) so
+//! steady-state factorization does zero packing allocation after warm-up.
+//!
+//! # Determinism contract
+//!
+//! The engines' bitwise parity tests (Sequential vs Smp vs Dist) rely on a
+//! per-entry rounding contract: for each output entry `C[i][j]`, one
+//! `k`-block contributes
+//!
+//! ```text
+//! acc = Σ_{l ascending} A[i][l] * B[j][l]   (single sequential chain)
+//! C[i][j] = C[i][j] + alpha * acc
+//! ```
+//!
+//! The accumulator chain for an entry never crosses entries, so the result
+//! is independent of which tile the entry lands in and of how callers
+//! slice the output into row/column chunks. With `k <= KC` there is a
+//! single `k`-block and the whole operation satisfies the contract; the
+//! factorization path always has `k` equal to a panel width
+//! `<= chol::NB <= KC`. Changing [`KC`], the accumulation order, or the
+//! writeback formula breaks cross-engine bitwise parity.
+
+use std::cell::RefCell;
+
+/// Microkernel register-tile rows.
+pub const MR: usize = 8;
+/// Microkernel register-tile columns.
+pub const NR: usize = 4;
+/// Cache-block size along the shared `k` dimension. Must stay `>=`
+/// `chol::NB` to keep factorization-path calls in a single `k`-block
+/// (see the determinism contract above).
+pub const KC: usize = 256;
+/// Cache-block rows of packed `A` (multiple of `MR`).
+pub const MC: usize = 64;
+/// Cache-block columns of packed `B` (multiple of `NR`).
+pub const NC: usize = 512;
+
+/// Thread-local packing buffers, reused across calls.
+struct PackBufs {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+thread_local! {
+    static PACK_BUFS: RefCell<PackBufs> = const {
+        RefCell::new(PackBufs {
+            a: Vec::new(),
+            b: Vec::new(),
+        })
+    };
+}
+
+// Separate thread-local scratch vector for callers (e.g. the blocked
+// LDLᵀ trailing update) that need a workspace *while* a packed kernel
+// runs; keeping it out of `PACK_BUFS` avoids a nested `RefCell` borrow.
+thread_local! {
+    static SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a zeroed thread-local scratch slice of length `len`.
+pub(crate) fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        let s = &mut buf[..len];
+        s.fill(0.0);
+        f(s)
+    })
+}
+
+#[inline]
+fn at(ld: usize, i: usize, j: usize) -> usize {
+    j * ld + i
+}
+
+/// Pack `mc x kc` of `A` (rows `i0..`, k-columns `l0..`) into `MR`-row
+/// panels: element `(p, l)` of panel `pan` lands at
+/// `pan * MR * kc + l * MR + p`. Rows past `mc` are zero.
+fn pack_a(buf: &mut Vec<f64>, a: &[f64], lda: usize, i0: usize, mc: usize, l0: usize, kc: usize) {
+    let npan = mc.div_ceil(MR);
+    let need = npan * MR * kc;
+    if buf.len() < need {
+        buf.resize(need, 0.0);
+    }
+    for pan in 0..npan {
+        let r0 = pan * MR;
+        let rows = MR.min(mc - r0);
+        let dst0 = pan * MR * kc;
+        for l in 0..kc {
+            let src = at(lda, i0 + r0, l0 + l);
+            let d = &mut buf[dst0 + l * MR..dst0 + (l + 1) * MR];
+            d[..rows].copy_from_slice(&a[src..src + rows]);
+            d[rows..].fill(0.0);
+        }
+    }
+}
+
+/// Pack `nc x kc` of `B` (rows `j0..`, k-columns `l0..`) into `NR`-row
+/// panels, same layout as [`pack_a`] with `NR` in place of `MR`.
+fn pack_b(buf: &mut Vec<f64>, b: &[f64], ldb: usize, j0: usize, nc: usize, l0: usize, kc: usize) {
+    let npan = nc.div_ceil(NR);
+    let need = npan * NR * kc;
+    if buf.len() < need {
+        buf.resize(need, 0.0);
+    }
+    for pan in 0..npan {
+        let r0 = pan * NR;
+        let rows = NR.min(nc - r0);
+        let dst0 = pan * NR * kc;
+        for l in 0..kc {
+            let src = at(ldb, j0 + r0, l0 + l);
+            let d = &mut buf[dst0 + l * NR..dst0 + (l + 1) * NR];
+            d[..rows].copy_from_slice(&b[src..src + rows]);
+            d[rows..].fill(0.0);
+        }
+    }
+}
+
+/// `MR x NR` register microkernel: `acc[q][p] += Σ_l ap[l][p] * bp[l][q]`
+/// over one packed `k`-slice. Dispatches to the AVX path when the CPU has
+/// it (detection result is cached by `std`), else runs the portable loop.
+#[inline(always)]
+fn microkernel(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; MR]; NR]) {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: the `avx` feature was just detected at runtime.
+        unsafe { microkernel_avx(kc, ap, bp, acc) };
+        return;
+    }
+    microkernel_portable(kc, ap, bp, acc);
+}
+
+/// Portable microkernel: both loads are unit-stride; the `p` loop is the
+/// vector lane for the auto-vectorizer.
+#[inline(always)]
+fn microkernel_portable(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; MR]; NR]) {
+    for l in 0..kc {
+        let av = &ap[l * MR..(l + 1) * MR];
+        let bv = &bp[l * NR..(l + 1) * NR];
+        for q in 0..NR {
+            let bq = bv[q];
+            let accq = &mut acc[q];
+            for p in 0..MR {
+                accq[p] += av[p] * bq;
+            }
+        }
+    }
+}
+
+/// AVX microkernel: the 8 rows of the tile live in two 4-lane vectors per
+/// column, so one `l` step is a broadcast plus 8 `vmulpd`/`vaddpd` pairs —
+/// double the width of the SSE2 baseline the portable loop compiles to.
+///
+/// Arithmetic is deliberately separate multiply-then-add, **not** FMA:
+/// each accumulator lane performs exactly the scalar chain of
+/// [`microkernel_portable`] in the same `l` order, so the two paths are
+/// bitwise identical and the determinism contract above is preserved.
+/// Fused rounding would break cross-engine parity.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+fn microkernel_avx(kc: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; MR]; NR]) {
+    use std::arch::x86_64::*;
+    const {
+        assert!(MR == 8 && NR == 4, "tile shape is baked into this kernel");
+    }
+    // SAFETY: callers checked `ap`/`bp` hold `kc` packed slices; loads stay
+    // in bounds and `acc` is a plain `f64` array with room for 2 vectors
+    // per column.
+    unsafe {
+        let mut lo = [_mm256_setzero_pd(); NR];
+        let mut hi = [_mm256_setzero_pd(); NR];
+        let apt = ap.as_ptr();
+        let bpt = bp.as_ptr();
+        for l in 0..kc {
+            let a0 = _mm256_loadu_pd(apt.add(l * MR));
+            let a1 = _mm256_loadu_pd(apt.add(l * MR + 4));
+            for q in 0..NR {
+                let bq = _mm256_broadcast_sd(&*bpt.add(l * NR + q));
+                lo[q] = _mm256_add_pd(lo[q], _mm256_mul_pd(a0, bq));
+                hi[q] = _mm256_add_pd(hi[q], _mm256_mul_pd(a1, bq));
+            }
+        }
+        for q in 0..NR {
+            let p = acc[q].as_mut_ptr();
+            _mm256_storeu_pd(p, _mm256_add_pd(_mm256_loadu_pd(p), lo[q]));
+            let p4 = p.add(4);
+            _mm256_storeu_pd(p4, _mm256_add_pd(_mm256_loadu_pd(p4), hi[q]));
+        }
+    }
+}
+
+/// Write an accumulated tile back: `C[i][j] += alpha * acc` for the
+/// `mr_eff x nr_eff` valid corner, masking out strictly-upper entries
+/// (`row < col`) when `lower` is set. This is the only place packed
+/// results touch `C`, so full and remainder tiles share one rounding
+/// behaviour.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn store_tile(
+    c: &mut [f64],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    alpha: f64,
+    acc: &[[f64; MR]; NR],
+    lower: bool,
+) {
+    for (q, accq) in acc.iter().enumerate().take(nr_eff) {
+        let col = j0 + q;
+        let p0 = if lower && col > i0 { col - i0 } else { 0 };
+        if p0 >= mr_eff {
+            continue;
+        }
+        let base = at(ldc, i0, col);
+        let dst = &mut c[base + p0..base + mr_eff];
+        for (cv, &av) in dst.iter_mut().zip(&accq[p0..mr_eff]) {
+            *cv += alpha * av;
+        }
+    }
+}
+
+/// Packed driver for `C ← C + alpha * A Bᵀ` (`A` is `m x k`, `B` is
+/// `n x k`, `C` is `m x n`, column-major). With `lower`, only entries
+/// `C[i][j]` with `i >= j` are written (callers guarantee `C` is the
+/// square lower-triangular target, e.g. `syrk_ln`).
+///
+/// `beta` scaling is the caller's job — the driver is purely accumulating
+/// so that the per-entry determinism contract holds.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+    lower: bool,
+) {
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+    debug_assert!(lda >= m && ldb >= n && ldc >= m);
+    PACK_BUFS.with(|cell| {
+        let bufs = &mut *cell.borrow_mut();
+        let PackBufs { a: abuf, b: bbuf } = bufs;
+        for l0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - l0);
+            for j0 in (0..n).step_by(NC) {
+                if lower && j0 >= m {
+                    // Every entry of this column block is strictly upper.
+                    break;
+                }
+                let nc = NC.min(n - j0);
+                pack_b(bbuf, b, ldb, j0, nc, l0, kc);
+                for i0 in (0..m).step_by(MC) {
+                    let mc = MC.min(m - i0);
+                    if lower && i0 + mc <= j0 {
+                        // Row block sits entirely above the diagonal.
+                        continue;
+                    }
+                    pack_a(abuf, a, lda, i0, mc, l0, kc);
+                    for jr in (0..nc).step_by(NR) {
+                        let nre = NR.min(nc - jr);
+                        let gj = j0 + jr;
+                        let bp = &bbuf[(jr / NR) * NR * kc..];
+                        for ir in (0..mc).step_by(MR) {
+                            let mre = MR.min(mc - ir);
+                            let gi = i0 + ir;
+                            if lower && gi + mre <= gj {
+                                continue;
+                            }
+                            let ap = &abuf[(ir / MR) * MR * kc..];
+                            let mut acc = [[0.0f64; MR]; NR];
+                            microkernel(kc, ap, bp, &mut acc);
+                            store_tile(c, ldc, gi, gj, mre, nre, alpha, &acc, lower);
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_pads_partial_panels_with_zeros() {
+        // 5x3 A inside a lda=7 allocation.
+        let (m, k, lda) = (5usize, 3usize, 7usize);
+        let a: Vec<f64> = (0..lda * k).map(|v| v as f64 + 1.0).collect();
+        let mut buf = Vec::new();
+        pack_a(&mut buf, &a, lda, 0, m, 0, k);
+        assert_eq!(buf.len(), MR * k);
+        for l in 0..k {
+            for p in 0..MR {
+                let want = if p < m { a[at(lda, p, l)] } else { 0.0 };
+                assert_eq!(buf[l * MR + p], want, "l={l} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_pads_partial_panels_with_zeros() {
+        let (n, k, ldb) = (6usize, 2usize, 9usize);
+        let b: Vec<f64> = (0..ldb * k).map(|v| v as f64 * 0.5 - 3.0).collect();
+        let mut buf = Vec::new();
+        pack_b(&mut buf, &b, ldb, 0, n, 0, k);
+        let npan = n.div_ceil(NR);
+        assert_eq!(buf.len(), npan * NR * k);
+        for pan in 0..npan {
+            for l in 0..k {
+                for q in 0..NR {
+                    let j = pan * NR + q;
+                    let want = if j < n { b[at(ldb, j, l)] } else { 0.0 };
+                    assert_eq!(buf[pan * NR * k + l * NR + q], want);
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx_microkernel_is_bitwise_equal_to_portable() {
+        if !std::arch::is_x86_feature_detected!("avx") {
+            return;
+        }
+        for kc in [1usize, 7, 48, 255, 256] {
+            let mut s = 0x9e37_79b9_u64.wrapping_mul(kc as u64 + 1);
+            let mut r = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 2000) as f64 / 1000.0 - 1.0
+            };
+            let ap: Vec<f64> = (0..kc * MR).map(|_| r()).collect();
+            let bp: Vec<f64> = (0..kc * NR).map(|_| r()).collect();
+            let mut want = [[0.0; MR]; NR];
+            let mut got = [[0.0; MR]; NR];
+            microkernel_portable(kc, &ap, &bp, &mut want);
+            // SAFETY: guarded by the feature check above.
+            unsafe { microkernel_avx(kc, &ap, &bp, &mut got) };
+            for q in 0..NR {
+                for p in 0..MR {
+                    assert_eq!(
+                        want[q][p].to_bits(),
+                        got[q][p].to_bits(),
+                        "kc={kc} q={q} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_zeroed_between_uses() {
+        with_scratch(4, |s| s.fill(7.0));
+        with_scratch(8, |s| {
+            assert!(s.iter().all(|&v| v == 0.0));
+        });
+    }
+}

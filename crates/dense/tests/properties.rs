@@ -141,3 +141,97 @@ proptest! {
         }
     }
 }
+
+// ---- Packed-kernel properties: the BLIS-style core vs the naive oracle ----
+//
+// Shapes deliberately hit remainder tiles (sizes not divisible by MR/NR),
+// non-trivial leading dimensions (lda > m), and, via the unit tests in
+// `blas.rs`, blocking boundaries (> MC/NC/KC). `parfact_dense::naive` holds
+// the pre-packing reference kernels.
+
+/// Column-major `rows x cols` buffer with leading dimension `ld >= rows`,
+/// filled from the value stream (padding rows included, so stray reads of
+/// padding would corrupt results and fail the comparison).
+fn padded(rows: usize, cols: usize, ld: usize, r: &mut impl FnMut() -> f64) -> Vec<f64> {
+    (0..ld * cols.max(1)).map(|_| r()).collect::<Vec<_>>()[..ld * cols.max(1) - (ld - rows)]
+        .to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_gemm_matches_naive_on_padded_lds(
+        m in 1usize..70, n in 1usize..70, k in 0usize..70,
+        pa in 0usize..5, pb in 0usize..5, pc in 0usize..5,
+        alpha in -2.0f64..2.0, beta in -2.0f64..2.0, seed in any::<u64>(),
+    ) {
+        let (lda, ldb, ldc) = (m + pa, n + pb, m + pc);
+        let mut r = fill(seed);
+        let a = padded(m, k, lda, &mut r);
+        let b = padded(n, k, ldb, &mut r);
+        let c0 = padded(m, n, ldc, &mut r);
+        let mut c_packed = c0.clone();
+        blas::gemm_nt(m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c_packed, ldc);
+        let mut c_naive = c0;
+        parfact_dense::naive::gemm_nt(m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c_naive, ldc);
+        for j in 0..n {
+            for i in 0..m {
+                let (p, q) = (c_packed[j * ldc + i], c_naive[j * ldc + i]);
+                prop_assert!((p - q).abs() < 1e-10 * (k as f64 + 1.0),
+                             "({i},{j}): packed {p} vs naive {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_syrk_matches_naive_on_padded_lds(
+        n in 1usize..70, k in 0usize..70, pa in 0usize..5, pc in 0usize..5,
+        alpha in -2.0f64..2.0, beta in -2.0f64..2.0, seed in any::<u64>(),
+    ) {
+        let (lda, ldc) = (n + pa, n + pc);
+        let mut r = fill(seed);
+        let a = padded(n, k, lda, &mut r);
+        let c0 = padded(n, n, ldc, &mut r);
+        let mut c_packed = c0.clone();
+        blas::syrk_ln(n, k, alpha, &a, lda, beta, &mut c_packed, ldc);
+        let mut c_naive = c0.clone();
+        parfact_dense::naive::syrk_ln(n, k, alpha, &a, lda, beta, &mut c_naive, ldc);
+        for j in 0..n {
+            for i in j..n {
+                let (p, q) = (c_packed[j * ldc + i], c_naive[j * ldc + i]);
+                prop_assert!((p - q).abs() < 1e-10 * (k as f64 + 1.0),
+                             "({i},{j}): packed {p} vs naive {q}");
+            }
+            // Strict upper triangle untouched by both.
+            for i in 0..j {
+                prop_assert_eq!(c_packed[j * ldc + i], c0[j * ldc + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_gemm_entries_independent_of_tiling(
+        m in 1usize..60, n in 1usize..24, k in 1usize..48, seed in any::<u64>(),
+    ) {
+        // The determinism contract of `parfact_dense::pack`: with k inside
+        // one KC block, each output entry is one ascending-k dot chain, so
+        // its bits cannot depend on where the entry falls in the tile grid.
+        // Computing one column at a time moves every entry to tile column 0;
+        // the bits must not change.
+        let mut r = fill(seed);
+        let a = padded(m, k, m, &mut r);
+        let b = padded(n, k, n, &mut r);
+        let c0 = padded(m, n, m, &mut r);
+        let mut c_full = c0.clone();
+        blas::gemm_nt(m, n, k, -1.0, &a, m, &b, n, 1.0, &mut c_full, m);
+        for j in 0..n {
+            let mut col = c0[j * m..(j + 1) * m].to_vec();
+            blas::gemm_nt(m, 1, k, -1.0, &a, m, &b[j..], n, 1.0, &mut col, m);
+            for i in 0..m {
+                prop_assert_eq!(c_full[j * m + i].to_bits(), col[i].to_bits(),
+                                "entry ({i},{j}) depends on tile position");
+            }
+        }
+    }
+}

@@ -153,16 +153,21 @@ impl Perm {
                 next[nc] += 1;
             }
         }
-        // Sort rows within each column.
+        // Sort rows within each column, reusing one scratch buffer across
+        // all columns so repeated permutation (e.g. every `refactorize`)
+        // does not allocate per column.
+        let mut pairs: Vec<(usize, f64)> = Vec::new();
         for c in 0..n {
             let (lo, hi) = (colptr[c], colptr[c + 1]);
-            let mut pairs: Vec<(usize, f64)> = rowind[lo..hi]
-                .iter()
-                .copied()
-                .zip(vals[lo..hi].iter().copied())
-                .collect();
+            pairs.clear();
+            pairs.extend(
+                rowind[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(vals[lo..hi].iter().copied()),
+            );
             pairs.sort_unstable_by_key(|&(r, _)| r);
-            for (k, (r, x)) in pairs.into_iter().enumerate() {
+            for (k, &(r, x)) in pairs.iter().enumerate() {
                 rowind[lo + k] = r;
                 vals[lo + k] = x;
             }

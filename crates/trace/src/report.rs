@@ -64,6 +64,41 @@ pub struct FactorReport {
 }
 
 impl FactorReport {
+    /// Flops the run actually performed: the counted total when tracing was
+    /// on, the symbolic prediction otherwise (the two agree to within
+    /// amalgamation padding, see the engine parity tests).
+    pub fn effective_flops(&self) -> f64 {
+        if self.counters.flops > 0.0 {
+            self.counters.flops
+        } else {
+            self.predicted_flops
+        }
+    }
+
+    /// End-to-end numeric factorization rate in Gflop/s (flops over
+    /// `numeric_s` wall-clock — includes assembly and extraction overhead).
+    /// `0.0` when no time was recorded.
+    pub fn factor_gflops(&self) -> f64 {
+        if self.numeric_s > 0.0 {
+            self.effective_flops() / self.numeric_s / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Dense-kernel rate in Gflop/s: flops over the time attributed to the
+    /// panel-factorization and trailing-update phases only. Requires phase
+    /// timing ([`crate::TraceLevel::Counters`] or above); `None` when those
+    /// phases recorded no time.
+    pub fn kernel_gflops(&self) -> Option<f64> {
+        let t = self.counters.panel_s + self.counters.gemm_s;
+        if t > 0.0 {
+            Some(self.effective_flops() / t / 1e9)
+        } else {
+            None
+        }
+    }
+
     /// Simulated makespan of a distributed run: the slowest rank's virtual
     /// clock. `None` for shared-memory engines.
     pub fn sim_makespan_s(&self) -> Option<f64> {
@@ -112,8 +147,17 @@ impl FactorReport {
             ("ordering_s".to_string(), Json::num_f64(self.ordering_s)),
             ("symbolic_s".to_string(), Json::num_f64(self.symbolic_s)),
             ("numeric_s".to_string(), Json::num_f64(self.numeric_s)),
+            // Derived rates, written for downstream tooling but never read
+            // back (from_json ignores them), so round-trips stay exact.
+            (
+                "factor_gflops".to_string(),
+                Json::num_f64(self.factor_gflops()),
+            ),
             ("counters".to_string(), counters_to_json(&self.counters)),
         ];
+        if let Some(kg) = self.kernel_gflops() {
+            fields.push(("kernel_gflops".to_string(), Json::num_f64(kg)));
+        }
         if !self.ranks.is_empty() {
             fields.push((
                 "ranks".to_string(),
@@ -396,6 +440,35 @@ mod tests {
         assert_eq!(r.sim_makespan_s(), Some(1.5));
         let imb = r.load_imbalance().unwrap();
         assert!((imb - 1.2 / 1.0).abs() < 1e-12, "imb={imb}");
+    }
+
+    #[test]
+    fn gflops_rates_derive_from_counters() {
+        let r = sample_report();
+        // Counted flops win over the prediction.
+        assert_eq!(r.effective_flops(), 3.3e8);
+        let fg = r.factor_gflops();
+        assert!((fg - 3.3e8 / 0.207 / 1e9).abs() < 1e-12, "fg={fg}");
+        let kg = r.kernel_gflops().unwrap();
+        assert!((kg - 3.3e8 / 0.16 / 1e9).abs() < 1e-9, "kg={kg}");
+        // Untimed run: end-to-end rate is zero, kernel rate absent.
+        let empty = FactorReport::default();
+        assert_eq!(empty.factor_gflops(), 0.0);
+        assert_eq!(empty.kernel_gflops(), None);
+        // Untraced (counters zero) but timed: falls back to the prediction.
+        let untraced = FactorReport {
+            predicted_flops: 2e9,
+            numeric_s: 0.5,
+            ..FactorReport::default()
+        };
+        assert_eq!(untraced.factor_gflops(), 4.0);
+        // The derived fields appear in JSON output...
+        let text = sample_report().to_json_string();
+        assert!(text.contains("\"factor_gflops\""));
+        assert!(text.contains("\"kernel_gflops\""));
+        // ...without disturbing the round trip.
+        let back = FactorReport::from_json_str(&text).unwrap();
+        assert_eq!(back, sample_report());
     }
 
     #[test]

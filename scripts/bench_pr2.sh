@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_pr2.json: packed-vs-naive dense kernel rates plus
+# end-to-end factorization times on the EXP-R1 suite matrices.
+#
+#   scripts/bench_pr2.sh [out.json]     (default: BENCH_pr2.json)
+#
+# Set BENCH_QUICK=1 for a fast smoke run (CI); leave it unset to produce
+# the committed artifact. Run on an otherwise-idle machine.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release -p parfact-bench --bin bench_pr2
+exec ./target/release/bench_pr2 "${1:-BENCH_pr2.json}"

@@ -171,14 +171,19 @@ fn main() -> ExitCode {
         }
     };
     let r = chol.report();
+    let kernel = match r.kernel_gflops() {
+        Some(kg) => format!(", kernel {kg:.2} GF/s"),
+        None => String::new(),
+    };
     println!(
-        "factor: nnz(L) = {} ({:.2}x), {:.3} Gflop | ordering {:.0} ms, symbolic {:.0} ms, numeric {:.0} ms",
+        "factor: nnz(L) = {} ({:.2}x), {:.3} Gflop | ordering {:.0} ms, symbolic {:.0} ms, numeric {:.0} ms ({:.2} GF/s{kernel})",
         chol.factor_nnz(),
         chol.factor_nnz() as f64 / a.nnz() as f64,
         chol.factor_flops() / 1e9,
         r.ordering_s * 1e3,
         r.symbolic_s * 1e3,
-        r.numeric_s * 1e3
+        r.numeric_s * 1e3,
+        r.factor_gflops()
     );
 
     let (x, resid) = chol.solve_refined(&a, &b, args.refine);
