@@ -3,7 +3,7 @@
 //! EXPERIMENTS.md for recorded results.
 //!
 //! ```text
-//! experiments <id>        # t1 t2 f1 f2 f3 f4 f5 a1 a2 a3 a4 a5
+//! experiments <id>        # t1 t2 f1..f6 a1..a7 r1
 //! experiments all         # everything, in order
 //! experiments all --quick # smaller sizes / fewer points (CI smoke run)
 //! ```
@@ -42,6 +42,12 @@ struct ScalPoint {
     factor_bytes_per_rank: usize,
     peak_bytes_per_rank: u64,
     factor_total_bytes: u64,
+    /// Transfer seconds hidden under compute by nonblocking sends (summed
+    /// over ranks) vs. comm seconds still exposed on rank clocks.
+    hidden_s: f64,
+    exposed_s: f64,
+    /// Largest mailbox backlog any rank saw (messages).
+    queue_peak: u64,
 }
 
 struct Ctx {
@@ -77,8 +83,10 @@ impl Ctx {
                     &sym,
                     &perm,
                     MapStrategy::default(),
+                    false,
                     Some(&b),
-                );
+                )
+                .expect("SPD");
                 points.push(ScalPoint {
                     matrix: p.name,
                     ranks: r,
@@ -90,6 +98,9 @@ impl Ctx {
                     factor_bytes_per_rank: out.max_factor_bytes,
                     peak_bytes_per_rank: out.max_mem_peak(),
                     factor_total_bytes: total,
+                    hidden_s: out.stats.iter().map(|s| s.comm_hidden_s).sum(),
+                    exposed_s: out.stats.iter().map(|s| s.comm_s).sum(),
+                    queue_peak: out.stats.iter().map(|s| s.queue_peak).max().unwrap_or(0),
                 });
             }
         }
@@ -148,7 +159,8 @@ fn main() {
         sweep: std::cell::RefCell::new(None),
     };
     let all = [
-        "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "a1", "a2", "a3", "a4", "a5", "a6", "r1",
+        "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+        "r1",
     ];
     let run: Vec<&str> = match ids.as_slice() {
         [] | ["all"] => all.to_vec(),
@@ -171,9 +183,10 @@ fn main() {
             "a4" => exp_a4(&ctx),
             "a5" => exp_a5(&ctx),
             "a6" => exp_a6(&ctx),
+            "a7" => exp_a7(&ctx),
             "r1" => exp_r1(&ctx),
             other => {
-                eprintln!("unknown experiment id '{other}' (use t1,t2,f1..f6,a1..a6,r1,all)");
+                eprintln!("unknown experiment id '{other}' (use t1,t2,f1..f6,a1..a7,r1,all)");
                 std::process::exit(2);
             }
         }
@@ -246,8 +259,10 @@ fn exp_t2(ctx: &Ctx) {
                 &sym,
                 &perm,
                 MapStrategy::default(),
+                false,
                 Some(&b),
-            );
+            )
+            .expect("SPD");
             t.row(vec![
                 p.name.into(),
                 r.to_string(),
@@ -271,6 +286,8 @@ fn exp_f1(ctx: &Ctx) {
             "ranks",
             "multifrontal",
             "MF speedup",
+            "comm hidden",
+            "comm exposed",
             "fan-out",
             "FO speedup",
         ],
@@ -317,6 +334,8 @@ fn exp_f1(ctx: &Ctx) {
             pt.ranks.to_string(),
             fmt_time(pt.factor_s),
             format!("{:.2}x", t1_mf[pt.matrix] / pt.factor_s),
+            fmt_time(pt.hidden_s),
+            fmt_time(pt.exposed_s),
             fo_cell,
             fo_speed,
         ]);
@@ -378,6 +397,7 @@ fn exp_f4(ctx: &Ctx) {
             "solve",
             "factor speedup",
             "solve speedup",
+            "queue peak",
         ],
     );
     let sweep = ctx.sweep();
@@ -396,6 +416,7 @@ fn exp_f4(ctx: &Ctx) {
             fmt_time(pt.solve_s),
             format!("{:.2}x", t1f / pt.factor_s),
             format!("{:.2}x", t1s / pt.solve_s),
+            pt.queue_peak.to_string(),
         ]);
     }
     t.emit("f4_solve");
@@ -472,8 +493,10 @@ fn exp_f6(ctx: &Ctx) {
             &sym,
             &perm,
             MapStrategy::default(),
+            false,
             None,
-        );
+        )
+        .expect("SPD");
         if p == 1 {
             t1 = out.factor_time_s;
         }
@@ -514,8 +537,10 @@ fn exp_a1(ctx: &Ctx) {
                 &sym,
                 &perm,
                 MapStrategy::default(),
+                false,
                 None,
-            );
+            )
+            .expect("SPD");
             let flat = run_distributed_prepared(
                 r,
                 CostModel::bluegene_p(),
@@ -526,8 +551,10 @@ fn exp_a1(ctx: &Ctx) {
                     use_2d: true,
                     nb: nb_default(),
                 },
+                false,
                 None,
-            );
+            )
+            .expect("SPD");
             t.row(vec![
                 p.name.into(),
                 r.to_string(),
@@ -574,8 +601,10 @@ fn exp_a2(ctx: &Ctx) {
                     use_2d: true,
                     nb: nb_default(),
                 },
+                false,
                 None,
-            );
+            )
+            .expect("SPD");
             let d1 = run_distributed_prepared(
                 r,
                 CostModel::bluegene_p(),
@@ -586,8 +615,10 @@ fn exp_a2(ctx: &Ctx) {
                     use_2d: false,
                     nb: nb_default(),
                 },
+                false,
                 None,
-            );
+            )
+            .expect("SPD");
             t.row(vec![
                 p.name.into(),
                 r.to_string(),
@@ -643,8 +674,17 @@ fn exp_a3(ctx: &Ctx) {
     for p in ctx.scaling_problems() {
         let (sym, ap, perm) = prepare(&p.a, Method::default(), &AmalgOpts::default());
         for (name, m) in &machines {
-            let out =
-                run_distributed_prepared(r, *m, &ap, &sym, &perm, MapStrategy::default(), None);
+            let out = run_distributed_prepared(
+                r,
+                *m,
+                &ap,
+                &sym,
+                &perm,
+                MapStrategy::default(),
+                false,
+                None,
+            )
+            .expect("SPD");
             let gf = out.factor_gflops();
             let peak = r as f64 / m.flop_time_s / 1e9;
             t.row(vec![
@@ -821,8 +861,10 @@ fn exp_a6(ctx: &Ctx) {
                 &sym,
                 &perm,
                 MapStrategy::Proportional { use_2d: true, nb },
+                false,
                 None,
-            );
+            )
+            .expect("SPD");
             t.row(vec![
                 p.name.into(),
                 r.to_string(),
@@ -838,4 +880,66 @@ fn exp_a6(ctx: &Ctx) {
         }
     }
     t.emit("a6_blocksize");
+}
+
+/// EXP-A7: schedule ablation — event-driven (default) vs strict-postorder
+/// synchronous schedule. Both produce bitwise-identical factors; the ratio
+/// column isolates how much of the comm cost the overlap hides.
+fn exp_a7(ctx: &Ctx) {
+    let mut t = Table::new(
+        "EXP-A7: schedule ablation — event-driven vs synchronous postorder (BG/P model)",
+        &[
+            "matrix",
+            "ranks",
+            "sync",
+            "async",
+            "async/sync",
+            "hidden comm",
+            "bitwise",
+        ],
+    );
+    let ranks = if ctx.quick {
+        vec![4, 16]
+    } else {
+        vec![8, 32, 64, 128]
+    };
+    for p in ctx.scaling_problems() {
+        let (sym, ap, perm) = prepare(&p.a, Method::default(), &AmalgOpts::default());
+        for &r in &ranks {
+            let sync = run_distributed_prepared(
+                r,
+                CostModel::bluegene_p(),
+                &ap,
+                &sym,
+                &perm,
+                MapStrategy::default(),
+                true,
+                None,
+            )
+            .expect("SPD");
+            let evd = run_distributed_prepared(
+                r,
+                CostModel::bluegene_p(),
+                &ap,
+                &sym,
+                &perm,
+                MapStrategy::default(),
+                false,
+                None,
+            )
+            .expect("SPD");
+            let hidden: f64 = evd.stats.iter().map(|s| s.comm_hidden_s).sum();
+            let identical = evd.factor.max_abs_diff(&sync.factor) == 0.0;
+            t.row(vec![
+                p.name.into(),
+                r.to_string(),
+                fmt_time(sync.factor_time_s),
+                fmt_time(evd.factor_time_s),
+                format!("{:.3}x", evd.factor_time_s / sync.factor_time_s),
+                fmt_time(hidden),
+                if identical { "yes" } else { "NO" }.into(),
+            ]);
+        }
+    }
+    t.emit("a7_schedule");
 }

@@ -15,16 +15,45 @@
 
 use parfact_dense::blas::trsm_right_lt;
 use parfact_dense::chol;
-use parfact_mpsim::collective::{bcast, Group};
+use parfact_mpsim::collective::{bcast, ibcast, Group};
 use parfact_mpsim::Rank;
 use std::collections::BTreeMap;
 
 use crate::error::FactorError;
 
-/// Message-tag phases, combined with the supernode id by [`tag`].
+// ---------------------------------------------------------------------------
+// Message-tag namespace.
+//
+// Every message in the distributed engine is tagged `tag(s, phase)` where
+// `s` is a supernode id and `phase` one of the constants below. The
+// invariant that keeps `(src, tag)` matching unambiguous is:
+//
+//   * phases are unique and `< PHASE_LIMIT` (tags pack as
+//     `s * PHASE_LIMIT + phase`), and
+//   * within one `(src, dst, s, phase)` stream, messages are consumed in
+//     the order they were sent (mpsim queues are FIFO per `(src, tag)`).
+//
+// All tags — factorization broadcasts, extend-adds, the factor gather and
+// the five solve phases — MUST go through [`tag`] so the namespace stays
+// collision-free as phases are added; `tag` debug-asserts the bound.
+// ---------------------------------------------------------------------------
+
+/// Panel factorization phases (factorize).
 pub const PHASE_L11: u64 = 1;
 pub const PHASE_ROWCAST: u64 = 2;
 pub const PHASE_COLCAST: u64 = 3;
+/// Factor gather to rank 0 after factorization.
+pub const PHASE_GATHER: u64 = 6;
+/// Extend-add contribution of child supernode `s` into its parent.
+pub const PHASE_EXTADD: u64 = 7;
+/// Triangular-solve phases.
+pub const PHASE_FWD_PANEL: u64 = 9;
+pub const PHASE_FWD_CONTRIB: u64 = 10;
+pub const PHASE_BWD_PANEL: u64 = 11;
+pub const PHASE_BWD_XROWS: u64 = 12;
+pub const PHASE_GATHER_X: u64 = 13;
+/// Exclusive upper bound of the phase sub-namespace.
+pub const PHASE_LIMIT: u64 = 16;
 
 /// A front distributed block-cyclically over a process grid.
 pub struct DistFront {
@@ -137,22 +166,44 @@ impl DistFront {
     /// Distributed right-looking partial Cholesky of the leading `w`
     /// columns: per panel, factor the diagonal block, scale the panel,
     /// broadcast the pieces row-wise and the transposed operands
-    /// column-wise (binomial trees), then apply the trailing update. The
-    /// structure supports deferring the drain across panels (lookahead) via
-    /// `pending`, but eager draining measured faster on the α-β model and
-    /// is the default — see DESIGN.md "Implementation findings".
+    /// column-wise (binomial trees), then apply the trailing update.
+    ///
+    /// With `overlap` set, panel `bk`'s drain is deferred by one iteration
+    /// (lookahead window of 1): only its own block column is brought
+    /// current before panel `bk+1`'s broadcasts post, the rest drains
+    /// *after* those broadcasts are in flight, and the broadcasts
+    /// themselves forward with [`ibcast`] so their β transfer time hides
+    /// under the deferred drain's compute. Under blocking sends lookahead
+    /// measured slower (the forwarding ranks sat on the critical path
+    /// either way); with nonblocking forwards the freed sender time is
+    /// exactly what the drain fills — see DESIGN.md "Communication
+    /// overlap".
+    ///
     /// Per-entry accumulation order matches the sequential kernel exactly
-    /// (ascending panels), so results are bitwise identical to it.
+    /// regardless of `overlap` (each entry still receives panel updates in
+    /// ascending panel order), so results are bitwise identical to it.
     ///
     /// `col_base` converts pivot indices into matrix columns for error
     /// reporting. Every rank of the grid must call this.
-    pub fn factorize(&mut self, rank: &mut Rank, col_base: usize) -> Result<(), FactorError> {
+    pub fn factorize(
+        &mut self,
+        rank: &mut Rank,
+        col_base: usize,
+        overlap: bool,
+    ) -> Result<(), FactorError> {
         let (nb, pr, pc, w) = (self.nb, self.pr, self.pc, self.w);
         let nblk = self.nblk();
         let npanels = w.div_ceil(nb);
         let t_l11 = tag(self.s, PHASE_L11);
         let t_row = tag(self.s, PHASE_ROWCAST);
         let t_col = tag(self.s, PHASE_COLCAST);
+        let cast = |rank: &mut Rank, group: &Group, root: usize, v: Option<Vec<f64>>, t: u64| {
+            if overlap {
+                ibcast(rank, group, root, v, t)
+            } else {
+                bcast(rank, group, root, v, t)
+            }
+        };
         // Binomial-tree communicators along my grid row and column.
         let my_row_group = Group::new((0..pc).map(|gc| self.rank_at(self.my.0, gc)).collect());
         let my_col_group = Group::new((0..pr).map(|gr| self.rank_at(gr, self.my.1)).collect());
@@ -164,9 +215,9 @@ impl DistFront {
             let (br, bc) = (bk % pr, bk % pc);
             let m_bk = self.mrows(bk);
 
-            // --- A. Bring this panel's block column current. (With eager
-            // draining `pending` is always empty here; the hook remains for
-            // experimenting with lookahead depths.) ---
+            // --- A. Bring this panel's block column current. (Eager
+            // draining keeps `pending` empty here; with `overlap` this is
+            // the first half of draining panel bk-1.) ---
             if let Some(p) = &pending {
                 self.apply_panel(p, rank, |bj| bj == bk);
             }
@@ -189,7 +240,7 @@ impl DistFront {
             }
             if self.my.1 == bc && pr > 1 {
                 let root = if self.my == (br, bc) { Some(l11) } else { None };
-                l11 = bcast(rank, &my_col_group, br, root, t_l11);
+                l11 = cast(rank, &my_col_group, br, root, t_l11);
             }
 
             // --- B2. Panel scaling: L21 = A21 L11^{-T} on grid column bc. ---
@@ -225,7 +276,7 @@ impl DistFront {
                     } else {
                         None
                     };
-                    bcast(rank, &my_row_group, bc, root, t_row)
+                    cast(rank, &my_row_group, bc, root, t_row)
                 };
                 arows[bi - bk] = Some(piece);
             }
@@ -247,23 +298,31 @@ impl DistFront {
                     } else {
                         None
                     };
-                    bcast(rank, &my_col_group, sr, root, t_col)
+                    cast(rank, &my_col_group, sr, root, t_col)
                 };
                 bops[bj - bk] = Some(piece);
             }
 
-            // --- C. Drain this panel eagerly. Lookahead variants (keeping
-            // the drain pending across iterations) measured *slower* on the
-            // simulated machine: the binomial forwarding ranks end up on the
-            // critical path either way, and deferred drains lengthen it.
+            // --- C. Drain. Without overlap: apply this panel eagerly.
+            // With overlap: finish draining panel bk-1 (every column except
+            // bk, which step A already brought current) now that panel bk's
+            // broadcasts are in flight, and keep panel bk pending — its
+            // transfer time hides under this compute. ---
             let current = PanelPieces {
                 bk,
                 jb,
                 arows,
                 bops,
             };
-            self.apply_panel(&current, rank, |_| true);
-            pending = None;
+            if overlap {
+                if let Some(p) = pending.take() {
+                    self.apply_panel(&p, rank, |bj| bj != bk);
+                }
+                pending = Some(current);
+            } else {
+                self.apply_panel(&current, rank, |_| true);
+                pending = None;
+            }
         }
         if let Some(p) = pending.take() {
             self.apply_panel(&p, rank, |_| true);
@@ -330,9 +389,15 @@ struct PanelPieces {
 }
 
 /// Tag for `(supernode, phase)` — phases within a supernode are disjoint,
-/// and supernode ids never repeat across the run.
+/// and supernode ids never repeat across the run. This is the single tag
+/// constructor for the whole distributed engine; see the namespace notes
+/// at the top of this module.
 pub fn tag(s: usize, phase: u64) -> u64 {
-    (s as u64) * 16 + phase
+    debug_assert!(
+        phase < PHASE_LIMIT,
+        "tag phase {phase} outside the {PHASE_LIMIT}-wide namespace"
+    );
+    (s as u64) * PHASE_LIMIT + phase
 }
 
 /// Flop count of a partial factorization of `npiv` columns in an

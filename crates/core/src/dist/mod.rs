@@ -30,9 +30,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Extend-add message tag: the namespace is per *child* (sender side), so
-/// concurrent children of one parent cannot collide.
+/// concurrent children of one parent cannot collide. Goes through the
+/// single [`front::tag`] constructor like every other tag in the engine.
 fn ext_tag(child: usize) -> u64 {
-    (child as u64) * 16 + 7
+    front::tag(child, front::PHASE_EXTADD)
 }
 
 /// Per-rank factor state after a distributed factorization.
@@ -49,14 +50,12 @@ impl RankFactor {
     /// distributed supernodes).
     pub fn factor_bytes(&self, sym: &Symbolic) -> usize {
         let mut b = 0usize;
-        for (s, p) in &self.local_panels {
-            let _ = s;
+        for p in self.local_panels.values() {
             b += p.len() * 8;
         }
         for (s, df) in &self.dist_blocks {
             let w = sym.sn_width(*s);
-            for (&(bi, bj), blk) in &df.blocks {
-                let _ = bi;
+            for (&(_, bj), blk) in &df.blocks {
                 if bj * df.nb < w {
                     b += blk.len() * 8;
                 }
@@ -70,128 +69,268 @@ impl RankFactor {
 /// only**, in the canonical enumeration order both sides can regenerate.
 type ExtBuf = Vec<f64>;
 
+/// Mutable per-rank state threaded through the supernode processors.
+struct RankState {
+    out: RankFactor,
+    /// Updates of locally-factored supernodes awaiting a local parent.
+    local_updates: HashMap<usize, UpdateMatrix>,
+    /// Extend-add contributions this rank stashed for itself (dest == self).
+    self_stash: HashMap<u64, ExtBuf>,
+    scatter: FrontScatter,
+    front_buf: Vec<f64>,
+}
+
 /// The SPMD factorization program. All ranks call this with identical
 /// (replicated) `ap`, `sym`, `map`. Only `FactorKind::Llt` is supported
 /// distributed (the paper's SPD scaling study); use the SMP/seq engines for
 /// LDLᵀ.
+///
+/// With `sync` set, every rank walks its supernodes in strict postorder
+/// over blocking sends/receives — the ablation baseline (EXP-A7).
+/// Otherwise the rank runs an **event-driven schedule**: distributed
+/// supernodes keep their postorder (their collectives must line up across
+/// the group), but local subtrees are moved around them by deadline — a
+/// subtree must finish before the distributed ancestor that consumes its
+/// update runs, and is otherwise free to fill the gaps while extend-add
+/// messages for the next distributed front are still in flight. Sends go
+/// out nonblocking ([`Rank::isend`]) so their modelled transfer time hides
+/// under that compute. Factors are **bitwise identical** either way:
+/// message matching stays `(src, tag)` and extend-add contributions are
+/// accumulated in canonical (child ascending, source-rank ascending) order
+/// no matter when they arrived.
 pub fn factorize_rank(
     rank: &mut Rank,
     ap: &CscMatrix,
     sym: &Symbolic,
     map: &Mapping,
+    sync: bool,
 ) -> Result<RankFactor, FactorError> {
     let me = rank.rank();
     let nsuper = sym.nsuper();
-    let mut out = RankFactor {
-        local_panels: HashMap::new(),
-        dist_blocks: HashMap::new(),
+    let mut st = RankState {
+        out: RankFactor {
+            local_panels: HashMap::new(),
+            dist_blocks: HashMap::new(),
+        },
+        local_updates: HashMap::new(),
+        self_stash: HashMap::new(),
+        scatter: FrontScatter::new(sym.n),
+        front_buf: Vec::new(),
     };
-    // Updates of locally-factored supernodes awaiting a local parent.
-    let mut local_updates: HashMap<usize, UpdateMatrix> = HashMap::new();
-    // Extend-add contributions this rank stashed for itself (dest == self).
-    let mut self_stash: HashMap<u64, ExtBuf> = HashMap::new();
-    let mut scatter = FrontScatter::new(sym.n);
-    let mut front_buf: Vec<f64> = Vec::new();
 
-    for s in 0..nsuper {
-        if !map.participates(s, me) {
-            continue;
-        }
-        let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
-        let w = c1 - c0;
-        let f = sym.front_order(s);
-        let parent = sym.tree.parent[s];
-        match map.layout[s] {
-            Layout::Local => {
-                // Children of a local supernode are local on this rank.
-                let child_updates: Vec<UpdateMatrix> = sym.tree.children[s]
-                    .iter()
-                    .map(|&c| local_updates.remove(&c).expect("local child update"))
-                    .collect();
-                rank.alloc(f * f * 8);
-                assemble_front(ap, sym, s, &mut scatter, &child_updates, &mut front_buf);
-                rank.compute(assembly_flops(sym, &child_updates));
-                chol::partial_potrf(f, w, &mut front_buf, f)
-                    .map_err(|e| FactorError::from_dense(e, c0))?;
-                rank.compute(front::flops_partial(f, w));
-                let panel = extract_panel(&front_buf, f, w);
-                rank.alloc(panel.len() * 8);
-                out.local_panels.insert(s, panel);
-                if f > w {
-                    let upd = extract_update(sym, s, &front_buf, f);
-                    route_update(
-                        rank,
-                        sym,
-                        map,
-                        s,
-                        parent,
-                        upd,
-                        &mut local_updates,
-                        &mut self_stash,
-                    );
-                }
-                rank.free(f * f * 8);
+    if sync {
+        for s in 0..nsuper {
+            if !map.participates(s, me) {
+                continue;
             }
-            Layout::Grid { pr, pc, nb } => {
-                let lo = map.group[s].0;
-                let mut df = DistFront::new(s, f, w, pr, pc, nb, lo, rank);
-                // Assemble my share of the original-matrix entries.
-                scatter.set(sym, s);
-                let mut nassemble = 0usize;
-                for c in c0..c1 {
-                    let (rows, vals) = ap.col(c);
-                    let lj = c - c0;
-                    for (&r, &v) in rows.iter().zip(vals) {
-                        let li = scatter.local(r);
-                        if df.owns_entry(li, lj) {
-                            df.add(li, lj, v);
-                            nassemble += 1;
-                        }
-                    }
-                }
-                rank.compute(nassemble as f64);
-                // Receive extend-add contributions: one message from every
-                // rank of every child's group (children in ascending order,
-                // sources in group order — deterministic accumulation).
-                for &c in &sym.tree.children[s] {
-                    let (clo, chi) = map.group[c];
-                    let plocal = parent_local_map(sym, s, &sym.sn_rows[c], w, c0);
-                    for q in clo..chi {
-                        let vals = if q == me {
-                            self_stash.remove(&ext_tag(c)).unwrap_or_default()
-                        } else {
-                            rank.recv::<ExtBuf>(q, ext_tag(c))
-                        };
-                        // Walk q's canonical coordinate stream; my share of
-                        // the values arrives in exactly that order.
-                        let mut next = 0usize;
-                        enumerate_child_schur_coords(sym, map, c, q, |i_idx, j_idx| {
-                            // plocal is monotone, so i_idx >= j_idx keeps
-                            // (gi, gj) in the lower triangle.
-                            let (gi, gj) = (plocal[i_idx], plocal[j_idx]);
-                            if df.owns_entry(gi, gj) {
-                                df.add(gi, gj, vals[next]);
-                                next += 1;
-                            }
-                        });
-                        debug_assert_eq!(next, vals.len(), "extend-add stream mismatch");
-                        rank.compute(vals.len() as f64);
-                    }
-                }
-                // Distributed partial factorization.
-                df.factorize(rank, c0)?;
-                // Ship the Schur complement to the parent.
-                if f > w && parent != NONE {
-                    send_dist_update(rank, sym, map, s, parent, &df, &mut self_stash);
-                }
-                // Retain pivot blocks; release pure-Schur blocks.
-                let released = release_schur_blocks(&mut df);
-                rank.free(released);
-                out.dist_blocks.insert(s, df);
+            match map.layout[s] {
+                Layout::Local => do_local(rank, ap, sym, map, s, sync, &mut st)?,
+                Layout::Grid { .. } => do_grid(rank, ap, sym, map, s, sync, &mut st, None)?,
+            }
+        }
+        return Ok(st.out);
+    }
+
+    let sched = map.rank_schedule(sym, me);
+    let mut next = 0usize; // next unprocessed entry of sched.local
+    for (gi, &g) in sched.grid.iter().enumerate() {
+        // Local subtrees due at this distributed front must finish first:
+        // peer ranks of the group block on their extend-add contributions,
+        // and entering the front's collectives while they still wait would
+        // deadlock the group.
+        while next < sched.local.len() && sched.local[next].0 <= gi {
+            do_local(rank, ap, sym, map, sched.local[next].1, sync, &mut st)?;
+            next += 1;
+        }
+        // Probe the extend-add messages this front expects. `probe_all`
+        // waits (physically) until every header is posted but leaves the
+        // virtual clock untouched — the latest arrival is the horizon the
+        // front cannot start before, so any local subtree whose estimated
+        // cost fits below it runs for free, hidden under the wait.
+        let expected = expected_ext_keys(sym, map, g, me);
+        let arrivals = rank.probe_all(&expected);
+        let horizon = arrivals.iter().fold(rank.clock(), |m, &a| m.max(a));
+        while next < sched.local.len() {
+            let s = sched.local[next].1;
+            if rank.clock() + local_cost_estimate(sym, s, rank.model()) > horizon {
+                break;
+            }
+            do_local(rank, ap, sym, map, s, sync, &mut st)?;
+            next += 1;
+        }
+        // Drain the messages in virtual-arrival order, then let `do_grid`
+        // fold the buffers in canonical order (bitwise determinism).
+        let mut bufs: HashMap<(usize, u64), ExtBuf> = HashMap::new();
+        let mut keys = expected;
+        while !keys.is_empty() {
+            let (i, buf) = rank.wait_any::<ExtBuf>(&keys);
+            bufs.insert(keys[i], buf);
+            keys.swap_remove(i);
+        }
+        do_grid(rank, ap, sym, map, g, sync, &mut st, Some(bufs))?;
+    }
+    // Local subtrees nothing distributed ever consumes (they end at roots).
+    while next < sched.local.len() {
+        do_local(rank, ap, sym, map, sched.local[next].1, sync, &mut st)?;
+        next += 1;
+    }
+    Ok(st.out)
+}
+
+/// Factor one single-rank supernode (sequential kernel) and route its
+/// update toward the parent.
+fn do_local(
+    rank: &mut Rank,
+    ap: &CscMatrix,
+    sym: &Symbolic,
+    map: &Mapping,
+    s: usize,
+    sync: bool,
+    st: &mut RankState,
+) -> Result<(), FactorError> {
+    let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+    let w = c1 - c0;
+    let f = sym.front_order(s);
+    let parent = sym.tree.parent[s];
+    // Children of a local supernode are local on this rank.
+    let child_updates: Vec<UpdateMatrix> = sym.tree.children[s]
+        .iter()
+        .map(|&c| st.local_updates.remove(&c).expect("local child update"))
+        .collect();
+    rank.alloc(f * f * 8);
+    assemble_front(
+        ap,
+        sym,
+        s,
+        &mut st.scatter,
+        &child_updates,
+        &mut st.front_buf,
+    );
+    rank.compute(assembly_flops(sym, &child_updates));
+    chol::partial_potrf(f, w, &mut st.front_buf, f).map_err(|e| FactorError::from_dense(e, c0))?;
+    rank.compute(front::flops_partial(f, w));
+    let panel = extract_panel(&st.front_buf, f, w);
+    rank.alloc(panel.len() * 8);
+    st.out.local_panels.insert(s, panel);
+    if f > w {
+        let upd = extract_update(sym, s, &st.front_buf, f);
+        route_update(rank, sym, map, s, parent, upd, sync, st);
+    }
+    rank.free(f * f * 8);
+    Ok(())
+}
+
+/// Factor one distributed supernode: assemble A entries and extend-add
+/// contributions (from `bufs` when the event-driven scheduler pre-drained
+/// them, from blocking receives otherwise), run the block-cyclic partial
+/// factorization, and ship the Schur complement to the parent.
+#[allow(clippy::too_many_arguments)]
+fn do_grid(
+    rank: &mut Rank,
+    ap: &CscMatrix,
+    sym: &Symbolic,
+    map: &Mapping,
+    s: usize,
+    sync: bool,
+    st: &mut RankState,
+    mut bufs: Option<HashMap<(usize, u64), ExtBuf>>,
+) -> Result<(), FactorError> {
+    let me = rank.rank();
+    let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+    let w = c1 - c0;
+    let f = sym.front_order(s);
+    let parent = sym.tree.parent[s];
+    let Layout::Grid { pr, pc, nb } = map.layout[s] else {
+        unreachable!("do_grid on a local supernode");
+    };
+    let lo = map.group[s].0;
+    let mut df = DistFront::new(s, f, w, pr, pc, nb, lo, rank);
+    // Assemble my share of the original-matrix entries.
+    st.scatter.set(sym, s);
+    let mut nassemble = 0usize;
+    for c in c0..c1 {
+        let (rows, vals) = ap.col(c);
+        let lj = c - c0;
+        for (&r, &v) in rows.iter().zip(vals) {
+            let li = st.scatter.local(r);
+            if df.owns_entry(li, lj) {
+                df.add(li, lj, v);
+                nassemble += 1;
             }
         }
     }
-    Ok(out)
+    rank.compute(nassemble as f64);
+    // Fold extend-add contributions: one message from every rank of every
+    // child's group, accumulated children-ascending, sources in group
+    // order — the canonical order both schedules share.
+    for &c in &sym.tree.children[s] {
+        let (clo, chi) = map.group[c];
+        let plocal = parent_local_map(sym, s, &sym.sn_rows[c], w, c0);
+        for q in clo..chi {
+            let vals = if q == me {
+                st.self_stash.remove(&ext_tag(c)).unwrap_or_default()
+            } else if let Some(bufs) = bufs.as_mut() {
+                bufs.remove(&(q, ext_tag(c)))
+                    .expect("pre-drained extend-add buffer")
+            } else {
+                rank.recv::<ExtBuf>(q, ext_tag(c))
+            };
+            // Walk q's canonical coordinate stream; my share of the values
+            // arrives in exactly that order.
+            let mut next = 0usize;
+            enumerate_child_schur_coords(sym, map, c, q, |i_idx, j_idx| {
+                // plocal is monotone, so i_idx >= j_idx keeps (gi, gj) in
+                // the lower triangle.
+                let (gi, gj) = (plocal[i_idx], plocal[j_idx]);
+                if df.owns_entry(gi, gj) {
+                    df.add(gi, gj, vals[next]);
+                    next += 1;
+                }
+            });
+            debug_assert_eq!(next, vals.len(), "extend-add stream mismatch");
+            rank.compute(vals.len() as f64);
+        }
+    }
+    // Distributed partial factorization (panel lookahead when async).
+    df.factorize(rank, c0, !sync)?;
+    // Ship the Schur complement to the parent.
+    if f > w && parent != NONE {
+        send_dist_update(rank, sym, map, s, parent, &df, sync, &mut st.self_stash);
+    }
+    // Retain pivot blocks; release pure-Schur blocks.
+    let released = release_schur_blocks(&mut df);
+    rank.free(released);
+    st.out.dist_blocks.insert(s, df);
+    Ok(())
+}
+
+/// The `(src, tag)` keys of every extend-add message distributed supernode
+/// `s` expects from remote ranks.
+fn expected_ext_keys(sym: &Symbolic, map: &Mapping, s: usize, me: usize) -> Vec<(usize, u64)> {
+    let mut keys = Vec::new();
+    for &c in &sym.tree.children[s] {
+        let (clo, chi) = map.group[c];
+        for q in clo..chi {
+            if q != me {
+                keys.push((q, ext_tag(c)));
+            }
+        }
+    }
+    keys
+}
+
+/// Modelled seconds a local supernode's factorization will take — the
+/// greedy-fill budget check of the event-driven scheduler. Mirrors the
+/// `compute` charges of [`do_local`] (assembly + partial factorization).
+fn local_cost_estimate(sym: &Symbolic, s: usize, model: &parfact_mpsim::model::CostModel) -> f64 {
+    let f = sym.front_order(s);
+    let w = sym.sn_width(s);
+    let mut fl = front::flops_partial(f, w);
+    for &c in &sym.tree.children[s] {
+        let r = sym.front_order(c) - sym.sn_width(c);
+        fl += (r * (r + 1) / 2) as f64;
+    }
+    fl * model.flop_time_s
 }
 
 /// Approximate assembly cost: one add per update entry.
@@ -209,7 +348,10 @@ fn assembly_flops(sym: &Symbolic, updates: &[UpdateMatrix]) -> f64 {
 ///
 /// Extend-add messages carry **values only**: the coordinate stream is
 /// deterministic (canonical enumeration order shared by sender and
-/// receiver), so indices never go on the wire.
+/// receiver), so indices never go on the wire. The async schedule sends
+/// them nonblocking — the receiver matches by `(src, tag)` whenever it
+/// gets there, and the modelled transfer hides under the sender's
+/// subsequent compute.
 #[allow(clippy::too_many_arguments)]
 fn route_update(
     rank: &mut Rank,
@@ -218,14 +360,14 @@ fn route_update(
     s: usize,
     parent: usize,
     upd: UpdateMatrix,
-    local_updates: &mut HashMap<usize, UpdateMatrix>,
-    self_stash: &mut HashMap<u64, ExtBuf>,
+    sync: bool,
+    st: &mut RankState,
 ) {
     debug_assert_ne!(parent, NONE);
     match map.layout[parent] {
         Layout::Local => {
             // Parent runs on this same rank (nested ranges).
-            local_updates.insert(s, upd);
+            st.local_updates.insert(s, upd);
         }
         Layout::Grid { pr, pc, nb } => {
             let (plo, _) = map.group[parent];
@@ -252,9 +394,11 @@ fn route_update(
             for (rel, buf) in bufs.into_iter().enumerate() {
                 let dst = plo + rel;
                 if dst == rank.rank() {
-                    self_stash.insert(ext_tag(s), buf);
-                } else {
+                    st.self_stash.insert(ext_tag(s), buf);
+                } else if sync {
                     rank.send(dst, ext_tag(s), buf);
+                } else {
+                    rank.isend(dst, ext_tag(s), buf);
                 }
             }
         }
@@ -263,6 +407,7 @@ fn route_update(
 
 /// Send a distributed front's Schur entries to the parent's owners
 /// (values only; coordinates are regenerated by the receiver).
+#[allow(clippy::too_many_arguments)]
 fn send_dist_update(
     rank: &mut Rank,
     sym: &Symbolic,
@@ -270,6 +415,7 @@ fn send_dist_update(
     s: usize,
     parent: usize,
     df: &DistFront,
+    sync: bool,
     self_stash: &mut HashMap<u64, ExtBuf>,
 ) {
     let w = df.w;
@@ -295,8 +441,10 @@ fn send_dist_update(
                 let dst = plo + rel;
                 if dst == rank.rank() {
                     self_stash.insert(ext_tag(s), buf);
-                } else {
+                } else if sync {
                     rank.send(dst, ext_tag(s), buf);
+                } else {
+                    rank.isend(dst, ext_tag(s), buf);
                 }
             }
         }
@@ -442,7 +590,7 @@ pub fn gather_factor(
     rf: &RankFactor,
     perm: Perm,
 ) -> Option<Factor> {
-    const TAG_GATHER: u64 = 6;
+    const TAG_GATHER: u64 = front::PHASE_GATHER;
     let me = rank.rank();
     let nsuper = sym.nsuper();
     if me != 0 {
@@ -602,9 +750,10 @@ impl DistOutcome {
 }
 
 /// Run ordering + analysis on the host, then factor (and optionally solve)
-/// on a simulated `p`-rank machine. Panics if the matrix is not SPD — the
+/// on a simulated `p`-rank machine with the event-driven schedule. The
 /// distributed engine is `LLᵀ` only, mirroring the paper's SPD scaling
-/// study.
+/// study; a matrix that is not SPD returns
+/// [`FactorError::NotPositiveDefinite`] like the host engines.
 pub fn run_distributed(
     p: usize,
     model: parfact_mpsim::model::CostModel,
@@ -613,9 +762,9 @@ pub fn run_distributed(
     amalg: &parfact_symbolic::AmalgOpts,
     strategy: crate::mapping::MapStrategy,
     b: Option<&[f64]>,
-) -> DistOutcome {
+) -> Result<DistOutcome, FactorError> {
     let (sym, ap, total_perm) = prepare(a, ordering, amalg);
-    run_distributed_prepared(p, model, &ap, &sym, &total_perm, strategy, b)
+    run_distributed_prepared(p, model, &ap, &sym, &total_perm, strategy, false, b)
 }
 
 /// Host-side ordering + symbolic analysis, reusable across rank counts.
@@ -632,7 +781,16 @@ pub fn prepare(
 }
 
 /// Factor (and optionally solve) a prepared problem on a simulated
-/// `p`-rank machine. See [`run_distributed`].
+/// `p`-rank machine. See [`run_distributed`]. `sync_schedule` selects the
+/// strict-postorder blocking schedule (the EXP-A7 ablation baseline)
+/// instead of the event-driven one; factors are bitwise identical either
+/// way.
+///
+/// A rank that hits a numeric error (e.g. a non-SPD pivot) returns it
+/// through [`parfact_mpsim::Machine::run_result`]: its peers are unblocked
+/// by the simulator and the first error (lowest rank) comes back as `Err`
+/// — no panic, no hang.
+#[allow(clippy::too_many_arguments)]
 pub fn run_distributed_prepared(
     p: usize,
     model: parfact_mpsim::model::CostModel,
@@ -640,8 +798,9 @@ pub fn run_distributed_prepared(
     sym: &Arc<Symbolic>,
     total_perm: &Perm,
     strategy: crate::mapping::MapStrategy,
+    sync_schedule: bool,
     b: Option<&[f64]>,
-) -> DistOutcome {
+) -> Result<DistOutcome, FactorError> {
     use parfact_mpsim::Machine;
     let map = crate::mapping::map_tree(sym, p, strategy);
     assert!(map.validate(sym), "invalid mapping");
@@ -655,9 +814,8 @@ pub fn run_distributed_prepared(
         Option<Factor>,
         Option<Vec<f64>>,
     );
-    let report = Machine::new(p, model).run(|rank| -> RankOut {
-        let rf = factorize_rank(rank, ap, sym, &map)
-            .unwrap_or_else(|e| panic!("distributed factorization failed: {e}"));
+    let report = Machine::new(p, model).run_result(|rank| -> Result<RankOut, FactorError> {
+        let rf = factorize_rank(rank, ap, sym, &map, sync_schedule)?;
         let t_factor = rank.clock();
         let xp = bp
             .as_ref()
@@ -668,8 +826,8 @@ pub fn run_distributed_prepared(
         // Verification gather happens after the timestamps above.
         let factor = gather_factor(rank, sym, &map, &rf, total_perm.clone());
         let x = xp.map(|xp| total_perm.apply_inv_vec(&xp));
-        (t_factor, t_solve, stats, fbytes, factor, x)
-    });
+        Ok((t_factor, t_solve, stats, fbytes, factor, x))
+    })?;
     let factor_time_s = report.results.iter().fold(0.0f64, |m, r| m.max(r.0));
     let solve_time_s = report.results.iter().fold(0.0f64, |m, r| m.max(r.1));
     let stats: Vec<parfact_mpsim::RankStats> = report.results.iter().map(|r| r.2).collect();
@@ -685,15 +843,15 @@ pub fn run_distributed_prepared(
             x = r.5;
         }
     }
-    DistOutcome {
-        factor: factor.expect("rank 0 must gather the factor"),
+    Ok(DistOutcome {
+        factor: factor.ok_or(FactorError::Internal("rank 0 gathered no factor"))?,
         x,
         factor_time_s,
         solve_time_s,
         stats,
         max_factor_bytes,
         total_flops,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -729,7 +887,8 @@ mod tests {
                 &AmalgOpts::default(),
                 MapStrategy::default(),
                 None,
-            );
+            )
+            .unwrap();
             assert_eq!(
                 out.factor.max_abs_diff(&fseq),
                 0.0,
@@ -754,7 +913,8 @@ mod tests {
                 nb: parfact_dense::chol::NB,
             },
             None,
-        );
+        )
+        .unwrap();
         assert_eq!(out.factor.max_abs_diff(&fseq), 0.0);
     }
 
@@ -773,7 +933,8 @@ mod tests {
                 nb: parfact_dense::chol::NB,
             },
             None,
-        );
+        )
+        .unwrap();
         assert_eq!(out.factor.max_abs_diff(&fseq), 0.0);
     }
 
@@ -795,7 +956,8 @@ mod tests {
                 &AmalgOpts::default(),
                 MapStrategy::Proportional { use_2d: true, nb },
                 None,
-            );
+            )
+            .unwrap();
             let err = reconstruction_error(&out.factor, &ap);
             assert!(err < 1e-10, "nb={nb}: reconstruction error {err}");
         }
@@ -817,7 +979,8 @@ mod tests {
                 &AmalgOpts::default(),
                 MapStrategy::default(),
                 Some(&b),
-            );
+            )
+            .unwrap();
             let x = out.x.expect("solution requested");
             assert!(
                 ops::sym_residual_inf(&a, &x, &b) < 1e-12,
@@ -842,6 +1005,7 @@ mod tests {
             MapStrategy::default(),
             None,
         )
+        .unwrap()
         .factor_time_s;
         let t8 = run_distributed(
             8,
@@ -852,6 +1016,7 @@ mod tests {
             MapStrategy::default(),
             None,
         )
+        .unwrap()
         .factor_time_s;
         assert!(
             t8 < t1 / 1.8,
@@ -875,16 +1040,15 @@ mod tests {
                 None,
             )
         };
-        let m1 = run(1).max_factor_bytes;
-        let m8 = run(8).max_factor_bytes;
+        let m1 = run(1).unwrap().max_factor_bytes;
+        let m8 = run(8).unwrap().max_factor_bytes;
         assert!(m8 < m1, "per-rank factor memory must shrink: {m1} -> {m8}");
     }
 
     #[test]
-    #[should_panic(expected = "distributed factorization failed")]
-    fn dist_panics_on_indefinite() {
+    fn dist_returns_err_on_indefinite() {
         let a = gen::indefinite(40, 2);
-        run_distributed(
+        let r = run_distributed(
             4,
             CostModel::zero_cost(),
             &a,
@@ -893,5 +1057,39 @@ mod tests {
             MapStrategy::default(),
             None,
         );
+        assert!(
+            matches!(r, Err(FactorError::NotPositiveDefinite { .. })),
+            "indefinite input must surface as Err, not a panic"
+        );
+    }
+
+    #[test]
+    fn sync_schedule_matches_async_bitwise() {
+        let a = gen::laplace3d(6, 5, 4, gen::Stencil3d::SevenPoint);
+        let (fseq, _) = seq_reference(&a, Method::default());
+        let (sym, ap, perm) = prepare(&a, Method::default(), &AmalgOpts::default());
+        for p in [2usize, 4, 7] {
+            let run = |sync| {
+                run_distributed_prepared(
+                    p,
+                    CostModel::bluegene_p(),
+                    &ap,
+                    &sym,
+                    &perm,
+                    MapStrategy::default(),
+                    sync,
+                    None,
+                )
+                .unwrap()
+            };
+            let sync = run(true);
+            let async_ = run(false);
+            assert_eq!(
+                async_.factor.max_abs_diff(&sync.factor),
+                0.0,
+                "p={p}: async factor must equal sync-schedule factor bitwise"
+            );
+            assert_eq!(async_.factor.max_abs_diff(&fseq), 0.0, "p={p}: vs seq");
+        }
     }
 }

@@ -16,12 +16,11 @@ use parfact_mpsim::Rank;
 use parfact_symbolic::{Symbolic, NONE};
 use std::collections::HashMap;
 
-/// Tag phases (disjoint from factorization phases in the same namespace).
-const PH_FWD_PANEL: u64 = 9;
-const PH_FWD_CONTRIB: u64 = 10;
-const PH_BWD_PANEL: u64 = 11;
-const PH_BWD_XROWS: u64 = 12;
-const PH_GATHER_X: u64 = 13;
+use front::{
+    PHASE_BWD_PANEL as PH_BWD_PANEL, PHASE_BWD_XROWS as PH_BWD_XROWS,
+    PHASE_FWD_CONTRIB as PH_FWD_CONTRIB, PHASE_FWD_PANEL as PH_FWD_PANEL,
+    PHASE_GATHER_X as PH_GATHER_X,
+};
 
 /// Pivot-column entries of this rank's blocks of supernode `s`, as a
 /// triplet buffer in front-local coordinates.

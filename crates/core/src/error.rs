@@ -18,6 +18,11 @@ pub enum FactorError {
     /// The requested engine/option combination is not implemented (e.g.
     /// LDLᵀ on the distributed engine).
     Unsupported(String),
+    /// An engine invariant broke (e.g. the distributed gather produced no
+    /// factor on the root rank). Always a bug, never a property of the
+    /// input — reported as an error instead of a panic so a long-running
+    /// host survives it.
+    Internal(&'static str),
 }
 
 impl FactorError {
@@ -45,6 +50,7 @@ impl fmt::Display for FactorError {
             FactorError::ZeroPivot { col } => write!(f, "zero pivot at column {col}"),
             FactorError::BadStructure(e) => write!(f, "bad matrix structure: {e}"),
             FactorError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            FactorError::Internal(what) => write!(f, "internal engine invariant broke: {what}"),
         }
     }
 }

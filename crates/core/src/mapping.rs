@@ -167,10 +167,64 @@ pub fn map_tree(sym: &Symbolic, p: usize, strategy: MapStrategy) -> Mapping {
     }
 }
 
+/// One rank's work list for the event-driven scheduler (see
+/// `dist::factorize_rank`): the rank's distributed supernodes in postorder,
+/// plus its local supernodes tagged with the **grid deadline** they feed —
+/// the position in `grid` of the distributed ancestor that consumes their
+/// subtree's update. Every supernode of one local subtree shares its root's
+/// deadline, so sorting by `(deadline, supernode)` groups subtrees by due
+/// date while keeping each subtree internally postordered.
+pub struct RankSchedule {
+    /// Distributed supernodes of this rank, ascending (postorder).
+    pub grid: Vec<usize>,
+    /// `(deadline, supernode)` for every local supernode, sorted. The
+    /// deadline indexes into `grid`; `usize::MAX` means nothing distributed
+    /// ever consumes the subtree (it ends at a root).
+    pub local: Vec<(usize, usize)>,
+}
+
 impl Mapping {
     /// Leader (first rank) of supernode `s`'s group.
     pub fn leader(&self, s: usize) -> usize {
         self.group[s].0
+    }
+
+    /// Build rank `me`'s schedule. Deadlines propagate root-to-leaf inside
+    /// local subtrees: a local supernode with a distributed parent is due
+    /// when that parent runs, and everything below it is due no later
+    /// (postorder stores parents after children, so a descending sweep sees
+    /// parents first).
+    pub fn rank_schedule(&self, sym: &Symbolic, me: usize) -> RankSchedule {
+        let nsuper = sym.nsuper();
+        let grid: Vec<usize> = (0..nsuper)
+            .filter(|&s| self.participates(s, me) && matches!(self.layout[s], Layout::Grid { .. }))
+            .collect();
+        let mut grid_pos = vec![usize::MAX; nsuper];
+        for (i, &g) in grid.iter().enumerate() {
+            grid_pos[g] = i;
+        }
+        let mut deadline = vec![usize::MAX; nsuper];
+        let mut local: Vec<(usize, usize)> = Vec::new();
+        for s in (0..nsuper).rev() {
+            if !self.participates(s, me) || self.layout[s] != Layout::Local {
+                continue;
+            }
+            let p = sym.tree.parent[s];
+            deadline[s] = if p == NONE {
+                usize::MAX
+            } else {
+                match self.layout[p] {
+                    // Nesting puts `me` in the parent's group, so the
+                    // parent is in `grid`.
+                    Layout::Grid { .. } => grid_pos[p],
+                    // A local parent of a local child shares its rank.
+                    Layout::Local => deadline[p],
+                }
+            };
+            local.push((deadline[s], s));
+        }
+        local.sort_unstable();
+        RankSchedule { grid, local }
     }
 
     /// True when `rank` participates in supernode `s`.
@@ -285,6 +339,30 @@ mod tests {
         let sym = sym_for_grid();
         let m = map_tree(&sym, 1, MapStrategy::default());
         assert!(m.layout.iter().all(|&l| l == Layout::Local));
+    }
+
+    #[test]
+    fn rank_schedule_orders_locals_by_deadline() {
+        let sym = sym_for_grid();
+        let p = 8;
+        let m = map_tree(&sym, p, MapStrategy::default());
+        for me in 0..p {
+            let sched = m.rank_schedule(&sym, me);
+            assert!(sched.grid.windows(2).all(|w| w[0] < w[1]), "postorder");
+            assert!(sched.local.windows(2).all(|w| w[0] < w[1]), "sorted");
+            for &(d, s) in &sched.local {
+                assert!(d == usize::MAX || d < sched.grid.len());
+                let par = sym.tree.parent[s];
+                if par != NONE && m.layout[par] == Layout::Local {
+                    // Local subtrees share one deadline and stay internally
+                    // postordered, so running in list order is dependency-safe.
+                    let at = |x| sched.local.iter().position(|&e| e == x).unwrap();
+                    assert!(at((d, par)) > at((d, s)), "child before parent");
+                }
+            }
+            let expect = (0..sym.nsuper()).filter(|&s| m.participates(s, me)).count();
+            assert_eq!(sched.grid.len() + sched.local.len(), expect);
+        }
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub struct DistOpts {
     pub model: CostModel,
     /// Assembly-tree-to-rank mapping strategy.
     pub strategy: MapStrategy,
+    /// Run the strict-postorder blocking schedule instead of the default
+    /// event-driven one (the EXP-A7 ablation baseline). The factor is
+    /// bitwise identical either way; only the simulated clocks differ.
+    pub sync_schedule: bool,
 }
 
 impl Default for DistOpts {
@@ -34,6 +38,7 @@ impl Default for DistOpts {
             ranks: 4,
             model: CostModel::bluegene_p(),
             strategy: MapStrategy::default(),
+            sync_schedule: false,
         }
     }
 }
@@ -157,12 +162,11 @@ pub struct SparseCholesky {
 impl SparseCholesky {
     /// Order, analyze and factor `a` (symmetric-lower CSC).
     ///
-    /// With [`Engine::Dist`], a matrix that is not positive definite
-    /// **panics** instead of returning an error: simulated ranks cannot
-    /// unwind individually without deadlocking their peers, so the whole
-    /// machine aborts. Probe with a host engine first when the matrix is
-    /// suspect. `Dist` + [`FactorKind::Ldlt`] returns
-    /// [`FactorError::Unsupported`].
+    /// All engines share one error contract: a matrix that is not positive
+    /// definite returns [`FactorError::NotPositiveDefinite`]. Under
+    /// [`Engine::Dist`] the failing simulated rank reports the error and
+    /// the machine unblocks its peers — no panic, no hang. `Dist` +
+    /// [`FactorKind::Ldlt`] returns [`FactorError::Unsupported`].
     pub fn factorize(a: &CscMatrix, opts: &FactorOpts) -> Result<Self, FactorError> {
         a.check_sym_lower()?;
         let t0 = Instant::now();
@@ -371,8 +375,16 @@ fn run_engine(
             }
             // Rank statistics come from the simulator and are always
             // collected — the trace level only governs host-side hooks.
-            let out =
-                dist::run_distributed_prepared(d.ranks, d.model, ap, sym, &perm, d.strategy, None);
+            let out = dist::run_distributed_prepared(
+                d.ranks,
+                d.model,
+                ap,
+                sym,
+                &perm,
+                d.strategy,
+                d.sync_schedule,
+                None,
+            )?;
             let counters = out.fold_counters();
             let ranks = out.rank_reports();
             Ok((out.factor, counters, ranks, Vec::new()))

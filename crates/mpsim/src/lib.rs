@@ -13,6 +13,27 @@
 //! same flop/byte/message counts that determine wall-clock time on real
 //! hardware, which is what the scaling experiments measure.
 //!
+//! # Nonblocking communication
+//!
+//! [`Rank::send`] models an eager blocking send: the sender is occupied for
+//! the full `α + bytes·β`. [`Rank::isend`] models a nonblocking send whose
+//! transfer is pipelined by the network: the sender pays only `α`, the
+//! `bytes·β` transfer proceeds in the background (counted in
+//! `comm_hidden_s`), and the message arrives at the receiver at
+//! `clock_after_α + bytes·β`. On the receive side, [`Rank::probe`],
+//! [`Rank::try_recv`] and [`Rank::wait_any`] let a schedule react to what
+//! has *virtually* arrived.
+//!
+//! Determinism is preserved by a strict rule: every nonblocking decision is
+//! a function of **virtual** arrival times, never of host-thread timing.
+//! An operation that needs to know an arrival time physically blocks the OS
+//! thread (without advancing the virtual clock) until the message is
+//! posted, then decides. This is safe for SPMD programs in which every
+//! expected message is eventually sent without further action from the
+//! waiter; genuine protocol errors are caught by all-ranks-blocked deadlock
+//! detection, which aborts the run with a per-rank diagnostic instead of
+//! hanging.
+//!
 //! ```
 //! use parfact_mpsim::{Machine, model::CostModel};
 //!
@@ -52,16 +73,122 @@ struct Msg {
 }
 
 #[derive(Default)]
+struct Queues {
+    map: HashMap<(usize, u64), std::collections::VecDeque<Msg>>,
+    /// Messages currently queued (all keys).
+    depth: usize,
+    /// High-water mark of `depth`. A physical diagnostic of buffering
+    /// pressure: it can vary run-to-run with host scheduling (unlike clocks
+    /// and numeric results, which are deterministic).
+    depth_peak: usize,
+}
+
+impl Queues {
+    fn head_arrival(&self, key: &(usize, u64)) -> Option<f64> {
+        self.map.get(key).and_then(|q| q.front()).map(|m| m.arrival)
+    }
+}
+
+#[derive(Default)]
 struct Mailbox {
-    queues: Mutex<HashMap<(usize, u64), std::collections::VecDeque<Msg>>>,
+    queues: Mutex<Queues>,
     signal: Condvar,
+}
+
+/// Deadlock-detection registry: which ranks are parked in a blocking
+/// receive (and on which keys), and which have finished their program and
+/// can never send again.
+#[derive(Default)]
+struct WaitState {
+    blocked: Vec<Option<Vec<(usize, u64)>>>,
+    done: Vec<bool>,
 }
 
 struct Shared {
     boxes: Vec<Mailbox>,
     failed: AtomicBool,
+    /// Registry used only for deadlock detection — see `register_blocked`.
+    waiting: Mutex<WaitState>,
+    /// Diagnostic set by the rank that detects an all-ranks-blocked
+    /// deadlock; every parked rank re-raises it.
+    deadlock: Mutex<Option<String>>,
     model: CostModel,
 }
+
+impl Shared {
+    /// With the `waiting` lock held: if every rank is either finished or
+    /// parked, and no parked rank's keys have a posted message anywhere,
+    /// the blockage can never resolve — record a per-rank diagnostic, set
+    /// the failure flag and wake everyone.
+    ///
+    /// Lock order: `waiting` before any mailbox `queues`; waiters never
+    /// hold their own `queues` lock while taking `waiting`.
+    fn deadlock_scan(&self, w: &WaitState) {
+        // A run that already failed (peer panic or error) aborts through
+        // the failure flag; a deadlock verdict now would be spurious and
+        // could mask the real panic.
+        if self.failed.load(Ordering::SeqCst) {
+            return;
+        }
+        let any_blocked = w.blocked.iter().any(Option::is_some);
+        let all_stuck = any_blocked
+            && w.done
+                .iter()
+                .zip(&w.blocked)
+                .all(|(&done, blocked)| done || blocked.is_some());
+        if !all_stuck {
+            return;
+        }
+        let live = w.blocked.iter().enumerate().any(|(r, entry)| match entry {
+            Some(keys) => {
+                let q = self.boxes[r].queues.lock();
+                keys.iter().any(|k| q.head_arrival(k).is_some())
+            }
+            None => false,
+        });
+        if live {
+            return;
+        }
+        use std::fmt::Write;
+        let mut diag = String::from(
+            "mpsim deadlock: every rank is finished or blocked in recv \
+             with no matching message in flight\n",
+        );
+        for (r, entry) in w.blocked.iter().enumerate() {
+            match entry {
+                Some(keys) => {
+                    let list = keys
+                        .iter()
+                        .map(|(s, t)| format!("(src={s}, tag={t})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let _ = writeln!(diag, "  rank {r} waiting on: {list}");
+                }
+                None => {
+                    let _ = writeln!(diag, "  rank {r} finished");
+                }
+            }
+        }
+        *self.deadlock.lock() = Some(diag);
+        self.failed.store(true, Ordering::SeqCst);
+        for b in &self.boxes {
+            b.signal.notify_all();
+        }
+    }
+
+    /// Mark rank `r`'s program as completed: it can never send again, so a
+    /// deadlock among the remaining ranks may now be decidable.
+    fn mark_done(&self, r: usize) {
+        let mut w = self.waiting.lock();
+        w.done[r] = true;
+        self.deadlock_scan(&w);
+    }
+}
+
+/// Panic payload used to abort ranks that are blocked on a peer which
+/// panicked or returned an error. Filtered out when the machine picks which
+/// panic to propagate.
+struct PeerAborted;
 
 /// Per-rank execution statistics (virtual time and counters).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -72,6 +199,12 @@ pub struct RankStats {
     pub compute_s: f64,
     /// Virtual seconds spent in communication (send occupancy + recv waits).
     pub comm_s: f64,
+    /// Modelled transfer seconds hidden under compute by [`Rank::isend`]:
+    /// `bytes·β` that never occupied the sender's clock.
+    pub comm_hidden_s: f64,
+    /// Peak number of messages queued at this rank's mailbox at once
+    /// (physical high-water mark; diagnostic, not deterministic).
+    pub queue_peak: u64,
     /// Floating-point operations executed (as reported via `compute`).
     pub flops: f64,
     /// Payload bytes sent.
@@ -92,12 +225,24 @@ impl RankStats {
             clock_s: self.clock_s,
             compute_s: self.compute_s,
             comm_s: self.comm_s,
+            comm_hidden_s: self.comm_hidden_s,
+            queue_peak: self.queue_peak,
             flops: self.flops,
             bytes_sent: self.bytes_sent,
             msgs_sent: self.msgs_sent,
             mem_peak_bytes: self.mem_peak,
         }
     }
+}
+
+/// Handle returned by [`Rank::isend`]. The payload is already en route; the
+/// handle records when the modelled transfer completes so a sender that
+/// must reuse the "buffer" can [`Rank::wait_send`] for it.
+#[derive(Debug, Clone, Copy)]
+pub struct SendReq {
+    /// Virtual time at which the transfer is complete (equals the
+    /// receiver-side arrival time).
+    pub complete_at: f64,
 }
 
 /// Handle a rank's program uses to talk to the machine.
@@ -108,6 +253,7 @@ pub struct Rank {
     clock: f64,
     compute_s: f64,
     comm_s: f64,
+    comm_hidden_s: f64,
     flops: f64,
     bytes_sent: u64,
     msgs_sent: u64,
@@ -163,6 +309,21 @@ impl Rank {
         self.mem_cur = self.mem_cur.saturating_sub(bytes as u64);
     }
 
+    fn post(&self, dst: usize, tag: u64, data: Box<dyn Any + Send>, arrival: f64, bytes: usize) {
+        let mbox = &self.shared.boxes[dst];
+        {
+            let mut q = mbox.queues.lock();
+            q.map.entry((self.rank, tag)).or_default().push_back(Msg {
+                data,
+                arrival,
+                bytes,
+            });
+            q.depth += 1;
+            q.depth_peak = q.depth_peak.max(q.depth);
+        }
+        mbox.signal.notify_all();
+    }
+
     /// Send `payload` to rank `dst` with `tag`. The sender is occupied for
     /// `α + bytes·β` virtual seconds (store-and-forward injection); the
     /// message becomes available to the receiver at the sender's clock after
@@ -177,18 +338,42 @@ impl Rank {
         self.comm_s += dt;
         self.bytes_sent += bytes as u64;
         self.msgs_sent += 1;
-        let msg = Msg {
-            data: Box::new(payload),
-            arrival: self.clock,
-            bytes,
-        };
-        let mbox = &self.shared.boxes[dst];
-        mbox.queues
-            .lock()
-            .entry((self.rank, tag))
-            .or_default()
-            .push_back(msg);
-        mbox.signal.notify_all();
+        self.post(dst, tag, Box::new(payload), self.clock, bytes);
+    }
+
+    /// Nonblocking send: the sender is occupied for `α` only; the `bytes·β`
+    /// transfer is pipelined by the modelled network and charged to
+    /// [`RankStats::comm_hidden_s`] instead of the clock. The message
+    /// arrives at the receiver at `clock_after_α + bytes·β`.
+    pub fn isend<T: Payload>(&mut self, dst: usize, tag: u64, payload: T) -> SendReq {
+        assert!(dst < self.nranks, "isend to rank {dst} of {}", self.nranks);
+        assert_ne!(dst, self.rank, "self-sends are not modelled; restructure");
+        let bytes = payload.nbytes();
+        let m = &self.shared.model;
+        let transfer = bytes as f64 * m.beta_s_per_byte;
+        self.clock += m.alpha_s;
+        self.comm_s += m.alpha_s;
+        self.comm_hidden_s += transfer;
+        self.bytes_sent += bytes as u64;
+        self.msgs_sent += 1;
+        let arrival = self.clock + transfer;
+        self.post(dst, tag, Box::new(payload), arrival, bytes);
+        SendReq {
+            complete_at: arrival,
+        }
+    }
+
+    /// Wait for an [`Rank::isend`] transfer to complete: advances the clock
+    /// to `complete_at` if it lies in the future. The exposed portion of
+    /// the wait is moved from `comm_hidden_s` back to `comm_s` so the
+    /// hidden counter stays honest.
+    pub fn wait_send(&mut self, req: SendReq) {
+        if req.complete_at > self.clock {
+            let exposed = req.complete_at - self.clock;
+            self.clock = req.complete_at;
+            self.comm_s += exposed;
+            self.comm_hidden_s = (self.comm_hidden_s - exposed).max(0.0);
+        }
     }
 
     /// Receive the next message from `src` with `tag`, blocking until it is
@@ -202,6 +387,64 @@ impl Rank {
             self.comm_s += arrival - self.clock;
             self.clock = arrival;
         }
+        self.downcast(data, src, tag)
+    }
+
+    /// Block (physically, without advancing the virtual clock) until a
+    /// message from `(src, tag)` is posted; return its virtual arrival time
+    /// without consuming it.
+    pub fn probe(&self, src: usize, tag: u64) -> f64 {
+        self.wait_heads(std::slice::from_ref(&(src, tag)))[0]
+    }
+
+    /// Block (physically, without advancing the virtual clock) until every
+    /// key in `keys` has a message at the head of its queue; return the head
+    /// arrival times in `keys` order. This is the primitive that event-
+    /// driven schedulers use to make decisions from virtual time only.
+    pub fn probe_all(&self, keys: &[(usize, u64)]) -> Vec<f64> {
+        self.wait_heads(keys)
+    }
+
+    /// Receive from `(src, tag)` only if the message has already arrived in
+    /// *virtual* time (head arrival ≤ current clock). The decision depends
+    /// on virtual time only, never on host-thread scheduling, so control
+    /// flow stays deterministic; the OS thread blocks until the head is
+    /// posted so the arrival time is known.
+    pub fn try_recv<T: Payload>(&mut self, src: usize, tag: u64) -> Option<T> {
+        let arrival = self.probe(src, tag);
+        if arrival > self.clock {
+            return None;
+        }
+        let (data, _) = self.pop_head(src, tag);
+        Some(self.downcast(data, src, tag))
+    }
+
+    /// Wait until the earliest (in virtual time) of the pending messages in
+    /// `keys`, receive it, and return `(index_into_keys, value)`. Ties on
+    /// arrival time break by `(src, tag)`, keeping the choice deterministic.
+    /// The clock advances to the chosen message's arrival if it lies in the
+    /// future.
+    pub fn wait_any<T: Payload>(&mut self, keys: &[(usize, u64)]) -> (usize, T) {
+        assert!(!keys.is_empty(), "wait_any on an empty key set");
+        let arrivals = self.wait_heads(keys);
+        let mut best = 0usize;
+        for i in 1..keys.len() {
+            let better =
+                (arrivals[i], keys[i].0, keys[i].1) < (arrivals[best], keys[best].0, keys[best].1);
+            if better {
+                best = i;
+            }
+        }
+        let (src, tag) = keys[best];
+        let (data, arrival) = self.pop_head(src, tag);
+        if arrival > self.clock {
+            self.comm_s += arrival - self.clock;
+            self.clock = arrival;
+        }
+        (best, self.downcast(data, src, tag))
+    }
+
+    fn downcast<T: Payload>(&self, data: Box<dyn Any + Send>, src: usize, tag: u64) -> T {
         match data.downcast::<T>() {
             Ok(b) => *b,
             Err(_) => panic!(
@@ -212,32 +455,98 @@ impl Rank {
         }
     }
 
+    fn pop_head(&mut self, src: usize, tag: u64) -> (Box<dyn Any + Send>, f64) {
+        let mut q = self.shared.boxes[self.rank].queues.lock();
+        let msg = q
+            .map
+            .get_mut(&(src, tag))
+            .and_then(|d| d.pop_front())
+            .expect("message head vanished between wait and pop");
+        q.depth -= 1;
+        (msg.data, msg.arrival)
+    }
+
     fn recv_raw(&mut self, src: usize, tag: u64) -> (Box<dyn Any + Send>, f64) {
-        assert!(src < self.nranks, "recv from rank {src} of {}", self.nranks);
+        self.wait_heads(std::slice::from_ref(&(src, tag)));
+        self.pop_head(src, tag)
+    }
+
+    /// Abort this rank because the run failed elsewhere: re-raise a
+    /// deadlock diagnostic if one was recorded, otherwise unwind with the
+    /// `PeerAborted` sentinel (filtered out by the machine).
+    fn check_failed(&self) {
+        if self.shared.failed.load(Ordering::SeqCst) {
+            if let Some(diag) = self.shared.deadlock.lock().clone() {
+                std::panic::panic_any(diag);
+            }
+            std::panic::panic_any(PeerAborted);
+        }
+    }
+
+    /// Park until every key in `keys` has a queue head; return the head
+    /// arrivals in `keys` order. Blocks the OS thread only — the virtual
+    /// clock is untouched. All blocking receives funnel through here so the
+    /// deadlock detector sees every parked rank.
+    fn wait_heads(&self, keys: &[(usize, u64)]) -> Vec<f64> {
+        for &(src, _) in keys {
+            assert!(src < self.nranks, "recv from rank {src} of {}", self.nranks);
+        }
         let mbox = &self.shared.boxes[self.rank];
-        let mut queues = mbox.queues.lock();
         loop {
-            if let Some(q) = queues.get_mut(&(src, tag)) {
-                if let Some(msg) = q.pop_front() {
-                    return (msg.data, msg.arrival);
+            let missing: Vec<(usize, u64)> = {
+                let q = mbox.queues.lock();
+                let missing: Vec<(usize, u64)> = keys
+                    .iter()
+                    .copied()
+                    .filter(|k| q.head_arrival(k).is_none())
+                    .collect();
+                if missing.is_empty() {
+                    return keys
+                        .iter()
+                        .map(|k| q.head_arrival(k).expect("head present"))
+                        .collect();
+                }
+                missing
+            };
+            self.check_failed();
+            self.register_blocked(&missing);
+            {
+                let mut q = mbox.queues.lock();
+                let still_missing = missing.iter().any(|k| q.head_arrival(k).is_none());
+                if still_missing && !self.shared.failed.load(Ordering::SeqCst) {
+                    mbox.signal.wait_for(&mut q, Duration::from_millis(50));
                 }
             }
-            if self.shared.failed.load(Ordering::SeqCst) {
-                panic!(
-                    "rank {} aborting recv(src={src}, tag={tag}): a peer rank panicked",
-                    self.rank
-                );
-            }
-            mbox.signal.wait_for(&mut queues, Duration::from_millis(50));
+            self.unregister_blocked();
+            self.check_failed();
         }
+    }
+
+    /// Record this rank as parked on `missing`. The rank that completes the
+    /// "everyone is finished or parked" condition verifies the deadlock: no
+    /// registered key anywhere has a posted message. Between registering
+    /// and unregistering a rank sends nothing, so if the scan finds no
+    /// satisfying message the blockage cannot resolve — fail the run with a
+    /// per-rank diagnostic instead of hanging.
+    fn register_blocked(&self, missing: &[(usize, u64)]) {
+        let mut w = self.shared.waiting.lock();
+        w.blocked[self.rank] = Some(missing.to_vec());
+        self.shared.deadlock_scan(&w);
+    }
+
+    fn unregister_blocked(&self) {
+        self.shared.waiting.lock().blocked[self.rank] = None;
     }
 
     /// Snapshot of this rank's statistics.
     pub fn stats(&self) -> RankStats {
+        let queue_peak = self.shared.boxes[self.rank].queues.lock().depth_peak as u64;
         RankStats {
             clock_s: self.clock,
             compute_s: self.compute_s,
             comm_s: self.comm_s,
+            comm_hidden_s: self.comm_hidden_s,
+            queue_peak,
             flops: self.flops,
             bytes_sent: self.bytes_sent,
             msgs_sent: self.msgs_sent,
@@ -295,6 +604,11 @@ pub struct Machine {
     model: CostModel,
 }
 
+enum Outcome<R, E> {
+    Done(R, RankStats),
+    Errored(E),
+}
+
 impl Machine {
     /// Create a machine with `nranks` ranks.
     pub fn new(nranks: usize, model: CostModel) -> Self {
@@ -310,15 +624,43 @@ impl Machine {
         R: Send,
         F: Fn(&mut Rank) -> R + Send + Sync,
     {
+        match self.run_result::<R, std::convert::Infallible, _>(|rank| Ok(f(rank))) {
+            Ok(rep) => rep,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Run an SPMD program whose ranks can fail with a typed error. When a
+    /// rank returns `Err`, peers blocked on its messages are unwound
+    /// internally (their partial results are discarded) and the
+    /// lowest-numbered rank's error is returned. Real panics still
+    /// propagate as panics.
+    pub fn run_result<R, E, F>(&self, f: F) -> Result<RunReport<R>, E>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(&mut Rank) -> Result<R, E> + Send + Sync,
+    {
         let shared = Arc::new(Shared {
             boxes: (0..self.nranks).map(|_| Mailbox::default()).collect(),
             failed: AtomicBool::new(false),
+            waiting: Mutex::new(WaitState {
+                blocked: vec![None; self.nranks],
+                done: vec![false; self.nranks],
+            }),
+            deadlock: Mutex::new(None),
             model: self.model,
         });
-        let mut results: Vec<Option<(R, RankStats)>> = (0..self.nranks).map(|_| None).collect();
+        let abort = |shared: &Shared| {
+            shared.failed.store(true, Ordering::SeqCst);
+            for b in &shared.boxes {
+                b.signal.notify_all();
+            }
+        };
+        let mut slots: Vec<Option<Outcome<R, E>>> = (0..self.nranks).map(|_| None).collect();
         let fref = &f;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = results
+            let handles: Vec<_> = slots
                 .iter_mut()
                 .enumerate()
                 .map(|(r, slot)| {
@@ -334,6 +676,7 @@ impl Machine {
                                 clock: 0.0,
                                 compute_s: 0.0,
                                 comm_s: 0.0,
+                                comm_hidden_s: 0.0,
                                 flops: 0.0,
                                 bytes_sent: 0,
                                 msgs_sent: 0,
@@ -345,31 +688,38 @@ impl Machine {
                                     fref(&mut rank)
                                 }));
                             match out {
-                                Ok(v) => {
-                                    *slot = Some((v, rank.stats()));
+                                Ok(Ok(v)) => {
+                                    *slot = Some(Outcome::Done(v, rank.stats()));
+                                    // This rank will never send again; peers
+                                    // blocked on it may now be provably
+                                    // deadlocked.
+                                    shared.mark_done(r);
                                     Ok(())
                                 }
-                                Err(e) => {
-                                    shared.failed.store(true, Ordering::SeqCst);
-                                    for b in &shared.boxes {
-                                        b.signal.notify_all();
-                                    }
-                                    Err(e)
+                                Ok(Err(e)) => {
+                                    *slot = Some(Outcome::Errored(e));
+                                    abort(&shared);
+                                    shared.mark_done(r);
+                                    Ok(())
+                                }
+                                Err(p) => {
+                                    abort(&shared);
+                                    shared.mark_done(r);
+                                    Err(p)
                                 }
                             }
                         })
                         .expect("failed to spawn rank thread")
                 })
                 .collect();
-            let mut first_panic = None;
+            let mut first_panic: Option<Box<dyn Any + Send>> = None;
             for h in handles {
                 match h.join() {
                     Ok(Ok(())) => {}
-                    Ok(Err(payload)) => {
-                        first_panic.get_or_insert(payload);
-                    }
-                    Err(payload) => {
-                        first_panic.get_or_insert(payload);
+                    Ok(Err(p)) | Err(p) => {
+                        if p.downcast_ref::<PeerAborted>().is_none() {
+                            first_panic.get_or_insert(p);
+                        }
                     }
                 }
             }
@@ -379,17 +729,33 @@ impl Machine {
         });
         let mut out = Vec::with_capacity(self.nranks);
         let mut stats = Vec::with_capacity(self.nranks);
-        for slot in results {
-            let (v, s) = slot.expect("rank finished without result despite no panic");
-            out.push(v);
-            stats.push(s);
+        let mut first_err: Option<E> = None;
+        for slot in slots {
+            match slot {
+                Some(Outcome::Done(v, s)) => {
+                    out.push(v);
+                    stats.push(s);
+                }
+                Some(Outcome::Errored(e)) if first_err.is_none() => first_err = Some(e),
+                Some(Outcome::Errored(_)) => {}
+                // Peer-aborted rank: only reachable when some rank errored.
+                None => {}
+            }
         }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        assert_eq!(
+            out.len(),
+            self.nranks,
+            "rank finished without result despite no panic or error"
+        );
         let makespan = stats.iter().fold(0.0f64, |m, s| m.max(s.clock_s));
-        RunReport {
+        Ok(RunReport {
             results: out,
             stats,
             makespan_s: makespan,
-        }
+        })
     }
 }
 
@@ -566,5 +932,265 @@ mod tests {
         });
         // 2 ranks x 3.4 Gflop in 1 simulated second = 6.8 Gflop/s.
         assert!((r.gflops() - 6.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isend_hides_transfer_under_compute() {
+        let m = CostModel {
+            alpha_s: 1.0,
+            beta_s_per_byte: 0.5,
+            flop_time_s: 1.0,
+        };
+        let r = Machine::new(2, m).run(|rank| {
+            if rank.rank() == 0 {
+                // 8 bytes: α = 1 occupies the sender, β·8 = 4 is pipelined.
+                let req = rank.isend(1, 1, 42u64);
+                assert_eq!(rank.clock(), 1.0);
+                assert_eq!(req.complete_at, 5.0);
+                rank.compute(6.0); // clock 7: transfer fully hidden
+                rank.wait_send(req); // already past complete_at: no-op
+                assert_eq!(rank.clock(), 7.0);
+            } else {
+                let x: u64 = rank.recv(0, 1);
+                assert_eq!(x, 42);
+                // Arrival = sender clock after α (1) + transfer (4).
+                assert_eq!(rank.clock(), 5.0);
+            }
+            rank.rank()
+        });
+        assert_eq!(r.stats[0].comm_hidden_s, 4.0);
+        assert_eq!(r.stats[0].comm_s, 1.0);
+        // Blocking send of the same message would have finished at 11.
+        assert_eq!(r.stats[0].clock_s, 7.0);
+    }
+
+    #[test]
+    fn wait_send_exposes_unfinished_transfer() {
+        let m = CostModel {
+            alpha_s: 1.0,
+            beta_s_per_byte: 0.5,
+            flop_time_s: 1.0,
+        };
+        let r = Machine::new(2, m).run(|rank| {
+            if rank.rank() == 0 {
+                let req = rank.isend(1, 1, 7u64); // clock 1, complete at 5
+                rank.compute(1.0); // clock 2
+                rank.wait_send(req); // exposes 3 s of the 4 s transfer
+                assert_eq!(rank.clock(), 5.0);
+            } else {
+                let _: u64 = rank.recv(0, 1);
+            }
+            0
+        });
+        assert_eq!(r.stats[0].comm_hidden_s, 1.0);
+        assert_eq!(r.stats[0].comm_s, 1.0 + 3.0);
+    }
+
+    #[test]
+    fn try_recv_decides_by_virtual_time_only() {
+        let m = CostModel {
+            alpha_s: 1.0,
+            beta_s_per_byte: 0.0,
+            flop_time_s: 1.0,
+        };
+        let r = Machine::new(2, m).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 4, 9u64); // arrival at virtual t = 1
+                0
+            } else {
+                // Even though the message is (or will be) physically posted,
+                // at virtual t = 0.5 it has not arrived yet.
+                rank.advance(0.5);
+                assert!(rank.try_recv::<u64>(0, 4).is_none());
+                assert_eq!(rank.clock(), 0.5); // try_recv never advances time
+                rank.advance(1.0);
+                let got = rank.try_recv::<u64>(0, 4);
+                assert_eq!(got, Some(9));
+                assert_eq!(rank.clock(), 1.5);
+                1
+            }
+        });
+        assert_eq!(r.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn wait_any_picks_earliest_virtual_arrival() {
+        let m = CostModel {
+            alpha_s: 1.0,
+            beta_s_per_byte: 0.0,
+            flop_time_s: 1.0,
+        };
+        let r = Machine::new(3, m).run(|rank| {
+            match rank.rank() {
+                0 => {
+                    // Arrives at t = 1.
+                    rank.send(2, 5, 100u64);
+                    0
+                }
+                1 => {
+                    // Same tag, later virtual arrival (t = 4) — but often
+                    // physically posted first.
+                    rank.compute(3.0);
+                    rank.send(2, 5, 200u64);
+                    0
+                }
+                _ => {
+                    let keys = [(1usize, 5u64), (0usize, 5u64)];
+                    let (i1, v1): (usize, u64) = rank.wait_any(&keys);
+                    assert_eq!((i1, v1), (1, 100)); // rank 0's message first
+                                                    // Only one pending key remains: drop the consumed one.
+                    let (i2, v2): (usize, u64) = rank.wait_any(&keys[..1]);
+                    assert_eq!((i2, v2), (0, 200));
+                    assert_eq!(rank.clock(), 4.0);
+                    1
+                }
+            }
+        });
+        assert_eq!(r.results, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn probe_reports_arrival_without_consuming() {
+        let m = CostModel {
+            alpha_s: 2.0,
+            beta_s_per_byte: 0.0,
+            flop_time_s: 0.0,
+        };
+        let r = Machine::new(2, m).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 6, 5u64);
+                0
+            } else {
+                let t = rank.probe(0, 6);
+                assert_eq!(t, 2.0);
+                assert_eq!(rank.clock(), 0.0); // probe does not advance time
+                let x: u64 = rank.recv(0, 6);
+                assert_eq!(x, 5);
+                assert_eq!(rank.clock(), 2.0);
+                1
+            }
+        });
+        assert_eq!(r.results, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected_with_diagnostic() {
+        // Both ranks receive from each other without anyone sending: a
+        // protocol bug that used to hang forever in 50 ms condvar waits.
+        Machine::new(2, CostModel::zero_cost()).run(|rank| {
+            let peer = 1 - rank.rank();
+            let _: u64 = rank.recv(peer, 42);
+        });
+    }
+
+    #[test]
+    fn deadlock_diagnostic_lists_pending_keys() {
+        let caught = std::panic::catch_unwind(|| {
+            Machine::new(3, CostModel::zero_cost()).run(|rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 7, 1u64);
+                }
+                // Rank 1 consumes its message then joins the others in
+                // waiting for one that never comes.
+                if rank.rank() == 1 {
+                    let _: u64 = rank.recv(0, 7);
+                }
+                let _: u64 = rank.recv((rank.rank() + 1) % 3, 99);
+            });
+        });
+        let payload = caught.expect_err("deadlock must abort the run");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("diagnostic is a string");
+        assert!(msg.contains("deadlock"), "{msg}");
+        for r in 0..3 {
+            assert!(msg.contains(&format!("rank {r} waiting on")), "{msg}");
+        }
+        assert!(msg.contains("tag=99"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_detected_when_sender_already_finished() {
+        // Rank 0 exits without sending; rank 1 waits on it forever. Not all
+        // ranks are *blocked*, but the blockage still can never resolve.
+        Machine::new(2, CostModel::zero_cost()).run(|rank| {
+            if rank.rank() == 1 {
+                let _: u64 = rank.recv(0, 11);
+            }
+        });
+    }
+
+    #[test]
+    fn run_result_propagates_error_and_unblocks_peers() {
+        let r: Result<RunReport<u64>, &str> =
+            Machine::new(3, CostModel::zero_cost()).run_result(|rank| {
+                if rank.rank() == 1 {
+                    return Err("bad pivot");
+                }
+                // Peers block on rank 1 forever; the error must unwind them.
+                let _: u64 = rank.recv(1, 3);
+                Ok(0)
+            });
+        assert_eq!(r.unwrap_err(), "bad pivot");
+    }
+
+    #[test]
+    fn run_result_returns_lowest_rank_error() {
+        let r: Result<RunReport<u64>, usize> =
+            Machine::new(4, CostModel::zero_cost()).run_result(|rank| {
+                if rank.rank() >= 2 {
+                    return Err(rank.rank());
+                }
+                let _: u64 = rank.recv(3, 1);
+                Ok(0)
+            });
+        assert_eq!(r.unwrap_err(), 2);
+    }
+
+    #[test]
+    fn run_result_ok_matches_run() {
+        let r = Machine::new(2, CostModel::bluegene_p())
+            .run_result::<_, (), _>(|rank| {
+                rank.compute(3.4e9);
+                Ok(rank.rank())
+            })
+            .unwrap();
+        assert_eq!(r.results, vec![0, 1]);
+        assert!((r.gflops() - 6.8).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom in result mode")]
+    fn run_result_still_propagates_real_panics() {
+        let _ = Machine::new(2, CostModel::zero_cost()).run_result::<u64, (), _>(|rank| {
+            if rank.rank() == 0 {
+                panic!("boom in result mode");
+            }
+            let _: u64 = rank.recv(0, 9);
+            Ok(0)
+        });
+    }
+
+    #[test]
+    fn queue_peak_is_tracked() {
+        let r = Machine::new(2, CostModel::zero_cost()).run(|rank| {
+            if rank.rank() == 0 {
+                for i in 0..5u64 {
+                    rank.send(1, 3, i);
+                }
+                // Handshake so rank 1 drains only after all 5 are queued.
+                rank.send(1, 4, 1u64);
+                0
+            } else {
+                let _: u64 = rank.recv(0, 4);
+                for _ in 0..5 {
+                    let _: u64 = rank.recv(0, 3);
+                }
+                1
+            }
+        });
+        assert!(r.stats[1].queue_peak >= 5, "peak {}", r.stats[1].queue_peak);
     }
 }

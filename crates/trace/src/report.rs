@@ -21,6 +21,11 @@ pub struct RankReport {
     pub compute_s: f64,
     /// Simulated communication time (seconds).
     pub comm_s: f64,
+    /// Modelled transfer time hidden under compute by nonblocking sends
+    /// (seconds): β·bytes that never occupied the sender's clock.
+    pub comm_hidden_s: f64,
+    /// Peak number of messages queued at this rank's mailbox at once.
+    pub queue_peak: u64,
     /// Modelled floating-point operations executed by this rank.
     pub flops: f64,
     /// Payload bytes this rank sent.
@@ -285,6 +290,8 @@ fn rank_to_json(r: &RankReport) -> Json {
         ("clock_s".to_string(), Json::num_f64(r.clock_s)),
         ("compute_s".to_string(), Json::num_f64(r.compute_s)),
         ("comm_s".to_string(), Json::num_f64(r.comm_s)),
+        ("comm_hidden_s".to_string(), Json::num_f64(r.comm_hidden_s)),
+        ("queue_peak".to_string(), Json::num_u64(r.queue_peak)),
         ("flops".to_string(), Json::num_f64(r.flops)),
         ("bytes_sent".to_string(), Json::num_u64(r.bytes_sent)),
         ("msgs_sent".to_string(), Json::num_u64(r.msgs_sent)),
@@ -301,6 +308,10 @@ fn rank_from_json(j: &Json) -> Option<RankReport> {
         clock_s: j.get("clock_s")?.as_f64()?,
         compute_s: j.get("compute_s")?.as_f64()?,
         comm_s: j.get("comm_s")?.as_f64()?,
+        // Overlap fields postdate the first schema revision: default when
+        // reading reports written before nonblocking communication existed.
+        comm_hidden_s: j.get("comm_hidden_s").and_then(Json::as_f64).unwrap_or(0.0),
+        queue_peak: j.get("queue_peak").and_then(Json::as_u64).unwrap_or(0),
         flops: j.get("flops")?.as_f64()?,
         bytes_sent: j.get("bytes_sent")?.as_u64()?,
         msgs_sent: j.get("msgs_sent")?.as_u64()?,
@@ -371,6 +382,8 @@ mod tests {
                     clock_s: 1.5,
                     compute_s: 1.2,
                     comm_s: 0.3,
+                    comm_hidden_s: 0.07,
+                    queue_peak: 3,
                     flops: 1.6e8,
                     bytes_sent: 500,
                     msgs_sent: 10,
@@ -381,6 +394,8 @@ mod tests {
                     clock_s: 1.4,
                     compute_s: 0.8,
                     comm_s: 0.6,
+                    comm_hidden_s: 0.11,
+                    queue_peak: 5,
                     flops: 1.7e8,
                     bytes_sent: 700,
                     msgs_sent: 12,
@@ -480,6 +495,20 @@ mod tests {
         assert_eq!(r.engine, "smp");
         assert_eq!(r.n, 5);
         assert_eq!(r.counters, Counters::default());
+    }
+
+    #[test]
+    fn pre_overlap_rank_records_still_parse() {
+        // Reports written before the overlap counters existed lack
+        // `comm_hidden_s`/`queue_peak`; they must read back with defaults.
+        let text = "{\"engine\":\"dist\",\"n\":4,\"ranks\":[{\"rank\":0,\
+                    \"clock_s\":1.0,\"compute_s\":0.5,\"comm_s\":0.5,\
+                    \"flops\":10.0,\"bytes_sent\":8,\"msgs_sent\":1,\
+                    \"mem_peak_bytes\":64}]}";
+        let r = FactorReport::from_json_str(text).unwrap();
+        assert_eq!(r.ranks.len(), 1);
+        assert_eq!(r.ranks[0].comm_hidden_s, 0.0);
+        assert_eq!(r.ranks[0].queue_peak, 0);
     }
 
     #[test]

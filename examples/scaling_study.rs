@@ -45,7 +45,8 @@ fn main() {
             &AmalgOpts::default(),
             MapStrategy::default(),
             None,
-        );
+        )
+        .expect("SPD");
         // Fan-out baseline (uses the natural ordering internally applied by
         // the caller; give it the same fill-reducing permutation for a fair
         // fight).

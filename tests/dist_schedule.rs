@@ -1,0 +1,117 @@
+//! Distributed-engine scheduling contracts: the event-driven schedule is
+//! bitwise identical to the synchronous postorder schedule (and to the
+//! sequential engine), and numeric failure on any simulated rank surfaces
+//! as an `Err` — never a panic, never a hang.
+
+use parfact::core::dist::{prepare, run_distributed, run_distributed_prepared};
+use parfact::core::mapping::MapStrategy;
+use parfact::core::solver::{DistOpts, Engine, FactorOpts, SparseCholesky};
+use parfact::core::FactorError;
+use parfact::mpsim::model::CostModel;
+use parfact::order::Method;
+use parfact::sparse::gen;
+use parfact::symbolic::AmalgOpts;
+
+/// Indefinite input must come back as `NotPositiveDefinite` from the raw
+/// distributed entry point at every rank count — the failing rank reports
+/// the error and its peers are unblocked, so the call returns promptly.
+#[test]
+fn indefinite_returns_err_at_all_rank_counts() {
+    let a = gen::indefinite(60, 3);
+    for p in [2usize, 4, 8] {
+        let r = run_distributed(
+            p,
+            CostModel::bluegene_p(),
+            &a,
+            Method::default(),
+            &AmalgOpts::default(),
+            MapStrategy::default(),
+            None,
+        );
+        assert!(
+            matches!(r, Err(FactorError::NotPositiveDefinite { .. })),
+            "p={p}: expected NotPositiveDefinite, got {:?}",
+            r.map(|_| "Ok(..)").err()
+        );
+    }
+}
+
+/// Same contract through the façade: `Engine::Dist` propagates the error
+/// like every other engine instead of panicking inside a simulated rank.
+#[test]
+fn facade_dist_engine_propagates_indefinite() {
+    let a = gen::indefinite(60, 3);
+    for ranks in [2usize, 4, 8] {
+        let r = SparseCholesky::factorize(
+            &a,
+            &FactorOpts::new().engine(Engine::Dist(DistOpts {
+                ranks,
+                ..DistOpts::default()
+            })),
+        );
+        assert!(
+            matches!(r, Err(FactorError::NotPositiveDefinite { .. })),
+            "ranks={ranks}: expected NotPositiveDefinite, got Err-or-Ok mismatch"
+        );
+    }
+}
+
+/// The sync-schedule ablation toggle changes only simulated clocks: both
+/// schedules produce factors bitwise equal to each other and to the
+/// sequential engine, across rank counts that exercise local subtrees,
+/// 1-D groups, and 2-D grids.
+#[test]
+fn schedules_agree_bitwise_across_rank_counts() {
+    let a = gen::laplace3d(7, 6, 5, gen::Stencil3d::SevenPoint);
+    let seq = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+    let (sym, ap, perm) = prepare(&a, Method::default(), &AmalgOpts::default());
+    for p in [1usize, 2, 3, 4, 6, 8] {
+        let run = |sync_schedule| {
+            run_distributed_prepared(
+                p,
+                CostModel::bluegene_p(),
+                &ap,
+                &sym,
+                &perm,
+                MapStrategy::default(),
+                sync_schedule,
+                None,
+            )
+            .expect("SPD")
+        };
+        let evd = run(false);
+        let sync = run(true);
+        assert_eq!(
+            evd.factor.max_abs_diff(&sync.factor),
+            0.0,
+            "p={p}: event-driven vs sync schedule"
+        );
+        assert_eq!(
+            evd.factor.max_abs_diff(seq.factor()),
+            0.0,
+            "p={p}: distributed vs sequential"
+        );
+    }
+}
+
+/// The façade toggle is wired through: `sync_schedule: true` still solves.
+#[test]
+fn facade_sync_schedule_solves() {
+    let a = gen::laplace2d(24, 24, gen::Stencil2d::FivePoint);
+    let chol = SparseCholesky::factorize(
+        &a,
+        &FactorOpts::new().engine(Engine::Dist(DistOpts {
+            ranks: 4,
+            sync_schedule: true,
+            ..DistOpts::default()
+        })),
+    )
+    .unwrap();
+    let xstar: Vec<f64> = (0..a.nrows()).map(|i| (i % 11) as f64 - 5.0).collect();
+    let mut b = vec![0.0; a.nrows()];
+    a.sym_spmv(&xstar, &mut b);
+    let x = chol.solve(&b);
+    for (xi, xs) in x.iter().zip(&xstar) {
+        assert!((xi - xs).abs() < 1e-8);
+    }
+}

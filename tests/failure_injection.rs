@@ -132,7 +132,8 @@ fn forest_matrix_disconnected_components() {
         &Default::default(),
         MapStrategy::default(),
         Some(&b),
-    );
+    )
+    .expect("SPD");
     let x = out.x.unwrap();
     for (xi, xs) in x.iter().zip(&xstar) {
         assert!((xi - xs).abs() < 1e-10);

@@ -110,7 +110,8 @@ fn distributed_equals_sequential_and_solves() {
             &AmalgOpts::default(),
             MapStrategy::default(),
             Some(&b),
-        );
+        )
+        .expect("SPD");
         assert_eq!(
             out.factor.max_abs_diff(seq.factor()),
             0.0,
@@ -199,7 +200,8 @@ fn dist_memory_and_gflops_reporting() {
         &AmalgOpts::default(),
         MapStrategy::default(),
         None,
-    );
+    )
+    .expect("SPD");
     let out8 = run_distributed(
         8,
         CostModel::bluegene_p(),
@@ -208,7 +210,8 @@ fn dist_memory_and_gflops_reporting() {
         &AmalgOpts::default(),
         MapStrategy::default(),
         None,
-    );
+    )
+    .expect("SPD");
     assert!(out8.max_factor_bytes < out1.max_factor_bytes);
     assert!(out8.factor_gflops() > 0.0);
     // Assembly accounting differs slightly between the local and
@@ -231,6 +234,7 @@ fn mapping_ablation_proportional_beats_flat() {
             strategy,
             None,
         )
+        .expect("SPD")
     };
     let prop = common(MapStrategy::default());
     let flat = common(MapStrategy::Flat {

@@ -57,7 +57,7 @@ proptest! {
         let out = run_distributed(
             p, CostModel::zero_cost(), &a,
             Method::default(), &AmalgOpts::default(), MapStrategy::default(), None,
-        );
+        ).expect("SPD");
         prop_assert_eq!(out.factor.max_abs_diff(seq.factor()), 0.0);
     }
 
