@@ -14,7 +14,7 @@
 
 use parfact_bench::{fmt_bytes, fmt_time, scaling_matrices, suite, Problem, Table};
 use parfact_core::baseline::fanout;
-use parfact_core::dist::{prepare, run_distributed_prepared};
+use parfact_core::dist::{prepare, run_distributed_prepared, run_distributed_prepared_traced};
 use parfact_core::mapping::MapStrategy;
 use parfact_core::smp::{resolve_threads, SmpOpts};
 use parfact_core::solver::{Engine, FactorOpts, SparseCholesky};
@@ -48,6 +48,10 @@ struct ScalPoint {
     exposed_s: f64,
     /// Largest mailbox backlog any rank saw (messages).
     queue_peak: u64,
+    /// Critical path through the assembly tree (timeline profile).
+    crit_s: f64,
+    /// Worst per-rank idle fraction.
+    idle_max: f64,
 }
 
 struct Ctx {
@@ -76,7 +80,9 @@ impl Ctx {
             let total = (sym.factor_nnz() * 8) as u64;
             let b = vec![1.0; p.a.nrows()];
             for &r in &self.ranks() {
-                let out = run_distributed_prepared(
+                // Traced run: event recording never touches the virtual
+                // clocks, so timings are identical to an untraced run.
+                let out = run_distributed_prepared_traced(
                     r,
                     CostModel::bluegene_p(),
                     &ap,
@@ -85,8 +91,15 @@ impl Ctx {
                     MapStrategy::default(),
                     false,
                     Some(&b),
+                    true,
                 )
                 .expect("SPD");
+                let profile = parfact_trace::profile::analyze(
+                    &sym.tree.parent,
+                    &out.merged_events(),
+                    &out.rank_reports(),
+                    8,
+                );
                 points.push(ScalPoint {
                     matrix: p.name,
                     ranks: r,
@@ -101,6 +114,8 @@ impl Ctx {
                     hidden_s: out.stats.iter().map(|s| s.comm_hidden_s).sum(),
                     exposed_s: out.stats.iter().map(|s| s.comm_s).sum(),
                     queue_peak: out.stats.iter().map(|s| s.queue_peak).max().unwrap_or(0),
+                    crit_s: profile.critical_path_s,
+                    idle_max: profile.max_idle_frac(),
                 });
             }
         }
@@ -286,6 +301,8 @@ fn exp_f1(ctx: &Ctx) {
             "ranks",
             "multifrontal",
             "MF speedup",
+            "crit path",
+            "idle max",
             "comm hidden",
             "comm exposed",
             "fan-out",
@@ -334,6 +351,8 @@ fn exp_f1(ctx: &Ctx) {
             pt.ranks.to_string(),
             fmt_time(pt.factor_s),
             format!("{:.2}x", t1_mf[pt.matrix] / pt.factor_s),
+            fmt_time(pt.crit_s),
+            format!("{:.1}%", pt.idle_max * 100.0),
             fmt_time(pt.hidden_s),
             fmt_time(pt.exposed_s),
             fo_cell,
@@ -895,6 +914,8 @@ fn exp_a7(ctx: &Ctx) {
             "async",
             "async/sync",
             "hidden comm",
+            "crit path",
+            "idle max",
             "bitwise",
         ],
     );
@@ -917,7 +938,7 @@ fn exp_a7(ctx: &Ctx) {
                 None,
             )
             .expect("SPD");
-            let evd = run_distributed_prepared(
+            let evd = run_distributed_prepared_traced(
                 r,
                 CostModel::bluegene_p(),
                 &ap,
@@ -926,8 +947,15 @@ fn exp_a7(ctx: &Ctx) {
                 MapStrategy::default(),
                 false,
                 None,
+                true,
             )
             .expect("SPD");
+            let profile = parfact_trace::profile::analyze(
+                &sym.tree.parent,
+                &evd.merged_events(),
+                &evd.rank_reports(),
+                8,
+            );
             let hidden: f64 = evd.stats.iter().map(|s| s.comm_hidden_s).sum();
             let identical = evd.factor.max_abs_diff(&sync.factor) == 0.0;
             t.row(vec![
@@ -937,6 +965,8 @@ fn exp_a7(ctx: &Ctx) {
                 fmt_time(evd.factor_time_s),
                 format!("{:.3}x", evd.factor_time_s / sync.factor_time_s),
                 fmt_time(hidden),
+                fmt_time(profile.critical_path_s),
+                format!("{:.1}%", profile.max_idle_frac() * 100.0),
                 if identical { "yes" } else { "NO" }.into(),
             ]);
         }

@@ -17,6 +17,7 @@ use parfact_dense::blas::trsm_right_lt;
 use parfact_dense::chol;
 use parfact_mpsim::collective::{bcast, ibcast, Group};
 use parfact_mpsim::Rank;
+use parfact_trace::Phase;
 use std::collections::BTreeMap;
 
 use crate::error::FactorError;
@@ -229,7 +230,7 @@ impl DistFront {
                 let blk = self.blocks.get_mut(&(bk, bk)).expect("diag block");
                 chol::partial_potrf(m_bk, jb, blk, m_bk)
                     .map_err(|e| FactorError::from_dense(e, col_base + k0))?;
-                rank.compute(flops_partial(m_bk, jb));
+                rank.compute_as(flops_partial(m_bk, jb), Phase::Panel, Some(self.s));
                 // Compact copy of the jb x jb lower L11.
                 l11 = vec![0.0; jb * jb];
                 for t in 0..jb {
@@ -252,7 +253,7 @@ impl DistFront {
                     let m = self.mrows(bi);
                     let blk = self.blocks.get_mut(&(bi, bk)).expect("panel block");
                     trsm_right_lt(m, jb, &l11, jb, blk, m);
-                    rank.compute((m * jb * jb) as f64);
+                    rank.compute_as((m * jb * jb) as f64, Phase::Panel, Some(self.s));
                 }
             }
 
@@ -376,7 +377,7 @@ impl DistFront {
                 flops += 2 * (m_bi - i0) * jb;
             }
         }
-        rank.compute(flops as f64);
+        rank.compute_as(flops as f64, Phase::Gemm, Some(self.s));
     }
 }
 

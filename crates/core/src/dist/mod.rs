@@ -26,6 +26,7 @@ use parfact_mpsim::Rank;
 use parfact_sparse::csc::CscMatrix;
 use parfact_sparse::perm::Perm;
 use parfact_symbolic::{Symbolic, NONE};
+use parfact_trace::{Phase, SpanEvent};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -206,9 +207,13 @@ fn do_local(
         &child_updates,
         &mut st.front_buf,
     );
-    rank.compute(assembly_flops(sym, &child_updates));
+    rank.compute_as(
+        assembly_flops(sym, &child_updates),
+        Phase::ExtendAdd,
+        Some(s),
+    );
     chol::partial_potrf(f, w, &mut st.front_buf, f).map_err(|e| FactorError::from_dense(e, c0))?;
-    rank.compute(front::flops_partial(f, w));
+    rank.compute_as(front::flops_partial(f, w), Phase::Panel, Some(s));
     let panel = extract_panel(&st.front_buf, f, w);
     rank.alloc(panel.len() * 8);
     st.out.local_panels.insert(s, panel);
@@ -259,7 +264,7 @@ fn do_grid(
             }
         }
     }
-    rank.compute(nassemble as f64);
+    rank.compute_as(nassemble as f64, Phase::ExtendAdd, Some(s));
     // Fold extend-add contributions: one message from every rank of every
     // child's group, accumulated children-ascending, sources in group
     // order — the canonical order both schedules share.
@@ -288,7 +293,7 @@ fn do_grid(
                 }
             });
             debug_assert_eq!(next, vals.len(), "extend-add stream mismatch");
-            rank.compute(vals.len() as f64);
+            rank.compute_as(vals.len() as f64, Phase::ExtendAdd, Some(s));
         }
     }
     // Distributed partial factorization (panel lookahead when async).
@@ -707,6 +712,10 @@ pub struct DistOutcome {
     pub max_factor_bytes: usize,
     /// Total flops across ranks during factorization.
     pub total_flops: f64,
+    /// Per-rank recorded events, virtual timestamps (empty unless the run
+    /// was traced — see [`run_distributed_prepared_traced`]). Like `stats`,
+    /// the verification gather is excluded.
+    pub events: Vec<Vec<SpanEvent>>,
 }
 
 impl DistOutcome {
@@ -746,6 +755,14 @@ impl DistOutcome {
             mem_peak_bytes: self.max_mem_peak(),
             ..parfact_trace::Counters::default()
         }
+    }
+
+    /// The recorded events of every rank, merged and sorted into the
+    /// canonical span order.
+    pub fn merged_events(&self) -> Vec<SpanEvent> {
+        let mut all: Vec<SpanEvent> = self.events.iter().flatten().cloned().collect();
+        parfact_trace::sort_spans(&mut all);
+        all
     }
 }
 
@@ -801,6 +818,37 @@ pub fn run_distributed_prepared(
     sync_schedule: bool,
     b: Option<&[f64]>,
 ) -> Result<DistOutcome, FactorError> {
+    run_distributed_prepared_traced(
+        p,
+        model,
+        ap,
+        sym,
+        total_perm,
+        strategy,
+        sync_schedule,
+        b,
+        false,
+    )
+}
+
+/// [`run_distributed_prepared`] with optional event tracing: when
+/// `timeline` is set, every rank records compute spans (attributed to
+/// supernodes and phases) plus communication/wait spans with virtual
+/// timestamps, returned per rank in [`DistOutcome::events`]. Tracing never
+/// touches the virtual clocks, so traced runs stay bitwise identical to
+/// untraced ones.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_prepared_traced(
+    p: usize,
+    model: parfact_mpsim::model::CostModel,
+    ap: &CscMatrix,
+    sym: &Arc<Symbolic>,
+    total_perm: &Perm,
+    strategy: crate::mapping::MapStrategy,
+    sync_schedule: bool,
+    b: Option<&[f64]>,
+    timeline: bool,
+) -> Result<DistOutcome, FactorError> {
     use parfact_mpsim::Machine;
     let map = crate::mapping::map_tree(sym, p, strategy);
     assert!(map.validate(sym), "invalid mapping");
@@ -814,20 +862,27 @@ pub fn run_distributed_prepared(
         Option<Factor>,
         Option<Vec<f64>>,
     );
-    let report = Machine::new(p, model).run_result(|rank| -> Result<RankOut, FactorError> {
-        let rf = factorize_rank(rank, ap, sym, &map, sync_schedule)?;
-        let t_factor = rank.clock();
-        let xp = bp
-            .as_ref()
-            .and_then(|bp| solve::solve_rank(rank, sym, &map, &rf, bp));
-        let t_solve = rank.clock() - t_factor;
-        let stats = rank.stats();
-        let fbytes = rf.factor_bytes(sym);
-        // Verification gather happens after the timestamps above.
-        let factor = gather_factor(rank, sym, &map, &rf, total_perm.clone());
-        let x = xp.map(|xp| total_perm.apply_inv_vec(&xp));
-        Ok((t_factor, t_solve, stats, fbytes, factor, x))
-    })?;
+    let report = Machine::new(p, model).trace_events(timeline).run_result(
+        |rank| -> Result<RankOut, FactorError> {
+            let rf = factorize_rank(rank, ap, sym, &map, sync_schedule)?;
+            let t_factor = rank.clock();
+            // The timeline covers the factorization only: the critical-path
+            // model (a supernode is ready when its children finish) is a
+            // statement about the assembly tree, which the backward solve
+            // traverses in the opposite direction. Stop recording here so
+            // profile spans stay within the factorization makespan.
+            rank.set_trace_events(false);
+            let xp = bp
+                .as_ref()
+                .and_then(|bp| solve::solve_rank(rank, sym, &map, &rf, bp));
+            let t_solve = rank.clock() - t_factor;
+            let stats = rank.stats();
+            let fbytes = rf.factor_bytes(sym);
+            let factor = gather_factor(rank, sym, &map, &rf, total_perm.clone());
+            let x = xp.map(|xp| total_perm.apply_inv_vec(&xp));
+            Ok((t_factor, t_solve, stats, fbytes, factor, x))
+        },
+    )?;
     let factor_time_s = report.results.iter().fold(0.0f64, |m, r| m.max(r.0));
     let solve_time_s = report.results.iter().fold(0.0f64, |m, r| m.max(r.1));
     let stats: Vec<parfact_mpsim::RankStats> = report.results.iter().map(|r| r.2).collect();
@@ -851,6 +906,7 @@ pub fn run_distributed_prepared(
         stats,
         max_factor_bytes,
         total_flops,
+        events: report.events,
     })
 }
 
@@ -1061,6 +1117,57 @@ mod tests {
             matches!(r, Err(FactorError::NotPositiveDefinite { .. })),
             "indefinite input must surface as Err, not a panic"
         );
+    }
+
+    #[test]
+    fn traced_run_is_bitwise_identical_and_records_lanes() {
+        let a = gen::laplace3d(5, 5, 4, gen::Stencil3d::SevenPoint);
+        let (sym, ap, perm) = prepare(&a, Method::default(), &AmalgOpts::default());
+        let b = vec![1.0; a.nrows()];
+        let run = |timeline| {
+            run_distributed_prepared_traced(
+                4,
+                CostModel::bluegene_p(),
+                &ap,
+                &sym,
+                &perm,
+                MapStrategy::default(),
+                false,
+                Some(&b),
+                timeline,
+            )
+            .unwrap()
+        };
+        let plain = run(false);
+        assert!(plain.events.iter().all(Vec::is_empty));
+        let traced = run(true);
+        // Tracing must not perturb the virtual clocks or the numbers.
+        assert_eq!(traced.factor.max_abs_diff(&plain.factor), 0.0);
+        assert_eq!(traced.factor_time_s, plain.factor_time_s);
+        assert_eq!(traced.events.len(), 4);
+        assert!(traced.events.iter().all(|ev| !ev.is_empty()));
+        let merged = traced.merged_events();
+        // Every rank has compute spans attributed to supernodes, and the
+        // spans hold the lane invariants exactly (virtual clocks).
+        let tl = parfact_trace::Timeline::from_spans(&merged);
+        tl.validate(0.0).unwrap();
+        for r in 0..4 {
+            assert!(
+                merged
+                    .iter()
+                    .any(|e| e.who == r && e.supernode.is_some() && e.dur_s > 0.0),
+                "rank {r} recorded no attributed compute span"
+            );
+        }
+        assert!(merged.iter().any(|e| e.phase == Phase::Comm));
+        assert!(merged.iter().any(|e| e.phase == Phase::Wait));
+        // Span timestamps never exceed the factorization makespan (the
+        // solve and gather epilogue are excluded from the trace).
+        let end = merged
+            .iter()
+            .map(|e| e.start_s + e.dur_s)
+            .fold(0.0f64, f64::max);
+        assert!(end <= traced.factor_time_s + 1e-12);
     }
 
     #[test]

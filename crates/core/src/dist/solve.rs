@@ -14,6 +14,7 @@ use crate::mapping::{Layout, Mapping};
 use parfact_dense::trsv;
 use parfact_mpsim::Rank;
 use parfact_symbolic::{Symbolic, NONE};
+use parfact_trace::Phase;
 use std::collections::HashMap;
 
 use front::{
@@ -157,11 +158,11 @@ pub fn solve_rank(
             }
         }
         trsv::trsv_ln(w, &panel, f, &mut y[..w], false);
-        rank.compute((w * w) as f64);
+        rank.compute_as((w * w) as f64, Phase::Solve, Some(s));
         if f > w {
             let (y1, y2) = y.split_at_mut(w);
             trsv::gemv_sub(f - w, w, &panel[w..], f, y1, y2);
-            rank.compute((2 * (f - w) * w) as f64);
+            rank.compute_as((2 * (f - w) * w) as f64, Phase::Solve, Some(s));
         }
         x[c0..c1].copy_from_slice(&y[..w]);
         let parent = sym.tree.parent[s];
@@ -216,10 +217,10 @@ pub fn solve_rank(
         };
         if f > w {
             trsv::gemv_t_sub(f - w, w, &panel[w..], f, &xrows, &mut x[c0..c1]);
-            rank.compute((2 * (f - w) * w) as f64);
+            rank.compute_as((2 * (f - w) * w) as f64, Phase::Solve, Some(s));
         }
         trsv::trsv_lt(w, &panel, f, &mut x[c0..c1], false);
-        rank.compute((w * w) as f64);
+        rank.compute_as((w * w) as f64, Phase::Solve, Some(s));
         // Provide x-rows to every child's leader. A child's rows live in my
         // columns or in my own x-rows (containment invariant).
         for &c in &sym.tree.children[s] {

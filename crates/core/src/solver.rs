@@ -188,6 +188,7 @@ impl SparseCholesky {
             &mut ws,
         )?;
         let numeric_s = t2.elapsed().as_secs_f64();
+        let profile = timeline_profile(&sym, opts.trace, &spans, &ranks);
         let mut report = FactorReport {
             engine: opts.engine.name().to_string(),
             n: sym.n,
@@ -202,6 +203,7 @@ impl SparseCholesky {
             counters,
             ranks,
             spans,
+            profile,
         };
         report.counters.fronts_factored = match opts.engine {
             // The simulator counts traffic per rank, not fronts; every
@@ -277,6 +279,8 @@ impl SparseCholesky {
         }
         self.report.ranks = ranks;
         self.report.spans = spans;
+        self.report.profile =
+            timeline_profile(&sym, self.trace, &self.report.spans, &self.report.ranks);
         self.report.refactorizations += 1;
         Ok(())
     }
@@ -334,6 +338,28 @@ impl SparseCholesky {
     }
 }
 
+/// How many blocking edges the timeline profile keeps in the report.
+const PROFILE_TOP_K: usize = 8;
+
+/// Critical-path / idle analysis of a timeline-traced run. `None` unless
+/// the run was traced at [`TraceLevel::Timeline`] and produced spans.
+fn timeline_profile(
+    sym: &Symbolic,
+    trace: TraceLevel,
+    spans: &[parfact_trace::SpanEvent],
+    ranks: &[parfact_trace::RankReport],
+) -> Option<parfact_trace::ProfileReport> {
+    if !trace.timeline() || spans.is_empty() {
+        return None;
+    }
+    Some(parfact_trace::profile::analyze(
+        &sym.tree.parent,
+        spans,
+        ranks,
+        PROFILE_TOP_K,
+    ))
+}
+
 /// Dispatch one numeric factorization and return the factor plus the
 /// instrumentation it produced.
 fn run_engine(
@@ -374,8 +400,9 @@ fn run_engine(
                 ));
             }
             // Rank statistics come from the simulator and are always
-            // collected — the trace level only governs host-side hooks.
-            let out = dist::run_distributed_prepared(
+            // collected; span events (compute, comm, wait lanes in virtual
+            // time) are recorded only at `TraceLevel::Timeline`.
+            let out = dist::run_distributed_prepared_traced(
                 d.ranks,
                 d.model,
                 ap,
@@ -384,10 +411,12 @@ fn run_engine(
                 d.strategy,
                 d.sync_schedule,
                 None,
+                trace.timeline(),
             )?;
             let counters = out.fold_counters();
             let ranks = out.rank_reports();
-            Ok((out.factor, counters, ranks, Vec::new()))
+            let spans = out.merged_events();
+            Ok((out.factor, counters, ranks, spans))
         }
     }
 }
@@ -559,6 +588,95 @@ mod tests {
         let text = r.to_json_string();
         let back = FactorReport::from_json_str(&text).unwrap();
         assert_eq!(&back, r);
+    }
+
+    #[test]
+    fn timeline_trace_profiles_the_distributed_run() {
+        let a = gen::laplace3d(5, 5, 4, gen::Stencil3d::SevenPoint);
+        let chol = SparseCholesky::factorize(
+            &a,
+            &FactorOpts::new()
+                .engine(Engine::Dist(DistOpts::default()))
+                .trace(TraceLevel::Timeline),
+        )
+        .unwrap();
+        let r = chol.report();
+        assert!(!r.spans.is_empty());
+        // Spans form a valid timeline in exact virtual time, with all
+        // three lanes represented across the machine.
+        let tl = parfact_trace::Timeline::from_spans(&r.spans);
+        tl.validate(0.0).unwrap();
+        let kinds: std::collections::HashSet<_> = tl.lanes.iter().map(|l| l.kind).collect();
+        assert!(kinds.contains(&parfact_trace::LaneKind::Compute));
+        assert!(kinds.contains(&parfact_trace::LaneKind::Comm));
+        assert!(kinds.contains(&parfact_trace::LaneKind::Wait));
+        // The profile is attached and self-consistent.
+        let p = r.profile.as_ref().expect("timeline trace attaches profile");
+        assert!(p.critical_path_s > 0.0);
+        assert!(p.critical_path_s <= p.makespan_s + 1e-12);
+        assert!(p.critical_path_len > 0);
+        assert_eq!(p.ranks.len(), DistOpts::default().ranks);
+        for ra in &p.ranks {
+            assert!((0.0..=1.0).contains(&ra.idle_frac), "rank {}", ra.who);
+        }
+        // And the whole report (profile included) round-trips as JSON.
+        let back = FactorReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(&back, r);
+
+        // Full-level traces keep their pre-timeline behavior: host hooks
+        // only, no dist spans, no profile.
+        let full = SparseCholesky::factorize(
+            &a,
+            &FactorOpts::new()
+                .engine(Engine::Dist(DistOpts::default()))
+                .trace(TraceLevel::Full),
+        )
+        .unwrap();
+        assert!(full.report().spans.is_empty());
+        assert!(full.report().profile.is_none());
+    }
+
+    #[test]
+    fn timeline_trace_profiles_host_engines() {
+        let a = gen::laplace2d(16, 16, gen::Stencil2d::FivePoint);
+        for engine in [
+            Engine::Sequential,
+            Engine::Smp(SmpOpts {
+                threads: 3,
+                big_front: 96,
+            }),
+        ] {
+            let chol = SparseCholesky::factorize(
+                &a,
+                &FactorOpts::new().engine(engine).trace(TraceLevel::Timeline),
+            )
+            .unwrap();
+            let r = chol.report();
+            assert!(!r.spans.is_empty(), "{}", r.engine);
+            let p = r.profile.as_ref().expect("profile");
+            assert!(p.critical_path_s > 0.0, "{}", r.engine);
+            assert!(p.makespan_s > 0.0, "{}", r.engine);
+        }
+    }
+
+    #[test]
+    fn refactorize_refreshes_profile() {
+        let a = gen::laplace2d(12, 12, gen::Stencil2d::FivePoint);
+        let mut chol = SparseCholesky::factorize(
+            &a,
+            &FactorOpts::new()
+                .engine(Engine::Dist(DistOpts::default()))
+                .trace(TraceLevel::Timeline),
+        )
+        .unwrap();
+        assert!(chol.report().profile.is_some());
+        chol.refactorize(&a, Engine::Dist(DistOpts::default()))
+            .unwrap();
+        assert!(chol.report().profile.is_some());
+        // Switching to an untraced-span engine level still works; the dist
+        // engine at Timeline keeps producing spans, so the profile stays.
+        chol.refactorize(&a, Engine::Sequential).unwrap();
+        assert!(chol.report().profile.is_some());
     }
 
     #[test]

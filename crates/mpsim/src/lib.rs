@@ -55,9 +55,11 @@ pub mod model;
 pub mod payload;
 
 use model::CostModel;
+use parfact_trace::{Phase, SpanEvent};
 use parking_lot::{Condvar, Mutex};
 use payload::Payload;
 use std::any::Any;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -259,6 +261,13 @@ pub struct Rank {
     msgs_sent: u64,
     mem_cur: u64,
     mem_peak: u64,
+    /// When on, communication ops and [`Rank::compute_as`] append
+    /// [`SpanEvent`]s (virtual timestamps, `who = rank`). Recording never
+    /// touches the clocks, so traced and untraced runs are bitwise
+    /// identical. `RefCell` because `probe`/`probe_all` take `&self`; the
+    /// `Rank` never leaves its own thread.
+    trace: bool,
+    events: RefCell<Vec<SpanEvent>>,
 }
 
 impl Rank {
@@ -289,6 +298,46 @@ impl Rank {
         self.clock += dt;
         self.compute_s += dt;
         self.flops += flops;
+    }
+
+    /// [`Rank::compute`] plus an attributed [`SpanEvent`] (when event
+    /// tracing is on): the span covers the virtual interval the charge
+    /// occupied and tags it with a phase and optionally a supernode.
+    pub fn compute_as(&mut self, flops: f64, phase: Phase, supernode: Option<usize>) {
+        let t0 = self.clock;
+        self.compute(flops);
+        self.push_span(phase, supernode, t0, self.clock - t0);
+    }
+
+    /// Toggle event recording. Off by default; [`Machine::trace_events`]
+    /// turns it on for every rank. Programs switch it off to exclude
+    /// epilogue traffic (e.g. factor gather) from the timeline, mirroring
+    /// what their stats snapshots exclude.
+    pub fn set_trace_events(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    /// Is event recording currently on?
+    pub fn trace_events_enabled(&self) -> bool {
+        self.trace
+    }
+
+    /// Drain the recorded events (chronological for this rank).
+    pub fn take_events(&mut self) -> Vec<SpanEvent> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+
+    #[inline]
+    fn push_span(&self, phase: Phase, supernode: Option<usize>, start_s: f64, dur_s: f64) {
+        if self.trace {
+            self.events.borrow_mut().push(SpanEvent {
+                phase,
+                supernode,
+                who: self.rank,
+                start_s,
+                dur_s,
+            });
+        }
     }
 
     /// Advance the virtual clock by an explicit amount of seconds (e.g.
@@ -334,6 +383,7 @@ impl Rank {
         let bytes = payload.nbytes();
         let m = &self.shared.model;
         let dt = m.alpha_s + bytes as f64 * m.beta_s_per_byte;
+        self.push_span(Phase::Comm, None, self.clock, dt);
         self.clock += dt;
         self.comm_s += dt;
         self.bytes_sent += bytes as u64;
@@ -351,6 +401,7 @@ impl Rank {
         let bytes = payload.nbytes();
         let m = &self.shared.model;
         let transfer = bytes as f64 * m.beta_s_per_byte;
+        self.push_span(Phase::Comm, None, self.clock, m.alpha_s);
         self.clock += m.alpha_s;
         self.comm_s += m.alpha_s;
         self.comm_hidden_s += transfer;
@@ -370,6 +421,7 @@ impl Rank {
     pub fn wait_send(&mut self, req: SendReq) {
         if req.complete_at > self.clock {
             let exposed = req.complete_at - self.clock;
+            self.push_span(Phase::Wait, None, self.clock, exposed);
             self.clock = req.complete_at;
             self.comm_s += exposed;
             self.comm_hidden_s = (self.comm_hidden_s - exposed).max(0.0);
@@ -384,6 +436,7 @@ impl Rank {
     pub fn recv<T: Payload>(&mut self, src: usize, tag: u64) -> T {
         let (data, arrival) = self.recv_raw(src, tag);
         if arrival > self.clock {
+            self.push_span(Phase::Wait, None, self.clock, arrival - self.clock);
             self.comm_s += arrival - self.clock;
             self.clock = arrival;
         }
@@ -394,7 +447,11 @@ impl Rank {
     /// message from `(src, tag)` is posted; return its virtual arrival time
     /// without consuming it.
     pub fn probe(&self, src: usize, tag: u64) -> f64 {
-        self.wait_heads(std::slice::from_ref(&(src, tag)))[0]
+        let arrival = self.wait_heads(std::slice::from_ref(&(src, tag)))[0];
+        // Zero-duration marker at the probed arrival: probes consume no
+        // virtual time, but the trace shows what the scheduler saw coming.
+        self.push_span(Phase::Wait, None, arrival, 0.0);
+        arrival
     }
 
     /// Block (physically, without advancing the virtual clock) until every
@@ -402,7 +459,13 @@ impl Rank {
     /// arrival times in `keys` order. This is the primitive that event-
     /// driven schedulers use to make decisions from virtual time only.
     pub fn probe_all(&self, keys: &[(usize, u64)]) -> Vec<f64> {
-        self.wait_heads(keys)
+        let arrivals = self.wait_heads(keys);
+        if let Some(next) = arrivals.iter().copied().reduce(f64::min) {
+            // One marker per poll, at the nearest head arrival (the
+            // scheduler's event horizon).
+            self.push_span(Phase::Wait, None, next, 0.0);
+        }
+        arrivals
     }
 
     /// Receive from `(src, tag)` only if the message has already arrived in
@@ -438,6 +501,7 @@ impl Rank {
         let (src, tag) = keys[best];
         let (data, arrival) = self.pop_head(src, tag);
         if arrival > self.clock {
+            self.push_span(Phase::Wait, None, self.clock, arrival - self.clock);
             self.comm_s += arrival - self.clock;
             self.clock = arrival;
         }
@@ -562,6 +626,8 @@ pub struct RunReport<R> {
     pub results: Vec<R>,
     /// Per-rank statistics.
     pub stats: Vec<RankStats>,
+    /// Per-rank recorded events (empty unless [`Machine::trace_events`]).
+    pub events: Vec<Vec<SpanEvent>>,
     /// Simulated makespan: the maximum final virtual clock (seconds).
     pub makespan_s: f64,
 }
@@ -602,10 +668,11 @@ impl<R> RunReport<R> {
 pub struct Machine {
     nranks: usize,
     model: CostModel,
+    trace: bool,
 }
 
 enum Outcome<R, E> {
-    Done(R, RankStats),
+    Done(R, RankStats, Vec<SpanEvent>),
     Errored(E),
 }
 
@@ -613,7 +680,19 @@ impl Machine {
     /// Create a machine with `nranks` ranks.
     pub fn new(nranks: usize, model: CostModel) -> Self {
         assert!(nranks > 0);
-        Machine { nranks, model }
+        Machine {
+            nranks,
+            model,
+            trace: false,
+        }
+    }
+
+    /// Record communication events (and [`Rank::compute_as`] spans) on
+    /// every rank; they come back in [`RunReport::events`]. Off by default
+    /// — recording allocates per event but never perturbs virtual clocks.
+    pub fn trace_events(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
     }
 
     /// Run an SPMD program: `f` is executed once per rank, each on its own
@@ -682,6 +761,8 @@ impl Machine {
                                 msgs_sent: 0,
                                 mem_cur: 0,
                                 mem_peak: 0,
+                                trace: self.trace,
+                                events: RefCell::new(Vec::new()),
                             };
                             let out =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -689,7 +770,8 @@ impl Machine {
                                 }));
                             match out {
                                 Ok(Ok(v)) => {
-                                    *slot = Some(Outcome::Done(v, rank.stats()));
+                                    let stats = rank.stats();
+                                    *slot = Some(Outcome::Done(v, stats, rank.take_events()));
                                     // This rank will never send again; peers
                                     // blocked on it may now be provably
                                     // deadlocked.
@@ -729,12 +811,14 @@ impl Machine {
         });
         let mut out = Vec::with_capacity(self.nranks);
         let mut stats = Vec::with_capacity(self.nranks);
+        let mut events = Vec::with_capacity(self.nranks);
         let mut first_err: Option<E> = None;
         for slot in slots {
             match slot {
-                Some(Outcome::Done(v, s)) => {
+                Some(Outcome::Done(v, s, ev)) => {
                     out.push(v);
                     stats.push(s);
+                    events.push(ev);
                 }
                 Some(Outcome::Errored(e)) if first_err.is_none() => first_err = Some(e),
                 Some(Outcome::Errored(_)) => {}
@@ -754,6 +838,7 @@ impl Machine {
         Ok(RunReport {
             results: out,
             stats,
+            events,
             makespan_s: makespan,
         })
     }
@@ -1171,6 +1256,101 @@ mod tests {
             let _: u64 = rank.recv(0, 9);
             Ok(0)
         });
+    }
+
+    #[test]
+    fn events_off_by_default_and_never_perturb_clocks() {
+        let program = |rank: &mut Rank| {
+            if rank.rank() == 0 {
+                rank.compute_as(1e6, Phase::Panel, Some(3));
+                rank.send(1, 1, vec![1.0f64; 64]);
+            } else {
+                let _: Vec<f64> = rank.recv(0, 1);
+            }
+            rank.clock()
+        };
+        let plain = Machine::new(2, CostModel::bluegene_p()).run(program);
+        assert!(plain.events.iter().all(Vec::is_empty));
+        let traced = Machine::new(2, CostModel::bluegene_p())
+            .trace_events(true)
+            .run(program);
+        // Bitwise identical virtual time with and without tracing.
+        assert_eq!(plain.results, traced.results);
+        assert!(!traced.events[0].is_empty());
+    }
+
+    #[test]
+    fn traced_run_records_compute_comm_and_wait_spans() {
+        let m = CostModel {
+            alpha_s: 1.0,
+            beta_s_per_byte: 0.5,
+            flop_time_s: 1.0,
+        };
+        let r = Machine::new(2, m).trace_events(true).run(|rank| {
+            if rank.rank() == 0 {
+                rank.compute_as(2.0, Phase::Panel, Some(5)); // [0, 2]
+                rank.send(1, 1, 42u64); // comm [2, 7]: α + 8·β
+                let req = rank.isend(1, 2, 7u64); // comm [7, 8]: α only
+                rank.wait_send(req); // wait [8, 12]: exposed transfer
+            } else {
+                let t = rank.probe(0, 1); // marker at arrival 7
+                assert_eq!(t, 7.0);
+                let _: u64 = rank.recv(0, 1); // wait [0, 7]
+                let _: (usize, u64) = rank.wait_any(&[(0, 2)]); // wait [7, 12]
+            }
+            0
+        });
+        let ev0 = &r.events[0];
+        let kinds: Vec<(Phase, f64, f64)> =
+            ev0.iter().map(|e| (e.phase, e.start_s, e.dur_s)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (Phase::Panel, 0.0, 2.0),
+                (Phase::Comm, 2.0, 5.0),
+                (Phase::Comm, 7.0, 1.0),
+                (Phase::Wait, 8.0, 4.0),
+            ]
+        );
+        assert_eq!(ev0[0].supernode, Some(5));
+        assert!(ev0.iter().all(|e| e.who == 0));
+        let ev1 = &r.events[1];
+        // Probe marker (zero duration) plus the two real waits.
+        assert!(ev1.contains(&SpanEvent {
+            phase: Phase::Wait,
+            supernode: None,
+            who: 1,
+            start_s: 7.0,
+            dur_s: 0.0,
+        }));
+        let waits: Vec<(f64, f64)> = ev1
+            .iter()
+            .filter(|e| e.phase == Phase::Wait && e.dur_s > 0.0)
+            .map(|e| (e.start_s, e.dur_s))
+            .collect();
+        assert_eq!(waits, vec![(0.0, 7.0), (7.0, 5.0)]);
+    }
+
+    #[test]
+    fn set_trace_events_excludes_epilogue() {
+        let r = Machine::new(2, CostModel::bluegene_p())
+            .trace_events(true)
+            .run(|rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 1, 1u64);
+                    rank.set_trace_events(false);
+                    rank.send(1, 2, 2u64); // epilogue: not recorded
+                } else {
+                    let _: u64 = rank.recv(0, 1);
+                    let _: u64 = rank.recv(0, 2);
+                }
+                0
+            });
+        let comm0 = r.events[0]
+            .iter()
+            .filter(|e| e.phase == Phase::Comm)
+            .count();
+        assert_eq!(comm0, 1);
     }
 
     #[test]

@@ -386,6 +386,37 @@ pub fn rmat_graph(scale: u32, edge_factor: usize, seed: u64) -> AdjGraph {
     AdjGraph::from_parts(xadj, adjncy)
 }
 
+/// Build a generator problem from a compact textual spec — the shared
+/// `--gen` syntax of the command-line tools:
+///
+/// - `lap2d:NX[xNY]` — 2-D five-point Laplacian (`NY` defaults to `NX`)
+/// - `lap3d:NX[xNYxNZ]` — 3-D seven-point Laplacian (cube by default)
+/// - `elast3d:NX[xNYxNZ]` — 3-D elasticity-like block SPD matrix
+///
+/// Returns a descriptive error for anything else.
+pub fn by_spec(spec: &str) -> Result<CscMatrix, String> {
+    let (kind, dims) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("generator spec '{spec}' must look like lap3d:12 or lap2d:40x30"))?;
+    let parts: Result<Vec<usize>, _> = dims.split('x').map(str::parse::<usize>).collect();
+    let parts = parts.map_err(|_| format!("bad dimensions in generator spec '{spec}'"))?;
+    if parts.is_empty() || parts.contains(&0) {
+        return Err(format!("generator spec '{spec}' needs positive dimensions"));
+    }
+    let dim = |i: usize| parts.get(i).copied().unwrap_or(parts[0]);
+    match (kind, parts.len()) {
+        ("lap2d", 1 | 2) => Ok(laplace2d(dim(0), dim(1), Stencil2d::FivePoint)),
+        ("lap3d", 1 | 3) => Ok(laplace3d(dim(0), dim(1), dim(2), Stencil3d::SevenPoint)),
+        ("elast3d", 1 | 3) => Ok(elasticity3d(dim(0), dim(1), dim(2))),
+        ("lap2d" | "lap3d" | "elast3d", _) => {
+            Err(format!("wrong number of dimensions in '{spec}'"))
+        }
+        _ => Err(format!(
+            "unknown generator '{kind}' (expected lap2d, lap3d, or elast3d)"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +564,33 @@ mod tests {
         a.sym_spmv(&mode, &mut ax);
         let rayleigh = ops::dot(&mode, &ax) / ops::dot(&mode, &mode);
         assert!(rayleigh < 0.0, "lowest mode must be negative: {rayleigh}");
+    }
+
+    #[test]
+    fn by_spec_parses_and_rejects() {
+        assert_eq!(
+            by_spec("lap2d:7").unwrap(),
+            laplace2d(7, 7, Stencil2d::FivePoint)
+        );
+        assert_eq!(
+            by_spec("lap2d:7x5").unwrap(),
+            laplace2d(7, 5, Stencil2d::FivePoint)
+        );
+        assert_eq!(
+            by_spec("lap3d:4x3x2").unwrap(),
+            laplace3d(4, 3, 2, Stencil3d::SevenPoint)
+        );
+        assert_eq!(by_spec("elast3d:3").unwrap(), elasticity3d(3, 3, 3));
+        for bad in [
+            "lap3d",
+            "lap3d:",
+            "lap3d:0",
+            "lap3d:4x3",
+            "heat:5",
+            "lap2d:axb",
+        ] {
+            assert!(by_spec(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub enum TraceLevel {
     /// Counters plus one [`SpanEvent`] per (front, phase) — the raw
     /// material for timelines and per-supernode attribution.
     Full,
+    /// Everything `Full` records plus simulator communication events
+    /// (send/wait spans with virtual timestamps) and a post-run profile:
+    /// per-lane timelines, Chrome-trace export, and critical-path analysis
+    /// (see [`crate::timeline`] and [`crate::profile`]).
+    Timeline,
 }
 
 impl TraceLevel {
@@ -43,7 +48,12 @@ impl TraceLevel {
 
     /// Are individual span events recorded?
     pub fn spans(self) -> bool {
-        self == TraceLevel::Full
+        matches!(self, TraceLevel::Full | TraceLevel::Timeline)
+    }
+
+    /// Are communication events and the timeline profile recorded?
+    pub fn timeline(self) -> bool {
+        self == TraceLevel::Timeline
     }
 }
 
@@ -64,6 +74,13 @@ pub enum Phase {
     Gemm,
     /// Triangular solves.
     Solve,
+    /// Time a rank's virtual clock was occupied sending (α + β·bytes for a
+    /// blocking send, α alone for a nonblocking one). Distributed engine at
+    /// [`TraceLevel::Timeline`] only.
+    Comm,
+    /// Time a rank's virtual clock sat blocked for a message that had not
+    /// yet arrived. Distributed engine at [`TraceLevel::Timeline`] only.
+    Wait,
 }
 
 impl Phase {
@@ -74,6 +91,8 @@ impl Phase {
             Phase::Panel => "panel",
             Phase::Gemm => "gemm",
             Phase::Solve => "solve",
+            Phase::Comm => "comm",
+            Phase::Wait => "wait",
         }
     }
 
@@ -84,6 +103,8 @@ impl Phase {
             "panel" => Some(Phase::Panel),
             "gemm" => Some(Phase::Gemm),
             "solve" => Some(Phase::Solve),
+            "comm" => Some(Phase::Comm),
+            "wait" => Some(Phase::Wait),
             _ => None,
         }
     }
@@ -101,6 +122,19 @@ pub struct SpanEvent {
     pub who: usize,
     pub start_s: f64,
     pub dur_s: f64,
+}
+
+/// Canonical span order: by start time, ties broken by recorder id
+/// (rank/worker), further ties kept in append order (stable sort). Both
+/// [`Collector::take_spans`] and the distributed engine's event merge use
+/// this so every consumer sees one ordering.
+pub fn sort_spans(spans: &mut [SpanEvent]) {
+    spans.sort_by(|a, b| {
+        a.start_s
+            .partial_cmp(&b.start_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.who.cmp(&b.who))
+    });
 }
 
 /// A plain snapshot of every counter. This is both the merge unit (what a
@@ -139,6 +173,9 @@ impl Counters {
             Phase::Panel => self.panel_s += dur_s,
             Phase::Gemm => self.gemm_s += dur_s,
             Phase::Solve => self.solve_s += dur_s,
+            // Communication time is accounted by the simulator's per-rank
+            // statistics (`RankReport::comm_s`); span events only.
+            Phase::Comm | Phase::Wait => {}
         }
     }
 
@@ -336,9 +373,13 @@ impl Collector {
         }
     }
 
-    /// Remove and return the recorded span events.
+    /// Remove and return the recorded span events, sorted by start time
+    /// (stable, ties broken by recorder id) — per-thread recorders merge in
+    /// drop order, so the raw buffer interleaves arbitrarily.
     pub fn take_spans(&self) -> Vec<SpanEvent> {
-        std::mem::take(&mut *self.spans.lock().unwrap())
+        let mut spans = std::mem::take(&mut *self.spans.lock().unwrap());
+        sort_spans(&mut spans);
+        spans
     }
 
     /// Zero every counter and drop recorded spans (refactorize reuses the
@@ -548,7 +589,11 @@ mod tests {
 
     #[test]
     fn spans_recorded_only_at_full_level() {
-        for (level, expect) in [(TraceLevel::Counters, 0usize), (TraceLevel::Full, 2)] {
+        for (level, expect) in [
+            (TraceLevel::Counters, 0usize),
+            (TraceLevel::Full, 2),
+            (TraceLevel::Timeline, 2),
+        ] {
             let tr = Collector::new(level);
             {
                 let mut rec = tr.local(7);
@@ -634,9 +679,36 @@ mod tests {
 
     #[test]
     fn phase_names_round_trip() {
-        for p in [Phase::ExtendAdd, Phase::Panel, Phase::Gemm, Phase::Solve] {
+        for p in [
+            Phase::ExtendAdd,
+            Phase::Panel,
+            Phase::Gemm,
+            Phase::Solve,
+            Phase::Comm,
+            Phase::Wait,
+        ] {
             assert_eq!(Phase::from_name(p.name()), Some(p));
         }
         assert_eq!(Phase::from_name("nope"), None);
+    }
+
+    #[test]
+    fn take_spans_returns_start_order_with_stable_ties() {
+        let tr = Collector::new(TraceLevel::Full);
+        let span = |who: usize, start_s: f64| SpanEvent {
+            phase: Phase::Panel,
+            supernode: None,
+            who,
+            start_s,
+            dur_s: 0.1,
+        };
+        // Simulate two recorders merging out of global time order.
+        tr.spans
+            .lock()
+            .unwrap()
+            .extend([span(1, 3.0), span(1, 0.5), span(0, 3.0), span(0, 0.25)]);
+        let got = tr.take_spans();
+        let key: Vec<(usize, f64)> = got.iter().map(|s| (s.who, s.start_s)).collect();
+        assert_eq!(key, vec![(0, 0.25), (1, 0.5), (0, 3.0), (1, 3.0)]);
     }
 }

@@ -14,17 +14,30 @@
 //! - [`LocalRecorder`] — a per-thread / per-rank buffer that records with
 //!   plain field updates and merges into the collector once, on drop.
 //! - [`TraceLevel`] — `Off` (default; every hook is a single branch),
-//!   `Counters`, or `Full` (counters + [`SpanEvent`]s).
+//!   `Counters`, `Full` (counters + [`SpanEvent`]s), or `Timeline` (spans
+//!   + simulator communication events + the post-run profile).
 //! - [`FactorReport`] / [`RankReport`] — the serializable run record,
 //!   with JSON round-tripping via the dependency-free [`json`] module.
+//! - [`timeline`] — per-rank/per-worker lanes (compute/comm/wait) built
+//!   from the merged span stream, with Chrome Trace Event Format export
+//!   for Perfetto / `chrome://tracing`.
+//! - [`profile`] — critical-path analysis over the assembly tree plus
+//!   per-rank idle/overlap breakdown and top-k blocking edges.
 //!
 //! The crate has no dependencies and knows nothing about matrices; engines
 //! decide what to count, this crate makes counting cheap and reporting
-//! uniform.
+//! uniform. (The profiler takes the assembly tree as a plain `parent`
+//! slice for the same reason.)
 
 pub mod collector;
 pub mod json;
+pub mod profile;
 pub mod report;
+pub mod timeline;
 
-pub use collector::{Collector, Counters, LocalRecorder, Phase, SpanEvent, Tick, TraceLevel};
+pub use collector::{
+    sort_spans, Collector, Counters, LocalRecorder, Phase, SpanEvent, Tick, TraceLevel,
+};
+pub use profile::{BlockingEdge, ProfileReport, RankActivity};
 pub use report::{FactorReport, RankReport};
+pub use timeline::{Lane, LaneKind, Timeline};

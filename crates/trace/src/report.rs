@@ -9,6 +9,7 @@
 
 use crate::collector::{Counters, Phase, SpanEvent};
 use crate::json::{Json, JsonError};
+use crate::profile::ProfileReport;
 
 /// Per-rank statistics for a distributed (simulated-MPI) run. Mirrors the
 /// simulator's `RankStats` so those fold into the report without loss.
@@ -64,8 +65,11 @@ pub struct FactorReport {
     pub counters: Counters,
     /// Per-rank breakdown (distributed engine only; empty otherwise).
     pub ranks: Vec<RankReport>,
-    /// Span events (only at `TraceLevel::Full`; empty otherwise).
+    /// Span events (only at `TraceLevel::Full` and above; empty otherwise).
     pub spans: Vec<SpanEvent>,
+    /// Timeline profile: critical path, per-rank idle breakdown, blocking
+    /// edges (only at `TraceLevel::Timeline`; `None` otherwise).
+    pub profile: Option<ProfileReport>,
 }
 
 impl FactorReport {
@@ -175,6 +179,9 @@ impl FactorReport {
                 Json::Arr(self.spans.iter().map(span_to_json).collect()),
             ));
         }
+        if let Some(p) = &self.profile {
+            fields.push(("profile".to_string(), p.to_json()));
+        }
         Json::Obj(fields)
     }
 
@@ -235,6 +242,9 @@ impl FactorReport {
                 .map(span_from_json)
                 .collect::<Option<Vec<_>>>()
                 .ok_or_else(|| field_err("spans"))?;
+        }
+        if let Some(p) = j.get("profile") {
+            r.profile = Some(ProfileReport::from_json(p).ok_or_else(|| field_err("profile"))?);
         }
         Ok(r)
     }
@@ -418,7 +428,39 @@ mod tests {
                     dur_s: 0.01,
                 },
             ],
+            profile: None,
         }
+    }
+
+    #[test]
+    fn profile_section_round_trips() {
+        use crate::profile::{BlockingEdge, RankActivity};
+        let mut r = sample_report();
+        r.profile = Some(ProfileReport {
+            critical_path_s: 1.25,
+            critical_path_wait_s: 0.25,
+            critical_path_len: 17,
+            makespan_s: 1.5,
+            ranks: vec![RankActivity {
+                who: 0,
+                busy_s: 1.2,
+                comm_s: 0.2,
+                wait_s: 0.1,
+                idle_frac: 0.0667,
+            }],
+            blocking_edges: vec![BlockingEdge {
+                blocker: Some(3),
+                waiter: 9,
+                wait_s: 0.2,
+            }],
+            congested_rank: Some(1),
+        });
+        let back = FactorReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+        // Reports without the section parse to None.
+        let plain = sample_report();
+        let back = FactorReport::from_json_str(&plain.to_json_string()).unwrap();
+        assert_eq!(back.profile, None);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# Warn-only performance gate: run the quick kernel sweep and compare each
+# (kernel, n, k) packed_gflops rate against the committed BENCH_pr2.json
+# baseline. Prints a WARN line for every kernel that regressed by more
+# than the tolerance (default 30%, override with BENCH_CHECK_TOL=0.5).
+#
+#   scripts/bench_check.sh [baseline.json]   (default: BENCH_pr2.json)
+#
+# Always exits 0: CI machines are noisy and the committed baseline comes
+# from a different host, so this is a trend alarm, not a hard gate.
+set -eu
+cd "$(dirname "$0")/.."
+baseline="${1:-BENCH_pr2.json}"
+tol="${BENCH_CHECK_TOL:-0.3}"
+fresh=$(mktemp /tmp/bench_check.XXXXXX.json)
+trap 'rm -f "$fresh"' EXIT
+
+BENCH_QUICK=1 cargo run -q --release -p parfact-bench --bin bench_pr2 -- "$fresh"
+
+# Flatten one kernel record per line: kernel|n|k|packed_gflops. The JSON
+# is machine-written (one "key": value pair per line), so line-oriented
+# awk is enough — no JSON parser dependency.
+flatten() {
+    awk '
+        /"kernel":/ { gsub(/[",]/, "", $2); kernel = $2 }
+        /"n":/      { gsub(/,/, "", $2); n = $2 }
+        /"k":/      { gsub(/,/, "", $2); k = $2 }
+        /"packed_gflops":/ {
+            gsub(/,/, "", $2)
+            print kernel "|" n "|" k "|" $2
+        }
+    ' "$1"
+}
+
+flatten "$baseline" > "$fresh.base"
+flatten "$fresh" > "$fresh.new"
+trap 'rm -f "$fresh" "$fresh.base" "$fresh.new"' EXIT
+
+warned=0
+compared=0
+while IFS='|' read -r kernel n k base_gf; do
+    new_gf=$(awk -F'|' -v key="$kernel|$n|$k" \
+        '$1 "|" $2 "|" $3 == key { print $4 }' "$fresh.new")
+    [ -n "$new_gf" ] || continue
+    compared=$((compared + 1))
+    is_slow=$(awk -v b="$base_gf" -v c="$new_gf" -v t="$tol" \
+        'BEGIN { print (c < b * (1 - t)) ? 1 : 0 }')
+    if [ "$is_slow" = 1 ]; then
+        echo "WARN: $kernel n=$n k=$k: $new_gf GF/s vs baseline $base_gf GF/s"
+        warned=1
+    else
+        echo "ok:   $kernel n=$n k=$k: $new_gf GF/s (baseline $base_gf)"
+    fi
+done < "$fresh.base"
+
+if [ "$compared" = 0 ]; then
+    echo "bench_check: no comparable (kernel, n, k) entries between the quick run and $baseline"
+elif [ "$warned" = 1 ]; then
+    echo "bench_check: kernel rates regressed vs $baseline (warn-only; see above)"
+else
+    echo "bench_check: $compared kernel rates within ${tol} of $baseline"
+fi
+exit 0

@@ -1,18 +1,24 @@
 //! `parfact-solve` — command-line direct solver for Matrix Market systems.
 //!
 //! ```text
-//! parfact-solve <matrix.mtx> [options]
+//! parfact-solve <matrix.mtx | --gen spec> [options]
 //!
+//!   --gen <spec>        generate the problem instead of reading a file:
+//!                       lap2d:NX[xNY] | lap3d:NX[xNYxNZ] | elast3d:NX[xNYxNZ]
 //!   --rhs <file>        right-hand side: whitespace-separated numbers
 //!                       (default: b = A * ones, so x* = ones)
 //!   --out <file>        write the solution, one value per line
 //!   --ordering <m>      nd | amd | rcm | natural        (default nd)
 //!   --ldlt              LDLt instead of Cholesky (symmetric indefinite)
 //!   --threads <t>       SMP engine with t threads (default: sequential)
+//!   --ranks <p>         distributed engine on p simulated ranks
 //!   --refine <k>        iterative-refinement steps     (default 1)
 //!   --stats             print condition estimate and log-determinant
 //!   --report <file>     write the factorization report (counters traced)
 //!                       as JSON
+//!   --trace-out <file>  record a timeline trace and write it as Chrome
+//!                       Trace Event JSON (open in Perfetto); also prints
+//!                       the critical-path profile
 //! ```
 //!
 //! The matrix must be square and symmetric (Matrix Market `symmetric`, or
@@ -20,40 +26,48 @@
 
 use parfact::core::analysis;
 use parfact::core::smp::SmpOpts;
-use parfact::core::solver::{Engine, FactorOpts, SparseCholesky};
+use parfact::core::solver::{DistOpts, Engine, FactorOpts, SparseCholesky};
 use parfact::core::FactorKind;
 use parfact::order::Method;
-use parfact::sparse::{io, ops};
+use parfact::sparse::{gen, io, ops};
+use parfact::trace::Timeline;
 use std::path::Path;
 use std::process::ExitCode;
 
 struct Args {
     matrix: String,
+    gen: Option<String>,
     rhs: Option<String>,
     out: Option<String>,
     ordering: Method,
     ldlt: bool,
     threads: usize,
+    ranks: usize,
     refine: usize,
     stats: bool,
     report: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         matrix: String::new(),
+        gen: None,
         rhs: None,
         out: None,
         ordering: Method::default(),
         ldlt: false,
         threads: 0,
+        ranks: 0,
         refine: 1,
         stats: false,
         report: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--gen" => args.gen = Some(it.next().ok_or("--gen needs a spec")?),
             "--rhs" => args.rhs = Some(it.next().ok_or("--rhs needs a file")?),
             "--out" => args.out = Some(it.next().ok_or("--out needs a file")?),
             "--ordering" => {
@@ -80,8 +94,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--refine needs an integer")?
             }
+            "--ranks" => {
+                args.ranks = it
+                    .next()
+                    .ok_or("--ranks needs a count")?
+                    .parse()
+                    .map_err(|_| "--ranks needs an integer")?
+            }
             "--stats" => args.stats = true,
             "--report" => args.report = Some(it.next().ok_or("--report needs a file")?),
+            "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a file")?),
             "--help" | "-h" => return Err("usage".into()),
             other if args.matrix.is_empty() && !other.starts_with('-') => {
                 args.matrix = other.to_string()
@@ -89,8 +111,14 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
-    if args.matrix.is_empty() {
-        return Err("no matrix file given".into());
+    if args.matrix.is_empty() && args.gen.is_none() {
+        return Err("no matrix file or --gen spec given".into());
+    }
+    if !args.matrix.is_empty() && args.gen.is_some() {
+        return Err("give either a matrix file or --gen, not both".into());
+    }
+    if args.ranks > 0 && args.threads > 1 {
+        return Err("--ranks and --threads are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -112,17 +140,26 @@ fn main() -> ExitCode {
             if msg != "usage" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: parfact-solve <matrix.mtx> [--rhs f] [--out f] [--ordering nd|amd|rcm|natural] [--ldlt] [--threads t] [--refine k] [--stats] [--report f]");
+            eprintln!("usage: parfact-solve <matrix.mtx | --gen spec> [--rhs f] [--out f] [--ordering nd|amd|rcm|natural] [--ldlt] [--threads t] [--ranks p] [--refine k] [--stats] [--report f] [--trace-out f]");
             return ExitCode::from(2);
         }
     };
 
-    let a = match io::read_sym_lower(Path::new(&args.matrix)) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error reading {}: {e}", args.matrix);
-            return ExitCode::FAILURE;
-        }
+    let a = match &args.gen {
+        Some(spec) => match gen::by_spec(spec) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match io::read_sym_lower(Path::new(&args.matrix)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error reading {}: {e}", args.matrix);
+                return ExitCode::FAILURE;
+            }
+        },
     };
     println!("matrix: n = {}, nnz(lower) = {}", a.nrows(), a.nnz());
 
@@ -150,7 +187,12 @@ fn main() -> ExitCode {
         } else {
             FactorKind::Llt
         })
-        .engine(if args.threads > 1 {
+        .engine(if args.ranks > 0 {
+            Engine::Dist(DistOpts {
+                ranks: args.ranks,
+                ..DistOpts::default()
+            })
+        } else if args.threads > 1 {
             Engine::Smp(SmpOpts {
                 threads: args.threads,
                 ..SmpOpts::default()
@@ -158,7 +200,9 @@ fn main() -> ExitCode {
         } else {
             Engine::Sequential
         })
-        .trace(if args.report.is_some() {
+        .trace(if args.trace_out.is_some() {
+            parfact::TraceLevel::Timeline
+        } else if args.report.is_some() {
             parfact::TraceLevel::Counters
         } else {
             parfact::TraceLevel::Off
@@ -196,6 +240,26 @@ fn main() -> ExitCode {
         let cond = analysis::cond1_estimate(&a, chol.factor(), 5);
         let (logdet, sign) = chol.factor().log_det();
         println!("stats: cond1 estimate = {cond:.3e}, log|det A| = {logdet:.6} (sign {sign:+.0})");
+    }
+
+    if let Some(path) = &args.trace_out {
+        let tl = Timeline::from_spans(&r.spans);
+        let label = if args.ranks > 0 { "rank" } else { "worker" };
+        let json = tl.to_chrome_trace(label).to_string_compact() + "\n";
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace: {} spans across {} lanes written to {path} (open in https://ui.perfetto.dev)",
+            r.spans.len(),
+            tl.lanes.len()
+        );
+        if let Some(p) = &r.profile {
+            let mut text = String::new();
+            p.render(&mut text);
+            print!("{text}");
+        }
     }
 
     if let Some(path) = &args.report {

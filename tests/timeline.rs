@@ -1,0 +1,167 @@
+//! Timeline-profiler integration tests: lane invariants on arbitrary
+//! systems (proptest) and the structure of the exported Chrome trace.
+
+use parfact::core::solver::{DistOpts, Engine, FactorOpts, SparseCholesky};
+use parfact::sparse::gen;
+use parfact::trace::{json, LaneKind, Timeline};
+use parfact::TraceLevel;
+use proptest::prelude::*;
+
+fn dist_opts(ranks: usize) -> FactorOpts {
+    FactorOpts::new()
+        .engine(Engine::Dist(DistOpts {
+            ranks,
+            ..DistOpts::default()
+        }))
+        .trace(TraceLevel::Timeline)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On arbitrary SPD systems and rank counts, the recorded spans form a
+    /// valid timeline: every span has non-negative duration, lanes are
+    /// start-sorted, and real (positive-duration) intervals on one lane
+    /// never overlap — in *exact* virtual time, tolerance zero.
+    #[test]
+    fn dist_spans_form_valid_lanes(
+        n in 12usize..=50,
+        k in 1usize..=4,
+        seed in any::<u64>(),
+        ranks in 1usize..=6,
+    ) {
+        let a = gen::random_spd(n, k, seed);
+        let chol = SparseCholesky::factorize(&a, &dist_opts(ranks)).unwrap();
+        let r = chol.report();
+        prop_assert!(!r.spans.is_empty());
+        let tl = Timeline::from_spans(&r.spans);
+        prop_assert!(tl.validate(0.0).is_ok(), "{:?}", tl.validate(0.0));
+        // Every rank that did attributed work appears, and no span starts
+        // before virtual time zero or after the profiled makespan.
+        let p = r.profile.as_ref().unwrap();
+        for lane in &tl.lanes {
+            prop_assert!(lane.who < ranks);
+            for s in &lane.spans {
+                prop_assert!(s.start_s >= 0.0);
+                prop_assert!(s.start_s + s.dur_s <= p.makespan_s + 1e-12);
+            }
+        }
+        prop_assert!(p.critical_path_s <= p.makespan_s + 1e-12);
+    }
+}
+
+/// Golden structural test of the Chrome Trace Event export: parse the JSON
+/// back and check the contract that Perfetto / `chrome://tracing` rely on.
+#[test]
+fn chrome_trace_export_structure() {
+    let a = gen::laplace3d(6, 6, 5, gen::Stencil3d::SevenPoint);
+    let ranks = 4;
+    let chol = SparseCholesky::factorize(&a, &dist_opts(ranks)).unwrap();
+    let tl = Timeline::from_spans(&chol.report().spans);
+    let text = tl.to_chrome_trace("rank").to_string_compact();
+
+    let j = json::parse(&text).expect("export is valid JSON");
+    assert!(j.get("displayTimeUnit").is_some());
+    let events = j
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut lanes_named: Vec<(u64, u64)> = Vec::new(); // (pid, tid)
+    let mut process_named = vec![false; ranks];
+    let mut x_events = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).expect("ph");
+        let pid = ev.get("pid").and_then(|p| p.as_f64()).expect("pid") as usize;
+        assert!(pid < ranks, "pid {pid} out of range");
+        match ph {
+            "M" => {
+                let name = ev.get("name").and_then(|n| n.as_str()).unwrap();
+                let arg = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                    .expect("metadata name arg");
+                match name {
+                    "process_name" => {
+                        assert_eq!(arg, format!("rank {pid}"));
+                        process_named[pid] = true;
+                    }
+                    "thread_name" => {
+                        let tid = ev.get("tid").and_then(|t| t.as_f64()).unwrap() as u64;
+                        let expected = LaneKind::ALL.iter().find(|k| k.tid() == tid).unwrap();
+                        assert_eq!(arg, expected.name());
+                        lanes_named.push((pid as u64, tid));
+                    }
+                    other => panic!("unexpected metadata event '{other}'"),
+                }
+            }
+            "X" => {
+                // Complete events carry microsecond timestamps + duration.
+                let ts = ev.get("ts").and_then(|t| t.as_f64()).expect("ts");
+                let dur = ev.get("dur").and_then(|d| d.as_f64()).expect("dur");
+                assert!(ts >= 0.0 && dur > 0.0);
+                assert!(ev.get("name").is_some() && ev.get("cat").is_some());
+                x_events += 1;
+            }
+            "i" => {
+                // Instant events (zero-duration markers) need a scope.
+                assert_eq!(ev.get("s").and_then(|s| s.as_str()), Some("t"));
+            }
+            other => panic!("unexpected event phase '{other}'"),
+        }
+    }
+    assert!(x_events > 0, "no complete events exported");
+    assert!(process_named.iter().all(|&p| p), "every rank gets a name");
+    // The acceptance bar: >= 3 named lanes (compute/comm/wait) per rank.
+    for pid in 0..ranks as u64 {
+        let n = lanes_named.iter().filter(|(p, _)| *p == pid).count();
+        assert_eq!(n, 3, "rank {pid} must expose 3 named lanes, got {n}");
+    }
+}
+
+/// The sync (strict postorder) schedule skews per-rank clocks far more
+/// than the event-driven one; the profile invariant must hold regardless.
+#[test]
+fn sync_schedule_profile_stays_within_makespan() {
+    let a = gen::laplace3d(6, 6, 6, gen::Stencil3d::SevenPoint);
+    for ranks in [4, 8] {
+        let chol = SparseCholesky::factorize(
+            &a,
+            &FactorOpts::new()
+                .engine(Engine::Dist(DistOpts {
+                    ranks,
+                    sync_schedule: true,
+                    ..DistOpts::default()
+                }))
+                .trace(TraceLevel::Timeline),
+        )
+        .unwrap();
+        let p = chol.report().profile.as_ref().unwrap();
+        assert!(
+            p.critical_path_s + p.critical_path_wait_s <= p.makespan_s + 1e-12,
+            "ranks {ranks}: path {} + wait {} vs makespan {}",
+            p.critical_path_s,
+            p.critical_path_wait_s,
+            p.makespan_s
+        );
+        assert!(p.critical_path_s > 0.0);
+    }
+}
+
+/// The same factorization traced and untraced produces bitwise-identical
+/// factors through the façade — tracing is pure observation.
+#[test]
+fn timeline_trace_is_pure_observation() {
+    let a = gen::laplace2d(18, 16, gen::Stencil2d::FivePoint);
+    let plain = SparseCholesky::factorize(
+        &a,
+        &FactorOpts::new().engine(Engine::Dist(DistOpts::default())),
+    )
+    .unwrap();
+    let traced = SparseCholesky::factorize(&a, &dist_opts(DistOpts::default().ranks)).unwrap();
+    assert_eq!(traced.factor().max_abs_diff(plain.factor()), 0.0);
+    assert!(plain.report().spans.is_empty());
+    assert!(!traced.report().spans.is_empty());
+}
