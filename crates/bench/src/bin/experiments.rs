@@ -91,6 +91,7 @@ impl Ctx {
                     MapStrategy::default(),
                     false,
                     Some(&b),
+                    1,
                     true,
                 )
                 .expect("SPD");
@@ -947,6 +948,7 @@ fn exp_a7(ctx: &Ctx) {
                 MapStrategy::default(),
                 false,
                 None,
+                1,
                 true,
             )
             .expect("SPD");

@@ -109,6 +109,11 @@ pub fn equilibrate(a: &CscMatrix) -> (Vec<f64>, CscMatrix) {
 
 /// Solve `A x = b` through an equilibrated factorization:
 /// `(D A D)(D⁻¹ x) = D b`, i.e. `x = D · solve(D b)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use SparseCholesky::solve_with with SolveOpts::new().equilibrate(d); \
+            it also batches, refines and feeds the solve report"
+)]
 pub fn solve_equilibrated(factor: &Factor, d: &[f64], b: &[f64]) -> Vec<f64> {
     let db: Vec<f64> = b.iter().zip(d).map(|(&bi, &di)| bi * di).collect();
     let y = factor.solve(&db);
@@ -174,6 +179,7 @@ mod tests {
 
     #[test]
     fn equilibration_gives_unit_diagonal_and_same_solution() {
+        use crate::solver::{RhsBlock, SolveOpts};
         let a = gen::random_spd(80, 5, 17);
         let (d, scaled) = equilibrate(&a);
         for i in 0..80 {
@@ -184,9 +190,20 @@ mod tests {
             .unwrap()
             .solve(&b);
         let chol_s = SparseCholesky::factorize(&scaled, &FactorOpts::default()).unwrap();
+        #[allow(deprecated)]
         let via_eq = solve_equilibrated(chol_s.factor(), &d, &b);
         for (x, y) in direct.iter().zip(&via_eq) {
             assert!((x - y).abs() < 1e-9);
+        }
+        // The facade route is bitwise identical to the deprecated helper.
+        let via_opts = chol_s
+            .solve_with(
+                RhsBlock::single(&b),
+                &SolveOpts::new().equilibrate(d.clone()),
+            )
+            .unwrap();
+        for (x, y) in via_eq.iter().zip(&via_opts.x) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

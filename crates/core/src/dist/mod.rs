@@ -699,7 +699,8 @@ pub fn gather_factor(
 pub struct DistOutcome {
     /// The factor gathered to rank 0 (verification / host-side solve).
     pub factor: Factor,
-    /// Solution of `A x = b` in the original index space (when `b` given).
+    /// Solution of `A X = B` in the original index space (when `b` given):
+    /// `n x nrhs` column-major, matching the right-hand-side block.
     pub x: Option<Vec<f64>>,
     /// Simulated numeric-factorization makespan (seconds).
     pub factor_time_s: f64,
@@ -827,16 +828,20 @@ pub fn run_distributed_prepared(
         strategy,
         sync_schedule,
         b,
+        1,
         false,
     )
 }
 
-/// [`run_distributed_prepared`] with optional event tracing: when
-/// `timeline` is set, every rank records compute spans (attributed to
-/// supernodes and phases) plus communication/wait spans with virtual
-/// timestamps, returned per rank in [`DistOutcome::events`]. Tracing never
-/// touches the virtual clocks, so traced runs stay bitwise identical to
-/// untraced ones.
+/// [`run_distributed_prepared`] with optional event tracing and batched
+/// right-hand sides: `b` is an `n x nrhs` column-major block (`nrhs = 1`
+/// recovers the single-vector behavior). When `timeline` is set, every
+/// rank records compute spans (attributed to supernodes and phases) plus
+/// communication/wait spans with virtual timestamps, returned per rank in
+/// [`DistOutcome::events`]; the trace covers the factorization *and* the
+/// solve (per-rank solve lanes), excluding only the verification gather.
+/// Tracing never touches the virtual clocks, so traced runs stay bitwise
+/// identical to untraced ones.
 #[allow(clippy::too_many_arguments)]
 pub fn run_distributed_prepared_traced(
     p: usize,
@@ -847,12 +852,21 @@ pub fn run_distributed_prepared_traced(
     strategy: crate::mapping::MapStrategy,
     sync_schedule: bool,
     b: Option<&[f64]>,
+    nrhs: usize,
     timeline: bool,
 ) -> Result<DistOutcome, FactorError> {
     use parfact_mpsim::Machine;
     let map = crate::mapping::map_tree(sym, p, strategy);
     assert!(map.validate(sym), "invalid mapping");
-    let bp = b.map(|b| total_perm.apply_vec(b));
+    let n = sym.n;
+    let bp = b.map(|b| {
+        assert_eq!(b.len(), n * nrhs, "rhs block must be n x nrhs");
+        let mut bp = vec![0.0f64; n * nrhs];
+        for r in 0..nrhs {
+            bp[r * n..(r + 1) * n].copy_from_slice(&total_perm.apply_vec(&b[r * n..(r + 1) * n]));
+        }
+        bp
+    });
 
     type RankOut = (
         f64,
@@ -866,20 +880,29 @@ pub fn run_distributed_prepared_traced(
         |rank| -> Result<RankOut, FactorError> {
             let rf = factorize_rank(rank, ap, sym, &map, sync_schedule)?;
             let t_factor = rank.clock();
-            // The timeline covers the factorization only: the critical-path
-            // model (a supernode is ready when its children finish) is a
-            // statement about the assembly tree, which the backward solve
-            // traverses in the opposite direction. Stop recording here so
-            // profile spans stay within the factorization makespan.
-            rank.set_trace_events(false);
+            // The solve is traced too (per-rank solve lanes): its compute
+            // spans carry `Phase::Solve`, which the critical-path profiler
+            // filters out — the profile models the factorization's
+            // child-before-parent dependencies, which the backward solve
+            // traverses in the opposite direction.
             let xp = bp
                 .as_ref()
-                .and_then(|bp| solve::solve_rank(rank, sym, &map, &rf, bp));
+                .and_then(|bp| solve::solve_rank(rank, sym, &map, &rf, bp, nrhs));
             let t_solve = rank.clock() - t_factor;
+            // The verification gather stays out of the trace, mirroring
+            // what the stats snapshot excludes.
+            rank.set_trace_events(false);
             let stats = rank.stats();
             let fbytes = rf.factor_bytes(sym);
             let factor = gather_factor(rank, sym, &map, &rf, total_perm.clone());
-            let x = xp.map(|xp| total_perm.apply_inv_vec(&xp));
+            let x = xp.map(|xp| {
+                let mut x = vec![0.0f64; n * nrhs];
+                for r in 0..nrhs {
+                    x[r * n..(r + 1) * n]
+                        .copy_from_slice(&total_perm.apply_inv_vec(&xp[r * n..(r + 1) * n]));
+                }
+                x
+            });
             Ok((t_factor, t_solve, stats, fbytes, factor, x))
         },
     )?;
@@ -1134,6 +1157,7 @@ mod tests {
                 MapStrategy::default(),
                 false,
                 Some(&b),
+                1,
                 timeline,
             )
             .unwrap()
@@ -1161,13 +1185,18 @@ mod tests {
         }
         assert!(merged.iter().any(|e| e.phase == Phase::Comm));
         assert!(merged.iter().any(|e| e.phase == Phase::Wait));
-        // Span timestamps never exceed the factorization makespan (the
-        // solve and gather epilogue are excluded from the trace).
+        // The solve is traced too: attributed solve-lane spans exist and
+        // start after the factorization makespan begins.
+        assert!(merged
+            .iter()
+            .any(|e| e.phase == Phase::Solve && e.supernode.is_some()));
+        // Span timestamps stay within factor + solve virtual time (only
+        // the verification gather is excluded from the trace).
         let end = merged
             .iter()
             .map(|e| e.start_s + e.dur_s)
             .fold(0.0f64, f64::max);
-        assert!(end <= traced.factor_time_s + 1e-12);
+        assert!(end <= traced.factor_time_s + traced.solve_time_s + 1e-12);
     }
 
     #[test]

@@ -1,17 +1,23 @@
 //! Distributed triangular solves.
 //!
 //! The solve follows the assembly tree like the factorization, but the
-//! per-front work is tiny (O(front²) flops against O(front³) for the
+//! per-front work is tiny (O(front²·nrhs) flops against O(front³) for the
 //! factorization), so the panel of each distributed supernode is gathered
 //! to the supernode's **group leader**, which performs the front's solve
 //! steps and exchanges right-hand-side segments with its parent's and
 //! children's leaders. This gather-per-front pattern is exactly why solve
 //! scales worse than factorization — a shape the experiments reproduce
 //! (EXP-F4).
+//!
+//! Right-hand sides travel as column-major blocks: contribution and
+//! x-row messages carry `rows x nrhs` flattened buffers, so the message
+//! count stays flat while the payload (and the per-front flops) scale with
+//! `nrhs` — batched solves amortize the latency-bound tree walk across
+//! the whole block.
 
 use crate::dist::{front, RankFactor};
 use crate::mapping::{Layout, Mapping};
-use parfact_dense::trsv;
+use parfact_dense::solve as dsolve;
 use parfact_mpsim::Rank;
 use parfact_symbolic::{Symbolic, NONE};
 use parfact_trace::Phase;
@@ -97,17 +103,20 @@ fn send_panel_pieces(
     rank.send(lead, front::tag(s, phase), buf);
 }
 
-/// SPMD distributed solve (`L Lᵀ x = b`, permuted space). Every rank calls
-/// this with the (replicated) permuted right-hand side; rank 0 returns the
-/// full solution.
+/// SPMD distributed solve (`L Lᵀ X = B`, permuted space). Every rank calls
+/// this with the (replicated) permuted right-hand-side block (`n x nrhs`
+/// column-major); rank 0 returns the full solution block.
 pub fn solve_rank(
     rank: &mut Rank,
     sym: &Symbolic,
     map: &Mapping,
     rf: &RankFactor,
     bp: &[f64],
+    nrhs: usize,
 ) -> Option<Vec<f64>> {
     let me = rank.rank();
+    let n = sym.n;
+    debug_assert_eq!(bp.len(), n * nrhs);
     let nsuper = sym.nsuper();
     let mut x = bp.to_vec();
     // Leader-to-leader stashes for same-rank transfers.
@@ -130,14 +139,18 @@ pub fn solve_rank(
         let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
         let w = c1 - c0;
         let f = sym.front_order(s);
+        let m = f - w;
         let panel: std::borrow::Cow<'_, [f64]> = if is_dist {
             std::borrow::Cow::Owned(gather_panel(rank, sym, map, rf, s, PH_FWD_PANEL))
         } else {
             std::borrow::Cow::Borrowed(&rf.local_panels[&s])
         };
-        // RHS front: pivot segment then below rows.
-        let mut y = vec![0.0f64; f];
-        y[..w].copy_from_slice(&x[c0..c1]);
+        // RHS front: pivot block then below-rows block, column-major.
+        let mut ypiv = vec![0.0f64; w * nrhs];
+        let mut ybelow = vec![0.0f64; m * nrhs];
+        for r in 0..nrhs {
+            ypiv[r * w..(r + 1) * w].copy_from_slice(&x[r * n + c0..r * n + c1]);
+        }
         // Children contributions.
         for &c in &sym.tree.children[s] {
             let clead = map.leader(c);
@@ -148,31 +161,38 @@ pub fn solve_rank(
             } else {
                 rank.recv::<Vec<f64>>(clead, front::tag(c, PH_FWD_CONTRIB))
             };
-            for (k, &r) in sym.sn_rows[c].iter().enumerate() {
-                let pos = if r < c1 {
-                    r - c0
+            let mc = sym.sn_rows[c].len();
+            for (k, &r_row) in sym.sn_rows[c].iter().enumerate() {
+                let pos = if r_row < c1 {
+                    r_row - c0
                 } else {
-                    w + sym.sn_rows[s].binary_search(&r).expect("containment")
+                    w + sym.sn_rows[s].binary_search(&r_row).expect("containment")
                 };
-                y[pos] += contrib[k];
+                for r in 0..nrhs {
+                    if pos < w {
+                        ypiv[r * w + pos] += contrib[r * mc + k];
+                    } else {
+                        ybelow[r * m + (pos - w)] += contrib[r * mc + k];
+                    }
+                }
             }
         }
-        trsv::trsv_ln(w, &panel, f, &mut y[..w], false);
-        rank.compute_as((w * w) as f64, Phase::Solve, Some(s));
-        if f > w {
-            let (y1, y2) = y.split_at_mut(w);
-            trsv::gemv_sub(f - w, w, &panel[w..], f, y1, y2);
-            rank.compute_as((2 * (f - w) * w) as f64, Phase::Solve, Some(s));
+        dsolve::trsm_ln(w, nrhs, &panel, f, &mut ypiv, w, false);
+        rank.compute_as((w * w * nrhs) as f64, Phase::Solve, Some(s));
+        if m > 0 {
+            dsolve::gemm_block_sub(m, w, nrhs, &panel[w..], f, &ypiv, w, &mut ybelow, m);
+            rank.compute_as((2 * m * w * nrhs) as f64, Phase::Solve, Some(s));
         }
-        x[c0..c1].copy_from_slice(&y[..w]);
+        for r in 0..nrhs {
+            x[r * n + c0..r * n + c1].copy_from_slice(&ypiv[r * w..(r + 1) * w]);
+        }
         let parent = sym.tree.parent[s];
         if parent != NONE {
-            let contrib = y[w..].to_vec();
             let plead = map.leader(parent);
             if plead == me {
-                fwd_stash.insert(front::tag(s, PH_FWD_CONTRIB), contrib);
+                fwd_stash.insert(front::tag(s, PH_FWD_CONTRIB), ybelow);
             } else {
-                rank.send(plead, front::tag(s, PH_FWD_CONTRIB), contrib);
+                rank.send(plead, front::tag(s, PH_FWD_CONTRIB), ybelow);
             }
         }
         if is_dist {
@@ -196,15 +216,17 @@ pub fn solve_rank(
         let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
         let w = c1 - c0;
         let f = sym.front_order(s);
+        let m = f - w;
         let panel: std::borrow::Cow<'_, [f64]> = if is_dist {
             std::borrow::Cow::Owned(gather_panel(rank, sym, map, rf, s, PH_BWD_PANEL))
         } else {
             std::borrow::Cow::Borrowed(&rf.local_panels[&s])
         };
-        // x at this supernode's below rows, provided by the parent's leader.
+        // x at this supernode's below rows (`m x nrhs`), provided by the
+        // parent's leader.
         let parent = sym.tree.parent[s];
         let xrows: Vec<f64> = if parent == NONE {
-            Vec::new()
+            vec![0.0f64; m * nrhs]
         } else {
             let plead = map.leader(parent);
             if plead == me {
@@ -215,26 +237,29 @@ pub fn solve_rank(
                 rank.recv::<Vec<f64>>(plead, front::tag(s, PH_BWD_XROWS))
             }
         };
-        if f > w {
-            trsv::gemv_t_sub(f - w, w, &panel[w..], f, &xrows, &mut x[c0..c1]);
-            rank.compute_as((2 * (f - w) * w) as f64, Phase::Solve, Some(s));
+        if m > 0 {
+            dsolve::gemm_block_t_sub(m, w, nrhs, &panel[w..], f, &xrows, m, &mut x[c0..], n);
+            rank.compute_as((2 * m * w * nrhs) as f64, Phase::Solve, Some(s));
         }
-        trsv::trsv_lt(w, &panel, f, &mut x[c0..c1], false);
-        rank.compute_as((w * w) as f64, Phase::Solve, Some(s));
+        dsolve::trsm_lt(w, nrhs, &panel, f, &mut x[c0..], n, false);
+        rank.compute_as((w * w * nrhs) as f64, Phase::Solve, Some(s));
         // Provide x-rows to every child's leader. A child's rows live in my
         // columns or in my own x-rows (containment invariant).
         for &c in &sym.tree.children[s] {
-            let vals: Vec<f64> = sym.sn_rows[c]
-                .iter()
-                .map(|&r| {
-                    if r < c1 {
-                        x[r]
-                    } else {
-                        let k = sym.sn_rows[s].binary_search(&r).expect("containment");
-                        xrows[k]
+            let mc = sym.sn_rows[c].len();
+            let mut vals = vec![0.0f64; mc * nrhs];
+            for (k, &r_row) in sym.sn_rows[c].iter().enumerate() {
+                if r_row < c1 {
+                    for r in 0..nrhs {
+                        vals[r * mc + k] = x[r * n + r_row];
                     }
-                })
-                .collect();
+                } else {
+                    let k2 = sym.sn_rows[s].binary_search(&r_row).expect("containment");
+                    for r in 0..nrhs {
+                        vals[r * mc + k] = xrows[r * m + k2];
+                    }
+                }
+            }
             let clead = map.leader(c);
             if clead == me {
                 bwd_stash.insert(front::tag(c, PH_BWD_XROWS), vals);
@@ -253,18 +278,24 @@ pub fn solve_rank(
             let lead = map.leader(s);
             if lead != 0 {
                 let seg = rank.recv::<Vec<f64>>(lead, front::tag(s, PH_GATHER_X));
-                x[sym.sn_ptr[s]..sym.sn_ptr[s + 1]].copy_from_slice(&seg);
+                let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+                let w = c1 - c0;
+                for r in 0..nrhs {
+                    x[r * n + c0..r * n + c1].copy_from_slice(&seg[r * w..(r + 1) * w]);
+                }
             }
         }
         Some(x)
     } else {
         for s in 0..nsuper {
             if map.leader(s) == me {
-                rank.send(
-                    0,
-                    front::tag(s, PH_GATHER_X),
-                    x[sym.sn_ptr[s]..sym.sn_ptr[s + 1]].to_vec(),
-                );
+                let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+                let w = c1 - c0;
+                let mut seg = vec![0.0f64; w * nrhs];
+                for r in 0..nrhs {
+                    seg[r * w..(r + 1) * w].copy_from_slice(&x[r * n + c0..r * n + c1]);
+                }
+                rank.send(0, front::tag(s, PH_GATHER_X), seg);
             }
         }
         None

@@ -18,6 +18,10 @@ pub enum FactorError {
     /// The requested engine/option combination is not implemented (e.g.
     /// LDLᵀ on the distributed engine).
     Unsupported(String),
+    /// A solve was handed a right-hand-side buffer whose length does not
+    /// match the factored system (`expected = n * nrhs`). The checked solve
+    /// API returns this; the legacy `solve`/`solve_many` shims panic.
+    DimensionMismatch { expected: usize, got: usize },
     /// An engine invariant broke (e.g. the distributed gather produced no
     /// factor on the root rank). Always a bug, never a property of the
     /// input — reported as an error instead of a panic so a long-running
@@ -50,6 +54,10 @@ impl fmt::Display for FactorError {
             FactorError::ZeroPivot { col } => write!(f, "zero pivot at column {col}"),
             FactorError::BadStructure(e) => write!(f, "bad matrix structure: {e}"),
             FactorError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            FactorError::DimensionMismatch { expected, got } => write!(
+                f,
+                "right-hand-side length mismatch: expected {expected} values, got {got}"
+            ),
             FactorError::Internal(what) => write!(f, "internal engine invariant broke: {what}"),
         }
     }

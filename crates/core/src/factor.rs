@@ -1,6 +1,14 @@
 //! The assembled factor and its triangular solves.
+//!
+//! The solve phase is blocked: every entry point (single vector included)
+//! funnels into [`Factor::solve_many_permuted_in_place`], which streams
+//! each supernode panel once through the packed `dense` crate's
+//! `trsm`/`gemm` kernels over an `n x nrhs` column-major block. The
+//! kernels process each column in an order independent of `nrhs`, so the
+//! blocked solve is bitwise identical to `nrhs` single-RHS solves.
 
-use parfact_dense::trsv;
+use crate::error::FactorError;
+use parfact_dense::solve as dsolve;
 use parfact_sparse::csc::CscMatrix;
 use parfact_sparse::perm::Perm;
 use parfact_symbolic::Symbolic;
@@ -86,77 +94,47 @@ impl Factor {
 
     /// Solve `A x = b` using the factor (applies the permutation, runs the
     /// forward/backward supernodal sweeps, un-permutes).
+    ///
+    /// **Panics** if `b.len() != n` — kept for ergonomic call sites; use
+    /// [`Factor::try_solve`] for a checked variant.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.sym.n);
-        let mut x = self.perm.apply_vec(b);
-        self.solve_permuted_in_place(&mut x);
-        self.perm.apply_inv_vec(&x)
+        self.try_solve(b).expect("Factor::solve")
     }
 
-    /// Solve in the permuted index space (both sweeps), in place.
+    /// Checked single-RHS solve: returns
+    /// [`FactorError::DimensionMismatch`] instead of panicking on a wrong
+    /// `b.len()`.
+    pub fn try_solve(&self, b: &[f64]) -> Result<Vec<f64>, FactorError> {
+        self.try_solve_many(b, 1)
+    }
+
+    /// Solve in the permuted index space (both sweeps), in place. The
+    /// single vector runs through the blocked multi-RHS path with
+    /// `nrhs = 1`, so single and batched solves share one code path (and
+    /// one floating-point operation order).
     pub fn solve_permuted_in_place(&self, x: &mut [f64]) {
-        let sym = &self.sym;
-        let unit = self.kind == FactorKind::Ldlt;
-        // Forward: L y = b.
-        for s in 0..sym.nsuper() {
-            let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
-            let w = c1 - c0;
-            let f = sym.front_order(s);
-            let blk = self.panel(s);
-            trsv::trsv_ln(w, blk, f, &mut x[c0..c1], unit);
-            if f > w {
-                // Gather-subtract into the ancestor rows.
-                let (piv, rest) = x.split_at_mut(c1);
-                let xs = &piv[c0..c1];
-                let rows = &sym.sn_rows[s];
-                // y[rows] -= L21 * xs
-                for (j, &xj) in xs.iter().enumerate() {
-                    if xj == 0.0 {
-                        continue;
-                    }
-                    let col = &blk[j * f + w..(j + 1) * f];
-                    for (k, &r) in rows.iter().enumerate() {
-                        rest[r - c1] -= col[k] * xj;
-                    }
-                }
-            }
-        }
-        // Diagonal scaling for LDLt.
-        if unit {
-            for (xi, &di) in x.iter_mut().zip(&self.d) {
-                *xi /= di;
-            }
-        }
-        // Backward: Lᵀ z = y.
-        for s in (0..sym.nsuper()).rev() {
-            let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
-            let w = c1 - c0;
-            let f = sym.front_order(s);
-            let blk = self.panel(s);
-            if f > w {
-                let rows = &sym.sn_rows[s];
-                let (piv, rest) = x.split_at_mut(c1);
-                let xs = &mut piv[c0..c1];
-                // xs -= L21ᵀ * x[rows]
-                for (j, xj) in xs.iter_mut().enumerate() {
-                    let col = &blk[j * f + w..(j + 1) * f];
-                    let mut acc = 0.0;
-                    for (k, &r) in rows.iter().enumerate() {
-                        acc += col[k] * rest[r - c1];
-                    }
-                    *xj -= acc;
-                }
-            }
-            trsv::trsv_lt(w, blk, f, &mut x[c0..c1], unit);
-        }
+        self.solve_many_permuted_in_place(x, 1);
     }
 
     /// Solve `A X = B` for multiple right-hand sides stored column-major in
     /// `b` (`n x nrhs`). Sweeps run per supernode across all columns, so the
     /// factor panels are traversed once regardless of `nrhs`.
+    ///
+    /// **Panics** if `b.len() != n * nrhs`; use [`Factor::try_solve_many`]
+    /// for the checked variant.
     pub fn solve_many(&self, b: &[f64], nrhs: usize) -> Vec<f64> {
+        self.try_solve_many(b, nrhs).expect("Factor::solve_many")
+    }
+
+    /// Checked multi-RHS solve (see [`Factor::solve_many`]).
+    pub fn try_solve_many(&self, b: &[f64], nrhs: usize) -> Result<Vec<f64>, FactorError> {
         let n = self.sym.n;
-        assert_eq!(b.len(), n * nrhs);
+        if b.len() != n * nrhs {
+            return Err(FactorError::DimensionMismatch {
+                expected: n * nrhs,
+                got: b.len(),
+            });
+        }
         let mut x = vec![0.0; n * nrhs];
         for r in 0..nrhs {
             x[r * n..(r + 1) * n].copy_from_slice(&self.perm.apply_vec(&b[r * n..(r + 1) * n]));
@@ -167,72 +145,100 @@ impl Factor {
             out[r * n..(r + 1) * n]
                 .copy_from_slice(&self.perm.apply_inv_vec(&x[r * n..(r + 1) * n]));
         }
-        out
+        Ok(out)
     }
 
-    /// Multi-RHS sweeps in the permuted space. Each supernode's panel is
-    /// loaded once and applied to every column (the BLAS-3 shape of the
-    /// solve phase).
+    /// Multi-RHS sweeps in the permuted space, blocked: per supernode the
+    /// `f x w` panel is streamed once through `trsm` + block-`gemm` applied
+    /// to all `nrhs` columns (the BLAS-3 shape of the solve phase). The
+    /// block is transposed into an interleaved layout for the sweep so the
+    /// kernels can run SIMD across the RHS columns; per column the op
+    /// order is fixed and independent of `nrhs`, so a blocked solve is
+    /// bitwise equal to per-column solves through this same path.
     pub fn solve_many_permuted_in_place(&self, x: &mut [f64], nrhs: usize) {
+        let n = self.sym.n;
+        if nrhs == 0 || n == 0 {
+            return;
+        }
+        if nrhs == 1 {
+            // A single column is already "interleaved".
+            self.sweep_interleaved(x, 1);
+            return;
+        }
+        let mut xi = vec![0.0f64; n * nrhs];
+        for r in 0..nrhs {
+            for i in 0..n {
+                xi[i * nrhs + r] = x[r * n + i];
+            }
+        }
+        self.sweep_interleaved(&mut xi, nrhs);
+        for r in 0..nrhs {
+            for i in 0..n {
+                x[r * n + i] = xi[i * nrhs + r];
+            }
+        }
+    }
+
+    /// The blocked triangular sweep on an interleaved `n x nrhs` block
+    /// (`xi[i*nrhs + r]`). The scattered ancestor rows are gathered into a
+    /// contiguous `m x nrhs` scratch block around each off-diagonal apply
+    /// — whole-row copies in this layout, exact by construction.
+    fn sweep_interleaved(&self, xi: &mut [f64], nrhs: usize) {
         let sym = &self.sym;
-        let n = sym.n;
         let unit = self.kind == FactorKind::Ldlt;
-        // Forward.
-        for s in 0..sym.nsuper() {
+        let nsuper = sym.nsuper();
+        let maxm = (0..nsuper)
+            .map(|s| sym.front_order(s) - sym.sn_width(s))
+            .max()
+            .unwrap_or(0);
+        let mut scratch = vec![0.0f64; maxm * nrhs];
+        // Forward: L Y = B.
+        for s in 0..nsuper {
             let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
             let w = c1 - c0;
             let f = sym.front_order(s);
             let blk = self.panel(s);
-            let rows = &sym.sn_rows[s];
-            for r in 0..nrhs {
-                let xr = &mut x[r * n..(r + 1) * n];
-                trsv::trsv_ln(w, blk, f, &mut xr[c0..c1], unit);
-                if f > w {
-                    let (piv, rest) = xr.split_at_mut(c1);
-                    let xs = &piv[c0..c1];
-                    for (j, &xj) in xs.iter().enumerate() {
-                        if xj == 0.0 {
-                            continue;
-                        }
-                        let col = &blk[j * f + w..(j + 1) * f];
-                        for (k, &row) in rows.iter().enumerate() {
-                            rest[row - c1] -= col[k] * xj;
-                        }
-                    }
+            dsolve::trsm_ln_rm(w, nrhs, blk, f, &mut xi[c0 * nrhs..c1 * nrhs], unit);
+            if f > w {
+                let m = f - w;
+                let rows = &sym.sn_rows[s];
+                let below = &mut scratch[..m * nrhs];
+                for (k, &row) in rows.iter().enumerate() {
+                    below[k * nrhs..(k + 1) * nrhs]
+                        .copy_from_slice(&xi[row * nrhs..(row + 1) * nrhs]);
+                }
+                dsolve::gemm_block_sub_rm(m, w, nrhs, &blk[w..], f, &xi[c0 * nrhs..], below);
+                for (k, &row) in rows.iter().enumerate() {
+                    xi[row * nrhs..(row + 1) * nrhs]
+                        .copy_from_slice(&below[k * nrhs..(k + 1) * nrhs]);
                 }
             }
         }
+        // Diagonal scaling for LDLt.
         if unit {
-            for r in 0..nrhs {
-                let xr = &mut x[r * n..(r + 1) * n];
-                for (xi, &di) in xr.iter_mut().zip(&self.d) {
-                    *xi /= di;
+            for (i, &di) in self.d.iter().enumerate() {
+                for v in xi[i * nrhs..(i + 1) * nrhs].iter_mut() {
+                    *v /= di;
                 }
             }
         }
-        // Backward.
-        for s in (0..sym.nsuper()).rev() {
+        // Backward: Lᵀ Z = Y.
+        for s in (0..nsuper).rev() {
             let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
             let w = c1 - c0;
             let f = sym.front_order(s);
             let blk = self.panel(s);
-            let rows = &sym.sn_rows[s];
-            for r in 0..nrhs {
-                let xr = &mut x[r * n..(r + 1) * n];
-                if f > w {
-                    let (piv, rest) = xr.split_at_mut(c1);
-                    let xs = &mut piv[c0..c1];
-                    for (j, xj) in xs.iter_mut().enumerate() {
-                        let col = &blk[j * f + w..(j + 1) * f];
-                        let mut acc = 0.0;
-                        for (k, &row) in rows.iter().enumerate() {
-                            acc += col[k] * rest[row - c1];
-                        }
-                        *xj -= acc;
-                    }
+            if f > w {
+                let m = f - w;
+                let rows = &sym.sn_rows[s];
+                let below = &mut scratch[..m * nrhs];
+                for (k, &row) in rows.iter().enumerate() {
+                    below[k * nrhs..(k + 1) * nrhs]
+                        .copy_from_slice(&xi[row * nrhs..(row + 1) * nrhs]);
                 }
-                trsv::trsv_lt(w, blk, f, &mut xr[c0..c1], unit);
+                dsolve::gemm_block_t_sub_rm(m, w, nrhs, &blk[w..], f, below, &mut xi[c0 * nrhs..]);
             }
+            dsolve::trsm_lt_rm(w, nrhs, blk, f, &mut xi[c0 * nrhs..c1 * nrhs], unit);
         }
     }
 

@@ -3,20 +3,27 @@
 //! tree parallelism.
 //!
 //! The forward sweep runs leaves-to-roots (a supernode is ready when its
-//! children finished; its contribution vector travels to the parent like a
-//! one-column update matrix), the backward sweep roots-to-leaves (a
-//! supernode is ready when its parent finished and has published the x
-//! values at the child's below-pivot rows). Both sweeps therefore expose
-//! exactly the tree parallelism of the factorization — and inherit its
-//! limitation, the serial top of the tree, which is why parallel solves
-//! gain less than factorizations (cf. EXP-F4 on the distributed engine).
+//! children finished; its contribution block travels to the parent like an
+//! update matrix), the backward sweep roots-to-leaves (a supernode is
+//! ready when its parent finished and has published the x values at the
+//! child's below-pivot rows). Both sweeps therefore expose exactly the
+//! tree parallelism of the factorization — and inherit its limitation, the
+//! serial top of the tree, which is why parallel solves gain less than
+//! factorizations (cf. EXP-F4 on the distributed engine).
+//!
+//! All right-hand sides move as one `n x nrhs` column-major block: each
+//! supernode panel is loaded once and applied to every column through the
+//! batched `dense::solve` kernels, so the parallel solve keeps the BLAS-3
+//! shape of the sequential blocked sweep.
 
 use crate::backoff::Backoff;
+use crate::error::FactorError;
 use crate::factor::{Factor, FactorKind};
 use crate::smp::resolve_threads;
 use crossbeam_deque::{Injector, Steal};
-use parfact_dense::trsv;
+use parfact_dense::solve as dsolve;
 use parfact_symbolic::NONE;
+use parfact_trace::{Collector, Phase, TraceLevel};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -24,20 +31,59 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// (0 = available parallelism). Results match [`Factor::solve`] to
 /// floating-point roundoff (the parent-side accumulation order of child
 /// contributions differs from the sequential sweep's global-vector order).
+///
+/// **Panics** if `b.len() != n`; use [`solve_smp_many`] for the checked
+/// multi-RHS variant.
 pub fn solve_smp(factor: &Factor, b: &[f64], threads: usize) -> Vec<f64> {
+    solve_smp_many(factor, b, 1, threads).expect("solve_smp")
+}
+
+/// Multi-RHS tree-parallel solve: `b` is `n x nrhs` column-major.
+/// Checked — a wrong `b.len()` returns [`FactorError::DimensionMismatch`].
+pub fn solve_smp_many(
+    factor: &Factor,
+    b: &[f64],
+    nrhs: usize,
+    threads: usize,
+) -> Result<Vec<f64>, FactorError> {
+    solve_smp_many_traced(factor, b, nrhs, threads, &Collector::new(TraceLevel::Off))
+}
+
+/// [`solve_smp_many`] with instrumentation: per-worker `Phase::Solve`
+/// spans (one per supernode per sweep) land in `tr` when its level records
+/// spans, giving the timeline per-worker solve lanes.
+pub fn solve_smp_many_traced(
+    factor: &Factor,
+    b: &[f64],
+    nrhs: usize,
+    threads: usize,
+    tr: &Collector,
+) -> Result<Vec<f64>, FactorError> {
     let sym = &factor.sym;
     let n = sym.n;
-    assert_eq!(b.len(), n);
+    if b.len() != n * nrhs {
+        return Err(FactorError::DimensionMismatch {
+            expected: n * nrhs,
+            got: b.len(),
+        });
+    }
     let nthreads = resolve_threads(threads);
-    if nthreads <= 1 || sym.nsuper() <= 1 {
-        return factor.solve(b);
+    if nthreads <= 1 || sym.nsuper() <= 1 || nrhs == 0 {
+        // Literally the sequential blocked path — the fallback is bitwise
+        // identical to `Factor::try_solve_many`.
+        return factor.try_solve_many(b, nrhs);
     }
     let unit = factor.kind == FactorKind::Ldlt;
-    let bp = factor.perm.apply_vec(b);
+    let mut bp = vec![0.0f64; n * nrhs];
+    for r in 0..nrhs {
+        bp[r * n..(r + 1) * n].copy_from_slice(&factor.perm.apply_vec(&b[r * n..(r + 1) * n]));
+    }
+    let bp = bp;
     let nsuper = sym.nsuper();
 
     // ---- Forward sweep (leaves to roots). ----
-    // Per-supernode pivot solution segment and upward contribution.
+    // Per-supernode pivot solution block (w x nrhs) and upward
+    // contribution block ((f - w) x nrhs), both column-major.
     let xseg: Vec<Mutex<Vec<f64>>> = (0..nsuper).map(|_| Mutex::new(Vec::new())).collect();
     let contrib: Vec<Mutex<Vec<f64>>> = (0..nsuper).map(|_| Mutex::new(Vec::new())).collect();
     {
@@ -52,8 +98,11 @@ pub fn solve_smp(factor: &Factor, b: &[f64], threads: usize) -> Vec<f64> {
             }
         }
         std::thread::scope(|scope| {
-            for _ in 0..nthreads {
-                scope.spawn(|| {
+            for wid in 0..nthreads {
+                let (pending, done, injector) = (&pending, &done, &injector);
+                let (xseg, contrib, bp) = (&xseg, &contrib, &bp);
+                scope.spawn(move || {
+                    let mut rec = tr.local(wid);
                     let mut backoff = Backoff::new();
                     loop {
                         if done.load(Ordering::Relaxed) >= nsuper {
@@ -68,32 +117,53 @@ pub fn solve_smp(factor: &Factor, b: &[f64], threads: usize) -> Vec<f64> {
                             }
                         };
                         backoff.reset();
+                        let tick = rec.start();
                         let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
                         let w = c1 - c0;
                         let f = sym.front_order(s);
+                        let m = f - w;
                         let blk = factor.panel(s);
-                        // RHS front: pivot segment + below rows.
-                        let mut y = vec![0.0f64; f];
-                        y[..w].copy_from_slice(&bp[c0..c1]);
+                        // RHS front: pivot block + below-rows block.
+                        let mut ypiv = vec![0.0f64; w * nrhs];
+                        let mut ybelow = vec![0.0f64; m * nrhs];
+                        for r in 0..nrhs {
+                            ypiv[r * w..(r + 1) * w].copy_from_slice(&bp[r * n + c0..r * n + c1]);
+                        }
                         for &c in &sym.tree.children[s] {
                             let cv = contrib[c].lock();
-                            for (k, &r) in sym.sn_rows[c].iter().enumerate() {
-                                let pos = if r < c1 {
-                                    r - c0
+                            let mc = sym.sn_rows[c].len();
+                            for (k, &r_row) in sym.sn_rows[c].iter().enumerate() {
+                                let pos = if r_row < c1 {
+                                    r_row - c0
                                 } else {
-                                    w + sym.sn_rows[s].binary_search(&r).expect("containment")
+                                    w + sym.sn_rows[s].binary_search(&r_row).expect("containment")
                                 };
-                                y[pos] += cv[k];
+                                for r in 0..nrhs {
+                                    if pos < w {
+                                        ypiv[r * w + pos] += cv[r * mc + k];
+                                    } else {
+                                        ybelow[r * m + (pos - w)] += cv[r * mc + k];
+                                    }
+                                }
                             }
                         }
-                        trsv::trsv_ln(w, blk, f, &mut y[..w], unit);
-                        if f > w {
-                            let (y1, y2) = y.split_at_mut(w);
-                            trsv::gemv_sub(f - w, w, &blk[w..], f, y1, y2);
+                        dsolve::trsm_ln(w, nrhs, blk, f, &mut ypiv, w, unit);
+                        if m > 0 {
+                            dsolve::gemm_block_sub(
+                                m,
+                                w,
+                                nrhs,
+                                &blk[w..],
+                                f,
+                                &ypiv,
+                                w,
+                                &mut ybelow,
+                                m,
+                            );
                         }
-                        *contrib[s].lock() = y[w..].to_vec();
-                        y.truncate(w);
-                        *xseg[s].lock() = y;
+                        *contrib[s].lock() = ybelow;
+                        *xseg[s].lock() = ypiv;
+                        rec.stop(tick, Phase::Solve, Some(s));
                         done.fetch_add(1, Ordering::SeqCst);
                         let p = sym.tree.parent[s];
                         if p != NONE && pending[p].fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -104,20 +174,28 @@ pub fn solve_smp(factor: &Factor, b: &[f64], threads: usize) -> Vec<f64> {
             }
         });
     }
-    let mut x = vec![0.0f64; n];
+    let mut x = vec![0.0f64; n * nrhs];
     for s in 0..nsuper {
-        x[sym.sn_ptr[s]..sym.sn_ptr[s + 1]].copy_from_slice(&xseg[s].lock());
+        let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+        let w = c1 - c0;
+        let seg = xseg[s].lock();
+        for r in 0..nrhs {
+            x[r * n + c0..r * n + c1].copy_from_slice(&seg[r * w..(r + 1) * w]);
+        }
     }
     if unit {
-        for (xi, &di) in x.iter_mut().zip(&factor.d) {
-            *xi /= di;
+        for r in 0..nrhs {
+            let xr = &mut x[r * n..(r + 1) * n];
+            for (xi, &di) in xr.iter_mut().zip(&factor.d) {
+                *xi /= di;
+            }
         }
     }
 
     // ---- Backward sweep (roots to leaves). ----
-    // Each finished supernode publishes its final x segment; a child reads
+    // Each finished supernode publishes its final x block; a child reads
     // the x values at its own below rows from ancestors' published
-    // segments. Publish order guarantees parents complete first.
+    // blocks. Publish order guarantees parents complete first.
     {
         let xcell: Vec<Mutex<Vec<f64>>> = (0..nsuper).map(|_| Mutex::new(Vec::new())).collect();
         let xrows_of: Vec<Mutex<Vec<f64>>> = (0..nsuper).map(|_| Mutex::new(Vec::new())).collect();
@@ -127,8 +205,11 @@ pub fn solve_smp(factor: &Factor, b: &[f64], threads: usize) -> Vec<f64> {
             injector.push(r);
         }
         std::thread::scope(|scope| {
-            for _ in 0..nthreads {
-                scope.spawn(|| {
+            for wid in 0..nthreads {
+                let (done, injector) = (&done, &injector);
+                let (xcell, xrows_of, x) = (&xcell, &xrows_of, &x);
+                scope.spawn(move || {
+                    let mut rec = tr.local(wid);
                     let mut backoff = Backoff::new();
                     loop {
                         if done.load(Ordering::Relaxed) >= nsuper {
@@ -143,45 +224,73 @@ pub fn solve_smp(factor: &Factor, b: &[f64], threads: usize) -> Vec<f64> {
                             }
                         };
                         backoff.reset();
+                        let tick = rec.start();
                         let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
                         let w = c1 - c0;
                         let f = sym.front_order(s);
+                        let m = f - w;
                         let blk = factor.panel(s);
                         let xrows = xrows_of[s].lock().clone();
-                        let mut xs = x[c0..c1].to_vec();
-                        if f > w {
-                            trsv::gemv_t_sub(f - w, w, &blk[w..], f, &xrows, &mut xs);
+                        let mut xs = vec![0.0f64; w * nrhs];
+                        for r in 0..nrhs {
+                            xs[r * w..(r + 1) * w].copy_from_slice(&x[r * n + c0..r * n + c1]);
                         }
-                        trsv::trsv_lt(w, blk, f, &mut xs, unit);
+                        if m > 0 {
+                            dsolve::gemm_block_t_sub(
+                                m,
+                                w,
+                                nrhs,
+                                &blk[w..],
+                                f,
+                                &xrows,
+                                m,
+                                &mut xs,
+                                w,
+                            );
+                        }
+                        dsolve::trsm_lt(w, nrhs, blk, f, &mut xs, w, unit);
                         // Publish, then release children: each child's xrows are
                         // a subset of (my cols ∪ my xrows).
                         for &c in &sym.tree.children[s] {
-                            let vals: Vec<f64> = sym.sn_rows[c]
-                                .iter()
-                                .map(|&r| {
-                                    if r < c1 {
-                                        xs[r - c0]
-                                    } else {
-                                        let k =
-                                            sym.sn_rows[s].binary_search(&r).expect("containment");
-                                        xrows[k]
+                            let mc = sym.sn_rows[c].len();
+                            let mut vals = vec![0.0f64; mc * nrhs];
+                            for (k, &r_row) in sym.sn_rows[c].iter().enumerate() {
+                                if r_row < c1 {
+                                    for r in 0..nrhs {
+                                        vals[r * mc + k] = xs[r * w + (r_row - c0)];
                                     }
-                                })
-                                .collect();
+                                } else {
+                                    let k2 =
+                                        sym.sn_rows[s].binary_search(&r_row).expect("containment");
+                                    for r in 0..nrhs {
+                                        vals[r * mc + k] = xrows[r * m + k2];
+                                    }
+                                }
+                            }
                             *xrows_of[c].lock() = vals;
                             injector.push(c);
                         }
                         *xcell[s].lock() = xs;
+                        rec.stop(tick, Phase::Solve, Some(s));
                         done.fetch_add(1, Ordering::SeqCst);
                     }
                 });
             }
         });
         for s in 0..nsuper {
-            x[sym.sn_ptr[s]..sym.sn_ptr[s + 1]].copy_from_slice(&xcell[s].lock());
+            let (c0, c1) = (sym.sn_ptr[s], sym.sn_ptr[s + 1]);
+            let w = c1 - c0;
+            let cell = xcell[s].lock();
+            for r in 0..nrhs {
+                x[r * n + c0..r * n + c1].copy_from_slice(&cell[r * w..(r + 1) * w]);
+            }
         }
     }
-    factor.perm.apply_inv_vec(&x)
+    let mut out = vec![0.0f64; n * nrhs];
+    for r in 0..nrhs {
+        out[r * n..(r + 1) * n].copy_from_slice(&factor.perm.apply_inv_vec(&x[r * n..(r + 1) * n]));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -217,6 +326,29 @@ mod tests {
     }
 
     #[test]
+    fn smp_solve_many_matches_per_column_smp_solve_bitwise() {
+        // The block sweep must be bitwise equal to running each column
+        // through the single-RHS parallel path: the kernels promise
+        // per-column op order independent of nrhs, and the tree schedule
+        // does not affect any column's arithmetic.
+        let a = gen::laplace3d(5, 5, 5, gen::Stencil3d::SevenPoint);
+        let n = a.nrows();
+        let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        for nrhs in [1usize, 2, 7] {
+            let b: Vec<f64> = (0..n * nrhs)
+                .map(|i| ((i * 7 + 3) % 23) as f64 - 11.0)
+                .collect();
+            let xblk = solve_smp_many(chol.factor(), &b, nrhs, 4).unwrap();
+            for r in 0..nrhs {
+                let xcol = solve_smp(chol.factor(), &b[r * n..(r + 1) * n], 4);
+                for (bq, cq) in xblk[r * n..(r + 1) * n].iter().zip(&xcol) {
+                    assert_eq!(bq.to_bits(), cq.to_bits(), "nrhs={nrhs} col={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn smp_solve_ldlt() {
         use crate::factor::FactorKind;
         let a = gen::indefinite(80, 9);
@@ -235,6 +367,20 @@ mod tests {
         let x1 = solve_smp(chol.factor(), &b, 1);
         let x2 = chol.solve(&b);
         assert_eq!(x1, x2); // fallback is literally the sequential path
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error_not_a_panic() {
+        let a = gen::tridiagonal(12);
+        let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let bad = vec![1.0; 11];
+        assert!(matches!(
+            solve_smp_many(chol.factor(), &bad, 1, 4),
+            Err(FactorError::DimensionMismatch {
+                expected: 12,
+                got: 11
+            })
+        ));
     }
 
     #[test]

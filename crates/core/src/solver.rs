@@ -13,8 +13,8 @@ use parfact_mpsim::model::CostModel;
 use parfact_order::Method;
 use parfact_sparse::csc::CscMatrix;
 use parfact_symbolic::{analyze, AmalgOpts, Symbolic};
-use parfact_trace::{Collector, Counters, FactorReport, TraceLevel};
-use std::sync::Arc;
+use parfact_trace::{Collector, Counters, FactorReport, Phase, SolveReport, SpanEvent, TraceLevel};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Options for the simulator-backed distributed engine.
@@ -147,6 +147,188 @@ impl FactorOpts {
     }
 }
 
+/// Engine selection for the solve phase, independent of the engine that
+/// produced the factor (the factor is host-resident under every
+/// [`Engine`], so any solve engine applies to any factor).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveEngine {
+    /// Let the solver pick. Currently the blocked sequential sweep: its
+    /// results are bitwise reproducible across runs and thread counts,
+    /// which is the right default for a direct solver.
+    #[default]
+    Auto,
+    /// The blocked sequential sweep, explicitly.
+    Sequential,
+    /// Tree-parallel shared-memory sweep over the assembly tree.
+    /// `threads: 0` sizes the pool from the machine; a pool of one falls
+    /// back to the sequential sweep. Deterministic — contributions fold in
+    /// assembly-tree child order regardless of scheduling, so repeated
+    /// runs and different thread counts (≥ 2) agree bitwise — but the fold
+    /// order differs from `Sequential`'s direct scatter, so the two
+    /// engines agree to rounding, not bit for bit.
+    Smp {
+        /// Worker threads (0 = auto).
+        threads: usize,
+    },
+}
+
+/// Options for [`SparseCholesky::solve_with`], mirroring the
+/// [`FactorOpts`] builder. `#[non_exhaustive]`: construct with
+/// [`SolveOpts::new`] and override what you need.
+///
+/// ```
+/// use parfact_core::solver::{SolveEngine, SolveOpts};
+///
+/// let opts = SolveOpts::new()
+///     .refine(2)
+///     .engine(SolveEngine::Smp { threads: 4 });
+/// ```
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SolveOpts {
+    /// Iterative-refinement correction steps (`x += A⁻¹ (b − A x)`),
+    /// applied per column against the factored (permuted, possibly
+    /// equilibrated) matrix. `0` by default.
+    pub refine: usize,
+    /// Execution engine for the triangular sweeps.
+    pub engine: SolveEngine,
+    /// Symmetric equilibration scale `d`: set when the factor was computed
+    /// from `D·A·D` (see [`crate::analysis::equilibrate`]); the solve then
+    /// returns `x = D · (DAD)⁻¹ · D b`, the solution of the original
+    /// system.
+    pub scale: Option<Vec<f64>>,
+}
+
+impl SolveOpts {
+    /// Default options (alias of `Default`, reads better in builder chains).
+    pub fn new() -> Self {
+        SolveOpts::default()
+    }
+
+    /// Set the number of iterative-refinement steps.
+    pub fn refine(mut self, iters: usize) -> Self {
+        self.refine = iters;
+        self
+    }
+
+    /// Choose the solve engine.
+    pub fn engine(mut self, engine: SolveEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Declare the factor equilibrated with scale `d` (from
+    /// [`crate::analysis::equilibrate`]); right-hand sides are scaled by
+    /// `D` on the way in and solutions by `D` on the way out.
+    pub fn equilibrate(mut self, d: Vec<f64>) -> Self {
+        self.scale = Some(d);
+        self
+    }
+}
+
+/// A borrowed right-hand-side block: `nrhs` vectors of length `n` stored
+/// column-major in one flat slice. The typed view keeps `solve_with` from
+/// guessing how a flat slice splits into columns.
+#[derive(Debug, Clone, Copy)]
+pub struct RhsBlock<'a> {
+    data: &'a [f64],
+    nrhs: usize,
+}
+
+impl<'a> RhsBlock<'a> {
+    /// View `data` as `nrhs` columns (validated against the factored
+    /// system's order inside [`SparseCholesky::solve_with`]).
+    pub fn new(data: &'a [f64], nrhs: usize) -> Self {
+        RhsBlock { data, nrhs }
+    }
+
+    /// A single right-hand side.
+    pub fn single(b: &'a [f64]) -> Self {
+        RhsBlock { data: b, nrhs: 1 }
+    }
+
+    /// The flat column-major storage.
+    pub fn data(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Number of right-hand-side columns.
+    pub fn ncols(&self) -> usize {
+        self.nrhs
+    }
+}
+
+/// Result of [`SparseCholesky::solve_with`].
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solved {
+    /// Solution block, `n x nrhs` column-major (same layout as the input
+    /// [`RhsBlock`]).
+    pub x: Vec<f64>,
+    /// Final residual ∞-norm over all columns, measured against the
+    /// factored (permuted, possibly equilibrated) matrix. `Some` only when
+    /// refinement ran (`SolveOpts::refine > 0`).
+    pub residual: Option<f64>,
+}
+
+/// Interior-mutable solve-phase accumulator: `solve_with` takes `&self`,
+/// but every solve feeds counts, wall-clock, flops, and (when the session
+/// traces at timeline level) spans into the report.
+#[derive(Default)]
+struct SolveStats(Mutex<SolveStatsInner>);
+
+#[derive(Default)]
+struct SolveStatsInner {
+    solves: u64,
+    rhs: u64,
+    seconds: f64,
+    flops: f64,
+    /// Solve spans in solve-local time: consecutive solves are laid
+    /// end-to-end from 0; `report_with_solve` shifts them past the factor
+    /// spans.
+    spans: Vec<SpanEvent>,
+    cursor_s: f64,
+}
+
+impl SolveStats {
+    fn accumulate(
+        &self,
+        nrhs: usize,
+        seconds: f64,
+        flops: f64,
+        mut spans: Vec<SpanEvent>,
+        timeline: bool,
+    ) {
+        let mut g = self.0.lock().unwrap();
+        g.solves += 1;
+        g.rhs += nrhs as u64;
+        g.seconds += seconds;
+        g.flops += flops;
+        if timeline {
+            if spans.is_empty() {
+                // Engines without per-supernode solve hooks (the sequential
+                // sweep) still contribute one whole-solve span.
+                spans.push(SpanEvent {
+                    phase: Phase::Solve,
+                    supernode: None,
+                    who: 0,
+                    start_s: 0.0,
+                    dur_s: seconds,
+                });
+            }
+            let base = g.cursor_s;
+            let mut end = base;
+            for mut s in spans {
+                s.start_s += base;
+                end = end.max(s.start_s + s.dur_s);
+                g.spans.push(s);
+            }
+            g.cursor_s = end;
+        }
+    }
+}
+
 /// A factorized sparse symmetric system.
 pub struct SparseCholesky {
     factor: Factor,
@@ -157,6 +339,9 @@ pub struct SparseCholesky {
     /// Numeric-factorization arenas, reused across `refactorize` calls so
     /// the steady state allocates nothing per supernode.
     ws: Workspace,
+    /// Solve-phase accumulator (counts, time, flops, spans). Interior
+    /// mutability keeps `solve_with` callable through `&self`.
+    solve_stats: SolveStats,
 }
 
 impl SparseCholesky {
@@ -204,6 +389,7 @@ impl SparseCholesky {
             ranks,
             spans,
             profile,
+            solve: None,
         };
         report.counters.fronts_factored = match opts.engine {
             // The simulator counts traffic per rank, not fronts; every
@@ -217,6 +403,7 @@ impl SparseCholesky {
             trace: opts.trace,
             ap,
             ws,
+            solve_stats: SolveStats::default(),
         })
     }
 
@@ -285,16 +472,167 @@ impl SparseCholesky {
         Ok(())
     }
 
-    /// Solve `A x = b`.
+    /// Solve `A x = b` (legacy shim; **panics** if `b.len()` is wrong).
+    /// Prefer [`SparseCholesky::solve_with`], which returns
+    /// [`FactorError::DimensionMismatch`] instead and batches, refines and
+    /// records solve statistics.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        self.factor.solve(b)
+        self.solve_with(RhsBlock::single(b), &SolveOpts::new())
+            .expect("SparseCholesky::solve")
+            .x
+    }
+
+    /// Solve `A X = B` for a right-hand-side block under [`SolveOpts`]:
+    /// the unified entry point the legacy `solve`/`solve_refined`/
+    /// `solve_equilibrated` surface funnels into.
+    ///
+    /// All `nrhs` columns stream through the factor panels together
+    /// (BLAS-3 blocked sweeps), and every column's floating-point operation
+    /// order is independent of `nrhs` — on any given engine, batched
+    /// results are bitwise identical to one-at-a-time solves.
+    ///
+    /// ```
+    /// use parfact_core::solver::{FactorOpts, RhsBlock, SolveOpts, SparseCholesky};
+    ///
+    /// let a = parfact_sparse::gen::laplace2d(8, 8, parfact_sparse::gen::Stencil2d::FivePoint);
+    /// let chol = SparseCholesky::factorize(&a, &FactorOpts::new()).unwrap();
+    /// let b = vec![1.0; 64 * 2]; // two stacked right-hand sides
+    /// let out = chol.solve_with(RhsBlock::new(&b, 2), &SolveOpts::new()).unwrap();
+    /// assert_eq!(out.x.len(), 64 * 2);
+    /// ```
+    pub fn solve_with(&self, b: RhsBlock<'_>, opts: &SolveOpts) -> Result<Solved, FactorError> {
+        let n = self.factor.sym.n;
+        let nrhs = b.nrhs;
+        if b.data.len() != n * nrhs {
+            return Err(FactorError::DimensionMismatch {
+                expected: n * nrhs,
+                got: b.data.len(),
+            });
+        }
+        if let Some(d) = &opts.scale {
+            if d.len() != n {
+                return Err(FactorError::DimensionMismatch {
+                    expected: n,
+                    got: d.len(),
+                });
+            }
+        }
+        let t0 = Instant::now();
+        // Equilibrated systems: the factor holds D·A·D, so solve against
+        // the scaled right-hand side and unscale the solution.
+        let mut bs = b.data.to_vec();
+        if let Some(d) = &opts.scale {
+            for col in bs.chunks_mut(n.max(1)) {
+                for (v, &di) in col.iter_mut().zip(d) {
+                    *v *= di;
+                }
+            }
+        }
+        let tr = Collector::new(self.trace);
+        let mut x = match opts.engine {
+            SolveEngine::Auto | SolveEngine::Sequential => self.factor.try_solve_many(&bs, nrhs)?,
+            SolveEngine::Smp { threads } => {
+                crate::smp_solve::solve_smp_many_traced(&self.factor, &bs, nrhs, threads, &tr)?
+            }
+        };
+        // Iterative refinement, per column, in the permuted space of the
+        // matrix actually factored (no original-matrix argument needed).
+        let mut residual = None;
+        if opts.refine > 0 {
+            let perm = &self.factor.perm;
+            let mut worst = 0.0f64;
+            for col in 0..nrhs {
+                let bp = perm.apply_vec(&bs[col * n..(col + 1) * n]);
+                let mut xp = perm.apply_vec(&x[col * n..(col + 1) * n]);
+                for _ in 0..opts.refine {
+                    let mut rp = parfact_sparse::ops::sym_residual(&self.ap, &xp, &bp);
+                    if parfact_sparse::ops::norm_inf(&rp) == 0.0 {
+                        break;
+                    }
+                    self.factor.solve_many_permuted_in_place(&mut rp, 1);
+                    for (xi, di) in xp.iter_mut().zip(&rp) {
+                        *xi += di;
+                    }
+                }
+                let rp = parfact_sparse::ops::sym_residual(&self.ap, &xp, &bp);
+                worst = worst.max(parfact_sparse::ops::norm_inf(&rp));
+                x[col * n..(col + 1) * n].copy_from_slice(&perm.apply_inv_vec(&xp));
+            }
+            residual = Some(worst);
+        }
+        if let Some(d) = &opts.scale {
+            for col in x.chunks_mut(n.max(1)) {
+                for (v, &di) in col.iter_mut().zip(d) {
+                    *v *= di;
+                }
+            }
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+        // 4·nnz(L) flops per column per sweep pair, once for the base solve
+        // and once per refinement step (the spmv residuals add 4·nnz(A)).
+        let per_col = 4.0 * self.factor.nnz() as f64;
+        let flops = per_col * nrhs as f64 * (1.0 + opts.refine as f64)
+            + 4.0 * self.ap.nnz() as f64 * nrhs as f64 * opts.refine as f64;
+        self.solve_stats
+            .accumulate(nrhs, seconds, flops, tr.take_spans(), self.trace.timeline());
+        Ok(Solved { x, residual })
+    }
+
+    /// Start a [`SolveSession`] that accumulates right-hand sides and
+    /// flushes them through [`SparseCholesky::solve_with`] in
+    /// kernel-friendly blocks (default 32 columns).
+    pub fn solve_session(&self, opts: SolveOpts) -> SolveSession<'_> {
+        SolveSession {
+            chol: self,
+            opts,
+            capacity: 32,
+            pending: Vec::new(),
+            solved: Vec::new(),
+        }
     }
 
     /// Solve with iterative refinement; returns `(x, final residual ∞-norm)`.
     /// Needs the original matrix to compute residuals — pass the same `a`
     /// given to `factorize`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use solve_with(RhsBlock::single(b), &SolveOpts::new().refine(iters)); \
+                it refines against the stored factored matrix, so no `a` argument"
+    )]
     pub fn solve_refined(&self, a: &CscMatrix, b: &[f64], iters: usize) -> (Vec<f64>, f64) {
         self.factor.solve_refined(a, b, iters)
+    }
+
+    /// The factorization record enriched with the solve phase: a
+    /// [`FactorReport`] whose `solve` section aggregates every
+    /// [`SparseCholesky::solve_with`]/[`SolveSession`] call so far, and —
+    /// at [`TraceLevel::Timeline`] — whose span stream gains the solve
+    /// spans, laid out after the factorization spans so Chrome-trace
+    /// exports show both phases on one time axis.
+    pub fn report_with_solve(&self) -> FactorReport {
+        let mut r = self.report.clone();
+        let g = self.solve_stats.0.lock().unwrap();
+        if g.solves > 0 {
+            r.solve = Some(SolveReport {
+                solves: g.solves,
+                rhs: g.rhs,
+                seconds: g.seconds,
+                flops: g.flops,
+            });
+            if !g.spans.is_empty() {
+                let base = r
+                    .spans
+                    .iter()
+                    .map(|s| s.start_s + s.dur_s)
+                    .fold(0.0f64, f64::max);
+                r.spans.extend(g.spans.iter().map(|s| {
+                    let mut s = s.clone();
+                    s.start_s += base;
+                    s
+                }));
+            }
+        }
+        r
     }
 
     /// The underlying factor.
@@ -335,6 +673,80 @@ impl SparseCholesky {
     /// host-engine refactorizations — the arena-reuse guarantee.
     pub fn workspace_growth_events(&self) -> u64 {
         self.ws.growth_events()
+    }
+}
+
+/// Accumulates right-hand sides and solves them in blocks.
+///
+/// Callers that receive right-hand sides one at a time (time steppers,
+/// request loops) would otherwise pay a full factor-panel traversal per
+/// vector; the session buffers up to `capacity` columns and runs each
+/// flush as one blocked [`SparseCholesky::solve_with`] call. Results come
+/// back in push order from [`SolveSession::finish`]. Batching never
+/// changes the answers: the blocked sweeps are bitwise identical per
+/// column regardless of block size.
+pub struct SolveSession<'a> {
+    chol: &'a SparseCholesky,
+    opts: SolveOpts,
+    capacity: usize,
+    /// Buffered columns, column-major.
+    pending: Vec<f64>,
+    /// Solved columns in push order.
+    solved: Vec<Vec<f64>>,
+}
+
+impl SolveSession<'_> {
+    /// Override the flush threshold (columns per blocked solve; min 1,
+    /// default 32).
+    pub fn capacity(mut self, cols: usize) -> Self {
+        self.capacity = cols.max(1);
+        self
+    }
+
+    /// Queue one right-hand side; flushes automatically when `capacity`
+    /// columns have accumulated.
+    pub fn push(&mut self, b: &[f64]) -> Result<(), FactorError> {
+        let n = self.chol.factor.sym.n;
+        if b.len() != n {
+            return Err(FactorError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
+        }
+        self.pending.extend_from_slice(b);
+        if self.pending.len() >= self.capacity * n.max(1) {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Columns buffered but not yet solved.
+    pub fn pending(&self) -> usize {
+        let n = self.chol.factor.sym.n;
+        self.pending.len() / n.max(1)
+    }
+
+    /// Solve everything buffered (no-op when empty).
+    pub fn flush(&mut self) -> Result<(), FactorError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let n = self.chol.factor.sym.n;
+        let nrhs = self.pending.len() / n.max(1);
+        let out = self
+            .chol
+            .solve_with(RhsBlock::new(&self.pending, nrhs), &self.opts)?;
+        for col in 0..nrhs {
+            self.solved.push(out.x[col * n..(col + 1) * n].to_vec());
+        }
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Flush the tail and return every solution, in push order.
+    pub fn finish(mut self) -> Result<Vec<Vec<f64>>, FactorError> {
+        self.flush()?;
+        Ok(self.solved)
     }
 }
 
@@ -411,6 +823,7 @@ fn run_engine(
                 d.strategy,
                 d.sync_schedule,
                 None,
+                1,
                 trace.timeline(),
             )?;
             let counters = out.fold_counters();
@@ -816,8 +1229,184 @@ mod tests {
         let a = gen::laplace2d(10, 10, gen::Stencil2d::FivePoint);
         let b = vec![2.0; 100];
         let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let out = chol
+            .solve_with(RhsBlock::single(&b), &SolveOpts::new().refine(2))
+            .unwrap();
+        assert!(out.residual.unwrap() < 1e-12);
+        assert!(ops::sym_residual_inf(&a, &out.x, &b) < 1e-13);
+        // The deprecated shim still works and agrees.
+        #[allow(deprecated)]
         let (x, r) = chol.solve_refined(&a, &b, 2);
         assert!(r < 1e-12);
         assert!(ops::sym_residual_inf(&a, &x, &b) < 1e-13);
+    }
+
+    #[test]
+    fn solve_with_checks_dimensions_instead_of_panicking() {
+        let a = gen::laplace2d(6, 6, gen::Stencil2d::FivePoint);
+        let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let short = vec![1.0; 35];
+        let e = chol
+            .solve_with(RhsBlock::single(&short), &SolveOpts::new())
+            .unwrap_err();
+        assert_eq!(
+            e,
+            FactorError::DimensionMismatch {
+                expected: 36,
+                got: 35
+            }
+        );
+        // Block shape wrong: 2 columns claimed over 36 values.
+        let b = vec![1.0; 36];
+        assert!(matches!(
+            chol.solve_with(RhsBlock::new(&b, 2), &SolveOpts::new()),
+            Err(FactorError::DimensionMismatch {
+                expected: 72,
+                got: 36
+            })
+        ));
+        // Bad equilibration scale length is caught too.
+        let bad_scale = vec![1.0; 10];
+        assert!(matches!(
+            chol.solve_with(
+                RhsBlock::single(&b),
+                &SolveOpts::new().equilibrate(bad_scale)
+            ),
+            Err(FactorError::DimensionMismatch {
+                expected: 36,
+                got: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn solve_engines_agree_through_the_facade() {
+        let a = gen::laplace3d(5, 4, 4, gen::Stencil3d::SevenPoint);
+        let n = a.nrows();
+        let nrhs = 3;
+        let b: Vec<f64> = (0..n * nrhs).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let seq = chol
+            .solve_with(RhsBlock::new(&b, nrhs), &SolveOpts::new())
+            .unwrap();
+        // SMP folds contributions front-by-front (seq scatters directly),
+        // so engines agree to rounding; thread counts agree bitwise.
+        let smp2 = chol
+            .solve_with(
+                RhsBlock::new(&b, nrhs),
+                &SolveOpts::new().engine(SolveEngine::Smp { threads: 2 }),
+            )
+            .unwrap();
+        let smp4 = chol
+            .solve_with(
+                RhsBlock::new(&b, nrhs),
+                &SolveOpts::new().engine(SolveEngine::Smp { threads: 4 }),
+            )
+            .unwrap();
+        for (s, p) in seq.x.iter().zip(&smp2.x) {
+            assert!((s - p).abs() / s.abs().max(1.0) < 1e-12);
+        }
+        for (p2, p4) in smp2.x.iter().zip(&smp4.x) {
+            assert_eq!(p2.to_bits(), p4.to_bits());
+        }
+        // Batched == one-at-a-time, bitwise, per engine.
+        for col in 0..nrhs {
+            let one = chol
+                .solve_with(
+                    RhsBlock::single(&b[col * n..(col + 1) * n]),
+                    &SolveOpts::new(),
+                )
+                .unwrap();
+            for (s, p) in seq.x[col * n..(col + 1) * n].iter().zip(&one.x) {
+                assert_eq!(s.to_bits(), p.to_bits(), "col={col}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_session_batches_and_matches_direct_solves() {
+        let a = gen::laplace2d(9, 8, gen::Stencil2d::FivePoint);
+        let n = a.nrows();
+        let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..7)
+            .map(|k| (0..n).map(|i| ((i + k) % 5) as f64 - 2.0).collect())
+            .collect();
+        let mut sess = chol.solve_session(SolveOpts::new()).capacity(3);
+        for b in &rhs {
+            sess.push(b).unwrap();
+        }
+        // 7 pushes at capacity 3: two auto-flushes happened, one column
+        // still buffered until finish().
+        assert_eq!(sess.pending(), 1);
+        let xs = sess.finish().unwrap();
+        assert_eq!(xs.len(), rhs.len());
+        for (b, x) in rhs.iter().zip(&xs) {
+            let direct = chol
+                .solve_with(RhsBlock::single(b), &SolveOpts::new())
+                .unwrap();
+            for (d, s) in direct.x.iter().zip(x) {
+                assert_eq!(d.to_bits(), s.to_bits());
+            }
+        }
+        // A session rejects wrong-length pushes.
+        let mut sess = chol.solve_session(SolveOpts::new());
+        assert!(matches!(
+            sess.push(&[1.0]),
+            Err(FactorError::DimensionMismatch { .. })
+        ));
+        // Aggregate stats saw every column exactly once.
+        let r = chol.report_with_solve();
+        let solve = r.solve.expect("solve section");
+        assert!(solve.rhs >= rhs.len() as u64);
+        assert!(solve.solves >= 3);
+        assert!(solve.seconds > 0.0);
+        assert!(solve.flops > 0.0);
+    }
+
+    #[test]
+    fn report_with_solve_appends_solve_spans_at_timeline() {
+        let a = gen::laplace2d(12, 12, gen::Stencil2d::FivePoint);
+        let b = vec![1.0; a.nrows()];
+        let chol =
+            SparseCholesky::factorize(&a, &FactorOpts::new().trace(TraceLevel::Timeline)).unwrap();
+        // Before any solve: no solve section, factor spans untouched.
+        assert!(chol.report_with_solve().solve.is_none());
+        let factor_spans = chol.report().spans.len();
+        chol.solve_with(RhsBlock::single(&b), &SolveOpts::new())
+            .unwrap();
+        chol.solve_with(
+            RhsBlock::single(&b),
+            &SolveOpts::new().engine(SolveEngine::Smp { threads: 2 }),
+        )
+        .unwrap();
+        let r = chol.report_with_solve();
+        assert!(r.solve.is_some());
+        let solve_spans: Vec<_> = r.spans.iter().filter(|s| s.phase == Phase::Solve).collect();
+        assert!(!solve_spans.is_empty());
+        assert_eq!(r.spans.len() - solve_spans.len(), factor_spans);
+        // Solve spans start after every factor span ends, so the merged
+        // stream renders as one ordered Chrome trace.
+        let factor_end = chol
+            .report()
+            .spans
+            .iter()
+            .map(|s| s.start_s + s.dur_s)
+            .fold(0.0f64, f64::max);
+        assert!(solve_spans.iter().all(|s| s.start_s >= factor_end));
+        // The base report is untouched (solve spans are an enrichment).
+        assert_eq!(chol.report().spans.len(), factor_spans);
+        assert!(chol.report().solve.is_none());
+        // And the enriched report still round-trips as JSON.
+        let back = FactorReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+        // The profile ignores solve spans: recomputing it over the
+        // enriched stream changes nothing.
+        let p = parfact_trace::profile::analyze(
+            &chol.symbolic().tree.parent,
+            &r.spans,
+            &r.ranks,
+            PROFILE_TOP_K,
+        );
+        assert_eq!(Some(p), r.profile);
     }
 }

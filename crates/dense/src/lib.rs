@@ -34,6 +34,7 @@ pub mod error;
 pub mod matrix;
 pub mod naive;
 pub mod pack;
+pub mod solve;
 pub mod trsv;
 
 pub use error::DenseError;

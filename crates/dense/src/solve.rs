@@ -1,0 +1,864 @@
+//! Batched (multi-right-hand-side) triangular-solve kernels.
+//!
+//! The solve phase streams every factor panel once and applies it to an
+//! `n x nrhs` column-major block, so the per-panel work has the BLAS-3
+//! shape `TRSM` + `GEMM` instead of `nrhs` scalar `trsv`/`gemv` sweeps.
+//!
+//! ## Bitwise contract
+//!
+//! Every kernel here processes each right-hand-side column with a
+//! floating-point operation order that is *identical* for every column and
+//! *independent of `nrhs`* (the block shape only amortizes panel loads:
+//! each loaded `L` column is applied to several RHS columns before moving
+//! on). Consequently a blocked solve over `nrhs` columns is bitwise equal
+//! to `nrhs` independent single-column solves — the property the solver's
+//! cross-`nrhs` determinism tests pin down.
+//!
+//! ## Two layouts
+//!
+//! There are two kernel families. The column-major family (`trsm_ln`,
+//! `gemm_block_sub`, ...) takes the RHS block as `nrhs` stride-`ld`
+//! columns and is used where the data already lives that way (the
+//! distributed engine's message blocks, the SMP tree solve). The
+//! interleaved family (`*_rm`) takes row `i`'s `nrhs` values contiguously
+//! at `b[i*nrhs..]`, which lets SIMD run *across* RHS columns while each
+//! column keeps a fixed op order — reductions over `i` stay per-lane and
+//! are never reassociated. Both families are nrhs-independent per column,
+//! but they order the panel updates differently (pure column sweeps vs
+//! 4-column panels), so results *between* families agree to rounding, not
+//! bit for bit.
+
+/// How many RHS columns the block-apply kernels advance per outer step.
+/// Each loaded `L21` column is reused across the group, which is where the
+/// batched solve earns its bandwidth advantage.
+const RHS_UNROLL: usize = 4;
+
+/// How many `L21` columns the micro-kernels chain per row visit. Chained
+/// updates stay in ascending-`j` order per RHS column (subtraction is not
+/// reassociated), so the bitwise contract holds; the payoff is that each
+/// `Y` element is loaded and stored once per group of four `L` columns
+/// instead of once per column.
+const COL_UNROLL: usize = 4;
+
+/// Solve `L X = B` in place (`B <- L^-1 B`), `L` lower `n x n` (`ldl`),
+/// `B` `n x nrhs` (`ldb`). RHS columns are processed four at a time so
+/// each loaded `L` column serves the whole group; per column the update
+/// sequence (divide, then subtract down the column, skipping when the
+/// pivot value is exactly zero) is identical to the scalar
+/// [`crate::blas::trsm_left_ln`] sweep, so results are bitwise equal to a
+/// per-column loop for every `nrhs`.
+pub fn trsm_ln(
+    n: usize,
+    nrhs: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+    unit: bool,
+) {
+    debug_assert!(ldl >= n.max(1) && ldb >= n.max(1));
+    let at = |i: usize, j: usize| j * ldl + i;
+    let mut r = 0;
+    while r + RHS_UNROLL <= nrhs {
+        let (c0, rest) = b[r * ldb..].split_at_mut(ldb);
+        let (c1, rest) = rest.split_at_mut(ldb);
+        let (c2, c3) = rest.split_at_mut(ldb);
+        let (c0, c1, c2, c3) = (&mut c0[..n], &mut c1[..n], &mut c2[..n], &mut c3[..n]);
+        for j in 0..n {
+            let (mut x0, mut x1, mut x2, mut x3) = (c0[j], c1[j], c2[j], c3[j]);
+            if !unit {
+                let d = l[at(j, j)];
+                x0 /= d;
+                x1 /= d;
+                x2 /= d;
+                x3 /= d;
+            }
+            c0[j] = x0;
+            c1[j] = x1;
+            c2[j] = x2;
+            c3[j] = x3;
+            let lc = &l[at(j + 1, j)..at(n, j)];
+            if x0 != 0.0 && x1 != 0.0 && x2 != 0.0 && x3 != 0.0 {
+                for (i, &lv) in lc.iter().enumerate() {
+                    c0[j + 1 + i] -= lv * x0;
+                    c1[j + 1 + i] -= lv * x1;
+                    c2[j + 1 + i] -= lv * x2;
+                    c3[j + 1 + i] -= lv * x3;
+                }
+            } else {
+                // A zero pivot value: fall back to per-column skips so the
+                // scalar sweep's behaviour is reproduced exactly.
+                for (xv, col) in [(x0, &mut *c0), (x1, c1), (x2, c2), (x3, c3)] {
+                    if xv != 0.0 {
+                        for (bv, &lv) in col[j + 1..].iter_mut().zip(lc) {
+                            *bv -= lv * xv;
+                        }
+                    }
+                }
+            }
+        }
+        r += RHS_UNROLL;
+    }
+    for r in r..nrhs {
+        crate::blas::trsm_left_ln(n, 1, l, ldl, &mut b[r * ldb..r * ldb + n], ldb.max(1), unit);
+    }
+}
+
+/// Solve `L' X = B` in place, blocked over RHS like [`trsm_ln`]. Per
+/// column the dot products accumulate with `i` ascending exactly like the
+/// scalar [`crate::blas::trsm_left_lt`] sweep.
+pub fn trsm_lt(
+    n: usize,
+    nrhs: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+    unit: bool,
+) {
+    debug_assert!(ldl >= n.max(1) && ldb >= n.max(1));
+    let at = |i: usize, j: usize| j * ldl + i;
+    let mut r = 0;
+    while r + RHS_UNROLL <= nrhs {
+        let (c0, rest) = b[r * ldb..].split_at_mut(ldb);
+        let (c1, rest) = rest.split_at_mut(ldb);
+        let (c2, c3) = rest.split_at_mut(ldb);
+        let (c0, c1, c2, c3) = (&mut c0[..n], &mut c1[..n], &mut c2[..n], &mut c3[..n]);
+        for j in (0..n).rev() {
+            let lc = &l[at(j + 1, j)..at(n, j)];
+            let (mut a0, mut a1, mut a2, mut a3) = (c0[j], c1[j], c2[j], c3[j]);
+            for (i, &lv) in lc.iter().enumerate() {
+                a0 -= lv * c0[j + 1 + i];
+                a1 -= lv * c1[j + 1 + i];
+                a2 -= lv * c2[j + 1 + i];
+                a3 -= lv * c3[j + 1 + i];
+            }
+            if !unit {
+                let d = l[at(j, j)];
+                a0 /= d;
+                a1 /= d;
+                a2 /= d;
+                a3 /= d;
+            }
+            c0[j] = a0;
+            c1[j] = a1;
+            c2[j] = a2;
+            c3[j] = a3;
+        }
+        r += RHS_UNROLL;
+    }
+    for r in r..nrhs {
+        crate::blas::trsm_left_lt(n, 1, l, ldl, &mut b[r * ldb..r * ldb + n], ldb.max(1), unit);
+    }
+}
+
+/// Off-diagonal forward apply: `Y <- Y - L21 * X`.
+///
+/// `l21` is `m x k` column-major with leading dimension `ldl`; `X` is
+/// `k x nrhs` with leading dimension `ldx`; `Y` is `m x nrhs` with leading
+/// dimension `ldy`. Per RHS column the update order matches the scalar
+/// sweep (`j` ascending over `L` columns, `i` ascending over rows), with
+/// no zero-skip, so results do not depend on how columns are grouped.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_block_sub(
+    m: usize,
+    k: usize,
+    nrhs: usize,
+    l21: &[f64],
+    ldl: usize,
+    x: &[f64],
+    ldx: usize,
+    y: &mut [f64],
+    ldy: usize,
+) {
+    debug_assert!(ldl >= m.max(1) && ldy >= m.max(1) && ldx >= k.max(1));
+    if m == 0 || k == 0 {
+        return;
+    }
+    let mut r = 0;
+    while r + RHS_UNROLL <= nrhs {
+        // Split the Y group into four distinct columns so the compiler can
+        // keep all four live without aliasing checks.
+        let (y0, rest) = y[r * ldy..].split_at_mut(ldy);
+        let (y1, rest) = rest.split_at_mut(ldy);
+        let (y2, y3) = rest.split_at_mut(ldy);
+        let (y0, y1, y2, y3) = (&mut y0[..m], &mut y1[..m], &mut y2[..m], &mut y3[..m]);
+        let mut j = 0;
+        while j + COL_UNROLL <= k {
+            // 4 RHS x 4 L-column register block: each Y element takes the
+            // four chained updates in ascending-j order, exactly as the
+            // per-j loop below would apply them one at a time.
+            let ca = &l21[j * ldl..j * ldl + m];
+            let cb = &l21[(j + 1) * ldl..(j + 1) * ldl + m];
+            let cc = &l21[(j + 2) * ldl..(j + 2) * ldl + m];
+            let cd = &l21[(j + 3) * ldl..(j + 3) * ldl + m];
+            let xr = |t: usize, jj: usize| x[(r + t) * ldx + j + jj];
+            let (xa0, xb0, xc0, xd0) = (xr(0, 0), xr(0, 1), xr(0, 2), xr(0, 3));
+            let (xa1, xb1, xc1, xd1) = (xr(1, 0), xr(1, 1), xr(1, 2), xr(1, 3));
+            let (xa2, xb2, xc2, xd2) = (xr(2, 0), xr(2, 1), xr(2, 2), xr(2, 3));
+            let (xa3, xb3, xc3, xd3) = (xr(3, 0), xr(3, 1), xr(3, 2), xr(3, 3));
+            for i in 0..m {
+                let (a, b, c, d) = (ca[i], cb[i], cc[i], cd[i]);
+                y0[i] = (((y0[i] - a * xa0) - b * xb0) - c * xc0) - d * xd0;
+                y1[i] = (((y1[i] - a * xa1) - b * xb1) - c * xc1) - d * xd1;
+                y2[i] = (((y2[i] - a * xa2) - b * xb2) - c * xc2) - d * xd2;
+                y3[i] = (((y3[i] - a * xa3) - b * xb3) - c * xc3) - d * xd3;
+            }
+            j += COL_UNROLL;
+        }
+        for j in j..k {
+            let col = &l21[j * ldl..j * ldl + m];
+            let x0 = x[r * ldx + j];
+            let x1 = x[(r + 1) * ldx + j];
+            let x2 = x[(r + 2) * ldx + j];
+            let x3 = x[(r + 3) * ldx + j];
+            for (i, &lv) in col.iter().enumerate() {
+                y0[i] -= lv * x0;
+                y1[i] -= lv * x1;
+                y2[i] -= lv * x2;
+                y3[i] -= lv * x3;
+            }
+        }
+        r += RHS_UNROLL;
+    }
+    for r in r..nrhs {
+        let yr = &mut y[r * ldy..r * ldy + m];
+        for j in 0..k {
+            let col = &l21[j * ldl..j * ldl + m];
+            let xj = x[r * ldx + j];
+            for (yi, &lv) in yr.iter_mut().zip(col) {
+                *yi -= lv * xj;
+            }
+        }
+    }
+}
+
+/// Off-diagonal backward apply: `X <- X - L21' * Y`.
+///
+/// Shapes as in [`gemm_block_sub`]: `l21` is `m x k` (`ldl`), `Y` is
+/// `m x nrhs` (`ldy`), `X` is `k x nrhs` (`ldx`). Per column the dot
+/// products accumulate with `i` ascending, matching the scalar backward
+/// sweep exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_block_t_sub(
+    m: usize,
+    k: usize,
+    nrhs: usize,
+    l21: &[f64],
+    ldl: usize,
+    y: &[f64],
+    ldy: usize,
+    x: &mut [f64],
+    ldx: usize,
+) {
+    debug_assert!(ldl >= m.max(1) && ldy >= m.max(1) && ldx >= k.max(1));
+    if m == 0 || k == 0 {
+        return;
+    }
+    let mut r = 0;
+    while r + RHS_UNROLL <= nrhs {
+        let y0 = &y[r * ldy..r * ldy + m];
+        let y1 = &y[(r + 1) * ldy..(r + 1) * ldy + m];
+        let y2 = &y[(r + 2) * ldy..(r + 2) * ldy + m];
+        let y3 = &y[(r + 3) * ldy..(r + 3) * ldy + m];
+        let mut j = 0;
+        while j + COL_UNROLL <= k {
+            // 4 RHS x 4 L-column block: 16 independent dot products, each
+            // accumulating with i ascending exactly like the scalar sweep.
+            let ca = &l21[j * ldl..j * ldl + m];
+            let cb = &l21[(j + 1) * ldl..(j + 1) * ldl + m];
+            let cc = &l21[(j + 2) * ldl..(j + 2) * ldl + m];
+            let cd = &l21[(j + 3) * ldl..(j + 3) * ldl + m];
+            let (mut a00, mut a01, mut a02, mut a03) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let (mut a10, mut a11, mut a12, mut a13) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let (mut a20, mut a21, mut a22, mut a23) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let (mut a30, mut a31, mut a32, mut a33) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for i in 0..m {
+                let (a, b, c, d) = (ca[i], cb[i], cc[i], cd[i]);
+                let (v0, v1, v2, v3) = (y0[i], y1[i], y2[i], y3[i]);
+                a00 += a * v0;
+                a01 += b * v0;
+                a02 += c * v0;
+                a03 += d * v0;
+                a10 += a * v1;
+                a11 += b * v1;
+                a12 += c * v1;
+                a13 += d * v1;
+                a20 += a * v2;
+                a21 += b * v2;
+                a22 += c * v2;
+                a23 += d * v2;
+                a30 += a * v3;
+                a31 += b * v3;
+                a32 += c * v3;
+                a33 += d * v3;
+            }
+            x[r * ldx + j] -= a00;
+            x[r * ldx + j + 1] -= a01;
+            x[r * ldx + j + 2] -= a02;
+            x[r * ldx + j + 3] -= a03;
+            x[(r + 1) * ldx + j] -= a10;
+            x[(r + 1) * ldx + j + 1] -= a11;
+            x[(r + 1) * ldx + j + 2] -= a12;
+            x[(r + 1) * ldx + j + 3] -= a13;
+            x[(r + 2) * ldx + j] -= a20;
+            x[(r + 2) * ldx + j + 1] -= a21;
+            x[(r + 2) * ldx + j + 2] -= a22;
+            x[(r + 2) * ldx + j + 3] -= a23;
+            x[(r + 3) * ldx + j] -= a30;
+            x[(r + 3) * ldx + j + 1] -= a31;
+            x[(r + 3) * ldx + j + 2] -= a32;
+            x[(r + 3) * ldx + j + 3] -= a33;
+            j += COL_UNROLL;
+        }
+        for j in j..k {
+            let col = &l21[j * ldl..j * ldl + m];
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for (i, &lv) in col.iter().enumerate() {
+                a0 += lv * y0[i];
+                a1 += lv * y1[i];
+                a2 += lv * y2[i];
+                a3 += lv * y3[i];
+            }
+            x[r * ldx + j] -= a0;
+            x[(r + 1) * ldx + j] -= a1;
+            x[(r + 2) * ldx + j] -= a2;
+            x[(r + 3) * ldx + j] -= a3;
+        }
+        r += RHS_UNROLL;
+    }
+    for r in r..nrhs {
+        let yr = &y[r * ldy..r * ldy + m];
+        for j in 0..k {
+            let col = &l21[j * ldl..j * ldl + m];
+            let mut acc = 0.0f64;
+            for (&lv, &yv) in col.iter().zip(yr) {
+                acc += lv * yv;
+            }
+            x[r * ldx + j] -= acc;
+        }
+    }
+}
+
+/// Forward apply, interleaved layout: `Y <- Y - L21 * X` where `X` holds
+/// `k` rows of `nrhs` contiguous lane values (`x[j*nrhs + r]`) and `Y`
+/// holds `m` such rows. Per lane the update order is: 4-column panels in
+/// ascending `j`, chained in ascending column order per row visit, then
+/// tail columns one at a time — fixed and independent of `nrhs`.
+pub fn gemm_block_sub_rm(
+    m: usize,
+    k: usize,
+    nrhs: usize,
+    l21: &[f64],
+    ldl: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_assert!(ldl >= m.max(1) && x.len() >= k * nrhs && y.len() >= m * nrhs);
+    let mut j = 0;
+    while j + COL_UNROLL <= k {
+        let ca = &l21[j * ldl..j * ldl + m];
+        let cb = &l21[(j + 1) * ldl..(j + 1) * ldl + m];
+        let cc = &l21[(j + 2) * ldl..(j + 2) * ldl + m];
+        let cd = &l21[(j + 3) * ldl..(j + 3) * ldl + m];
+        let xa = &x[j * nrhs..(j + 1) * nrhs];
+        let xb = &x[(j + 1) * nrhs..(j + 2) * nrhs];
+        let xc = &x[(j + 2) * nrhs..(j + 3) * nrhs];
+        let xd = &x[(j + 3) * nrhs..(j + 4) * nrhs];
+        for i in 0..m {
+            let (a, b, c, d) = (ca[i], cb[i], cc[i], cd[i]);
+            let row = &mut y[i * nrhs..(i + 1) * nrhs];
+            for (r, yv) in row.iter_mut().enumerate() {
+                *yv = (((*yv - a * xa[r]) - b * xb[r]) - c * xc[r]) - d * xd[r];
+            }
+        }
+        j += COL_UNROLL;
+    }
+    for j in j..k {
+        let col = &l21[j * ldl..j * ldl + m];
+        let xj = &x[j * nrhs..(j + 1) * nrhs];
+        for (i, &lv) in col.iter().enumerate() {
+            let row = &mut y[i * nrhs..(i + 1) * nrhs];
+            for (r, yv) in row.iter_mut().enumerate() {
+                *yv -= lv * xj[r];
+            }
+        }
+    }
+}
+
+/// Lanes per accumulator group in the transposed interleaved kernels:
+/// small enough that the per-group partial sums stay in vector registers.
+const LANE_GROUP: usize = 4;
+
+/// Backward apply, interleaved layout: `X <- X - L21' * Y` (shapes as in
+/// [`gemm_block_sub_rm`]). Per lane each dot product accumulates from zero
+/// with `i` ascending and is subtracted once — the order is fixed and
+/// independent of `nrhs` (lane grouping never touches a lane's own chain).
+pub fn gemm_block_t_sub_rm(
+    m: usize,
+    k: usize,
+    nrhs: usize,
+    l21: &[f64],
+    ldl: usize,
+    y: &[f64],
+    x: &mut [f64],
+) {
+    debug_assert!(ldl >= m.max(1) && y.len() >= m * nrhs && x.len() >= k * nrhs);
+    let mut j = 0;
+    while j + COL_UNROLL <= k {
+        let ca = &l21[j * ldl..j * ldl + m];
+        let cb = &l21[(j + 1) * ldl..(j + 1) * ldl + m];
+        let cc = &l21[(j + 2) * ldl..(j + 2) * ldl + m];
+        let cd = &l21[(j + 3) * ldl..(j + 3) * ldl + m];
+        let mut g = 0;
+        while g + LANE_GROUP <= nrhs {
+            let mut aa = [0.0f64; LANE_GROUP];
+            let mut ab = [0.0f64; LANE_GROUP];
+            let mut ac = [0.0f64; LANE_GROUP];
+            let mut ad = [0.0f64; LANE_GROUP];
+            for i in 0..m {
+                let yv = &y[i * nrhs + g..i * nrhs + g + LANE_GROUP];
+                let (a, b, c, d) = (ca[i], cb[i], cc[i], cd[i]);
+                for t in 0..LANE_GROUP {
+                    aa[t] += a * yv[t];
+                    ab[t] += b * yv[t];
+                    ac[t] += c * yv[t];
+                    ad[t] += d * yv[t];
+                }
+            }
+            for t in 0..LANE_GROUP {
+                x[j * nrhs + g + t] -= aa[t];
+                x[(j + 1) * nrhs + g + t] -= ab[t];
+                x[(j + 2) * nrhs + g + t] -= ac[t];
+                x[(j + 3) * nrhs + g + t] -= ad[t];
+            }
+            g += LANE_GROUP;
+        }
+        for r in g..nrhs {
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for i in 0..m {
+                let v = y[i * nrhs + r];
+                a0 += ca[i] * v;
+                a1 += cb[i] * v;
+                a2 += cc[i] * v;
+                a3 += cd[i] * v;
+            }
+            x[j * nrhs + r] -= a0;
+            x[(j + 1) * nrhs + r] -= a1;
+            x[(j + 2) * nrhs + r] -= a2;
+            x[(j + 3) * nrhs + r] -= a3;
+        }
+        j += COL_UNROLL;
+    }
+    for j in j..k {
+        let col = &l21[j * ldl..j * ldl + m];
+        let mut g = 0;
+        while g + LANE_GROUP <= nrhs {
+            let mut acc = [0.0f64; LANE_GROUP];
+            for (i, &lv) in col.iter().enumerate() {
+                let yv = &y[i * nrhs + g..i * nrhs + g + LANE_GROUP];
+                for t in 0..LANE_GROUP {
+                    acc[t] += lv * yv[t];
+                }
+            }
+            for t in 0..LANE_GROUP {
+                x[j * nrhs + g + t] -= acc[t];
+            }
+            g += LANE_GROUP;
+        }
+        for r in g..nrhs {
+            let mut acc = 0.0f64;
+            for (i, &lv) in col.iter().enumerate() {
+                acc += lv * y[i * nrhs + r];
+            }
+            x[j * nrhs + r] -= acc;
+        }
+    }
+}
+
+/// Solve `L X = B` in place, interleaved layout (`b[i*nrhs + r]`). The
+/// triangle is processed in 4-column panels: solve the small diagonal
+/// block, then rank-4-update the rows below through
+/// [`gemm_block_sub_rm`]. Per lane the order is fixed and independent of
+/// `nrhs`; there is no zero-skip (unlike the column-major [`trsm_ln`]).
+pub fn trsm_ln_rm(n: usize, nrhs: usize, l: &[f64], ldl: usize, b: &mut [f64], unit: bool) {
+    debug_assert!(ldl >= n.max(1) && b.len() >= n * nrhs);
+    let at = |i: usize, j: usize| j * ldl + i;
+    let mut jp = 0;
+    while jp + COL_UNROLL <= n {
+        for jj in jp..jp + COL_UNROLL {
+            let (head, tail) = b.split_at_mut((jj + 1) * nrhs);
+            let rowj = &mut head[jj * nrhs..];
+            if !unit {
+                let d = l[at(jj, jj)];
+                for v in rowj.iter_mut() {
+                    *v /= d;
+                }
+            }
+            for i in jj + 1..jp + COL_UNROLL {
+                let lv = l[at(i, jj)];
+                let row = &mut tail[(i - jj - 1) * nrhs..(i - jj) * nrhs];
+                for (r, yv) in row.iter_mut().enumerate() {
+                    *yv -= lv * rowj[r];
+                }
+            }
+        }
+        if jp + COL_UNROLL < n {
+            let (x, y) = b.split_at_mut((jp + COL_UNROLL) * nrhs);
+            gemm_block_sub_rm(
+                n - jp - COL_UNROLL,
+                COL_UNROLL,
+                nrhs,
+                &l[at(jp + COL_UNROLL, jp)..],
+                ldl,
+                &x[jp * nrhs..],
+                y,
+            );
+        }
+        jp += COL_UNROLL;
+    }
+    for jj in jp..n {
+        let (head, tail) = b.split_at_mut((jj + 1) * nrhs);
+        let rowj = &mut head[jj * nrhs..];
+        if !unit {
+            let d = l[at(jj, jj)];
+            for v in rowj.iter_mut() {
+                *v /= d;
+            }
+        }
+        for i in jj + 1..n {
+            let lv = l[at(i, jj)];
+            let row = &mut tail[(i - jj - 1) * nrhs..(i - jj) * nrhs];
+            for (r, yv) in row.iter_mut().enumerate() {
+                *yv -= lv * rowj[r];
+            }
+        }
+    }
+}
+
+/// Solve `L' X = B` in place, interleaved layout. Mirrors [`trsm_ln_rm`]:
+/// tail columns first (descending), then 4-column panels descending, each
+/// taking the below-panel contribution through [`gemm_block_t_sub_rm`]
+/// before the small intra-panel sweep. Per lane the order is fixed and
+/// independent of `nrhs`.
+pub fn trsm_lt_rm(n: usize, nrhs: usize, l: &[f64], ldl: usize, b: &mut [f64], unit: bool) {
+    debug_assert!(ldl >= n.max(1) && b.len() >= n * nrhs);
+    let at = |i: usize, j: usize| j * ldl + i;
+    let tail_start = n - n % COL_UNROLL;
+    for jj in (tail_start..n).rev() {
+        let (head, below) = b.split_at_mut((jj + 1) * nrhs);
+        let rowj = &mut head[jj * nrhs..];
+        let col = &l[at(jj + 1, jj)..at(n, jj)];
+        let mut g = 0;
+        while g + LANE_GROUP <= nrhs {
+            let mut acc = [0.0f64; LANE_GROUP];
+            for (i, &lv) in col.iter().enumerate() {
+                let yv = &below[i * nrhs + g..i * nrhs + g + LANE_GROUP];
+                for t in 0..LANE_GROUP {
+                    acc[t] += lv * yv[t];
+                }
+            }
+            for t in 0..LANE_GROUP {
+                rowj[g + t] -= acc[t];
+            }
+            g += LANE_GROUP;
+        }
+        for r in g..nrhs {
+            let mut acc = 0.0f64;
+            for (i, &lv) in col.iter().enumerate() {
+                acc += lv * below[i * nrhs + r];
+            }
+            rowj[r] -= acc;
+        }
+        if !unit {
+            let d = l[at(jj, jj)];
+            for v in rowj.iter_mut() {
+                *v /= d;
+            }
+        }
+    }
+    let mut jp = tail_start;
+    while jp >= COL_UNROLL {
+        jp -= COL_UNROLL;
+        if jp + COL_UNROLL < n {
+            let (x, y) = b.split_at_mut((jp + COL_UNROLL) * nrhs);
+            gemm_block_t_sub_rm(
+                n - jp - COL_UNROLL,
+                COL_UNROLL,
+                nrhs,
+                &l[at(jp + COL_UNROLL, jp)..],
+                ldl,
+                y,
+                &mut x[jp * nrhs..],
+            );
+        }
+        for jj in (jp..jp + COL_UNROLL).rev() {
+            let (head, below) = b.split_at_mut((jj + 1) * nrhs);
+            let rowj = &mut head[jj * nrhs..];
+            for i in jj + 1..jp + COL_UNROLL {
+                let lv = l[at(i, jj)];
+                let row = &below[(i - jj - 1) * nrhs..(i - jj) * nrhs];
+                for (r, v) in rowj.iter_mut().enumerate() {
+                    *v -= lv * row[r];
+                }
+            }
+            if !unit {
+                let d = l[at(jj, jj)];
+                for v in rowj.iter_mut() {
+                    *v /= d;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_rng(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed.max(1);
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 2000) as f64 / 1000.0 - 1.0
+        }
+    }
+
+    /// Scalar single-column references with the exact op order the blocked
+    /// kernels promise (no zero-skip, ascending loops).
+    fn gemm_sub_ref(m: usize, k: usize, l21: &[f64], ldl: usize, x: &[f64], y: &mut [f64]) {
+        for j in 0..k {
+            let xj = x[j];
+            for i in 0..m {
+                y[i] -= l21[j * ldl + i] * xj;
+            }
+        }
+    }
+
+    fn gemm_t_sub_ref(m: usize, k: usize, l21: &[f64], ldl: usize, y: &[f64], x: &mut [f64]) {
+        for j in 0..k {
+            let mut acc = 0.0;
+            for i in 0..m {
+                acc += l21[j * ldl + i] * y[i];
+            }
+            x[j] -= acc;
+        }
+    }
+
+    #[test]
+    fn block_applies_match_per_column_reference_bitwise() {
+        let mut r = det_rng(7);
+        for &(m, k, nrhs) in &[
+            (1usize, 1usize, 1usize),
+            (5, 3, 2),
+            (8, 8, 4),
+            (13, 6, 7),
+            (9, 4, 32),
+            (3, 11, 5),
+        ] {
+            let ldl = m + 2;
+            let l21: Vec<f64> = (0..ldl * k).map(|_| r()).collect();
+            let x: Vec<f64> = (0..k * nrhs).map(|_| r()).collect();
+            let y: Vec<f64> = (0..m * nrhs).map(|_| r()).collect();
+
+            // Forward apply.
+            let mut yb = y.clone();
+            gemm_block_sub(m, k, nrhs, &l21, ldl, &x, k, &mut yb, m);
+            for c in 0..nrhs {
+                let mut yr: Vec<f64> = y[c * m..(c + 1) * m].to_vec();
+                gemm_sub_ref(m, k, &l21, ldl, &x[c * k..(c + 1) * k], &mut yr);
+                for (a, b) in yb[c * m..(c + 1) * m].iter().zip(&yr) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "fwd m={m} k={k} nrhs={nrhs}");
+                }
+            }
+
+            // Backward apply.
+            let mut xb = x.clone();
+            gemm_block_t_sub(m, k, nrhs, &l21, ldl, &y, m, &mut xb, k);
+            for c in 0..nrhs {
+                let mut xr: Vec<f64> = x[c * k..(c + 1) * k].to_vec();
+                gemm_t_sub_ref(m, k, &l21, ldl, &y[c * m..(c + 1) * m], &mut xr);
+                for (a, b) in xb[c * k..(c + 1) * k].iter().zip(&xr) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "bwd m={m} k={k} nrhs={nrhs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_blocks_only_touch_their_rows() {
+        // ldx/ldy larger than the logical block: rows past `m`/`k` must
+        // survive untouched (the solver passes whole-vector strides).
+        let mut r = det_rng(11);
+        let (m, k, nrhs, ldx, ldy) = (4usize, 3usize, 5usize, 10usize, 9usize);
+        let l21: Vec<f64> = (0..m * k).map(|_| r()).collect();
+        let x: Vec<f64> = (0..ldx * nrhs).map(|_| r()).collect();
+        let mut y: Vec<f64> = (0..ldy * nrhs).map(|_| r()).collect();
+        let y0 = y.clone();
+        gemm_block_sub(m, k, nrhs, &l21, m, &x, ldx, &mut y, ldy);
+        for c in 0..nrhs {
+            for i in m..ldy {
+                assert_eq!(y[c * ldy + i], y0[c * ldy + i]);
+            }
+        }
+        let mut x2 = x.clone();
+        gemm_block_t_sub(m, k, nrhs, &l21, m, &y, ldy, &mut x2, ldx);
+        for c in 0..nrhs {
+            for j in k..ldx {
+                assert_eq!(x2[c * ldx + j], x[c * ldx + j]);
+            }
+        }
+    }
+
+    /// Extract lane `r` of an interleaved block into its own nrhs=1 block.
+    fn lane(b: &[f64], rows: usize, nrhs: usize, r: usize) -> Vec<f64> {
+        (0..rows).map(|i| b[i * nrhs + r]).collect()
+    }
+
+    #[test]
+    fn interleaved_kernels_are_nrhs_independent_bitwise() {
+        // The contract the solver relies on: for every kernel in the _rm
+        // family, lane r of a blocked run equals a full nrhs=1 run of the
+        // same kernel on that lane alone.
+        let mut r = det_rng(23);
+        for &(m, k, nrhs) in &[
+            (1usize, 1usize, 1usize),
+            (5, 3, 2),
+            (8, 8, 4),
+            (13, 6, 7),
+            (9, 4, 32),
+            (3, 11, 5),
+            (17, 5, 3),
+        ] {
+            let ldl = m + 2;
+            let l21: Vec<f64> = (0..ldl * k).map(|_| r()).collect();
+            let x: Vec<f64> = (0..k * nrhs).map(|_| r()).collect();
+            let y: Vec<f64> = (0..m * nrhs).map(|_| r()).collect();
+
+            let mut yb = y.clone();
+            gemm_block_sub_rm(m, k, nrhs, &l21, ldl, &x, &mut yb);
+            let mut xb = x.clone();
+            gemm_block_t_sub_rm(m, k, nrhs, &l21, ldl, &y, &mut xb);
+            for c in 0..nrhs {
+                let mut y1 = lane(&y, m, nrhs, c);
+                gemm_block_sub_rm(m, k, 1, &l21, ldl, &lane(&x, k, nrhs, c), &mut y1);
+                for (a, b) in lane(&yb, m, nrhs, c).iter().zip(&y1) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "fwd m={m} k={k} nrhs={nrhs}");
+                }
+                let mut x1 = lane(&x, k, nrhs, c);
+                gemm_block_t_sub_rm(m, k, 1, &l21, ldl, &lane(&y, m, nrhs, c), &mut x1);
+                for (a, b) in lane(&xb, k, nrhs, c).iter().zip(&x1) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "bwd m={m} k={k} nrhs={nrhs}");
+                }
+            }
+        }
+
+        // The triangular solves, unit and non-unit, at widths around the
+        // panel size.
+        for n in [1usize, 3, 4, 6, 8, 11] {
+            let ld = n + 1;
+            let mut l = vec![0.0; ld * n];
+            for j in 0..n {
+                for i in j..n {
+                    l[j * ld + i] = r();
+                }
+                l[j * ld + j] = 2.0 + r().abs();
+            }
+            for unit in [false, true] {
+                for nrhs in [1usize, 2, 4, 7] {
+                    let b: Vec<f64> = (0..n * nrhs).map(|_| r()).collect();
+                    let mut fwd = b.clone();
+                    trsm_ln_rm(n, nrhs, &l, ld, &mut fwd, unit);
+                    let mut bwd = b.clone();
+                    trsm_lt_rm(n, nrhs, &l, ld, &mut bwd, unit);
+                    for c in 0..nrhs {
+                        let mut f1 = lane(&b, n, nrhs, c);
+                        trsm_ln_rm(n, 1, &l, ld, &mut f1, unit);
+                        for (a, q) in lane(&fwd, n, nrhs, c).iter().zip(&f1) {
+                            assert_eq!(a.to_bits(), q.to_bits(), "ln n={n} nrhs={nrhs}");
+                        }
+                        let mut b1 = lane(&b, n, nrhs, c);
+                        trsm_lt_rm(n, 1, &l, ld, &mut b1, unit);
+                        for (a, q) in lane(&bwd, n, nrhs, c).iter().zip(&b1) {
+                            assert_eq!(a.to_bits(), q.to_bits(), "lt n={n} nrhs={nrhs}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_trsm_agrees_with_column_major_to_rounding() {
+        // Panel blocking changes the op order, so the two families agree
+        // numerically (same triangular system), not bit for bit.
+        let mut r = det_rng(31);
+        let n = 10;
+        let ld = n;
+        let mut l = vec![0.0; ld * n];
+        for j in 0..n {
+            for i in j..n {
+                l[j * ld + i] = r();
+            }
+            l[j * ld + j] = 3.0 + r().abs();
+        }
+        let nrhs = 5;
+        let b: Vec<f64> = (0..n * nrhs).map(|_| r()).collect();
+        // Column-major reference.
+        let mut cm = b.clone();
+        // Re-pack interleaved b into column-major.
+        for c in 0..nrhs {
+            for i in 0..n {
+                cm[c * n + i] = b[i * nrhs + c];
+            }
+        }
+        trsm_ln(n, nrhs, &l, ld, &mut cm, n, false);
+        trsm_lt(n, nrhs, &l, ld, &mut cm, n, false);
+        let mut il = b.clone();
+        trsm_ln_rm(n, nrhs, &l, ld, &mut il, false);
+        trsm_lt_rm(n, nrhs, &l, ld, &mut il, false);
+        for c in 0..nrhs {
+            for i in 0..n {
+                let (u, v) = (cm[c * n + i], il[i * nrhs + c]);
+                assert!(
+                    (u - v).abs() <= 1e-12 * v.abs().max(1.0),
+                    "col {c} row {i}: {u} vs {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_reexports_solve_triangular_blocks() {
+        // L (unit or not) forward+backward through the re-exported TRSMs
+        // reproduces per-column trsv bitwise.
+        use crate::trsv;
+        let mut r = det_rng(3);
+        let n = 7;
+        let ld = n + 1;
+        let mut l = vec![0.0; ld * n];
+        for j in 0..n {
+            for i in j..n {
+                l[j * ld + i] = r();
+            }
+            l[j * ld + j] = 2.0 + r().abs();
+        }
+        for unit in [false, true] {
+            let nrhs = 6;
+            let b: Vec<f64> = (0..ld * nrhs).map(|_| r()).collect();
+            let mut blk = b.clone();
+            trsm_ln(n, nrhs, &l, ld, &mut blk, ld, unit);
+            trsm_lt(n, nrhs, &l, ld, &mut blk, ld, unit);
+            for c in 0..nrhs {
+                let mut col: Vec<f64> = b[c * ld..c * ld + n].to_vec();
+                trsv::trsv_ln(n, &l, ld, &mut col, unit);
+                trsv::trsv_lt(n, &l, ld, &mut col, unit);
+                for (a, bq) in blk[c * ld..c * ld + n].iter().zip(&col) {
+                    assert_eq!(a.to_bits(), bq.to_bits(), "unit={unit}");
+                }
+            }
+        }
+    }
+}

@@ -26,7 +26,7 @@
 //! span time, `wait` the wait-lane span time, and `idle_frac` the fraction
 //! of the makespan the rank spent neither computing nor sending.
 
-use crate::collector::SpanEvent;
+use crate::collector::{Phase, SpanEvent};
 use crate::json::Json;
 use crate::report::RankReport;
 use crate::timeline::{LaneKind, Timeline};
@@ -115,6 +115,18 @@ pub fn analyze(
     top_k: usize,
 ) -> ProfileReport {
     let nsuper = parent.len();
+    // Solve spans are excluded up front: the readiness model (a supernode
+    // is ready when its children finish) describes the factorization, and
+    // the backward solve walks the tree in the opposite direction — folding
+    // its envelopes in would stretch every node's finish past the factor
+    // makespan and distort the critical path. Communication the solve
+    // performs is unattributed and stays in the comm lanes.
+    let spans: Vec<SpanEvent> = spans
+        .iter()
+        .filter(|s| s.phase != Phase::Solve)
+        .cloned()
+        .collect();
+    let spans = &spans[..];
     let timeline = Timeline::from_spans(spans);
     let makespan_s = timeline.end_s();
 
@@ -415,6 +427,19 @@ mod tests {
             span(Phase::Panel, 2, 1, 2.5, 1.0),
         ];
         (parent, spans)
+    }
+
+    #[test]
+    fn solve_spans_do_not_distort_the_profile() {
+        let (parent, mut spans) = chain_spans();
+        let base = analyze(&parent, &spans, &[], 8);
+        // Backward-solve spans visit the tree root-to-leaf after the
+        // factorization; the profile must come out identical with them.
+        spans.push(span(Phase::Solve, 2, 1, 3.5, 0.3));
+        spans.push(span(Phase::Solve, 1, 0, 3.9, 0.3));
+        spans.push(span(Phase::Solve, 0, 0, 4.3, 0.3));
+        let p = analyze(&parent, &spans, &[], 8);
+        assert_eq!(p, base);
     }
 
     #[test]

@@ -37,6 +37,33 @@ pub struct RankReport {
     pub mem_peak_bytes: u64,
 }
 
+/// Aggregated record of the triangular solves performed against a factor.
+/// Accumulated across calls (a `SolveSession` flush and an explicit
+/// `solve_with` both add to it), so `rhs` counts right-hand-side *columns*,
+/// not calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveReport {
+    /// Solve invocations (one blocked sweep each, any nrhs).
+    pub solves: u64,
+    /// Total right-hand-side columns processed.
+    pub rhs: u64,
+    /// Wall-clock seconds across all solves (including refinement sweeps).
+    pub seconds: f64,
+    /// Triangular-solve flops: `4 * nnz(L) * rhs` plus refinement work.
+    pub flops: f64,
+}
+
+impl SolveReport {
+    /// Aggregate solve throughput in Gflop/s; `0.0` when no time recorded.
+    pub fn gflops(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.flops / self.seconds / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The full record of one factorization.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FactorReport {
@@ -70,6 +97,9 @@ pub struct FactorReport {
     /// Timeline profile: critical path, per-rank idle breakdown, blocking
     /// edges (only at `TraceLevel::Timeline`; `None` otherwise).
     pub profile: Option<ProfileReport>,
+    /// Solve-phase aggregate (only when the facade performed solves and the
+    /// report was enriched via `report_with_solve`; `None` otherwise).
+    pub solve: Option<SolveReport>,
 }
 
 impl FactorReport {
@@ -182,6 +212,9 @@ impl FactorReport {
         if let Some(p) = &self.profile {
             fields.push(("profile".to_string(), p.to_json()));
         }
+        if let Some(s) = &self.solve {
+            fields.push(("solve".to_string(), solve_to_json(s)));
+        }
         Json::Obj(fields)
     }
 
@@ -246,6 +279,9 @@ impl FactorReport {
         if let Some(p) = j.get("profile") {
             r.profile = Some(ProfileReport::from_json(p).ok_or_else(|| field_err("profile"))?);
         }
+        if let Some(s) = j.get("solve") {
+            r.solve = Some(solve_from_json(s).ok_or_else(|| field_err("solve"))?);
+        }
         Ok(r)
     }
 
@@ -291,6 +327,26 @@ fn counters_from_json(j: &Json) -> Option<Counters> {
         gemm_s: j.get("gemm_s")?.as_f64()?,
         solve_s: j.get("solve_s").and_then(Json::as_f64).unwrap_or(0.0),
         mem_peak_bytes: j.get("mem_peak_bytes")?.as_u64()?,
+    })
+}
+
+fn solve_to_json(s: &SolveReport) -> Json {
+    Json::Obj(vec![
+        ("solves".to_string(), Json::num_u64(s.solves)),
+        ("rhs".to_string(), Json::num_u64(s.rhs)),
+        ("seconds".to_string(), Json::num_f64(s.seconds)),
+        ("flops".to_string(), Json::num_f64(s.flops)),
+        // Derived rate, written for tooling, ignored on read.
+        ("solve_gflops".to_string(), Json::num_f64(s.gflops())),
+    ])
+}
+
+fn solve_from_json(j: &Json) -> Option<SolveReport> {
+    Some(SolveReport {
+        solves: j.get("solves")?.as_u64()?,
+        rhs: j.get("rhs")?.as_u64()?,
+        seconds: j.get("seconds")?.as_f64()?,
+        flops: j.get("flops")?.as_f64()?,
     })
 }
 
@@ -429,7 +485,29 @@ mod tests {
                 },
             ],
             profile: None,
+            solve: None,
         }
+    }
+
+    #[test]
+    fn solve_section_round_trips() {
+        let mut r = sample_report();
+        r.solve = Some(SolveReport {
+            solves: 3,
+            rhs: 40,
+            seconds: 0.004,
+            flops: 5.0e7,
+        });
+        let text = r.to_json_string();
+        assert!(text.contains("\"solve_gflops\""));
+        let back = FactorReport::from_json_str(&text).unwrap();
+        assert_eq!(back, r);
+        let g = r.solve.unwrap().gflops();
+        assert!((g - 5.0e7 / 0.004 / 1e9).abs() < 1e-12, "g={g}");
+        // Reports without the section parse to None.
+        let plain = sample_report();
+        let back = FactorReport::from_json_str(&plain.to_json_string()).unwrap();
+        assert_eq!(back.solve, None);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! ```
 
 use parfact::core::smp::SmpOpts;
-use parfact::core::solver::{Engine, FactorOpts, SparseCholesky};
+use parfact::core::solver::{Engine, FactorOpts, RhsBlock, SolveEngine, SolveOpts, SparseCholesky};
 use parfact::sparse::{gen, ops};
 use std::time::Instant;
 
@@ -49,12 +49,19 @@ fn main() {
         chol.factor_flops() / 1e9
     );
 
-    // Static load: uniform gravity-ish right-hand side.
+    // Static load: uniform gravity-ish right-hand side. Solve with one
+    // refinement step on the tree-parallel engine.
     let b = vec![-9.81; a.nrows()];
-    let (x, resid) = chol.solve_refined(&a, &b, 1);
+    let solve_opts = SolveOpts::new()
+        .refine(1)
+        .engine(SolveEngine::Smp { threads });
+    let out = chol
+        .solve_with(RhsBlock::single(&b), &solve_opts)
+        .expect("solve");
     println!(
-        "solve + 1 refinement: residual = {resid:.3e}, max displacement = {:.4}",
-        x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+        "solve + 1 refinement: residual = {:.3e}, max displacement = {:.4}",
+        out.residual.unwrap(),
+        out.x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
     );
 
     // Load stepping: same sparsity, stiffening material each step.

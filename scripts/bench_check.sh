@@ -3,6 +3,10 @@
 # (kernel, n, k) packed_gflops rate against the committed BENCH_pr2.json
 # baseline. Prints a WARN line for every kernel that regressed by more
 # than the tolerance (default 30%, override with BENCH_CHECK_TOL=0.5).
+# Also checks the batched-solve artifact (BENCH_pr6.json): the committed
+# batched-vs-singles speedup must hold the 2x acceptance bar, and a fresh
+# quick bench_solve run must keep blocked solves at least as fast as
+# single-RHS loops.
 #
 #   scripts/bench_check.sh [baseline.json]   (default: BENCH_pr2.json)
 #
@@ -59,5 +63,44 @@ elif [ "$warned" = 1 ]; then
     echo "bench_check: kernel rates regressed vs $baseline (warn-only; see above)"
 else
     echo "bench_check: $compared kernel rates within ${tol} of $baseline"
+fi
+
+# --- Batched-solve gate (warn-only, like the kernel gate above) ----------
+# Two checks against BENCH_pr6.json: the committed artifact must still
+# claim the >= 2x batched-vs-singles speedup the PR was accepted with, and
+# a fresh quick run must not show blocked solves LOSING to single-RHS
+# loops (speedup < 1 would mean the blocked sweep itself regressed; the
+# quick grid is too small to reproduce the full 2x headroom).
+solve_baseline="BENCH_pr6.json"
+if [ -f "$solve_baseline" ]; then
+    # "speedup" appears exactly once, inside batched_vs_singles.
+    committed=$(awk '/"speedup":/ { gsub(/,/, "", $2); print $2 }' "$solve_baseline")
+    if [ -z "$committed" ]; then
+        echo "WARN: $solve_baseline has no batched_vs_singles.speedup entry"
+    else
+        below=$(awk -v s="$committed" 'BEGIN { print (s < 2.0) ? 1 : 0 }')
+        if [ "$below" = 1 ]; then
+            echo "WARN: committed $solve_baseline speedup ${committed}x is below the 2x acceptance bar"
+        else
+            echo "ok:   committed batched-vs-singles speedup ${committed}x (bar: 2x)"
+        fi
+    fi
+
+    solve_fresh=$(mktemp /tmp/bench_solve.XXXXXX.json)
+    BENCH_QUICK=1 cargo run -q --release -p parfact-bench --bin bench_solve -- "$solve_fresh"
+    quick_speedup=$(awk '/"speedup":/ { gsub(/,/, "", $2); print $2 }' "$solve_fresh")
+    rm -f "$solve_fresh"
+    if [ -z "$quick_speedup" ]; then
+        echo "WARN: quick bench_solve run produced no speedup entry"
+    else
+        losing=$(awk -v s="$quick_speedup" 'BEGIN { print (s < 1.0) ? 1 : 0 }')
+        if [ "$losing" = 1 ]; then
+            echo "WARN: quick run: blocked solve slower than single-RHS loop (${quick_speedup}x)"
+        else
+            echo "ok:   quick batched-vs-singles speedup ${quick_speedup}x (bar: 1x on the quick grid)"
+        fi
+    fi
+else
+    echo "bench_check: no $solve_baseline; skipping solve gate"
 fi
 exit 0

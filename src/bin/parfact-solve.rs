@@ -10,15 +10,19 @@
 //!   --out <file>        write the solution, one value per line
 //!   --ordering <m>      nd | amd | rcm | natural        (default nd)
 //!   --ldlt              LDLt instead of Cholesky (symmetric indefinite)
-//!   --threads <t>       SMP engine with t threads (default: sequential)
+//!   --threads <t>       SMP engine with t threads (default: sequential);
+//!                       the solve phase uses the same thread pool
 //!   --ranks <p>         distributed engine on p simulated ranks
 //!   --refine <k>        iterative-refinement steps     (default 1)
+//!   --nrhs <k>          solve k right-hand sides as one blocked batch
+//!                       (columns beyond the first are rotations of b);
+//!                       --out writes the first column  (default 1)
 //!   --stats             print condition estimate and log-determinant
-//!   --report <file>     write the factorization report (counters traced)
-//!                       as JSON
+//!   --report <file>     write the factorization report (counters traced,
+//!                       solve section included) as JSON
 //!   --trace-out <file>  record a timeline trace and write it as Chrome
-//!                       Trace Event JSON (open in Perfetto); also prints
-//!                       the critical-path profile
+//!                       Trace Event JSON (open in Perfetto), solve spans
+//!                       included; also prints the critical-path profile
 //! ```
 //!
 //! The matrix must be square and symmetric (Matrix Market `symmetric`, or
@@ -26,7 +30,9 @@
 
 use parfact::core::analysis;
 use parfact::core::smp::SmpOpts;
-use parfact::core::solver::{DistOpts, Engine, FactorOpts, SparseCholesky};
+use parfact::core::solver::{
+    DistOpts, Engine, FactorOpts, RhsBlock, SolveEngine, SolveOpts, SparseCholesky,
+};
 use parfact::core::FactorKind;
 use parfact::order::Method;
 use parfact::sparse::{gen, io, ops};
@@ -44,6 +50,7 @@ struct Args {
     threads: usize,
     ranks: usize,
     refine: usize,
+    nrhs: usize,
     stats: bool,
     report: Option<String>,
     trace_out: Option<String>,
@@ -60,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 0,
         ranks: 0,
         refine: 1,
+        nrhs: 1,
         stats: false,
         report: None,
         trace_out: None,
@@ -101,6 +109,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--ranks needs an integer")?
             }
+            "--nrhs" => {
+                args.nrhs = it
+                    .next()
+                    .ok_or("--nrhs needs a count")?
+                    .parse()
+                    .map_err(|_| "--nrhs needs an integer")?;
+                if args.nrhs == 0 {
+                    return Err("--nrhs must be at least 1".into());
+                }
+            }
             "--stats" => args.stats = true,
             "--report" => args.report = Some(it.next().ok_or("--report needs a file")?),
             "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a file")?),
@@ -140,7 +158,7 @@ fn main() -> ExitCode {
             if msg != "usage" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: parfact-solve <matrix.mtx | --gen spec> [--rhs f] [--out f] [--ordering nd|amd|rcm|natural] [--ldlt] [--threads t] [--ranks p] [--refine k] [--stats] [--report f] [--trace-out f]");
+            eprintln!("usage: parfact-solve <matrix.mtx | --gen spec> [--rhs f] [--out f] [--ordering nd|amd|rcm|natural] [--ldlt] [--threads t] [--ranks p] [--refine k] [--nrhs k] [--stats] [--report f] [--trace-out f]");
             return ExitCode::from(2);
         }
     };
@@ -230,9 +248,39 @@ fn main() -> ExitCode {
         r.factor_gflops()
     );
 
-    let (x, resid) = chol.solve_refined(&a, &b, args.refine);
+    // Build the right-hand-side block: column 0 is b, further columns are
+    // rotations of it (distinct systems, same norm scale).
+    let n = a.nrows();
+    let mut block = Vec::with_capacity(n * args.nrhs);
+    for j in 0..args.nrhs {
+        block.extend((0..n).map(|i| b[(i + j) % n.max(1)]));
+    }
+    let solve_opts = SolveOpts::new()
+        .refine(args.refine)
+        .engine(if args.threads > 1 {
+            SolveEngine::Smp {
+                threads: args.threads,
+            }
+        } else {
+            SolveEngine::Auto
+        });
+    let out = match chol.solve_with(RhsBlock::new(&block, args.nrhs), &solve_opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("solve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let x = out.x[..n].to_vec();
+    let rsolve = chol.report_with_solve();
+    let solve_line = match &rsolve.solve {
+        Some(s) => format!(" | {:.1} ms, {:.2} GF/s", s.seconds * 1e3, s.gflops()),
+        None => String::new(),
+    };
     println!(
-        "solve: residual inf-norm = {resid:.3e} (scaled: {:.3e})",
+        "solve: nrhs = {}, residual inf-norm = {:.3e} (col 0: {:.3e}){solve_line}",
+        args.nrhs,
+        out.residual.unwrap_or(f64::NAN),
         ops::sym_residual_inf(&a, &x, &b)
     );
 
@@ -243,7 +291,9 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.trace_out {
-        let tl = Timeline::from_spans(&r.spans);
+        // The enriched report lays solve spans after the factor spans, so
+        // the Chrome trace shows both phases on one axis.
+        let tl = Timeline::from_spans(&rsolve.spans);
         let label = if args.ranks > 0 { "rank" } else { "worker" };
         let json = tl.to_chrome_trace(label).to_string_compact() + "\n";
         if let Err(e) = std::fs::write(path, json) {
@@ -252,10 +302,10 @@ fn main() -> ExitCode {
         }
         println!(
             "trace: {} spans across {} lanes written to {path} (open in https://ui.perfetto.dev)",
-            r.spans.len(),
+            rsolve.spans.len(),
             tl.lanes.len()
         );
-        if let Some(p) = &r.profile {
+        if let Some(p) = &rsolve.profile {
             let mut text = String::new();
             p.render(&mut text);
             print!("{text}");
@@ -263,7 +313,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.report {
-        if let Err(e) = std::fs::write(path, chol.report().to_json_pretty() + "\n") {
+        if let Err(e) = std::fs::write(path, rsolve.to_json_pretty() + "\n") {
             eprintln!("error writing {path}: {e}");
             return ExitCode::FAILURE;
         }

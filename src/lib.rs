@@ -28,10 +28,25 @@
 //! let b = vec![1.0; a.nrows()];
 //!
 //! let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
-//! let x = chol.solve(&b);
+//! let out = chol.solve_with(RhsBlock::single(&b), &SolveOpts::new()).unwrap();
 //!
-//! let r = parfact::sparse::ops::sym_residual_inf(&a, &x, &b);
+//! let r = parfact::sparse::ops::sym_residual_inf(&a, &out.x, &b);
 //! assert!(r < 1e-8);
+//! ```
+//!
+//! Batched right-hand sides run through the same call — stack the columns
+//! and describe the block:
+//!
+//! ```
+//! use parfact::prelude::*;
+//!
+//! let a = parfact::sparse::gen::laplace2d(20, 20, Stencil2d::FivePoint);
+//! let n = a.nrows();
+//! let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+//!
+//! let b: Vec<f64> = (0..n * 4).map(|i| (i % 3) as f64).collect(); // 4 RHS
+//! let out = chol.solve_with(RhsBlock::new(&b, 4), &SolveOpts::new()).unwrap();
+//! assert_eq!(out.x.len(), n * 4);
 //! ```
 
 pub use parfact_core as core;
@@ -45,14 +60,20 @@ pub use parfact_trace as trace;
 // The façade types, at the crate root: factorize with
 // `parfact::SparseCholesky` and inspect the run via `parfact::FactorReport`
 // without spelling out the workspace layout.
-pub use parfact_core::solver::{DistOpts, Engine, FactorOpts, SparseCholesky};
+pub use parfact_core::solver::{
+    DistOpts, Engine, FactorOpts, RhsBlock, SolveEngine, SolveOpts, SolveSession, Solved,
+    SparseCholesky,
+};
 pub use parfact_core::FactorKind;
 pub use parfact_order::Method;
 pub use parfact_trace::{FactorReport, TraceLevel};
 
 /// Convenience re-exports for the common workflow.
 pub mod prelude {
-    pub use parfact_core::solver::{DistOpts, Engine, FactorOpts, SparseCholesky};
+    pub use parfact_core::solver::{
+        DistOpts, Engine, FactorOpts, RhsBlock, SolveEngine, SolveOpts, SolveSession, Solved,
+        SparseCholesky,
+    };
     pub use parfact_core::{FactorKind, OrderingChoice};
     pub use parfact_order::Method;
     pub use parfact_sparse::csc::CscMatrix;

@@ -5,7 +5,7 @@
 use parfact::core::dist::run_distributed;
 use parfact::core::mapping::MapStrategy;
 use parfact::core::smp::SmpOpts;
-use parfact::core::solver::{Engine, FactorOpts, SparseCholesky};
+use parfact::core::solver::{Engine, FactorOpts, RhsBlock, SolveOpts, SparseCholesky};
 use parfact::core::{FactorError, FactorKind};
 use parfact::mpsim::model::CostModel;
 use parfact::order::Method;
@@ -164,7 +164,9 @@ fn refinement_on_already_exact_solution_is_stable() {
     let a = gen::tridiagonal(20);
     let b = vec![0.0; 20]; // zero rhs: x = 0 exactly
     let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
-    let (x, r) = chol.solve_refined(&a, &b, 3);
-    assert!(x.iter().all(|&v| v == 0.0));
-    assert_eq!(r, 0.0);
+    let out = chol
+        .solve_with(RhsBlock::single(&b), &SolveOpts::new().refine(3))
+        .unwrap();
+    assert!(out.x.iter().all(|&v| v == 0.0));
+    assert_eq!(out.residual, Some(0.0));
 }

@@ -2,7 +2,7 @@
 //! model problem through the sparse no-pivot LDLᵀ (with equilibration) and
 //! the dense Bunch–Kaufman kernel as the robust reference.
 
-use parfact::core::solver::{FactorOpts, SparseCholesky};
+use parfact::core::solver::{FactorOpts, RhsBlock, SolveOpts, SparseCholesky};
 use parfact::core::{FactorError, FactorKind};
 use parfact::dense::bunch_kaufman::factorize_bk;
 use parfact::sparse::{gen, ops};
@@ -54,9 +54,13 @@ fn sparse_ldlt_on_mildly_indefinite_helmholtz() {
     let xstar: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
     let mut b = vec![0.0; n];
     a.sym_spmv(&xstar, &mut b);
-    let (x, resid) = chol.solve_refined(&a, &b, 2);
+    let out = chol
+        .solve_with(RhsBlock::single(&b), &SolveOpts::new().refine(2))
+        .unwrap();
+    let resid = out.residual.unwrap();
     assert!(resid < 1e-8, "residual {resid}");
-    let maxerr = x
+    let maxerr = out
+        .x
         .iter()
         .zip(&xstar)
         .fold(0.0f64, |m, (u, v)| m.max((u - v).abs()));

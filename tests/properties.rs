@@ -5,7 +5,7 @@
 use parfact::core::dist::run_distributed;
 use parfact::core::mapping::MapStrategy;
 use parfact::core::smp::SmpOpts;
-use parfact::core::solver::{Engine, FactorOpts, SparseCholesky};
+use parfact::core::solver::{Engine, FactorOpts, RhsBlock, SolveOpts, SparseCholesky};
 use parfact::mpsim::model::CostModel;
 use parfact::order::Method;
 use parfact::sparse::coo::CooMatrix;
@@ -137,7 +137,10 @@ proptest! {
         let chol = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
         let x0 = chol.solve(&b);
         let r0 = ops::norm_inf(&ops::sym_residual(&a, &x0, &b));
-        let (_, r1) = chol.solve_refined(&a, &b, 2);
+        let out = chol
+            .solve_with(RhsBlock::single(&b), &SolveOpts::new().refine(2))
+            .unwrap();
+        let r1 = out.residual.unwrap();
         prop_assert!(r1 <= r0.max(1e-14) * 1.0001, "refined {r1} vs plain {r0}");
     }
 
