@@ -1,0 +1,273 @@
+//! `bench_analysis` — evidence artifact for the parallel-analysis PR:
+//! measures the ordering + symbolic pipeline across analysis thread counts,
+//! proves the result bitwise identical at every count, and records both the
+//! real wall-clock speedup and a *modeled* speedup in `BENCH_pr7.json`.
+//!
+//! ```text
+//! bench_analysis [out.json]    (default output: BENCH_pr7.json)
+//! ```
+//!
+//! The modeled speedup exists because wall-clock scaling is only measurable
+//! on a machine that actually has cores. The analysis phase emits one span
+//! per parallel task (nested-dissection recursion nodes carry their
+//! recursion-tree path as the tag, so the task DAG is reconstructible;
+//! column-count and row-structure subtree tasks are independent), so the
+//! per-task durations from a single-threaded `Timeline` trace can be
+//! list-scheduled onto T virtual workers — the same methodology the
+//! distributed engine uses for its simulated makespans. Untagged spans are
+//! the pipeline's sequential sections and are charged in full at every T.
+//!
+//! Set `BENCH_QUICK=1` for a fast smoke run (small grid, short timing
+//! floor) — used by CI to keep the binary working, not to produce the
+//! artifact.
+
+use parfact_order::Method;
+use parfact_sparse::gen;
+use parfact_symbolic::{analyze_with, AmalgOpts, Symbolic};
+use parfact_trace::json::Json;
+use parfact_trace::{Collector, Phase, SpanEvent, TraceLevel};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Best-of-N wall time of `f`, in seconds: keeps iterating until the total
+/// measured time passes a floor so short runs get enough samples.
+fn best_secs(mut f: impl FnMut()) -> f64 {
+    let floor = if quick() { 0.05 } else { 0.5 };
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    let mut iters = 0u32;
+    while total < floor || iters < 3 {
+        let t = Instant::now();
+        f();
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
+        iters += 1;
+        if iters >= 10_000 {
+            break;
+        }
+    }
+    best
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// The full analysis pipeline: fill ordering, permutation, symbolic.
+fn run_analysis(
+    a: &parfact_sparse::csc::CscMatrix,
+    threads: usize,
+    tr: &Collector,
+) -> (parfact_sparse::perm::Perm, Symbolic) {
+    let fill = parfact_order::order_matrix_with(a, Method::default(), threads, tr);
+    let af = fill.apply_sym_lower(a);
+    let (sym, _ap) = analyze_with(&af, &AmalgOpts::default(), threads, tr);
+    (fill, sym)
+}
+
+fn same_symbolic(x: &Symbolic, y: &Symbolic) -> bool {
+    x.post == y.post
+        && x.parent == y.parent
+        && x.colcount == y.colcount
+        && x.sn_ptr == y.sn_ptr
+        && x.sn_of == y.sn_of
+        && x.sn_rows == y.sn_rows
+        && x.tree.parent == y.tree.parent
+}
+
+/// Greedy list-schedule of the nested-dissection task tree onto `workers`
+/// virtual workers. Tasks are recursion-tree nodes keyed by their path tag
+/// (root 1, children `2p` / `2p+1`); a node's work may start only after its
+/// parent's bisection finished.
+fn nd_makespan(tasks: &BTreeMap<usize, f64>, workers: usize) -> f64 {
+    let mut free = vec![0.0f64; workers.max(1)];
+    // path -> finish time. BTreeMap iteration is path order, which is a
+    // topological order of the recursion tree (parent `p` < children `2p`,
+    // `2p+1`). Greedy: place each task on the earliest-free worker at its
+    // ready time.
+    let mut done: BTreeMap<usize, f64> = BTreeMap::new();
+    for (&path, &dur) in tasks {
+        let ready = if path <= 1 {
+            0.0
+        } else {
+            *done.get(&(path >> 1)).unwrap_or(&0.0)
+        };
+        let (w, _) = free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let start = free[w].max(ready);
+        free[w] = start + dur;
+        done.insert(path, start + dur);
+    }
+    free.into_iter().fold(0.0, f64::max)
+}
+
+/// Longest-processing-time-first makespan for an independent task set.
+fn flat_makespan(durs: &[f64], workers: usize) -> f64 {
+    let mut sorted = durs.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut free = vec![0.0f64; workers.max(1)];
+    for d in sorted {
+        let (w, _) = free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        free[w] += d;
+    }
+    free.into_iter().fold(0.0, f64::max)
+}
+
+/// Modeled analysis time at `workers` threads, from a single-threaded span
+/// trace: sequential (untagged) time in full, plus the scheduled makespan
+/// of each parallel task family.
+fn modeled_total(spans: &[SpanEvent], workers: usize) -> f64 {
+    let seq: f64 = spans
+        .iter()
+        .filter(|s| s.supernode.is_none())
+        .map(|s| s.dur_s)
+        .sum();
+    // ND recursion-tree tasks: every tagged span of the ordering phases,
+    // folded per path tag.
+    let mut nd: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut colcount: Vec<f64> = Vec::new();
+    let mut structure: Vec<f64> = Vec::new();
+    for s in spans {
+        let Some(tag) = s.supernode else { continue };
+        match s.phase {
+            Phase::Coarsen | Phase::Bisect | Phase::Refine | Phase::Mindeg => {
+                *nd.entry(tag).or_insert(0.0) += s.dur_s;
+            }
+            Phase::Colcount => colcount.push(s.dur_s),
+            Phase::Structure => structure.push(s.dur_s),
+            _ => {}
+        }
+    }
+    seq + nd_makespan(&nd, workers)
+        + flat_makespan(&colcount, workers)
+        + flat_makespan(&structure, workers)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
+
+    // The artifact problem is the lap3d-32 suite matrix; quick mode shrinks
+    // the grid so CI exercises the same code path in seconds.
+    let (name, a) = if quick() {
+        (
+            "lap3d-10",
+            gen::laplace3d(10, 10, 10, gen::Stencil3d::SevenPoint),
+        )
+    } else {
+        (
+            "lap3d-32",
+            gen::laplace3d(32, 32, 32, gen::Stencil3d::SevenPoint),
+        )
+    };
+    let n = a.nrows();
+    println!("bench_analysis: {name}, n = {n}, nnz(lower) = {}", a.nnz());
+
+    let threads_tested: &[usize] = &[1, 2, 4, 8];
+
+    // Determinism: the parallel analysis must be bitwise identical to the
+    // sequential one at every thread count. This is the artifact's proof
+    // obligation, not just a smoke check.
+    let (perm1, sym1) = run_analysis(&a, 1, &Collector::disabled());
+    let mut deterministic = true;
+    for &t in &threads_tested[1..] {
+        let (p, s) = run_analysis(&a, t, &Collector::disabled());
+        let ok = p == perm1 && same_symbolic(&s, &sym1);
+        deterministic &= ok;
+        println!(
+            "  determinism @ {t} threads: {}",
+            if ok { "bitwise identical" } else { "MISMATCH" }
+        );
+    }
+    assert!(deterministic, "parallel analysis diverged from sequential");
+
+    // Task durations for the model: one single-threaded timeline trace so
+    // per-task costs are uncontended and thread-count independent.
+    let tr = Collector::new(TraceLevel::Timeline);
+    run_analysis(&a, 1, &tr);
+    let spans = tr.take_spans();
+    let tagged = spans.iter().filter(|s| s.supernode.is_some()).count();
+    println!(
+        "bench_analysis: {} spans ({} parallel tasks) from the 1-thread trace",
+        spans.len(),
+        tagged
+    );
+
+    // Wall-clock sweep. On a single-core machine these numbers hover near
+    // 1.0x (the work pool adds coordination without adding cores); the
+    // modeled column is the scaling claim, the wall column the honesty
+    // check that parallelism is not *costing* anything material.
+    let wall_1 = best_secs(|| {
+        run_analysis(&a, 1, &Collector::disabled());
+    });
+    let mut rows = Vec::new();
+    let modeled_1 = modeled_total(&spans, 1);
+    for &t in threads_tested {
+        let wall = if t == 1 {
+            wall_1
+        } else {
+            best_secs(|| {
+                run_analysis(&a, t, &Collector::disabled());
+            })
+        };
+        let modeled = modeled_total(&spans, t);
+        println!(
+            "  threads={t}  wall {:8.2} ms ({:4.2}x)   modeled {:8.2} ms ({:4.2}x)",
+            wall * 1e3,
+            wall_1 / wall,
+            modeled * 1e3,
+            modeled_1 / modeled
+        );
+        rows.push(obj(vec![
+            ("threads", Json::num_usize(t)),
+            ("wall_s", Json::num_f64(wall)),
+            ("wall_speedup", Json::num_f64(wall_1 / wall)),
+            ("modeled_s", Json::num_f64(modeled)),
+            ("modeled_speedup", Json::num_f64(modeled_1 / modeled)),
+        ]));
+    }
+
+    let modeled_4 = modeled_total(&spans, 4);
+    let headline = obj(vec![
+        ("matrix", Json::str(name)),
+        ("threads", Json::num_usize(4)),
+        ("modeled_speedup", Json::num_f64(modeled_1 / modeled_4)),
+        ("deterministic", Json::Bool(deterministic)),
+    ]);
+    println!(
+        "bench_analysis: modeled speedup at 4 threads = {:.2}x (deterministic: {deterministic})",
+        modeled_1 / modeled_4
+    );
+
+    let doc = obj(vec![
+        ("bench", Json::str("pr7_parallel_analysis")),
+        ("quick", Json::Bool(quick())),
+        ("matrix", Json::str(name)),
+        ("n", Json::num_usize(n)),
+        ("nsuper", Json::num_usize(sym1.nsuper())),
+        ("parallel_tasks", Json::num_usize(tagged)),
+        ("sweep", Json::Arr(rows)),
+        ("headline", headline),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write results");
+    println!("bench_analysis: results written to {out}");
+}

@@ -12,7 +12,7 @@ use crate::workspace::Workspace;
 use parfact_mpsim::model::CostModel;
 use parfact_order::Method;
 use parfact_sparse::csc::CscMatrix;
-use parfact_symbolic::{analyze, AmalgOpts, Symbolic};
+use parfact_symbolic::{analyze_with, AmalgOpts, Symbolic};
 use parfact_trace::{Collector, Counters, FactorReport, Phase, SolveReport, SpanEvent, TraceLevel};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -96,6 +96,12 @@ pub struct FactorOpts {
     /// Instrumentation level ([`TraceLevel::Off`] by default: every hook in
     /// the engines reduces to a single branch).
     pub trace: TraceLevel,
+    /// Worker threads for the analysis phase (ordering + symbolic).
+    /// `0` (the default) inherits the numeric engine's parallelism: the SMP
+    /// engine's thread count, or the machine's available parallelism
+    /// otherwise. The analysis result is bitwise identical at every thread
+    /// count — this knob trades wall-clock only.
+    pub analysis_threads: usize,
 }
 
 impl Default for FactorOpts {
@@ -106,6 +112,7 @@ impl Default for FactorOpts {
             kind: FactorKind::Llt,
             engine: Engine::Sequential,
             trace: TraceLevel::Off,
+            analysis_threads: 0,
         }
     }
 }
@@ -140,10 +147,27 @@ impl FactorOpts {
         self
     }
 
+    /// Set the analysis-phase worker count (`0` = inherit from the engine).
+    pub fn analysis_threads(mut self, threads: usize) -> Self {
+        self.analysis_threads = threads;
+        self
+    }
+
     /// Set the instrumentation level.
     pub fn trace(mut self, trace: TraceLevel) -> Self {
         self.trace = trace;
         self
+    }
+
+    /// The analysis-phase worker count this option set resolves to.
+    pub fn resolved_analysis_threads(&self) -> usize {
+        if self.analysis_threads > 0 {
+            return self.analysis_threads;
+        }
+        match self.engine {
+            Engine::Smp(smp) => crate::smp::resolve_threads(smp.threads),
+            _ => crate::smp::resolve_threads(0),
+        }
     }
 }
 
@@ -354,16 +378,31 @@ impl SparseCholesky {
     /// [`FactorKind::Ldlt`] returns [`FactorError::Unsupported`].
     pub fn factorize(a: &CscMatrix, opts: &FactorOpts) -> Result<Self, FactorError> {
         a.check_sym_lower()?;
+        // The analysis phase records into its own collector so its stage
+        // counters and spans never mix with a numeric engine's. Span
+        // recording follows the session level; below `Timeline` only the
+        // per-stage second counters are kept.
+        let analysis_threads = opts.resolved_analysis_threads();
+        let alevel = if opts.trace.timeline() {
+            TraceLevel::Timeline
+        } else if opts.trace != TraceLevel::Off {
+            TraceLevel::Counters
+        } else {
+            TraceLevel::Off
+        };
+        let atr = Collector::new(alevel);
         let t0 = Instant::now();
-        let fill = parfact_order::order_matrix(a, opts.ordering);
+        let fill = parfact_order::order_matrix_with(a, opts.ordering, analysis_threads, &atr);
         let t1 = Instant::now();
         let af = fill.apply_sym_lower(a);
-        let (sym, ap) = analyze(&af, &opts.amalg);
+        let (sym, ap) = analyze_with(&af, &opts.amalg, analysis_threads, &atr);
         let total_perm = sym.post.compose(&fill);
         let sym = Arc::new(sym);
         let t2 = Instant::now();
+        let analysis_counters = atr.snapshot();
+        let analysis_spans = atr.take_spans();
         let mut ws = Workspace::new();
-        let (factor, counters, ranks, spans) = run_engine(
+        let (factor, counters, ranks, mut spans) = run_engine(
             &ap,
             &sym,
             opts.kind,
@@ -373,7 +412,19 @@ impl SparseCholesky {
             &mut ws,
         )?;
         let numeric_s = t2.elapsed().as_secs_f64();
+        // Analysis spans join the numeric stream unshifted: they render in
+        // their own timeline lane (`LaneKind::Analysis`), and each phase
+        // keeps its own clock origin — shifting virtual-clock dist spans by
+        // a wall-clock offset would break their exact adjacency.
+        if !analysis_spans.is_empty() {
+            let mut merged = analysis_spans;
+            merged.append(&mut spans);
+            spans = merged;
+        }
         let profile = timeline_profile(&sym, opts.trace, &spans, &ranks);
+        let analysis = (alevel != TraceLevel::Off).then(|| {
+            parfact_trace::AnalysisReport::from_counters(&analysis_counters, analysis_threads)
+        });
         let mut report = FactorReport {
             engine: opts.engine.name().to_string(),
             n: sym.n,
@@ -389,6 +440,7 @@ impl SparseCholesky {
             ranks,
             spans,
             profile,
+            analysis,
             solve: None,
         };
         report.counters.fronts_factored = match opts.engine {
@@ -1015,14 +1067,24 @@ mod tests {
         .unwrap();
         let r = chol.report();
         assert!(!r.spans.is_empty());
-        // Spans form a valid timeline in exact virtual time, with all
-        // three lanes represented across the machine.
+        // Numeric spans form a valid timeline in exact virtual time;
+        // analysis spans are wall-clock and get an Instant-read epsilon.
         let tl = parfact_trace::Timeline::from_spans(&r.spans);
-        tl.validate(0.0).unwrap();
+        tl.validate(1e-9).unwrap();
+        let numeric: Vec<_> = r
+            .spans
+            .iter()
+            .filter(|s| !s.phase.is_analysis())
+            .cloned()
+            .collect();
+        parfact_trace::Timeline::from_spans(&numeric)
+            .validate(0.0)
+            .unwrap();
         let kinds: std::collections::HashSet<_> = tl.lanes.iter().map(|l| l.kind).collect();
         assert!(kinds.contains(&parfact_trace::LaneKind::Compute));
         assert!(kinds.contains(&parfact_trace::LaneKind::Comm));
         assert!(kinds.contains(&parfact_trace::LaneKind::Wait));
+        assert!(kinds.contains(&parfact_trace::LaneKind::Analysis));
         // The profile is attached and self-consistent.
         let p = r.profile.as_ref().expect("timeline trace attaches profile");
         assert!(p.critical_path_s > 0.0);
@@ -1090,6 +1152,57 @@ mod tests {
         // engine at Timeline keeps producing spans, so the profile stays.
         chol.refactorize(&a, Engine::Sequential).unwrap();
         assert!(chol.report().profile.is_some());
+    }
+
+    #[test]
+    fn analysis_threads_change_nothing_but_the_report() {
+        let a = gen::laplace3d(6, 5, 5, gen::Stencil3d::SevenPoint);
+        let base = SparseCholesky::factorize(
+            &a,
+            &FactorOpts::new()
+                .analysis_threads(1)
+                .trace(TraceLevel::Counters),
+        )
+        .unwrap();
+        // Untraced runs carry no analysis section; traced runs do, with the
+        // resolved thread count and the per-stage seconds summing sanely.
+        assert!(SparseCholesky::factorize(&a, &FactorOpts::default())
+            .unwrap()
+            .report()
+            .analysis
+            .is_none());
+        let ar = base.report().analysis.as_ref().expect("analysis section");
+        assert_eq!(ar.threads, 1);
+        assert!(ar.total_s() > 0.0);
+        // The default ND ordering exercises coarsening/bisection/refinement
+        // plus the symbolic stages.
+        assert!(ar.coarsen_s > 0.0);
+        assert!(ar.etree_s > 0.0);
+        assert!(ar.colcount_s > 0.0);
+        assert!(ar.structure_s > 0.0);
+        for threads in [2, 4] {
+            let par = SparseCholesky::factorize(
+                &a,
+                &FactorOpts::new()
+                    .analysis_threads(threads)
+                    .trace(TraceLevel::Counters),
+            )
+            .unwrap();
+            // Bitwise-identical analysis: same permutation, same partition,
+            // same structure, hence a bitwise-identical factor.
+            assert_eq!(
+                par.factor().perm.old_of_new(0),
+                base.factor().perm.old_of_new(0)
+            );
+            assert_eq!(par.symbolic().sn_ptr, base.symbolic().sn_ptr);
+            assert_eq!(par.symbolic().sn_rows, base.symbolic().sn_rows);
+            assert_eq!(par.factor().max_abs_diff(base.factor()), 0.0);
+            assert_eq!(par.report().analysis.as_ref().unwrap().threads, threads);
+        }
+        // The report (analysis section included) survives the JSON round
+        // trip.
+        let back = FactorReport::from_json_str(&base.report().to_json_string()).unwrap();
+        assert_eq!(&back, base.report());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod rcm;
 use parfact_sparse::csc::CscMatrix;
 use parfact_sparse::graph::AdjGraph;
 use parfact_sparse::perm::Perm;
+use parfact_trace::{Collector, Phase};
 
 /// Ordering algorithm selector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,17 +52,37 @@ impl Default for Method {
 
 /// Order an adjacency graph.
 pub fn order_graph(g: &AdjGraph, method: Method) -> Perm {
+    order_graph_with(g, method, 1, &Collector::disabled())
+}
+
+/// Order an adjacency graph on `threads` workers, recording per-stage
+/// analysis spans into `tr`. The permutation is identical to
+/// [`order_graph`] at every thread count; only nested dissection actually
+/// fans out (the other methods are inherently sequential and run inline).
+pub fn order_graph_with(g: &AdjGraph, method: Method, threads: usize, tr: &Collector) -> Perm {
     match method {
         Method::Natural => Perm::identity(g.nvert()),
         Method::Rcm => rcm::rcm(g),
-        Method::MinDegree => mindeg::min_degree(g),
-        Method::NestedDissection(opts) => nd::nested_dissection(g, &opts),
+        Method::MinDegree => {
+            let mut rec = tr.local(0);
+            let t = rec.start();
+            let p = mindeg::min_degree(g);
+            rec.stop(t, Phase::Mindeg, None);
+            p
+        }
+        Method::NestedDissection(opts) => nd::nested_dissection_with(g, &opts, threads, tr),
     }
 }
 
 /// Order a symmetric-lower matrix (builds the adjacency graph internally).
 pub fn order_matrix(a: &CscMatrix, method: Method) -> Perm {
     order_graph(&AdjGraph::from_sym_lower(a), method)
+}
+
+/// [`order_matrix`] on `threads` workers with analysis tracing; see
+/// [`order_graph_with`].
+pub fn order_matrix_with(a: &CscMatrix, method: Method, threads: usize, tr: &Collector) -> Perm {
+    order_graph_with(&AdjGraph::from_sym_lower(a), method, threads, tr)
 }
 
 /// Exact fill-in of an elimination order, by explicit graph elimination.

@@ -7,9 +7,12 @@
 //! subtree-to-subcube mapping in `parfact-core` exploits.
 
 use crate::mindeg::min_degree;
-use crate::partition::{bisect, PartOpts, WGraph};
+use crate::partition::{bisect_with, PartOpts, WGraph};
 use parfact_sparse::graph::AdjGraph;
 use parfact_sparse::perm::Perm;
+use parfact_trace::{Collector, LocalRecorder, Phase};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Nested-dissection options.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,63 +51,187 @@ pub fn vertex_separator(g: &AdjGraph, side: &[u8]) -> Vec<bool> {
     in_sep
 }
 
+/// Stable content hash seeding each subproblem's RNG: FNV-1a over the
+/// subproblem's global vertex ids, mixed with the base seed and recursion
+/// depth. The seed depends only on *what* is being bisected, never on
+/// execution order, the worker a task lands on, or what was bisected
+/// before it — the prerequisite for thread-count-independent output (and a
+/// reproducibility fix in its own right: repeated calls on the same
+/// subgraph now reproduce the same stream).
+fn subgraph_seed(base: u64, depth: usize, ids: &[usize]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(h: &mut u64, x: u64) {
+        for b in x.to_le_bytes() {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(PRIME);
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    eat(&mut h, base);
+    eat(&mut h, depth as u64);
+    for &id in ids {
+        eat(&mut h, id as u64);
+    }
+    h
+}
+
+/// One nested-dissection subproblem on the work pool.
+struct Task {
+    /// Recursion-tree path id (root 1, children `2p` and `2p+1`, wrapping
+    /// far below any reachable depth). Tags this task's trace spans so
+    /// tooling can rebuild the task DAG from a span stream.
+    path: usize,
+    /// Position of this subproblem's block in the final order: fixed at
+    /// the parent's bisection time, independent of completion order.
+    offset: usize,
+    sub: AdjGraph,
+    /// Global vertex ids, parallel to `sub`'s local numbering.
+    ids: Vec<usize>,
+    depth: usize,
+}
+
+/// Process one task: order it outright (leaf / degenerate split) or bisect
+/// and hand both halves to `spawn`. Finished blocks land in `done` as
+/// `(offset, ordered global ids)`.
+fn run_task(
+    task: Task,
+    opts: &NdOpts,
+    rec: &mut LocalRecorder<'_>,
+    done: &mut Vec<(usize, Vec<usize>)>,
+    spawn: &mut dyn FnMut(Task),
+) {
+    let Task {
+        path,
+        offset,
+        sub,
+        ids,
+        depth,
+    } = task;
+    let sn = sub.nvert();
+    let mindeg_leaf = |rec: &mut LocalRecorder<'_>, done: &mut Vec<(usize, Vec<usize>)>| {
+        let t = rec.start();
+        let p = min_degree(&sub);
+        rec.stop(t, Phase::Mindeg, Some(path));
+        done.push((offset, p.perm().iter().map(|&l| ids[l]).collect()));
+    };
+    if sn <= opts.cutoff || depth > 64 {
+        mindeg_leaf(rec, done);
+        return;
+    }
+    let mut popts = opts.part;
+    popts.seed = subgraph_seed(opts.part.seed, depth, &ids);
+    let b = bisect_with(&WGraph::from_adj(&sub), &popts, rec, Some(path));
+    let t = rec.start();
+    let in_sep = vertex_separator(&sub, &b.side);
+    let mut part: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+    let mut sep_globals = Vec::new();
+    for v in 0..sn {
+        if in_sep[v] {
+            sep_globals.push(ids[v]);
+        } else {
+            part[b.side[v] as usize].push(v);
+        }
+    }
+    // Degenerate split (e.g. a clique): separator swallowed a side. Fall
+    // back to minimum degree to guarantee progress.
+    if part[0].is_empty() || part[1].is_empty() {
+        rec.stop(t, Phase::Bisect, Some(path));
+        mindeg_leaf(rec, done);
+        return;
+    }
+    // Children are ordered before their separator; their block positions
+    // follow from the split sizes alone.
+    let (n0, n1) = (part[0].len(), part[1].len());
+    done.push((offset + n0 + n1, sep_globals));
+    for (half, child_offset) in [(0usize, offset), (1, offset + n0)] {
+        let (sg, _) = sub.subgraph(&part[half]);
+        let ids_h: Vec<usize> = part[half].iter().map(|&l| ids[l]).collect();
+        spawn(Task {
+            path: path.wrapping_mul(2).wrapping_add(half),
+            offset: child_offset,
+            sub: sg,
+            ids: ids_h,
+            depth: depth + 1,
+        });
+    }
+    rec.stop(t, Phase::Bisect, Some(path));
+}
+
 /// Nested-dissection ordering of a graph.
 pub fn nested_dissection(g: &AdjGraph, opts: &NdOpts) -> Perm {
+    let tr = Collector::disabled();
+    nested_dissection_with(g, opts, 1, &tr)
+}
+
+/// Nested dissection on `threads` workers, recording per-stage spans
+/// (coarsen / bisect / refine / mindeg) into `tr`.
+///
+/// The permutation is **bitwise identical for every thread count**: after a
+/// bisection both halves become independent tasks whose block positions in
+/// the final order are computed immediately (left half at the parent's
+/// offset, right half after it, separator last), and every subproblem's RNG
+/// is seeded by [`subgraph_seed`] from its own content. Min-degree leaf
+/// subgraphs are just more tasks, so they batch across the same workers.
+pub fn nested_dissection_with(g: &AdjGraph, opts: &NdOpts, threads: usize, tr: &Collector) -> Perm {
     let n = g.nvert();
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    // Explicit work stack of (subgraph, global ids). Children are ordered
-    // before their separator, so process: push separator-emission marker
-    // after recursing — easiest with an enum.
-    enum Work {
-        Graph(AdjGraph, Vec<usize>, usize),
-        Emit(Vec<usize>),
-    }
-    let globals: Vec<usize> = (0..n).collect();
-    let mut stack = vec![Work::Graph(g.clone(), globals, 0)];
-    while let Some(w) = stack.pop() {
-        match w {
-            Work::Emit(sep) => order.extend(sep),
-            Work::Graph(sub, ids, depth) => {
-                let sn = sub.nvert();
-                if sn <= opts.cutoff || depth > 64 {
-                    let p = min_degree(&sub);
-                    order.extend(p.perm().iter().map(|&l| ids[l]));
-                    continue;
-                }
-                // Derive a per-level seed so sibling subproblems decorrelate
-                // while the whole ordering stays deterministic.
-                let mut popts = opts.part;
-                popts.seed = popts
-                    .seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(depth as u64 + sn as u64);
-                let b = bisect(&WGraph::from_adj(&sub), &popts);
-                let in_sep = vertex_separator(&sub, &b.side);
-                let mut part: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
-                let mut sep_globals = Vec::new();
-                for v in 0..sn {
-                    if in_sep[v] {
-                        sep_globals.push(ids[v]);
-                    } else {
-                        part[b.side[v] as usize].push(v);
-                    }
-                }
-                // Degenerate split (e.g. a clique): separator swallowed a
-                // side. Fall back to minimum degree to guarantee progress.
-                if part[0].is_empty() || part[1].is_empty() {
-                    let p = min_degree(&sub);
-                    order.extend(p.perm().iter().map(|&l| ids[l]));
-                    continue;
-                }
-                // LIFO: push Emit first so it lands after both halves.
-                stack.push(Work::Emit(sep_globals));
-                for half in [1usize, 0] {
-                    let (sg, _) = sub.subgraph(&part[half]);
-                    let ids_h: Vec<usize> = part[half].iter().map(|&l| ids[l]).collect();
-                    stack.push(Work::Graph(sg, ids_h, depth + 1));
-                }
-            }
+    let root = Task {
+        path: 1,
+        offset: 0,
+        sub: g.clone(),
+        ids: (0..n).collect(),
+        depth: 0,
+    };
+    let mut chunks: Vec<(usize, Vec<usize>)> = Vec::new();
+    if threads <= 1 {
+        let mut rec = tr.local(0);
+        let mut stack = vec![root];
+        while let Some(task) = stack.pop() {
+            run_task(task, opts, &mut rec, &mut chunks, &mut |t| stack.push(t));
         }
+    } else {
+        // LIFO shared pool. `pending` counts unfinished tasks: children are
+        // registered before their parent retires, so it only reaches zero
+        // when the whole recursion tree is done and idle workers may exit.
+        let queue = Mutex::new(vec![root]);
+        let pending = AtomicUsize::new(1);
+        let results: Mutex<Vec<(usize, Vec<usize>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                let (queue, pending, results) = (&queue, &pending, &results);
+                scope.spawn(move || {
+                    let mut rec = tr.local(w);
+                    let mut done: Vec<(usize, Vec<usize>)> = Vec::new();
+                    loop {
+                        let task = queue.lock().unwrap().pop();
+                        match task {
+                            Some(task) => {
+                                let mut created = Vec::new();
+                                run_task(task, opts, &mut rec, &mut done, &mut |t| created.push(t));
+                                if !created.is_empty() {
+                                    pending.fetch_add(created.len(), Ordering::SeqCst);
+                                    queue.lock().unwrap().append(&mut created);
+                                }
+                                pending.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            None => {
+                                if pending.load(Ordering::SeqCst) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    results.lock().unwrap().append(&mut done);
+                });
+            }
+        });
+        chunks = results.into_inner().unwrap();
+    }
+    // Blocks carry their own offsets and tile [0, n) exactly, so assembly
+    // order is irrelevant; `from_vec` re-validates permutation-ness.
+    let mut order = vec![0usize; n];
+    for (offset, block) in &chunks {
+        order[*offset..offset + block.len()].copy_from_slice(block);
     }
     Perm::from_vec(order)
 }
@@ -199,6 +326,56 @@ mod tests {
     }
 
     #[test]
+    fn nd_parallel_matches_sequential_exactly() {
+        let a = gen::laplace2d(17, 13, gen::Stencil2d::NinePoint);
+        let g = AdjGraph::from_sym_lower(&a);
+        let opts = NdOpts {
+            cutoff: 12,
+            ..NdOpts::default()
+        };
+        let seq = nested_dissection(&g, &opts);
+        for threads in [2, 3, 4, 8] {
+            let tr = parfact_trace::Collector::disabled();
+            let par = nested_dissection_with(&g, &opts, threads, &tr);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nd_records_stage_spans_at_timeline_level() {
+        let a = gen::laplace2d(14, 14, gen::Stencil2d::FivePoint);
+        let g = AdjGraph::from_sym_lower(&a);
+        let opts = NdOpts {
+            cutoff: 16,
+            ..NdOpts::default()
+        };
+        let tr = parfact_trace::Collector::new(parfact_trace::TraceLevel::Timeline);
+        nested_dissection_with(&g, &opts, 2, &tr);
+        let c = tr.snapshot();
+        assert!(c.coarsen_s > 0.0 && c.bisect_s > 0.0 && c.mindeg_s > 0.0);
+        let spans = tr.take_spans();
+        assert!(spans.iter().all(|s| s.phase.is_analysis()));
+        // Every span carries a recursion-tree tag, and the root task (path
+        // 1) bisected rather than went to minimum degree.
+        assert!(spans.iter().all(|s| s.supernode.is_some()));
+        assert!(spans
+            .iter()
+            .any(|s| s.supernode == Some(1) && s.phase == Phase::Coarsen));
+    }
+
+    #[test]
+    fn subgraph_seed_depends_on_content_only() {
+        let ids: Vec<usize> = (10..40).collect();
+        let a = subgraph_seed(7, 3, &ids);
+        assert_eq!(a, subgraph_seed(7, 3, &ids.clone()));
+        assert_ne!(a, subgraph_seed(8, 3, &ids));
+        assert_ne!(a, subgraph_seed(7, 4, &ids));
+        let mut other = ids.clone();
+        other[0] = 9;
+        assert_ne!(a, subgraph_seed(7, 3, &other));
+    }
+
+    #[test]
     fn nd_on_disconnected_graph() {
         let mut coo = parfact_sparse::coo::CooMatrix::new(8, 8);
         for i in 0..8 {
@@ -221,5 +398,5 @@ mod tests {
         assert_eq!(p.len(), 8);
     }
 
-    use crate::partition::{bisect, PartOpts, WGraph};
+    use crate::partition::bisect;
 }

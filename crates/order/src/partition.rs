@@ -12,6 +12,7 @@
 //! multiplicities; balance is measured in vertex weight.
 
 use parfact_sparse::graph::AdjGraph;
+use parfact_trace::{Collector, LocalRecorder, Phase};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -337,34 +338,67 @@ fn fm_pass(g: &WGraph, side: &mut [u8], eps: f64) -> i64 {
 
 /// Multilevel bisection of a weighted graph.
 pub fn bisect(g: &WGraph, opts: &PartOpts) -> Bisection {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    bisect_inner(g, opts, &mut rng, 0)
+    let tr = Collector::disabled();
+    let mut rec = tr.local(0);
+    bisect_with(g, opts, &mut rec, None)
 }
 
-fn bisect_inner(g: &WGraph, opts: &PartOpts, rng: &mut StdRng, depth: usize) -> Bisection {
+/// Multilevel bisection recording per-stage time into `rec`: coarsening
+/// (matching + contraction) as [`Phase::Coarsen`], initial partition /
+/// projection as [`Phase::Bisect`], FM sweeps as [`Phase::Refine`]. Spans
+/// are tagged with `tag` so callers can attribute them to a recursion-tree
+/// task. The partition computed is identical to [`bisect`].
+pub fn bisect_with(
+    g: &WGraph,
+    opts: &PartOpts,
+    rec: &mut LocalRecorder<'_>,
+    tag: Option<usize>,
+) -> Bisection {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    bisect_inner(g, opts, &mut rng, 0, rec, tag)
+}
+
+fn bisect_inner(
+    g: &WGraph,
+    opts: &PartOpts,
+    rng: &mut StdRng,
+    depth: usize,
+    rec: &mut LocalRecorder<'_>,
+    tag: Option<usize>,
+) -> Bisection {
     let n = g.nvert();
     let mut side;
     if n <= opts.coarsen_to || depth > 60 {
+        let t = rec.start();
         side = grow_partition(g, rng);
+        rec.stop(t, Phase::Bisect, tag);
     } else {
+        let t = rec.start();
         let mate = heavy_edge_matching(g, rng);
         let (cg, cmap) = contract(g, &mate);
+        rec.stop(t, Phase::Coarsen, tag);
         // Coarsening stalled (e.g. star graphs): fall back to direct growth.
         if cg.nvert() as f64 > 0.95 * n as f64 {
+            let t = rec.start();
             side = grow_partition(g, rng);
+            rec.stop(t, Phase::Bisect, tag);
         } else {
-            let coarse = bisect_inner(&cg, opts, rng, depth + 1);
+            let coarse = bisect_inner(&cg, opts, rng, depth + 1, rec, tag);
+            let t = rec.start();
             side = vec![0u8; n];
             for v in 0..n {
                 side[v] = coarse.side[cmap[v]];
             }
+            rec.stop(t, Phase::Bisect, tag);
         }
     }
+    let t = rec.start();
     for _ in 0..opts.fm_passes {
         if fm_pass(g, &mut side, opts.eps) <= 0 {
             break;
         }
     }
+    rec.stop(t, Phase::Refine, tag);
     let mut wgt = [0i64; 2];
     for v in 0..n {
         wgt[side[v] as usize] += g.vwgt[v];

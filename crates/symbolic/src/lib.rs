@@ -31,6 +31,7 @@ pub mod supernode;
 
 use parfact_sparse::csc::CscMatrix;
 use parfact_sparse::perm::Perm;
+use parfact_trace::{Collector, Phase};
 
 /// Sentinel for "no parent" in tree arrays.
 pub const NONE: usize = usize::MAX;
@@ -136,11 +137,29 @@ impl Symbolic {
 /// Returns the [`Symbolic`] plus the postordered copy of the matrix (the
 /// numeric phase factors exactly that matrix).
 pub fn analyze(a: &CscMatrix, opts: &AmalgOpts) -> (Symbolic, CscMatrix) {
+    analyze_with(a, opts, 1, &Collector::disabled())
+}
+
+/// [`analyze`] on `threads` workers with per-stage analysis tracing.
+///
+/// The result is **bitwise identical** to [`analyze`] at every thread
+/// count: the column-count and row-structure passes decompose over etree
+/// subtrees whose per-task contributions commute (see
+/// [`colcount::col_counts_par`] and [`structure::supernode_rows_par`]); the
+/// remaining stages are cheap tree sweeps that stay sequential.
+pub fn analyze_with(
+    a: &CscMatrix,
+    opts: &AmalgOpts,
+    threads: usize,
+    tr: &Collector,
+) -> (Symbolic, CscMatrix) {
     a.check_sym_lower()
         .expect("analyze() requires a symmetric-lower matrix");
     let n = a.ncols();
+    let mut rec = tr.local(0);
 
     // 1. Elimination tree of the input, then postorder it.
+    let t = rec.start();
     let parent0 = etree::etree(a);
     let postv = etree::postorder(&parent0);
     let post = Perm::from_vec(postv);
@@ -149,11 +168,13 @@ pub fn analyze(a: &CscMatrix, opts: &AmalgOpts) -> (Symbolic, CscMatrix) {
     // 2. Relabeled etree (postordering relabels but preserves shape).
     let parent = etree::relabel(&parent0, &post);
     debug_assert!(etree::is_postordered(&parent));
+    rec.stop(t, Phase::Etree, None);
 
-    // 3. Column counts of L.
-    let colcount = colcount::col_counts(&ap, &parent);
+    // 3. Column counts of L (subtree-parallel).
+    let colcount = colcount::col_counts_par(&ap, &parent, threads, tr);
 
     // 4. Supernodes: fundamental, then relaxed amalgamation.
+    let t = rec.start();
     let fundamental = supernode::fundamental_supernodes(&parent, &colcount);
     let sn_ptr = supernode::amalgamate(&fundamental, &parent, &colcount, opts);
     let mut sn_of = vec![0usize; n];
@@ -162,12 +183,15 @@ pub fn analyze(a: &CscMatrix, opts: &AmalgOpts) -> (Symbolic, CscMatrix) {
             sn_of[c] = s;
         }
     }
+    rec.stop(t, Phase::Structure, None);
 
-    // 5. Row structures per supernode.
-    let sn_rows = structure::supernode_rows(&ap, &sn_ptr, &sn_of);
+    // 5. Row structures per supernode (subtree-parallel).
+    let sn_rows = structure::supernode_rows_par(&ap, &sn_ptr, &sn_of, &parent, threads, tr);
 
     // 6. Assembly tree.
+    let t = rec.start();
     let tree = atree::AssemblyTree::build(&sn_ptr, &sn_of, &sn_rows);
+    rec.stop(t, Phase::Structure, None);
 
     let sym = Symbolic {
         n,
@@ -268,6 +292,29 @@ mod tests {
                     in_cols || in_rows,
                     "row {r} of supernode {s} not covered by parent {p}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_with_is_bitwise_identical_across_thread_counts() {
+        for a in [
+            gen::laplace2d(11, 10, gen::Stencil2d::NinePoint),
+            gen::laplace3d(5, 4, 5, gen::Stencil3d::SevenPoint),
+            gen::random_spd(100, 4, 17),
+        ] {
+            let (seq, ap_seq) = analyze(&a, &AmalgOpts::default());
+            for threads in [2, 4, 8] {
+                let (par, ap_par) =
+                    analyze_with(&a, &AmalgOpts::default(), threads, &Collector::disabled());
+                assert_eq!(par.post, seq.post, "threads {threads}");
+                assert_eq!(par.parent, seq.parent, "threads {threads}");
+                assert_eq!(par.colcount, seq.colcount, "threads {threads}");
+                assert_eq!(par.sn_ptr, seq.sn_ptr, "threads {threads}");
+                assert_eq!(par.sn_of, seq.sn_of, "threads {threads}");
+                assert_eq!(par.sn_rows, seq.sn_rows, "threads {threads}");
+                assert_eq!(par.tree.parent, seq.tree.parent, "threads {threads}");
+                assert_eq!(ap_par.nnz(), ap_seq.nnz(), "threads {threads}");
             }
         }
     }

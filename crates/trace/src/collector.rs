@@ -81,6 +81,24 @@ pub enum Phase {
     /// Time a rank's virtual clock sat blocked for a message that had not
     /// yet arrived. Distributed engine at [`TraceLevel::Timeline`] only.
     Wait,
+    /// Analysis: graph coarsening (heavy-edge matching + contraction)
+    /// inside a multilevel bisection.
+    Coarsen,
+    /// Analysis: initial partition and projection of a multilevel
+    /// bisection, plus separator extraction.
+    Bisect,
+    /// Analysis: boundary Fiduccia–Mattheyses refinement passes.
+    Refine,
+    /// Analysis: minimum-degree ordering of leaf subgraphs below the
+    /// nested-dissection cutoff.
+    Mindeg,
+    /// Analysis: elimination tree construction, postorder and matrix
+    /// permutation.
+    Etree,
+    /// Analysis: factor column counts (Gilbert–Ng–Peyton sweeps).
+    Colcount,
+    /// Analysis: supernode partition and per-supernode row structure.
+    Structure,
 }
 
 impl Phase {
@@ -93,6 +111,13 @@ impl Phase {
             Phase::Solve => "solve",
             Phase::Comm => "comm",
             Phase::Wait => "wait",
+            Phase::Coarsen => "coarsen",
+            Phase::Bisect => "bisect",
+            Phase::Refine => "refine",
+            Phase::Mindeg => "mindeg",
+            Phase::Etree => "etree",
+            Phase::Colcount => "colcount",
+            Phase::Structure => "structure",
         }
     }
 
@@ -105,8 +130,31 @@ impl Phase {
             "solve" => Some(Phase::Solve),
             "comm" => Some(Phase::Comm),
             "wait" => Some(Phase::Wait),
+            "coarsen" => Some(Phase::Coarsen),
+            "bisect" => Some(Phase::Bisect),
+            "refine" => Some(Phase::Refine),
+            "mindeg" => Some(Phase::Mindeg),
+            "etree" => Some(Phase::Etree),
+            "colcount" => Some(Phase::Colcount),
+            "structure" => Some(Phase::Structure),
             _ => None,
         }
+    }
+
+    /// True for the phases of the analysis front-end (ordering + symbolic).
+    /// The critical-path profile excludes them the way it excludes `Solve`:
+    /// its readiness model describes the numeric factorization only.
+    pub fn is_analysis(self) -> bool {
+        matches!(
+            self,
+            Phase::Coarsen
+                | Phase::Bisect
+                | Phase::Refine
+                | Phase::Mindeg
+                | Phase::Etree
+                | Phase::Colcount
+                | Phase::Structure
+        )
     }
 }
 
@@ -161,6 +209,20 @@ pub struct Counters {
     pub gemm_s: f64,
     /// Seconds spent in triangular solves.
     pub solve_s: f64,
+    /// Analysis seconds: multilevel coarsening.
+    pub coarsen_s: f64,
+    /// Analysis seconds: initial partition + projection + separator.
+    pub bisect_s: f64,
+    /// Analysis seconds: FM refinement.
+    pub refine_s: f64,
+    /// Analysis seconds: minimum-degree on leaf subgraphs.
+    pub mindeg_s: f64,
+    /// Analysis seconds: elimination tree + postorder + permutation.
+    pub etree_s: f64,
+    /// Analysis seconds: column counts.
+    pub colcount_s: f64,
+    /// Analysis seconds: supernode partition + row structure.
+    pub structure_s: f64,
     /// High-water mark of tracked working memory (fronts, panels, update
     /// matrices), bytes.
     pub mem_peak_bytes: u64,
@@ -173,6 +235,13 @@ impl Counters {
             Phase::Panel => self.panel_s += dur_s,
             Phase::Gemm => self.gemm_s += dur_s,
             Phase::Solve => self.solve_s += dur_s,
+            Phase::Coarsen => self.coarsen_s += dur_s,
+            Phase::Bisect => self.bisect_s += dur_s,
+            Phase::Refine => self.refine_s += dur_s,
+            Phase::Mindeg => self.mindeg_s += dur_s,
+            Phase::Etree => self.etree_s += dur_s,
+            Phase::Colcount => self.colcount_s += dur_s,
+            Phase::Structure => self.structure_s += dur_s,
             // Communication time is accounted by the simulator's per-rank
             // statistics (`RankReport::comm_s`); span events only.
             Phase::Comm | Phase::Wait => {}
@@ -190,6 +259,13 @@ impl Counters {
         self.panel_s += other.panel_s;
         self.gemm_s += other.gemm_s;
         self.solve_s += other.solve_s;
+        self.coarsen_s += other.coarsen_s;
+        self.bisect_s += other.bisect_s;
+        self.refine_s += other.refine_s;
+        self.mindeg_s += other.mindeg_s;
+        self.etree_s += other.etree_s;
+        self.colcount_s += other.colcount_s;
+        self.structure_s += other.structure_s;
         self.mem_peak_bytes = self.mem_peak_bytes.max(other.mem_peak_bytes);
     }
 }
@@ -246,6 +322,13 @@ pub struct Collector {
     panel_s: AtomicF64,
     gemm_s: AtomicF64,
     solve_s: AtomicF64,
+    coarsen_s: AtomicF64,
+    bisect_s: AtomicF64,
+    refine_s: AtomicF64,
+    mindeg_s: AtomicF64,
+    etree_s: AtomicF64,
+    colcount_s: AtomicF64,
+    structure_s: AtomicF64,
     mem_cur: AtomicU64,
     mem_peak: AtomicU64,
     spans: Mutex<Vec<SpanEvent>>,
@@ -266,6 +349,13 @@ impl Collector {
             panel_s: AtomicF64::default(),
             gemm_s: AtomicF64::default(),
             solve_s: AtomicF64::default(),
+            coarsen_s: AtomicF64::default(),
+            bisect_s: AtomicF64::default(),
+            refine_s: AtomicF64::default(),
+            mindeg_s: AtomicF64::default(),
+            etree_s: AtomicF64::default(),
+            colcount_s: AtomicF64::default(),
+            structure_s: AtomicF64::default(),
             mem_cur: AtomicU64::new(0),
             mem_peak: AtomicU64::new(0),
             spans: Mutex::new(Vec::new()),
@@ -345,6 +435,13 @@ impl Collector {
         self.panel_s.add(c.panel_s);
         self.gemm_s.add(c.gemm_s);
         self.solve_s.add(c.solve_s);
+        self.coarsen_s.add(c.coarsen_s);
+        self.bisect_s.add(c.bisect_s);
+        self.refine_s.add(c.refine_s);
+        self.mindeg_s.add(c.mindeg_s);
+        self.etree_s.add(c.etree_s);
+        self.colcount_s.add(c.colcount_s);
+        self.structure_s.add(c.structure_s);
         if !spans.is_empty() {
             self.spans.lock().unwrap().append(spans);
         }
@@ -369,6 +466,13 @@ impl Collector {
             panel_s: self.panel_s.get(),
             gemm_s: self.gemm_s.get(),
             solve_s: self.solve_s.get(),
+            coarsen_s: self.coarsen_s.get(),
+            bisect_s: self.bisect_s.get(),
+            refine_s: self.refine_s.get(),
+            mindeg_s: self.mindeg_s.get(),
+            etree_s: self.etree_s.get(),
+            colcount_s: self.colcount_s.get(),
+            structure_s: self.structure_s.get(),
             mem_peak_bytes: self.mem_peak.load(Ordering::Relaxed),
         }
     }
@@ -394,6 +498,13 @@ impl Collector {
         self.panel_s.reset();
         self.gemm_s.reset();
         self.solve_s.reset();
+        self.coarsen_s.reset();
+        self.bisect_s.reset();
+        self.refine_s.reset();
+        self.mindeg_s.reset();
+        self.etree_s.reset();
+        self.colcount_s.reset();
+        self.structure_s.reset();
         self.mem_cur.store(0, Ordering::Relaxed);
         self.mem_peak.store(0, Ordering::Relaxed);
         self.spans.lock().unwrap().clear();
@@ -686,10 +797,43 @@ mod tests {
             Phase::Solve,
             Phase::Comm,
             Phase::Wait,
+            Phase::Coarsen,
+            Phase::Bisect,
+            Phase::Refine,
+            Phase::Mindeg,
+            Phase::Etree,
+            Phase::Colcount,
+            Phase::Structure,
         ] {
             assert_eq!(Phase::from_name(p.name()), Some(p));
         }
         assert_eq!(Phase::from_name("nope"), None);
+
+        assert!(Phase::Coarsen.is_analysis() && Phase::Structure.is_analysis());
+        assert!(!Phase::Panel.is_analysis() && !Phase::Solve.is_analysis());
+
+        let mut c = Counters::default();
+        for p in [
+            Phase::Coarsen,
+            Phase::Bisect,
+            Phase::Refine,
+            Phase::Mindeg,
+            Phase::Etree,
+            Phase::Colcount,
+            Phase::Structure,
+        ] {
+            c.add_phase(p, 1.0);
+        }
+        let vals = [
+            c.coarsen_s,
+            c.bisect_s,
+            c.refine_s,
+            c.mindeg_s,
+            c.etree_s,
+            c.colcount_s,
+            c.structure_s,
+        ];
+        assert_eq!(vals, [1.0; 7]);
     }
 
     #[test]

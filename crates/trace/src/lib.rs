@@ -39,5 +39,5 @@ pub use collector::{
     sort_spans, Collector, Counters, LocalRecorder, Phase, SpanEvent, Tick, TraceLevel,
 };
 pub use profile::{BlockingEdge, ProfileReport, RankActivity};
-pub use report::{FactorReport, RankReport, SolveReport};
+pub use report::{AnalysisReport, FactorReport, RankReport, SolveReport};
 pub use timeline::{Lane, LaneKind, Timeline};

@@ -115,15 +115,17 @@ pub fn analyze(
     top_k: usize,
 ) -> ProfileReport {
     let nsuper = parent.len();
-    // Solve spans are excluded up front: the readiness model (a supernode
-    // is ready when its children finish) describes the factorization, and
-    // the backward solve walks the tree in the opposite direction — folding
-    // its envelopes in would stretch every node's finish past the factor
-    // makespan and distort the critical path. Communication the solve
-    // performs is unattributed and stays in the comm lanes.
+    // Solve and analysis spans are excluded up front: the readiness model
+    // (a supernode is ready when its children finish) describes the
+    // factorization — the backward solve walks the tree in the opposite
+    // direction, and the analysis front-end runs before any supernode
+    // exists — folding their envelopes in would stretch every node's
+    // finish past the factor makespan and distort the critical path.
+    // Communication the solve performs is unattributed and stays in the
+    // comm lanes.
     let spans: Vec<SpanEvent> = spans
         .iter()
-        .filter(|s| s.phase != Phase::Solve)
+        .filter(|s| s.phase != Phase::Solve && !s.phase.is_analysis())
         .cloned()
         .collect();
     let spans = &spans[..];

@@ -64,6 +64,65 @@ impl SolveReport {
     }
 }
 
+/// Per-stage breakdown of the analysis front-end (ordering + symbolic).
+/// Stage times are summed across analysis workers, so on a multithreaded
+/// run their total can exceed the `ordering_s + symbolic_s` wall clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AnalysisReport {
+    /// Worker threads the analysis phase ran with.
+    pub threads: usize,
+    /// Seconds in multilevel coarsening (matching + contraction).
+    pub coarsen_s: f64,
+    /// Seconds in initial partitioning, projection and separator extraction.
+    pub bisect_s: f64,
+    /// Seconds in FM refinement passes.
+    pub refine_s: f64,
+    /// Seconds ordering leaf subgraphs by minimum degree.
+    pub mindeg_s: f64,
+    /// Seconds building the elimination tree, postorder and permutation.
+    pub etree_s: f64,
+    /// Seconds computing factor column counts.
+    pub colcount_s: f64,
+    /// Seconds computing supernode row structure.
+    pub structure_s: f64,
+}
+
+impl AnalysisReport {
+    /// Stage rows as `(stage name, seconds)`, in pipeline order. Shared by
+    /// the CLI tools that print the analysis breakdown.
+    pub fn stages(&self) -> [(&'static str, f64); 7] {
+        [
+            ("coarsen", self.coarsen_s),
+            ("bisect", self.bisect_s),
+            ("refine", self.refine_s),
+            ("mindeg", self.mindeg_s),
+            ("etree", self.etree_s),
+            ("colcount", self.colcount_s),
+            ("structure", self.structure_s),
+        ]
+    }
+
+    /// Total attributed analysis seconds (sum over stages; CPU time across
+    /// workers, not wall clock).
+    pub fn total_s(&self) -> f64 {
+        self.stages().iter().map(|(_, s)| s).sum()
+    }
+
+    /// Lift the analysis stage counters out of a merged counter snapshot.
+    pub fn from_counters(c: &Counters, threads: usize) -> AnalysisReport {
+        AnalysisReport {
+            threads,
+            coarsen_s: c.coarsen_s,
+            bisect_s: c.bisect_s,
+            refine_s: c.refine_s,
+            mindeg_s: c.mindeg_s,
+            etree_s: c.etree_s,
+            colcount_s: c.colcount_s,
+            structure_s: c.structure_s,
+        }
+    }
+}
+
 /// The full record of one factorization.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FactorReport {
@@ -100,6 +159,9 @@ pub struct FactorReport {
     /// Solve-phase aggregate (only when the facade performed solves and the
     /// report was enriched via `report_with_solve`; `None` otherwise).
     pub solve: Option<SolveReport>,
+    /// Analysis-phase breakdown (only when analysis tracing was on;
+    /// `None` otherwise).
+    pub analysis: Option<AnalysisReport>,
 }
 
 impl FactorReport {
@@ -215,6 +277,9 @@ impl FactorReport {
         if let Some(s) = &self.solve {
             fields.push(("solve".to_string(), solve_to_json(s)));
         }
+        if let Some(a) = &self.analysis {
+            fields.push(("analysis".to_string(), analysis_to_json(a)));
+        }
         Json::Obj(fields)
     }
 
@@ -282,6 +347,9 @@ impl FactorReport {
         if let Some(s) = j.get("solve") {
             r.solve = Some(solve_from_json(s).ok_or_else(|| field_err("solve"))?);
         }
+        if let Some(a) = j.get("analysis") {
+            r.analysis = Some(analysis_from_json(a).ok_or_else(|| field_err("analysis"))?);
+        }
         Ok(r)
     }
 
@@ -308,6 +376,13 @@ fn counters_to_json(c: &Counters) -> Json {
         ("panel_s".to_string(), Json::num_f64(c.panel_s)),
         ("gemm_s".to_string(), Json::num_f64(c.gemm_s)),
         ("solve_s".to_string(), Json::num_f64(c.solve_s)),
+        ("coarsen_s".to_string(), Json::num_f64(c.coarsen_s)),
+        ("bisect_s".to_string(), Json::num_f64(c.bisect_s)),
+        ("refine_s".to_string(), Json::num_f64(c.refine_s)),
+        ("mindeg_s".to_string(), Json::num_f64(c.mindeg_s)),
+        ("etree_s".to_string(), Json::num_f64(c.etree_s)),
+        ("colcount_s".to_string(), Json::num_f64(c.colcount_s)),
+        ("structure_s".to_string(), Json::num_f64(c.structure_s)),
         (
             "mem_peak_bytes".to_string(),
             Json::num_u64(c.mem_peak_bytes),
@@ -316,6 +391,9 @@ fn counters_to_json(c: &Counters) -> Json {
 }
 
 fn counters_from_json(j: &Json) -> Option<Counters> {
+    // Analysis-stage times postdate the first schema revision: default when
+    // reading reports written before the analysis phase was instrumented.
+    let opt = |name: &str| j.get(name).and_then(Json::as_f64).unwrap_or(0.0);
     Some(Counters {
         fronts_factored: j.get("fronts_factored")?.as_u64()?,
         flops: j.get("flops")?.as_f64()?,
@@ -325,8 +403,41 @@ fn counters_from_json(j: &Json) -> Option<Counters> {
         extend_add_s: j.get("extend_add_s")?.as_f64()?,
         panel_s: j.get("panel_s")?.as_f64()?,
         gemm_s: j.get("gemm_s")?.as_f64()?,
-        solve_s: j.get("solve_s").and_then(Json::as_f64).unwrap_or(0.0),
+        solve_s: opt("solve_s"),
+        coarsen_s: opt("coarsen_s"),
+        bisect_s: opt("bisect_s"),
+        refine_s: opt("refine_s"),
+        mindeg_s: opt("mindeg_s"),
+        etree_s: opt("etree_s"),
+        colcount_s: opt("colcount_s"),
+        structure_s: opt("structure_s"),
         mem_peak_bytes: j.get("mem_peak_bytes")?.as_u64()?,
+    })
+}
+
+fn analysis_to_json(a: &AnalysisReport) -> Json {
+    Json::Obj(vec![
+        ("threads".to_string(), Json::num_usize(a.threads)),
+        ("coarsen_s".to_string(), Json::num_f64(a.coarsen_s)),
+        ("bisect_s".to_string(), Json::num_f64(a.bisect_s)),
+        ("refine_s".to_string(), Json::num_f64(a.refine_s)),
+        ("mindeg_s".to_string(), Json::num_f64(a.mindeg_s)),
+        ("etree_s".to_string(), Json::num_f64(a.etree_s)),
+        ("colcount_s".to_string(), Json::num_f64(a.colcount_s)),
+        ("structure_s".to_string(), Json::num_f64(a.structure_s)),
+    ])
+}
+
+fn analysis_from_json(j: &Json) -> Option<AnalysisReport> {
+    Some(AnalysisReport {
+        threads: j.get("threads")?.as_usize()?,
+        coarsen_s: j.get("coarsen_s")?.as_f64()?,
+        bisect_s: j.get("bisect_s")?.as_f64()?,
+        refine_s: j.get("refine_s")?.as_f64()?,
+        mindeg_s: j.get("mindeg_s")?.as_f64()?,
+        etree_s: j.get("etree_s")?.as_f64()?,
+        colcount_s: j.get("colcount_s")?.as_f64()?,
+        structure_s: j.get("structure_s")?.as_f64()?,
     })
 }
 
@@ -440,6 +551,13 @@ mod tests {
                 panel_s: 0.15,
                 gemm_s: 0.01,
                 solve_s: 0.002,
+                coarsen_s: 0.004,
+                bisect_s: 0.003,
+                refine_s: 0.002,
+                mindeg_s: 0.001,
+                etree_s: 0.0005,
+                colcount_s: 0.0006,
+                structure_s: 0.0007,
                 mem_peak_bytes: 12_582_912,
             },
             ranks: vec![
@@ -486,7 +604,47 @@ mod tests {
             ],
             profile: None,
             solve: None,
+            analysis: None,
         }
+    }
+
+    #[test]
+    fn analysis_section_round_trips() {
+        let mut r = sample_report();
+        r.analysis = Some(AnalysisReport {
+            threads: 4,
+            coarsen_s: 0.004,
+            bisect_s: 0.003,
+            refine_s: 0.002,
+            mindeg_s: 0.001,
+            etree_s: 0.0005,
+            colcount_s: 0.0006,
+            structure_s: 0.0007,
+        });
+        let back = FactorReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+        let a = r.analysis.unwrap();
+        assert_eq!(a.stages().len(), 7);
+        assert!((a.total_s() - 0.0118).abs() < 1e-12);
+        // Reports without the section parse to None.
+        let plain = sample_report();
+        let back = FactorReport::from_json_str(&plain.to_json_string()).unwrap();
+        assert_eq!(back.analysis, None);
+    }
+
+    #[test]
+    fn pre_analysis_counters_still_parse() {
+        // Counter blocks written before the analysis stages were
+        // instrumented lack the per-stage fields; they default to zero.
+        let text = "{\"engine\":\"smp\",\"n\":4,\"counters\":{\
+                    \"fronts_factored\":1,\"flops\":2.0,\
+                    \"bytes_assembled\":8,\"bytes_sent\":0,\"msgs_sent\":0,\
+                    \"extend_add_s\":0.1,\"panel_s\":0.2,\"gemm_s\":0.3,\
+                    \"mem_peak_bytes\":64}}";
+        let r = FactorReport::from_json_str(text).unwrap();
+        assert_eq!(r.counters.coarsen_s, 0.0);
+        assert_eq!(r.counters.structure_s, 0.0);
+        assert_eq!(r.counters.panel_s, 0.2);
     }
 
     #[test]

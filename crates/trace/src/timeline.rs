@@ -28,6 +28,10 @@ pub enum LaneKind {
     Comm,
     /// Virtual-clock stalls waiting for unarrived messages.
     Wait,
+    /// Analysis-phase work (ordering + symbolic): wall-clock spans with
+    /// their own time origin, kept off the numeric lanes so virtual-clock
+    /// traces stay exactly adjacent.
+    Analysis,
 }
 
 impl LaneKind {
@@ -36,6 +40,7 @@ impl LaneKind {
         match phase {
             Phase::Comm => LaneKind::Comm,
             Phase::Wait => LaneKind::Wait,
+            p if p.is_analysis() => LaneKind::Analysis,
             _ => LaneKind::Compute,
         }
     }
@@ -46,20 +51,28 @@ impl LaneKind {
             LaneKind::Compute => "compute",
             LaneKind::Comm => "comm",
             LaneKind::Wait => "wait",
+            LaneKind::Analysis => "analysis",
         }
     }
 
-    /// Chrome-trace thread id: fixed so lanes sort compute → comm → wait.
+    /// Chrome-trace thread id: fixed so lanes sort compute → comm → wait →
+    /// analysis.
     pub fn tid(self) -> u64 {
         match self {
             LaneKind::Compute => 0,
             LaneKind::Comm => 1,
             LaneKind::Wait => 2,
+            LaneKind::Analysis => 3,
         }
     }
 
     /// All kinds, in `tid` order.
-    pub const ALL: [LaneKind; 3] = [LaneKind::Compute, LaneKind::Comm, LaneKind::Wait];
+    pub const ALL: [LaneKind; 4] = [
+        LaneKind::Compute,
+        LaneKind::Comm,
+        LaneKind::Wait,
+        LaneKind::Analysis,
+    ];
 }
 
 /// One Gantt row: every span of one `(who, kind)` pair, sorted by start.
@@ -330,13 +343,13 @@ mod tests {
         ]);
         let j = tl.to_chrome_trace("rank");
         let events = j.get("traceEvents").unwrap().as_arr().unwrap();
-        // 1 process_name + 3 thread_name + 2 spans.
-        assert_eq!(events.len(), 6);
+        // 1 process_name + 4 thread_name + 2 spans.
+        assert_eq!(events.len(), 7);
         let meta: Vec<&Json> = events
             .iter()
             .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
             .collect();
-        assert_eq!(meta.len(), 4);
+        assert_eq!(meta.len(), 5);
         let x = events
             .iter()
             .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
@@ -357,6 +370,6 @@ mod tests {
         // Round-trips through the writer/parser.
         let text = j.to_string_compact();
         let back = crate::json::parse(&text).unwrap();
-        assert_eq!(back.get("traceEvents").unwrap().as_arr().unwrap().len(), 6);
+        assert_eq!(back.get("traceEvents").unwrap().as_arr().unwrap().len(), 7);
     }
 }

@@ -1,19 +1,49 @@
 #!/usr/bin/env sh
-# Warn-only performance gate: run the quick kernel sweep and compare each
-# (kernel, n, k) packed_gflops rate against the committed BENCH_pr2.json
-# baseline. Prints a WARN line for every kernel that regressed by more
-# than the tolerance (default 30%, override with BENCH_CHECK_TOL=0.5).
-# Also checks the batched-solve artifact (BENCH_pr6.json): the committed
-# batched-vs-singles speedup must hold the 2x acceptance bar, and a fresh
-# quick bench_solve run must keep blocked solves at least as fast as
-# single-RHS loops.
+# Single entry point for the committed benchmark artifacts.
 #
-#   scripts/bench_check.sh [baseline.json]   (default: BENCH_pr2.json)
+# Check mode (default) is a warn-only performance gate: run the quick
+# kernel sweep and compare each (kernel, n, k) packed_gflops rate against
+# the committed BENCH_pr2.json baseline. Prints a WARN line for every
+# kernel that regressed by more than the tolerance (default 30%, override
+# with BENCH_CHECK_TOL=0.5). Also checks the batched-solve artifact
+# (BENCH_pr6.json): the committed batched-vs-singles speedup must hold
+# the 2x acceptance bar, and a fresh quick bench_solve run must keep
+# blocked solves at least as fast as single-RHS loops. Finally checks the
+# parallel-analysis artifact (BENCH_pr7.json): the committed modeled
+# speedup at 4 threads must hold 1.5x, and a fresh quick bench_analysis
+# run must stay deterministic and at least break even.
 #
-# Always exits 0: CI machines are noisy and the committed baseline comes
-# from a different host, so this is a trend alarm, not a hard gate.
+#   scripts/bench_check.sh [baseline.json]     (default: BENCH_pr2.json)
+#
+# Regen mode rebuilds the committed artifacts with full (non-quick) runs
+# on an otherwise-idle machine — this replaces the old bench_pr2.sh:
+#
+#   scripts/bench_check.sh regen [pr2|analysis|all]   (default: all)
+#
+# Check mode always exits 0: CI machines are noisy and the committed
+# baseline comes from a different host, so this is a trend alarm, not a
+# hard gate.
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "regen" ]; then
+    which="${2:-all}"
+    cargo build --release -p parfact-bench
+    case "$which" in
+    pr2 | all) ./target/release/bench_pr2 BENCH_pr2.json ;;
+    esac
+    case "$which" in
+    analysis | pr7 | all) ./target/release/bench_analysis BENCH_pr7.json ;;
+    esac
+    case "$which" in
+    pr2 | analysis | pr7 | all) exit 0 ;;
+    *)
+        echo "unknown regen target '$which' (pr2|analysis|all)" >&2
+        exit 2
+        ;;
+    esac
+fi
+
 baseline="${1:-BENCH_pr2.json}"
 tol="${BENCH_CHECK_TOL:-0.3}"
 fresh=$(mktemp /tmp/bench_check.XXXXXX.json)
@@ -102,5 +132,50 @@ if [ -f "$solve_baseline" ]; then
     fi
 else
     echo "bench_check: no $solve_baseline; skipping solve gate"
+fi
+
+# --- Analysis-scaling gate (warn-only) -----------------------------------
+# Two checks against BENCH_pr7.json: the committed artifact must still
+# claim the >= 1.5x modeled analysis speedup at 4 threads the parallel-
+# analysis work was accepted with (the artifact itself records ~2.6x on
+# lap3d-32; 1.5x leaves re-measurement margin), and a fresh quick run must
+# stay bitwise deterministic with a modeled speedup of at least 1x (the
+# quick grid is too small to reproduce the full headroom).
+analysis_baseline="BENCH_pr7.json"
+if [ -f "$analysis_baseline" ]; then
+    # modeled_speedup appears once per sweep row and once in the headline
+    # object; the headline (the 4-thread figure) is written last.
+    committed=$(awk '/"modeled_speedup":/ { gsub(/,/, "", $2); v = $2 } END { print v }' "$analysis_baseline")
+    if [ -z "$committed" ]; then
+        echo "WARN: $analysis_baseline has no headline modeled_speedup entry"
+    else
+        below=$(awk -v s="$committed" 'BEGIN { print (s < 1.5) ? 1 : 0 }')
+        if [ "$below" = 1 ]; then
+            echo "WARN: committed modeled analysis speedup ${committed}x is below the 1.5x bar"
+        else
+            echo "ok:   committed modeled analysis speedup ${committed}x at 4 threads (bar: 1.5x)"
+        fi
+    fi
+
+    analysis_fresh=$(mktemp /tmp/bench_analysis.XXXXXX.json)
+    BENCH_QUICK=1 cargo run -q --release -p parfact-bench --bin bench_analysis -- "$analysis_fresh"
+    quick_speedup=$(awk '/"modeled_speedup":/ { gsub(/,/, "", $2); v = $2 } END { print v }' "$analysis_fresh")
+    quick_det=$(awk '/"deterministic":/ { gsub(/,/, "", $2); v = $2 } END { print v }' "$analysis_fresh")
+    rm -f "$analysis_fresh"
+    if [ "$quick_det" != "true" ]; then
+        echo "WARN: quick bench_analysis run was not bitwise deterministic"
+    fi
+    if [ -z "$quick_speedup" ]; then
+        echo "WARN: quick bench_analysis run produced no modeled_speedup entry"
+    else
+        losing=$(awk -v s="$quick_speedup" 'BEGIN { print (s < 1.0) ? 1 : 0 }')
+        if [ "$losing" = 1 ]; then
+            echo "WARN: quick run: modeled analysis speedup ${quick_speedup}x below break-even"
+        else
+            echo "ok:   quick modeled analysis speedup ${quick_speedup}x at 4 threads (bar: 1x on the quick grid)"
+        fi
+    fi
+else
+    echo "bench_check: no $analysis_baseline; skipping analysis gate"
 fi
 exit 0

@@ -14,6 +14,8 @@
 //!   --ranks <p>         simulated ranks                  (default 4)
 //!   --threads <t>       profile the SMP engine instead (t host threads)
 //!   --ordering <m>      nd | amd | rcm | natural         (default nd)
+//!   --analysis-threads <t>  worker threads for the analysis phase
+//!                       (default: inherit; result is bitwise identical)
 //!   --sync              strict-postorder blocking schedule (EXP-A7 baseline)
 //!   --out <file>        Chrome trace output path   (default trace.json)
 //!   --top <k>           blocking edges to show           (default 8)
@@ -34,6 +36,7 @@ struct Args {
     ranks: usize,
     threads: usize,
     ordering: Method,
+    analysis_threads: usize,
     sync: bool,
     out: String,
     top: usize,
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         ranks: 4,
         threads: 0,
         ordering: Method::default(),
+        analysis_threads: 0,
         sync: false,
         out: "trace.json".to_string(),
         top: 8,
@@ -76,6 +80,13 @@ fn parse_args() -> Result<Args, String> {
                     "natural" => Method::Natural,
                     other => return Err(format!("unknown ordering '{other}'")),
                 }
+            }
+            "--analysis-threads" => {
+                args.analysis_threads = it
+                    .next()
+                    .ok_or("--analysis-threads needs a count")?
+                    .parse()
+                    .map_err(|_| "--analysis-threads needs an integer")?
             }
             "--sync" => args.sync = true,
             "--out" => args.out = it.next().ok_or("--out needs a file")?,
@@ -109,7 +120,7 @@ fn main() -> ExitCode {
             if msg != "usage" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: parfact-profile <matrix.mtx | --gen spec> [--ranks p] [--threads t] [--ordering nd|amd|rcm|natural] [--sync] [--out f] [--top k]");
+            eprintln!("usage: parfact-profile <matrix.mtx | --gen spec> [--ranks p] [--threads t] [--ordering nd|amd|rcm|natural] [--analysis-threads t] [--sync] [--out f] [--top k]");
             return ExitCode::from(2);
         }
     };
@@ -163,6 +174,7 @@ fn main() -> ExitCode {
     let opts = FactorOpts::new()
         .ordering(args.ordering)
         .engine(engine)
+        .analysis_threads(args.analysis_threads)
         .trace(TraceLevel::Timeline);
     let chol = match SparseCholesky::factorize(&a, &opts) {
         Ok(c) => c,
@@ -185,6 +197,24 @@ fn main() -> ExitCode {
         tl.lanes.len(),
         args.out
     );
+
+    // Analysis-phase breakdown: the pipeline stages and their wall-clock
+    // shares, rendered ahead of the numeric critical-path profile. These
+    // spans also appear in the Chrome trace on each worker's "analysis"
+    // lane.
+    if let Some(ar) = &r.analysis {
+        let total = ar.total_s().max(f64::MIN_POSITIVE);
+        println!("analysis ({} threads, {:.1} ms):", ar.threads, total * 1e3);
+        for (name, s) in ar.stages() {
+            if s > 0.0 {
+                println!(
+                    "  {name:<9} {:>8.2} ms  {:>5.1}%",
+                    s * 1e3,
+                    100.0 * s / total
+                );
+            }
+        }
+    }
 
     // The report's profile keeps a fixed top-k; recompute at the requested
     // depth so --top works without touching the report schema.

@@ -9,6 +9,12 @@
 //!                       (default: b = A * ones, so x* = ones)
 //!   --out <file>        write the solution, one value per line
 //!   --ordering <m>      nd | amd | rcm | natural        (default nd)
+//!   --nd-cutoff <n>     nested-dissection leaf size: subgraphs at most
+//!                       this large switch to minimum degree (default 96;
+//!                       only valid with --ordering nd)
+//!   --analysis-threads <t>  worker threads for the ordering + symbolic
+//!                       phase (default: inherit --threads / machine);
+//!                       the result is bitwise identical at any count
 //!   --ldlt              LDLt instead of Cholesky (symmetric indefinite)
 //!   --threads <t>       SMP engine with t threads (default: sequential);
 //!                       the solve phase uses the same thread pool
@@ -46,6 +52,8 @@ struct Args {
     rhs: Option<String>,
     out: Option<String>,
     ordering: Method,
+    nd_cutoff: Option<usize>,
+    analysis_threads: usize,
     ldlt: bool,
     threads: usize,
     ranks: usize,
@@ -63,6 +71,8 @@ fn parse_args() -> Result<Args, String> {
         rhs: None,
         out: None,
         ordering: Method::default(),
+        nd_cutoff: None,
+        analysis_threads: 0,
         ldlt: false,
         threads: 0,
         ranks: 0,
@@ -86,6 +96,24 @@ fn parse_args() -> Result<Args, String> {
                     "natural" => Method::Natural,
                     other => return Err(format!("unknown ordering '{other}'")),
                 }
+            }
+            "--nd-cutoff" => {
+                let c: usize = it
+                    .next()
+                    .ok_or("--nd-cutoff needs a size")?
+                    .parse()
+                    .map_err(|_| "--nd-cutoff needs an integer")?;
+                if c == 0 {
+                    return Err("--nd-cutoff must be at least 1".into());
+                }
+                args.nd_cutoff = Some(c);
+            }
+            "--analysis-threads" => {
+                args.analysis_threads = it
+                    .next()
+                    .ok_or("--analysis-threads needs a count")?
+                    .parse()
+                    .map_err(|_| "--analysis-threads needs an integer")?
             }
             "--ldlt" => args.ldlt = true,
             "--threads" => {
@@ -138,6 +166,12 @@ fn parse_args() -> Result<Args, String> {
     if args.ranks > 0 && args.threads > 1 {
         return Err("--ranks and --threads are mutually exclusive".into());
     }
+    if let Some(c) = args.nd_cutoff {
+        match args.ordering {
+            Method::NestedDissection(ref mut nd) => nd.cutoff = c,
+            _ => return Err("--nd-cutoff only applies to --ordering nd".into()),
+        }
+    }
     Ok(args)
 }
 
@@ -158,7 +192,7 @@ fn main() -> ExitCode {
             if msg != "usage" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: parfact-solve <matrix.mtx | --gen spec> [--rhs f] [--out f] [--ordering nd|amd|rcm|natural] [--ldlt] [--threads t] [--ranks p] [--refine k] [--nrhs k] [--stats] [--report f] [--trace-out f]");
+            eprintln!("usage: parfact-solve <matrix.mtx | --gen spec> [--rhs f] [--out f] [--ordering nd|amd|rcm|natural] [--nd-cutoff n] [--analysis-threads t] [--ldlt] [--threads t] [--ranks p] [--refine k] [--nrhs k] [--stats] [--report f] [--trace-out f]");
             return ExitCode::from(2);
         }
     };
@@ -218,6 +252,7 @@ fn main() -> ExitCode {
         } else {
             Engine::Sequential
         })
+        .analysis_threads(args.analysis_threads)
         .trace(if args.trace_out.is_some() {
             parfact::TraceLevel::Timeline
         } else if args.report.is_some() {
@@ -247,6 +282,15 @@ fn main() -> ExitCode {
         r.numeric_s * 1e3,
         r.factor_gflops()
     );
+    if let Some(ar) = &r.analysis {
+        let stages: Vec<String> = ar
+            .stages()
+            .iter()
+            .filter(|(_, s)| *s > 0.0)
+            .map(|(name, s)| format!("{name} {:.1} ms", s * 1e3))
+            .collect();
+        println!("analysis: {} threads | {}", ar.threads, stages.join(", "));
+    }
 
     // Build the right-hand-side block: column 0 is b, further columns are
     // rotations of it (distinct systems, same norm scale).

@@ -1,0 +1,122 @@
+//! Determinism and quality guarantees of the parallel analysis phase.
+//!
+//! The contract under test: ordering and symbolic analysis on any number of
+//! worker threads produce **bitwise identical** results to the sequential
+//! pass — same permutation, same elimination tree, same column counts, same
+//! supernode partition, same row structures. Plus a fill-quality
+//! non-regression pin: the content-derived RNG seeding that makes nested
+//! dissection thread-count invariant must not degrade ordering quality.
+
+use parfact::order::nd::NdOpts;
+use parfact::order::{fill_in, order_matrix_with, Method};
+use parfact::sparse::csc::CscMatrix;
+use parfact::sparse::gen;
+use parfact::sparse::graph::AdjGraph;
+use parfact::symbolic::{analyze, analyze_with, AmalgOpts};
+use parfact::trace::Collector;
+use proptest::prelude::*;
+
+/// Strategy: matrices from the families the analysis phase sees in
+/// practice — random sparse SPD, 2-D and 3-D grids.
+fn analysis_matrix() -> impl Strategy<Value = CscMatrix> {
+    (0usize..3, 5usize..=70, 1usize..=6, any::<u64>()).prop_map(|(family, n, k, seed)| match family
+    {
+        0 => gen::random_spd(n, k, seed),
+        1 => gen::laplace2d(4 + n % 12, 3 + k * 2, gen::Stencil2d::FivePoint),
+        _ => gen::laplace3d(
+            3 + n % 5,
+            3 + k % 4,
+            2 + (seed % 4) as usize,
+            gen::Stencil3d::SevenPoint,
+        ),
+    })
+}
+
+/// Strategy: nested-dissection leaf cutoffs from tiny (deep recursion) to
+/// the production default.
+fn nd_cutoff() -> impl Strategy<Value = usize> {
+    (0usize..3).prop_map(|i| [4, 16, 96][i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole guarantee: the fill ordering and the complete symbolic
+    /// object are bitwise identical at 1, 2, 4 and 8 analysis threads.
+    #[test]
+    fn parallel_analysis_is_bitwise_identical(a in analysis_matrix(), cutoff in nd_cutoff()) {
+        let method = Method::NestedDissection(NdOpts { cutoff, ..NdOpts::default() });
+        let off = Collector::disabled();
+        let fill1 = order_matrix_with(&a, method, 1, &off);
+        let af = fill1.apply_sym_lower(&a);
+        let (sym1, _) = analyze(&af, &AmalgOpts::default());
+        for threads in [2usize, 4, 8] {
+            let fill = order_matrix_with(&a, method, threads, &off);
+            prop_assert_eq!(&fill, &fill1, "ordering diverged at {} threads", threads);
+            let (sym, _) = analyze_with(&af, &AmalgOpts::default(), threads, &off);
+            prop_assert_eq!(&sym.post, &sym1.post, "postorder @ {}", threads);
+            prop_assert_eq!(&sym.parent, &sym1.parent, "etree @ {}", threads);
+            prop_assert_eq!(&sym.colcount, &sym1.colcount, "colcount @ {}", threads);
+            prop_assert_eq!(&sym.sn_ptr, &sym1.sn_ptr, "supernodes @ {}", threads);
+            prop_assert_eq!(&sym.sn_of, &sym1.sn_of, "sn_of @ {}", threads);
+            prop_assert_eq!(&sym.sn_rows, &sym1.sn_rows, "structure @ {}", threads);
+            prop_assert_eq!(&sym.tree.parent, &sym1.tree.parent, "assembly tree @ {}", threads);
+        }
+    }
+
+    /// Repeated runs at the same thread count are identical too (no hidden
+    /// dependence on scheduling order).
+    #[test]
+    fn parallel_analysis_is_run_to_run_stable(a in analysis_matrix()) {
+        let method = Method::default();
+        let off = Collector::disabled();
+        let first = order_matrix_with(&a, method, 4, &off);
+        for _ in 0..2 {
+            prop_assert_eq!(&order_matrix_with(&a, method, 4, &off), &first);
+        }
+    }
+}
+
+/// Fill-quality pin for the content-derived RNG seeding scheme.
+///
+/// Nested dissection's bisection heuristics are randomized; making the
+/// recursion parallel-safe required deriving each subgraph's seed from its
+/// global vertex ids instead of threading one sequential RNG through the
+/// recursion. Individual cases shift either way under any reseeding (the
+/// per-case jitter across seed choices is several percent), so this pins
+/// the exact deterministic per-case values of the current scheme and
+/// asserts the aggregate stays strictly better than the old sequential
+/// scheme's aggregate (13294 on these four cases).
+#[test]
+fn nd_fill_quality_is_pinned_and_aggregate_improved() {
+    let cases: [(CscMatrix, usize, usize); 4] = [
+        (gen::laplace2d(12, 12, gen::Stencil2d::FivePoint), 16, 936),
+        (gen::laplace2d(20, 15, gen::Stencil2d::FivePoint), 32, 2546),
+        (
+            gen::laplace3d(6, 6, 6, gen::Stencil3d::SevenPoint),
+            48,
+            3578,
+        ),
+        (gen::random_spd(150, 4, 7), 24, 2164),
+    ];
+    let mut aggregate = 0usize;
+    for (i, (a, cutoff, expect)) in cases.iter().enumerate() {
+        let method = Method::NestedDissection(NdOpts {
+            cutoff: *cutoff,
+            ..NdOpts::default()
+        });
+        let perm = order_matrix_with(a, method, 1, &Collector::disabled());
+        let g = AdjGraph::from_sym_lower(a);
+        let fill = fill_in(&g, &perm);
+        assert_eq!(
+            fill, *expect,
+            "case {i}: fill-in moved; if the seeding scheme changed \
+             deliberately, re-pin after checking the aggregate"
+        );
+        aggregate += fill;
+    }
+    assert!(
+        aggregate < 13294,
+        "aggregate fill {aggregate} regressed past the old scheme's 13294"
+    );
+}

@@ -35,11 +35,30 @@ proptest! {
         let r = chol.report();
         prop_assert!(!r.spans.is_empty());
         let tl = Timeline::from_spans(&r.spans);
-        prop_assert!(tl.validate(0.0).is_ok(), "{:?}", tl.validate(0.0));
-        // Every rank that did attributed work appears, and no span starts
-        // before virtual time zero or after the profiled makespan.
+        // The full stream (numeric virtual-time lanes + wall-clock analysis
+        // lanes) tolerates float rounding; the numeric lanes alone must be
+        // exact — tolerance zero.
+        prop_assert!(tl.validate(1e-9).is_ok(), "{:?}", tl.validate(1e-9));
+        let numeric: Vec<_> = r
+            .spans
+            .iter()
+            .filter(|s| !s.phase.is_analysis())
+            .cloned()
+            .collect();
+        let ntl = Timeline::from_spans(&numeric);
+        prop_assert!(ntl.validate(0.0).is_ok(), "{:?}", ntl.validate(0.0));
+        // Every rank that did attributed work appears, and no numeric span
+        // starts before virtual time zero or after the profiled makespan.
+        // Analysis lanes run on their own wall-clock origin and belong to
+        // analysis workers, not ranks, so only non-negativity applies.
         let p = r.profile.as_ref().unwrap();
         for lane in &tl.lanes {
+            if lane.kind == LaneKind::Analysis {
+                for s in &lane.spans {
+                    prop_assert!(s.start_s >= 0.0);
+                }
+                continue;
+            }
             prop_assert!(lane.who < ranks);
             for s in &lane.spans {
                 prop_assert!(s.start_s >= 0.0);
@@ -56,7 +75,9 @@ proptest! {
 fn chrome_trace_export_structure() {
     let a = gen::laplace3d(6, 6, 5, gen::Stencil3d::SevenPoint);
     let ranks = 4;
-    let chol = SparseCholesky::factorize(&a, &dist_opts(ranks)).unwrap();
+    // Pin the analysis pool to 2 workers so analysis-lane pids stay inside
+    // the rank range regardless of the host's core count.
+    let chol = SparseCholesky::factorize(&a, &dist_opts(ranks).analysis_threads(2)).unwrap();
     let tl = Timeline::from_spans(&chol.report().spans);
     let text = tl.to_chrome_trace("rank").to_string_compact();
 
@@ -114,11 +135,20 @@ fn chrome_trace_export_structure() {
     }
     assert!(x_events > 0, "no complete events exported");
     assert!(process_named.iter().all(|&p| p), "every rank gets a name");
-    // The acceptance bar: >= 3 named lanes (compute/comm/wait) per rank.
+    // The acceptance bar: the 3 numeric lanes (compute/comm/wait) per
+    // rank, plus an analysis lane on every pid that hosted an analysis
+    // worker (pid 0 always does — the sequential prologue runs there).
     for pid in 0..ranks as u64 {
-        let n = lanes_named.iter().filter(|(p, _)| *p == pid).count();
-        assert_eq!(n, 3, "rank {pid} must expose 3 named lanes, got {n}");
+        let numeric = lanes_named
+            .iter()
+            .filter(|(p, t)| *p == pid && *t != LaneKind::Analysis.tid())
+            .count();
+        assert_eq!(numeric, 3, "rank {pid} must expose 3 numeric lanes");
     }
+    assert!(
+        lanes_named.contains(&(0, LaneKind::Analysis.tid())),
+        "worker 0 must expose an analysis lane"
+    );
 }
 
 /// The sync (strict postorder) schedule skews per-rank clocks far more
