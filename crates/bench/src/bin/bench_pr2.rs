@@ -182,7 +182,7 @@ fn bench_factorization() -> Vec<Json> {
     for p in &problems {
         for (tag, engine) in engines {
             let opts = FactorOpts::new()
-                .engine(*engine)
+                .engine(engine.clone())
                 .trace(TraceLevel::Counters);
             let mut best: Option<parfact_trace::FactorReport> = None;
             for _ in 0..reps {

@@ -57,6 +57,7 @@ pub const PHASE_GATHER_X: u64 = 13;
 pub const PHASE_LIMIT: u64 = 16;
 
 /// A front distributed block-cyclically over a process grid.
+#[derive(Clone)]
 pub struct DistFront {
     /// Supernode id (tag namespace).
     pub s: usize,

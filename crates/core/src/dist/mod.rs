@@ -19,16 +19,17 @@ pub mod solve;
 use crate::error::FactorError;
 use crate::factor::{Factor, FactorKind};
 use crate::frontal::{assemble_front, extract_panel, extract_update, FrontScatter, UpdateMatrix};
+use crate::mapping::RankSchedule;
 use crate::mapping::{Layout, Mapping};
 use front::DistFront;
 use parfact_dense::chol;
-use parfact_mpsim::Rank;
+use parfact_mpsim::{FaultCounts, FaultPlan, Machine, Rank, RunVerdict};
 use parfact_sparse::csc::CscMatrix;
 use parfact_sparse::perm::Perm;
 use parfact_symbolic::{Symbolic, NONE};
 use parfact_trace::{Phase, SpanEvent};
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// Extend-add message tag: the namespace is per *child* (sender side), so
 /// concurrent children of one parent cannot collide. Goes through the
@@ -38,6 +39,7 @@ fn ext_tag(child: usize) -> u64 {
 }
 
 /// Per-rank factor state after a distributed factorization.
+#[derive(Clone)]
 pub struct RankFactor {
     /// Panels of locally-factored supernodes (`f x w`, same layout as a
     /// [`Factor`] slab panel).
@@ -71,6 +73,11 @@ impl RankFactor {
 type ExtBuf = Vec<f64>;
 
 /// Mutable per-rank state threaded through the supernode processors.
+///
+/// `Clone` is the checkpoint mechanism: a snapshot of this struct (plus the
+/// local-schedule cursor) after a completed distributed front is everything
+/// a rank needs to resume from that epoch.
+#[derive(Clone)]
 struct RankState {
     out: RankFactor,
     /// Updates of locally-factored supernodes awaiting a local parent.
@@ -79,6 +86,32 @@ struct RankState {
     self_stash: HashMap<u64, ExtBuf>,
     scatter: FrontScatter,
     front_buf: Vec<f64>,
+    /// Checkpoint mode only: extend-add sends destined to a distributed
+    /// parent are buffered here, keyed by the *destination* supernode, and
+    /// flushed when this rank itself reaches that front ([`flush_pending`]).
+    /// Deferring the send to the epoch that consumes it means a completed
+    /// epoch never has messages in flight — which is what makes a set of
+    /// per-rank snapshots at the same epoch a consistent global state.
+    pending: HashMap<usize, Vec<(usize, u64, ExtBuf)>>,
+    /// True when sends must be deferred into `pending` (checkpoint mode).
+    defer: bool,
+}
+
+impl RankState {
+    fn new(sym: &Symbolic) -> Self {
+        RankState {
+            out: RankFactor {
+                local_panels: HashMap::new(),
+                dist_blocks: HashMap::new(),
+            },
+            local_updates: HashMap::new(),
+            self_stash: HashMap::new(),
+            scatter: FrontScatter::new(sym.n),
+            front_buf: Vec::new(),
+            pending: HashMap::new(),
+            defer: false,
+        }
+    }
 }
 
 /// The SPMD factorization program. All ranks call this with identical
@@ -108,16 +141,7 @@ pub fn factorize_rank(
 ) -> Result<RankFactor, FactorError> {
     let me = rank.rank();
     let nsuper = sym.nsuper();
-    let mut st = RankState {
-        out: RankFactor {
-            local_panels: HashMap::new(),
-            dist_blocks: HashMap::new(),
-        },
-        local_updates: HashMap::new(),
-        self_stash: HashMap::new(),
-        scatter: FrontScatter::new(sym.n),
-        front_buf: Vec::new(),
-    };
+    let mut st = RankState::new(sym);
 
     if sync {
         for s in 0..nsuper {
@@ -173,6 +197,164 @@ pub fn factorize_rank(
     // Local subtrees nothing distributed ever consumes (they end at roots).
     while next < sched.local.len() {
         do_local(rank, ap, sym, map, sched.local[next].1, sync, &mut st)?;
+        next += 1;
+    }
+    Ok(st.out)
+}
+
+/// One rank's restartable frontier: the full mutable state after a
+/// completed distributed front, plus how far through the local schedule the
+/// rank had advanced. Everything downstream of this point can be replayed.
+#[derive(Clone)]
+struct RankSnapshot {
+    st: RankState,
+    next_local: usize,
+}
+
+/// Per-rank checkpoint snapshots, shared across simulator runs so a
+/// restarted machine can resume from the last epoch every rank completed.
+///
+/// An **epoch** is the global postorder index of a distributed (grid)
+/// front. Under the deferred-send discipline of [`factorize_rank_ckpt`], a
+/// rank that has completed front `g` has consumed every message any front
+/// `<= g` needed and has *sent nothing* any front `> g` consumes (those
+/// sends sit in `RankState::pending`, inside the snapshot). A cut at the
+/// minimum completed epoch across ranks is therefore consistent: restoring
+/// every rank to its largest snapshot at-or-below the cut re-creates a
+/// machine state with no in-flight messages, from which a fresh run
+/// replays to a bitwise-identical factor.
+pub struct CheckpointStore {
+    slots: Vec<Mutex<BTreeMap<usize, RankSnapshot>>>,
+}
+
+impl CheckpointStore {
+    /// Empty store for a `p`-rank machine.
+    pub fn new(p: usize) -> Self {
+        CheckpointStore {
+            slots: (0..p).map(|_| Mutex::new(BTreeMap::new())).collect(),
+        }
+    }
+
+    /// Number of snapshots currently held for rank `r` (diagnostics).
+    pub fn epochs(&self, r: usize) -> usize {
+        self.slots[r].lock().unwrap().len()
+    }
+
+    fn record(&self, me: usize, g: usize, st: &RankState, next_local: usize) {
+        self.slots[me].lock().unwrap().insert(
+            g,
+            RankSnapshot {
+                st: st.clone(),
+                next_local,
+            },
+        );
+    }
+
+    /// The latest snapshot of rank `me`, with its position in the rank's
+    /// grid schedule (resume restarts at `pos + 1`).
+    fn restore(&self, me: usize, sched: &RankSchedule) -> Option<(usize, RankSnapshot)> {
+        let slot = self.slots[me].lock().unwrap();
+        let (&g, snap) = slot.iter().next_back()?;
+        let pos = sched
+            .grid
+            .iter()
+            .position(|&x| x == g)
+            .expect("snapshot for a front outside this rank's schedule");
+        Some((pos, snap.clone()))
+    }
+
+    /// After a failed attempt: compute the machine-wide consistent cut (the
+    /// first epoch some rank has not completed) and drop every snapshot at
+    /// or beyond it, so the next attempt restores a mutually consistent
+    /// state. Returns the cut (exclusive) for diagnostics; `usize::MAX`
+    /// means every rank finished its distributed work.
+    pub fn rewind_to_consistent_cut(&self, sym: &Symbolic, map: &Mapping) -> usize {
+        let mut cut = usize::MAX;
+        for (r, slot) in self.slots.iter().enumerate() {
+            let sched = map.rank_schedule(sym, r);
+            let last = slot.lock().unwrap().keys().next_back().copied();
+            // First own front this rank has *not* completed: everything
+            // strictly below it is done from r's perspective.
+            let next_own = match last {
+                None => sched.grid.first().copied(),
+                Some(l) => sched.grid.iter().copied().find(|&g| g > l),
+            };
+            cut = cut.min(next_own.unwrap_or(usize::MAX));
+        }
+        for slot in &self.slots {
+            slot.lock().unwrap().retain(|&g, _| g < cut);
+        }
+        cut
+    }
+}
+
+/// Flush deferred extend-add sends destined to front `s` (checkpoint mode).
+fn flush_pending(rank: &mut Rank, st: &mut RankState, s: usize) {
+    if let Some(list) = st.pending.remove(&s) {
+        for (dst, tag, buf) in list {
+            rank.isend(dst, tag, buf);
+        }
+    }
+}
+
+/// [`factorize_rank`] with epoch checkpointing: the event-driven schedule,
+/// but extend-add sends to distributed parents are deferred until the
+/// sender itself reaches the consuming front, and the full rank state is
+/// snapshotted into `store` after every completed distributed front.
+///
+/// On entry the rank restores the latest snapshot the store holds for it
+/// (the recovery driver has already rewound the store to a consistent cut)
+/// and resumes from the epoch after it — so a restarted machine re-executes
+/// only the epochs past the cut. The factor is **bitwise identical** to the
+/// fault-free [`factorize_rank`] runs: deferral changes only *when*
+/// messages travel, never the canonical accumulation order.
+pub fn factorize_rank_ckpt(
+    rank: &mut Rank,
+    ap: &CscMatrix,
+    sym: &Symbolic,
+    map: &Mapping,
+    store: &CheckpointStore,
+) -> Result<RankFactor, FactorError> {
+    let me = rank.rank();
+    let sched = map.rank_schedule(sym, me);
+    let (mut st, mut next, start) = match store.restore(me, &sched) {
+        Some((pos, snap)) => (snap.st, snap.next_local, pos + 1),
+        None => (RankState::new(sym), 0, 0),
+    };
+    st.defer = true;
+    for (gi, &g) in sched.grid.iter().enumerate().skip(start) {
+        // Due local subtrees first (their updates may feed this front),
+        // then flush this front's deferred sends before any blocking probe
+        // — every participant flushes before it waits, so the group cannot
+        // deadlock on its own deferred messages.
+        while next < sched.local.len() && sched.local[next].0 <= gi {
+            do_local(rank, ap, sym, map, sched.local[next].1, false, &mut st)?;
+            next += 1;
+        }
+        flush_pending(rank, &mut st, g);
+        let expected = expected_ext_keys(sym, map, g, me);
+        let arrivals = rank.probe_all(&expected);
+        let horizon = arrivals.iter().fold(rank.clock(), |m, &a| m.max(a));
+        while next < sched.local.len() {
+            let s = sched.local[next].1;
+            if rank.clock() + local_cost_estimate(sym, s, rank.model()) > horizon {
+                break;
+            }
+            do_local(rank, ap, sym, map, s, false, &mut st)?;
+            next += 1;
+        }
+        let mut bufs: HashMap<(usize, u64), ExtBuf> = HashMap::new();
+        let mut keys = expected;
+        while !keys.is_empty() {
+            let (i, buf) = rank.wait_any::<ExtBuf>(&keys);
+            bufs.insert(keys[i], buf);
+            keys.swap_remove(i);
+        }
+        do_grid(rank, ap, sym, map, g, false, &mut st, Some(bufs))?;
+        store.record(me, g, &st, next);
+    }
+    while next < sched.local.len() {
+        do_local(rank, ap, sym, map, sched.local[next].1, false, &mut st)?;
         next += 1;
     }
     Ok(st.out)
@@ -300,7 +482,7 @@ fn do_grid(
     df.factorize(rank, c0, !sync)?;
     // Ship the Schur complement to the parent.
     if f > w && parent != NONE {
-        send_dist_update(rank, sym, map, s, parent, &df, sync, &mut st.self_stash);
+        send_dist_update(rank, sym, map, s, parent, &df, sync, st);
     }
     // Retain pivot blocks; release pure-Schur blocks.
     let released = release_schur_blocks(&mut df);
@@ -400,6 +582,11 @@ fn route_update(
                 let dst = plo + rel;
                 if dst == rank.rank() {
                     st.self_stash.insert(ext_tag(s), buf);
+                } else if st.defer {
+                    st.pending
+                        .entry(parent)
+                        .or_default()
+                        .push((dst, ext_tag(s), buf));
                 } else if sync {
                     rank.send(dst, ext_tag(s), buf);
                 } else {
@@ -421,7 +608,7 @@ fn send_dist_update(
     parent: usize,
     df: &DistFront,
     sync: bool,
-    self_stash: &mut HashMap<u64, ExtBuf>,
+    st: &mut RankState,
 ) {
     let w = df.w;
     let rows = &sym.sn_rows[s];
@@ -445,7 +632,12 @@ fn send_dist_update(
             for (rel, buf) in bufs.into_iter().enumerate() {
                 let dst = plo + rel;
                 if dst == rank.rank() {
-                    self_stash.insert(ext_tag(s), buf);
+                    st.self_stash.insert(ext_tag(s), buf);
+                } else if st.defer {
+                    st.pending
+                        .entry(parent)
+                        .or_default()
+                        .push((dst, ext_tag(s), buf));
                 } else if sync {
                     rank.send(dst, ext_tag(s), buf);
                 } else {
@@ -855,65 +1047,93 @@ pub fn run_distributed_prepared_traced(
     nrhs: usize,
     timeline: bool,
 ) -> Result<DistOutcome, FactorError> {
-    use parfact_mpsim::Machine;
     let map = crate::mapping::map_tree(sym, p, strategy);
     assert!(map.validate(sym), "invalid mapping");
-    let n = sym.n;
-    let bp = b.map(|b| {
+    let bp = permuted_rhs(b, sym.n, nrhs, total_perm);
+    let report = Machine::new(p, model).trace_events(timeline).run_result(
+        |rank| -> Result<RankOut, FactorError> {
+            let rf = factorize_rank(rank, ap, sym, &map, sync_schedule)?;
+            finish_rank(rank, sym, &map, total_perm, rf, bp.as_deref(), nrhs)
+        },
+    )?;
+    assemble_outcome(report.results, report.events)
+}
+
+/// Per-rank return value of the distributed programs: factor/solve
+/// makespans, statistics, factor bytes, plus rank 0's gathered factor and
+/// solution.
+type RankOut = (
+    f64,
+    f64,
+    parfact_mpsim::RankStats,
+    usize,
+    Option<Factor>,
+    Option<Vec<f64>>,
+);
+
+/// Apply the total permutation to an `n x nrhs` right-hand-side block.
+fn permuted_rhs(b: Option<&[f64]>, n: usize, nrhs: usize, total_perm: &Perm) -> Option<Vec<f64>> {
+    b.map(|b| {
         assert_eq!(b.len(), n * nrhs, "rhs block must be n x nrhs");
         let mut bp = vec![0.0f64; n * nrhs];
         for r in 0..nrhs {
             bp[r * n..(r + 1) * n].copy_from_slice(&total_perm.apply_vec(&b[r * n..(r + 1) * n]));
         }
         bp
-    });
+    })
+}
 
-    type RankOut = (
-        f64,
-        f64,
-        parfact_mpsim::RankStats,
-        usize,
-        Option<Factor>,
-        Option<Vec<f64>>,
-    );
-    let report = Machine::new(p, model).trace_events(timeline).run_result(
-        |rank| -> Result<RankOut, FactorError> {
-            let rf = factorize_rank(rank, ap, sym, &map, sync_schedule)?;
-            let t_factor = rank.clock();
-            // The solve is traced too (per-rank solve lanes): its compute
-            // spans carry `Phase::Solve`, which the critical-path profiler
-            // filters out — the profile models the factorization's
-            // child-before-parent dependencies, which the backward solve
-            // traverses in the opposite direction.
-            let xp = bp
-                .as_ref()
-                .and_then(|bp| solve::solve_rank(rank, sym, &map, &rf, bp, nrhs));
-            let t_solve = rank.clock() - t_factor;
-            // The verification gather stays out of the trace, mirroring
-            // what the stats snapshot excludes.
-            rank.set_trace_events(false);
-            let stats = rank.stats();
-            let fbytes = rf.factor_bytes(sym);
-            let factor = gather_factor(rank, sym, &map, &rf, total_perm.clone());
-            let x = xp.map(|xp| {
-                let mut x = vec![0.0f64; n * nrhs];
-                for r in 0..nrhs {
-                    x[r * n..(r + 1) * n]
-                        .copy_from_slice(&total_perm.apply_inv_vec(&xp[r * n..(r + 1) * n]));
-                }
-                x
-            });
-            Ok((t_factor, t_solve, stats, fbytes, factor, x))
-        },
-    )?;
-    let factor_time_s = report.results.iter().fold(0.0f64, |m, r| m.max(r.0));
-    let solve_time_s = report.results.iter().fold(0.0f64, |m, r| m.max(r.1));
-    let stats: Vec<parfact_mpsim::RankStats> = report.results.iter().map(|r| r.2).collect();
-    let max_factor_bytes = report.results.iter().map(|r| r.3).max().unwrap_or(0);
+/// Epilogue of a rank's program after its factorization finished: solve
+/// (when a right-hand side was given), snapshot statistics, and gather the
+/// factor to rank 0.
+fn finish_rank(
+    rank: &mut Rank,
+    sym: &Arc<Symbolic>,
+    map: &Mapping,
+    total_perm: &Perm,
+    rf: RankFactor,
+    bp: Option<&[f64]>,
+    nrhs: usize,
+) -> Result<RankOut, FactorError> {
+    let n = sym.n;
+    let t_factor = rank.clock();
+    // The solve is traced too (per-rank solve lanes): its compute spans
+    // carry `Phase::Solve`, which the critical-path profiler filters out —
+    // the profile models the factorization's child-before-parent
+    // dependencies, which the backward solve traverses in the opposite
+    // direction.
+    let xp = bp.and_then(|bp| solve::solve_rank(rank, sym, map, &rf, bp, nrhs));
+    let t_solve = rank.clock() - t_factor;
+    // The verification gather stays out of the trace, mirroring what the
+    // stats snapshot excludes.
+    rank.set_trace_events(false);
+    let stats = rank.stats();
+    let fbytes = rf.factor_bytes(sym);
+    let factor = gather_factor(rank, sym, map, &rf, total_perm.clone());
+    let x = xp.map(|xp| {
+        let mut x = vec![0.0f64; n * nrhs];
+        for r in 0..nrhs {
+            x[r * n..(r + 1) * n]
+                .copy_from_slice(&total_perm.apply_inv_vec(&xp[r * n..(r + 1) * n]));
+        }
+        x
+    });
+    Ok((t_factor, t_solve, stats, fbytes, factor, x))
+}
+
+/// Fold per-rank results into a [`DistOutcome`].
+fn assemble_outcome(
+    results: Vec<RankOut>,
+    events: Vec<Vec<SpanEvent>>,
+) -> Result<DistOutcome, FactorError> {
+    let factor_time_s = results.iter().fold(0.0f64, |m, r| m.max(r.0));
+    let solve_time_s = results.iter().fold(0.0f64, |m, r| m.max(r.1));
+    let stats: Vec<parfact_mpsim::RankStats> = results.iter().map(|r| r.2).collect();
+    let max_factor_bytes = results.iter().map(|r| r.3).max().unwrap_or(0);
     let total_flops = stats.iter().map(|s| s.flops).sum();
     let mut factor = None;
     let mut x = None;
-    for r in report.results {
+    for r in results {
         if r.4.is_some() {
             factor = r.4;
         }
@@ -929,8 +1149,161 @@ pub fn run_distributed_prepared_traced(
         stats,
         max_factor_bytes,
         total_flops,
-        events: report.events,
+        events,
     })
+}
+
+/// What a fault-injected (and possibly restarted) distributed run reports
+/// on top of its [`DistOutcome`].
+pub struct FaultRun {
+    /// The successful attempt's outcome (factor, solution, per-rank stats).
+    pub outcome: DistOutcome,
+    /// Injected-fault activity accumulated over every attempt.
+    pub counts: FaultCounts,
+    /// Restarts performed before the run completed.
+    pub restarts: u64,
+    /// Sum of every attempt's virtual makespan — the end-to-end cost of the
+    /// run *including* the crashed attempts, for recovery-overhead studies.
+    pub total_makespan_s: f64,
+}
+
+/// Factor (and optionally solve) under a deterministic fault plan, with
+/// checkpoint/restart recovery. See [`run_distributed_prepared_traced`] for
+/// the fault-free arguments.
+///
+/// Each attempt runs the whole machine under [`Machine::run_verdict`]:
+///
+/// - **Completed** — results are assembled exactly like a fault-free run.
+/// - A rank returning a numeric error ([`FactorError`]) ends the run with
+///   that error immediately: degenerate inputs are never retried.
+/// - **RankFailed / TimedOut / Deadlocked** — the machine restarts with the
+///   crash faults removed from the plan ([`FaultPlan::without_crashes`];
+///   link delay/duplication faults persist). With `checkpoint` set, ranks
+///   resume from the [`CheckpointStore`]'s consistent cut instead of from
+///   scratch. After `max_restarts` restarts the verdict surfaces as the
+///   typed [`FactorError`] — never a hang, never a panic.
+///
+/// `recv_timeout_s` arms the machine-wide receive deadline; `None` derives
+/// a generous one from the cost model when the plan injects faults (a lost
+/// message then surfaces as [`FactorError::TimedOut`] with full `(rank,
+/// src, tag, waited)` context), and leaves timeouts off otherwise.
+///
+/// The recovered factor is **bitwise identical** to a fault-free run's —
+/// the property the fault-recovery test suite pins down.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_faulty(
+    p: usize,
+    model: parfact_mpsim::model::CostModel,
+    ap: &CscMatrix,
+    sym: &Arc<Symbolic>,
+    total_perm: &Perm,
+    strategy: crate::mapping::MapStrategy,
+    b: Option<&[f64]>,
+    nrhs: usize,
+    timeline: bool,
+    plan: &FaultPlan,
+    recv_timeout_s: Option<f64>,
+    checkpoint: bool,
+    max_restarts: usize,
+) -> Result<FaultRun, FactorError> {
+    let map = crate::mapping::map_tree(sym, p, strategy);
+    assert!(map.validate(sym), "invalid mapping");
+    let bp = permuted_rhs(b, sym.n, nrhs, total_perm);
+    let store = checkpoint.then(|| CheckpointStore::new(p));
+    let timeout = recv_timeout_s.or_else(|| {
+        (!plan.is_empty()).then(|| {
+            // Generous machine-wide deadline: the whole factorization's
+            // flops and a factor's worth of traffic, with the model's 4x
+            // safety margin on top. Virtual-time generosity costs nothing
+            // physically — a receive whose source provably died times out
+            // immediately.
+            let flops = sym.factor_flops();
+            let bytes = 8.0 * sym.factor_nnz() as f64 * p as f64;
+            model.recv_timeout_for(flops, bytes)
+        })
+    });
+    let mut attempt_plan = plan.clone();
+    let mut counts = FaultCounts::default();
+    let mut restarts = 0u64;
+    let mut total_makespan_s = 0.0f64;
+    loop {
+        let mut machine = Machine::new(p, model)
+            .trace_events(timeline)
+            .fault_plan(attempt_plan.clone());
+        if let Some(t) = timeout {
+            machine = machine.recv_timeout(t);
+        }
+        let vr = machine.run_verdict(|rank| -> Result<RankOut, FactorError> {
+            let rf = match &store {
+                Some(cs) => factorize_rank_ckpt(rank, ap, sym, &map, cs)?,
+                None => factorize_rank(rank, ap, sym, &map, false)?,
+            };
+            finish_rank(rank, sym, &map, total_perm, rf, bp.as_deref(), nrhs)
+        });
+        counts.merge(&vr.fault_counts);
+        total_makespan_s += vr.makespan_s;
+        // A numeric error outranks fault verdicts: an indefinite matrix is
+        // a property of the input, not of the machine, and is not retried.
+        if let Some(e) = vr
+            .results
+            .iter()
+            .flatten()
+            .find_map(|r| r.as_ref().err().cloned())
+        {
+            return Err(e);
+        }
+        match vr.verdict {
+            RunVerdict::Completed => {
+                let results = vr
+                    .results
+                    .into_iter()
+                    .map(|r| r.and_then(Result::ok))
+                    .collect::<Option<Vec<RankOut>>>()
+                    .ok_or(FactorError::Internal(
+                        "completed verdict with a missing rank result",
+                    ))?;
+                let outcome = assemble_outcome(results, vr.events)?;
+                return Ok(FaultRun {
+                    outcome,
+                    counts,
+                    restarts,
+                    total_makespan_s,
+                });
+            }
+            verdict => {
+                if restarts >= max_restarts as u64 {
+                    return Err(verdict_error(verdict));
+                }
+                restarts += 1;
+                // Crash faults fired; keep link faults (delay/dup) live so
+                // the retry exercises the same wire conditions.
+                attempt_plan = attempt_plan.without_crashes();
+                if let Some(cs) = &store {
+                    cs.rewind_to_consistent_cut(sym, &map);
+                }
+            }
+        }
+    }
+}
+
+/// Map a terminal machine verdict onto the factorization error taxonomy.
+fn verdict_error(v: RunVerdict) -> FactorError {
+    match v {
+        RunVerdict::Completed => unreachable!("completed runs do not error"),
+        RunVerdict::RankFailed { ranks, detail } => FactorError::RankFailed { ranks, detail },
+        RunVerdict::TimedOut {
+            rank,
+            src,
+            tag,
+            waited_s,
+        } => FactorError::TimedOut {
+            rank,
+            src,
+            tag,
+            waited_s,
+        },
+        RunVerdict::Deadlocked { detail } => FactorError::Deadlock { detail },
+    }
 }
 
 #[cfg(test)]

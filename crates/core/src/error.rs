@@ -27,6 +27,37 @@ pub enum FactorError {
     /// input — reported as an error instead of a panic so a long-running
     /// host survives it.
     Internal(&'static str),
+    /// One or more simulated ranks died under an injected fault plan and
+    /// the run could not (or was not allowed to) recover. `detail` carries
+    /// the per-rank diagnostics from the machine verdict.
+    RankFailed {
+        /// Crashed ranks, ascending.
+        ranks: Vec<usize>,
+        /// Per-rank diagnostic text.
+        detail: String,
+    },
+    /// A simulated rank's blocking receive exceeded the machine-wide
+    /// receive deadline (a lost or delayed message), and restarts were
+    /// exhausted. Coordinates identify the unmatched `(src, tag)` receive.
+    TimedOut {
+        /// The rank whose receive timed out.
+        rank: usize,
+        /// Source rank it was matching.
+        src: usize,
+        /// Message tag it was matching.
+        tag: u64,
+        /// Virtual seconds it waited before giving up.
+        waited_s: f64,
+    },
+    /// The simulated machine deadlocked: every rank finished or blocked
+    /// with no matching message in flight and no crashed rank to blame.
+    /// Under the shipped schedules this indicates an engine bug; it is
+    /// typed (rather than folded into [`FactorError::Internal`]) so fault
+    /// drills can distinguish it from injected failures.
+    Deadlock {
+        /// Per-rank diagnostic text.
+        detail: String,
+    },
 }
 
 impl FactorError {
@@ -59,6 +90,19 @@ impl fmt::Display for FactorError {
                 "right-hand-side length mismatch: expected {expected} values, got {got}"
             ),
             FactorError::Internal(what) => write!(f, "internal engine invariant broke: {what}"),
+            FactorError::RankFailed { ranks, detail } => {
+                write!(f, "simulated rank failure (ranks {ranks:?}): {detail}")
+            }
+            FactorError::TimedOut {
+                rank,
+                src,
+                tag,
+                waited_s,
+            } => write!(
+                f,
+                "rank {rank} timed out waiting {waited_s:.6}s for a message from rank {src} (tag {tag})"
+            ),
+            FactorError::Deadlock { detail } => write!(f, "simulated machine deadlock: {detail}"),
         }
     }
 }

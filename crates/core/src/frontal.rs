@@ -44,7 +44,7 @@ impl UpdateMatrix {
 
 /// Scatter map from global indices into a front's local index space.
 /// Reused across fronts to avoid repeated allocation.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct FrontScatter {
     loc: Vec<usize>,
     touched: Vec<usize>,

@@ -10,6 +10,7 @@ use crate::mapping::MapStrategy;
 use crate::smp::SmpOpts;
 use crate::workspace::Workspace;
 use parfact_mpsim::model::CostModel;
+use parfact_mpsim::FaultPlan;
 use parfact_order::Method;
 use parfact_sparse::csc::CscMatrix;
 use parfact_symbolic::{analyze_with, AmalgOpts, Symbolic};
@@ -18,7 +19,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Options for the simulator-backed distributed engine.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DistOpts {
     /// Number of simulated ranks.
     pub ranks: usize,
@@ -29,7 +30,23 @@ pub struct DistOpts {
     /// Run the strict-postorder blocking schedule instead of the default
     /// event-driven one (the EXP-A7 ablation baseline). The factor is
     /// bitwise identical either way; only the simulated clocks differ.
+    /// Ignored under fault injection, which always runs event-driven.
     pub sync_schedule: bool,
+    /// Deterministic fault-injection plan for the simulated machine (see
+    /// [`FaultPlan::parse`] for the `crash:`/`delay:`/`dup:` grammar).
+    /// Empty by default: the fault machinery is entirely bypassed.
+    pub faults: FaultPlan,
+    /// Machine-wide receive deadline in virtual seconds. `None` derives a
+    /// generous one from the cost model when `faults` is non-empty, and
+    /// disables timeouts otherwise.
+    pub recv_timeout_s: Option<f64>,
+    /// Record per-rank checkpoints at distributed-front epochs so an
+    /// injected crash restarts from the last consistent epoch instead of
+    /// from scratch. The recovered factor is bitwise identical either way.
+    pub checkpoint: bool,
+    /// Restart attempts after a fault verdict before the typed error
+    /// ([`FactorError::RankFailed`] / [`FactorError::TimedOut`]) surfaces.
+    pub max_restarts: usize,
 }
 
 impl Default for DistOpts {
@@ -39,12 +56,16 @@ impl Default for DistOpts {
             model: CostModel::bluegene_p(),
             strategy: MapStrategy::default(),
             sync_schedule: false,
+            faults: FaultPlan::new(),
+            recv_timeout_s: None,
+            checkpoint: false,
+            max_restarts: 2,
         }
     }
 }
 
 /// Engine selection for the factorization.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Engine {
     /// Single-threaded multifrontal.
     Sequential,
@@ -83,7 +104,7 @@ impl Engine {
 /// The struct is `#[non_exhaustive]`: fields stay readable, but new options
 /// (like `trace`) can be added without breaking downstream code.
 #[non_exhaustive]
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FactorOpts {
     /// Fill-reducing ordering.
     pub ordering: Method,
@@ -164,7 +185,7 @@ impl FactorOpts {
         if self.analysis_threads > 0 {
             return self.analysis_threads;
         }
-        match self.engine {
+        match &self.engine {
             Engine::Smp(smp) => crate::smp::resolve_threads(smp.threads),
             _ => crate::smp::resolve_threads(0),
         }
@@ -222,6 +243,10 @@ pub struct SolveOpts {
     /// returns `x = D · (DAD)⁻¹ · D b`, the solution of the original
     /// system.
     pub scale: Option<Vec<f64>>,
+    /// Compute [`Solved::residual`] even when no refinement runs. Off by
+    /// default: the extra matrix-vector product per column is pure
+    /// diagnostics cost.
+    pub residual: bool,
 }
 
 impl SolveOpts {
@@ -247,6 +272,13 @@ impl SolveOpts {
     /// `D` on the way in and solutions by `D` on the way out.
     pub fn equilibrate(mut self, d: Vec<f64>) -> Self {
         self.scale = Some(d);
+        self
+    }
+
+    /// Request the final residual in [`Solved::residual`] even without
+    /// refinement steps.
+    pub fn residual(mut self, compute: bool) -> Self {
+        self.residual = compute;
         self
     }
 }
@@ -290,9 +322,11 @@ pub struct Solved {
     /// Solution block, `n x nrhs` column-major (same layout as the input
     /// [`RhsBlock`]).
     pub x: Vec<f64>,
-    /// Final residual ∞-norm over all columns, measured against the
-    /// factored (permuted, possibly equilibrated) matrix. `Some` only when
-    /// refinement ran (`SolveOpts::refine > 0`).
+    /// Final residual ∞-norm over all columns, reported in the caller's
+    /// (original) system: permutation leaves the ∞-norm alone, and under
+    /// equilibration the scaled-space residual `r̂ = D(b − A x)` is
+    /// unscaled by `D⁻¹` before the norm. `Some` when refinement ran
+    /// (`SolveOpts::refine > 0`) or `SolveOpts::residual` asked for it.
     pub residual: Option<f64>,
 }
 
@@ -402,12 +436,12 @@ impl SparseCholesky {
         let analysis_counters = atr.snapshot();
         let analysis_spans = atr.take_spans();
         let mut ws = Workspace::new();
-        let (factor, counters, ranks, mut spans) = run_engine(
+        let (factor, counters, ranks, mut spans, faults) = run_engine(
             &ap,
             &sym,
             opts.kind,
             total_perm,
-            opts.engine,
+            &opts.engine,
             opts.trace,
             &mut ws,
         )?;
@@ -442,13 +476,13 @@ impl SparseCholesky {
             profile,
             analysis,
             solve: None,
+            faults,
         };
-        report.counters.fronts_factored = match opts.engine {
+        if matches!(opts.engine, Engine::Dist(_)) {
             // The simulator counts traffic per rank, not fronts; every
             // supernode is factored exactly once across the machine.
-            Engine::Dist(_) => sym.nsuper() as u64,
-            _ => report.counters.fronts_factored,
-        };
+            report.counters.fronts_factored = sym.nsuper() as u64;
+        }
         Ok(SparseCholesky {
             factor,
             report,
@@ -480,33 +514,33 @@ impl SparseCholesky {
         let ap_new = self.factor.perm.apply_sym_lower(a);
         let sym = Arc::clone(&self.factor.sym);
         let t0 = Instant::now();
-        let (counters, ranks, spans) = match engine {
+        let (counters, ranks, spans, faults) = match &engine {
             Engine::Sequential => {
                 let tr = Collector::new(self.trace);
                 crate::seq::factorize_seq_into(&ap_new, &sym, &tr, &mut self.ws, &mut self.factor)?;
-                (tr.snapshot(), Vec::new(), tr.take_spans())
+                (tr.snapshot(), Vec::new(), tr.take_spans(), None)
             }
             Engine::Smp(smp) => {
                 let tr = Collector::new(self.trace);
                 crate::smp::factorize_smp_into(
                     &ap_new,
                     &sym,
-                    &smp,
+                    smp,
                     &tr,
                     &mut self.ws,
                     &mut self.factor,
                 )?;
-                (tr.snapshot(), Vec::new(), tr.take_spans())
+                (tr.snapshot(), Vec::new(), tr.take_spans(), None)
             }
             Engine::Dist(_) => {
                 // The distributed engine gathers a fresh factor from the
                 // simulated machine; it replaces the stored one wholesale.
                 let kind = self.factor.kind;
                 let perm = self.factor.perm.clone();
-                let (factor, counters, ranks, spans) =
-                    run_engine(&ap_new, &sym, kind, perm, engine, self.trace, &mut self.ws)?;
+                let (factor, counters, ranks, spans, faults) =
+                    run_engine(&ap_new, &sym, kind, perm, &engine, self.trace, &mut self.ws)?;
                 self.factor = factor;
-                (counters, ranks, spans)
+                (counters, ranks, spans, faults)
             }
         };
         self.ap = ap_new;
@@ -518,6 +552,7 @@ impl SparseCholesky {
         }
         self.report.ranks = ranks;
         self.report.spans = spans;
+        self.report.faults = faults;
         self.report.profile =
             timeline_profile(&sym, self.trace, &self.report.spans, &self.report.ranks);
         self.report.refactorizations += 1;
@@ -590,7 +625,7 @@ impl SparseCholesky {
         // Iterative refinement, per column, in the permuted space of the
         // matrix actually factored (no original-matrix argument needed).
         let mut residual = None;
-        if opts.refine > 0 {
+        if opts.refine > 0 || opts.residual {
             let perm = &self.factor.perm;
             let mut worst = 0.0f64;
             for col in 0..nrhs {
@@ -607,8 +642,24 @@ impl SparseCholesky {
                     }
                 }
                 let rp = parfact_sparse::ops::sym_residual(&self.ap, &xp, &bp);
-                worst = worst.max(parfact_sparse::ops::norm_inf(&rp));
-                x[col * n..(col + 1) * n].copy_from_slice(&perm.apply_inv_vec(&xp));
+                // The factored matrix is D·A·D under equilibration, so
+                // `rp` is the scaled residual r̂ = D(b − A x); the caller's
+                // residual is D⁻¹ r̂ (entry k sits at original row
+                // `old_of_new(k)`). Reporting r̂ itself was a bug: D
+                // shrinks exactly the rows equilibration targets, making
+                // ill-scaled systems look better converged than they are.
+                let col_worst = match &opts.scale {
+                    Some(d) => rp
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &v)| (v / d[perm.old_of_new(k)]).abs())
+                        .fold(0.0f64, f64::max),
+                    None => parfact_sparse::ops::norm_inf(&rp),
+                };
+                worst = worst.max(col_worst);
+                if opts.refine > 0 {
+                    x[col * n..(col + 1) * n].copy_from_slice(&perm.apply_inv_vec(&xp));
+                }
             }
             residual = Some(worst);
         }
@@ -824,37 +875,39 @@ fn timeline_profile(
     ))
 }
 
-/// Dispatch one numeric factorization and return the factor plus the
-/// instrumentation it produced.
+/// One engine run's output: the factor plus the instrumentation it
+/// produced (the last element reports injected-fault activity — `Some`
+/// only for fault-injected distributed runs).
+type EngineRun = (
+    Factor,
+    Counters,
+    Vec<parfact_trace::RankReport>,
+    Vec<parfact_trace::SpanEvent>,
+    Option<parfact_trace::FaultReport>,
+);
+
+/// Dispatch one numeric factorization.
 fn run_engine(
     ap: &CscMatrix,
     sym: &Arc<Symbolic>,
     kind: FactorKind,
     perm: parfact_sparse::perm::Perm,
-    engine: Engine,
+    engine: &Engine,
     trace: TraceLevel,
     ws: &mut Workspace,
-) -> Result<
-    (
-        Factor,
-        Counters,
-        Vec<parfact_trace::RankReport>,
-        Vec<parfact_trace::SpanEvent>,
-    ),
-    FactorError,
-> {
+) -> Result<EngineRun, FactorError> {
     match engine {
         Engine::Sequential => {
             let tr = Collector::new(trace);
             let mut factor = Factor::allocate(sym, kind, perm);
             crate::seq::factorize_seq_into(ap, sym, &tr, ws, &mut factor)?;
-            Ok((factor, tr.snapshot(), Vec::new(), tr.take_spans()))
+            Ok((factor, tr.snapshot(), Vec::new(), tr.take_spans(), None))
         }
         Engine::Smp(smp) => {
             let tr = Collector::new(trace);
             let mut factor = Factor::allocate(sym, kind, perm);
-            crate::smp::factorize_smp_into(ap, sym, &smp, &tr, ws, &mut factor)?;
-            Ok((factor, tr.snapshot(), Vec::new(), tr.take_spans()))
+            crate::smp::factorize_smp_into(ap, sym, smp, &tr, ws, &mut factor)?;
+            Ok((factor, tr.snapshot(), Vec::new(), tr.take_spans(), None))
         }
         Engine::Dist(d) => {
             if kind != FactorKind::Llt {
@@ -866,22 +919,51 @@ fn run_engine(
             // Rank statistics come from the simulator and are always
             // collected; span events (compute, comm, wait lanes in virtual
             // time) are recorded only at `TraceLevel::Timeline`.
-            let out = dist::run_distributed_prepared_traced(
-                d.ranks,
-                d.model,
-                ap,
-                sym,
-                &perm,
-                d.strategy,
-                d.sync_schedule,
-                None,
-                1,
-                trace.timeline(),
-            )?;
+            let faulty = !d.faults.is_empty() || d.checkpoint || d.recv_timeout_s.is_some();
+            let (out, faults) = if faulty {
+                let fr = dist::run_distributed_faulty(
+                    d.ranks,
+                    d.model,
+                    ap,
+                    sym,
+                    &perm,
+                    d.strategy,
+                    None,
+                    1,
+                    trace.timeline(),
+                    &d.faults,
+                    d.recv_timeout_s,
+                    d.checkpoint,
+                    d.max_restarts,
+                )?;
+                let faults = parfact_trace::FaultReport {
+                    crashes: fr.counts.crashes,
+                    timeouts: fr.counts.timeouts,
+                    delayed_msgs: fr.counts.delayed_msgs,
+                    duplicated_msgs: fr.counts.duplicated_msgs,
+                    restarts: fr.restarts,
+                    total_makespan_s: fr.total_makespan_s,
+                };
+                (fr.outcome, Some(faults))
+            } else {
+                let out = dist::run_distributed_prepared_traced(
+                    d.ranks,
+                    d.model,
+                    ap,
+                    sym,
+                    &perm,
+                    d.strategy,
+                    d.sync_schedule,
+                    None,
+                    1,
+                    trace.timeline(),
+                )?;
+                (out, None)
+            };
             let counters = out.fold_counters();
             let ranks = out.rank_reports();
             let spans = out.merged_events();
-            Ok((out.factor, counters, ranks, spans))
+            Ok((out.factor, counters, ranks, spans, faults))
         }
     }
 }
@@ -996,7 +1078,9 @@ mod tests {
         for engine in engines {
             let chol = SparseCholesky::factorize(
                 &a,
-                &FactorOpts::new().engine(engine).trace(TraceLevel::Counters),
+                &FactorOpts::new()
+                    .engine(engine.clone())
+                    .trace(TraceLevel::Counters),
             )
             .unwrap();
             let r = chol.report();

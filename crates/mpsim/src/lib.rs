@@ -51,8 +51,11 @@
 //! ```
 
 pub mod collective;
+pub mod fault;
 pub mod model;
 pub mod payload;
+
+pub use fault::{Fault, FaultCounts, FaultPlan};
 
 use model::CostModel;
 use parfact_trace::{Phase, SpanEvent};
@@ -60,10 +63,38 @@ use parking_lot::{Condvar, Mutex};
 use payload::Payload;
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Typed failure of a deadline-aware receive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecvError {
+    /// No matching message became available within the deadline: either the
+    /// head arrival lies past it, or the source rank crashed/finished
+    /// without posting one. `waited` is the virtual seconds spent waiting
+    /// (the timeout); the caller's clock has been advanced past them.
+    TimedOut {
+        /// Source rank the receive was matching.
+        src: usize,
+        /// Message tag the receive was matching.
+        tag: u64,
+        /// Virtual seconds waited in vain.
+        waited: f64,
+    },
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::TimedOut { src, tag, waited } => write!(
+                f,
+                "receive timed out after {waited:.6}s waiting on (src={src}, tag={tag})"
+            ),
+        }
+    }
+}
 
 /// A message in flight.
 struct Msg {
@@ -98,12 +129,64 @@ struct Mailbox {
 }
 
 /// Deadlock-detection registry: which ranks are parked in a blocking
-/// receive (and on which keys), and which have finished their program and
+/// receive (and on which keys), which have finished their program, and
+/// which have crashed under an injected fault — finished and crashed ranks
 /// can never send again.
 #[derive(Default)]
+/// One parked rank's registration: what it waits for, and the absolute
+/// virtual deadline of the wait (if any). Deadline-bearing waits are
+/// resolved *at quiescence* by the scanner, which elects the earliest
+/// deadline to fire — never by rank threads racing each other on host time.
+struct Blocked {
+    keys: Vec<(usize, u64)>,
+    /// Absolute virtual deadline (wait-start clock + timeout), if any.
+    deadline: Option<f64>,
+    /// True for a per-call [`Rank::recv_deadline`] (the caller handles the
+    /// timeout and resumes); false for the machine-wide receive timeout
+    /// (a fired timeout aborts the whole run).
+    call: bool,
+}
+
 struct WaitState {
-    blocked: Vec<Option<Vec<(usize, u64)>>>,
+    blocked: Vec<Option<Blocked>>,
     done: Vec<bool>,
+    crashed: Vec<bool>,
+    /// Rank elected by the scanner to fire its timeout. Set only at
+    /// quiescence (every rank finished, crashed, or parked), consumed by
+    /// the elected rank on its next poll. While an election is pending the
+    /// scanner makes no further decisions.
+    elected: Option<usize>,
+}
+
+/// Why a blocked run was aborted: a genuine protocol deadlock, or a
+/// blockage caused by a crashed rank holding undelivered sends. The two get
+/// different verdicts — conflating them (the old detector's behaviour)
+/// mis-diagnoses an injected rank failure as a protocol bug.
+#[derive(Clone)]
+enum AbortReason {
+    Deadlock(String),
+    RankFailure(String),
+}
+
+/// Machine-wide tallies of injected-fault activity (lock-free: bumped from
+/// rank threads, snapshotted after the run).
+#[derive(Default)]
+struct FaultTallies {
+    crashes: AtomicU64,
+    delayed_msgs: AtomicU64,
+    duplicated_msgs: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl FaultTallies {
+    fn snapshot(&self) -> FaultCounts {
+        FaultCounts {
+            crashes: self.crashes.load(Ordering::Relaxed),
+            delayed_msgs: self.delayed_msgs.load(Ordering::Relaxed),
+            duplicated_msgs: self.duplicated_msgs.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
 }
 
 struct Shared {
@@ -111,55 +194,138 @@ struct Shared {
     failed: AtomicBool,
     /// Registry used only for deadlock detection — see `register_blocked`.
     waiting: Mutex<WaitState>,
-    /// Diagnostic set by the rank that detects an all-ranks-blocked
-    /// deadlock; every parked rank re-raises it.
-    deadlock: Mutex<Option<String>>,
+    /// Diagnostic set by the rank that detects an unresolvable blockage;
+    /// every parked rank re-raises it.
+    abort_reason: Mutex<Option<AbortReason>>,
+    faults: FaultTallies,
     model: CostModel,
 }
 
 impl Shared {
     /// With the `waiting` lock held: if every rank is either finished or
     /// parked, and no parked rank's keys have a posted message anywhere,
-    /// the blockage can never resolve — record a per-rank diagnostic, set
-    /// the failure flag and wake everyone.
+    /// the blockage can never resolve by itself. Resolution is decided
+    /// *here*, at quiescence, where every parked clock is frozen and the
+    /// state is a deterministic function of the program and fault plan:
+    ///
+    /// 1. a per-call-deadline waiter on a crashed/finished source resolves
+    ///    itself (its own gone-check fires on the next poll) — wait;
+    /// 2. else elect the earliest per-call deadline to fire its timeout
+    ///    (the caller fails over and the run continues);
+    /// 3. else, with a crashed rank in the picture, abort as a rank
+    ///    failure — the precise verdict, without burning receive deadlines;
+    /// 4. else elect the earliest machine-wide deadline to fire (the rank
+    ///    aborts the run with a typed timeout);
+    /// 5. else record a protocol deadlock.
+    ///
+    /// Rank threads never resolve machine-wide deadlines on their own —
+    /// that would race the abort against still-running peers and make
+    /// failed-attempt clocks (and the makespan) host-timing-dependent.
     ///
     /// Lock order: `waiting` before any mailbox `queues`; waiters never
     /// hold their own `queues` lock while taking `waiting`.
-    fn deadlock_scan(&self, w: &WaitState) {
+    fn deadlock_scan(&self, w: &mut WaitState) {
         // A run that already failed (peer panic or error) aborts through
         // the failure flag; a deadlock verdict now would be spurious and
         // could mask the real panic.
         if self.failed.load(Ordering::SeqCst) {
             return;
         }
+        // A pending election will wake its rank and change the state;
+        // nothing further is decidable until it is consumed.
+        if w.elected.is_some() {
+            return;
+        }
         let any_blocked = w.blocked.iter().any(Option::is_some);
         let all_stuck = any_blocked
             && w.done
                 .iter()
+                .zip(&w.crashed)
                 .zip(&w.blocked)
-                .all(|(&done, blocked)| done || blocked.is_some());
+                .all(|((&done, &crashed), blocked)| done || crashed || blocked.is_some());
         if !all_stuck {
             return;
         }
         let live = w.blocked.iter().enumerate().any(|(r, entry)| match entry {
-            Some(keys) => {
+            Some(b) => {
                 let q = self.boxes[r].queues.lock();
-                keys.iter().any(|k| q.head_arrival(k).is_some())
+                b.keys.iter().any(|k| q.head_arrival(k).is_some())
             }
             None => false,
         });
         if live {
             return;
         }
+        // Per-call waiters on a gone source unstick themselves via the
+        // gone-check in `wait_heads`; let them.
+        let self_resolving = w.blocked.iter().any(|e| {
+            e.as_ref().is_some_and(|b| {
+                b.call
+                    && b.deadline.is_some()
+                    && b.keys.iter().any(|&(s, _)| w.done[s] || w.crashed[s])
+            })
+        });
+        if self_resolving {
+            return;
+        }
+        // Earliest-deadline election among parked ranks of the given kind.
+        // Deadlines are virtual, so the choice is deterministic; ties break
+        // by rank number.
+        let elect = |w: &WaitState, call: bool| -> Option<usize> {
+            w.blocked
+                .iter()
+                .enumerate()
+                .filter_map(|(r, e)| {
+                    e.as_ref()
+                        .filter(|b| b.call == call)
+                        .and_then(|b| b.deadline)
+                        .map(|d| (d, r))
+                })
+                .min_by(|a, b| a.partial_cmp(b).expect("NaN deadline"))
+                .map(|(_, r)| r)
+        };
+        let any_crashed = w.crashed.iter().any(|&c| c);
+        let winner = elect(w, true).or_else(|| {
+            if any_crashed {
+                // A crashed rank explains the blockage outright: abort with
+                // the rank-failure verdict instead of electing a machine-
+                // wide timeout that would burn the full deadline first.
+                None
+            } else {
+                elect(w, false)
+            }
+        });
+        if let Some(r) = winner {
+            w.elected = Some(r);
+            self.boxes[r].signal.notify_all();
+            return;
+        }
+        // Classify *before* declaring deadlock: when a crashed rank is in
+        // the picture, every live rank being blocked is the expected
+        // consequence of the rank failure (the dead rank holds undelivered
+        // sends), not a protocol bug — the verdict must be a rank failure,
+        // never a spurious deadlock.
         use std::fmt::Write;
-        let mut diag = String::from(
-            "mpsim deadlock: every rank is finished or blocked in recv \
-             with no matching message in flight\n",
-        );
+        let mut diag = if any_crashed {
+            String::from(
+                "mpsim rank failure: a crashed rank holds undelivered sends and \
+                 every surviving rank is finished or blocked on them\n",
+            )
+        } else {
+            String::from(
+                "mpsim deadlock: every rank is finished or blocked in recv \
+                 with no matching message in flight\n",
+            )
+        };
         for (r, entry) in w.blocked.iter().enumerate() {
+            if w.crashed[r] {
+                let _ = writeln!(diag, "  rank {r} crashed");
+                continue;
+            }
             match entry {
-                Some(keys) => {
-                    let list = keys
+                Some(b) => {
+                    let list = b
+                        .keys
                         .iter()
                         .map(|(s, t)| format!("(src={s}, tag={t})"))
                         .collect::<Vec<_>>()
@@ -171,7 +337,11 @@ impl Shared {
                 }
             }
         }
-        *self.deadlock.lock() = Some(diag);
+        *self.abort_reason.lock() = Some(if any_crashed {
+            AbortReason::RankFailure(diag)
+        } else {
+            AbortReason::Deadlock(diag)
+        });
         self.failed.store(true, Ordering::SeqCst);
         for b in &self.boxes {
             b.signal.notify_all();
@@ -183,14 +353,103 @@ impl Shared {
     fn mark_done(&self, r: usize) {
         let mut w = self.waiting.lock();
         w.done[r] = true;
-        self.deadlock_scan(&w);
+        self.deadlock_scan(&mut w);
     }
+}
+
+/// Install (once, process-wide) a panic hook that silences the machine's
+/// internal unwind sentinels. Ranks crash, time out, and abort by panicking
+/// with typed payloads that the machine always catches; without this filter
+/// every injected fault would spray "thread panicked" noise and backtraces
+/// on stderr. Any other panic payload falls through to the previous hook
+/// untouched.
+fn install_sentinel_panic_filter() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            let sentinel = p.is::<PeerAborted>()
+                || p.is::<DeadlockAbort>()
+                || p.is::<StalledOnCrash>()
+                || p.is::<RankCrashed>()
+                || p.is::<TimeoutAbort>();
+            if !sentinel {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// Panic payload used to abort ranks that are blocked on a peer which
 /// panicked or returned an error. Filtered out when the machine picks which
 /// panic to propagate.
 struct PeerAborted;
+
+/// Panic payload used to unwind ranks parked in a genuine deadlock; the
+/// machine converts it back into the legacy `String` diagnostic panic (or a
+/// [`RunVerdict::Deadlocked`] under `run_verdict`).
+struct DeadlockAbort;
+
+/// Panic payload used to unwind ranks that are provably blocked on a
+/// crashed rank's undelivered sends. The machine reports the run as
+/// [`RunVerdict::RankFailed`], never as a deadlock.
+struct StalledOnCrash;
+
+/// Panic payload raised by a rank the fault plan crashes. Caught by the
+/// machine and turned into a [`RunVerdict::RankFailed`].
+struct RankCrashed {
+    at_s: f64,
+}
+
+/// Panic payload raised by a blocking receive that exceeded the
+/// machine-wide [`Machine::recv_timeout`]. Caught by the machine and turned
+/// into a [`RunVerdict::TimedOut`].
+struct TimeoutAbort {
+    src: usize,
+    tag: u64,
+    waited_s: f64,
+}
+
+/// This rank's view of the machine's [`FaultPlan`], compiled once at rank
+/// start so the per-operation checks are cheap.
+#[derive(Default)]
+struct RankFaults {
+    /// Earliest virtual time at which this rank crashes.
+    crash_at: Option<f64>,
+    /// Earliest send ordinal (1-based) at which this rank crashes.
+    crash_on_send: Option<u64>,
+    /// Extra in-network delay (seconds) per destination rank.
+    delay_out: HashMap<usize, f64>,
+    /// Destinations whose messages are delivered twice.
+    dup_out: HashSet<usize>,
+    /// Sends attempted so far (for `crash_on_send`).
+    sends: u64,
+}
+
+impl RankFaults {
+    fn compile(plan: &FaultPlan, rank: usize, model: &CostModel) -> Self {
+        let mut f = RankFaults::default();
+        for fault in &plan.faults {
+            match *fault {
+                Fault::CrashAt { rank: r, at_s } if r == rank => {
+                    f.crash_at = Some(f.crash_at.map_or(at_s, |t: f64| t.min(at_s)));
+                }
+                Fault::CrashOnSend { rank: r, nth } if r == rank => {
+                    f.crash_on_send = Some(f.crash_on_send.map_or(nth, |k: u64| k.min(nth)));
+                }
+                Fault::DelayLink { src, dst, alphas } if src == rank => {
+                    *f.delay_out.entry(dst).or_insert(0.0) += alphas * model.alpha_s;
+                }
+                Fault::DuplicateLink { src, dst } if src == rank => {
+                    f.dup_out.insert(dst);
+                }
+                _ => {}
+            }
+        }
+        f
+    }
+}
 
 /// Per-rank execution statistics (virtual time and counters).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -268,6 +527,12 @@ pub struct Rank {
     /// `Rank` never leaves its own thread.
     trace: bool,
     events: RefCell<Vec<SpanEvent>>,
+    /// Compiled view of the machine's fault plan for this rank.
+    faults: RankFaults,
+    /// Machine-wide default receive deadline (virtual seconds), applied by
+    /// every blocking receive/wait; `None` leaves lost-message detection to
+    /// the deadlock scanner alone.
+    recv_timeout: Option<f64>,
 }
 
 impl Rank {
@@ -298,6 +563,7 @@ impl Rank {
         self.clock += dt;
         self.compute_s += dt;
         self.flops += flops;
+        self.maybe_crash();
     }
 
     /// [`Rank::compute`] plus an attributed [`SpanEvent`] (when event
@@ -345,6 +611,49 @@ impl Rank {
     pub fn advance(&mut self, seconds: f64) {
         self.clock += seconds;
         self.compute_s += seconds;
+        self.maybe_crash();
+    }
+
+    /// Crash this rank now if its fault plan schedules a crash at or before
+    /// the current virtual clock. Called at operation boundaries, so the
+    /// crash point is a deterministic function of virtual time.
+    #[inline]
+    fn maybe_crash(&self) {
+        if let Some(t) = self.faults.crash_at {
+            if self.clock >= t {
+                self.crash_now();
+            }
+        }
+    }
+
+    /// Count a send attempt and crash if the plan kills this rank on it.
+    #[inline]
+    fn note_send_attempt(&mut self) {
+        self.faults.sends += 1;
+        if let Some(n) = self.faults.crash_on_send {
+            if self.faults.sends >= n {
+                self.crash_now();
+            }
+        }
+    }
+
+    /// Execute an injected crash: mark the rank dead in the wait registry
+    /// (so the blockage scanner can attribute stalls to it), wake every
+    /// parked peer, and unwind with the crash sentinel. The rank's already
+    /// posted messages stay deliverable — a crash loses future sends only.
+    fn crash_now(&self) -> ! {
+        self.shared.faults.crashes.fetch_add(1, Ordering::Relaxed);
+        self.push_span(Phase::Fault, None, self.clock, 0.0);
+        {
+            let mut w = self.shared.waiting.lock();
+            w.crashed[self.rank] = true;
+            w.blocked[self.rank] = None;
+            self.shared.deadlock_scan(&mut w);
+        }
+        for b in &self.shared.boxes {
+            b.signal.notify_all();
+        }
+        std::panic::panic_any(RankCrashed { at_s: self.clock });
     }
 
     /// Report a tracked allocation (fronts, factor blocks).
@@ -373,6 +682,40 @@ impl Rank {
         mbox.signal.notify_all();
     }
 
+    /// Post `payload` applying this rank's outgoing link faults: per-link
+    /// in-network delay shifts the arrival (the sender's clock is
+    /// untouched), and a duplicated link posts a second copy at the same
+    /// arrival. Returns the (possibly delayed) arrival time.
+    fn deliver<T: Payload>(
+        &self,
+        dst: usize,
+        tag: u64,
+        payload: T,
+        arrival: f64,
+        bytes: usize,
+    ) -> f64 {
+        let mut arrival = arrival;
+        if let Some(&extra) = self.faults.delay_out.get(&dst) {
+            if extra > 0.0 {
+                arrival += extra;
+                self.shared
+                    .faults
+                    .delayed_msgs
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let dup = self.faults.dup_out.contains(&dst);
+        if dup {
+            self.post(dst, tag, Box::new(payload.clone()), arrival, bytes);
+            self.shared
+                .faults
+                .duplicated_msgs
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.post(dst, tag, Box::new(payload), arrival, bytes);
+        arrival
+    }
+
     /// Send `payload` to rank `dst` with `tag`. The sender is occupied for
     /// `α + bytes·β` virtual seconds (store-and-forward injection); the
     /// message becomes available to the receiver at the sender's clock after
@@ -380,6 +723,8 @@ impl Rank {
     pub fn send<T: Payload>(&mut self, dst: usize, tag: u64, payload: T) {
         assert!(dst < self.nranks, "send to rank {dst} of {}", self.nranks);
         assert_ne!(dst, self.rank, "self-sends are not modelled; restructure");
+        self.maybe_crash();
+        self.note_send_attempt();
         let bytes = payload.nbytes();
         let m = &self.shared.model;
         let dt = m.alpha_s + bytes as f64 * m.beta_s_per_byte;
@@ -388,7 +733,7 @@ impl Rank {
         self.comm_s += dt;
         self.bytes_sent += bytes as u64;
         self.msgs_sent += 1;
-        self.post(dst, tag, Box::new(payload), self.clock, bytes);
+        self.deliver(dst, tag, payload, self.clock, bytes);
     }
 
     /// Nonblocking send: the sender is occupied for `α` only; the `bytes·β`
@@ -398,6 +743,8 @@ impl Rank {
     pub fn isend<T: Payload>(&mut self, dst: usize, tag: u64, payload: T) -> SendReq {
         assert!(dst < self.nranks, "isend to rank {dst} of {}", self.nranks);
         assert_ne!(dst, self.rank, "self-sends are not modelled; restructure");
+        self.maybe_crash();
+        self.note_send_attempt();
         let bytes = payload.nbytes();
         let m = &self.shared.model;
         let transfer = bytes as f64 * m.beta_s_per_byte;
@@ -407,8 +754,7 @@ impl Rank {
         self.comm_hidden_s += transfer;
         self.bytes_sent += bytes as u64;
         self.msgs_sent += 1;
-        let arrival = self.clock + transfer;
-        self.post(dst, tag, Box::new(payload), arrival, bytes);
+        let arrival = self.deliver(dst, tag, payload, self.clock + transfer, bytes);
         SendReq {
             complete_at: arrival,
         }
@@ -434,24 +780,112 @@ impl Rank {
     /// wildcard receive, which keeps execution and floating point
     /// deterministic.
     pub fn recv<T: Payload>(&mut self, src: usize, tag: u64) -> T {
-        let (data, arrival) = self.recv_raw(src, tag);
+        self.maybe_crash();
+        match self.recv_with_deadline(src, tag, self.recv_timeout, false) {
+            Ok(v) => v,
+            Err(RecvError::TimedOut { src, tag, waited }) => {
+                // Machine-wide deadline exceeded: abort the whole run with
+                // the timeout sentinel; the machine reports a structured
+                // `RunVerdict::TimedOut`.
+                std::panic::panic_any(TimeoutAbort {
+                    src,
+                    tag,
+                    waited_s: waited,
+                })
+            }
+        }
+    }
+
+    /// [`Rank::recv`] with an explicit per-call deadline: if no matching
+    /// message is available within `timeout_s` virtual seconds (the head
+    /// arrival lies past the deadline, or the source crashed/finished
+    /// without posting one), return [`RecvError::TimedOut`] instead of
+    /// relying on the deadlock detector. The clock advances to the deadline
+    /// — the rank did wait that long — so callers can retry or fail over
+    /// deterministically.
+    pub fn recv_deadline<T: Payload>(
+        &mut self,
+        src: usize,
+        tag: u64,
+        timeout_s: f64,
+    ) -> Result<T, RecvError> {
+        self.maybe_crash();
+        self.recv_with_deadline(src, tag, Some(timeout_s), true)
+    }
+
+    fn recv_with_deadline<T: Payload>(
+        &mut self,
+        src: usize,
+        tag: u64,
+        timeout: Option<f64>,
+        call: bool,
+    ) -> Result<T, RecvError> {
+        let deadline = timeout.map(|t| self.clock + t);
+        let arrival = match self.wait_heads(std::slice::from_ref(&(src, tag)), deadline, call) {
+            Ok(arrivals) => arrivals[0],
+            Err(e) => return Err(self.note_timeout(e, deadline.expect("timeout without deadline"))),
+        };
+        if let Some(d) = deadline {
+            if arrival > d {
+                let e = RecvError::TimedOut {
+                    src,
+                    tag,
+                    waited: d - self.clock,
+                };
+                return Err(self.note_timeout(e, d));
+            }
+        }
+        let (data, arrival) = self.pop_head(src, tag);
         if arrival > self.clock {
             self.push_span(Phase::Wait, None, self.clock, arrival - self.clock);
             self.comm_s += arrival - self.clock;
             self.clock = arrival;
         }
-        self.downcast(data, src, tag)
+        Ok(self.downcast(data, src, tag))
+    }
+
+    /// Account a timed-out wait: the rank virtually waited until the
+    /// deadline, so the clock advances there (as a recorded wait), a fault
+    /// marker lands on the timeline, and the machine-wide tally is bumped.
+    fn note_timeout(&mut self, e: RecvError, deadline: f64) -> RecvError {
+        self.shared.faults.timeouts.fetch_add(1, Ordering::Relaxed);
+        if deadline > self.clock {
+            let waited = deadline - self.clock;
+            self.push_span(Phase::Wait, None, self.clock, waited);
+            self.comm_s += waited;
+            self.clock = deadline;
+        }
+        self.push_span(Phase::Fault, None, self.clock, 0.0);
+        e
     }
 
     /// Block (physically, without advancing the virtual clock) until a
     /// message from `(src, tag)` is posted; return its virtual arrival time
     /// without consuming it.
     pub fn probe(&self, src: usize, tag: u64) -> f64 {
-        let arrival = self.wait_heads(std::slice::from_ref(&(src, tag)))[0];
+        self.maybe_crash();
+        let deadline = self.recv_timeout.map(|t| self.clock + t);
+        let arrival = match self.wait_heads(std::slice::from_ref(&(src, tag)), deadline, false) {
+            Ok(arrivals) => arrivals[0],
+            Err(e) => self.timeout_abort(e),
+        };
         // Zero-duration marker at the probed arrival: probes consume no
         // virtual time, but the trace shows what the scheduler saw coming.
         self.push_span(Phase::Wait, None, arrival, 0.0);
         arrival
+    }
+
+    /// Abort the run on a machine-wide receive deadline from a `&self`
+    /// context (probe paths): tally it and unwind with the sentinel.
+    fn timeout_abort(&self, e: RecvError) -> ! {
+        self.shared.faults.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.push_span(Phase::Fault, None, self.clock, 0.0);
+        let RecvError::TimedOut { src, tag, waited } = e;
+        std::panic::panic_any(TimeoutAbort {
+            src,
+            tag,
+            waited_s: waited,
+        })
     }
 
     /// Block (physically, without advancing the virtual clock) until every
@@ -459,7 +893,12 @@ impl Rank {
     /// arrival times in `keys` order. This is the primitive that event-
     /// driven schedulers use to make decisions from virtual time only.
     pub fn probe_all(&self, keys: &[(usize, u64)]) -> Vec<f64> {
-        let arrivals = self.wait_heads(keys);
+        self.maybe_crash();
+        let deadline = self.recv_timeout.map(|t| self.clock + t);
+        let arrivals = match self.wait_heads(keys, deadline, false) {
+            Ok(arrivals) => arrivals,
+            Err(e) => self.timeout_abort(e),
+        };
         if let Some(next) = arrivals.iter().copied().reduce(f64::min) {
             // One marker per poll, at the nearest head arrival (the
             // scheduler's event horizon).
@@ -489,7 +928,12 @@ impl Rank {
     /// future.
     pub fn wait_any<T: Payload>(&mut self, keys: &[(usize, u64)]) -> (usize, T) {
         assert!(!keys.is_empty(), "wait_any on an empty key set");
-        let arrivals = self.wait_heads(keys);
+        self.maybe_crash();
+        let deadline = self.recv_timeout.map(|t| self.clock + t);
+        let arrivals = match self.wait_heads(keys, deadline, false) {
+            Ok(arrivals) => arrivals,
+            Err(e) => self.timeout_abort(e),
+        };
         let mut best = 0usize;
         for i in 1..keys.len() {
             let better =
@@ -499,6 +943,15 @@ impl Rank {
             }
         }
         let (src, tag) = keys[best];
+        if let Some(d) = deadline {
+            if arrivals[best] > d {
+                self.timeout_abort(RecvError::TimedOut {
+                    src,
+                    tag,
+                    waited: d - self.clock,
+                });
+            }
+        }
         let (data, arrival) = self.pop_head(src, tag);
         if arrival > self.clock {
             self.push_span(Phase::Wait, None, self.clock, arrival - self.clock);
@@ -530,20 +983,17 @@ impl Rank {
         (msg.data, msg.arrival)
     }
 
-    fn recv_raw(&mut self, src: usize, tag: u64) -> (Box<dyn Any + Send>, f64) {
-        self.wait_heads(std::slice::from_ref(&(src, tag)));
-        self.pop_head(src, tag)
-    }
-
-    /// Abort this rank because the run failed elsewhere: re-raise a
-    /// deadlock diagnostic if one was recorded, otherwise unwind with the
-    /// `PeerAborted` sentinel (filtered out by the machine).
+    /// Abort this rank because the run failed elsewhere: re-raise the
+    /// recorded abort diagnostic (deadlock or crash-induced stall) as the
+    /// matching sentinel, otherwise unwind with `PeerAborted` (filtered out
+    /// by the machine).
     fn check_failed(&self) {
         if self.shared.failed.load(Ordering::SeqCst) {
-            if let Some(diag) = self.shared.deadlock.lock().clone() {
-                std::panic::panic_any(diag);
+            match &*self.shared.abort_reason.lock() {
+                Some(AbortReason::Deadlock(_)) => std::panic::panic_any(DeadlockAbort),
+                Some(AbortReason::RankFailure(_)) => std::panic::panic_any(StalledOnCrash),
+                None => std::panic::panic_any(PeerAborted),
             }
-            std::panic::panic_any(PeerAborted);
         }
     }
 
@@ -551,7 +1001,24 @@ impl Rank {
     /// arrivals in `keys` order. Blocks the OS thread only — the virtual
     /// clock is untouched. All blocking receives funnel through here so the
     /// deadlock detector sees every parked rank.
-    fn wait_heads(&self, keys: &[(usize, u64)]) -> Vec<f64> {
+    ///
+    /// A *per-call* deadline (`call == true`) fails fast: a missing head
+    /// whose source rank has crashed or finished (and whose queue is empty)
+    /// is provably never coming, so the wait returns
+    /// [`RecvError::TimedOut`] immediately — the caller fails over and the
+    /// outcome is virtually deterministic (the clock jumps to the fixed
+    /// deadline either way). A *machine-wide* deadline never self-resolves:
+    /// the rank parks and the deadlock scanner decides at quiescence, when
+    /// every parked clock is frozen — otherwise the abort would race
+    /// still-running peers and the failed attempt's clocks (and makespan)
+    /// would depend on host timing. A rank elected by the scanner returns
+    /// [`RecvError::TimedOut`] on its smallest missing `(src, tag)` key.
+    fn wait_heads(
+        &self,
+        keys: &[(usize, u64)],
+        deadline: Option<f64>,
+        call: bool,
+    ) -> Result<Vec<f64>, RecvError> {
         for &(src, _) in keys {
             assert!(src < self.nranks, "recv from rank {src} of {}", self.nranks);
         }
@@ -565,15 +1032,54 @@ impl Rank {
                     .filter(|k| q.head_arrival(k).is_none())
                     .collect();
                 if missing.is_empty() {
-                    return keys
+                    return Ok(keys
                         .iter()
                         .map(|k| q.head_arrival(k).expect("head present"))
-                        .collect();
+                        .collect());
                 }
                 missing
             };
             self.check_failed();
-            self.register_blocked(&missing);
+            if let Some(d) = deadline {
+                let elected = {
+                    let mut w = self.shared.waiting.lock();
+                    let e = w.elected == Some(self.rank);
+                    if e {
+                        w.elected = None;
+                    }
+                    e
+                };
+                if elected {
+                    let &(src, tag) = missing.iter().min().expect("elected with no missing key");
+                    return Err(RecvError::TimedOut {
+                        src,
+                        tag,
+                        waited: d - self.clock,
+                    });
+                }
+            }
+            if let (Some(d), true) = (deadline, call) {
+                // Read the gone flags first: a post that happened before
+                // the source stopped is visible once the flag is.
+                let gone: Vec<bool> = {
+                    let w = self.shared.waiting.lock();
+                    missing
+                        .iter()
+                        .map(|&(s, _)| w.done[s] || w.crashed[s])
+                        .collect()
+                };
+                let q = mbox.queues.lock();
+                for (k, &g) in missing.iter().zip(&gone) {
+                    if g && q.head_arrival(k).is_none() {
+                        return Err(RecvError::TimedOut {
+                            src: k.0,
+                            tag: k.1,
+                            waited: d - self.clock,
+                        });
+                    }
+                }
+            }
+            self.register_blocked(&missing, deadline, call);
             {
                 let mut q = mbox.queues.lock();
                 let still_missing = missing.iter().any(|k| q.head_arrival(k).is_none());
@@ -592,10 +1098,14 @@ impl Rank {
     /// and unregistering a rank sends nothing, so if the scan finds no
     /// satisfying message the blockage cannot resolve — fail the run with a
     /// per-rank diagnostic instead of hanging.
-    fn register_blocked(&self, missing: &[(usize, u64)]) {
+    fn register_blocked(&self, missing: &[(usize, u64)], deadline: Option<f64>, call: bool) {
         let mut w = self.shared.waiting.lock();
-        w.blocked[self.rank] = Some(missing.to_vec());
-        self.shared.deadlock_scan(&w);
+        w.blocked[self.rank] = Some(Blocked {
+            keys: missing.to_vec(),
+            deadline,
+            call,
+        });
+        self.shared.deadlock_scan(&mut w);
     }
 
     fn unregister_blocked(&self) {
@@ -630,6 +1140,8 @@ pub struct RunReport<R> {
     pub events: Vec<Vec<SpanEvent>>,
     /// Simulated makespan: the maximum final virtual clock (seconds).
     pub makespan_s: f64,
+    /// Injected-fault activity (all zero without a [`FaultPlan`]).
+    pub fault_counts: FaultCounts,
 }
 
 impl<R> RunReport<R> {
@@ -663,17 +1175,107 @@ impl<R> RunReport<R> {
     }
 }
 
+/// Structured outcome of a [`Machine::run_verdict`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunVerdict {
+    /// Every rank ran its program to completion.
+    Completed,
+    /// One or more ranks crashed under the fault plan; surviving ranks
+    /// either completed or were unwound once provably stuck on the dead
+    /// ranks' undelivered sends. `detail` has a per-rank diagnostic.
+    RankFailed {
+        /// Crashed ranks, ascending.
+        ranks: Vec<usize>,
+        /// Per-rank diagnostic text.
+        detail: String,
+    },
+    /// A blocking receive exceeded the machine-wide receive deadline (and
+    /// no rank crashed). Reported for the lowest-numbered timed-out rank.
+    TimedOut {
+        /// The rank whose receive timed out.
+        rank: usize,
+        /// Source rank it was matching.
+        src: usize,
+        /// Message tag it was matching.
+        tag: u64,
+        /// Virtual seconds it waited.
+        waited_s: f64,
+    },
+    /// Protocol deadlock: every rank finished or blocked with no matching
+    /// message in flight and no crashed rank to blame.
+    Deadlocked {
+        /// Per-rank diagnostic text.
+        detail: String,
+    },
+}
+
+impl RunVerdict {
+    /// True for [`RunVerdict::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunVerdict::Completed)
+    }
+}
+
+/// Report of a fault-aware run ([`Machine::run_verdict`]): per-rank results
+/// where available, statistics for every rank (including crashed ones, up
+/// to the crash point), and the structured verdict.
+#[derive(Debug)]
+pub struct VerdictReport<R> {
+    /// The structured outcome.
+    pub verdict: RunVerdict,
+    /// Per-rank return values; `None` for ranks that crashed, timed out or
+    /// were unwound.
+    pub results: Vec<Option<R>>,
+    /// Per-rank statistics (crashed ranks report up to the crash point).
+    pub stats: Vec<RankStats>,
+    /// Per-rank recorded events (empty unless [`Machine::trace_events`]).
+    pub events: Vec<Vec<SpanEvent>>,
+    /// Injected-fault activity over the run.
+    pub fault_counts: FaultCounts,
+    /// Maximum final virtual clock across ranks (seconds).
+    pub makespan_s: f64,
+}
+
 /// A simulated message-passing machine with a fixed rank count and cost
 /// model.
 pub struct Machine {
     nranks: usize,
     model: CostModel,
     trace: bool,
+    plan: FaultPlan,
+    recv_timeout: Option<f64>,
 }
 
-enum Outcome<R, E> {
-    Done(R, RankStats, Vec<SpanEvent>),
+/// How one rank's program ended.
+enum RankEnd<R, E> {
+    Done(R),
     Errored(E),
+    Crashed {
+        at_s: f64,
+    },
+    TimedOut {
+        src: usize,
+        tag: u64,
+        waited_s: f64,
+    },
+    /// Unwound by a peer abort, deadlock, or crash-induced stall.
+    Stalled,
+}
+
+struct RankSlot<R, E> {
+    end: RankEnd<R, E>,
+    stats: RankStats,
+    events: Vec<SpanEvent>,
+}
+
+/// Everything `run_inner` learns about a run, before any policy (panic
+/// vs. error vs. verdict) is applied.
+struct InnerRun<R, E> {
+    slots: Vec<RankSlot<R, E>>,
+    /// First real (non-sentinel) panic, to be propagated.
+    panic: Option<Box<dyn Any + Send>>,
+    abort: Option<AbortReason>,
+    counts: FaultCounts,
 }
 
 impl Machine {
@@ -684,6 +1286,8 @@ impl Machine {
             nranks,
             model,
             trace: false,
+            plan: FaultPlan::new(),
+            recv_timeout: None,
         }
     }
 
@@ -692,6 +1296,30 @@ impl Machine {
     /// — recording allocates per event but never perturbs virtual clocks.
     pub fn trace_events(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Apply a [`FaultPlan`] to every run on this machine. Faults fire at
+    /// deterministic virtual points, so repeated runs reproduce bitwise.
+    /// Use [`Machine::run_verdict`] to observe the structured outcome;
+    /// under `run`/`run_result` an injected crash or timeout panics with a
+    /// diagnostic message.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Set a machine-wide receive deadline (virtual seconds): every
+    /// blocking receive/wait that cannot be satisfied within it — the
+    /// matching head arrives later, or its source crashed/finished without
+    /// sending — aborts the run with a [`RunVerdict::TimedOut`] instead of
+    /// waiting for the deadlock scanner. Derive a safe value from the cost
+    /// model with [`CostModel::recv_timeout_for`]; it must dominate every
+    /// legitimate wait (load imbalance included) or healthy runs will be
+    /// misreported as timed out.
+    pub fn recv_timeout(mut self, timeout_s: f64) -> Self {
+        assert!(timeout_s > 0.0, "recv_timeout must be positive");
+        self.recv_timeout = Some(timeout_s);
         self
     }
 
@@ -713,21 +1341,170 @@ impl Machine {
     /// rank returns `Err`, peers blocked on its messages are unwound
     /// internally (their partial results are discarded) and the
     /// lowest-numbered rank's error is returned. Real panics still
-    /// propagate as panics.
+    /// propagate as panics, and a protocol deadlock panics with its
+    /// diagnostic string. Injected crashes and timeouts (only possible with
+    /// a [`FaultPlan`] or [`Machine::recv_timeout`]) also panic — use
+    /// [`Machine::run_verdict`] for fault-injection runs.
     pub fn run_result<R, E, F>(&self, f: F) -> Result<RunReport<R>, E>
     where
         R: Send,
         E: Send,
         F: Fn(&mut Rank) -> Result<R, E> + Send + Sync,
     {
+        let inner = self.run_inner(f);
+        if let Some(p) = inner.panic {
+            std::panic::resume_unwind(p);
+        }
+        if let Some(AbortReason::Deadlock(diag)) = inner.abort {
+            // Legacy contract: deadlocks abort with the diagnostic string
+            // as the panic payload.
+            std::panic::panic_any(diag);
+        }
+        let mut out = Vec::with_capacity(self.nranks);
+        let mut stats = Vec::with_capacity(self.nranks);
+        let mut events = Vec::with_capacity(self.nranks);
+        let mut first_err: Option<E> = None;
+        let mut fault_note: Option<String> = None;
+        for (r, slot) in inner.slots.into_iter().enumerate() {
+            match slot.end {
+                RankEnd::Done(v) => {
+                    out.push(v);
+                    stats.push(slot.stats);
+                    events.push(slot.events);
+                }
+                RankEnd::Errored(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                RankEnd::Crashed { at_s } => {
+                    fault_note.get_or_insert(format!(
+                        "rank {r} crashed at t={at_s:.6}s under the injected fault plan"
+                    ));
+                }
+                RankEnd::TimedOut { src, tag, waited_s } => {
+                    fault_note.get_or_insert(format!(
+                        "rank {r} timed out after {waited_s:.6}s waiting on (src={src}, tag={tag})"
+                    ));
+                }
+                RankEnd::Stalled => {}
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if let Some(note) = fault_note {
+            panic!("mpsim run aborted by injected fault: {note}; use Machine::run_verdict for fault-injection runs");
+        }
+        assert_eq!(
+            out.len(),
+            self.nranks,
+            "rank finished without result despite no panic or error"
+        );
+        let makespan = stats.iter().fold(0.0f64, |m, s| m.max(s.clock_s));
+        Ok(RunReport {
+            results: out,
+            stats,
+            events,
+            makespan_s: makespan,
+            fault_counts: inner.counts,
+        })
+    }
+
+    /// Run an SPMD program under the machine's fault plan and receive
+    /// deadline, and report the structured [`RunVerdict`] instead of
+    /// panicking: injected crashes become [`RunVerdict::RankFailed`],
+    /// exceeded deadlines [`RunVerdict::TimedOut`], unresolvable blockage
+    /// with no crashed rank [`RunVerdict::Deadlocked`]. Real panics in the
+    /// program still propagate.
+    pub fn run_verdict<R, F>(&self, f: F) -> VerdictReport<R>
+    where
+        R: Send,
+        F: Fn(&mut Rank) -> R + Send + Sync,
+    {
+        let inner = self.run_inner::<R, std::convert::Infallible, _>(|rank| Ok(f(rank)));
+        if let Some(p) = inner.panic {
+            std::panic::resume_unwind(p);
+        }
+        let mut results = Vec::with_capacity(self.nranks);
+        let mut stats = Vec::with_capacity(self.nranks);
+        let mut events = Vec::with_capacity(self.nranks);
+        let mut crashed: Vec<usize> = Vec::new();
+        let mut crash_detail = String::new();
+        let mut timeout: Option<(usize, usize, u64, f64)> = None;
+        for (r, slot) in inner.slots.into_iter().enumerate() {
+            stats.push(slot.stats);
+            events.push(slot.events);
+            match slot.end {
+                RankEnd::Done(v) => results.push(Some(v)),
+                RankEnd::Errored(e) => match e {},
+                RankEnd::Crashed { at_s } => {
+                    use std::fmt::Write;
+                    crashed.push(r);
+                    let _ = writeln!(crash_detail, "rank {r} crashed at t={at_s:.6}s");
+                    results.push(None);
+                }
+                RankEnd::TimedOut { src, tag, waited_s } => {
+                    if timeout.is_none() {
+                        timeout = Some((r, src, tag, waited_s));
+                    }
+                    results.push(None);
+                }
+                RankEnd::Stalled => results.push(None),
+            }
+        }
+        let verdict = if !crashed.is_empty() {
+            if let Some(AbortReason::RankFailure(diag)) = &inner.abort {
+                crash_detail.push_str(diag);
+            }
+            RunVerdict::RankFailed {
+                ranks: crashed,
+                detail: crash_detail,
+            }
+        } else if let Some((rank, src, tag, waited_s)) = timeout {
+            RunVerdict::TimedOut {
+                rank,
+                src,
+                tag,
+                waited_s,
+            }
+        } else if let Some(AbortReason::Deadlock(detail)) = inner.abort {
+            RunVerdict::Deadlocked { detail }
+        } else {
+            RunVerdict::Completed
+        };
+        let makespan = stats.iter().fold(0.0f64, |m, s| m.max(s.clock_s));
+        VerdictReport {
+            verdict,
+            results,
+            stats,
+            events,
+            fault_counts: inner.counts,
+            makespan_s: makespan,
+        }
+    }
+
+    /// The shared runner: spawn one OS thread per rank, classify how each
+    /// rank ended, and collect statistics/events for every rank — policy
+    /// (panic, `Err`, or verdict) is applied by the public entry points.
+    fn run_inner<R, E, F>(&self, f: F) -> InnerRun<R, E>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(&mut Rank) -> Result<R, E> + Send + Sync,
+    {
+        install_sentinel_panic_filter();
         let shared = Arc::new(Shared {
             boxes: (0..self.nranks).map(|_| Mailbox::default()).collect(),
             failed: AtomicBool::new(false),
             waiting: Mutex::new(WaitState {
-                blocked: vec![None; self.nranks],
+                blocked: (0..self.nranks).map(|_| None).collect(),
                 done: vec![false; self.nranks],
+                crashed: vec![false; self.nranks],
+                elected: None,
             }),
-            deadlock: Mutex::new(None),
+            abort_reason: Mutex::new(None),
+            faults: FaultTallies::default(),
             model: self.model,
         });
         let abort = |shared: &Shared| {
@@ -736,8 +1513,9 @@ impl Machine {
                 b.signal.notify_all();
             }
         };
-        let mut slots: Vec<Option<Outcome<R, E>>> = (0..self.nranks).map(|_| None).collect();
+        let mut slots: Vec<Option<RankSlot<R, E>>> = (0..self.nranks).map(|_| None).collect();
         let fref = &f;
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
         std::thread::scope(|scope| {
             let handles: Vec<_> = slots
                 .iter_mut()
@@ -763,38 +1541,62 @@ impl Machine {
                                 mem_peak: 0,
                                 trace: self.trace,
                                 events: RefCell::new(Vec::new()),
+                                faults: RankFaults::compile(&self.plan, r, &self.model),
+                                recv_timeout: self.recv_timeout,
                             };
                             let out =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     fref(&mut rank)
                                 }));
-                            match out {
+                            let end = match out {
                                 Ok(Ok(v)) => {
-                                    let stats = rank.stats();
-                                    *slot = Some(Outcome::Done(v, stats, rank.take_events()));
                                     // This rank will never send again; peers
                                     // blocked on it may now be provably
                                     // deadlocked.
                                     shared.mark_done(r);
-                                    Ok(())
+                                    RankEnd::Done(v)
                                 }
                                 Ok(Err(e)) => {
-                                    *slot = Some(Outcome::Errored(e));
                                     abort(&shared);
                                     shared.mark_done(r);
-                                    Ok(())
+                                    RankEnd::Errored(e)
                                 }
                                 Err(p) => {
-                                    abort(&shared);
-                                    shared.mark_done(r);
-                                    Err(p)
+                                    if let Some(c) = p.downcast_ref::<RankCrashed>() {
+                                        // The crash registry was updated in
+                                        // `crash_now`; peers keep running
+                                        // (or time out / stall on us).
+                                        RankEnd::Crashed { at_s: c.at_s }
+                                    } else if let Some(t) = p.downcast_ref::<TimeoutAbort>() {
+                                        abort(&shared);
+                                        shared.mark_done(r);
+                                        RankEnd::TimedOut {
+                                            src: t.src,
+                                            tag: t.tag,
+                                            waited_s: t.waited_s,
+                                        }
+                                    } else if p.is::<PeerAborted>()
+                                        || p.is::<DeadlockAbort>()
+                                        || p.is::<StalledOnCrash>()
+                                    {
+                                        RankEnd::Stalled
+                                    } else {
+                                        abort(&shared);
+                                        shared.mark_done(r);
+                                        return Err(p);
+                                    }
                                 }
-                            }
+                            };
+                            *slot = Some(RankSlot {
+                                end,
+                                stats: rank.stats(),
+                                events: rank.take_events(),
+                            });
+                            Ok(())
                         })
                         .expect("failed to spawn rank thread")
                 })
                 .collect();
-            let mut first_panic: Option<Box<dyn Any + Send>> = None;
             for h in handles {
                 match h.join() {
                     Ok(Ok(())) => {}
@@ -805,42 +1607,24 @@ impl Machine {
                     }
                 }
             }
-            if let Some(p) = first_panic {
-                std::panic::resume_unwind(p);
-            }
         });
-        let mut out = Vec::with_capacity(self.nranks);
-        let mut stats = Vec::with_capacity(self.nranks);
-        let mut events = Vec::with_capacity(self.nranks);
-        let mut first_err: Option<E> = None;
-        for slot in slots {
-            match slot {
-                Some(Outcome::Done(v, s, ev)) => {
-                    out.push(v);
-                    stats.push(s);
-                    events.push(ev);
-                }
-                Some(Outcome::Errored(e)) if first_err.is_none() => first_err = Some(e),
-                Some(Outcome::Errored(_)) => {}
-                // Peer-aborted rank: only reachable when some rank errored.
-                None => {}
-            }
+        let abort_reason = shared.abort_reason.lock().clone();
+        let counts = shared.faults.snapshot();
+        InnerRun {
+            slots: slots
+                .into_iter()
+                .map(|s| {
+                    s.unwrap_or(RankSlot {
+                        end: RankEnd::Stalled,
+                        stats: RankStats::default(),
+                        events: Vec::new(),
+                    })
+                })
+                .collect(),
+            panic: first_panic,
+            abort: abort_reason,
+            counts,
         }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        assert_eq!(
-            out.len(),
-            self.nranks,
-            "rank finished without result despite no panic or error"
-        );
-        let makespan = stats.iter().fold(0.0f64, |m, s| m.max(s.clock_s));
-        Ok(RunReport {
-            results: out,
-            stats,
-            events,
-            makespan_s: makespan,
-        })
     }
 }
 
@@ -1372,5 +2156,295 @@ mod tests {
             }
         });
         assert!(r.stats[1].queue_peak >= 5, "peak {}", r.stats[1].queue_peak);
+    }
+
+    // ---- fault injection ----
+
+    #[test]
+    fn clean_run_verdict_is_completed() {
+        let v = Machine::new(2, CostModel::zero_cost()).run_verdict(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 1, 7u64);
+            } else {
+                let got: u64 = rank.recv(0, 1);
+                assert_eq!(got, 7);
+            }
+            rank.rank()
+        });
+        assert!(v.verdict.is_completed());
+        assert_eq!(v.results, vec![Some(0), Some(1)]);
+        assert!(v.fault_counts.is_zero());
+    }
+
+    #[test]
+    fn crash_at_virtual_time_yields_rank_failed() {
+        let m = CostModel {
+            alpha_s: 1.0,
+            beta_s_per_byte: 0.0,
+            flop_time_s: 1.0,
+        };
+        let v = Machine::new(2, m)
+            .fault_plan(FaultPlan::new().crash_at(1, 5.0))
+            .run_verdict(|rank| {
+                if rank.rank() == 1 {
+                    rank.compute(10.0); // crashes at the boundary, clock >= 5
+                    rank.send(0, 1, 1u64);
+                } else {
+                    let _: u64 = rank.recv(1, 1); // never satisfied
+                }
+                rank.rank()
+            });
+        match &v.verdict {
+            RunVerdict::RankFailed { ranks, detail } => {
+                assert_eq!(ranks, &vec![1]);
+                assert!(detail.contains("rank 1 crashed"), "detail: {detail}");
+            }
+            other => panic!("expected RankFailed, got {other:?}"),
+        }
+        assert_eq!(v.results, vec![None, None]);
+        assert_eq!(v.fault_counts.crashes, 1);
+        // The crashed rank's stats cover work up to the crash point.
+        assert!(v.stats[1].clock_s >= 5.0);
+    }
+
+    #[test]
+    fn crash_on_nth_send_fires_before_that_send() {
+        let v = Machine::new(2, CostModel::zero_cost())
+            .fault_plan(FaultPlan::new().crash_on_send(0, 3))
+            .run_verdict(|rank| {
+                if rank.rank() == 0 {
+                    for i in 0..5u64 {
+                        rank.send(1, 1, i);
+                    }
+                } else {
+                    let mut got = Vec::new();
+                    for _ in 0..5 {
+                        got.push(rank.recv::<u64>(0, 1));
+                    }
+                    return got.len();
+                }
+                0
+            });
+        assert!(matches!(
+            v.verdict,
+            RunVerdict::RankFailed { ref ranks, .. } if ranks == &vec![0]
+        ));
+        // Exactly two sends escaped before the third was suppressed.
+        assert_eq!(v.stats[0].msgs_sent, 2);
+        assert_eq!(v.fault_counts.crashes, 1);
+    }
+
+    /// Regression: when every live rank is blocked but a *crashed* rank is
+    /// the one holding the undelivered sends, the verdict must be
+    /// `RankFailed` — the old all-blocked scan reported a spurious
+    /// `Deadlock` because it never distinguished crashed from live ranks.
+    #[test]
+    fn crashed_sender_is_rank_failure_not_deadlock() {
+        for nranks in [2usize, 4] {
+            let v = Machine::new(nranks, CostModel::zero_cost())
+                .fault_plan(FaultPlan::new().crash_on_send(1, 1))
+                .run_verdict(move |rank| {
+                    if rank.rank() == 1 {
+                        // First send crashes: every peer below waits forever.
+                        for dst in 0..rank.nranks() {
+                            if dst != 1 {
+                                rank.send(dst, 1, 1u64);
+                            }
+                        }
+                    } else {
+                        let _: u64 = rank.recv(1, 1);
+                    }
+                    0
+                });
+            match &v.verdict {
+                RunVerdict::RankFailed { ranks, detail } => {
+                    assert_eq!(ranks, &vec![1]);
+                    assert!(detail.contains("crashed"), "detail: {detail}");
+                }
+                other => panic!("nranks={nranks}: expected RankFailed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn messages_posted_before_a_crash_still_deliver() {
+        let v = Machine::new(2, CostModel::zero_cost())
+            .fault_plan(FaultPlan::new().crash_on_send(1, 2))
+            .run_verdict(|rank| {
+                if rank.rank() == 1 {
+                    rank.send(0, 1, 41u64); // delivered
+                    rank.send(0, 2, 42u64); // crash fires instead
+                    0
+                } else {
+                    rank.recv::<u64>(1, 1) as usize
+                }
+            });
+        // Rank 0 got the first message and finished; the crash only lost
+        // the future send.
+        assert_eq!(v.results[0], Some(41));
+        assert!(matches!(v.verdict, RunVerdict::RankFailed { .. }));
+    }
+
+    #[test]
+    fn delay_link_shifts_arrival_without_charging_sender() {
+        let m = CostModel {
+            alpha_s: 1.0,
+            beta_s_per_byte: 0.0,
+            flop_time_s: 0.0,
+        };
+        let run = |plan: FaultPlan| {
+            Machine::new(2, m).fault_plan(plan).run_verdict(|rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 1, 1u64);
+                } else {
+                    let _: u64 = rank.recv(0, 1);
+                }
+                rank.clock()
+            })
+        };
+        let base = run(FaultPlan::new());
+        let slow = run(FaultPlan::new().delay_link(0, 1, 10.0));
+        // Sender occupancy unchanged; receiver sees the message 10·α later.
+        assert_eq!(slow.results[0], base.results[0]);
+        assert_eq!(
+            slow.results[1].unwrap(),
+            base.results[1].unwrap() + 10.0 * m.alpha_s
+        );
+        assert_eq!(slow.fault_counts.delayed_msgs, 1);
+        assert_eq!(base.fault_counts.delayed_msgs, 0);
+    }
+
+    #[test]
+    fn duplicate_link_delivers_twice_and_counts() {
+        let v = Machine::new(2, CostModel::zero_cost())
+            .fault_plan(FaultPlan::new().duplicate_link(0, 1))
+            .run_verdict(|rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 1, 9u64);
+                    0
+                } else {
+                    let a: u64 = rank.recv(0, 1);
+                    let b: u64 = rank.recv(0, 1); // the injected copy
+                    (a + b) as usize
+                }
+            });
+        assert!(v.verdict.is_completed());
+        assert_eq!(v.results[1], Some(18));
+        assert_eq!(v.fault_counts.duplicated_msgs, 1);
+    }
+
+    #[test]
+    fn recv_deadline_returns_typed_timeout_without_aborting() {
+        let v = Machine::new(2, CostModel::zero_cost()).run_verdict(|rank| {
+            if rank.rank() == 0 {
+                // Rank 1 never sends on tag 5: typed timeout, then continue.
+                let got = rank.recv_deadline::<u64>(1, 5, 3.0);
+                assert_eq!(
+                    got,
+                    Err(RecvError::TimedOut {
+                        src: 1,
+                        tag: 5,
+                        waited: 3.0
+                    })
+                );
+                // The deadline advanced our clock deterministically.
+                assert_eq!(rank.clock(), 3.0);
+            }
+            rank.rank()
+        });
+        assert!(v.verdict.is_completed());
+        assert_eq!(v.fault_counts.timeouts, 1);
+    }
+
+    #[test]
+    fn machine_recv_timeout_yields_timed_out_verdict() {
+        let v = Machine::new(2, CostModel::zero_cost())
+            .recv_timeout(2.0)
+            .run_verdict(|rank| {
+                if rank.rank() == 0 {
+                    let _: u64 = rank.recv(1, 7); // never sent
+                }
+                rank.rank()
+            });
+        match v.verdict {
+            RunVerdict::TimedOut {
+                rank,
+                src,
+                tag,
+                waited_s,
+            } => {
+                assert_eq!((rank, src, tag), (0, 1, 7));
+                assert!(waited_s > 0.0 && waited_s <= 2.0);
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert_eq!(v.results[1], Some(1));
+        assert_eq!(v.fault_counts.timeouts, 1);
+    }
+
+    #[test]
+    fn fault_runs_reproduce_bitwise() {
+        let m = CostModel::bluegene_p();
+        let plan = FaultPlan::new()
+            .crash_at(2, 1e-5)
+            .delay_link(0, 1, 250.0)
+            .duplicate_link(1, 3);
+        let run = || {
+            Machine::new(4, m)
+                .fault_plan(plan.clone())
+                .recv_timeout(1.0)
+                .run_verdict(|rank| {
+                    let r = rank.rank();
+                    rank.compute(1e4 * (r + 1) as f64);
+                    rank.send((r + 1) % rank.nranks(), 1, vec![r as f64; 32]);
+                    let from = (r + rank.nranks() - 1) % rank.nranks();
+                    let _ = rank.recv_deadline::<Vec<f64>>(from, 1, 5e-4);
+                    rank.clock()
+                })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.fault_counts, b.fault_counts);
+        assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+        for (x, y) in a.stats.iter().zip(&b.stats) {
+            assert_eq!(x.clock_s.to_bits(), y.clock_s.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn legacy_run_panics_descriptively_on_injected_crash() {
+        let _ = Machine::new(2, CostModel::zero_cost())
+            .fault_plan(FaultPlan::new().crash_on_send(1, 1))
+            .run(|rank| {
+                if rank.rank() == 1 {
+                    rank.send(0, 1, 1u64);
+                } else {
+                    let _: u64 = rank.recv(1, 1);
+                }
+                0
+            });
+    }
+
+    #[test]
+    fn fault_markers_appear_on_traced_timelines() {
+        let v = Machine::new(2, CostModel::zero_cost())
+            .trace_events(true)
+            .fault_plan(FaultPlan::new().crash_on_send(1, 1))
+            .run_verdict(|rank| {
+                if rank.rank() == 1 {
+                    rank.send(0, 1, 1u64);
+                } else {
+                    let _: u64 = rank.recv(1, 1);
+                }
+                0
+            });
+        let faults: Vec<&SpanEvent> = v.events[1]
+            .iter()
+            .filter(|e| e.phase == Phase::Fault)
+            .collect();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].dur_s, 0.0);
     }
 }

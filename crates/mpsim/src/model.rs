@@ -66,6 +66,20 @@ impl CostModel {
     pub fn flops_per_byte(&self) -> f64 {
         self.beta_s_per_byte / self.flop_time_s
     }
+
+    /// Derive a receive deadline that dominates every legitimate wait in a
+    /// run bounded by `horizon_flops` floating-point operations and
+    /// `horizon_bytes` payload bytes: a blocked rank can legitimately wait
+    /// while its peers compute and transfer the whole remaining schedule,
+    /// so the deadline is that worst case (plus a latency allowance) with a
+    /// 4x safety factor. Anything later is a lost or pathologically delayed
+    /// message and should surface as a typed timeout instead of a hang.
+    pub fn recv_timeout_for(&self, horizon_flops: f64, horizon_bytes: f64) -> f64 {
+        let span = horizon_flops * self.flop_time_s
+            + horizon_bytes * self.beta_s_per_byte
+            + 1e4 * self.alpha_s;
+        4.0 * span.max(self.alpha_s.max(1e-9))
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,11 @@
 //! only; the per-message envelope is folded into α).
 
 /// A value that can be sent between ranks.
-pub trait Payload: Send + 'static {
+///
+/// `Clone` is required so the simulator can deliver a message more than
+/// once under an injected duplication fault ([`crate::fault::Fault`]);
+/// real payloads are plain data, so the bound costs nothing.
+pub trait Payload: Send + Clone + 'static {
     /// Number of bytes this value would occupy on the wire.
     fn nbytes(&self) -> usize;
 }

@@ -99,6 +99,11 @@ pub enum Phase {
     Colcount,
     /// Analysis: supernode partition and per-supernode row structure.
     Structure,
+    /// An injected-fault marker (crash or receive timeout) from the
+    /// simulator's fault plan: a zero-duration instant stamped at the
+    /// rank's virtual clock. Distributed engine at
+    /// [`TraceLevel::Timeline`] under fault injection only.
+    Fault,
 }
 
 impl Phase {
@@ -118,6 +123,7 @@ impl Phase {
             Phase::Etree => "etree",
             Phase::Colcount => "colcount",
             Phase::Structure => "structure",
+            Phase::Fault => "fault",
         }
     }
 
@@ -137,6 +143,7 @@ impl Phase {
             "etree" => Some(Phase::Etree),
             "colcount" => Some(Phase::Colcount),
             "structure" => Some(Phase::Structure),
+            "fault" => Some(Phase::Fault),
             _ => None,
         }
     }
@@ -243,8 +250,9 @@ impl Counters {
             Phase::Colcount => self.colcount_s += dur_s,
             Phase::Structure => self.structure_s += dur_s,
             // Communication time is accounted by the simulator's per-rank
-            // statistics (`RankReport::comm_s`); span events only.
-            Phase::Comm | Phase::Wait => {}
+            // statistics (`RankReport::comm_s`); fault markers are
+            // zero-duration instants. Span events only.
+            Phase::Comm | Phase::Wait | Phase::Fault => {}
         }
     }
 
@@ -804,6 +812,7 @@ mod tests {
             Phase::Etree,
             Phase::Colcount,
             Phase::Structure,
+            Phase::Fault,
         ] {
             assert_eq!(Phase::from_name(p.name()), Some(p));
         }

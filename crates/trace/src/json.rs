@@ -186,8 +186,13 @@ fn push_indent(out: &mut String, level: usize) {
     }
 }
 
-fn emit_string(s: &str, out: &mut String) {
-    out.push('"');
+/// Escape `s` for inclusion inside a JSON string literal (the quotes are
+/// NOT added). This is the single escaping routine for every string the
+/// trace crate emits — the `Json` tree, the Chrome-trace writer, and the
+/// report writer all route through it — so a span/lane/supernode name
+/// containing `"`, `\`, or control characters can never produce a document
+/// Perfetto or `JSON.parse` rejects.
+pub fn json_escape(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -201,6 +206,18 @@ fn emit_string(s: &str, out: &mut String) {
             c => out.push(c),
         }
     }
+}
+
+/// Convenience form of [`json_escape`] returning a fresh `String`.
+pub fn json_escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    json_escape(s, &mut out);
+    out
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    json_escape(s, out);
     out.push('"');
 }
 
@@ -437,6 +454,37 @@ mod tests {
     fn rejects_malformed_documents() {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "1 2"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn json_escape_golden() {
+        // Golden cases: quotes, backslashes, and control characters must
+        // all come out as legal JSON escapes.
+        for (raw, want) in [
+            (r#"plain name"#, r#"plain name"#),
+            (r#"say "hi""#, r#"say \"hi\""#),
+            (r"back\slash", r"back\\slash"),
+            ("tab\there", r"tab\there"),
+            ("line\nbreak\r", r"line\nbreak\r"),
+            ("bell\u{7}null\u{0}", "bell\\u0007null\\u0000"),
+            ("unicode µ∆ ok", "unicode µ∆ ok"),
+            (
+                r#"mix "q" \ and
+ctrl"#,
+                r#"mix \"q\" \\ and\nctrl"#,
+            ),
+        ] {
+            assert_eq!(json_escaped(raw), want, "escaping {raw:?}");
+            // And the full document containing it must parse back to the
+            // original string.
+            let doc = Json::Obj(vec![("name".into(), Json::str(raw))]);
+            let text = doc.to_string_compact();
+            assert_eq!(
+                parse(&text).unwrap().get("name").unwrap().as_str(),
+                Some(raw),
+                "round-tripping {raw:?} through {text}"
+            );
         }
     }
 

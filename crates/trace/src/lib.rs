@@ -38,6 +38,7 @@ pub mod timeline;
 pub use collector::{
     sort_spans, Collector, Counters, LocalRecorder, Phase, SpanEvent, Tick, TraceLevel,
 };
+pub use json::{json_escape, json_escaped};
 pub use profile::{BlockingEdge, ProfileReport, RankActivity};
-pub use report::{AnalysisReport, FactorReport, RankReport, SolveReport};
+pub use report::{AnalysisReport, FactorReport, FaultReport, RankReport, SolveReport};
 pub use timeline::{Lane, LaneKind, Timeline};

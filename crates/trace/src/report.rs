@@ -123,6 +123,27 @@ impl AnalysisReport {
     }
 }
 
+/// Injected-fault and recovery activity of a distributed run. Only present
+/// when a run executed under a fault plan, a receive deadline, or
+/// checkpointed recovery; a fault-free run omits the section entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultReport {
+    /// Ranks that crashed under the injected plan (across all attempts).
+    pub crashes: u64,
+    /// Receives that hit their deadline.
+    pub timeouts: u64,
+    /// Messages delayed by an injected link fault.
+    pub delayed_msgs: u64,
+    /// Duplicate message copies injected.
+    pub duplicated_msgs: u64,
+    /// Checkpoint restarts the recovery driver performed.
+    pub restarts: u64,
+    /// Sum of every attempt's simulated makespan, crashed attempts
+    /// included — the end-to-end virtual cost of the recovered run, for
+    /// recovery-overhead comparisons against a fault-free makespan.
+    pub total_makespan_s: f64,
+}
+
 /// The full record of one factorization.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FactorReport {
@@ -162,6 +183,9 @@ pub struct FactorReport {
     /// Analysis-phase breakdown (only when analysis tracing was on;
     /// `None` otherwise).
     pub analysis: Option<AnalysisReport>,
+    /// Injected-fault / recovery activity (only when the run used fault
+    /// injection or checkpointed recovery; `None` otherwise).
+    pub faults: Option<FaultReport>,
 }
 
 impl FactorReport {
@@ -280,6 +304,9 @@ impl FactorReport {
         if let Some(a) = &self.analysis {
             fields.push(("analysis".to_string(), analysis_to_json(a)));
         }
+        if let Some(f) = &self.faults {
+            fields.push(("faults".to_string(), faults_to_json(f)));
+        }
         Json::Obj(fields)
     }
 
@@ -349,6 +376,9 @@ impl FactorReport {
         }
         if let Some(a) = j.get("analysis") {
             r.analysis = Some(analysis_from_json(a).ok_or_else(|| field_err("analysis"))?);
+        }
+        if let Some(f) = j.get("faults") {
+            r.faults = Some(faults_from_json(f).ok_or_else(|| field_err("faults"))?);
         }
         Ok(r)
     }
@@ -438,6 +468,39 @@ fn analysis_from_json(j: &Json) -> Option<AnalysisReport> {
         etree_s: j.get("etree_s")?.as_f64()?,
         colcount_s: j.get("colcount_s")?.as_f64()?,
         structure_s: j.get("structure_s")?.as_f64()?,
+    })
+}
+
+fn faults_to_json(f: &FaultReport) -> Json {
+    Json::Obj(vec![
+        ("crashes".to_string(), Json::num_u64(f.crashes)),
+        ("timeouts".to_string(), Json::num_u64(f.timeouts)),
+        ("delayed_msgs".to_string(), Json::num_u64(f.delayed_msgs)),
+        (
+            "duplicated_msgs".to_string(),
+            Json::num_u64(f.duplicated_msgs),
+        ),
+        ("restarts".to_string(), Json::num_u64(f.restarts)),
+        (
+            "total_makespan_s".to_string(),
+            Json::num_f64(f.total_makespan_s),
+        ),
+    ])
+}
+
+fn faults_from_json(j: &Json) -> Option<FaultReport> {
+    // Every field defaults: the section only ever grows.
+    let opt = |name: &str| j.get(name).and_then(Json::as_u64).unwrap_or(0);
+    Some(FaultReport {
+        crashes: opt("crashes"),
+        timeouts: opt("timeouts"),
+        delayed_msgs: opt("delayed_msgs"),
+        duplicated_msgs: opt("duplicated_msgs"),
+        restarts: opt("restarts"),
+        total_makespan_s: j
+            .get("total_makespan_s")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
     })
 }
 
@@ -605,7 +668,36 @@ mod tests {
             profile: None,
             solve: None,
             analysis: None,
+            faults: None,
         }
+    }
+
+    #[test]
+    fn faults_section_round_trips() {
+        let mut r = sample_report();
+        r.faults = Some(FaultReport {
+            crashes: 1,
+            timeouts: 2,
+            delayed_msgs: 30,
+            duplicated_msgs: 4,
+            restarts: 1,
+            total_makespan_s: 0.125,
+        });
+        let text = r.to_json_string();
+        assert!(text.contains("\"faults\""));
+        let back = FactorReport::from_json_str(&text).unwrap();
+        assert_eq!(back, r);
+        // Reports without the section parse to None; partial sections
+        // (older writers) default missing fields.
+        let plain = sample_report();
+        let back = FactorReport::from_json_str(&plain.to_json_string()).unwrap();
+        assert_eq!(back.faults, None);
+        let partial =
+            FactorReport::from_json_str("{\"engine\":\"dist\",\"n\":4,\"faults\":{\"crashes\":3}}")
+                .unwrap();
+        let f = partial.faults.unwrap();
+        assert_eq!(f.crashes, 3);
+        assert_eq!(f.restarts, 0);
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl LaneKind {
     pub fn of(phase: Phase) -> LaneKind {
         match phase {
             Phase::Comm => LaneKind::Comm,
-            Phase::Wait => LaneKind::Wait,
+            // Fault markers are zero-duration instants stamped where the
+            // rank stopped or timed out — drawn on the wait lane so they
+            // sit next to the stall they explain.
+            Phase::Wait | Phase::Fault => LaneKind::Wait,
             p if p.is_analysis() => LaneKind::Analysis,
             _ => LaneKind::Compute,
         }

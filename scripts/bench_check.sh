@@ -11,7 +11,9 @@
 # blocked solves at least as fast as single-RHS loops. Finally checks the
 # parallel-analysis artifact (BENCH_pr7.json): the committed modeled
 # speedup at 4 threads must hold 1.5x, and a fresh quick bench_analysis
-# run must stay deterministic and at least break even.
+# run must stay deterministic and at least break even. Finally measures
+# crash-recovery overhead: an injected crash with checkpointed restart
+# must keep the end-to-end simulated makespan under 2.5x fault-free.
 #
 #   scripts/bench_check.sh [baseline.json]     (default: BENCH_pr2.json)
 #
@@ -177,5 +179,36 @@ if [ -f "$analysis_baseline" ]; then
     fi
 else
     echo "bench_check: no $analysis_baseline; skipping analysis gate"
+fi
+
+# --- Fault-recovery overhead gate (warn-only) ----------------------------
+# Factor the same problem fault-free and under a deterministic mid-run
+# crash with checkpointed recovery, then compare simulated makespans. The
+# recovery run pays for the crashed attempt plus a restart that replays
+# only the tail past the checkpoint cut, so its end-to-end virtual cost
+# must stay under 2.5x the fault-free makespan (a scratch restart alone
+# would already cost ~2x; the margin absorbs the deferred-send schedule).
+ff_json=$(mktemp /tmp/bench_fault_ff.XXXXXX.json)
+cr_json=$(mktemp /tmp/bench_fault_cr.XXXXXX.json)
+cargo run -q --release --bin parfact-solve -- --gen lap3d:12 --ranks 8 \
+    --report "$ff_json" >/dev/null
+cargo run -q --release --bin parfact-solve -- --gen lap3d:12 --ranks 8 \
+    --inject crash:3@send=5 --report "$cr_json" >/dev/null
+ff_mk=$(awk '/"clock_s":/ { gsub(/,/, "", $2); if ($2 > m) m = $2 } END { print m }' "$ff_json")
+cr_mk=$(awk '/"total_makespan_s":/ { gsub(/,/, "", $2); print $2 }' "$cr_json")
+crashes=$(awk '/"crashes":/ { gsub(/,/, "", $2); print $2 }' "$cr_json")
+rm -f "$ff_json" "$cr_json"
+if [ -z "$ff_mk" ] || [ -z "$cr_mk" ]; then
+    echo "WARN: fault-recovery runs produced no makespan entries"
+elif [ "${crashes:-0}" = 0 ]; then
+    echo "WARN: injected crash never fired; recovery overhead not measured"
+else
+    ratio=$(awk -v c="$cr_mk" -v f="$ff_mk" 'BEGIN { printf "%.2f", c / f }')
+    over=$(awk -v r="$ratio" 'BEGIN { print (r > 2.5) ? 1 : 0 }')
+    if [ "$over" = 1 ]; then
+        echo "WARN: crash-recovery makespan ${cr_mk}s is ${ratio}x fault-free ${ff_mk}s (bar: 2.5x)"
+    else
+        echo "ok:   crash-recovery makespan ${cr_mk}s vs fault-free ${ff_mk}s (${ratio}x, bar: 2.5x)"
+    fi
 fi
 exit 0

@@ -17,6 +17,11 @@
 //!   --analysis-threads <t>  worker threads for the analysis phase
 //!                       (default: inherit; result is bitwise identical)
 //!   --sync              strict-postorder blocking schedule (EXP-A7 baseline)
+//!   --inject <spec>     fault plan for the distributed run: crash:<r>@t=<s>
+//!                       | crash:<r>@send=<k> | delay:<src>-<dst>:<alphas>
+//!                       | dup:<src>-<dst> (comma-separated); checkpointed
+//!                       recovery is enabled and the trace shows the final
+//!                       (successful) attempt
 //!   --out <file>        Chrome trace output path   (default trace.json)
 //!   --top <k>           blocking edges to show           (default 8)
 //! ```
@@ -38,6 +43,7 @@ struct Args {
     ordering: Method,
     analysis_threads: usize,
     sync: bool,
+    inject: parfact::mpsim::FaultPlan,
     out: String,
     top: usize,
 }
@@ -51,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         ordering: Method::default(),
         analysis_threads: 0,
         sync: false,
+        inject: parfact::mpsim::FaultPlan::new(),
         out: "trace.json".to_string(),
         top: 8,
     };
@@ -89,6 +96,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--analysis-threads needs an integer")?
             }
             "--sync" => args.sync = true,
+            "--inject" => {
+                let spec = it.next().ok_or("--inject needs a fault spec")?;
+                args.inject = parfact::mpsim::FaultPlan::parse(&spec)?;
+            }
             "--out" => args.out = it.next().ok_or("--out needs a file")?,
             "--top" => {
                 args.top = it
@@ -110,6 +121,9 @@ fn parse_args() -> Result<Args, String> {
     if args.ranks == 0 && args.threads == 0 {
         return Err("--ranks must be positive".into());
     }
+    if !args.inject.is_empty() && args.threads > 0 {
+        return Err("--inject only applies to the distributed engine".into());
+    }
     Ok(args)
 }
 
@@ -120,7 +134,7 @@ fn main() -> ExitCode {
             if msg != "usage" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: parfact-profile <matrix.mtx | --gen spec> [--ranks p] [--threads t] [--ordering nd|amd|rcm|natural] [--analysis-threads t] [--sync] [--out f] [--top k]");
+            eprintln!("usage: parfact-profile <matrix.mtx | --gen spec> [--ranks p] [--threads t] [--ordering nd|amd|rcm|natural] [--analysis-threads t] [--sync] [--inject spec] [--out f] [--top k]");
             return ExitCode::from(2);
         }
     };
@@ -155,6 +169,8 @@ fn main() -> ExitCode {
             Engine::Dist(DistOpts {
                 ranks: args.ranks,
                 sync_schedule: args.sync,
+                faults: args.inject.clone(),
+                checkpoint: !args.inject.is_empty(),
                 ..DistOpts::default()
             }),
             "rank",
@@ -164,7 +180,7 @@ fn main() -> ExitCode {
         "profiling: n = {}, nnz(lower) = {}, engine = {}{}",
         a.nrows(),
         a.nnz(),
-        match engine {
+        match &engine {
             Engine::Smp(s) => format!("smp x{}", s.threads),
             _ => format!("dist x{}", args.ranks),
         },
@@ -184,6 +200,13 @@ fn main() -> ExitCode {
         }
     };
     let r = chol.report();
+
+    if let Some(f) = &r.faults {
+        println!(
+            "faults: {} crash(es), {} restart(s), {} delayed / {} duplicated msg(s), {} timeout(s)",
+            f.crashes, f.restarts, f.delayed_msgs, f.duplicated_msgs, f.timeouts
+        );
+    }
 
     let tl = Timeline::from_spans(&r.spans);
     let json = tl.to_chrome_trace(label).to_string_compact() + "\n";

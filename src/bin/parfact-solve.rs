@@ -19,6 +19,12 @@
 //!   --threads <t>       SMP engine with t threads (default: sequential);
 //!                       the solve phase uses the same thread pool
 //!   --ranks <p>         distributed engine on p simulated ranks
+//!   --inject <spec>     fault plan for the distributed run (needs --ranks);
+//!                       comma-separated: crash:<r>@t=<s> | crash:<r>@send=<k>
+//!                       | delay:<src>-<dst>:<alphas> | dup:<src>-<dst>.
+//!                       Checkpointed recovery is enabled automatically;
+//!                       the run restarts from the last consistent cut and
+//!                       the factor is bitwise identical to a fault-free run
 //!   --refine <k>        iterative-refinement steps     (default 1)
 //!   --nrhs <k>          solve k right-hand sides as one blocked batch
 //!                       (columns beyond the first are rotations of b);
@@ -57,6 +63,7 @@ struct Args {
     ldlt: bool,
     threads: usize,
     ranks: usize,
+    inject: parfact::mpsim::FaultPlan,
     refine: usize,
     nrhs: usize,
     stats: bool,
@@ -76,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         ldlt: false,
         threads: 0,
         ranks: 0,
+        inject: parfact::mpsim::FaultPlan::new(),
         refine: 1,
         nrhs: 1,
         stats: false,
@@ -137,6 +145,10 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--ranks needs an integer")?
             }
+            "--inject" => {
+                let spec = it.next().ok_or("--inject needs a fault spec")?;
+                args.inject = parfact::mpsim::FaultPlan::parse(&spec)?;
+            }
             "--nrhs" => {
                 args.nrhs = it
                     .next()
@@ -166,6 +178,9 @@ fn parse_args() -> Result<Args, String> {
     if args.ranks > 0 && args.threads > 1 {
         return Err("--ranks and --threads are mutually exclusive".into());
     }
+    if !args.inject.is_empty() && args.ranks == 0 {
+        return Err("--inject needs the distributed engine (--ranks)".into());
+    }
     if let Some(c) = args.nd_cutoff {
         match args.ordering {
             Method::NestedDissection(ref mut nd) => nd.cutoff = c,
@@ -192,7 +207,7 @@ fn main() -> ExitCode {
             if msg != "usage" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: parfact-solve <matrix.mtx | --gen spec> [--rhs f] [--out f] [--ordering nd|amd|rcm|natural] [--nd-cutoff n] [--analysis-threads t] [--ldlt] [--threads t] [--ranks p] [--refine k] [--nrhs k] [--stats] [--report f] [--trace-out f]");
+            eprintln!("usage: parfact-solve <matrix.mtx | --gen spec> [--rhs f] [--out f] [--ordering nd|amd|rcm|natural] [--nd-cutoff n] [--analysis-threads t] [--ldlt] [--threads t] [--ranks p] [--inject spec] [--refine k] [--nrhs k] [--stats] [--report f] [--trace-out f]");
             return ExitCode::from(2);
         }
     };
@@ -240,8 +255,13 @@ fn main() -> ExitCode {
             FactorKind::Llt
         })
         .engine(if args.ranks > 0 {
+            // Under injection, checkpointed recovery is on: crashes restart
+            // from the last consistent cut instead of failing the run.
+            let checkpoint = !args.inject.is_empty();
             Engine::Dist(DistOpts {
                 ranks: args.ranks,
+                faults: args.inject.clone(),
+                checkpoint,
                 ..DistOpts::default()
             })
         } else if args.threads > 1 {
@@ -282,6 +302,12 @@ fn main() -> ExitCode {
         r.numeric_s * 1e3,
         r.factor_gflops()
     );
+    if let Some(f) = &r.faults {
+        println!(
+            "faults: {} crash(es), {} restart(s), {} delayed / {} duplicated msg(s), {} timeout(s)",
+            f.crashes, f.restarts, f.delayed_msgs, f.duplicated_msgs, f.timeouts
+        );
+    }
     if let Some(ar) = &r.analysis {
         let stages: Vec<String> = ar
             .stages()

@@ -5,7 +5,7 @@
 use parfact::core::dist::run_distributed;
 use parfact::core::mapping::MapStrategy;
 use parfact::core::smp::SmpOpts;
-use parfact::core::solver::{Engine, FactorOpts, RhsBlock, SolveOpts, SparseCholesky};
+use parfact::core::solver::{DistOpts, Engine, FactorOpts, RhsBlock, SolveOpts, SparseCholesky};
 use parfact::core::{FactorError, FactorKind};
 use parfact::mpsim::model::CostModel;
 use parfact::order::Method;
@@ -157,6 +157,96 @@ fn malformed_matrix_market_inputs() {
 fn rectangular_matrix_market_rejected_for_solver() {
     let text = "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n";
     assert!(io::parse_sym_lower(text).is_err());
+}
+
+/// Distributed engine at `p` simulated ranks, zero-cost model (degenerate
+/// inputs should fail identically regardless of the machine).
+fn dist_engine(p: usize) -> Engine {
+    Engine::Dist(DistOpts {
+        ranks: p,
+        model: CostModel::zero_cost(),
+        ..DistOpts::default()
+    })
+}
+
+#[test]
+fn dist_rejects_indefinite_at_2_4_8_ranks() {
+    let a = gen::indefinite(60, 21);
+    for p in [2, 4, 8] {
+        let r = SparseCholesky::factorize(&a, &FactorOpts::new().engine(dist_engine(p)));
+        match r {
+            Err(FactorError::NotPositiveDefinite { value, .. }) => {
+                assert!(value <= 0.0, "p={p}")
+            }
+            other => panic!(
+                "p={p}: expected NotPositiveDefinite, got ok={}",
+                other.is_ok()
+            ),
+        }
+    }
+}
+
+#[test]
+fn dist_rejects_zero_matrix_at_2_4_8_ranks() {
+    // All-zero diagonal over enough columns that every rank count gets a
+    // non-trivial mapping; the zero pivot must surface from whichever rank
+    // owns it, as a typed error — never a NaN-filled "factor".
+    let mut coo = CooMatrix::new(24, 24);
+    for i in 0..24 {
+        coo.push(i, i, 0.0);
+    }
+    let a = coo.to_csc();
+    for p in [2, 4, 8] {
+        let r = SparseCholesky::factorize(&a, &FactorOpts::new().engine(dist_engine(p)));
+        assert!(
+            matches!(r, Err(FactorError::NotPositiveDefinite { value, .. }) if value == 0.0),
+            "p={p}"
+        );
+    }
+}
+
+#[test]
+fn dist_rejects_nan_and_survives_inf_at_2_4_8_ranks() {
+    let mut a = gen::tridiagonal(24);
+    {
+        let colptr = a.colptr().to_vec();
+        let vals = a.values_mut();
+        vals[colptr[11]] = f64::NAN; // diagonal of column 11
+    }
+    for p in [2, 4, 8] {
+        let r = SparseCholesky::factorize(&a, &FactorOpts::new().engine(dist_engine(p)));
+        assert!(
+            matches!(r, Err(FactorError::NotPositiveDefinite { .. })),
+            "p={p}: NaN diagonal must be rejected"
+        );
+    }
+
+    let mut a = gen::tridiagonal(24);
+    {
+        let colptr = a.colptr().to_vec();
+        let vals = a.values_mut();
+        vals[colptr[5]] = f64::INFINITY;
+    }
+    for p in [2, 4, 8] {
+        // An infinite pivot is "positive": the run may accept it but must
+        // terminate with either a factor or a typed error — never hang.
+        let _ = SparseCholesky::factorize(&a, &FactorOpts::new().engine(dist_engine(p)));
+    }
+}
+
+#[test]
+fn dist_factor_reports_dimension_mismatch_on_bad_rhs() {
+    let a = gen::laplace2d(8, 8, gen::Stencil2d::FivePoint);
+    for p in [2, 4, 8] {
+        let chol =
+            SparseCholesky::factorize(&a, &FactorOpts::new().engine(dist_engine(p))).unwrap();
+        let short = vec![1.0; 17];
+        let r = chol.solve_with(RhsBlock::single(&short), &SolveOpts::new());
+        assert!(
+            matches!(r, Err(FactorError::DimensionMismatch { .. })),
+            "p={p}"
+        );
+    }
 }
 
 #[test]

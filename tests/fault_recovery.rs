@@ -1,0 +1,421 @@
+//! Fault injection + recovery drills for the distributed engine.
+//!
+//! The contract under test, end to end:
+//!
+//! 1. **Bitwise recovery** — a rank crashed at *any* point of the run
+//!    (virtual-time sweep, send-count sweep, any rank count) restarts from
+//!    the checkpoint store's consistent cut and produces a factor bitwise
+//!    identical to the fault-free run.
+//! 2. **Typed failure** — when recovery is disabled or impossible, the run
+//!    ends in a typed [`FactorError`] (`RankFailed` / `TimedOut`), never a
+//!    hang, never a panic, and never a spurious `Deadlock`.
+//! 3. **Checkpoints pay** — a late crash recovered from checkpoints redoes
+//!    less work than the full factorization.
+//!
+//! Everything here is deterministic: same plan, same seed, same bits.
+
+use parfact::core::dist::{
+    prepare, run_distributed_faulty, run_distributed_prepared, DistOutcome, FaultRun,
+};
+use parfact::core::mapping::MapStrategy;
+use parfact::core::solver::{DistOpts, Engine, FactorOpts, SparseCholesky};
+use parfact::core::FactorError;
+use parfact::mpsim::model::CostModel;
+use parfact::mpsim::FaultPlan;
+use parfact::order::Method;
+use parfact::sparse::csc::CscMatrix;
+use parfact::sparse::gen;
+use parfact::sparse::perm::Perm;
+use parfact::symbolic::Symbolic;
+use std::sync::Arc;
+
+/// The shared test problem: big enough for real grid fronts at 8 ranks,
+/// small enough to sweep crash times over many runs.
+fn problem() -> CscMatrix {
+    gen::laplace2d(14, 12, gen::Stencil2d::FivePoint)
+}
+
+struct Prepared {
+    sym: Arc<Symbolic>,
+    ap: CscMatrix,
+    perm: Perm,
+}
+
+fn prep(a: &CscMatrix) -> Prepared {
+    let (sym, ap, perm) = prepare(a, Method::default(), &Default::default());
+    Prepared { sym, ap, perm }
+}
+
+fn fault_free(p: usize, pr: &Prepared) -> DistOutcome {
+    run_distributed_prepared(
+        p,
+        CostModel::bluegene_p(),
+        &pr.ap,
+        &pr.sym,
+        &pr.perm,
+        MapStrategy::default(),
+        false,
+        None,
+    )
+    .unwrap()
+}
+
+fn recover(p: usize, pr: &Prepared, plan: FaultPlan, checkpoint: bool) -> FaultRun {
+    run_distributed_faulty(
+        p,
+        CostModel::bluegene_p(),
+        &pr.ap,
+        &pr.sym,
+        &pr.perm,
+        MapStrategy::default(),
+        None,
+        1,
+        false,
+        &plan,
+        None,
+        checkpoint,
+        2,
+    )
+    .unwrap()
+}
+
+#[test]
+fn checkpoint_mode_without_faults_is_bitwise_identical() {
+    // The deferred-send schedule changes when messages travel, never what
+    // they carry: a checkpointing run with an empty plan must reproduce the
+    // plain factor bit for bit.
+    let a = problem();
+    let pr = prep(&a);
+    for p in [1usize, 2, 4, 8] {
+        let plain = fault_free(p, &pr);
+        let ck = recover(p, &pr, FaultPlan::new(), true);
+        assert_eq!(ck.restarts, 0, "p={p}");
+        assert!(ck.counts.is_zero(), "p={p}");
+        assert_eq!(
+            ck.outcome.factor.max_abs_diff(&plain.factor),
+            0.0,
+            "p={p}: checkpoint-mode factor must equal plain factor bitwise"
+        );
+    }
+}
+
+#[test]
+fn crash_time_sweep_recovers_bitwise_at_2_4_8_ranks() {
+    // Property sweep: crash one rank at each of a spread of virtual times
+    // covering the whole makespan (epoch boundaries included), at every
+    // rank count. Every single recovery must be bitwise.
+    let a = problem();
+    let pr = prep(&a);
+    let mut crashes_fired = 0u64;
+    for p in [2usize, 4, 8] {
+        let plain = fault_free(p, &pr);
+        let t_end = plain.factor_time_s;
+        for victim in [p - 1, p / 2] {
+            for k in 0..10 {
+                let t = t_end * (0.03 + 0.105 * k as f64);
+                let run = recover(p, &pr, FaultPlan::new().crash_at(victim, t), true);
+                crashes_fired += run.counts.crashes;
+                assert_eq!(
+                    run.outcome.factor.max_abs_diff(&plain.factor),
+                    0.0,
+                    "p={p} victim={victim} t={t:.6}: recovered factor differs"
+                );
+                assert_eq!(run.restarts, run.counts.crashes, "one restart per crash");
+            }
+        }
+    }
+    assert!(
+        crashes_fired >= 30,
+        "sweep was supposed to actually kill ranks (fired {crashes_fired})"
+    );
+}
+
+#[test]
+fn crash_on_send_sweep_recovers_bitwise() {
+    // Same property keyed on message counts instead of clocks: kill the
+    // victim just before its k-th send, for ks across the whole run.
+    let a = problem();
+    let pr = prep(&a);
+    for p in [2usize, 4, 8] {
+        let plain = fault_free(p, &pr);
+        for k in [1usize, 2, 3, 5, 8, 13, 21, 34] {
+            let run = recover(p, &pr, FaultPlan::new().crash_on_send(1, k as u64), true);
+            assert_eq!(
+                run.outcome.factor.max_abs_diff(&plain.factor),
+                0.0,
+                "p={p} send={k}: recovered factor differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_early_recovers_from_scratch() {
+    // A crash before the first completed epoch leaves no snapshot; the
+    // restart must fall back to a clean re-run and still be bitwise.
+    let a = problem();
+    let pr = prep(&a);
+    for p in [2usize, 4, 8] {
+        let plain = fault_free(p, &pr);
+        let run = recover(p, &pr, FaultPlan::new().crash_at(0, 1e-9), true);
+        assert_eq!(run.counts.crashes, 1, "p={p}");
+        assert_eq!(run.restarts, 1, "p={p}");
+        assert_eq!(run.outcome.factor.max_abs_diff(&plain.factor), 0.0, "p={p}");
+    }
+}
+
+#[test]
+fn crash_late_restarts_from_checkpoint_not_scratch() {
+    // A late crash must resume from the consistent cut: the final attempt
+    // re-executes only the tail, so it performs measurably fewer flops
+    // than the fault-free run (the whole point of checkpointing).
+    let a = gen::laplace3d(8, 8, 8, gen::Stencil3d::SevenPoint);
+    let pr = prep(&a);
+    for p in [4usize, 8] {
+        let plain = fault_free(p, &pr);
+        let run = recover(
+            p,
+            &pr,
+            FaultPlan::new().crash_at(p - 1, plain.factor_time_s * 0.85),
+            true,
+        );
+        assert_eq!(run.counts.crashes, 1, "p={p}: late crash must fire");
+        assert_eq!(run.restarts, 1, "p={p}");
+        assert_eq!(run.outcome.factor.max_abs_diff(&plain.factor), 0.0, "p={p}");
+        assert!(
+            run.outcome.total_flops < 0.9 * plain.total_flops,
+            "p={p}: restart redid {:.3e} of {:.3e} flops — checkpoint restore \
+             should have skipped the completed epochs",
+            run.outcome.total_flops,
+            plain.total_flops
+        );
+    }
+}
+
+#[test]
+fn delay_storm_and_duplicates_do_not_change_the_bits() {
+    // Link faults shift arrival clocks and replay messages; the canonical
+    // extend-add order makes the numbers immune. Pile delays and
+    // duplication on every link around rank 0, plus a mid-run crash.
+    let a = problem();
+    let pr = prep(&a);
+    for p in [2usize, 4, 8] {
+        let plain = fault_free(p, &pr);
+        let mut plan = FaultPlan::new().crash_at(p / 2, plain.factor_time_s * 0.4);
+        for q in 1..p {
+            plan = plan.delay_link(0, q, 40.0).delay_link(q, 0, 40.0);
+        }
+        plan = plan.duplicate_link(1 % p, 0);
+        let run = recover(p, &pr, plan, true);
+        assert_eq!(
+            run.outcome.factor.max_abs_diff(&plain.factor),
+            0.0,
+            "p={p}: delay storm changed the factor"
+        );
+        assert!(run.counts.delayed_msgs > 0, "p={p}: storm never fired");
+    }
+}
+
+#[test]
+fn unrecovered_crash_is_a_typed_rank_failure_not_a_hang() {
+    // max_restarts = 0: the crash verdict must surface as the typed error.
+    let a = problem();
+    let pr = prep(&a);
+    for p in [2usize, 4, 8] {
+        let plain = fault_free(p, &pr);
+        let err = run_distributed_faulty(
+            p,
+            CostModel::bluegene_p(),
+            &pr.ap,
+            &pr.sym,
+            &pr.perm,
+            MapStrategy::default(),
+            None,
+            1,
+            false,
+            &FaultPlan::new().crash_at(1, plain.factor_time_s * 0.3),
+            None,
+            true,
+            0,
+        )
+        .err()
+        .expect("run must fail");
+        match err {
+            FactorError::RankFailed { ranks, detail } => {
+                assert_eq!(ranks, vec![1], "p={p}");
+                assert!(!detail.is_empty(), "p={p}");
+            }
+            other => panic!("p={p}: expected RankFailed, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn lost_messages_surface_as_typed_timeouts_never_spurious_deadlock() {
+    // A delay storm pushing arrivals far past the receive deadline is the
+    // simulator's model of message loss. With restarts exhausted it must
+    // end in `TimedOut` carrying (rank, src, tag, waited) — and is never
+    // misclassified as a protocol deadlock.
+    let a = problem();
+    let pr = prep(&a);
+    for p in [2usize, 4] {
+        let plain = fault_free(p, &pr);
+        let mut plan = FaultPlan::new();
+        for q in 1..p {
+            plan = plan.delay_link(q, 0, 1e12);
+        }
+        let err = run_distributed_faulty(
+            p,
+            CostModel::bluegene_p(),
+            &pr.ap,
+            &pr.sym,
+            &pr.perm,
+            MapStrategy::default(),
+            None,
+            1,
+            false,
+            &plan,
+            Some(plain.factor_time_s * 4.0),
+            false,
+            1,
+        )
+        .err()
+        .expect("run must fail");
+        match err {
+            FactorError::TimedOut {
+                rank,
+                src,
+                waited_s,
+                ..
+            } => {
+                assert!(src > 0 && src < p, "p={p}: delayed source, got src={src}");
+                assert!(rank < p, "p={p}");
+                assert!(waited_s > 0.0, "p={p}");
+            }
+            FactorError::Deadlock { detail } => {
+                panic!("p={p}: lost message misreported as deadlock: {detail}")
+            }
+            other => panic!("p={p}: expected TimedOut, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn numeric_errors_outrank_fault_verdicts_and_are_not_retried() {
+    // An indefinite input under an armed fault plan must come back as the
+    // numeric error, not as a fault verdict or a retry loop.
+    let a = gen::indefinite(60, 7);
+    let pr = prep(&a);
+    let err = run_distributed_faulty(
+        4,
+        CostModel::zero_cost(),
+        &pr.ap,
+        &pr.sym,
+        &pr.perm,
+        MapStrategy::default(),
+        None,
+        1,
+        false,
+        &FaultPlan::new().crash_at(3, 1e30),
+        None,
+        true,
+        2,
+    )
+    .err()
+    .expect("run must fail");
+    assert!(
+        matches!(err, FactorError::NotPositiveDefinite { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn solve_after_recovery_matches_fault_free_solution_bitwise() {
+    let a = problem();
+    let n = a.nrows();
+    let pr = prep(&a);
+    let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let plain = run_distributed_prepared(
+        4,
+        CostModel::bluegene_p(),
+        &pr.ap,
+        &pr.sym,
+        &pr.perm,
+        MapStrategy::default(),
+        false,
+        Some(&b),
+    )
+    .unwrap();
+    let t = plain.factor_time_s;
+    let run = run_distributed_faulty(
+        4,
+        CostModel::bluegene_p(),
+        &pr.ap,
+        &pr.sym,
+        &pr.perm,
+        MapStrategy::default(),
+        Some(&b),
+        1,
+        false,
+        &FaultPlan::new().crash_at(2, t * 0.5),
+        None,
+        true,
+        2,
+    )
+    .unwrap();
+    let xf = plain.x.unwrap();
+    let xr = run.outcome.x.expect("recovered run solves too");
+    for (i, (pv, rv)) in xf.iter().zip(&xr).enumerate() {
+        assert_eq!(pv.to_bits(), rv.to_bits(), "x[{i}] differs after recovery");
+    }
+}
+
+#[test]
+fn facade_runs_fault_plans_and_reports_them() {
+    // The whole path through `SparseCholesky`: parseable plan in
+    // `DistOpts`, recovery underneath, fault section in the report.
+    let a = problem();
+    let seq = SparseCholesky::factorize(&a, &FactorOpts::default()).unwrap();
+    let chol = SparseCholesky::factorize(
+        &a,
+        &FactorOpts::new().engine(Engine::Dist(DistOpts {
+            faults: FaultPlan::parse("crash:1@t=0,delay:0-1:10").unwrap(),
+            checkpoint: true,
+            ..DistOpts::default()
+        })),
+    )
+    .unwrap();
+    assert_eq!(
+        chol.factor().max_abs_diff(seq.factor()),
+        0.0,
+        "recovered distributed factor must still equal the sequential one"
+    );
+    let faults = chol.report().faults.expect("fault section");
+    assert_eq!(faults.crashes, 1);
+    assert_eq!(faults.restarts, 1);
+    // The enriched report round-trips through JSON with the fault section.
+    let back = parfact::FactorReport::from_json_str(&chol.report().to_json_string()).unwrap();
+    assert_eq!(&back, chol.report());
+}
+
+#[test]
+fn repeated_recovery_runs_are_bitwise_reproducible() {
+    // Determinism of the whole recovery pipeline: same plan, same machine,
+    // same bits — clocks included.
+    let a = problem();
+    let pr = prep(&a);
+    let plan = FaultPlan::new()
+        .crash_at(2, 0.002)
+        .delay_link(0, 3, 15.0)
+        .duplicate_link(3, 0);
+    let r1 = recover(4, &pr, plan.clone(), true);
+    let r2 = recover(4, &pr, plan, true);
+    assert_eq!(r1.outcome.factor.max_abs_diff(&r2.outcome.factor), 0.0);
+    assert_eq!(
+        r1.outcome.factor_time_s.to_bits(),
+        r2.outcome.factor_time_s.to_bits()
+    );
+    assert_eq!(r1.total_makespan_s.to_bits(), r2.total_makespan_s.to_bits());
+    assert_eq!(r1.counts, r2.counts);
+    assert_eq!(r1.restarts, r2.restarts);
+}
