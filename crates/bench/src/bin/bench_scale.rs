@@ -1,0 +1,170 @@
+//! `bench_scale` — evidence artifact for the scalability-analytics PR:
+//! sweeps the distributed engine across rank counts, records the *measured*
+//! communication matrix and memory high-water marks next to the paper
+//! model's *predictions*, and writes `BENCH_pr9.json`.
+//!
+//! ```text
+//! bench_scale [out.json]    (default output: BENCH_pr9.json)
+//! ```
+//!
+//! The headline is `volume_model_ratio` at p = 64 on lap3d-32: the measured
+//! total factorization traffic divided by what the subtree-to-subcube /
+//! 2-D-grid model in `parfact_core::scalability` predicts from the symbolic
+//! structure alone. The acceptance bar is a ratio inside [0.5, 2] — the
+//! model has no fitted constants, so staying within 2x says the engine's
+//! traffic really is the paper's `O(f²/√g)` panel volume plus crossing
+//! extend-adds, not something else.
+//!
+//! Runs factor-only (no right-hand side): the model covers factorization,
+//! and the engine's statistics snapshot excludes the verification gather.
+//!
+//! Set `BENCH_QUICK=1` for a fast smoke run (small grid, small p) — used
+//! by CI to keep the binary working, not to produce the artifact.
+
+use parfact_core::dist::{prepare, run_distributed_prepared_traced};
+use parfact_core::mapping::{map_tree, MapStrategy};
+use parfact_core::scalability::predict;
+use parfact_mpsim::model::CostModel;
+use parfact_order::Method;
+use parfact_sparse::gen;
+use parfact_symbolic::AmalgOpts;
+use parfact_trace::json::Json;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
+
+    let (name, a, ps): (_, _, &[usize]) = if quick() {
+        (
+            "lap3d-10",
+            gen::laplace3d(10, 10, 10, gen::Stencil3d::SevenPoint),
+            &[2, 4, 8],
+        )
+    } else {
+        (
+            "lap3d-32",
+            gen::laplace3d(32, 32, 32, gen::Stencil3d::SevenPoint),
+            &[8, 16, 32, 64, 128],
+        )
+    };
+    let n = a.nrows();
+    println!("bench_scale: {name}, n = {n}, nnz(lower) = {}", a.nnz());
+
+    let (sym, ap, perm) = prepare(&a, Method::default(), &AmalgOpts::default());
+    println!(
+        "bench_scale: nsuper = {}, factor nnz = {}",
+        sym.nsuper(),
+        sym.factor_nnz()
+    );
+
+    let headline_p = if quick() { *ps.last().unwrap() } else { 64 };
+    let mut headline_ratio = f64::NAN;
+    let mut rows = Vec::new();
+    for &p in ps {
+        let outcome = run_distributed_prepared_traced(
+            p,
+            CostModel::bluegene_p(),
+            &ap,
+            &sym,
+            &perm,
+            MapStrategy::default(),
+            false,
+            None,
+            1,
+            false,
+            true,
+        )
+        .expect("distributed factorization");
+        let map = map_tree(&sym, p, MapStrategy::default());
+        let pred = predict(&sym, &map);
+
+        let measured: u64 = outcome.stats.iter().map(|s| s.bytes_sent).sum();
+        let predicted = pred.total_bytes();
+        let ratio = measured as f64 / predicted.max(f64::MIN_POSITIVE);
+        let mem_measured = outcome.max_mem_peak();
+        let mem_predicted = pred.max_mem();
+        let mem_ratio = mem_measured as f64 / mem_predicted.max(f64::MIN_POSITIVE);
+        let m = outcome.comm.as_ref().expect("comm matrix recorded");
+        let class_bytes: Vec<(String, u64)> = m
+            .class_names
+            .iter()
+            .enumerate()
+            .map(|(c, cn)| (cn.clone(), m.class_bytes(c)))
+            .collect();
+        if p == headline_p {
+            headline_ratio = ratio;
+        }
+        println!(
+            "  p={p:<3}  comm {:>7.1} MB (model {:>7.1} MB, x{ratio:.2})  \
+             mem/rank {:>6.1} MB (model {:>6.1} MB, x{mem_ratio:.2})  \
+             makespan {:>7.1} ms  msgs {}",
+            measured as f64 / 1e6,
+            predicted / 1e6,
+            mem_measured as f64 / 1e6,
+            mem_predicted / 1e6,
+            outcome.factor_time_s * 1e3,
+            m.total_msgs(),
+        );
+        rows.push(obj(vec![
+            ("ranks", Json::num_usize(p)),
+            ("measured_bytes", Json::num_u64(measured)),
+            ("predicted_bytes", Json::num_f64(predicted)),
+            ("volume_model_ratio", Json::num_f64(ratio)),
+            ("measured_mem_peak", Json::num_u64(mem_measured)),
+            ("predicted_mem_peak", Json::num_f64(mem_predicted)),
+            ("mem_model_ratio", Json::num_f64(mem_ratio)),
+            ("makespan_s", Json::num_f64(outcome.factor_time_s)),
+            ("total_msgs", Json::num_u64(m.total_msgs())),
+            (
+                "class_bytes",
+                Json::Obj(
+                    class_bytes
+                        .into_iter()
+                        .map(|(k, v)| (k, Json::num_u64(v)))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    assert!(
+        (0.5..=2.0).contains(&headline_ratio),
+        "volume_model_ratio at p={headline_p} is {headline_ratio}, outside [0.5, 2]"
+    );
+    println!(
+        "bench_scale: volume_model_ratio at p={headline_p} = {headline_ratio:.3} (bar: [0.5, 2])"
+    );
+
+    let doc = obj(vec![
+        ("bench", Json::str("pr9_scalability_analytics")),
+        ("quick", Json::Bool(quick())),
+        ("matrix", Json::str(name)),
+        ("n", Json::num_usize(n)),
+        ("nsuper", Json::num_usize(sym.nsuper())),
+        ("sweep", Json::Arr(rows)),
+        (
+            "headline",
+            obj(vec![
+                ("matrix", Json::str(name)),
+                ("ranks", Json::num_usize(headline_p)),
+                ("volume_model_ratio", Json::num_f64(headline_ratio)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write results");
+    println!("bench_scale: results written to {out}");
+}

@@ -93,6 +93,7 @@ impl Ctx {
                     Some(&b),
                     1,
                     true,
+                    true,
                 )
                 .expect("SPD");
                 let profile = parfact_trace::profile::analyze(
@@ -950,6 +951,7 @@ fn exp_a7(ctx: &Ctx) {
                 None,
                 1,
                 true,
+                false,
             )
             .expect("SPD");
             let profile = parfact_trace::profile::analyze(

@@ -402,6 +402,25 @@ pub fn tag(s: usize, phase: u64) -> u64 {
     (s as u64) * PHASE_LIMIT + phase
 }
 
+/// Names for the four traffic classes of [`comm_class`], in index order.
+/// The simulator's comm matrix uses these as its class axis.
+pub const COMM_CLASSES: [&str; 4] = ["extadd", "panel", "solve", "control"];
+
+/// Classify a message tag into a traffic class for the comm matrix:
+/// extend-add contributions (0), factorization panel broadcasts (1),
+/// triangular-solve traffic (2), and everything else — gathers and other
+/// control flow (3). Pure arithmetic on the phase field of the tag, so it
+/// is safe to call from the simulator's recording path.
+pub fn comm_class(t: u64) -> usize {
+    match t % PHASE_LIMIT {
+        PHASE_EXTADD => 0,
+        PHASE_L11 | PHASE_ROWCAST | PHASE_COLCAST => 1,
+        PHASE_FWD_PANEL | PHASE_FWD_CONTRIB | PHASE_BWD_PANEL | PHASE_BWD_XROWS
+        | PHASE_GATHER_X => 2,
+        _ => 3,
+    }
+}
+
 /// Flop count of a partial factorization of `npiv` columns in an
 /// `m`-order block: `Σ_k (m-k)²`, the classic LAPACK convention that counts
 /// multiplies and adds separately (`n³/3` for full dense Cholesky).

@@ -901,6 +901,10 @@ pub struct DistOutcome {
     /// Per-rank statistics snapshotted after the solve (gather traffic for
     /// verification is excluded).
     pub stats: Vec<parfact_mpsim::RankStats>,
+    /// The src x dst x tag-class communication matrix, snapshotted with
+    /// `stats` (gather excluded). `Some` iff the run recorded it — see
+    /// [`run_distributed_prepared_traced`]'s `comm` flag.
+    pub comm: Option<parfact_trace::CommMatrixReport>,
     /// Max per-rank factor bytes held at the end.
     pub max_factor_bytes: usize,
     /// Total flops across ranks during factorization.
@@ -1022,6 +1026,7 @@ pub fn run_distributed_prepared(
         b,
         1,
         false,
+        false,
     )
 }
 
@@ -1034,6 +1039,12 @@ pub fn run_distributed_prepared(
 /// solve (per-rank solve lanes), excluding only the verification gather.
 /// Tracing never touches the virtual clocks, so traced runs stay bitwise
 /// identical to untraced ones.
+///
+/// `comm` additionally records the src x dst x tag-class communication
+/// matrix ([`DistOutcome::comm`]). Like span tracing, the recording is
+/// pure counter arithmetic on the send path and never reads or writes a
+/// virtual clock, so factors and makespans stay bitwise identical with it
+/// on or off (pinned by the scalability test suite).
 #[allow(clippy::too_many_arguments)]
 pub fn run_distributed_prepared_traced(
     p: usize,
@@ -1046,30 +1057,34 @@ pub fn run_distributed_prepared_traced(
     b: Option<&[f64]>,
     nrhs: usize,
     timeline: bool,
+    comm: bool,
 ) -> Result<DistOutcome, FactorError> {
     let map = crate::mapping::map_tree(sym, p, strategy);
     assert!(map.validate(sym), "invalid mapping");
     let bp = permuted_rhs(b, sym.n, nrhs, total_perm);
-    let report = Machine::new(p, model).trace_events(timeline).run_result(
-        |rank| -> Result<RankOut, FactorError> {
-            let rf = factorize_rank(rank, ap, sym, &map, sync_schedule)?;
-            finish_rank(rank, sym, &map, total_perm, rf, bp.as_deref(), nrhs)
-        },
-    )?;
+    let mut machine = Machine::new(p, model).trace_events(timeline);
+    if comm {
+        machine = machine.comm_matrix(&front::COMM_CLASSES, front::comm_class);
+    }
+    let report = machine.run_result(|rank| -> Result<RankOut, FactorError> {
+        let rf = factorize_rank(rank, ap, sym, &map, sync_schedule)?;
+        finish_rank(rank, sym, &map, total_perm, rf, bp.as_deref(), nrhs)
+    })?;
     assemble_outcome(report.results, report.events)
 }
 
 /// Per-rank return value of the distributed programs: factor/solve
-/// makespans, statistics, factor bytes, plus rank 0's gathered factor and
-/// solution.
-type RankOut = (
-    f64,
-    f64,
-    parfact_mpsim::RankStats,
-    usize,
-    Option<Factor>,
-    Option<Vec<f64>>,
-);
+/// makespans, statistics, factor bytes, the rank's comm-matrix row (when
+/// recording was on), plus rank 0's gathered factor and solution.
+struct RankOut {
+    t_factor: f64,
+    t_solve: f64,
+    stats: parfact_mpsim::RankStats,
+    fbytes: usize,
+    comm: Option<parfact_mpsim::CommRow>,
+    factor: Option<Factor>,
+    x: Option<Vec<f64>>,
+}
 
 /// Apply the total permutation to an `n x nrhs` right-hand-side block.
 fn permuted_rhs(b: Option<&[f64]>, n: usize, nrhs: usize, total_perm: &Perm) -> Option<Vec<f64>> {
@@ -1105,9 +1120,12 @@ fn finish_rank(
     let xp = bp.and_then(|bp| solve::solve_rank(rank, sym, map, &rf, bp, nrhs));
     let t_solve = rank.clock() - t_factor;
     // The verification gather stays out of the trace, mirroring what the
-    // stats snapshot excludes.
+    // stats snapshot excludes. The comm-matrix row is snapshotted at the
+    // same point for the same reason, so row sums reconcile with
+    // `stats.bytes_sent`.
     rank.set_trace_events(false);
     let stats = rank.stats();
+    let comm = rank.comm_row();
     let fbytes = rf.factor_bytes(sym);
     let factor = gather_factor(rank, sym, map, &rf, total_perm.clone());
     let x = xp.map(|xp| {
@@ -1118,7 +1136,15 @@ fn finish_rank(
         }
         x
     });
-    Ok((t_factor, t_solve, stats, fbytes, factor, x))
+    Ok(RankOut {
+        t_factor,
+        t_solve,
+        stats,
+        fbytes,
+        comm,
+        factor,
+        x,
+    })
 }
 
 /// Fold per-rank results into a [`DistOutcome`].
@@ -1126,19 +1152,42 @@ fn assemble_outcome(
     results: Vec<RankOut>,
     events: Vec<Vec<SpanEvent>>,
 ) -> Result<DistOutcome, FactorError> {
-    let factor_time_s = results.iter().fold(0.0f64, |m, r| m.max(r.0));
-    let solve_time_s = results.iter().fold(0.0f64, |m, r| m.max(r.1));
-    let stats: Vec<parfact_mpsim::RankStats> = results.iter().map(|r| r.2).collect();
-    let max_factor_bytes = results.iter().map(|r| r.3).max().unwrap_or(0);
+    let factor_time_s = results.iter().fold(0.0f64, |m, r| m.max(r.t_factor));
+    let solve_time_s = results.iter().fold(0.0f64, |m, r| m.max(r.t_solve));
+    let stats: Vec<parfact_mpsim::RankStats> = results.iter().map(|r| r.stats).collect();
+    let max_factor_bytes = results.iter().map(|r| r.fbytes).max().unwrap_or(0);
     let total_flops = stats.iter().map(|s| s.flops).sum();
+    // Assemble the comm matrix from the per-rank row snapshots (taken
+    // before the verification gather, consistent with `stats`).
+    let nranks = results.len();
+    let comm = results
+        .iter()
+        .map(|r| r.comm.as_ref())
+        .collect::<Option<Vec<_>>>()
+        .map(|rows| {
+            let nc = rows.first().map_or(0, |r| r.nclasses);
+            let mut m = parfact_trace::CommMatrixReport {
+                nranks,
+                class_names: front::COMM_CLASSES.iter().map(|s| s.to_string()).collect(),
+                bytes: vec![0; nranks * nranks * nc],
+                msgs: vec![0; nranks * nranks * nc],
+            };
+            for (src, row) in rows.iter().enumerate() {
+                debug_assert_eq!(row.nclasses, nc);
+                let base = src * nranks * nc;
+                m.bytes[base..base + row.bytes.len()].copy_from_slice(&row.bytes);
+                m.msgs[base..base + row.msgs.len()].copy_from_slice(&row.msgs);
+            }
+            m
+        });
     let mut factor = None;
     let mut x = None;
     for r in results {
-        if r.4.is_some() {
-            factor = r.4;
+        if r.factor.is_some() {
+            factor = r.factor;
         }
-        if r.5.is_some() {
-            x = r.5;
+        if r.x.is_some() {
+            x = r.x;
         }
     }
     Ok(DistOutcome {
@@ -1147,6 +1196,7 @@ fn assemble_outcome(
         factor_time_s,
         solve_time_s,
         stats,
+        comm,
         max_factor_bytes,
         total_flops,
         events,
@@ -1531,6 +1581,7 @@ mod tests {
                 false,
                 Some(&b),
                 1,
+                timeline,
                 timeline,
             )
             .unwrap()

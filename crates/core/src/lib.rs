@@ -44,6 +44,7 @@ pub mod error;
 pub mod factor;
 pub mod frontal;
 pub mod mapping;
+pub mod scalability;
 pub mod schur;
 pub mod seq;
 pub mod smp;

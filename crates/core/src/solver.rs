@@ -436,7 +436,14 @@ impl SparseCholesky {
         let analysis_counters = atr.snapshot();
         let analysis_spans = atr.take_spans();
         let mut ws = Workspace::new();
-        let (factor, counters, ranks, mut spans, faults) = run_engine(
+        let EngineRun {
+            factor,
+            counters,
+            ranks,
+            mut spans,
+            faults,
+            scalability,
+        } = run_engine(
             &ap,
             &sym,
             opts.kind,
@@ -477,6 +484,7 @@ impl SparseCholesky {
             analysis,
             solve: None,
             faults,
+            scalability,
         };
         if matches!(opts.engine, Engine::Dist(_)) {
             // The simulator counts traffic per rank, not fronts; every
@@ -514,11 +522,13 @@ impl SparseCholesky {
         let ap_new = self.factor.perm.apply_sym_lower(a);
         let sym = Arc::clone(&self.factor.sym);
         let t0 = Instant::now();
-        let (counters, ranks, spans, faults) = match &engine {
+        let (counters, ranks, spans, faults, scalability) = match &engine {
             Engine::Sequential => {
                 let tr = Collector::new(self.trace);
                 crate::seq::factorize_seq_into(&ap_new, &sym, &tr, &mut self.ws, &mut self.factor)?;
-                (tr.snapshot(), Vec::new(), tr.take_spans(), None)
+                let ranks = worker_ranks(&tr);
+                let scalability = host_scalability(&sym, &ranks);
+                (tr.snapshot(), ranks, tr.take_spans(), None, scalability)
             }
             Engine::Smp(smp) => {
                 let tr = Collector::new(self.trace);
@@ -530,17 +540,24 @@ impl SparseCholesky {
                     &mut self.ws,
                     &mut self.factor,
                 )?;
-                (tr.snapshot(), Vec::new(), tr.take_spans(), None)
+                let ranks = worker_ranks(&tr);
+                let scalability = host_scalability(&sym, &ranks);
+                (tr.snapshot(), ranks, tr.take_spans(), None, scalability)
             }
             Engine::Dist(_) => {
                 // The distributed engine gathers a fresh factor from the
                 // simulated machine; it replaces the stored one wholesale.
                 let kind = self.factor.kind;
                 let perm = self.factor.perm.clone();
-                let (factor, counters, ranks, spans, faults) =
-                    run_engine(&ap_new, &sym, kind, perm, &engine, self.trace, &mut self.ws)?;
-                self.factor = factor;
-                (counters, ranks, spans, faults)
+                let run = run_engine(&ap_new, &sym, kind, perm, &engine, self.trace, &mut self.ws)?;
+                self.factor = run.factor;
+                (
+                    run.counters,
+                    run.ranks,
+                    run.spans,
+                    run.faults,
+                    run.scalability,
+                )
             }
         };
         self.ap = ap_new;
@@ -553,6 +570,7 @@ impl SparseCholesky {
         self.report.ranks = ranks;
         self.report.spans = spans;
         self.report.faults = faults;
+        self.report.scalability = scalability;
         self.report.profile =
             timeline_profile(&sym, self.trace, &self.report.spans, &self.report.ranks);
         self.report.refactorizations += 1;
@@ -876,15 +894,64 @@ fn timeline_profile(
 }
 
 /// One engine run's output: the factor plus the instrumentation it
-/// produced (the last element reports injected-fault activity — `Some`
-/// only for fault-injected distributed runs).
-type EngineRun = (
-    Factor,
-    Counters,
-    Vec<parfact_trace::RankReport>,
-    Vec<parfact_trace::SpanEvent>,
-    Option<parfact_trace::FaultReport>,
-);
+/// produced (`faults` reports injected-fault activity — `Some` only for
+/// fault-injected distributed runs).
+struct EngineRun {
+    factor: Factor,
+    counters: Counters,
+    ranks: Vec<parfact_trace::RankReport>,
+    spans: Vec<parfact_trace::SpanEvent>,
+    faults: Option<parfact_trace::FaultReport>,
+    scalability: Option<parfact_trace::ScalabilityReport>,
+}
+
+/// Per-worker rows for the host engines, in the shared rank-report schema:
+/// `rank` is the worker id, `clock_s` stays zero (host workers have no
+/// virtual clock — [`parfact_trace::FactorReport::sim_makespan_s`] treats
+/// all-zero clocks as "no simulated makespan"), and `mem_peak_bytes` is
+/// the worker's own allocation high-water mark.
+fn worker_ranks(tr: &Collector) -> Vec<parfact_trace::RankReport> {
+    tr.worker_summaries()
+        .into_iter()
+        .map(|w| parfact_trace::RankReport {
+            rank: w.who,
+            compute_s: w.compute_s,
+            flops: w.flops,
+            mem_peak_bytes: w.mem_peak_bytes,
+            ..parfact_trace::RankReport::default()
+        })
+        .collect()
+}
+
+/// Predicted-vs-measured scalability rows for a host engine: the model at
+/// `p = 1` (all-local mapping: zero traffic, factor + largest front
+/// memory) against the workers' measured peaks.
+fn host_scalability(
+    sym: &Symbolic,
+    ranks: &[parfact_trace::RankReport],
+) -> Option<parfact_trace::ScalabilityReport> {
+    if ranks.is_empty() {
+        return None;
+    }
+    let map = crate::mapping::map_tree(sym, 1, crate::mapping::MapStrategy::default());
+    let pred = crate::scalability::predict(sym, &map);
+    Some(parfact_trace::ScalabilityReport {
+        nranks: ranks.len(),
+        ranks: ranks
+            .iter()
+            .map(|r| parfact_trace::RankScalability {
+                rank: r.rank,
+                measured_bytes: r.bytes_sent,
+                predicted_bytes: 0.0,
+                measured_mem_peak: r.mem_peak_bytes,
+                // Every worker shares one address space; the single-rank
+                // model bounds the whole process.
+                predicted_mem_peak: pred.mem[0],
+            })
+            .collect(),
+        comm: None,
+    })
+}
 
 /// Dispatch one numeric factorization.
 fn run_engine(
@@ -901,13 +968,31 @@ fn run_engine(
             let tr = Collector::new(trace);
             let mut factor = Factor::allocate(sym, kind, perm);
             crate::seq::factorize_seq_into(ap, sym, &tr, ws, &mut factor)?;
-            Ok((factor, tr.snapshot(), Vec::new(), tr.take_spans(), None))
+            let ranks = worker_ranks(&tr);
+            let scalability = host_scalability(sym, &ranks);
+            Ok(EngineRun {
+                factor,
+                counters: tr.snapshot(),
+                ranks,
+                spans: tr.take_spans(),
+                faults: None,
+                scalability,
+            })
         }
         Engine::Smp(smp) => {
             let tr = Collector::new(trace);
             let mut factor = Factor::allocate(sym, kind, perm);
             crate::smp::factorize_smp_into(ap, sym, smp, &tr, ws, &mut factor)?;
-            Ok((factor, tr.snapshot(), Vec::new(), tr.take_spans(), None))
+            let ranks = worker_ranks(&tr);
+            let scalability = host_scalability(sym, &ranks);
+            Ok(EngineRun {
+                factor,
+                counters: tr.snapshot(),
+                ranks,
+                spans: tr.take_spans(),
+                faults: None,
+                scalability,
+            })
         }
         Engine::Dist(d) => {
             if kind != FactorKind::Llt {
@@ -957,13 +1042,44 @@ fn run_engine(
                     None,
                     1,
                     trace.timeline(),
+                    trace.enabled(),
                 )?;
                 (out, None)
             };
             let counters = out.fold_counters();
             let ranks = out.rank_reports();
             let spans = out.merged_events();
-            Ok((out.factor, counters, ranks, spans, faults))
+            // Predicted-vs-measured per rank: the model needs only the
+            // symbolic structure and the mapping (recomputed here — it is
+            // deterministic and cheap relative to the factorization).
+            let scalability = trace.enabled().then(|| {
+                let map = crate::mapping::map_tree(sym, d.ranks, d.strategy);
+                let pred = crate::scalability::predict(sym, &map);
+                parfact_trace::ScalabilityReport {
+                    nranks: d.ranks,
+                    ranks: out
+                        .stats
+                        .iter()
+                        .enumerate()
+                        .map(|(r, s)| parfact_trace::RankScalability {
+                            rank: r,
+                            measured_bytes: s.bytes_sent,
+                            predicted_bytes: pred.bytes[r],
+                            measured_mem_peak: s.mem_peak,
+                            predicted_mem_peak: pred.mem[r],
+                        })
+                        .collect(),
+                    comm: out.comm.clone(),
+                }
+            });
+            Ok(EngineRun {
+                factor: out.factor,
+                counters,
+                ranks,
+                spans,
+                faults,
+                scalability,
+            })
         }
     }
 }
@@ -1114,9 +1230,28 @@ mod tests {
                     assert_eq!(r.counters.flops, predicted, "{}", r.engine);
                     assert!(r.counters.bytes_assembled > 0);
                     assert!(r.counters.mem_peak_bytes > 0);
-                    assert!(r.ranks.is_empty());
+                    // Per-worker rows: one per worker that recorded, with
+                    // their own memory high-water marks, zero virtual
+                    // clocks (no simulated makespan), and flops summing to
+                    // the folded counter.
+                    assert!(!r.ranks.is_empty(), "{}", r.engine);
+                    assert!(r.ranks.iter().all(|x| x.clock_s == 0.0));
+                    assert!(r.sim_makespan_s().is_none());
+                    assert!(
+                        r.ranks.iter().any(|x| x.mem_peak_bytes > 0),
+                        "{}: no worker reported memory",
+                        r.engine
+                    );
+                    let flops: f64 = r.ranks.iter().map(|x| x.flops).sum();
+                    assert!((flops - r.counters.flops).abs() < 1e-6, "{}", r.engine);
+                    // And the scalability section carries a memory model.
+                    let s = r.scalability.as_ref().expect("host scalability");
+                    assert_eq!(s.nranks, r.ranks.len());
+                    assert!(s.ranks.iter().all(|x| x.predicted_mem_peak > 0.0));
                 }
             }
+            // Every traced engine publishes a scalability section.
+            assert!(r.scalability.is_some(), "{}", r.engine);
         }
     }
 

@@ -101,7 +101,9 @@ struct Msg {
     data: Box<dyn Any + Send>,
     /// Virtual time at which the message is fully available at the receiver.
     arrival: f64,
-    #[allow(dead_code)]
+    /// Payload bytes, as charged to the sender. Read back when the message
+    /// is consumed (receive counters) and for the end-of-run reconciliation
+    /// of undrained queues against the communication matrix.
     bytes: usize,
 }
 
@@ -451,6 +453,134 @@ impl RankFaults {
     }
 }
 
+/// Tag-classification spec for the per-link communication matrix: class
+/// names plus a pure function mapping a message tag to a class index.
+/// Installed once per machine ([`Machine::comm_matrix`]) and shared by
+/// every rank.
+struct CommSpec {
+    names: Vec<String>,
+    classify: Box<dyn Fn(u64) -> usize + Send + Sync>,
+}
+
+/// One rank's outgoing traffic, accounted per `(destination, tag class)`.
+/// Recording is pure counter arithmetic on the sending rank — it never
+/// reads or writes virtual clocks, so traced and untraced runs are bitwise
+/// identical (same discipline as span recording).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommRow {
+    /// Number of ranks (row length).
+    pub nranks: usize,
+    /// Number of tag classes.
+    pub nclasses: usize,
+    /// Payload bytes sent, indexed `dst * nclasses + class`. Every posted
+    /// copy is counted, including fault-injected duplicates.
+    pub bytes: Vec<u64>,
+    /// Messages sent, same indexing.
+    pub msgs: Vec<u64>,
+}
+
+impl CommRow {
+    fn new(nranks: usize, nclasses: usize) -> Self {
+        CommRow {
+            nranks,
+            nclasses,
+            bytes: vec![0; nranks * nclasses],
+            msgs: vec![0; nranks * nclasses],
+        }
+    }
+
+    /// Total payload bytes this rank sent.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total messages this rank sent.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+}
+
+/// Full src×dst×class traffic matrix of a run, assembled from the per-rank
+/// [`CommRow`]s. Row `src` holds what `src` sent; column sums therefore
+/// count what was *posted to* a rank (drained or not).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommMatrix {
+    /// Number of ranks.
+    pub nranks: usize,
+    /// Tag-class names, indexed by class.
+    pub class_names: Vec<String>,
+    /// Payload bytes, indexed `(src * nranks + dst) * nclasses + class`.
+    pub bytes: Vec<u64>,
+    /// Message counts, same indexing.
+    pub msgs: Vec<u64>,
+}
+
+impl CommMatrix {
+    fn new(nranks: usize, class_names: Vec<String>) -> Self {
+        let n = nranks * nranks * class_names.len();
+        CommMatrix {
+            nranks,
+            class_names,
+            bytes: vec![0; n],
+            msgs: vec![0; n],
+        }
+    }
+
+    /// Number of tag classes.
+    pub fn nclasses(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// `(bytes, msgs)` on the `src → dst` link in `class`.
+    pub fn at(&self, src: usize, dst: usize, class: usize) -> (u64, u64) {
+        let i = (src * self.nranks + dst) * self.nclasses() + class;
+        (self.bytes[i], self.msgs[i])
+    }
+
+    /// Bytes sent by `src` (row sum over destinations and classes).
+    pub fn sent_bytes(&self, src: usize) -> u64 {
+        let nc = self.nclasses();
+        let row = src * self.nranks * nc;
+        self.bytes[row..row + self.nranks * nc].iter().sum()
+    }
+
+    /// Messages sent by `src` (row sum).
+    pub fn sent_msgs(&self, src: usize) -> u64 {
+        let nc = self.nclasses();
+        let row = src * self.nranks * nc;
+        self.msgs[row..row + self.nranks * nc].iter().sum()
+    }
+
+    /// Bytes posted to `dst` (column sum over sources and classes).
+    pub fn posted_bytes(&self, dst: usize) -> u64 {
+        (0..self.nranks)
+            .flat_map(|s| (0..self.nclasses()).map(move |c| self.at(s, dst, c).0))
+            .sum()
+    }
+
+    /// Messages posted to `dst` (column sum).
+    pub fn posted_msgs(&self, dst: usize) -> u64 {
+        (0..self.nranks)
+            .flat_map(|s| (0..self.nclasses()).map(move |c| self.at(s, dst, c).1))
+            .sum()
+    }
+
+    /// Total bytes in tag class `class` across all links.
+    pub fn class_bytes(&self, class: usize) -> u64 {
+        self.bytes.iter().skip(class).step_by(self.nclasses()).sum()
+    }
+
+    /// Total bytes across all links and classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total messages across all links and classes.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+}
+
 /// Per-rank execution statistics (virtual time and counters).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RankStats {
@@ -468,10 +598,14 @@ pub struct RankStats {
     pub queue_peak: u64,
     /// Floating-point operations executed (as reported via `compute`).
     pub flops: f64,
-    /// Payload bytes sent.
+    /// Payload bytes sent (every posted copy, fault duplicates included).
     pub bytes_sent: u64,
-    /// Messages sent.
+    /// Messages sent (every posted copy, fault duplicates included).
     pub msgs_sent: u64,
+    /// Payload bytes received (consumed from the mailbox).
+    pub bytes_recv: u64,
+    /// Messages received (consumed from the mailbox).
+    pub msgs_recv: u64,
     /// Peak tracked memory (bytes) — fronts/factors report via `alloc`/`free`.
     pub mem_peak: u64,
 }
@@ -491,6 +625,8 @@ impl RankStats {
             flops: self.flops,
             bytes_sent: self.bytes_sent,
             msgs_sent: self.msgs_sent,
+            bytes_recv: self.bytes_recv,
+            msgs_recv: self.msgs_recv,
             mem_peak_bytes: self.mem_peak,
         }
     }
@@ -518,8 +654,14 @@ pub struct Rank {
     flops: f64,
     bytes_sent: u64,
     msgs_sent: u64,
+    bytes_recv: u64,
+    msgs_recv: u64,
     mem_cur: u64,
     mem_peak: u64,
+    /// Outgoing-traffic matrix row, present when the machine installed a
+    /// [`Machine::comm_matrix`] spec. Pure counters: recording never reads
+    /// or advances any clock.
+    comm: Option<(Arc<CommSpec>, CommRow)>,
     /// When on, communication ops and [`Rank::compute_as`] append
     /// [`SpanEvent`]s (virtual timestamps, `who = rank`). Recording never
     /// touches the clocks, so traced and untraced runs are bitwise
@@ -685,7 +827,10 @@ impl Rank {
     /// Post `payload` applying this rank's outgoing link faults: per-link
     /// in-network delay shifts the arrival (the sender's clock is
     /// untouched), and a duplicated link posts a second copy at the same
-    /// arrival. Returns the (possibly delayed) arrival time.
+    /// arrival. Returns the (possibly delayed) arrival time and the number
+    /// of copies posted (2 on a duplicated link) so the sender's byte and
+    /// message counters can account every copy that actually entered the
+    /// network — the receiver drains (or leaves queued) exactly that many.
     fn deliver<T: Payload>(
         &self,
         dst: usize,
@@ -693,7 +838,7 @@ impl Rank {
         payload: T,
         arrival: f64,
         bytes: usize,
-    ) -> f64 {
+    ) -> (f64, u64) {
         let mut arrival = arrival;
         if let Some(&extra) = self.faults.delay_out.get(&dst) {
             if extra > 0.0 {
@@ -705,6 +850,7 @@ impl Rank {
             }
         }
         let dup = self.faults.dup_out.contains(&dst);
+        let copies = if dup { 2 } else { 1 };
         if dup {
             self.post(dst, tag, Box::new(payload.clone()), arrival, bytes);
             self.shared
@@ -713,7 +859,28 @@ impl Rank {
                 .fetch_add(1, Ordering::Relaxed);
         }
         self.post(dst, tag, Box::new(payload), arrival, bytes);
-        arrival
+        (arrival, copies)
+    }
+
+    /// Account `copies` posted copies of a `bytes`-byte message to `dst`
+    /// under `tag` on the sender's counters and (when installed) the
+    /// communication-matrix row. Counter arithmetic only — no clock access,
+    /// so accounting can never perturb virtual time.
+    #[inline]
+    fn note_posted(&mut self, dst: usize, tag: u64, bytes: usize, copies: u64) {
+        self.bytes_sent += bytes as u64 * copies;
+        self.msgs_sent += copies;
+        if let Some((spec, row)) = self.comm.as_mut() {
+            let class = (spec.classify)(tag);
+            debug_assert!(
+                class < spec.names.len(),
+                "tag {tag} classified to {class} of {} classes",
+                spec.names.len()
+            );
+            let i = dst * row.nclasses + class.min(row.nclasses - 1);
+            row.bytes[i] += bytes as u64 * copies;
+            row.msgs[i] += copies;
+        }
     }
 
     /// Send `payload` to rank `dst` with `tag`. The sender is occupied for
@@ -731,9 +898,8 @@ impl Rank {
         self.push_span(Phase::Comm, None, self.clock, dt);
         self.clock += dt;
         self.comm_s += dt;
-        self.bytes_sent += bytes as u64;
-        self.msgs_sent += 1;
-        self.deliver(dst, tag, payload, self.clock, bytes);
+        let (_, copies) = self.deliver(dst, tag, payload, self.clock, bytes);
+        self.note_posted(dst, tag, bytes, copies);
     }
 
     /// Nonblocking send: the sender is occupied for `α` only; the `bytes·β`
@@ -752,9 +918,8 @@ impl Rank {
         self.clock += m.alpha_s;
         self.comm_s += m.alpha_s;
         self.comm_hidden_s += transfer;
-        self.bytes_sent += bytes as u64;
-        self.msgs_sent += 1;
-        let arrival = self.deliver(dst, tag, payload, self.clock + transfer, bytes);
+        let (arrival, copies) = self.deliver(dst, tag, payload, self.clock + transfer, bytes);
+        self.note_posted(dst, tag, bytes, copies);
         SendReq {
             complete_at: arrival,
         }
@@ -973,13 +1138,21 @@ impl Rank {
     }
 
     fn pop_head(&mut self, src: usize, tag: u64) -> (Box<dyn Any + Send>, f64) {
-        let mut q = self.shared.boxes[self.rank].queues.lock();
-        let msg = q
-            .map
-            .get_mut(&(src, tag))
-            .and_then(|d| d.pop_front())
-            .expect("message head vanished between wait and pop");
-        q.depth -= 1;
+        let msg = {
+            let mut q = self.shared.boxes[self.rank].queues.lock();
+            let msg = q
+                .map
+                .get_mut(&(src, tag))
+                .and_then(|d| d.pop_front())
+                .expect("message head vanished between wait and pop");
+            q.depth -= 1;
+            msg
+        };
+        // Receive counters are bumped here, on the deterministic consume
+        // path — never read back from mailbox state at snapshot time, which
+        // (like `queue_peak`) could race host scheduling.
+        self.bytes_recv += msg.bytes as u64;
+        self.msgs_recv += 1;
         (msg.data, msg.arrival)
     }
 
@@ -1124,8 +1297,18 @@ impl Rank {
             flops: self.flops,
             bytes_sent: self.bytes_sent,
             msgs_sent: self.msgs_sent,
+            bytes_recv: self.bytes_recv,
+            msgs_recv: self.msgs_recv,
             mem_peak: self.mem_peak,
         }
+    }
+
+    /// Snapshot of this rank's communication-matrix row (`None` unless the
+    /// machine installed [`Machine::comm_matrix`]). Programs snapshot it
+    /// alongside [`Rank::stats`] to exclude epilogue traffic (e.g. factor
+    /// gather) from a report while the machine-level matrix keeps counting.
+    pub fn comm_row(&self) -> Option<CommRow> {
+        self.comm.as_ref().map(|(_, row)| row.clone())
     }
 }
 
@@ -1142,6 +1325,9 @@ pub struct RunReport<R> {
     pub makespan_s: f64,
     /// Injected-fault activity (all zero without a [`FaultPlan`]).
     pub fault_counts: FaultCounts,
+    /// Full src×dst×class traffic matrix (`None` unless
+    /// [`Machine::comm_matrix`] installed a tag classifier).
+    pub comm: Option<CommMatrix>,
 }
 
 impl<R> RunReport<R> {
@@ -1234,6 +1420,9 @@ pub struct VerdictReport<R> {
     pub fault_counts: FaultCounts,
     /// Maximum final virtual clock across ranks (seconds).
     pub makespan_s: f64,
+    /// Full src×dst×class traffic matrix (`None` unless
+    /// [`Machine::comm_matrix`] installed a tag classifier).
+    pub comm: Option<CommMatrix>,
 }
 
 /// A simulated message-passing machine with a fixed rank count and cost
@@ -1244,6 +1433,7 @@ pub struct Machine {
     trace: bool,
     plan: FaultPlan,
     recv_timeout: Option<f64>,
+    comm: Option<Arc<CommSpec>>,
 }
 
 /// How one rank's program ended.
@@ -1266,6 +1456,7 @@ struct RankSlot<R, E> {
     end: RankEnd<R, E>,
     stats: RankStats,
     events: Vec<SpanEvent>,
+    comm: Option<CommRow>,
 }
 
 /// Everything `run_inner` learns about a run, before any policy (panic
@@ -1276,6 +1467,7 @@ struct InnerRun<R, E> {
     panic: Option<Box<dyn Any + Send>>,
     abort: Option<AbortReason>,
     counts: FaultCounts,
+    comm: Option<CommMatrix>,
 }
 
 impl Machine {
@@ -1288,7 +1480,26 @@ impl Machine {
             trace: false,
             plan: FaultPlan::new(),
             recv_timeout: None,
+            comm: None,
         }
+    }
+
+    /// Account every send into a src×dst traffic matrix broken down by tag
+    /// class: `classify` maps a message tag to an index into `class_names`.
+    /// Off by default. Recording is pure counter arithmetic on the sending
+    /// rank — it never touches virtual clocks, so enabling the matrix
+    /// changes no result, clock, or makespan bit (tested). The assembled
+    /// matrix comes back in [`RunReport::comm`] / [`VerdictReport::comm`].
+    pub fn comm_matrix<F>(mut self, class_names: &[&str], classify: F) -> Self
+    where
+        F: Fn(u64) -> usize + Send + Sync + 'static,
+    {
+        assert!(!class_names.is_empty(), "comm_matrix needs >= 1 class");
+        self.comm = Some(Arc::new(CommSpec {
+            names: class_names.iter().map(|s| s.to_string()).collect(),
+            classify: Box::new(classify),
+        }));
+        self
     }
 
     /// Record communication events (and [`Rank::compute_as`] spans) on
@@ -1408,6 +1619,7 @@ impl Machine {
             events,
             makespan_s: makespan,
             fault_counts: inner.counts,
+            comm: inner.comm,
         })
     }
 
@@ -1481,6 +1693,7 @@ impl Machine {
             events,
             fault_counts: inner.counts,
             makespan_s: makespan,
+            comm: inner.comm,
         }
     }
 
@@ -1537,8 +1750,13 @@ impl Machine {
                                 flops: 0.0,
                                 bytes_sent: 0,
                                 msgs_sent: 0,
+                                bytes_recv: 0,
+                                msgs_recv: 0,
                                 mem_cur: 0,
                                 mem_peak: 0,
+                                comm: self.comm.as_ref().map(|s| {
+                                    (Arc::clone(s), CommRow::new(self.nranks, s.names.len()))
+                                }),
                                 trace: self.trace,
                                 events: RefCell::new(Vec::new()),
                                 faults: RankFaults::compile(&self.plan, r, &self.model),
@@ -1591,6 +1809,7 @@ impl Machine {
                                 end,
                                 stats: rank.stats(),
                                 events: rank.take_events(),
+                                comm: rank.comm.take().map(|(_, row)| row),
                             });
                             Ok(())
                         })
@@ -1610,20 +1829,73 @@ impl Machine {
         });
         let abort_reason = shared.abort_reason.lock().clone();
         let counts = shared.faults.snapshot();
-        InnerRun {
-            slots: slots
-                .into_iter()
-                .map(|s| {
-                    s.unwrap_or(RankSlot {
-                        end: RankEnd::Stalled,
-                        stats: RankStats::default(),
-                        events: Vec::new(),
-                    })
+        let slots: Vec<RankSlot<R, E>> = slots
+            .into_iter()
+            .map(|s| {
+                s.unwrap_or(RankSlot {
+                    end: RankEnd::Stalled,
+                    stats: RankStats::default(),
+                    events: Vec::new(),
+                    comm: None,
                 })
-                .collect(),
+            })
+            .collect();
+        let comm = self.comm.as_ref().map(|spec| {
+            let mut m = CommMatrix::new(self.nranks, spec.names.clone());
+            let nc = spec.names.len();
+            for (src, slot) in slots.iter().enumerate() {
+                if let Some(row) = &slot.comm {
+                    let base = src * self.nranks * nc;
+                    m.bytes[base..base + row.bytes.len()].copy_from_slice(&row.bytes);
+                    m.msgs[base..base + row.msgs.len()].copy_from_slice(&row.msgs);
+                }
+            }
+            // Reconciliation (debug builds): the matrix must agree with the
+            // per-rank counters exactly — row sums with what each rank sent,
+            // column sums with what each rank drained plus what is still
+            // queued at its mailbox (crashed receivers and fault-injected
+            // duplicates leave messages behind). Skipped when a real panic
+            // lost a rank's row — its sends were posted but not captured.
+            if cfg!(debug_assertions) && first_panic.is_none() {
+                for (r, slot) in slots.iter().enumerate() {
+                    debug_assert_eq!(
+                        m.sent_bytes(r),
+                        slot.stats.bytes_sent,
+                        "rank {r}: comm-matrix row bytes disagree with bytes_sent"
+                    );
+                    debug_assert_eq!(
+                        m.sent_msgs(r),
+                        slot.stats.msgs_sent,
+                        "rank {r}: comm-matrix row msgs disagree with msgs_sent"
+                    );
+                    let q = shared.boxes[r].queues.lock();
+                    let leftover_bytes: u64 = q
+                        .map
+                        .values()
+                        .flat_map(|d| d.iter())
+                        .map(|msg| msg.bytes as u64)
+                        .sum();
+                    let leftover_msgs: u64 = q.map.values().map(|d| d.len() as u64).sum();
+                    debug_assert_eq!(
+                        m.posted_bytes(r),
+                        slot.stats.bytes_recv + leftover_bytes,
+                        "rank {r}: comm-matrix column bytes disagree with bytes_recv + queued"
+                    );
+                    debug_assert_eq!(
+                        m.posted_msgs(r),
+                        slot.stats.msgs_recv + leftover_msgs,
+                        "rank {r}: comm-matrix column msgs disagree with msgs_recv + queued"
+                    );
+                }
+            }
+            m
+        });
+        InnerRun {
+            slots,
             panic: first_panic,
             abort: abort_reason,
             counts,
+            comm,
         }
     }
 }
@@ -2425,6 +2697,152 @@ mod tests {
                 }
                 0
             });
+    }
+
+    // ---- communication matrix ----
+
+    /// Classifier used by the matrix tests: even tags class 0, odd class 1.
+    fn parity(tag: u64) -> usize {
+        (tag % 2) as usize
+    }
+
+    #[test]
+    fn comm_matrix_counts_per_link_and_class() {
+        let r = Machine::new(3, CostModel::zero_cost())
+            .comm_matrix(&["even", "odd"], parity)
+            .run(|rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 2, vec![1.0f64; 4]); // 32 B, class 0
+                    rank.send(2, 3, vec![1.0f64; 2]); // 16 B, class 1
+                    let _req = rank.isend(2, 5, 7u64); // 8 B, class 1
+                } else if rank.rank() == 1 {
+                    let _: Vec<f64> = rank.recv(0, 2);
+                } else {
+                    let _: Vec<f64> = rank.recv(0, 3);
+                    let _: u64 = rank.recv(0, 5);
+                }
+                0
+            });
+        let m = r.comm.expect("matrix requested");
+        assert_eq!(m.class_names, vec!["even", "odd"]);
+        assert_eq!(m.at(0, 1, 0), (32, 1));
+        assert_eq!(m.at(0, 2, 1), (16 + 8, 2));
+        assert_eq!(m.at(0, 2, 0), (0, 0));
+        assert_eq!(m.sent_bytes(0), 56);
+        assert_eq!(m.posted_bytes(2), 24);
+        assert_eq!(m.class_bytes(1), 24);
+        assert_eq!(m.total_bytes(), 56);
+        assert_eq!(m.total_msgs(), 3);
+        // Row/column sums reconcile with the per-rank counters.
+        assert_eq!(r.stats[0].bytes_sent, 56);
+        assert_eq!(r.stats[2].bytes_recv, 24);
+        assert_eq!(r.stats[2].msgs_recv, 2);
+    }
+
+    #[test]
+    fn comm_matrix_off_by_default_and_never_perturbs_clocks() {
+        let program = |rank: &mut Rank| {
+            if rank.rank() == 0 {
+                rank.compute(1e6);
+                rank.send(1, 4, vec![2.0f64; 128]);
+                let req = rank.isend(1, 5, vec![3.0f64; 64]);
+                rank.wait_send(req);
+            } else {
+                let _: Vec<f64> = rank.recv(0, 4);
+                let _: Vec<f64> = rank.recv(0, 5);
+            }
+            rank.clock()
+        };
+        let plain = Machine::new(2, CostModel::bluegene_p()).run(program);
+        assert!(plain.comm.is_none());
+        let traced = Machine::new(2, CostModel::bluegene_p())
+            .comm_matrix(&["even", "odd"], parity)
+            .run(program);
+        // Bitwise identical virtual time with and without the matrix.
+        for (a, b) in plain.results.iter().zip(&traced.results) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(plain.makespan_s.to_bits(), traced.makespan_s.to_bits());
+        assert_eq!(traced.comm.unwrap().total_msgs(), 2);
+    }
+
+    /// Fault-injected duplicates are posted into the network, so the sender
+    /// counts both copies — row sums, column sums, and receive counters all
+    /// agree (the end-of-run debug reconciliation also checks this).
+    #[test]
+    fn duplicated_messages_count_in_matrix_and_stats() {
+        let v = Machine::new(2, CostModel::zero_cost())
+            .fault_plan(FaultPlan::new().duplicate_link(0, 1))
+            .comm_matrix(&["even", "odd"], parity)
+            .run_verdict(|rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 1, 9u64);
+                } else {
+                    let a: u64 = rank.recv(0, 1);
+                    let b: u64 = rank.recv(0, 1); // the injected copy
+                    assert_eq!(a + b, 18);
+                }
+                0
+            });
+        assert!(v.verdict.is_completed());
+        assert_eq!(v.fault_counts.duplicated_msgs, 1);
+        assert_eq!(v.stats[0].bytes_sent, 16);
+        assert_eq!(v.stats[0].msgs_sent, 2);
+        assert_eq!(v.stats[1].bytes_recv, 16);
+        let m = v.comm.expect("matrix requested");
+        assert_eq!(m.at(0, 1, 1), (16, 2));
+    }
+
+    /// An undrained duplicate stays queued; the reconciliation assertion
+    /// accepts it as leftover rather than mis-flagging a lost byte.
+    #[test]
+    fn undrained_duplicate_reconciles_as_leftover() {
+        let v = Machine::new(2, CostModel::zero_cost())
+            .fault_plan(FaultPlan::new().duplicate_link(0, 1))
+            .comm_matrix(&["even", "odd"], parity)
+            .run_verdict(|rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 1, 9u64);
+                } else {
+                    let _: u64 = rank.recv(0, 1); // drain one of two copies
+                }
+                0
+            });
+        assert!(v.verdict.is_completed());
+        assert_eq!(v.stats[0].bytes_sent, 16);
+        assert_eq!(v.stats[1].bytes_recv, 8);
+        assert_eq!(v.comm.unwrap().posted_bytes(1), 16);
+    }
+
+    #[test]
+    fn broadcast_forwards_land_in_matrix_rows() {
+        // Binomial-tree bcast/ibcast forward through intermediate ranks;
+        // each forward must appear on the forwarder's row so the matrix
+        // reconciles (checked by the debug assertion at run end).
+        let r = Machine::new(4, CostModel::bluegene_p())
+            .comm_matrix(&["even", "odd"], parity)
+            .run(|rank| {
+                let world = collective::Group::world(rank.nranks());
+                let seed = (rank.rank() == 0).then(|| vec![1.0f64; 16]);
+                let v = collective::bcast(rank, &world, 0, seed, 6);
+                assert_eq!(v.len(), 16);
+                let seed = (rank.rank() == 0).then(|| vec![2.0f64; 8]);
+                let w = collective::ibcast(rank, &world, 0, seed, 8);
+                v[0] + w[0]
+            });
+        let m = r.comm.expect("matrix requested");
+        // Every non-root rank received both payloads exactly once.
+        for dst in 1..4 {
+            assert_eq!(m.posted_bytes(dst), 16 * 8 + 8 * 8);
+        }
+        // Forwarding ranks sent some of that traffic (root did not send to
+        // every rank directly in a 4-rank binomial tree).
+        let forwarded: u64 = (1..4).map(|s| m.sent_bytes(s)).sum();
+        assert!(forwarded > 0, "no forwards recorded");
+        assert_eq!(
+            m.total_bytes(),
+            (0..4).map(|s| r.stats[s].bytes_sent).sum::<u64>()
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!    simulator's per-rank statistics into the report (see
 //!    [`crate::report`]).
 
+use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -278,6 +280,27 @@ impl Counters {
     }
 }
 
+/// What one worker (thread id for SMP, 0 for sequential) contributed:
+/// attributed kernel seconds, flops, and its own allocation high-water
+/// mark. Accumulated in the [`Collector`] as recorders flush, so the host
+/// engines can report per-worker rows the way the distributed engine
+/// reports per-rank rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerSummary {
+    /// Recorder id (`who` passed to [`Collector::local`]).
+    pub who: usize,
+    /// Seconds attributed to numeric kernels (extend-add + panel + gemm +
+    /// solve) on this worker.
+    pub compute_s: f64,
+    /// Factorization flops performed by this worker.
+    pub flops: f64,
+    /// High-water mark of tracked memory *allocated by* this worker, bytes.
+    /// (A front freed by a different worker under work stealing is debited
+    /// there; per-worker peaks attribute allocation pressure, the global
+    /// [`Counters::mem_peak_bytes`] remains the true concurrent peak.)
+    pub mem_peak_bytes: u64,
+}
+
 /// Atomic f64 accumulator (bit-cast CAS loop; contention is one merge per
 /// thread per factorization, so the loop never spins in practice).
 #[derive(Default)]
@@ -340,6 +363,7 @@ pub struct Collector {
     mem_cur: AtomicU64,
     mem_peak: AtomicU64,
     spans: Mutex<Vec<SpanEvent>>,
+    workers: Mutex<BTreeMap<usize, WorkerSummary>>,
 }
 
 impl Collector {
@@ -367,6 +391,7 @@ impl Collector {
             mem_cur: AtomicU64::new(0),
             mem_peak: AtomicU64::new(0),
             spans: Mutex::new(Vec::new()),
+            workers: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -394,6 +419,8 @@ impl Collector {
             who,
             c: Counters::default(),
             spans: Vec::new(),
+            mem_cur: Cell::new(0),
+            mem_peak: Cell::new(0),
         }
     }
 
@@ -462,6 +489,28 @@ impl Collector {
         self.mem_peak.fetch_max(c.mem_peak_bytes, Ordering::Relaxed);
     }
 
+    /// Fold a worker's contribution into its per-worker summary (called
+    /// from [`LocalRecorder::flush`]). Seconds and flops accumulate —
+    /// an engine may open several recorders for the same `who` — and the
+    /// memory peak takes the max.
+    fn note_worker(&self, s: WorkerSummary) {
+        let mut map = self.workers.lock().unwrap();
+        let e = map.entry(s.who).or_insert(WorkerSummary {
+            who: s.who,
+            ..WorkerSummary::default()
+        });
+        e.compute_s += s.compute_s;
+        e.flops += s.flops;
+        e.mem_peak_bytes = e.mem_peak_bytes.max(s.mem_peak_bytes);
+    }
+
+    /// Per-worker summaries accumulated so far, ordered by worker id.
+    /// Meaningful once every recorder has flushed (host engines call this
+    /// after the factorization joins its workers).
+    pub fn worker_summaries(&self) -> Vec<WorkerSummary> {
+        self.workers.lock().unwrap().values().copied().collect()
+    }
+
     /// Snapshot every counter.
     pub fn snapshot(&self) -> Counters {
         Counters {
@@ -516,6 +565,7 @@ impl Collector {
         self.mem_cur.store(0, Ordering::Relaxed);
         self.mem_peak.store(0, Ordering::Relaxed);
         self.spans.lock().unwrap().clear();
+        self.workers.lock().unwrap().clear();
     }
 
     /// Seconds since the collector was created (span timestamps base).
@@ -537,6 +587,11 @@ pub struct LocalRecorder<'a> {
     who: usize,
     c: Counters,
     spans: Vec<SpanEvent>,
+    // This worker's own allocation high-water (Cells so the hooks stay
+    // `&self` like the collector's). The global collector peak remains the
+    // concurrent truth; this feeds the per-worker summary.
+    mem_cur: Cell<u64>,
+    mem_peak: Cell<u64>,
 }
 
 impl LocalRecorder<'_> {
@@ -608,21 +663,42 @@ impl LocalRecorder<'_> {
         }
     }
 
-    /// Tracked allocation — delegates to the (global) high-water mark.
+    /// Tracked allocation — updates both the global high-water mark and
+    /// this worker's own.
     #[inline]
     pub fn mem_alloc(&self, bytes: usize) {
+        if !self.enabled() {
+            return;
+        }
         self.tr.mem_alloc(bytes);
+        let cur = self.mem_cur.get() + bytes as u64;
+        self.mem_cur.set(cur);
+        self.mem_peak.set(self.mem_peak.get().max(cur));
     }
 
-    /// Tracked release.
+    /// Tracked release (saturating locally: a front allocated on another
+    /// worker may be freed here under work stealing).
     #[inline]
     pub fn mem_free(&self, bytes: usize) {
+        if !self.enabled() {
+            return;
+        }
         self.tr.mem_free(bytes);
+        self.mem_cur
+            .set(self.mem_cur.get().saturating_sub(bytes as u64));
     }
 
     /// Merge into the parent collector now (drop does this implicitly).
     pub fn flush(&mut self) {
         self.tr.absorb(&self.c, &mut self.spans);
+        if self.enabled() {
+            self.tr.note_worker(WorkerSummary {
+                who: self.who,
+                compute_s: self.c.extend_add_s + self.c.panel_s + self.c.gemm_s + self.c.solve_s,
+                flops: self.c.flops,
+                mem_peak_bytes: self.mem_peak.get(),
+            });
+        }
         self.c = Counters::default();
     }
 }
@@ -843,6 +919,55 @@ mod tests {
             c.structure_s,
         ];
         assert_eq!(vals, [1.0; 7]);
+    }
+
+    #[test]
+    fn worker_summaries_track_per_worker_compute_and_memory() {
+        let tr = Collector::new(TraceLevel::Counters);
+        std::thread::scope(|scope| {
+            for w in 0..3usize {
+                let tr = &tr;
+                scope.spawn(move || {
+                    let mut rec = tr.local(w);
+                    rec.add_flops((w + 1) as f64 * 100.0);
+                    rec.mem_alloc(1000 * (w + 1));
+                    rec.mem_free(1000 * (w + 1));
+                    rec.mem_alloc(500);
+                    rec.mem_free(500);
+                });
+            }
+        });
+        let ws = tr.worker_summaries();
+        assert_eq!(ws.len(), 3);
+        for (w, s) in ws.iter().enumerate() {
+            assert_eq!(s.who, w);
+            assert_eq!(s.flops, (w + 1) as f64 * 100.0);
+            assert_eq!(s.mem_peak_bytes, 1000 * (w as u64 + 1));
+            assert!(s.compute_s >= 0.0);
+        }
+        // A second recorder for the same worker accumulates time/flops and
+        // maxes memory.
+        {
+            let mut rec = tr.local(1);
+            rec.add_flops(1.0);
+            rec.mem_alloc(10);
+        }
+        let ws = tr.worker_summaries();
+        assert_eq!(ws[1].flops, 201.0);
+        assert_eq!(ws[1].mem_peak_bytes, 2000);
+        tr.reset();
+        assert!(tr.worker_summaries().is_empty());
+    }
+
+    #[test]
+    fn disabled_collector_records_no_worker_summaries() {
+        let tr = Collector::disabled();
+        {
+            let mut rec = tr.local(0);
+            rec.add_flops(1.0);
+            rec.mem_alloc(64);
+        }
+        assert!(tr.worker_summaries().is_empty());
     }
 
     #[test]

@@ -31,14 +31,20 @@
 
 pub mod collector;
 pub mod json;
+pub mod metrics;
 pub mod profile;
 pub mod report;
 pub mod timeline;
 
 pub use collector::{
     sort_spans, Collector, Counters, LocalRecorder, Phase, SpanEvent, Tick, TraceLevel,
+    WorkerSummary,
 };
 pub use json::{json_escape, json_escaped};
+pub use metrics::Registry;
 pub use profile::{BlockingEdge, ProfileReport, RankActivity};
-pub use report::{AnalysisReport, FactorReport, FaultReport, RankReport, SolveReport};
+pub use report::{
+    AnalysisReport, CommMatrixReport, FactorReport, FaultReport, RankReport, RankScalability,
+    ScalabilityReport, SolveReport,
+};
 pub use timeline::{Lane, LaneKind, Timeline};

@@ -1,0 +1,929 @@
+//! A small, dependency-free metrics registry with Prometheus-style text
+//! exposition.
+//!
+//! Engines publish what a run measured — phase timings, kernel rates,
+//! communication matrices, memory high-water marks — into a [`Registry`] of
+//! counters, gauges and histograms, which renders to the Prometheus text
+//! exposition format (scrape-ready) or to the hand-rolled JSON tree.
+//! [`Registry::from_report`] builds the whole surface from a finished
+//! [`FactorReport`], so both CLIs can emit metrics without threading a
+//! registry through the engines.
+//!
+//! The exposition writer is paired with a minimal parser
+//! ([`Registry::parse_prometheus`]) used by the golden round-trip tests:
+//! `parse(render(r)) == r` bit-for-bit on every sample value.
+
+use crate::json::Json;
+use crate::report::FactorReport;
+
+/// Metric family kind, mirroring the Prometheus `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Kind> {
+        match s {
+            "counter" => Some(Kind::Counter),
+            "gauge" => Some(Kind::Gauge),
+            "histogram" => Some(Kind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+/// A histogram sample: cumulative bucket counts over fixed upper bounds,
+/// plus sum and count (the Prometheus histogram data model).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    /// Bucket upper bounds, ascending. An implicit `+Inf` bucket follows.
+    pub bounds: Vec<f64>,
+    /// Cumulative counts per bound (same length as `bounds`), then total
+    /// observations in `count`.
+    pub counts: Vec<u64>,
+    /// Sum of every observed value.
+    pub sum: f64,
+    /// Total observations (the `+Inf` cumulative count).
+    pub count: u64,
+}
+
+impl Histogram {
+    /// A histogram over `bounds` with every bucket empty.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        for (i, &b) in self.bounds.iter().enumerate() {
+            if v <= b {
+                self.counts[i] += 1;
+            }
+        }
+        self.sum += v;
+        self.count += 1;
+    }
+}
+
+/// One sample within a family: a label set and a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Label pairs, in render order.
+    pub labels: Vec<(String, String)>,
+    /// Scalar value (counter/gauge families).
+    pub value: f64,
+    /// Histogram value (histogram families); `value` is unused then.
+    pub hist: Option<Histogram>,
+}
+
+/// A metric family: name, help text, kind, and its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    pub name: String,
+    pub help: String,
+    pub kind: Kind,
+    pub samples: Vec<Sample>,
+}
+
+/// An insertion-ordered collection of metric families.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    families: Vec<Family>,
+}
+
+/// Labels are passed as `&[("rank", "3")]` slices.
+pub type Labels<'a> = &'a [(&'a str, &'a str)];
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The families, in insertion order.
+    pub fn families(&self) -> &[Family] {
+        &self.families
+    }
+
+    fn family_mut(&mut self, name: &str, help: &str, kind: Kind) -> &mut Family {
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            assert_eq!(
+                self.families[i].kind, kind,
+                "metric '{name}' re-registered with a different kind"
+            );
+            return &mut self.families[i];
+        }
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            samples: Vec::new(),
+        });
+        self.families.last_mut().expect("just pushed")
+    }
+
+    fn upsert(&mut self, name: &str, help: &str, kind: Kind, labels: Labels, value: f64) {
+        let fam = self.family_mut(name, help, kind);
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        if let Some(s) = fam.samples.iter_mut().find(|s| s.labels == labels) {
+            s.value = value;
+        } else {
+            fam.samples.push(Sample {
+                labels,
+                value,
+                hist: None,
+            });
+        }
+    }
+
+    /// Set a counter sample (monotonic totals; by convention the name ends
+    /// in `_total`).
+    pub fn counter(&mut self, name: &str, help: &str, labels: Labels, value: f64) {
+        self.upsert(name, help, Kind::Counter, labels, value);
+    }
+
+    /// Set a gauge sample (point-in-time values).
+    pub fn gauge(&mut self, name: &str, help: &str, labels: Labels, value: f64) {
+        self.upsert(name, help, Kind::Gauge, labels, value);
+    }
+
+    /// Record an observation into a histogram sample, creating it over
+    /// `bounds` on first touch.
+    pub fn observe(&mut self, name: &str, help: &str, labels: Labels, bounds: &[f64], v: f64) {
+        let fam = self.family_mut(name, help, Kind::Histogram);
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let sample = match fam.samples.iter_mut().find(|s| s.labels == labels) {
+            Some(s) => s,
+            None => {
+                fam.samples.push(Sample {
+                    labels,
+                    value: 0.0,
+                    hist: Some(Histogram::new(bounds)),
+                });
+                fam.samples.last_mut().expect("just pushed")
+            }
+        };
+        sample
+            .hist
+            .as_mut()
+            .expect("histogram family sample without histogram")
+            .observe(v);
+    }
+
+    /// Render to the Prometheus text exposition format (version 0.0.4):
+    /// `# HELP` / `# TYPE` headers followed by one line per sample, with
+    /// histogram samples expanded into `_bucket`/`_sum`/`_count` series.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", f.name, escape_help(&f.help)));
+            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.name()));
+            for s in &f.samples {
+                match &s.hist {
+                    None => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, None),
+                            fmt_value(s.value)
+                        ));
+                    }
+                    Some(h) => {
+                        for (i, &b) in h.bounds.iter().enumerate() {
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                f.name,
+                                render_labels(&s.labels, Some(&fmt_value(b))),
+                                h.counts[i]
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, Some("+Inf")),
+                            h.count
+                        ));
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, None),
+                            fmt_value(h.sum)
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            f.name,
+                            render_labels(&s.labels, None),
+                            h.count
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render to a JSON tree (families → samples, histograms inline).
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.families
+                .iter()
+                .map(|f| {
+                    let samples = f
+                        .samples
+                        .iter()
+                        .map(|s| {
+                            let mut fields = vec![(
+                                "labels".to_string(),
+                                Json::Obj(
+                                    s.labels
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), Json::str(v)))
+                                        .collect(),
+                                ),
+                            )];
+                            match &s.hist {
+                                None => fields.push(("value".to_string(), Json::num_f64(s.value))),
+                                Some(h) => {
+                                    fields.push((
+                                        "buckets".to_string(),
+                                        Json::Arr(
+                                            h.bounds
+                                                .iter()
+                                                .zip(&h.counts)
+                                                .map(|(&b, &c)| {
+                                                    Json::Arr(vec![
+                                                        Json::num_f64(b),
+                                                        Json::num_u64(c),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ));
+                                    fields.push(("sum".to_string(), Json::num_f64(h.sum)));
+                                    fields.push(("count".to_string(), Json::num_u64(h.count)));
+                                }
+                            }
+                            Json::Obj(fields)
+                        })
+                        .collect();
+                    Json::Obj(vec![
+                        ("name".to_string(), Json::str(&f.name)),
+                        ("help".to_string(), Json::str(&f.help)),
+                        ("type".to_string(), Json::str(f.kind.name())),
+                        ("samples".to_string(), Json::Arr(samples)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Parse text previously produced by [`Registry::to_prometheus`].
+    /// Supports exactly the subset that writer emits (HELP/TYPE headers,
+    /// labeled samples, histogram expansion); used by the golden
+    /// round-trip tests and by downstream tooling that re-reads emitted
+    /// metrics files.
+    pub fn parse_prometheus(text: &str) -> Result<Registry, String> {
+        let mut reg = Registry::new();
+        for (ln, line) in text.lines().enumerate() {
+            let err = |msg: &str| format!("line {}: {msg}: {line}", ln + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest
+                    .split_once(' ')
+                    .map(|(n, h)| (n, unescape_help(h)))
+                    .unwrap_or((rest, String::new()));
+                // Kind is patched by the TYPE line that follows.
+                match reg.families.iter_mut().find(|f| f.name == name) {
+                    Some(f) => f.help = help,
+                    None => reg.families.push(Family {
+                        name: name.to_string(),
+                        help,
+                        kind: Kind::Gauge,
+                        samples: Vec::new(),
+                    }),
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').ok_or_else(|| err("bad TYPE"))?;
+                let kind = Kind::from_name(kind).ok_or_else(|| err("unknown kind"))?;
+                match reg.families.iter_mut().find(|f| f.name == name) {
+                    Some(f) => f.kind = kind,
+                    None => reg.families.push(Family {
+                        name: name.to_string(),
+                        help: String::new(),
+                        kind,
+                        samples: Vec::new(),
+                    }),
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // comment
+            }
+            // Sample line: name{labels} value
+            let (head, value) = line.rsplit_once(' ').ok_or_else(|| err("no value"))?;
+            let (name, labels) = match head.split_once('{') {
+                Some((n, rest)) => {
+                    let body = rest.strip_suffix('}').ok_or_else(|| err("unclosed {"))?;
+                    (n, parse_labels(body).map_err(|m| err(&m))?)
+                }
+                None => (head, Vec::new()),
+            };
+            let num = |v: &str| -> Result<f64, String> {
+                if v == "+Inf" {
+                    Ok(f64::INFINITY)
+                } else {
+                    v.parse::<f64>().map_err(|_| err("bad number"))
+                }
+            };
+            // Histogram sub-series attach to their base family.
+            if let Some(base) = name.strip_suffix("_bucket") {
+                if let Some(fam) = reg.families.iter_mut().find(|f| f.name == base) {
+                    let le = labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .ok_or_else(|| err("bucket without le"))?
+                        .1
+                        .clone();
+                    let rest: Vec<(String, String)> =
+                        labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+                    let count = num(value)? as u64;
+                    let s = find_or_insert_hist(fam, rest);
+                    let h = s.hist.as_mut().expect("hist sample");
+                    if le == "+Inf" {
+                        h.count = count;
+                    } else {
+                        h.bounds.push(num(&le)?);
+                        h.counts.push(count);
+                    }
+                    continue;
+                }
+            }
+            if let Some(base) = name.strip_suffix("_sum") {
+                if let Some(fam) = reg
+                    .families
+                    .iter_mut()
+                    .find(|f| f.name == base && f.kind == Kind::Histogram)
+                {
+                    let s = find_or_insert_hist(fam, labels);
+                    s.hist.as_mut().expect("hist sample").sum = num(value)?;
+                    continue;
+                }
+            }
+            if let Some(base) = name.strip_suffix("_count") {
+                if let Some(fam) = reg
+                    .families
+                    .iter_mut()
+                    .find(|f| f.name == base && f.kind == Kind::Histogram)
+                {
+                    let s = find_or_insert_hist(fam, labels);
+                    s.hist.as_mut().expect("hist sample").count = num(value)? as u64;
+                    continue;
+                }
+            }
+            let v = num(value)?;
+            let fam = reg
+                .families
+                .iter_mut()
+                .find(|f| f.name == name)
+                .ok_or_else(|| err("sample before TYPE"))?;
+            fam.samples.push(Sample {
+                labels,
+                value: v,
+                hist: None,
+            });
+        }
+        Ok(reg)
+    }
+
+    /// Build the full metrics surface from a finished factorization report:
+    /// run shape, phase timings, kernel rates, per-rank statistics, the
+    /// communication matrix, memory high-water marks, and the
+    /// predicted-vs-measured scalability terms.
+    pub fn from_report(r: &FactorReport) -> Registry {
+        let mut m = Registry::new();
+        let eng: Labels = &[("engine", &r.engine)];
+        m.gauge("parfact_info", "Run identity; value is always 1.", eng, 1.0);
+        m.gauge("parfact_n", "Matrix order.", &[], r.n as f64);
+        m.gauge(
+            "parfact_factor_nnz",
+            "Nonzeros in the computed factor L.",
+            &[],
+            r.factor_nnz as f64,
+        );
+        m.gauge(
+            "parfact_nsuper",
+            "Supernodes in the assembly tree.",
+            &[],
+            r.nsuper as f64,
+        );
+        for (phase, secs) in [
+            ("ordering", r.ordering_s),
+            ("symbolic", r.symbolic_s),
+            ("numeric", r.numeric_s),
+        ] {
+            m.gauge(
+                "parfact_phase_seconds",
+                "Wall-clock seconds per solver phase.",
+                &[("phase", phase)],
+                secs,
+            );
+        }
+        for (kernel, secs) in [
+            ("extend_add", r.counters.extend_add_s),
+            ("panel", r.counters.panel_s),
+            ("gemm", r.counters.gemm_s),
+            ("solve", r.counters.solve_s),
+        ] {
+            if secs > 0.0 {
+                m.gauge(
+                    "parfact_kernel_seconds",
+                    "Attributed seconds per numeric kernel phase (summed across workers).",
+                    &[("kernel", kernel)],
+                    secs,
+                );
+            }
+        }
+        m.counter(
+            "parfact_flops_total",
+            "Floating-point operations performed by the factorization.",
+            &[],
+            r.effective_flops(),
+        );
+        m.gauge(
+            "parfact_factor_gflops",
+            "End-to-end numeric factorization rate, Gflop/s.",
+            &[],
+            r.factor_gflops(),
+        );
+        if let Some(kg) = r.kernel_gflops() {
+            m.gauge(
+                "parfact_kernel_gflops",
+                "Dense-kernel rate over panel+gemm attributed time, Gflop/s.",
+                &[],
+                kg,
+            );
+        }
+        m.gauge(
+            "parfact_mem_peak_bytes",
+            "Peak tracked working memory, bytes (max across workers/ranks).",
+            &[],
+            r.counters.mem_peak_bytes as f64,
+        );
+        if let Some(ms) = r.sim_makespan_s() {
+            m.gauge(
+                "parfact_sim_makespan_seconds",
+                "Simulated makespan: the slowest rank's virtual clock.",
+                &[],
+                ms,
+            );
+        }
+        if let Some(imb) = r.load_imbalance() {
+            m.gauge(
+                "parfact_load_imbalance",
+                "Max/mean per-rank compute time (1.0 = balanced).",
+                &[],
+                imb,
+            );
+        }
+        const RANK_HELP: &str = "Per-rank statistic; labels: rank, stat.";
+        for rk in &r.ranks {
+            let rs = rk.rank.to_string();
+            for (stat, v) in [
+                ("clock_s", rk.clock_s),
+                ("compute_s", rk.compute_s),
+                ("comm_s", rk.comm_s),
+                ("comm_hidden_s", rk.comm_hidden_s),
+                ("flops", rk.flops),
+                ("bytes_sent", rk.bytes_sent as f64),
+                ("bytes_recv", rk.bytes_recv as f64),
+                ("msgs_sent", rk.msgs_sent as f64),
+                ("msgs_recv", rk.msgs_recv as f64),
+                ("mem_peak_bytes", rk.mem_peak_bytes as f64),
+            ] {
+                m.gauge(
+                    "parfact_rank_stat",
+                    RANK_HELP,
+                    &[("rank", &rs), ("stat", stat)],
+                    v,
+                );
+            }
+        }
+        if !r.ranks.is_empty() {
+            // Distribution of per-rank traffic and memory: log-spaced byte
+            // buckets from 64 KiB to 4 GiB.
+            let bounds: Vec<f64> = (0..17).map(|i| 65536.0 * 2f64.powi(i)).collect();
+            for rk in &r.ranks {
+                m.observe(
+                    "parfact_rank_bytes_sent_dist",
+                    "Distribution of per-rank sent bytes.",
+                    &[],
+                    &bounds,
+                    rk.bytes_sent as f64,
+                );
+                m.observe(
+                    "parfact_rank_mem_peak_dist",
+                    "Distribution of per-rank peak tracked memory, bytes.",
+                    &[],
+                    &bounds,
+                    rk.mem_peak_bytes as f64,
+                );
+            }
+        }
+        if let Some(s) = &r.scalability {
+            for rk in &s.ranks {
+                let rs = rk.rank.to_string();
+                for (stat, v) in [
+                    ("measured_bytes", rk.measured_bytes as f64),
+                    ("predicted_bytes", rk.predicted_bytes),
+                    ("measured_mem_peak", rk.measured_mem_peak as f64),
+                    ("predicted_mem_peak", rk.predicted_mem_peak),
+                ] {
+                    m.gauge(
+                        "parfact_scalability_rank",
+                        "Predicted-vs-measured per-rank comm volume and peak memory.",
+                        &[("rank", &rs), ("stat", stat)],
+                        v,
+                    );
+                }
+            }
+            if let Some(ratio) = s.volume_model_ratio() {
+                m.gauge(
+                    "parfact_volume_model_ratio",
+                    "Measured / predicted total communication volume.",
+                    &[],
+                    ratio,
+                );
+            }
+            if let Some(b) = s.volume_balance() {
+                m.gauge(
+                    "parfact_volume_balance",
+                    "Max/mean per-rank measured comm volume (1.0 = balanced).",
+                    &[],
+                    b,
+                );
+            }
+            if let Some(b) = s.memory_balance() {
+                m.gauge(
+                    "parfact_memory_balance",
+                    "Max/mean per-rank measured peak memory (1.0 = balanced).",
+                    &[],
+                    b,
+                );
+            }
+            if let Some(c) = &s.comm {
+                let nc = c.nclasses();
+                for src in 0..c.nranks {
+                    for dst in 0..c.nranks {
+                        for class in 0..nc {
+                            let (b, msgs) = c.at(src, dst, class);
+                            if b == 0 && msgs == 0 {
+                                continue;
+                            }
+                            let (ss, ds) = (src.to_string(), dst.to_string());
+                            let lbl: Labels =
+                                &[("src", &ss), ("dst", &ds), ("class", &c.class_names[class])];
+                            m.counter(
+                                "parfact_comm_bytes_total",
+                                "Payload bytes per link and tag class.",
+                                lbl,
+                                b as f64,
+                            );
+                            m.counter(
+                                "parfact_comm_msgs_total",
+                                "Messages per link and tag class.",
+                                lbl,
+                                msgs as f64,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(s) = &r.solve {
+            m.counter(
+                "parfact_solve_rhs_total",
+                "Right-hand-side columns solved.",
+                &[],
+                s.rhs as f64,
+            );
+            m.gauge(
+                "parfact_solve_gflops",
+                "Aggregate triangular-solve rate, Gflop/s.",
+                &[],
+                s.gflops(),
+            );
+        }
+        if let Some(f) = &r.faults {
+            for (kind, v) in [
+                ("crashes", f.crashes),
+                ("timeouts", f.timeouts),
+                ("delayed_msgs", f.delayed_msgs),
+                ("duplicated_msgs", f.duplicated_msgs),
+                ("restarts", f.restarts),
+            ] {
+                m.counter(
+                    "parfact_fault_events_total",
+                    "Injected-fault and recovery events by kind.",
+                    &[("kind", kind)],
+                    v as f64,
+                );
+            }
+        }
+        m
+    }
+}
+
+fn find_or_insert_hist(fam: &mut Family, labels: Vec<(String, String)>) -> &mut Sample {
+    if let Some(i) = fam.samples.iter().position(|s| s.labels == labels) {
+        return &mut fam.samples[i];
+    }
+    fam.samples.push(Sample {
+        labels,
+        value: 0.0,
+        hist: Some(Histogram {
+            bounds: Vec::new(),
+            counts: Vec::new(),
+            sum: 0.0,
+            count: 0,
+        }),
+    });
+    fam.samples.last_mut().expect("just pushed")
+}
+
+/// Render `{k="v",...}`, optionally with a trailing `le` label (histogram
+/// buckets). Empty label sets render as nothing.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Shortest round-trippable decimal text for a value (Rust's `{:?}` f64
+/// formatting), matching the JSON writer so both surfaces agree.
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v}")
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape_help(v: &str) -> String {
+    v.replace("\\n", "\n").replace("\\\\", "\\")
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"").ok_or("label without =\"")?;
+        let key = rest[..eq].trim_start_matches(',').to_string();
+        rest = &rest[eq + 2..];
+        let mut val = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => val.push('\n'),
+                    Some((_, e)) => val.push(e),
+                    None => return Err("dangling escape".to_string()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => val.push(c),
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        out.push((key, val));
+        rest = &rest[end + 1..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{CommMatrixReport, RankReport, RankScalability, ScalabilityReport};
+
+    fn sample_registry() -> Registry {
+        let mut m = Registry::new();
+        m.gauge("up", "Is the exporter up.", &[], 1.0);
+        m.counter(
+            "bytes_total",
+            "Bytes by direction.",
+            &[("dir", "tx")],
+            1.25e9,
+        );
+        m.counter("bytes_total", "Bytes by direction.", &[("dir", "rx")], 3.0);
+        m.gauge(
+            "temp_celsius",
+            "Temperature with \"quotes\" and back\\slash.",
+            &[("sensor", "a\"b\\c")],
+            36.625,
+        );
+        for v in [0.05, 0.2, 0.2, 7.5] {
+            m.observe(
+                "latency_seconds",
+                "Request latency.",
+                &[("path", "/solve")],
+                &[0.1, 1.0, 5.0],
+                v,
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn exposition_golden_format() {
+        let text = sample_registry().to_prometheus();
+        let expected = "\
+# HELP up Is the exporter up.
+# TYPE up gauge
+up 1
+# HELP bytes_total Bytes by direction.
+# TYPE bytes_total counter
+bytes_total{dir=\"tx\"} 1250000000
+bytes_total{dir=\"rx\"} 3
+# HELP temp_celsius Temperature with \"quotes\" and back\\\\slash.
+# TYPE temp_celsius gauge
+temp_celsius{sensor=\"a\\\"b\\\\c\"} 36.625
+# HELP latency_seconds Request latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{path=\"/solve\",le=\"0.1\"} 1
+latency_seconds_bucket{path=\"/solve\",le=\"1\"} 3
+latency_seconds_bucket{path=\"/solve\",le=\"5\"} 3
+latency_seconds_bucket{path=\"/solve\",le=\"+Inf\"} 4
+latency_seconds_sum{path=\"/solve\"} 7.95
+latency_seconds_count{path=\"/solve\"} 4
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn exposition_round_trips_through_parser() {
+        let reg = sample_registry();
+        let text = reg.to_prometheus();
+        let back = Registry::parse_prometheus(&text).expect("parse");
+        assert_eq!(back, reg);
+        // And the re-rendered text is byte-identical.
+        assert_eq!(back.to_prometheus(), text);
+    }
+
+    #[test]
+    fn upsert_overwrites_same_label_set() {
+        let mut m = Registry::new();
+        m.gauge("g", "h", &[("a", "1")], 1.0);
+        m.gauge("g", "h", &[("a", "1")], 2.0);
+        m.gauge("g", "h", &[("a", "2")], 3.0);
+        assert_eq!(m.families()[0].samples.len(), 2);
+        assert_eq!(m.families()[0].samples[0].value, 2.0);
+    }
+
+    #[test]
+    fn json_export_has_families_and_histograms() {
+        let j = sample_registry().to_json();
+        let arr = j.as_arr().unwrap();
+        assert_eq!(arr.len(), 4);
+        let hist = &arr[3];
+        assert_eq!(hist.get("type").unwrap().as_str().unwrap(), "histogram");
+        let s = &hist.get("samples").unwrap().as_arr().unwrap()[0];
+        assert_eq!(s.get("count").unwrap().as_u64().unwrap(), 4);
+        assert_eq!(s.get("buckets").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn report_surface_round_trips() {
+        let r = FactorReport {
+            engine: "dist".to_string(),
+            n: 1000,
+            factor_nnz: 5000,
+            nsuper: 77,
+            numeric_s: 0.25,
+            predicted_flops: 1e9,
+            ranks: vec![
+                RankReport {
+                    rank: 0,
+                    clock_s: 0.2,
+                    compute_s: 0.15,
+                    comm_s: 0.05,
+                    flops: 5e8,
+                    bytes_sent: 1 << 20,
+                    msgs_sent: 64,
+                    bytes_recv: 1 << 19,
+                    msgs_recv: 32,
+                    mem_peak_bytes: 1 << 22,
+                    ..RankReport::default()
+                },
+                RankReport {
+                    rank: 1,
+                    clock_s: 0.21,
+                    compute_s: 0.16,
+                    comm_s: 0.05,
+                    flops: 5e8,
+                    bytes_sent: 1 << 19,
+                    msgs_sent: 32,
+                    bytes_recv: 1 << 20,
+                    msgs_recv: 64,
+                    mem_peak_bytes: 1 << 21,
+                    ..RankReport::default()
+                },
+            ],
+            scalability: Some(ScalabilityReport {
+                nranks: 2,
+                ranks: vec![
+                    RankScalability {
+                        rank: 0,
+                        measured_bytes: 1 << 20,
+                        predicted_bytes: 9e5,
+                        measured_mem_peak: 1 << 22,
+                        predicted_mem_peak: 4e6,
+                    },
+                    RankScalability {
+                        rank: 1,
+                        measured_bytes: 1 << 19,
+                        predicted_bytes: 6e5,
+                        measured_mem_peak: 1 << 21,
+                        predicted_mem_peak: 2e6,
+                    },
+                ],
+                comm: Some(CommMatrixReport {
+                    nranks: 2,
+                    class_names: vec!["extadd".into(), "panel".into()],
+                    bytes: vec![0, 0, 1 << 19, 1 << 19, 1 << 18, 1 << 18, 0, 0],
+                    msgs: vec![0, 0, 32, 32, 16, 16, 0, 0],
+                }),
+            }),
+            ..FactorReport::default()
+        };
+        let reg = Registry::from_report(&r);
+        let text = reg.to_prometheus();
+        for needle in [
+            "parfact_info{engine=\"dist\"} 1",
+            "parfact_phase_seconds{phase=\"numeric\"} 0.25",
+            "parfact_rank_stat{rank=\"0\",stat=\"bytes_sent\"} 1048576",
+            "parfact_comm_bytes_total{src=\"0\",dst=\"1\",class=\"extadd\"} 524288",
+            "parfact_volume_model_ratio",
+            "parfact_sim_makespan_seconds 0.21",
+            "parfact_rank_bytes_sent_dist_count 2",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Golden round trip: parse back, bit-identical re-exposition.
+        let back = Registry::parse_prometheus(&text).expect("parse");
+        assert_eq!(back, reg);
+        assert_eq!(back.to_prometheus(), text);
+    }
+}

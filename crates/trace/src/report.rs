@@ -33,6 +33,10 @@ pub struct RankReport {
     pub bytes_sent: u64,
     /// Messages this rank sent.
     pub msgs_sent: u64,
+    /// Payload bytes this rank received (consumed from its mailbox).
+    pub bytes_recv: u64,
+    /// Messages this rank received.
+    pub msgs_recv: u64,
     /// Peak tracked memory on this rank, bytes.
     pub mem_peak_bytes: u64,
 }
@@ -144,6 +148,286 @@ pub struct FaultReport {
     pub total_makespan_s: f64,
 }
 
+/// Src×dst traffic matrix of a distributed run, broken down by tag class
+/// (`extadd` / `panel` / `solve` / `control` for the multifrontal engine).
+/// Mirrors the simulator's `CommMatrix`; serialized sparsely (only nonzero
+/// links) so large rank counts stay compact.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommMatrixReport {
+    /// Number of ranks (matrix is nranks×nranks×classes).
+    pub nranks: usize,
+    /// Tag-class names, indexed by class.
+    pub class_names: Vec<String>,
+    /// Payload bytes, indexed `(src * nranks + dst) * nclasses + class`.
+    pub bytes: Vec<u64>,
+    /// Message counts, same indexing.
+    pub msgs: Vec<u64>,
+}
+
+impl CommMatrixReport {
+    /// Number of tag classes.
+    pub fn nclasses(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// `(bytes, msgs)` on the `src → dst` link in `class`.
+    pub fn at(&self, src: usize, dst: usize, class: usize) -> (u64, u64) {
+        let i = (src * self.nranks + dst) * self.nclasses() + class;
+        (self.bytes[i], self.msgs[i])
+    }
+
+    /// Bytes sent by `src` (row sum).
+    pub fn sent_bytes(&self, src: usize) -> u64 {
+        let nc = self.nclasses();
+        let row = src * self.nranks * nc;
+        self.bytes[row..row + self.nranks * nc].iter().sum()
+    }
+
+    /// Bytes posted to `dst` (column sum).
+    pub fn posted_bytes(&self, dst: usize) -> u64 {
+        (0..self.nranks)
+            .flat_map(|s| (0..self.nclasses()).map(move |c| self.at(s, dst, c).0))
+            .sum()
+    }
+
+    /// Total bytes in tag class `class` across all links.
+    pub fn class_bytes(&self, class: usize) -> u64 {
+        self.bytes
+            .iter()
+            .skip(class)
+            .step_by(self.nclasses().max(1))
+            .sum()
+    }
+
+    /// Total bytes across all links and classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total messages across all links and classes.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    fn to_json(&self) -> Json {
+        // Sparse triplet encoding: [src, dst, class, bytes, msgs] for
+        // nonzero links only. A p=128 matrix is mostly zeros.
+        let nc = self.nclasses();
+        let mut entries = Vec::new();
+        for src in 0..self.nranks {
+            for dst in 0..self.nranks {
+                for class in 0..nc {
+                    let (b, m) = self.at(src, dst, class);
+                    if b != 0 || m != 0 {
+                        entries.push(Json::Arr(vec![
+                            Json::num_usize(src),
+                            Json::num_usize(dst),
+                            Json::num_usize(class),
+                            Json::num_u64(b),
+                            Json::num_u64(m),
+                        ]));
+                    }
+                }
+            }
+        }
+        Json::Obj(vec![
+            ("nranks".to_string(), Json::num_usize(self.nranks)),
+            (
+                "classes".to_string(),
+                Json::Arr(self.class_names.iter().map(|s| Json::str(s)).collect()),
+            ),
+            ("entries".to_string(), Json::Arr(entries)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<CommMatrixReport> {
+        let nranks = j.get("nranks")?.as_usize()?;
+        let class_names: Vec<String> = j
+            .get("classes")?
+            .as_arr()?
+            .iter()
+            .map(|s| s.as_str().map(str::to_string))
+            .collect::<Option<_>>()?;
+        let nc = class_names.len();
+        let mut m = CommMatrixReport {
+            nranks,
+            class_names,
+            bytes: vec![0; nranks * nranks * nc],
+            msgs: vec![0; nranks * nranks * nc],
+        };
+        for e in j.get("entries")?.as_arr()? {
+            let e = e.as_arr()?;
+            if e.len() != 5 {
+                return None;
+            }
+            let (src, dst, class) = (e[0].as_usize()?, e[1].as_usize()?, e[2].as_usize()?);
+            if src >= nranks || dst >= nranks || class >= nc {
+                return None;
+            }
+            let i = (src * nranks + dst) * nc + class;
+            m.bytes[i] = e[3].as_u64()?;
+            m.msgs[i] = e[4].as_u64()?;
+        }
+        Some(m)
+    }
+}
+
+/// One rank's predicted-vs-measured scalability record.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankScalability {
+    pub rank: usize,
+    /// Payload bytes this rank actually sent during factorization.
+    pub measured_bytes: u64,
+    /// Bytes the analytical model predicts this rank sends.
+    pub predicted_bytes: f64,
+    /// Measured peak tracked working memory, bytes.
+    pub measured_mem_peak: u64,
+    /// Peak working memory the model predicts, bytes.
+    pub predicted_mem_peak: f64,
+}
+
+/// Predicted-vs-measured communication volume and peak working memory of a
+/// run — the paper's scalability diagnostic: does measured per-process
+/// comm volume and memory track the analytical model as p grows?
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScalabilityReport {
+    /// Ranks (or workers) the run executed on.
+    pub nranks: usize,
+    /// Per-rank predicted and measured terms.
+    pub ranks: Vec<RankScalability>,
+    /// Measured src×dst×class traffic matrix (distributed runs only).
+    pub comm: Option<CommMatrixReport>,
+}
+
+impl ScalabilityReport {
+    /// Total measured comm volume (bytes sent across ranks).
+    pub fn measured_total_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.measured_bytes).sum()
+    }
+
+    /// Total predicted comm volume (bytes).
+    pub fn predicted_total_bytes(&self) -> f64 {
+        self.ranks.iter().map(|r| r.predicted_bytes).sum()
+    }
+
+    /// Measured / predicted total comm volume; `None` when the model
+    /// predicts zero (p = 1: nothing to send).
+    pub fn volume_model_ratio(&self) -> Option<f64> {
+        let p = self.predicted_total_bytes();
+        (p > 0.0).then(|| self.measured_total_bytes() as f64 / p)
+    }
+
+    /// Max/mean of per-rank measured comm volume (1.0 = perfectly
+    /// balanced); `None` when nothing was sent.
+    pub fn volume_balance(&self) -> Option<f64> {
+        Self::balance(self.ranks.iter().map(|r| r.measured_bytes as f64))
+    }
+
+    /// Max/mean of per-rank measured peak memory (1.0 = perfectly
+    /// balanced); `None` when nothing was tracked.
+    pub fn memory_balance(&self) -> Option<f64> {
+        Self::balance(self.ranks.iter().map(|r| r.measured_mem_peak as f64))
+    }
+
+    /// Memory efficiency: total measured peak memory across ranks relative
+    /// to the single largest rank peak times p — 1.0 means every rank peaks
+    /// equally (the paper's per-process memory-overhead metric).
+    pub fn memory_efficiency(&self) -> Option<f64> {
+        let max = self
+            .ranks
+            .iter()
+            .map(|r| r.measured_mem_peak)
+            .max()
+            .unwrap_or(0);
+        if max == 0 || self.ranks.is_empty() {
+            return None;
+        }
+        let total: u64 = self.ranks.iter().map(|r| r.measured_mem_peak).sum();
+        Some(total as f64 / (max as f64 * self.ranks.len() as f64))
+    }
+
+    fn balance(vals: impl Iterator<Item = f64> + Clone) -> Option<f64> {
+        let n = vals.clone().count();
+        if n == 0 {
+            return None;
+        }
+        let max = vals.clone().fold(0.0f64, f64::max);
+        let mean = vals.sum::<f64>() / n as f64;
+        (mean > 0.0).then(|| max / mean)
+    }
+
+    fn to_json(&self) -> Json {
+        let ranks = self
+            .ranks
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("rank".to_string(), Json::num_usize(r.rank)),
+                    (
+                        "measured_bytes".to_string(),
+                        Json::num_u64(r.measured_bytes),
+                    ),
+                    (
+                        "predicted_bytes".to_string(),
+                        Json::num_f64(r.predicted_bytes),
+                    ),
+                    (
+                        "measured_mem_peak".to_string(),
+                        Json::num_u64(r.measured_mem_peak),
+                    ),
+                    (
+                        "predicted_mem_peak".to_string(),
+                        Json::num_f64(r.predicted_mem_peak),
+                    ),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("nranks".to_string(), Json::num_usize(self.nranks)),
+            ("ranks".to_string(), Json::Arr(ranks)),
+        ];
+        // Derived ratios, written for tooling, ignored on read.
+        if let Some(r) = self.volume_model_ratio() {
+            fields.push(("volume_model_ratio".to_string(), Json::num_f64(r)));
+        }
+        if let Some(b) = self.volume_balance() {
+            fields.push(("volume_balance".to_string(), Json::num_f64(b)));
+        }
+        if let Some(b) = self.memory_balance() {
+            fields.push(("memory_balance".to_string(), Json::num_f64(b)));
+        }
+        if let Some(c) = &self.comm {
+            fields.push(("comm_matrix".to_string(), c.to_json()));
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(j: &Json) -> Option<ScalabilityReport> {
+        let ranks = j
+            .get("ranks")?
+            .as_arr()?
+            .iter()
+            .map(|r| {
+                Some(RankScalability {
+                    rank: r.get("rank")?.as_usize()?,
+                    measured_bytes: r.get("measured_bytes")?.as_u64()?,
+                    predicted_bytes: r.get("predicted_bytes")?.as_f64()?,
+                    measured_mem_peak: r.get("measured_mem_peak")?.as_u64()?,
+                    predicted_mem_peak: r.get("predicted_mem_peak")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(ScalabilityReport {
+            nranks: j.get("nranks")?.as_usize()?,
+            ranks,
+            comm: match j.get("comm_matrix") {
+                Some(c) => Some(CommMatrixReport::from_json(c)?),
+                None => None,
+            },
+        })
+    }
+}
+
 /// The full record of one factorization.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FactorReport {
@@ -186,6 +470,9 @@ pub struct FactorReport {
     /// Injected-fault / recovery activity (only when the run used fault
     /// injection or checkpointed recovery; `None` otherwise).
     pub faults: Option<FaultReport>,
+    /// Predicted-vs-measured comm volume and peak memory (only when the
+    /// run recorded them, i.e. tracing on; `None` otherwise).
+    pub scalability: Option<ScalabilityReport>,
 }
 
 impl FactorReport {
@@ -225,16 +512,17 @@ impl FactorReport {
     }
 
     /// Simulated makespan of a distributed run: the slowest rank's virtual
-    /// clock. `None` for shared-memory engines.
+    /// clock. `None` for shared-memory engines — their per-worker rank rows
+    /// carry no virtual clock (`clock_s == 0`), so a report with only such
+    /// rows has no simulated makespan.
     pub fn sim_makespan_s(&self) -> Option<f64> {
-        self.ranks
-            .iter()
-            .map(|r| r.clock_s)
-            .fold(None, |acc, c| Some(acc.map_or(c, |a: f64| a.max(c))))
+        let m = self.ranks.iter().map(|r| r.clock_s).fold(0.0f64, f64::max);
+        (m > 0.0).then_some(m)
     }
 
-    /// Load imbalance of a distributed run: max/mean of per-rank compute
-    /// time (1.0 = perfectly balanced). `None` for shared-memory engines.
+    /// Load imbalance: max/mean of per-rank (or per-worker) compute time
+    /// (1.0 = perfectly balanced). `None` when no per-rank rows or no
+    /// compute time was recorded.
     pub fn load_imbalance(&self) -> Option<f64> {
         if self.ranks.is_empty() {
             return None;
@@ -306,6 +594,9 @@ impl FactorReport {
         }
         if let Some(f) = &self.faults {
             fields.push(("faults".to_string(), faults_to_json(f)));
+        }
+        if let Some(s) = &self.scalability {
+            fields.push(("scalability".to_string(), s.to_json()));
         }
         Json::Obj(fields)
     }
@@ -379,6 +670,10 @@ impl FactorReport {
         }
         if let Some(f) = j.get("faults") {
             r.faults = Some(faults_from_json(f).ok_or_else(|| field_err("faults"))?);
+        }
+        if let Some(s) = j.get("scalability") {
+            r.scalability =
+                Some(ScalabilityReport::from_json(s).ok_or_else(|| field_err("scalability"))?);
         }
         Ok(r)
     }
@@ -535,6 +830,8 @@ fn rank_to_json(r: &RankReport) -> Json {
         ("flops".to_string(), Json::num_f64(r.flops)),
         ("bytes_sent".to_string(), Json::num_u64(r.bytes_sent)),
         ("msgs_sent".to_string(), Json::num_u64(r.msgs_sent)),
+        ("bytes_recv".to_string(), Json::num_u64(r.bytes_recv)),
+        ("msgs_recv".to_string(), Json::num_u64(r.msgs_recv)),
         (
             "mem_peak_bytes".to_string(),
             Json::num_u64(r.mem_peak_bytes),
@@ -555,6 +852,10 @@ fn rank_from_json(j: &Json) -> Option<RankReport> {
         flops: j.get("flops")?.as_f64()?,
         bytes_sent: j.get("bytes_sent")?.as_u64()?,
         msgs_sent: j.get("msgs_sent")?.as_u64()?,
+        // Receive counters postdate the comm-matrix revision: default when
+        // reading reports written before receives were accounted.
+        bytes_recv: j.get("bytes_recv").and_then(Json::as_u64).unwrap_or(0),
+        msgs_recv: j.get("msgs_recv").and_then(Json::as_u64).unwrap_or(0),
         mem_peak_bytes: j.get("mem_peak_bytes")?.as_u64()?,
     })
 }
@@ -634,6 +935,8 @@ mod tests {
                     flops: 1.6e8,
                     bytes_sent: 500,
                     msgs_sent: 10,
+                    bytes_recv: 650,
+                    msgs_recv: 11,
                     mem_peak_bytes: 6_000_000,
                 },
                 RankReport {
@@ -646,6 +949,8 @@ mod tests {
                     flops: 1.7e8,
                     bytes_sent: 700,
                     msgs_sent: 12,
+                    bytes_recv: 550,
+                    msgs_recv: 9,
                     mem_peak_bytes: 6_582_912,
                 },
             ],
@@ -669,6 +974,7 @@ mod tests {
             solve: None,
             analysis: None,
             faults: None,
+            scalability: None,
         }
     }
 
@@ -792,6 +1098,18 @@ mod tests {
     }
 
     #[test]
+    fn empty_profile_section_round_trips() {
+        // A degenerate profile (no spans at all — e.g. a zero-front
+        // problem) still round-trips: empty vectors and a None congested
+        // rank must not be confused with an absent section.
+        let mut r = sample_report();
+        r.profile = Some(ProfileReport::default());
+        let back = FactorReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.profile.as_ref().unwrap().max_idle_frac(), 0.0);
+    }
+
+    #[test]
     fn report_round_trips_through_json() {
         let r = sample_report();
         for text in [r.to_json_string(), r.to_json_pretty()] {
@@ -879,6 +1197,163 @@ mod tests {
         assert_eq!(r.ranks.len(), 1);
         assert_eq!(r.ranks[0].comm_hidden_s, 0.0);
         assert_eq!(r.ranks[0].queue_peak, 0);
+    }
+
+    fn sample_scalability() -> ScalabilityReport {
+        ScalabilityReport {
+            nranks: 2,
+            ranks: vec![
+                RankScalability {
+                    rank: 0,
+                    measured_bytes: 500,
+                    predicted_bytes: 400.0,
+                    measured_mem_peak: 6_000_000,
+                    predicted_mem_peak: 5.5e6,
+                },
+                RankScalability {
+                    rank: 1,
+                    measured_bytes: 700,
+                    predicted_bytes: 800.0,
+                    measured_mem_peak: 6_582_912,
+                    predicted_mem_peak: 7.0e6,
+                },
+            ],
+            comm: Some(CommMatrixReport {
+                nranks: 2,
+                class_names: vec!["extadd".into(), "panel".into()],
+                bytes: vec![0, 0, 400, 100, 600, 100, 0, 0],
+                msgs: vec![0, 0, 4, 1, 5, 2, 0, 0],
+            }),
+        }
+    }
+
+    #[test]
+    fn scalability_section_round_trips() {
+        let mut r = sample_report();
+        r.scalability = Some(sample_scalability());
+        let text = r.to_json_string();
+        assert!(text.contains("\"scalability\""));
+        // Derived ratios are written for tooling...
+        assert!(text.contains("\"volume_model_ratio\""));
+        assert!(text.contains("\"volume_balance\""));
+        assert!(text.contains("\"memory_balance\""));
+        // ...but ignored on read, so the round trip is exact.
+        let back = FactorReport::from_json_str(&text).unwrap();
+        assert_eq!(back, r);
+        // Reports without the section parse to None.
+        let plain = sample_report();
+        let back = FactorReport::from_json_str(&plain.to_json_string()).unwrap();
+        assert_eq!(back.scalability, None);
+    }
+
+    #[test]
+    fn scalability_summaries() {
+        let s = sample_scalability();
+        assert_eq!(s.measured_total_bytes(), 1200);
+        assert_eq!(s.predicted_total_bytes(), 1200.0);
+        assert!((s.volume_model_ratio().unwrap() - 1.0).abs() < 1e-12);
+        let vb = s.volume_balance().unwrap();
+        assert!((vb - 700.0 / 600.0).abs() < 1e-12, "vb={vb}");
+        let mb = s.memory_balance().unwrap();
+        assert!(mb > 1.0 && mb < 1.1, "mb={mb}");
+        let me = s.memory_efficiency().unwrap();
+        assert!(me > 0.9 && me <= 1.0, "me={me}");
+        // Comm-matrix accessors agree with the per-rank measured bytes.
+        let m = s.comm.as_ref().unwrap();
+        assert_eq!(m.sent_bytes(0), 500);
+        assert_eq!(m.sent_bytes(1), 700);
+        assert_eq!(m.posted_bytes(0), 700);
+        assert_eq!(m.at(0, 1, 0), (400, 4));
+        assert_eq!(m.class_bytes(1), 200);
+        assert_eq!(m.total_bytes(), 1200);
+    }
+
+    #[test]
+    fn zero_comm_single_rank_scalability_round_trips() {
+        // A p=1 run sends nothing: ratios that would divide by zero are
+        // absent, and the empty matrix still round-trips.
+        let s = ScalabilityReport {
+            nranks: 1,
+            ranks: vec![RankScalability {
+                rank: 0,
+                measured_bytes: 0,
+                predicted_bytes: 0.0,
+                measured_mem_peak: 1024,
+                predicted_mem_peak: 1000.0,
+            }],
+            comm: Some(CommMatrixReport {
+                nranks: 1,
+                class_names: vec!["extadd".into()],
+                bytes: vec![0],
+                msgs: vec![0],
+            }),
+        };
+        assert_eq!(s.volume_model_ratio(), None);
+        assert_eq!(s.volume_balance(), None);
+        assert_eq!(s.memory_balance(), Some(1.0));
+        assert_eq!(s.memory_efficiency(), Some(1.0));
+        let mut r = sample_report();
+        r.scalability = Some(s);
+        let back = FactorReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_scalability_report_round_trips() {
+        let mut r = sample_report();
+        r.scalability = Some(ScalabilityReport::default());
+        let s = r.scalability.as_ref().unwrap();
+        assert_eq!(s.volume_model_ratio(), None);
+        assert_eq!(s.memory_balance(), None);
+        assert_eq!(s.memory_efficiency(), None);
+        let back = FactorReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn host_engine_worker_rows_have_no_sim_makespan() {
+        // Shared-memory engines publish per-worker rows with no virtual
+        // clock; they must not fake a simulated makespan, but load
+        // imbalance (a wall-time ratio) is still meaningful.
+        let r = FactorReport {
+            engine: "smp".to_string(),
+            n: 100,
+            ranks: vec![
+                RankReport {
+                    rank: 0,
+                    compute_s: 0.4,
+                    flops: 1e6,
+                    mem_peak_bytes: 4096,
+                    ..RankReport::default()
+                },
+                RankReport {
+                    rank: 1,
+                    compute_s: 0.2,
+                    flops: 5e5,
+                    mem_peak_bytes: 2048,
+                    ..RankReport::default()
+                },
+            ],
+            ..FactorReport::default()
+        };
+        assert_eq!(r.sim_makespan_s(), None);
+        let imb = r.load_imbalance().unwrap();
+        assert!((imb - 0.4 / 0.3).abs() < 1e-12, "imb={imb}");
+        let back = FactorReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pre_comm_matrix_rank_records_still_parse() {
+        // Reports written before receive accounting lack `bytes_recv` /
+        // `msgs_recv`; they must read back with zero defaults.
+        let text = "{\"engine\":\"dist\",\"n\":4,\"ranks\":[{\"rank\":0,\
+                    \"clock_s\":1.0,\"compute_s\":0.5,\"comm_s\":0.5,\
+                    \"flops\":10.0,\"bytes_sent\":8,\"msgs_sent\":1,\
+                    \"mem_peak_bytes\":64}]}";
+        let r = FactorReport::from_json_str(text).unwrap();
+        assert_eq!(r.ranks[0].bytes_recv, 0);
+        assert_eq!(r.ranks[0].msgs_recv, 0);
     }
 
     #[test]

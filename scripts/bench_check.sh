@@ -38,9 +38,12 @@ if [ "${1:-}" = "regen" ]; then
     analysis | pr7 | all) ./target/release/bench_analysis BENCH_pr7.json ;;
     esac
     case "$which" in
-    pr2 | analysis | pr7 | all) exit 0 ;;
+    scale | pr9 | all) ./target/release/bench_scale BENCH_pr9.json ;;
+    esac
+    case "$which" in
+    pr2 | analysis | pr7 | scale | pr9 | all) exit 0 ;;
     *)
-        echo "unknown regen target '$which' (pr2|analysis|all)" >&2
+        echo "unknown regen target '$which' (pr2|analysis|scale|all)" >&2
         exit 2
         ;;
     esac
@@ -133,7 +136,7 @@ if [ -f "$solve_baseline" ]; then
         fi
     fi
 else
-    echo "bench_check: no $solve_baseline; skipping solve gate"
+    echo "WARN: $solve_baseline is missing — the batched-solve gate did NOT run; restore the committed artifact or regen it (scripts/bench_check.sh regen)"
 fi
 
 # --- Analysis-scaling gate (warn-only) -----------------------------------
@@ -178,7 +181,50 @@ if [ -f "$analysis_baseline" ]; then
         fi
     fi
 else
-    echo "bench_check: no $analysis_baseline; skipping analysis gate"
+    echo "WARN: $analysis_baseline is missing — the analysis-scaling gate did NOT run; restore the committed artifact or regen it (scripts/bench_check.sh regen)"
+fi
+
+# --- Scalability-model gate (warn-only) ----------------------------------
+# Two checks against BENCH_pr9.json: the committed artifact's headline
+# volume_model_ratio (measured / predicted comm volume at p=64 on
+# lap3d-32) must still sit inside the [0.5, 2] acceptance window, and a
+# fresh quick bench_scale run's ratio must agree with the committed one
+# within 1.25x in either direction (the quick grid is smaller, but both
+# ratios are dimensionless model fits and should be near 1; a drift past
+# 1.25x means the engine's traffic or the model changed).
+scale_baseline="BENCH_pr9.json"
+if [ -f "$scale_baseline" ]; then
+    # volume_model_ratio appears once per sweep row and once in the
+    # headline object; the headline is written last.
+    committed=$(awk '/"volume_model_ratio":/ { gsub(/,/, "", $2); v = $2 } END { print v }' "$scale_baseline")
+    if [ -z "$committed" ]; then
+        echo "WARN: $scale_baseline has no headline volume_model_ratio entry"
+    else
+        out=$(awk -v r="$committed" 'BEGIN { print (r < 0.5 || r > 2.0) ? 1 : 0 }')
+        if [ "$out" = 1 ]; then
+            echo "WARN: committed volume_model_ratio ${committed} is outside the [0.5, 2] acceptance window"
+        else
+            echo "ok:   committed volume_model_ratio ${committed} at p=64 (window: [0.5, 2])"
+        fi
+    fi
+
+    scale_fresh=$(mktemp /tmp/bench_scale.XXXXXX.json)
+    BENCH_QUICK=1 cargo run -q --release -p parfact-bench --bin bench_scale -- "$scale_fresh"
+    quick_ratio=$(awk '/"volume_model_ratio":/ { gsub(/,/, "", $2); v = $2 } END { print v }' "$scale_fresh")
+    rm -f "$scale_fresh"
+    if [ -z "$quick_ratio" ]; then
+        echo "WARN: quick bench_scale run produced no volume_model_ratio entry"
+    else
+        drift=$(awk -v q="$quick_ratio" -v c="$committed" \
+            'BEGIN { r = q / c; if (r < 1) r = 1 / r; print (r > 1.25) ? 1 : 0 }')
+        if [ "$drift" = 1 ]; then
+            echo "WARN: quick volume_model_ratio ${quick_ratio} drifted >1.25x from committed ${committed}"
+        else
+            echo "ok:   quick volume_model_ratio ${quick_ratio} (committed ${committed}, tolerance 1.25x)"
+        fi
+    fi
+else
+    echo "WARN: $scale_baseline is missing — the scalability-model gate did NOT run; restore the committed artifact or regen it (scripts/bench_check.sh regen scale)"
 fi
 
 # --- Fault-recovery overhead gate (warn-only) ----------------------------

@@ -23,6 +23,9 @@
 //!                       recovery is enabled and the trace shows the final
 //!                       (successful) attempt
 //!   --out <file>        Chrome trace output path   (default trace.json)
+//!   --metrics-out <f>   also export the run's report as Prometheus text
+//!                       exposition (phase timings, per-rank stats, comm
+//!                       matrix, scalability model)
 //!   --top <k>           blocking edges to show           (default 8)
 //! ```
 
@@ -45,6 +48,7 @@ struct Args {
     sync: bool,
     inject: parfact::mpsim::FaultPlan,
     out: String,
+    metrics_out: Option<String>,
     top: usize,
 }
 
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         sync: false,
         inject: parfact::mpsim::FaultPlan::new(),
         out: "trace.json".to_string(),
+        metrics_out: None,
         top: 8,
     };
     let mut it = std::env::args().skip(1);
@@ -101,6 +106,9 @@ fn parse_args() -> Result<Args, String> {
                 args.inject = parfact::mpsim::FaultPlan::parse(&spec)?;
             }
             "--out" => args.out = it.next().ok_or("--out needs a file")?,
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a file")?)
+            }
             "--top" => {
                 args.top = it
                     .next()
@@ -134,7 +142,7 @@ fn main() -> ExitCode {
             if msg != "usage" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: parfact-profile <matrix.mtx | --gen spec> [--ranks p] [--threads t] [--ordering nd|amd|rcm|natural] [--analysis-threads t] [--sync] [--inject spec] [--out f] [--top k]");
+            eprintln!("usage: parfact-profile <matrix.mtx | --gen spec> [--ranks p] [--threads t] [--ordering nd|amd|rcm|natural] [--analysis-threads t] [--sync] [--inject spec] [--out f] [--metrics-out f] [--top k]");
             return ExitCode::from(2);
         }
     };
@@ -220,6 +228,18 @@ fn main() -> ExitCode {
         tl.lanes.len(),
         args.out
     );
+
+    if let Some(path) = &args.metrics_out {
+        let reg = parfact::trace::Registry::from_report(r);
+        if let Err(e) = std::fs::write(path, reg.to_prometheus()) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "metrics: {} families written to {path} (Prometheus text exposition)",
+            reg.families().len()
+        );
+    }
 
     // Analysis-phase breakdown: the pipeline stages and their wall-clock
     // shares, rendered ahead of the numeric critical-path profile. These

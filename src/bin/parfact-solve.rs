@@ -32,6 +32,9 @@
 //!   --stats             print condition estimate and log-determinant
 //!   --report <file>     write the factorization report (counters traced,
 //!                       solve section included) as JSON
+//!   --metrics-out <f>   export the same report as Prometheus text
+//!                       exposition (counters, gauges, histograms); implies
+//!                       counter tracing like --report
 //!   --trace-out <file>  record a timeline trace and write it as Chrome
 //!                       Trace Event JSON (open in Perfetto), solve spans
 //!                       included; also prints the critical-path profile
@@ -68,6 +71,7 @@ struct Args {
     nrhs: usize,
     stats: bool,
     report: Option<String>,
+    metrics_out: Option<String>,
     trace_out: Option<String>,
 }
 
@@ -88,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         nrhs: 1,
         stats: false,
         report: None,
+        metrics_out: None,
         trace_out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -161,6 +166,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--stats" => args.stats = true,
             "--report" => args.report = Some(it.next().ok_or("--report needs a file")?),
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a file")?)
+            }
             "--trace-out" => args.trace_out = Some(it.next().ok_or("--trace-out needs a file")?),
             "--help" | "-h" => return Err("usage".into()),
             other if args.matrix.is_empty() && !other.starts_with('-') => {
@@ -207,7 +215,7 @@ fn main() -> ExitCode {
             if msg != "usage" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: parfact-solve <matrix.mtx | --gen spec> [--rhs f] [--out f] [--ordering nd|amd|rcm|natural] [--nd-cutoff n] [--analysis-threads t] [--ldlt] [--threads t] [--ranks p] [--inject spec] [--refine k] [--nrhs k] [--stats] [--report f] [--trace-out f]");
+            eprintln!("usage: parfact-solve <matrix.mtx | --gen spec> [--rhs f] [--out f] [--ordering nd|amd|rcm|natural] [--nd-cutoff n] [--analysis-threads t] [--ldlt] [--threads t] [--ranks p] [--inject spec] [--refine k] [--nrhs k] [--stats] [--report f] [--metrics-out f] [--trace-out f]");
             return ExitCode::from(2);
         }
     };
@@ -275,7 +283,7 @@ fn main() -> ExitCode {
         .analysis_threads(args.analysis_threads)
         .trace(if args.trace_out.is_some() {
             parfact::TraceLevel::Timeline
-        } else if args.report.is_some() {
+        } else if args.report.is_some() || args.metrics_out.is_some() {
             parfact::TraceLevel::Counters
         } else {
             parfact::TraceLevel::Off
@@ -388,6 +396,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("report written to {path}");
+    }
+
+    if let Some(path) = &args.metrics_out {
+        let reg = parfact::trace::Registry::from_report(&rsolve);
+        if let Err(e) = std::fs::write(path, reg.to_prometheus()) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "metrics: {} families written to {path} (Prometheus text exposition)",
+            reg.families().len()
+        );
     }
 
     if let Some(out) = &args.out {

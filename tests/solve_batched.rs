@@ -127,6 +127,7 @@ fn seq_smp_dist_multi_rhs_parity() {
             Some(&b),
             nrhs,
             false,
+            false,
         )
         .unwrap();
         let xd = out.x.expect("rank 0 gathers the solution block");
