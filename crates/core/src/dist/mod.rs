@@ -39,13 +39,17 @@ fn ext_tag(child: usize) -> u64 {
 }
 
 /// Per-rank factor state after a distributed factorization.
+///
+/// `BTreeMap` rather than `HashMap`: the gather path and the memory
+/// accounting iterate these maps, and the determinism contract (enforced
+/// by the R2 lint) keeps every iterated container in the engine ordered.
 #[derive(Clone)]
 pub struct RankFactor {
     /// Panels of locally-factored supernodes (`f x w`, same layout as a
     /// [`Factor`] slab panel).
-    pub local_panels: HashMap<usize, Vec<f64>>,
+    pub local_panels: BTreeMap<usize, Vec<f64>>,
     /// Owned blocks of distributed supernodes (pivot columns retained).
-    pub dist_blocks: HashMap<usize, DistFront>,
+    pub dist_blocks: BTreeMap<usize, DistFront>,
 }
 
 impl RankFactor {
@@ -101,8 +105,8 @@ impl RankState {
     fn new(sym: &Symbolic) -> Self {
         RankState {
             out: RankFactor {
-                local_panels: HashMap::new(),
-                dist_blocks: HashMap::new(),
+                local_panels: BTreeMap::new(),
+                dist_blocks: BTreeMap::new(),
             },
             local_updates: HashMap::new(),
             self_stash: HashMap::new(),
@@ -566,7 +570,9 @@ fn route_update(
                 sym.sn_ptr[parent],
             );
             let np = pr * pc;
-            let mut bufs: Vec<ExtBuf> = vec![Default::default(); np];
+            // Per-destination-rank slices of the update (Vec indexed by
+            // relative grid rank, so the emission order below is fixed).
+            let mut parts: Vec<ExtBuf> = vec![Default::default(); np];
             let r = upd.order(sym);
             // Canonical order for a local child: column-major lower.
             for j in 0..r {
@@ -575,10 +581,10 @@ fn route_update(
                     let li = plocal[i];
                     let (bi, bj) = (li / nb, lj / nb);
                     let rel = (bi % pr) * pc + (bj % pc);
-                    bufs[rel].push(upd.data[j * r + i]);
+                    parts[rel].push(upd.data[j * r + i]);
                 }
             }
-            for (rel, buf) in bufs.into_iter().enumerate() {
+            for (rel, buf) in parts.into_iter().enumerate() {
                 let dst = plo + rel;
                 if dst == rank.rank() {
                     st.self_stash.insert(ext_tag(s), buf);
@@ -622,14 +628,15 @@ fn send_dist_update(
         Layout::Grid { pr, pc, nb } => {
             let (plo, _) = map.group[parent];
             let np = pr * pc;
-            let mut bufs: Vec<ExtBuf> = vec![Default::default(); np];
+            // Per-destination-rank slices, indexed by relative grid rank.
+            let mut parts: Vec<ExtBuf> = vec![Default::default(); np];
             for_each_schur_entry(df, w, |li, lj, v| {
                 let (gi, gj) = (plocal[li - w], plocal[lj - w]);
                 let (bi, bj) = (gi / nb, gj / nb);
                 let rel = (bi % pr) * pc + (bj % pc);
-                bufs[rel].push(v);
+                parts[rel].push(v);
             });
-            for (rel, buf) in bufs.into_iter().enumerate() {
+            for (rel, buf) in parts.into_iter().enumerate() {
                 let dst = plo + rel;
                 if dst == rank.rank() {
                     st.self_stash.insert(ext_tag(s), buf);

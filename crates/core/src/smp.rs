@@ -262,7 +262,13 @@ struct FactorWriter<'a> {
     d_len: usize,
 }
 
+// SAFETY: FactorWriter holds raw pointers into one Factor's slabs; the
+// scheduler hands each supernode's panel / `d` segment to exactly one
+// worker (disjoint ranges), and the thread-scope join publishes the
+// writes before the Factor is read again.
 unsafe impl Send for FactorWriter<'_> {}
+// SAFETY: see Send above — shared access is only through `panel_mut` /
+// `d_mut`, whose contracts require a unique writer per disjoint range.
 unsafe impl Sync for FactorWriter<'_> {}
 
 impl<'a> FactorWriter<'a> {
@@ -281,6 +287,9 @@ impl<'a> FactorWriter<'a> {
     #[allow(clippy::mut_from_ref)]
     unsafe fn panel_mut(&self, s: usize) -> &mut [f64] {
         let (p0, p1) = (self.panel_ptr[s], self.panel_ptr[s + 1]);
+        // SAFETY: `panel_ptr` bounds come from the Factor this writer was
+        // built over, so the range is in-bounds; uniqueness of the `&mut`
+        // is the caller's contract (see `# Safety`).
         unsafe { std::slice::from_raw_parts_mut(self.panels.add(p0), p1 - p0) }
     }
 
@@ -290,6 +299,9 @@ impl<'a> FactorWriter<'a> {
     #[allow(clippy::mut_from_ref)]
     unsafe fn d_mut(&self, c0: usize, w: usize) -> &mut [f64] {
         debug_assert!(c0 + w <= self.d_len);
+        // SAFETY: `c0 + w <= d_len` keeps the slice in-bounds (supernode
+        // column ranges never overlap); uniqueness of the `&mut` is the
+        // caller's contract (see `# Safety`).
         unsafe { std::slice::from_raw_parts_mut(self.d.add(c0), w) }
     }
 }
@@ -476,6 +488,9 @@ pub fn parallel_partial_potrf_traced(
                             // Below-diagonal part: rows [b, rest) — a gemm.
                             if b < rest {
                                 let rect_base = (trail_col0 + a) * ldf + trail_col0 + b;
+                                // SAFETY: same disjointness argument as the
+                                // `tri` view above — columns [a, b) belong to
+                                // this chunk alone, and `tri` is dead by now.
                                 let rect: &mut [f64] = unsafe {
                                     std::slice::from_raw_parts_mut(
                                         fptr.0.add(rect_base),
@@ -510,7 +525,12 @@ pub fn parallel_partial_potrf_traced(
 }
 
 struct SendPtr(*mut f64);
+// SAFETY: SendPtr only ferries the trailing-matrix base pointer into the
+// worker closures above; each worker carves disjoint column chunks out of
+// it (see the SAFETY notes at the `tri`/`rect` views), so sharing the
+// address across threads is sound.
 unsafe impl Send for SendPtr {}
+// SAFETY: see Send above.
 unsafe impl Sync for SendPtr {}
 
 #[cfg(test)]

@@ -17,22 +17,32 @@ struct CountingAlloc;
 static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
 static COUNTING: AtomicBool = AtomicBool::new(false);
 
+// SAFETY: pure pass-through to the System allocator plus an atomic
+// counter bump — every layout/pointer contract is forwarded unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY (all three methods): arguments are forwarded verbatim to
+    // `System`, which upholds the GlobalAlloc contract; the counter
+    // side-effect never touches the allocation itself.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: same layout the caller handed us.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: see the impl-level note — verbatim forward.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from a matching `alloc` call.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: see the impl-level note — verbatim forward.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `ptr`/`layout` come from a matching `alloc` call.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

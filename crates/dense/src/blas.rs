@@ -306,6 +306,9 @@ mod tests {
     }
 
     #[test]
+    // Too many interpreted flops for Miri; the small-dim tests above walk
+    // the same pack/microkernel/store paths.
+    #[cfg_attr(miri, ignore)]
     fn gemm_handles_large_blocked_path() {
         // Exercise the KC/NC tiling with dims beyond one tile.
         let mut r = det_rng(2);
@@ -331,6 +334,8 @@ mod tests {
     }
 
     #[test]
+    // Crossing MC/NC/KC needs >512-wide operands — too slow under Miri.
+    #[cfg_attr(miri, ignore)]
     fn gemm_crosses_every_cache_block_boundary() {
         // Dimensions straddling MC/NC/KC with ragged remainders.
         let mut r = det_rng(7);

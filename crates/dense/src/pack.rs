@@ -351,6 +351,9 @@ mod tests {
 
     #[cfg(target_arch = "x86_64")]
     #[test]
+    // Miri cannot execute AVX intrinsics; the portable path is covered by
+    // the other packing tests.
+    #[cfg_attr(miri, ignore)]
     fn avx_microkernel_is_bitwise_equal_to_portable() {
         if !std::arch::is_x86_feature_detected!("avx") {
             return;

@@ -1,0 +1,8 @@
+// lint-fixture-path: crates/core/src/dist/demo.rs
+// Clean: virtual clocks only, plus a comment mention (comments never
+// fire) — no Instant::now() in code.
+
+fn advance(clock: &mut f64, dt: f64) {
+    // A rank's Instant::now() equivalent is its virtual clock.
+    *clock += dt;
+}

@@ -1,0 +1,11 @@
+// lint-fixture-path: crates/core/src/dist/demo.rs
+// Seeded violation: a host-clock read inside engine code. Virtual-time
+// schedules must be a pure function of the input; wall time leaks host
+// speed into the run.
+
+use std::time::Instant;
+
+fn schedule_deadline() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}

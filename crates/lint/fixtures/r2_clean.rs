@@ -1,0 +1,19 @@
+// lint-fixture-path: crates/core/src/dist/demo.rs
+// Clean: the sorted-drain idiom (collect + sort before acting) and
+// keyed access, which is order-free by construction.
+
+use std::collections::HashMap;
+
+fn flush(mut pending: HashMap<usize, Vec<f64>>, send: &mut dyn FnMut(usize, Vec<f64>)) {
+    let mut items: Vec<(usize, Vec<f64>)> = pending.drain().collect();
+    items.sort_unstable_by_key(|(dst, _)| *dst);
+    for (dst, buf) in items {
+        send(dst, buf);
+    }
+}
+
+fn keyed(cache: &mut HashMap<usize, f64>) -> Option<f64> {
+    cache.insert(7, 1.0);
+    cache.remove(&3);
+    cache.get(&7).copied()
+}

@@ -1,0 +1,12 @@
+// lint-fixture-path: crates/core/src/dist/demo.rs
+// Seeded violation: iterating a HashMap in a message-send path. The
+// iteration order is seeded per process, so the send order — and with it
+// every downstream arrival time — differs run to run.
+
+use std::collections::HashMap;
+
+fn flush(pending: HashMap<usize, Vec<f64>>, send: &mut dyn FnMut(usize, Vec<f64>)) {
+    for (dst, buf) in pending.into_iter() {
+        send(dst, buf);
+    }
+}

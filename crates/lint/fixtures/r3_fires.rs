@@ -1,0 +1,9 @@
+// lint-fixture-path: crates/core/src/demo.rs
+// Seeded violation: an undocumented unsafe block. Every unsafe site must
+// state the invariant that makes it sound.
+
+fn write_cell(p: *mut f64) {
+    unsafe {
+        *p = 1.0;
+    }
+}

@@ -1,0 +1,10 @@
+// lint-fixture-path: crates/dense/src/demo.rs
+// Clean: separate multiply-then-add, the contract's accumulation shape.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}

@@ -1,0 +1,12 @@
+// lint-fixture-path: crates/dense/src/demo.rs
+// Seeded violation: FMA contraction in a dense kernel. `mul_add` rounds
+// once where the contract's separate mul/add rounds twice, so an FMA
+// path diverges bitwise from the portable path.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        acc = x.mul_add(*y, acc);
+    }
+    acc
+}

@@ -1,0 +1,11 @@
+// lint-fixture-path: crates/core/src/dist/demo.rs
+// Clean: tags routed through the centralized constructor, a named
+// helper, and a named constant; plus a tag-valued variable (no literal).
+
+fn exchange(rank: &mut Rank, peer: usize, s: usize, t_row: u64, payload: Vec<f64>) -> Vec<f64> {
+    rank.send(peer, front::tag(s, PHASE_ROWCAST), payload);
+    let a = rank.recv::<Vec<f64>>(peer, ext_tag(s));
+    let _ = rank.recv::<Vec<f64>>(peer, t_row);
+    rank.isend(peer, GATHER_TAG, a.clone());
+    a
+}

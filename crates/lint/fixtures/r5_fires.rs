@@ -1,0 +1,9 @@
+// lint-fixture-path: crates/core/src/dist/demo.rs
+// Seeded violations: raw message tags at the send site — an integer
+// literal and a bare `as u64` cast. Tags minted outside the centralized
+// namespace can collide with engine phases as the protocol grows.
+
+fn exchange(rank: &mut Rank, peer: usize, j: usize, payload: Vec<f64>) -> Vec<f64> {
+    rank.send(peer, 42, payload);
+    rank.recv::<Vec<f64>>(peer, j as u64)
+}

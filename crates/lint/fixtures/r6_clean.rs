@@ -1,0 +1,8 @@
+// lint-fixture-path: crates/order/src/demo.rs
+// Clean: RNG seeded as a pure function of the input (the repo's
+// FNV-over-vertex-ids convention from crates/order).
+
+fn pick_pivot(seed: u64, n: usize) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen_range(0..n)
+}

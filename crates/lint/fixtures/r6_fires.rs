@@ -1,0 +1,9 @@
+// lint-fixture-path: crates/order/src/demo.rs
+// Seeded violation: an entropy-seeded RNG. A partitioner seeded from the
+// OS produces a different ordering — and a different factorization
+// schedule — on every run.
+
+fn pick_pivot(n: usize) -> usize {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..n)
+}

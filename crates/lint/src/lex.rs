@@ -1,0 +1,306 @@
+//! A minimal Rust surface lexer: splits a source file into per-line *code*
+//! text and per-line *comment* text.
+//!
+//! The rules in this crate are line-level pattern matchers, so the only
+//! lexical structure they need is "which bytes are code and which are
+//! not". The lexer therefore blanks out (replaces with spaces) the
+//! contents of string literals, raw strings, byte strings, and char
+//! literals inside the code view — a pattern like `Instant::now` inside a
+//! doc string or an error message must never fire a rule — and collects
+//! comment text separately so the SAFETY-comment rule and the
+//! `lint:allow` pragma parser can see it. Column positions are preserved
+//! by the blanking so findings can cite real lines.
+//!
+//! Handled: `//` line comments (incl. `///` and `//!` doc comments),
+//! nested `/* */` block comments, `"…"` strings with escapes, `r"…"` /
+//! `r#"…"#` raw strings (and `b`/`br` byte variants), char literals
+//! (escaped and plain), and lifetimes (`'a` is code, not an unterminated
+//! char literal).
+
+/// Per-line views of one source file.
+#[derive(Debug, Default)]
+pub struct FileView {
+    /// Code text per line; string/char literal contents blanked.
+    pub code: Vec<String>,
+    /// Comment text per line (comment markers stripped); empty when the
+    /// line carries no comment.
+    pub comments: Vec<String>,
+    /// Non-doc comment text per line. `lint:allow` pragmas are only read
+    /// from here, so rustdoc prose *describing* the pragma convention
+    /// (`///`/`//!`/`/** */`) can never suppress anything.
+    pub plain_comments: Vec<String>,
+}
+
+impl FileView {
+    /// Number of lines (code and comment vectors always agree).
+    pub fn nlines(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when line `i` (0-based) has any non-whitespace code.
+    pub fn has_code(&self, i: usize) -> bool {
+        self.code.get(i).is_some_and(|l| !l.trim().is_empty())
+    }
+}
+
+#[derive(PartialEq)]
+enum St {
+    Code,
+    LineComment {
+        doc: bool,
+    },
+    /// Nested block comment depth.
+    BlockComment {
+        depth: u32,
+        doc: bool,
+    },
+    /// Inside a normal (escaped) string literal.
+    Str,
+    /// Inside a raw string closed by `"` + this many `#`s.
+    RawStr(u32),
+}
+
+/// Lex `text` into per-line code/comment views.
+pub fn lex(text: &str) -> FileView {
+    let chars: Vec<char> = text.chars().collect();
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    let mut plain = vec![String::new()];
+    let mut st = St::Code;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(st, St::LineComment { .. }) {
+                st = St::Code;
+            }
+            code.push(String::new());
+            comments.push(String::new());
+            plain.push(String::new());
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    let doc = matches!(chars.get(i + 2), Some(&'/') | Some(&'!'));
+                    st = St::LineComment { doc };
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    let doc = matches!(chars.get(i + 2), Some(&'*') | Some(&'!'))
+                        && chars.get(i + 3) != Some(&'/');
+                    st = St::BlockComment { depth: 1, doc };
+                    i += 2;
+                } else if let Some((hashes, quote)) = raw_string_at(&chars, i) {
+                    // Emit the `r`/`br` prefix, hashes, and opening quote
+                    // as code, then blank the contents.
+                    for &p in &chars[i..=quote] {
+                        code.last_mut().unwrap().push(p);
+                    }
+                    i = quote + 1;
+                    st = St::RawStr(hashes);
+                } else if c == '"' {
+                    code.last_mut().unwrap().push('"');
+                    st = St::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal vs lifetime.
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        code.last_mut().unwrap().push('\'');
+                        for _ in i + 1..end {
+                            code.last_mut().unwrap().push(' ');
+                        }
+                        code.last_mut().unwrap().push('\'');
+                        i = end + 1;
+                    } else {
+                        // Lifetime: keep the tick as code.
+                        code.last_mut().unwrap().push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.last_mut().unwrap().push(c);
+                    i += 1;
+                }
+            }
+            St::LineComment { doc } => {
+                comments.last_mut().unwrap().push(c);
+                if !doc {
+                    plain.last_mut().unwrap().push(c);
+                }
+                i += 1;
+            }
+            St::BlockComment { depth, doc } => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment {
+                        depth: depth + 1,
+                        doc,
+                    };
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment {
+                            depth: depth - 1,
+                            doc,
+                        }
+                    };
+                    i += 2;
+                } else {
+                    comments.last_mut().unwrap().push(c);
+                    if !doc {
+                        plain.last_mut().unwrap().push(c);
+                    }
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    code.last_mut().unwrap().push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    code.last_mut().unwrap().push('"');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    code.last_mut().unwrap().push(' ');
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    code.last_mut().unwrap().push('"');
+                    for _ in 0..hashes {
+                        code.last_mut().unwrap().push('#');
+                    }
+                    i += 1 + hashes as usize;
+                    st = St::Code;
+                } else {
+                    code.last_mut().unwrap().push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    FileView {
+        code,
+        comments,
+        plain_comments: plain,
+    }
+}
+
+/// If a raw (byte) string literal starts at `i`, return its `#` count and
+/// the index of the opening quote.
+fn raw_string_at(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    // Must not be the tail of an identifier (`abr"x"` never lexes as a
+    // raw string in Rust).
+    if i > 0 && is_ident(chars[i - 1]) {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some((hashes, j))
+}
+
+/// True when the `"` at `i` is followed by `hashes` `#`s.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If a char literal starts at the `'` at `i`, return the index of the
+/// closing `'`; `None` for lifetimes.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escaped char: scan to the next unescaped quote (covers
+            // `'\n'`, `'\''`, `'\u{1F600}'`).
+            let mut j = i + 2;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\'' => return Some(j),
+                    '\n' => return None,
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        _ => {
+            // Plain char `'x'` closes two ahead; anything else (e.g. the
+            // `'a` of a lifetime) is not a char literal.
+            (chars.get(i + 2) == Some(&'\'')).then_some(i + 2)
+        }
+    }
+}
+
+/// Identifier-continue test shared by the rule matchers.
+pub fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let v = lex("let x = 1; // Instant::now in a comment\n/* HashMap\n nested /* deep */ */ let y = 2;\n");
+        assert!(v.code[0].contains("let x = 1;"));
+        assert!(!v.code[0].contains("Instant"));
+        assert!(v.comments[0].contains("Instant::now"));
+        assert!(v.comments[1].contains("HashMap"));
+        assert!(v.code[2].contains("let y = 2;"));
+        assert!(!v.code[2].contains("deep"));
+    }
+
+    #[test]
+    fn blanks_string_and_char_literals() {
+        let v = lex("let s = \"Instant::now \\\" quoted\"; let c = 'x'; let t: &'static str = r#\"SystemTime\"#;");
+        assert!(!v.code[0].contains("Instant"));
+        assert!(!v.code[0].contains("SystemTime"));
+        // Lifetimes survive as code.
+        assert!(v.code[0].contains("&'static str"));
+        // Quotes preserved so columns line up.
+        assert!(v.code[0].contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_multiline() {
+        let v = lex("let a = r##\"line1 \"# not closed\nline2 unsafe\"##; done();");
+        assert!(!v.code[0].contains("line1"));
+        assert!(!v.code[1].contains("unsafe"));
+        assert!(v.code[1].contains("done();"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let v = lex(r"let q = '\''; let nl = '\n'; call();");
+        assert!(v.code[0].contains("call();"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments_but_not_pragma_carriers() {
+        let v = lex("/// # Safety\n/// caller holds the lock\nunsafe fn f() {}\n");
+        assert!(v.comments[0].contains("# Safety"));
+        assert!(v.plain_comments[0].is_empty());
+        assert!(v.code[2].contains("unsafe fn"));
+        // Plain comments land in both views.
+        let v = lex("// lint:allow(R1) reason\nlet x = 1;\n");
+        assert!(v.comments[0].contains("lint:allow"));
+        assert!(v.plain_comments[0].contains("lint:allow"));
+        // `//!` module docs are doc comments too.
+        let v = lex("//! docs mention lint:allow(R1) reason\n");
+        assert!(v.plain_comments[0].is_empty());
+    }
+}

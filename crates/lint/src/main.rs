@@ -1,0 +1,75 @@
+//! CLI for `parfact-lint`.
+//!
+//! ```text
+//! parfact-lint [--root DIR] [--json FILE] [--deny-all] [--quiet]
+//! ```
+//!
+//! Without `--root`, the nearest enclosing workspace root is used, so the
+//! tool works from any directory inside the repo. `--deny-all` (the CI
+//! mode) exits with status 2 when any unsuppressed finding — including a
+//! malformed pragma — survives; the default report mode always exits 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut deny_all = false;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json_out = args.next().map(PathBuf::from),
+            "--deny-all" => deny_all = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: parfact-lint [--root DIR] [--json FILE] [--deny-all] [--quiet]");
+                println!();
+                println!("rules:");
+                for (id, name) in parfact_lint::RULES {
+                    println!("  {id}  {name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("parfact-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| parfact_lint::walk::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("parfact-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match parfact_lint::lint_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("parfact-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !quiet {
+        print!("{}", report.render_text());
+    }
+    if let Some(path) = json_out {
+        let doc = report.to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("parfact-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if deny_all && report.total_findings() > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,125 @@
+//! Aggregated lint results and the machine-readable JSON report.
+//!
+//! The JSON document goes through `parfact_trace::json` (the same
+//! hand-rolled writer the solver reports use), so CI tooling that already
+//! parses `FactorReport` documents needs nothing new.
+
+use crate::rules::{rule_name, FileReport, RULES};
+use parfact_trace::json::Json;
+
+/// Lint results for a whole tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Root the scan ran from (as given, for reproducible output).
+    pub root: String,
+    pub files_scanned: usize,
+    /// Per-file results, in walk (sorted-path) order; files with neither
+    /// findings nor suppressions are omitted.
+    pub files: Vec<FileReport>,
+}
+
+impl Report {
+    /// Total unsuppressed findings.
+    pub fn total_findings(&self) -> usize {
+        self.files.iter().map(|f| f.findings.len()).sum()
+    }
+
+    /// Total pragma-suppressed findings.
+    pub fn total_suppressed(&self) -> usize {
+        self.files.iter().map(|f| f.suppressed.len()).sum()
+    }
+
+    /// Unsuppressed findings for one rule id.
+    pub fn count(&self, rule: &str) -> usize {
+        self.files
+            .iter()
+            .flat_map(|f| &f.findings)
+            .filter(|f| f.rule == rule)
+            .count()
+    }
+
+    /// Human-readable listing: one `file:line: RULE(name) — message` per
+    /// finding, then a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for file in &self.files {
+            for f in &file.findings {
+                out.push_str(&format!(
+                    "{}:{}: {}({}) — {}\n",
+                    file.path,
+                    f.line,
+                    f.rule,
+                    rule_name(f.rule),
+                    f.message
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "parfact-lint: {} finding(s), {} suppressed, {} file(s) scanned\n",
+            self.total_findings(),
+            self.total_suppressed(),
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// The machine-readable report document.
+    pub fn to_json(&self) -> Json {
+        let findings: Vec<Json> = self
+            .files
+            .iter()
+            .flat_map(|file| {
+                file.findings.iter().map(|f| {
+                    Json::Obj(vec![
+                        ("rule".into(), Json::str(f.rule)),
+                        ("name".into(), Json::str(rule_name(f.rule))),
+                        ("file".into(), Json::str(&file.path)),
+                        ("line".into(), Json::num_usize(f.line)),
+                        ("message".into(), Json::str(&f.message)),
+                    ])
+                })
+            })
+            .collect();
+        let suppressed: Vec<Json> = self
+            .files
+            .iter()
+            .flat_map(|file| {
+                file.suppressed.iter().map(|s| {
+                    Json::Obj(vec![
+                        ("rule".into(), Json::str(s.finding.rule)),
+                        ("file".into(), Json::str(&file.path)),
+                        ("line".into(), Json::num_usize(s.finding.line)),
+                        ("reason".into(), Json::str(&s.reason)),
+                    ])
+                })
+            })
+            .collect();
+        let mut counts: Vec<(String, Json)> = RULES
+            .iter()
+            .map(|(id, _)| (id.to_string(), Json::num_usize(self.count(id))))
+            .collect();
+        counts.push(("total".into(), Json::num_usize(self.total_findings())));
+        Json::Obj(vec![
+            ("tool".into(), Json::str("parfact-lint")),
+            (
+                "rules".into(),
+                Json::Arr(
+                    RULES
+                        .iter()
+                        .map(|(id, name)| {
+                            Json::Obj(vec![
+                                ("id".into(), Json::str(id)),
+                                ("name".into(), Json::str(name)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("root".into(), Json::str(&self.root)),
+            ("files_scanned".into(), Json::num_usize(self.files_scanned)),
+            ("findings".into(), Json::Arr(findings)),
+            ("suppressed".into(), Json::Arr(suppressed)),
+            ("counts".into(), Json::Obj(counts)),
+        ])
+    }
+}

@@ -1,0 +1,77 @@
+//! Deterministic workspace walker.
+//!
+//! Hand-rolled recursive `read_dir` with sorted entries, so findings come
+//! out in a stable order on every run and every host. Skipped subtrees:
+//!
+//! * `target/` — build products;
+//! * `third_party/` — vendored offline stand-ins, not our contract;
+//! * `.git/` and other dot-directories;
+//! * `crates/lint/fixtures/` — seeded-violation fixtures that exist to
+//!   fire the rules.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collect every workspace `.rs` file under `root`, sorted by relative
+/// path. Returns `(relative-path-with-/-separators, absolute-path)`.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    walk_dir(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if path.is_dir() {
+            if name == "target" || name == "third_party" || name.starts_with('.') {
+                continue;
+            }
+            let rel = rel_path(root, &path);
+            if rel == "crates/lint/fixtures" {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push((rel_path(root, &path), path));
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

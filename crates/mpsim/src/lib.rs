@@ -1869,12 +1869,14 @@ impl Machine {
                         "rank {r}: comm-matrix row msgs disagree with msgs_sent"
                     );
                     let q = shared.boxes[r].queues.lock();
+                    // lint:allow(R2) commutative u64 sums over undrained queues — order-free, debug accounting only
                     let leftover_bytes: u64 = q
                         .map
                         .values()
                         .flat_map(|d| d.iter())
                         .map(|msg| msg.bytes as u64)
                         .sum();
+                    // lint:allow(R2) commutative u64 sum over undrained queues — order-free, debug accounting only
                     let leftover_msgs: u64 = q.map.values().map(|d| d.len() as u64).sum();
                     debug_assert_eq!(
                         m.posted_bytes(r),

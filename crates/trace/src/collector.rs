@@ -371,6 +371,7 @@ impl Collector {
     pub fn new(level: TraceLevel) -> Self {
         Collector {
             level,
+            // lint:allow(R1) span-timestamp epoch: wall-clock origin for traces, never feeds virtual time
             epoch: Instant::now(),
             fronts: AtomicU64::new(0),
             flops: AtomicF64::default(),
@@ -605,6 +606,7 @@ impl LocalRecorder<'_> {
     #[inline]
     pub fn start(&self) -> Tick {
         if self.enabled() {
+            // lint:allow(R1) phase-timing tick: measures real host work for reports, never feeds virtual time
             Tick(Some(Instant::now()))
         } else {
             Tick(None)

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Single entry point for the static gates CI enforces — run it locally
+# before pushing and you will not be surprised by the lint job.
+#
+#   1. rustfmt        — formatting, check-only
+#   2. clippy         — warnings are errors, all targets
+#   3. parfact-lint   — the workspace determinism & protocol rules
+#                       (R1 host clocks, R2 unordered iteration, R3
+#                       undocumented unsafe, R4 FMA contraction, R5 raw
+#                       message tags, R6 entropy-seeded RNGs), deny mode.
+#
+# Any JSON report path in $1 is forwarded to parfact-lint (CI uploads it
+# as an artifact; locally it is optional).
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> parfact-lint --deny-all"
+if [ "${1:-}" != "" ]; then
+    cargo run --release -p parfact-lint -- --deny-all --json "$1"
+else
+    cargo run --release -p parfact-lint -- --deny-all
+fi
+
+echo "lint.sh: all gates clean"
